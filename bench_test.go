@@ -1,0 +1,159 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (driving the same runners as cmd/tman-bench, at reduced
+// scale and with output discarded), plus micro-benchmarks of the core
+// operations. Figure-level benchmarks execute a full experiment per
+// iteration; run them with -benchtime=1x (or a small count):
+//
+//	go test -bench=BenchmarkFig -benchtime=1x
+//	go test -bench=BenchmarkMicro
+package tman_test
+
+import (
+	"io"
+	"testing"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/bench"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// benchOpts returns reduced-scale options for figure-level benchmarks.
+func benchOpts() bench.Options {
+	o := bench.DefaultOptions()
+	o.TDriveSize = 1500
+	o.LorrySize = 2500
+	o.Queries = 6
+	o.Out = io.Discard
+	return o
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(name, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14Distributions(b *testing.B)    { runExperiment(b, "fig14") }
+func BenchmarkTable1TemporalIndexes(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig15AlphaBeta(b *testing.B)        { runExperiment(b, "fig15") }
+func BenchmarkFig16Encodings(b *testing.B)        { runExperiment(b, "fig16") }
+func BenchmarkFig17TRQ(b *testing.B)              { runExperiment(b, "fig17") }
+func BenchmarkFig18SRQ(b *testing.B)              { runExperiment(b, "fig18") }
+func BenchmarkFig19IDTSTRQ(b *testing.B)          { runExperiment(b, "fig19") }
+func BenchmarkFig20ThresholdSim(b *testing.B)     { runExperiment(b, "fig20") }
+func BenchmarkFig21TopK(b *testing.B)             { runExperiment(b, "fig21") }
+func BenchmarkFig22Scalability(b *testing.B)      { runExperiment(b, "fig22") }
+func BenchmarkFig23TailLatency(b *testing.B)      { runExperiment(b, "fig23") }
+func BenchmarkAblation1Storage(b *testing.B)      { runExperiment(b, "ablation1") }
+
+// ------------------------------------------------------------- micro ---
+
+// benchDB builds a loaded DB for operation-level micro-benchmarks.
+func benchDB(b *testing.B, n int) (*tman.DB, *workload.Dataset) {
+	b.Helper()
+	ds := workload.TDriveSim(n, 7)
+	db, err := tman.Open(ds.Boundary)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.PutBatch(ds.Trajs); err != nil {
+		b.Fatal(err)
+	}
+	return db, ds
+}
+
+func BenchmarkMicroPut(b *testing.B) {
+	ds := workload.TDriveSim(b.N+1, 11)
+	db, err := tman.Open(ds.Boundary)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(ds.Trajs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroSpatialRangeQuery(b *testing.B) {
+	db, ds := benchDB(b, 3000)
+	sampler := workload.NewQuerySampler(ds, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.QuerySpace(sampler.SpaceWindow(1.5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroTemporalRangeQuery(b *testing.B) {
+	db, ds := benchDB(b, 3000)
+	sampler := workload.NewQuerySampler(ds, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.QueryTimeRange(sampler.TimeWindow(3600_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroSpatioTemporalQuery(b *testing.B) {
+	db, ds := benchDB(b, 3000)
+	sampler := workload.NewQuerySampler(ds, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := db.QuerySpaceTime(sampler.SpaceWindow(2.0), sampler.TimeWindow(6*3600_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroObjectQuery(b *testing.B) {
+	db, ds := benchDB(b, 3000)
+	sampler := workload.NewQuerySampler(ds, 23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid, tw := sampler.ObjectWindow(12 * 3600_000)
+		if _, _, err := db.QueryObject(oid, tw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroTopKSimilarity(b *testing.B) {
+	db, ds := benchDB(b, 1000)
+	sampler := workload.NewQuerySampler(ds, 29)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := sampler.QueryTrajectory()
+		if _, _, err := db.QuerySimilarTopK(q, tman.Frechet, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard: figure benches must exist for every experiment id the harness
+// knows, so the list cannot silently drift.
+func TestBenchmarkCoverageMatchesExperiments(t *testing.T) {
+	want := map[string]bool{}
+	for _, e := range bench.Experiments {
+		want[e.Name] = true
+	}
+	for _, name := range []string{
+		"fig14", "table1", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "ablation1",
+	} {
+		if !want[name] {
+			t.Errorf("benchmark references unknown experiment %q", name)
+		}
+		delete(want, name)
+	}
+	for name := range want {
+		t.Errorf("experiment %q has no benchmark target", name)
+	}
+}

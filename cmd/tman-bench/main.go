@@ -1,0 +1,58 @@
+// Command tman-bench regenerates the tables and figures of the TMan paper
+// (ICDE 2024) on synthetic TDrive/Lorry workloads.
+//
+// Usage:
+//
+//	tman-bench -exp table1                 # one experiment
+//	tman-bench -exp all -lorry 20000       # everything, bigger dataset
+//	tman-bench -list                       # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tman-db/tman/internal/bench"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id (fig14, table1, fig15..fig23, all)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		tdrive     = flag.Int("tdrive", 0, "TDrive-sim trajectory count (default 6000)")
+		lorry      = flag.Int("lorry", 0, "Lorry-sim trajectory count (default 10000)")
+		queries    = flag.Int("queries", 0, "query windows per measurement (default 20)")
+		percentile = flag.Float64("percentile", 0.5, "reported latency percentile")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	opts := bench.DefaultOptions()
+	if *tdrive > 0 {
+		opts.TDriveSize = *tdrive
+	}
+	if *lorry > 0 {
+		opts.LorrySize = *lorry
+	}
+	if *queries > 0 {
+		opts.Queries = *queries
+	}
+	opts.Percentile = *percentile
+	opts.Seed = *seed
+
+	started := time.Now()
+	if err := bench.Run(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "tman-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\ncompleted in %v\n", time.Since(started).Round(time.Millisecond))
+}

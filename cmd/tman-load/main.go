@@ -1,0 +1,118 @@
+// Command tman-load generates a synthetic workload and drives a running
+// tmand server: bulk ingest followed by a mixed query storm, reporting
+// throughput and latency percentiles. A smoke test for deployments.
+//
+//	tmand -boundary 70,0,140,55 &
+//	tman-load -addr http://localhost:8080 -n 5000 -queries 200
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/tman-db/tman/internal/httpapi"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "tmand base URL")
+		n       = flag.Int("n", 5000, "trajectories to generate (Lorry-sim)")
+		queries = flag.Int("queries", 100, "queries per type")
+		batch   = flag.Int("batch", 500, "ingest batch size")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	ds := workload.TLorrySim(*n, *seed)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Ingest in batches.
+	started := time.Now()
+	for lo := 0; lo < len(ds.Trajs); lo += *batch {
+		hi := lo + *batch
+		if hi > len(ds.Trajs) {
+			hi = len(ds.Trajs)
+		}
+		payload := make([]httpapi.TrajectoryJSON, 0, hi-lo)
+		for _, t := range ds.Trajs[lo:hi] {
+			tj := httpapi.TrajectoryJSON{OID: t.OID, TID: t.TID}
+			for _, p := range t.Points {
+				tj.Points = append(tj.Points, httpapi.PointJSON{X: p.X, Y: p.Y, T: p.T})
+			}
+			payload = append(payload, tj)
+		}
+		body, _ := json.Marshal(payload)
+		req, _ := http.NewRequest(http.MethodPut, *addr+"/trajectories", bytes.NewReader(body))
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("ingest: status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	elapsed := time.Since(started)
+	fmt.Printf("ingested %d trajectories in %v (%.0f/s)\n",
+		len(ds.Trajs), elapsed.Round(time.Millisecond), float64(len(ds.Trajs))/elapsed.Seconds())
+
+	sampler := workload.NewQuerySampler(ds, *seed+1)
+	run := func(name string, mkURL func() string) {
+		lat := make([]time.Duration, 0, *queries)
+		for i := 0; i < *queries; i++ {
+			url := mkURL()
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("%s: status %d (%s)", name, resp.StatusCode, url)
+			}
+			resp.Body.Close()
+			lat = append(lat, time.Since(t0))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Printf("%-12s p50=%-10v p90=%-10v p99=%v\n",
+			name, lat[len(lat)/2].Round(time.Microsecond),
+			lat[len(lat)*9/10].Round(time.Microsecond),
+			lat[len(lat)-1].Round(time.Microsecond))
+	}
+
+	run("time", func() string {
+		q := sampler.TimeWindow(3600_000)
+		return fmt.Sprintf("%s/query/time?start=%d&end=%d", *addr, q.Start, q.End)
+	})
+	run("space", func() string {
+		r := sampler.SpaceWindow(1.5)
+		return fmt.Sprintf("%s/query/space?minx=%f&miny=%f&maxx=%f&maxy=%f",
+			*addr, r.MinX, r.MinY, r.MaxX, r.MaxY)
+	})
+	run("spacetime", func() string {
+		r := sampler.SpaceWindow(2.5)
+		q := sampler.TimeWindow(6 * 3600_000)
+		return fmt.Sprintf("%s/query/spacetime?minx=%f&miny=%f&maxx=%f&maxy=%f&start=%d&end=%d",
+			*addr, r.MinX, r.MinY, r.MaxX, r.MaxY, q.Start, q.End)
+	})
+	run("object", func() string {
+		oid, q := sampler.ObjectWindow(12 * 3600_000)
+		return fmt.Sprintf("%s/query/object?oid=%s&start=%d&end=%d", *addr, oid, q.Start, q.End)
+	})
+
+	// Final server-side stats.
+	resp, err := client.Get(*addr + "/stats")
+	if err == nil {
+		var stats map[string]any
+		json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		fmt.Printf("server stats: %v trajectories, %v rows scanned, %v cache hits\n",
+			stats["trajectories"], stats["rows_scanned"], stats["cache_hits"])
+	}
+}

@@ -1,0 +1,92 @@
+// Command tmand serves a TMan database over HTTP/JSON.
+//
+//	tmand -addr :8080 -boundary 110,35,125,45
+//
+// See internal/httpapi for the endpoint reference. Data lives in process
+// memory (the embedded KV store); tmand is the single-node deployment shape
+// of the system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/httpapi"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		boundary = flag.String("boundary", "110,35,125,45", "dataset boundary minx,miny,maxx,maxy")
+		shards   = flag.Int("shards", 4, "hash shards")
+		alpha    = flag.Int("alpha", 3, "TShape alpha")
+		beta     = flag.Int("beta", 3, "TShape beta")
+		g        = flag.Int("g", 16, "TShape max resolution")
+		encoding = flag.String("encoding", "greedy", "shape encoding: bitmap|greedy|genetic")
+		dataDir  = flag.String("data", "", "durable data directory (empty = in-memory)")
+	)
+	flag.Parse()
+
+	rect, err := parseBoundary(*boundary)
+	if err != nil {
+		log.Fatalf("tmand: %v", err)
+	}
+	enc := tman.EncodingGreedy
+	switch *encoding {
+	case "bitmap":
+		enc = tman.EncodingBitmap
+	case "greedy":
+		enc = tman.EncodingGreedy
+	case "genetic":
+		enc = tman.EncodingGenetic
+	default:
+		log.Fatalf("tmand: unknown encoding %q", *encoding)
+	}
+
+	opts := []tman.Option{
+		tman.WithShards(*shards),
+		tman.WithShapeGrid(*alpha, *beta, *g),
+		tman.WithShapeEncoding(enc),
+	}
+	if *dataDir != "" {
+		opts = append(opts, tman.WithDataDir(*dataDir))
+	}
+	db, err := tman.Open(rect, opts...)
+	if err != nil {
+		log.Fatalf("tmand: %v", err)
+	}
+	if *dataDir != "" {
+		log.Printf("tmand recovered %d trajectories from %s", db.Len(), *dataDir)
+	}
+
+	log.Printf("tmand listening on %s (boundary %v, %dx%d grid, %s encoding)",
+		*addr, rect, *alpha, *beta, *encoding)
+	if err := http.ListenAndServe(*addr, httpapi.New(db)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseBoundary(s string) (tman.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return tman.Rect{}, fmt.Errorf("boundary needs 4 comma-separated numbers, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return tman.Rect{}, fmt.Errorf("boundary component %q: %w", p, err)
+		}
+		vals[i] = v
+	}
+	r := tman.Rect{MinX: vals[0], MinY: vals[1], MaxX: vals[2], MaxY: vals[3]}
+	if !r.Valid() || r.Width() <= 0 || r.Height() <= 0 {
+		return tman.Rect{}, fmt.Errorf("degenerate boundary %v", r)
+	}
+	return r, nil
+}

@@ -1,0 +1,77 @@
+// Fleet monitoring: the workload the paper's introduction motivates —
+// tens of thousands of courier trajectories per day, answered with
+// ID-temporal queries ("where was courier X this morning?") and live batch
+// ingestion.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+func main() {
+	// Simulate a day of courier activity in the Lorry service area.
+	ds := workload.TLorrySim(5000, 2024)
+	db, err := tman.Open(ds.Boundary,
+		tman.WithShards(4),
+		tman.WithShapeEncoding(tman.EncodingGreedy),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Morning bulk load.
+	started := time.Now()
+	if err := db.PutBatch(ds.Trajs[:4000]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk-loaded %d trajectories in %v\n", db.Len(), time.Since(started).Round(time.Millisecond))
+
+	// Live ingestion: new legs stream in as couriers finish them.
+	for _, t := range ds.Trajs[4000:] {
+		if err := db.Put(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after live ingest: %d trajectories\n\n", db.Len())
+
+	// Dispatcher workflow: review one courier's recent legs.
+	courier := ds.Trajs[0].OID
+	dayStart := ds.Trajs[0].TimeRange().Start - 6*3600_000
+	legs, rep, err := db.QueryObject(courier, tman.TimeRange{Start: dayStart, End: dayStart + 24*3600_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("courier %s: %d legs in the last 24h (%.2fms, %d candidates)\n",
+		courier, len(legs), float64(rep.Elapsed.Microseconds())/1000, rep.Candidates)
+	for i, leg := range legs {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(legs)-5)
+			break
+		}
+		tr := leg.TimeRange()
+		fmt.Printf("  %s: %d points, %s\n", leg.TID, leg.Len(),
+			time.Duration(tr.Duration())*time.Millisecond)
+	}
+
+	// A leg was recorded against the wrong courier: remove and re-insert.
+	if len(legs) > 0 {
+		wrong := legs[0]
+		if err := db.Delete(wrong); err != nil {
+			log.Fatal(err)
+		}
+		fixed := wrong.Clone()
+		fixed.OID = "reassigned-courier"
+		fixed.TID = wrong.TID + "-fixed"
+		if err := db.Put(fixed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreassigned %s -> %s (%d trajectories stored)\n", wrong.TID, fixed.TID, db.Len())
+	}
+}

@@ -1,0 +1,94 @@
+// Quickstart: open a TMan database, store a handful of taxi trips, and run
+// each of the six query types.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tman "github.com/tman-db/tman"
+)
+
+func main() {
+	// A TMan database is opened over the spatial boundary of the data it
+	// will hold; tman.Beijing is the TDrive boundary from the paper.
+	db, err := tman.Open(tman.Beijing)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Store a few trips. Each trajectory needs a unique TID, an object id
+	// (the vehicle), and time-ordered points.
+	base := int64(1_700_000_000_000) // some Tuesday, in Unix milliseconds
+	trips := []*tman.Trajectory{
+		trip("taxi-1", "trip-001", base, 116.390, 39.910, 0.0012, 0.0008),
+		trip("taxi-1", "trip-002", base+2*3600_000, 116.420, 39.930, -0.0010, 0.0006),
+		trip("taxi-2", "trip-003", base+30*60_000, 116.395, 39.905, 0.0009, -0.0011),
+		trip("taxi-2", "trip-004", base+26*3600_000, 116.500, 39.990, 0.0011, 0.0004),
+		trip("taxi-3", "trip-005", base+3600_000, 116.380, 39.915, 0.0013, 0.0013),
+	}
+	if err := db.PutBatch(trips); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %d trips\n\n", db.Len())
+
+	// 1. Temporal range query: everything moving in the first 90 minutes.
+	window := tman.TimeRange{Start: base, End: base + 90*60_000}
+	results, rep, err := db.QueryTimeRange(window)
+	must(err)
+	fmt.Printf("time range %v..+90m: %d trips (plan %s, %d candidates)\n",
+		base, len(results), rep.Plan, rep.Candidates)
+
+	// 2. Spatial range query: who crossed this block?
+	block := tman.Rect{MinX: 116.388, MinY: 39.904, MaxX: 116.402, MaxY: 39.916}
+	results, rep, err = db.QuerySpace(block)
+	must(err)
+	fmt.Printf("block query: %d trips (plan %s)\n", len(results), rep.Plan)
+
+	// 3. Object query: taxi-1's trips that morning.
+	results, _, err = db.QueryObject("taxi-1", tman.TimeRange{Start: base, End: base + 6*3600_000})
+	must(err)
+	fmt.Printf("taxi-1 before noon: %d trips\n", len(results))
+
+	// 4. Spatio-temporal query: the block, during the first two hours.
+	results, rep, err = db.QuerySpaceTime(block, tman.TimeRange{Start: base, End: base + 2*3600_000})
+	must(err)
+	fmt.Printf("block x 2h: %d trips (optimizer chose %s)\n", len(results), rep.Plan)
+
+	// 5. Similarity: trips within Hausdorff distance 0.01 (normalized) of
+	// trip-001.
+	results, _, err = db.QuerySimilarThreshold(trips[0], tman.Hausdorff, 0.01)
+	must(err)
+	fmt.Printf("similar to trip-001 (threshold): %d trips\n", len(results))
+
+	// 6. Top-k: the 2 trips most similar to trip-001 under Fréchet.
+	results, _, err = db.QuerySimilarTopK(trips[0], tman.Frechet, 2)
+	must(err)
+	fmt.Printf("top-2 similar to trip-001:")
+	for _, t := range results {
+		fmt.Printf(" %s", t.TID)
+	}
+	fmt.Println()
+}
+
+// trip builds a straight-ish 20-point trajectory starting at (x, y) and
+// drifting by (dx, dy) per minute.
+func trip(oid, tid string, start int64, x, y, dx, dy float64) *tman.Trajectory {
+	t := &tman.Trajectory{OID: oid, TID: tid}
+	for i := 0; i < 20; i++ {
+		t.Points = append(t.Points, tman.Point{
+			X: x + float64(i)*dx,
+			Y: y + float64(i)*dy,
+			T: start + int64(i)*60_000,
+		})
+	}
+	return t
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

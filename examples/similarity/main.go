@@ -1,0 +1,55 @@
+// Route similarity: given one delivery route, find routes that follow the
+// same roads — threshold search for near-duplicates and top-k search for
+// candidates to merge, under three distance measures.
+//
+//	go run ./examples/similarity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+func main() {
+	ds := workload.TLorrySim(4000, 99)
+	db, err := tman.Open(ds.Boundary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.PutBatch(ds.Trajs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d routes\n\n", db.Len())
+
+	query := ds.Trajs[42]
+	fmt.Printf("query route: %s (%d points, MBR %v)\n\n", query.TID, query.Len(), query.MBR())
+
+	// Near-duplicates: Hausdorff within 0.5%% of the service area.
+	const theta = 0.005
+	for _, m := range []tman.Measure{tman.Frechet, tman.DTW, tman.Hausdorff} {
+		th := theta
+		if m == tman.DTW {
+			th = 0.08 // DTW accumulates per-point distances
+		}
+		dups, rep, err := db.QuerySimilarThreshold(query, m, th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s θ=%.3f: %3d routes within threshold (%.2fms, %d candidates scanned)\n",
+			m, th, len(dups), float64(rep.Elapsed.Microseconds())/1000, rep.Candidates)
+	}
+
+	// Merge candidates: the 5 most similar routes under Fréchet.
+	fmt.Println()
+	top, rep, err := db.QuerySimilarTopK(query, tman.Frechet, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5 most similar routes (%.2fms):\n", float64(rep.Elapsed.Microseconds())/1000)
+	for i, t := range top {
+		fmt.Printf("  %d. %s (object %s, %d points)\n", i+1, t.TID, t.OID, t.Len())
+	}
+}

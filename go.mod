@@ -1,0 +1,3 @@
+module github.com/tman-db/tman
+
+go 1.22

@@ -1,0 +1,89 @@
+package inverted
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+)
+
+var boundary = geo.Rect{MinX: 110, MinY: 35, MaxX: 125, MaxY: 45}
+
+func TestSpatialQueryMatchesBruteForce(t *testing.T) {
+	s, err := New(boundary, 10, kvstore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var trajs []*model.Trajectory
+	for i := 0; i < 200; i++ {
+		n := 3 + rng.Intn(30)
+		pts := make([]model.Point, n)
+		x := 110 + rng.Float64()*15
+		y := 35 + rng.Float64()*10
+		for j := range pts {
+			x += (rng.Float64() - 0.5) * 0.05
+			y += (rng.Float64() - 0.5) * 0.05
+			pts[j] = model.Point{X: x, Y: y, T: int64(j) * 1000}
+		}
+		tr := &model.Trajectory{OID: "o", TID: fmt.Sprintf("t%04d", i), Points: pts}
+		trajs = append(trajs, tr)
+		if err := s.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for iter := 0; iter < 15; iter++ {
+		cx := 110 + rng.Float64()*14
+		cy := 35 + rng.Float64()*9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.5, MaxY: cy + 0.5}
+		got, rep := s.SpatialRangeQuery(sr)
+		var want []string
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				want = append(want, tr.TID)
+			}
+		}
+		gotIDs := make([]string, len(got))
+		for i, g := range got {
+			gotIDs[i] = g.TID
+		}
+		sort.Strings(gotIDs)
+		sort.Strings(want)
+		if fmt.Sprint(gotIDs) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: got %d, want %d", iter, len(gotIDs), len(want))
+		}
+		if rep.Candidates < int64(len(want)) {
+			t.Errorf("candidates below results")
+		}
+	}
+}
+
+func TestDuplicatedStorage(t *testing.T) {
+	s, _ := New(boundary, 8, kvstore.DefaultOptions())
+	// One long trajectory crosses many cells: storage multiplies.
+	pts := make([]model.Point, 50)
+	for i := range pts {
+		pts[i] = model.Point{X: 110 + float64(i)*0.2, Y: 40, T: int64(i) * 1000}
+	}
+	tr := &model.Trajectory{OID: "o", TID: "long", Points: pts}
+	if err := s.Put(tr); err != nil {
+		t.Fatal(err)
+	}
+	// The query window covers the whole path; dedup must collapse the many
+	// postings to one result.
+	got, rep := s.SpatialRangeQuery(geo.Rect{MinX: 110, MinY: 39.5, MaxX: 120.5, MaxY: 40.5})
+	if len(got) != 1 {
+		t.Fatalf("dedup failed: %d results", len(got))
+	}
+	if rep.Candidates < 10 {
+		t.Errorf("expected many postings for a long trajectory, got %d", rep.Candidates)
+	}
+	cells := s.coveredCells(tr)
+	if len(cells) < 10 {
+		t.Errorf("long trajectory covered only %d cells", len(cells))
+	}
+}

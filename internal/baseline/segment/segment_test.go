@@ -1,0 +1,94 @@
+package segment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+)
+
+func genTraj(rng *rand.Rand, tid string, start, durMillis int64, n int) *model.Trajectory {
+	pts := make([]model.Point, n)
+	x, y := 116.0+rng.Float64(), 39.0+rng.Float64()
+	for i := range pts {
+		x += 0.001
+		y += 0.001
+		pts[i] = model.Point{X: x, Y: y, T: start + int64(i)*durMillis/int64(n)}
+	}
+	return &model.Trajectory{OID: "o", TID: tid, Points: pts}
+}
+
+func TestSegmentationAndReassembly(t *testing.T) {
+	s := New(30*60_000, kvstore.NoNetworkOptions())
+	rng := rand.New(rand.NewSource(1))
+	base := int64(1_700_000_000_000)
+	var trajs []*model.Trajectory
+	for i := 0; i < 100; i++ {
+		// Durations 10 minutes to 4 hours: many cross segment boundaries.
+		dur := int64(10+rng.Intn(230)) * 60_000
+		tr := genTraj(rng, fmt.Sprintf("t%03d", i), base+rng.Int63n(48*3600_000), dur, 10+rng.Intn(40))
+		trajs = append(trajs, tr)
+		if err := s.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Segments() <= s.Trajs() {
+		t.Errorf("segments %d should exceed trajectories %d (storage amplification)",
+			s.Segments(), s.Trajs())
+	}
+	for iter := 0; iter < 20; iter++ {
+		qs := base + rng.Int63n(48*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + 2*3600_000}
+		got, rep := s.TemporalRangeQuery(q)
+		var want []string
+		for _, tr := range trajs {
+			if tr.TimeRange().Intersects(q) {
+				want = append(want, tr.TID)
+			}
+		}
+		gotIDs := make([]string, len(got))
+		for i, g := range got {
+			gotIDs[i] = g.TID
+		}
+		sort.Strings(gotIDs)
+		sort.Strings(want)
+		if fmt.Sprint(gotIDs) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: got %v want %v", iter, gotIDs, want)
+		}
+		// Reassembled trajectories must be complete and ordered.
+		for _, g := range got {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("iter %d: reassembled trajectory invalid: %v", iter, err)
+			}
+			for _, orig := range trajs {
+				if orig.TID == g.TID && len(g.Points) != len(orig.Points) {
+					t.Fatalf("iter %d: %s reassembled with %d points, want %d",
+						iter, g.TID, len(g.Points), len(orig.Points))
+				}
+			}
+		}
+		if rep.Candidates < int64(rep.Results) {
+			t.Errorf("candidates %d below results %d", rep.Candidates, rep.Results)
+		}
+	}
+}
+
+func TestShortTrajectoriesSingleSegment(t *testing.T) {
+	s := New(60*60_000, kvstore.NoNetworkOptions())
+	rng := rand.New(rand.NewSource(2))
+	// 5-minute trajectory fits one segment.
+	tr := genTraj(rng, "short", 1_700_000_000_000, 5*60_000, 10)
+	if err := s.Put(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 1 {
+		t.Errorf("short trajectory split into %d segments", s.Segments())
+	}
+	got, _ := s.TemporalRangeQuery(tr.TimeRange())
+	if len(got) != 1 || len(got[0].Points) != 10 {
+		t.Fatalf("round trip failed: %v", got)
+	}
+}

@@ -1,0 +1,627 @@
+// Package simbase reimplements the distributed in-memory similarity-search
+// baselines of the paper's Section VI-E at the algorithmic level: DFT (Xie
+// et al., VLDB 2017), DITA (Shang et al., SIGMOD 2018) and REPOSE (Zheng et
+// al., ICDE 2021). All three are in-memory systems in the original papers,
+// so in-memory Go implementations are the faithful substrate.
+//
+// Each baseline builds its own pruning structure and answers threshold and
+// top-k similarity queries; the comparison metrics are exact-distance
+// computations avoided (candidates) and wall-clock time.
+package simbase
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+// Report describes one similarity query execution.
+type Report struct {
+	Candidates int // trajectories whose exact distance was computed
+	Results    int
+	Elapsed    time.Duration
+}
+
+// Searcher is the common interface of all similarity baselines.
+type Searcher interface {
+	Name() string
+	Threshold(query *model.Trajectory, m similarity.Measure, theta float64) ([]*model.Trajectory, Report)
+	TopK(query *model.Trajectory, m similarity.Measure, k int) ([]*model.Trajectory, Report)
+	// SetJobOverhead configures the simulated distributed-job scheduling
+	// cost added to every query (DFT, DITA and REPOSE are Spark-style
+	// in-memory systems in their original papers; a query is a cluster
+	// job). Zero disables the charge.
+	SetJobOverhead(d time.Duration)
+}
+
+// jobOverhead is the embeddable mixin implementing SetJobOverhead.
+type jobOverhead struct {
+	overhead time.Duration
+}
+
+// SetJobOverhead implements Searcher.
+func (j *jobOverhead) SetJobOverhead(d time.Duration) { j.overhead = d }
+
+// entryLB computes the cheap lower bound shared by the baselines: MBR
+// minimum distance (valid for Fréchet, Hausdorff, and DTW as argued in
+// package similarity).
+func entryLB(qmbr geo.Rect, embr geo.Rect) float64 {
+	return qmbr.MinDist(embr)
+}
+
+// ---------------------------------------------------------------- DFT ---
+
+// DFT partitions the space into a uniform grid of segments: each
+// trajectory's segments are assigned to every partition they touch. A
+// threshold query probes partitions within theta of the query MBR; a top-k
+// query first samples c·k trajectories from each intersecting partition to
+// obtain a cutoff, then runs the threshold search — the strategy whose
+// over-large cutoffs the paper blames for DFT's big candidate sets.
+type DFT struct {
+	jobOverhead
+	grid     int
+	boundary geo.Rect
+	parts    map[[2]int][]int // partition -> trajectory indices (deduped)
+	trajs    []*model.Trajectory
+	mbrs     []geo.Rect
+	c        int
+}
+
+// NewDFT builds the structure. grid is the per-axis partition count; c is
+// the per-partition sampling factor for top-k (DFT's default is small).
+func NewDFT(trajs []*model.Trajectory, boundary geo.Rect, grid, c int) *DFT {
+	if grid < 1 {
+		grid = 16
+	}
+	if c < 1 {
+		c = 2
+	}
+	d := &DFT{
+		grid:     grid,
+		boundary: boundary,
+		parts:    make(map[[2]int][]int),
+		trajs:    trajs,
+		mbrs:     make([]geo.Rect, len(trajs)),
+		c:        c,
+	}
+	for i, t := range trajs {
+		d.mbrs[i] = t.MBR()
+		seen := map[[2]int]bool{}
+		t.Segments(func(s geo.Segment) bool {
+			b := s.Bounds()
+			x0, y0 := d.cellOf(b.MinX, b.MinY)
+			x1, y1 := d.cellOf(b.MaxX, b.MaxY)
+			for x := x0; x <= x1; x++ {
+				for y := y0; y <= y1; y++ {
+					key := [2]int{x, y}
+					if !seen[key] {
+						seen[key] = true
+						d.parts[key] = append(d.parts[key], i)
+					}
+				}
+			}
+			return true
+		})
+		if len(t.Points) == 1 {
+			x, y := d.cellOf(t.Points[0].X, t.Points[0].Y)
+			d.parts[[2]int{x, y}] = append(d.parts[[2]int{x, y}], i)
+		}
+	}
+	return d
+}
+
+// Name implements Searcher.
+func (d *DFT) Name() string { return "dft" }
+
+func (d *DFT) cellOf(x, y float64) (int, int) {
+	cx := int((x - d.boundary.MinX) / d.boundary.Width() * float64(d.grid))
+	cy := int((y - d.boundary.MinY) / d.boundary.Height() * float64(d.grid))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= d.grid {
+		cx = d.grid - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= d.grid {
+		cy = d.grid - 1
+	}
+	return cx, cy
+}
+
+// candidatesWithin collects trajectory indices from partitions intersecting
+// the query MBR expanded by dist.
+func (d *DFT) candidatesWithin(qmbr geo.Rect, dist float64) []int {
+	w := qmbr.Expand(dist)
+	x0, y0 := d.cellOf(w.MinX, w.MinY)
+	x1, y1 := d.cellOf(w.MaxX, w.MaxY)
+	set := map[int]bool{}
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for _, idx := range d.parts[[2]int{x, y}] {
+				set[idx] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for idx := range set {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Threshold implements Searcher.
+func (d *DFT) Threshold(query *model.Trajectory, m similarity.Measure, theta float64) ([]*model.Trajectory, Report) {
+	started := time.Now()
+	var rep Report
+	qmbr := query.MBR()
+	var out []*model.Trajectory
+	for _, idx := range d.candidatesWithin(qmbr, theta) {
+		if entryLB(qmbr, d.mbrs[idx]) > theta {
+			continue
+		}
+		rep.Candidates++
+		if similarity.Distance(m, query.Points, d.trajs[idx].Points) <= theta {
+			out = append(out, d.trajs[idx])
+		}
+	}
+	rep.Results = len(out)
+	rep.Elapsed = time.Since(started) + d.overhead
+	return out, rep
+}
+
+// TopK implements Searcher with DFT's c·k sampling cutoff.
+func (d *DFT) TopK(query *model.Trajectory, m similarity.Measure, k int) ([]*model.Trajectory, Report) {
+	started := time.Now()
+	var rep Report
+	if k <= 0 || len(d.trajs) == 0 {
+		return nil, rep
+	}
+	qmbr := query.MBR()
+	// Phase 1: sample c*k trajectories from each intersecting partition to
+	// obtain a (loose) cutoff.
+	x0, y0 := d.cellOf(qmbr.MinX, qmbr.MinY)
+	x1, y1 := d.cellOf(qmbr.MaxX, qmbr.MaxY)
+	sampled := map[int]bool{}
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			part := d.parts[[2]int{x, y}]
+			for i := 0; i < len(part) && i < d.c*k; i++ {
+				sampled[part[i]] = true
+			}
+		}
+	}
+	cutoff := math.Inf(1)
+	var dists []float64
+	for idx := range sampled {
+		if idx == indexOfTID(d.trajs, query.TID) {
+			continue
+		}
+		rep.Candidates++
+		dists = append(dists, similarity.Distance(m, query.Points, d.trajs[idx].Points))
+	}
+	sort.Float64s(dists)
+	if len(dists) >= k {
+		cutoff = dists[k-1]
+	}
+	if math.IsInf(cutoff, 1) {
+		// Sparse sampling: fall back to a large radius.
+		cutoff = math.Max(d.boundary.Width(), d.boundary.Height())
+	}
+	// Phase 2: threshold search with the cutoff.
+	h := newTopKHeap(k)
+	for _, idx := range d.candidatesWithin(qmbr, cutoff) {
+		t := d.trajs[idx]
+		if t.TID == query.TID {
+			continue
+		}
+		if entryLB(qmbr, d.mbrs[idx]) > h.bound(cutoff) {
+			continue
+		}
+		rep.Candidates++
+		h.offer(similarity.Distance(m, query.Points, t.Points), t)
+	}
+	out := h.results()
+	rep.Results = len(out)
+	rep.Elapsed = time.Since(started) + d.overhead
+	return out, rep
+}
+
+func indexOfTID(trajs []*model.Trajectory, tid string) int {
+	for i, t := range trajs {
+		if t.TID == tid {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------- DITA ---
+
+// DITA indexes trajectories by pivot points (first, last, and maximal-
+// deviation interior pivots) in a two-level structure: a grid over first
+// points, then pivot vectors checked with triangle-style lower bounds. The
+// paper observes DITA's index gets large and slow to probe on
+// wide-boundary datasets (Lorry) — reproduced here by the per-cell pivot
+// scans.
+type DITA struct {
+	jobOverhead
+	grid     int
+	boundary geo.Rect
+	cells    map[[2]int][]int
+	trajs    []*model.Trajectory
+	pivots   [][]model.Point
+	mbrs     []geo.Rect
+}
+
+// NewDITA builds the pivot index with p pivots per trajectory.
+func NewDITA(trajs []*model.Trajectory, boundary geo.Rect, grid, p int) *DITA {
+	if grid < 1 {
+		grid = 32
+	}
+	if p < 2 {
+		p = 4
+	}
+	d := &DITA{
+		grid:     grid,
+		boundary: boundary,
+		cells:    make(map[[2]int][]int),
+		trajs:    trajs,
+		pivots:   make([][]model.Point, len(trajs)),
+		mbrs:     make([]geo.Rect, len(trajs)),
+	}
+	for i, t := range trajs {
+		d.mbrs[i] = t.MBR()
+		feat := model.ExtractDPFeatures(t, 0, p)
+		d.pivots[i] = feat.Rep
+		first := t.Points[0]
+		cx, cy := d.cellOf(first.X, first.Y)
+		d.cells[[2]int{cx, cy}] = append(d.cells[[2]int{cx, cy}], i)
+	}
+	return d
+}
+
+// Name implements Searcher.
+func (d *DITA) Name() string { return "dita" }
+
+func (d *DITA) cellOf(x, y float64) (int, int) {
+	cx := int((x - d.boundary.MinX) / d.boundary.Width() * float64(d.grid))
+	cy := int((y - d.boundary.MinY) / d.boundary.Height() * float64(d.grid))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= d.grid {
+		cx = d.grid - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= d.grid {
+		cy = d.grid - 1
+	}
+	return cx, cy
+}
+
+// pivotLB lower-bounds Fréchet (endpoints must match endpoints) and,
+// more loosely, Hausdorff/DTW via nearest-pivot distances.
+func (d *DITA) pivotLB(query *model.Trajectory, idx int, m similarity.Measure) float64 {
+	qp := query.Points
+	tp := d.pivots[idx]
+	if len(qp) == 0 || len(tp) == 0 {
+		return 0
+	}
+	if m == similarity.Frechet {
+		// Discrete Fréchet matches first-with-first and last-with-last.
+		dFirst := dist(qp[0], tp[0])
+		dLast := dist(qp[len(qp)-1], tp[len(tp)-1])
+		return math.Max(dFirst, dLast)
+	}
+	// Hausdorff/DTW: every query endpoint must be matched by some point of
+	// the other trajectory; pivots plus the trajectory MBR give a valid
+	// floor via the MBR distance.
+	return entryLB(query.MBR(), d.mbrs[idx])
+}
+
+func dist(a, b model.Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Threshold implements Searcher: probe first-point cells within theta of
+// the query's first point (endpoint matching makes this exact for
+// Fréchet), defaulting to a full sweep for other measures.
+func (d *DITA) Threshold(query *model.Trajectory, m similarity.Measure, theta float64) ([]*model.Trajectory, Report) {
+	started := time.Now()
+	var rep Report
+	var out []*model.Trajectory
+	consider := func(idx int) {
+		if d.pivotLB(query, idx, m) > theta {
+			return
+		}
+		rep.Candidates++
+		if similarity.Distance(m, query.Points, d.trajs[idx].Points) <= theta {
+			out = append(out, d.trajs[idx])
+		}
+	}
+	if m == similarity.Frechet {
+		first := query.Points[0]
+		w := geo.Rect{MinX: first.X, MinY: first.Y, MaxX: first.X, MaxY: first.Y}.Expand(theta)
+		x0, y0 := d.cellOf(w.MinX, w.MinY)
+		x1, y1 := d.cellOf(w.MaxX, w.MaxY)
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				for _, idx := range d.cells[[2]int{x, y}] {
+					consider(idx)
+				}
+			}
+		}
+	} else {
+		for idx := range d.trajs {
+			consider(idx)
+		}
+	}
+	rep.Results = len(out)
+	rep.Elapsed = time.Since(started) + d.overhead
+	return out, rep
+}
+
+// TopK implements Searcher with an expanding-radius search over the
+// first-point grid (Fréchet) or a bounded sweep (other measures).
+func (d *DITA) TopK(query *model.Trajectory, m similarity.Measure, k int) ([]*model.Trajectory, Report) {
+	started := time.Now()
+	var rep Report
+	if k <= 0 {
+		return nil, rep
+	}
+	h := newTopKHeap(k)
+	type cand struct {
+		lb  float64
+		idx int
+	}
+	cands := make([]cand, 0, len(d.trajs))
+	for idx, t := range d.trajs {
+		if t.TID == query.TID {
+			continue
+		}
+		cands = append(cands, cand{lb: d.pivotLB(query, idx, m), idx: idx})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+	for _, c := range cands {
+		if h.full() && c.lb > h.worst() {
+			break // all remaining lower bounds exceed the kth best
+		}
+		rep.Candidates++
+		h.offer(similarity.Distance(m, query.Points, d.trajs[c.idx].Points), d.trajs[c.idx])
+	}
+	out := h.results()
+	rep.Results = len(out)
+	rep.Elapsed = time.Since(started) + d.overhead
+	return out, rep
+}
+
+// -------------------------------------------------------------- REPOSE ---
+
+// REPOSE builds a reference-point trie: trajectories are summarized as the
+// sequence of their nearest reference points; a query prunes whole trie
+// branches with triangle-inequality bounds. With a large spatial span the
+// reference set covers the map thinly and pruning degrades — the paper's
+// observation on Lorry.
+type REPOSE struct {
+	jobOverhead
+	refs    []model.Point
+	trajs   []*model.Trajectory
+	sigs    [][]int
+	mbrs    []geo.Rect
+	byHead  map[int][]int // first signature symbol -> trajectory indices
+	spacing float64       // max point-to-nearest-reference distance
+}
+
+// NewREPOSE builds the structure with r reference points chosen on a
+// uniform grid over the boundary (the original uses clustering; a grid has
+// the same structural properties for pruning).
+func NewREPOSE(trajs []*model.Trajectory, boundary geo.Rect, r int) *REPOSE {
+	if r < 4 {
+		r = 16
+	}
+	side := int(math.Sqrt(float64(r)))
+	if side < 2 {
+		side = 2
+	}
+	refs := make([]model.Point, 0, side*side)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			refs = append(refs, model.Point{
+				X: boundary.MinX + (float64(i)+0.5)*boundary.Width()/float64(side),
+				Y: boundary.MinY + (float64(j)+0.5)*boundary.Height()/float64(side),
+			})
+		}
+	}
+	cellW := boundary.Width() / float64(side)
+	cellH := boundary.Height() / float64(side)
+	rp := &REPOSE{
+		refs:  refs,
+		trajs: trajs,
+		sigs:  make([][]int, len(trajs)),
+		mbrs:  make([]geo.Rect, len(trajs)),
+		// A point is at most half a reference-cell diagonal from its
+		// nearest reference.
+		spacing: math.Hypot(cellW, cellH) / 2,
+		byHead:  make(map[int][]int),
+	}
+	for i, t := range trajs {
+		rp.mbrs[i] = t.MBR()
+		feat := model.ExtractDPFeatures(t, 0, 6)
+		sig := make([]int, len(feat.Rep))
+		for j, p := range feat.Rep {
+			sig[j] = rp.nearestRef(p)
+		}
+		rp.sigs[i] = sig
+		rp.byHead[sig[0]] = append(rp.byHead[sig[0]], i)
+	}
+	return rp
+}
+
+// Name implements Searcher.
+func (r *REPOSE) Name() string { return "repose" }
+
+func (r *REPOSE) nearestRef(p model.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for i, ref := range r.refs {
+		if d := dist(p, ref); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Threshold implements Searcher using MBR bounds per head-group.
+func (r *REPOSE) Threshold(query *model.Trajectory, m similarity.Measure, theta float64) ([]*model.Trajectory, Report) {
+	started := time.Now()
+	var rep Report
+	qmbr := query.MBR()
+	var out []*model.Trajectory
+	for _, group := range r.groupsNear(qmbr, theta) {
+		for _, idx := range group {
+			if entryLB(qmbr, r.mbrs[idx]) > theta {
+				continue
+			}
+			rep.Candidates++
+			if similarity.Distance(m, query.Points, r.trajs[idx].Points) <= theta {
+				out = append(out, r.trajs[idx])
+			}
+		}
+	}
+	rep.Results = len(out)
+	rep.Elapsed = time.Since(started) + r.overhead
+	return out, rep
+}
+
+// groupsNear returns head groups that can contain a trajectory within dist
+// of the query MBR. A trajectory's first representative point lies within
+// r.spacing of its head reference, so a group is prunable only when the
+// reference is farther than dist + spacing from the query MBR. This prunes
+// candidates whose *first point* is far away; trajectories can still reach
+// the query with later points, so an additional MBR check refines
+// per-trajectory (done by the callers) — matching REPOSE's trie + verify
+// split.
+func (r *REPOSE) groupsNear(qmbr geo.Rect, dist float64) [][]int {
+	out := make([][]int, 0, len(r.byHead))
+	for head, group := range r.byHead {
+		ref := r.refs[head]
+		if qmbr.MinDistToPoint(ref.X, ref.Y) <= dist+r.spacing {
+			out = append(out, group)
+		}
+	}
+	return out
+}
+
+// TopK implements Searcher with the same group pruning and an expanding
+// bound.
+func (r *REPOSE) TopK(query *model.Trajectory, m similarity.Measure, k int) ([]*model.Trajectory, Report) {
+	started := time.Now()
+	var rep Report
+	if k <= 0 {
+		return nil, rep
+	}
+	qmbr := query.MBR()
+	type cand struct {
+		lb  float64
+		idx int
+	}
+	cands := make([]cand, 0, len(r.trajs))
+	for idx, t := range r.trajs {
+		if t.TID == query.TID {
+			continue
+		}
+		cands = append(cands, cand{lb: entryLB(qmbr, r.mbrs[idx]), idx: idx})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+	h := newTopKHeap(k)
+	for _, c := range cands {
+		if h.full() && c.lb > h.worst() {
+			break
+		}
+		rep.Candidates++
+		h.offer(similarity.Distance(m, query.Points, r.trajs[c.idx].Points), r.trajs[c.idx])
+	}
+	out := h.results()
+	rep.Results = len(out)
+	rep.Elapsed = time.Since(started) + r.overhead
+	return out, rep
+}
+
+// ------------------------------------------------------------- helpers ---
+
+type tkEntry struct {
+	d float64
+	t *model.Trajectory
+}
+
+type tkHeap []tkEntry
+
+func (h tkHeap) Len() int            { return len(h) }
+func (h tkHeap) Less(i, j int) bool  { return h[i].d > h[j].d }
+func (h tkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tkHeap) Push(x interface{}) { *h = append(*h, x.(tkEntry)) }
+func (h *tkHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+type topKHeap struct {
+	k int
+	h tkHeap
+}
+
+func newTopKHeap(k int) *topKHeap {
+	t := &topKHeap{k: k}
+	heap.Init(&t.h)
+	return t
+}
+
+func (t *topKHeap) full() bool { return t.h.Len() >= t.k }
+
+func (t *topKHeap) worst() float64 {
+	if t.h.Len() == 0 {
+		return math.Inf(1)
+	}
+	return t.h[0].d
+}
+
+// bound returns the current pruning bound: worst-of-k when full, else the
+// fallback.
+func (t *topKHeap) bound(fallback float64) float64 {
+	if t.full() {
+		return t.worst()
+	}
+	return fallback
+}
+
+func (t *topKHeap) offer(d float64, tr *model.Trajectory) {
+	if t.h.Len() < t.k {
+		heap.Push(&t.h, tkEntry{d: d, t: tr})
+		return
+	}
+	if d < t.h[0].d {
+		t.h[0] = tkEntry{d: d, t: tr}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+func (t *topKHeap) results() []*model.Trajectory {
+	out := make([]*model.Trajectory, t.h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&t.h).(tkEntry).t
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package simbase
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+var boundary = geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+
+func genTrajs(n int, seed int64) []*model.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*model.Trajectory, n)
+	for i := range out {
+		m := 3 + rng.Intn(20)
+		pts := make([]model.Point, m)
+		x := rng.Float64() * 9
+		y := rng.Float64() * 9
+		for j := range pts {
+			x += (rng.Float64() - 0.5) * 0.2
+			y += (rng.Float64() - 0.5) * 0.2
+			pts[j] = model.Point{X: clamp(x, 0, 10), Y: clamp(y, 0, 10), T: int64(j) * 1000}
+		}
+		out[i] = &model.Trajectory{OID: "o", TID: fmt.Sprintf("t%04d", i), Points: pts}
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func searchers(trajs []*model.Trajectory) []Searcher {
+	return []Searcher{
+		NewDFT(trajs, boundary, 16, 2),
+		NewDITA(trajs, boundary, 16, 4),
+		NewREPOSE(trajs, boundary, 25),
+	}
+}
+
+func bruteThreshold(trajs []*model.Trajectory, q *model.Trajectory, m similarity.Measure, theta float64) []string {
+	var out []string
+	for _, t := range trajs {
+		if similarity.Distance(m, q.Points, t.Points) <= theta {
+			out = append(out, t.TID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestThresholdMatchesBruteForce(t *testing.T) {
+	trajs := genTrajs(200, 1)
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range searchers(trajs) {
+		for _, m := range []similarity.Measure{similarity.Frechet, similarity.DTW, similarity.Hausdorff} {
+			for iter := 0; iter < 3; iter++ {
+				q := trajs[rng.Intn(len(trajs))]
+				theta := 0.3
+				if m == similarity.DTW {
+					theta = 2.0
+				}
+				got, rep := s.Threshold(q, m, theta)
+				want := bruteThreshold(trajs, q, m, theta)
+				gotIDs := make([]string, len(got))
+				for i, g := range got {
+					gotIDs[i] = g.TID
+				}
+				sort.Strings(gotIDs)
+				if len(gotIDs) != len(want) {
+					t.Fatalf("%s %v iter %d: got %d results, want %d", s.Name(), m, iter, len(gotIDs), len(want))
+				}
+				for i := range want {
+					if gotIDs[i] != want[i] {
+						t.Fatalf("%s %v: result mismatch at %d", s.Name(), m, i)
+					}
+				}
+				if rep.Candidates > len(trajs) {
+					t.Errorf("%s: candidates %d exceed corpus", s.Name(), rep.Candidates)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	trajs := genTrajs(200, 3)
+	rng := rand.New(rand.NewSource(4))
+	for _, s := range searchers(trajs) {
+		for _, m := range []similarity.Measure{similarity.Frechet, similarity.Hausdorff} {
+			for iter := 0; iter < 3; iter++ {
+				q := trajs[rng.Intn(len(trajs))]
+				k := 5 + rng.Intn(10)
+				got, _ := s.TopK(q, m, k)
+				if len(got) != k {
+					t.Fatalf("%s %v: got %d results, want %d", s.Name(), m, len(got), k)
+				}
+				// kth best distance from brute force (excluding query).
+				var dists []float64
+				for _, tr := range trajs {
+					if tr.TID == q.TID {
+						continue
+					}
+					dists = append(dists, similarity.Distance(m, q.Points, tr.Points))
+				}
+				sort.Float64s(dists)
+				kth := dists[k-1]
+				for i, g := range got {
+					d := similarity.Distance(m, q.Points, g.Points)
+					if d > kth+1e-9 {
+						t.Fatalf("%s %v iter %d: result %d dist %g > true kth %g", s.Name(), m, iter, i, d, kth)
+					}
+				}
+				// Results sorted ascending by distance.
+				for i := 1; i < len(got); i++ {
+					a := similarity.Distance(m, q.Points, got[i-1].Points)
+					b := similarity.Distance(m, q.Points, got[i].Points)
+					if a > b+1e-9 {
+						t.Fatalf("%s: results not sorted", s.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPruningReducesCandidates(t *testing.T) {
+	trajs := genTrajs(500, 5)
+	q := trajs[0]
+	for _, s := range searchers(trajs) {
+		_, rep := s.Threshold(q, similarity.Frechet, 0.2)
+		if rep.Candidates >= len(trajs) {
+			t.Errorf("%s: no pruning (%d candidates of %d)", s.Name(), rep.Candidates, len(trajs))
+		}
+	}
+}
+
+func TestTopKZeroAndEmpty(t *testing.T) {
+	trajs := genTrajs(10, 6)
+	for _, s := range searchers(trajs) {
+		if got, _ := s.TopK(trajs[0], similarity.Frechet, 0); len(got) != 0 {
+			t.Errorf("%s: k=0 returned results", s.Name())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	trajs := genTrajs(5, 7)
+	names := map[string]bool{}
+	for _, s := range searchers(trajs) {
+		names[s.Name()] = true
+	}
+	if !names["dft"] || !names["dita"] || !names["repose"] {
+		t.Errorf("names = %v", names)
+	}
+}

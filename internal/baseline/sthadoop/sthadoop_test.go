@@ -1,0 +1,159 @@
+package sthadoop
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+var boundary = geo.Rect{MinX: 110, MinY: 35, MaxX: 125, MaxY: 45}
+
+func testStore(t *testing.T, n int, seed int64) (*Store, []*model.Trajectory) {
+	t.Helper()
+	cfg := DefaultConfig(boundary)
+	cfg.JobStartupMillis = 0 // keep unit tests fast
+	s := New(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	trajs := make([]*model.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		m := 5 + rng.Intn(40)
+		pts := make([]model.Point, m)
+		x := 110 + rng.Float64()*15
+		y := 35 + rng.Float64()*10
+		ts := int64(1_500_000_000_000) + rng.Int63n(14*24*3600_000)
+		for j := range pts {
+			x += (rng.Float64() - 0.5) * 0.02
+			y += (rng.Float64() - 0.5) * 0.02
+			ts += 60_000
+			pts[j] = model.Point{X: clampF(x, 110, 125), Y: clampF(y, 35, 45), T: ts}
+		}
+		tr := &model.Trajectory{OID: "o", TID: fmt.Sprintf("t%05d", i), Points: pts}
+		trajs = append(trajs, tr)
+		if err := s.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, trajs
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestTemporalQueryFindsIntersectingTrajectories(t *testing.T) {
+	s, trajs := testStore(t, 300, 1)
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 10; iter++ {
+		qs := int64(1_500_000_000_000) + rng.Int63n(14*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + 6*3600_000}
+		got, rep := s.TemporalRangeQuery(q)
+		gotSet := map[string]bool{}
+		for _, g := range got {
+			gotSet[g.TID] = true
+			if !g.TimeRange().Intersects(q) {
+				t.Fatalf("result %s does not intersect query", g.TID)
+			}
+		}
+		// A trajectory with a point inside q must be found (point-level
+		// recall; range-straddling trajectories without samples inside are
+		// a documented STH semantic gap).
+		for _, tr := range trajs {
+			hasPoint := false
+			for _, p := range tr.Points {
+				if p.T >= q.Start && p.T <= q.End {
+					hasPoint = true
+					break
+				}
+			}
+			if hasPoint && !gotSet[tr.TID] {
+				t.Fatalf("iter %d: trajectory with sampled point in range missing", iter)
+			}
+		}
+		if rep.Candidates == 0 && len(got) > 0 {
+			t.Error("candidates not counted")
+		}
+	}
+}
+
+func TestSpatialQueryPointRecall(t *testing.T) {
+	s, trajs := testStore(t, 300, 3)
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 10; iter++ {
+		cx := 110 + rng.Float64()*14
+		cy := 35 + rng.Float64()*9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.5, MaxY: cy + 0.5}
+		got, _ := s.SpatialRangeQuery(sr)
+		gotSet := map[string]bool{}
+		for _, g := range got {
+			gotSet[g.TID] = true
+			if !g.IntersectsRect(sr) {
+				t.Fatalf("result does not intersect window")
+			}
+		}
+		for _, tr := range trajs {
+			hasPoint := false
+			for _, p := range tr.Points {
+				if sr.ContainsPoint(p.X, p.Y) {
+					hasPoint = true
+					break
+				}
+			}
+			if hasPoint && !gotSet[tr.TID] {
+				t.Fatalf("iter %d: trajectory with point inside window missing", iter)
+			}
+		}
+	}
+}
+
+func TestCandidatesArePointGranularity(t *testing.T) {
+	s, _ := testStore(t, 200, 5)
+	q := model.TimeRange{Start: 1_500_000_000_000, End: 1_500_000_000_000 + 14*24*3600_000}
+	_, rep := s.TemporalRangeQuery(q)
+	// Visiting a wide range must touch far more points than trajectories —
+	// the order-of-magnitude gap of Fig. 17(b).
+	if rep.Candidates < 200*3 {
+		t.Errorf("point-granularity candidates = %d, expected thousands", rep.Candidates)
+	}
+}
+
+func TestOOMSimulation(t *testing.T) {
+	cfg := DefaultConfig(boundary)
+	cfg.JobStartupMillis = 0
+	cfg.MaxMemoryPoints = 100
+	s := New(cfg)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		pts := make([]model.Point, 20)
+		for j := range pts {
+			pts[j] = model.Point{
+				X: 110 + rng.Float64()*15, Y: 35 + rng.Float64()*10,
+				T: 1_500_000_000_000 + int64(j)*60_000,
+			}
+		}
+		s.Put(&model.Trajectory{OID: "o", TID: fmt.Sprintf("t%d", i), Points: pts})
+	}
+	_, rep := s.TemporalRangeQuery(model.TimeRange{Start: 1_500_000_000_000, End: 1_500_000_000_000 + 3600_000})
+	if !rep.OOM {
+		t.Error("expected OOM with a 100-point budget")
+	}
+}
+
+func TestPointsCounter(t *testing.T) {
+	s, trajs := testStore(t, 50, 7)
+	var want int64
+	for _, tr := range trajs {
+		want += int64(len(tr.Points))
+	}
+	if s.Points() != want {
+		t.Errorf("Points = %d, want %d", s.Points(), want)
+	}
+}

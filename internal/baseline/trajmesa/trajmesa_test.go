@@ -1,0 +1,152 @@
+package trajmesa
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+var boundary = geo.Rect{MinX: 110, MinY: 35, MaxX: 125, MaxY: 45}
+
+func genTraj(rng *rand.Rand, oid, tid string) *model.Trajectory {
+	n := 5 + rng.Intn(30)
+	pts := make([]model.Point, n)
+	x := 110 + rng.Float64()*15
+	y := 35 + rng.Float64()*10
+	ts := int64(1_500_000_000_000) + rng.Int63n(14*24*3600_000)
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * 0.02
+		y += (rng.Float64() - 0.5) * 0.02
+		ts += 60_000
+		pts[i] = model.Point{X: clamp(x, 110, 125), Y: clamp(y, 35, 45), T: ts}
+	}
+	return &model.Trajectory{OID: oid, TID: tid, Points: pts}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func load(t *testing.T, n int, seed int64) (*Store, []*model.Trajectory) {
+	t.Helper()
+	s, err := New(DefaultConfig(boundary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trajs := make([]*model.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		tr := genTraj(rng, fmt.Sprintf("o%d", i%10), fmt.Sprintf("t%05d", i))
+		trajs = append(trajs, tr)
+		if err := s.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, trajs
+}
+
+func ids(ts []*model.Trajectory) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.TID
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestQueriesMatchBruteForce(t *testing.T) {
+	s, trajs := load(t, 300, 1)
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 15; iter++ {
+		qs := int64(1_500_000_000_000) + rng.Int63n(14*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + rng.Int63n(12*3600_000)}
+		cx := 110 + rng.Float64()*14
+		cy := 35 + rng.Float64()*9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.5, MaxY: cy + 0.5}
+
+		gotT, _ := s.TemporalRangeQuery(q)
+		var wantT []string
+		for _, tr := range trajs {
+			if tr.TimeRange().Intersects(q) {
+				wantT = append(wantT, tr.TID)
+			}
+		}
+		sort.Strings(wantT)
+		if fmt.Sprint(ids(gotT)) != fmt.Sprint(wantT) {
+			t.Fatalf("TRQ iter %d mismatch: got %d want %d", iter, len(gotT), len(wantT))
+		}
+
+		gotS, _ := s.SpatialRangeQuery(sr)
+		var wantS []string
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				wantS = append(wantS, tr.TID)
+			}
+		}
+		sort.Strings(wantS)
+		if fmt.Sprint(ids(gotS)) != fmt.Sprint(wantS) {
+			t.Fatalf("SRQ iter %d mismatch: got %d want %d", iter, len(gotS), len(wantS))
+		}
+
+		gotST, _ := s.SpatioTemporalQuery(sr, q)
+		var wantST []string
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) && tr.TimeRange().Intersects(q) {
+				wantST = append(wantST, tr.TID)
+			}
+		}
+		sort.Strings(wantST)
+		if fmt.Sprint(ids(gotST)) != fmt.Sprint(wantST) {
+			t.Fatalf("STRQ iter %d mismatch", iter)
+		}
+
+		oid := fmt.Sprintf("o%d", rng.Intn(10))
+		gotID, _ := s.IDTemporalQuery(oid, q)
+		var wantID []string
+		for _, tr := range trajs {
+			if tr.OID == oid && tr.TimeRange().Intersects(q) {
+				wantID = append(wantID, tr.TID)
+			}
+		}
+		sort.Strings(wantID)
+		if fmt.Sprint(ids(gotID)) != fmt.Sprint(wantID) {
+			t.Fatalf("IDT iter %d mismatch", iter)
+		}
+	}
+}
+
+func TestRedundantStorageCostsThreeCopies(t *testing.T) {
+	s, _ := load(t, 200, 3)
+	temporal := s.store.Table("xzt").ApproxSize()
+	spatial := s.store.Table("xz2").ApproxSize()
+	if temporal == 0 || spatial == 0 {
+		t.Fatal("index tables empty")
+	}
+	total := s.StorageBytes()
+	if total < 2*temporal {
+		t.Errorf("multi-table storage %d not reflecting redundancy (single table %d)", total, temporal)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	s, _ := load(t, 5, 4)
+	if err := s.Put(&model.Trajectory{TID: "x"}); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+	if got, _ := s.TemporalRangeQuery(model.TimeRange{Start: 5, End: 1}); got != nil {
+		t.Error("invalid time range returned rows")
+	}
+	if got, _ := s.IDTemporalQuery("", model.TimeRange{Start: 0, End: 1}); got != nil {
+		t.Error("empty oid returned rows")
+	}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/baseline/segment"
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// AblationStorage compares TMan's intact-row storage against the VRE-style
+// segment model the paper argues against (Sections I / II-1): temporal
+// range queries over stores that segment trajectories every 10, 30 and 60
+// minutes versus one intact row per trajectory. Reported are query time,
+// segment-level candidates, reassembly counts and physical storage.
+func AblationStorage(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+
+	// Intact rows: TMan with a temporal primary.
+	tman, err := buildTMan(lorry, func(c *engine.Config) { c.Primary = engine.KindTR })
+	if err != nil {
+		return err
+	}
+
+	durations := []struct {
+		label string
+		d     int64
+	}{
+		{"seg-10m", 10 * minuteMs},
+		{"seg-30m", 30 * minuteMs},
+		{"seg-1h", hourMs},
+	}
+
+	header(opts.Out, "store", "trq_ms", "candidates", "reassembled", "storage_mb")
+	// TMan row.
+	{
+		sampler := workload.NewQuerySampler(lorry, opts.Seed+43)
+		var m measured
+		for q := 0; q < opts.Queries; q++ {
+			tw := sampler.TimeWindow(hourMs)
+			_, rep, err := tman.TemporalRangeQuery(tw)
+			if err != nil {
+				return err
+			}
+			m.add(rep.Elapsed, rep.Candidates)
+		}
+		cell(opts.Out, "tman-intact")
+		cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		cell(opts.Out, m.candidates(opts.Percentile))
+		cell(opts.Out, 0)
+		cell(opts.Out, fmt.Sprintf("%.1f", float64(tman.Store().Table("primary").ApproxSize())/(1<<20)))
+		endRow(opts.Out)
+	}
+
+	for _, dur := range durations {
+		st := segment.New(dur.d, kvstore.DefaultOptions())
+		for _, t := range lorry.Trajs {
+			if err := st.Put(t); err != nil {
+				return err
+			}
+		}
+		sampler := workload.NewQuerySampler(lorry, opts.Seed+43)
+		var m measured
+		var reassembled int64
+		for q := 0; q < opts.Queries; q++ {
+			tw := sampler.TimeWindow(hourMs)
+			_, rep := st.TemporalRangeQuery(tw)
+			m.add(rep.Elapsed, rep.Candidates)
+			reassembled += int64(rep.Reassembled)
+		}
+		cell(opts.Out, dur.label)
+		cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		cell(opts.Out, m.candidates(opts.Percentile))
+		cell(opts.Out, reassembled/int64(opts.Queries))
+		cell(opts.Out, fmt.Sprintf("%.1f", float64(st.StorageBytes())/(1<<20)))
+		endRow(opts.Out)
+	}
+	fmt.Fprintf(opts.Out, "\nsegment counts: ")
+	for _, dur := range durations {
+		st := segment.New(dur.d, kvstore.NoNetworkOptions())
+		for _, t := range lorry.Trajs[:min(len(lorry.Trajs), 2000)] {
+			_ = st.Put(t)
+		}
+		fmt.Fprintf(opts.Out, "%s=%.2fx  ", dur.label, float64(st.Segments())/float64(st.Trajs()))
+	}
+	fmt.Fprintln(opts.Out)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

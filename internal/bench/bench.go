@@ -1,0 +1,199 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section VI) on the synthetic TDrive/Lorry workloads.
+//
+// Each experiment is a function taking Options and printing the same rows
+// or series the paper reports. Absolute numbers differ from the paper (the
+// substrate is an embedded simulator, not a five-node HBase cluster); the
+// comparisons — which system wins, by roughly what factor, where the
+// crossovers fall — are the reproduction target and are recorded in
+// EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Options configures the experiment scale.
+type Options struct {
+	// TDriveSize and LorrySize are trajectory counts for the two synthetic
+	// datasets (the paper's originals hold 318k and 2.6M; defaults are
+	// laptop-scale).
+	TDriveSize int
+	LorrySize  int
+	// Queries is the number of random query windows per measurement (the
+	// paper uses 100 and reports the median).
+	Queries int
+	// Percentile of the query-time distribution to report (0.5 = median).
+	Percentile float64
+	// Seed drives all data and query generation.
+	Seed int64
+	// Out receives the printed tables (default os.Stdout).
+	Out io.Writer
+}
+
+// DefaultOptions returns laptop-scale defaults.
+func DefaultOptions() Options {
+	return Options{
+		TDriveSize: 6000,
+		LorrySize:  10000,
+		Queries:    20,
+		Percentile: 0.5,
+		Seed:       42,
+		Out:        os.Stdout,
+	}
+}
+
+func (o *Options) sanitize() {
+	d := DefaultOptions()
+	if o.TDriveSize <= 0 {
+		o.TDriveSize = d.TDriveSize
+	}
+	if o.LorrySize <= 0 {
+		o.LorrySize = d.LorrySize
+	}
+	if o.Queries <= 0 {
+		o.Queries = d.Queries
+	}
+	if o.Percentile <= 0 || o.Percentile > 1 {
+		o.Percentile = d.Percentile
+	}
+	if o.Out == nil {
+		o.Out = os.Stdout
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+}
+
+// Experiments maps experiment ids to runners, in paper order.
+var Experiments = []struct {
+	Name string
+	Desc string
+	Run  func(Options) error
+}{
+	{"fig14", "dataset distributions (time-range CDF, resolution histogram)", Fig14Distributions},
+	{"table1", "temporal index comparison: XZT vs TR-{10M..8H} (Lorry)", Table1TemporalIndexes},
+	{"fig15", "effect of TShape α×β on SRQ (Lorry, 1.5km)", Fig15AlphaBeta},
+	{"fig16", "shape usage + encoding methods: query and storage cost (Lorry)", Fig16Encodings},
+	{"fig17", "temporal range queries vs baselines (TDrive + Lorry)", Fig17TRQ},
+	{"fig18", "spatial range queries vs baselines (TDrive + Lorry)", Fig18SRQ},
+	{"fig19", "IDT and spatio-temporal range queries (Lorry)", Fig19IDTSTRQ},
+	{"fig20", "threshold similarity queries (Lorry, θ=0.015)", Fig20ThresholdSim},
+	{"fig21", "top-k similarity queries (Lorry)", Fig21TopK},
+	{"fig22", "scalability: data size and batch update (Lorry-i)", Fig22Scalability},
+	{"fig23", "tail latency percentiles for TRQ and SRQ (Lorry)", Fig23TailLatency},
+	{"ablation1", "intact-row vs VRE-style segment storage (extra ablation)", AblationStorage},
+}
+
+// Run executes one experiment by name ("all" runs everything).
+func Run(name string, opts Options) error {
+	opts.sanitize()
+	if name == "all" {
+		for _, e := range Experiments {
+			fmt.Fprintf(opts.Out, "\n================ %s: %s ================\n", e.Name, e.Desc)
+			if err := e.Run(opts); err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Experiments {
+		if e.Name == name {
+			return e.Run(opts)
+		}
+	}
+	return fmt.Errorf("bench: unknown experiment %q", name)
+}
+
+// ---------------------------------------------------------------- utils ---
+
+const (
+	minuteMs = int64(60_000)
+	hourMs   = int64(3600_000)
+)
+
+// measured is one (time, candidates) sample series.
+type measured struct {
+	times []time.Duration
+	cands []int64
+}
+
+func (m *measured) add(d time.Duration, c int64) {
+	m.times = append(m.times, d)
+	m.cands = append(m.cands, c)
+}
+
+// percentile returns the p-quantile of the samples.
+func (m *measured) time(p float64) time.Duration {
+	if len(m.times) == 0 {
+		return 0
+	}
+	ts := append([]time.Duration(nil), m.times...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts[idxFor(len(ts), p)]
+}
+
+func (m *measured) candidates(p float64) int64 {
+	if len(m.cands) == 0 {
+		return 0
+	}
+	cs := append([]int64(nil), m.cands...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs[idxFor(len(cs), p)]
+}
+
+func idxFor(n int, p float64) int {
+	i := int(p * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// buildTMan creates a TMan engine over a dataset and ingests it. mutate may
+// adjust the default configuration (ablations).
+func buildTMan(ds *workload.Dataset, mutate func(*engine.Config)) (*engine.Engine, error) {
+	cfg := engine.DefaultConfig(ds.Boundary)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.BatchPut(ds.Trajs); err != nil {
+		return nil, err
+	}
+	// Benchmarks measure the steady state after a major compaction.
+	e.Store().CompactAll()
+	return e, nil
+}
+
+// fmtDur prints a duration in milliseconds with two decimals.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// header prints a padded table header row.
+func header(w io.Writer, cols ...string) {
+	for _, c := range cols {
+		fmt.Fprintf(w, "%-14s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+func cell(w io.Writer, v interface{}) {
+	fmt.Fprintf(w, "%-14v", v)
+}
+
+func endRow(w io.Writer) { fmt.Fprintln(w) }

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/quad"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig14Distributions reproduces Fig. 14: the CDF of trajectory time ranges
+// for TDrive and Lorry (a, b), and the fraction of trajectories per TShape
+// resolution with α = β = 5 (c, d).
+func Fig14Distributions(opts Options) error {
+	opts.sanitize()
+	tdrive := workload.TDriveSim(opts.TDriveSize, opts.Seed)
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed+1)
+
+	fmt.Fprintln(opts.Out, "(a)(b) Time-range CDF (% of trajectories with duration <= bound)")
+	bounds := []int64{30 * minuteMs, hourMs, 2 * hourMs, 4 * hourMs, 8 * hourMs, 14 * hourMs, 18 * hourMs, 24 * hourMs, 48 * hourMs}
+	header(opts.Out, "bound", "tdrive_%", "lorry_%")
+	for _, b := range bounds {
+		cell(opts.Out, fmt.Sprintf("%dh%02dm", b/hourMs, (b%hourMs)/minuteMs))
+		for _, ds := range []*workload.Dataset{tdrive, lorry} {
+			n := 0
+			for _, t := range ds.Trajs {
+				if t.TimeRange().Duration() <= b {
+					n++
+				}
+			}
+			cell(opts.Out, fmt.Sprintf("%.1f", 100*float64(n)/float64(len(ds.Trajs))))
+		}
+		endRow(opts.Out)
+	}
+
+	fmt.Fprintln(opts.Out, "\n(c)(d) Resolution histogram (alpha=beta=5, % of trajectories)")
+	header(opts.Out, "resolution", "tdrive_%", "lorry_%")
+	hist := func(ds *workload.Dataset) map[int]int {
+		space := geo.MustSpace(ds.Boundary)
+		out := map[int]int{}
+		for _, t := range ds.Trajs {
+			mbr := space.NormalizeRect(t.MBR())
+			out[quad.ResolutionForExtent(mbr.Width(), mbr.Height(), 5, 5, 16)]++
+		}
+		return out
+	}
+	ht, hl := hist(tdrive), hist(lorry)
+	for r := 0; r <= 16; r++ {
+		if ht[r] == 0 && hl[r] == 0 {
+			continue
+		}
+		cell(opts.Out, r)
+		cell(opts.Out, fmt.Sprintf("%.1f", 100*float64(ht[r])/float64(len(tdrive.Trajs))))
+		cell(opts.Out, fmt.Sprintf("%.1f", 100*float64(hl[r])/float64(len(lorry.Trajs))))
+		endRow(opts.Out)
+	}
+	return nil
+}

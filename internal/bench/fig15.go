@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig15AlphaBeta reproduces Fig. 15: the effect of the enlarged-element
+// dimensions α×β (2×2 through 5×5) on spatial range queries of
+// 1.5km × 1.5km over Lorry — candidates visited and query time.
+func Fig15AlphaBeta(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+
+	grids := [][2]int{{2, 2}, {2, 3}, {3, 3}, {3, 4}, {4, 4}, {4, 5}, {5, 5}}
+	header(opts.Out, "alpha*beta", "time_ms", "candidates", "windows")
+	for _, g := range grids {
+		e, err := buildTMan(lorry, func(c *engine.Config) {
+			c.Alpha = g[0]
+			c.Beta = g[1]
+		})
+		if err != nil {
+			return fmt.Errorf("%dx%d: %w", g[0], g[1], err)
+		}
+		sampler := workload.NewQuerySampler(lorry, opts.Seed+7)
+		var m measured
+		var windows int64
+		for q := 0; q < opts.Queries; q++ {
+			sr := sampler.SpaceWindow(1.5)
+			_, rep, err := e.SpatialRangeQuery(sr)
+			if err != nil {
+				return err
+			}
+			m.add(rep.Elapsed, rep.Candidates)
+			windows += int64(rep.Windows)
+		}
+		cell(opts.Out, fmt.Sprintf("%dx%d", g[0], g[1]))
+		cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		cell(opts.Out, m.candidates(opts.Percentile))
+		cell(opts.Out, windows/int64(opts.Queries))
+		endRow(opts.Out)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tman-db/tman/internal/baseline/inverted"
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig16Encodings reproduces Fig. 16:
+//
+//	(a) the distribution of used shapes per enlarged element (5×5 cells);
+//	(b) SRQ time by shape-encoding method — genetic, greedy, bitmap, no
+//	    index cache, XZ* (2×2) and the inverted cell list;
+//	(c) storage (ingest) time by method.
+func Fig16Encodings(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+
+	// (a) Used shapes per element at alpha=beta=5.
+	shapeCounts := map[uint64]map[uint64]struct{}{}
+	{
+		cfg := engine.DefaultConfig(lorry.Boundary)
+		cfg.Alpha, cfg.Beta = 5, 5
+		cfg.G = 16
+		ts, err := tshapeIndexFor(cfg, lorry)
+		if err != nil {
+			return err
+		}
+		for _, t := range lorry.Trajs {
+			elem, bits := ts.EncodeRaw(t)
+			if shapeCounts[elem] == nil {
+				shapeCounts[elem] = map[uint64]struct{}{}
+			}
+			shapeCounts[elem][bits] = struct{}{}
+		}
+	}
+	var counts []int
+	maxShapes := 0
+	for _, s := range shapeCounts {
+		counts = append(counts, len(s))
+		if len(s) > maxShapes {
+			maxShapes = len(s)
+		}
+	}
+	sort.Ints(counts)
+	fmt.Fprintln(opts.Out, "(a) Used shapes per enlarged element (5x5)")
+	header(opts.Out, "stat", "value")
+	for _, st := range []struct {
+		name string
+		v    int
+	}{
+		{"elements", len(counts)},
+		{"p50_shapes", counts[len(counts)/2]},
+		{"p90_shapes", counts[idxFor(len(counts), 0.9)]},
+		{"p99_shapes", counts[idxFor(len(counts), 0.99)]},
+		{"max_shapes", maxShapes},
+	} {
+		cell(opts.Out, st.name)
+		cell(opts.Out, st.v)
+		endRow(opts.Out)
+	}
+	under10 := 0
+	for _, c := range counts {
+		if c < 10 {
+			under10++
+		}
+	}
+	fmt.Fprintf(opts.Out, "elements with <10 shapes: %.1f%%\n", 100*float64(under10)/float64(len(counts)))
+
+	// (b)(c) Encoding methods: ingest time and SRQ time.
+	type method struct {
+		name   string
+		mutate func(*engine.Config)
+	}
+	methods := []method{
+		{"genetic", func(c *engine.Config) { c.Encoding = tshape.EncodingGenetic; c.BufferThreshold = 8 }},
+		{"greedy", func(c *engine.Config) { c.Encoding = tshape.EncodingGreedy; c.BufferThreshold = 8 }},
+		{"bitmap", func(c *engine.Config) { c.Encoding = tshape.EncodingBitmap; c.BufferThreshold = 8 }},
+		{"no-cache", func(c *engine.Config) { c.UseIndexCache = false }},
+		{"xz*-2x2", func(c *engine.Config) { c.Alpha, c.Beta = 2, 2; c.UseIndexCache = false }},
+	}
+	fmt.Fprintln(opts.Out, "\n(b)(c) Encoding methods (SRQ 1.5km x 1.5km)")
+	header(opts.Out, "method", "query_ms", "candidates", "ingest_ms")
+	for _, meth := range methods {
+		ingestStart := time.Now()
+		e, err := buildTMan(lorry, meth.mutate)
+		if err != nil {
+			return fmt.Errorf("%s: %w", meth.name, err)
+		}
+		ingest := time.Since(ingestStart)
+		sampler := workload.NewQuerySampler(lorry, opts.Seed+11)
+		var m measured
+		for q := 0; q < opts.Queries; q++ {
+			sr := sampler.SpaceWindow(1.5)
+			_, rep, err := e.SpatialRangeQuery(sr)
+			if err != nil {
+				return err
+			}
+			m.add(rep.Elapsed, rep.Candidates)
+		}
+		cell(opts.Out, meth.name)
+		cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		cell(opts.Out, m.candidates(opts.Percentile))
+		cell(opts.Out, fmtDur(ingest))
+		endRow(opts.Out)
+	}
+
+	// Inverted cell list baseline.
+	{
+		ingestStart := time.Now()
+		inv, err := inverted.New(lorry.Boundary, 14, kvstore.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		for _, t := range lorry.Trajs {
+			if err := inv.Put(t); err != nil {
+				return err
+			}
+		}
+		ingest := time.Since(ingestStart)
+		sampler := workload.NewQuerySampler(lorry, opts.Seed+11)
+		var m measured
+		for q := 0; q < opts.Queries; q++ {
+			sr := sampler.SpaceWindow(1.5)
+			_, rep := inv.SpatialRangeQuery(sr)
+			m.add(rep.Elapsed, rep.Candidates)
+		}
+		cell(opts.Out, "inverted")
+		cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		cell(opts.Out, m.candidates(opts.Percentile))
+		cell(opts.Out, fmtDur(ingest))
+		endRow(opts.Out)
+	}
+	return nil
+}
+
+// tshapeIndexFor builds a standalone TShape index matching a config (used
+// for shape statistics without a full engine ingest).
+func tshapeIndexFor(cfg engine.Config, ds *workload.Dataset) (*tshape.Index, error) {
+	space, err := geoSpace(ds)
+	if err != nil {
+		return nil, err
+	}
+	return tshape.New(tshape.Params{Alpha: cfg.Alpha, Beta: cfg.Beta, G: cfg.G}, space)
+}

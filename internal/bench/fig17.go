@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tman-db/tman/internal/baseline/sthadoop"
+	"github.com/tman-db/tman/internal/baseline/trajmesa"
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// geoSpace builds a Space over a dataset boundary.
+func geoSpace(ds *workload.Dataset) (*geo.Space, error) {
+	return geo.NewSpace(ds.Boundary)
+}
+
+// systems under comparison for the range-query figures.
+type rangeSystem struct {
+	name string
+	trq  func(q timeRangeQ) (int64, int64) // -> (elapsed µs, candidates)
+	srq  func(sr geo.Rect) (int64, int64)
+	strq func(sr geo.Rect, q timeRangeQ) (int64, int64)
+	idt  func(oid string, q timeRangeQ) (int64, int64)
+}
+
+type timeRangeQ = struct{ Start, End int64 }
+
+// buildRangeSystems creates TMan, TMan-XZT/TMan-XZ ablations, TrajMesa and
+// ST-Hadoop over one dataset.
+// When temporalPrimary is set, the TMan engines key their primary tables by
+// the temporal index — the configuration a TRQ-heavy deployment would use
+// (paper Section IV-B).
+func buildRangeSystems(ds *workload.Dataset, withSTH, temporalPrimary bool) ([]rangeSystem, error) {
+	var systems []rangeSystem
+
+	tman, err := buildTMan(ds, func(c *engine.Config) {
+		if temporalPrimary {
+			c.Primary = engine.KindTR
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	systems = append(systems, engineSystem("TMan", tman))
+
+	tmanXZT, err := buildTMan(ds, func(c *engine.Config) {
+		c.Temporal = engine.KindXZT
+		if temporalPrimary {
+			c.Primary = engine.KindXZT
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	systems = append(systems, engineSystem("TMan-XZT", tmanXZT))
+
+	tmanXZ, err := buildTMan(ds, func(c *engine.Config) {
+		c.Spatial = engine.KindXZ2
+		if temporalPrimary {
+			c.Primary = engine.KindTR
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	systems = append(systems, engineSystem("TMan-XZ", tmanXZ))
+
+	tm, err := trajmesa.New(trajmesa.DefaultConfig(ds.Boundary))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range ds.Trajs {
+		if err := tm.Put(t); err != nil {
+			return nil, err
+		}
+	}
+	tm.Compact()
+	systems = append(systems, rangeSystem{
+		name: "TrajMesa",
+		trq: func(q timeRangeQ) (int64, int64) {
+			_, rep := tm.TemporalRangeQuery(q)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+		srq: func(sr geo.Rect) (int64, int64) {
+			_, rep := tm.SpatialRangeQuery(sr)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+		strq: func(sr geo.Rect, q timeRangeQ) (int64, int64) {
+			_, rep := tm.SpatioTemporalQuery(sr, q)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+		idt: func(oid string, q timeRangeQ) (int64, int64) {
+			_, rep := tm.IDTemporalQuery(oid, q)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+	})
+
+	if withSTH {
+		sth := sthadoop.New(sthadoop.DefaultConfig(ds.Boundary))
+		for _, t := range ds.Trajs {
+			if err := sth.Put(t); err != nil {
+				return nil, err
+			}
+		}
+		systems = append(systems, rangeSystem{
+			name: "STH",
+			trq: func(q timeRangeQ) (int64, int64) {
+				_, rep := sth.TemporalRangeQuery(q)
+				return rep.Elapsed.Microseconds(), rep.Candidates
+			},
+			srq: func(sr geo.Rect) (int64, int64) {
+				_, rep := sth.SpatialRangeQuery(sr)
+				return rep.Elapsed.Microseconds(), rep.Candidates
+			},
+			strq: func(sr geo.Rect, q timeRangeQ) (int64, int64) {
+				_, rep := sth.SpatioTemporalQuery(sr, q)
+				return rep.Elapsed.Microseconds(), rep.Candidates
+			},
+		})
+	}
+	return systems, nil
+}
+
+func engineSystem(name string, e *engine.Engine) rangeSystem {
+	return rangeSystem{
+		name: name,
+		trq: func(q timeRangeQ) (int64, int64) {
+			_, rep, _ := e.TemporalRangeQuery(q)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+		srq: func(sr geo.Rect) (int64, int64) {
+			_, rep, _ := e.SpatialRangeQuery(sr)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+		strq: func(sr geo.Rect, q timeRangeQ) (int64, int64) {
+			_, rep, _ := e.SpatioTemporalQuery(sr, q)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+		idt: func(oid string, q timeRangeQ) (int64, int64) {
+			_, rep, _ := e.IDTemporalQuery(oid, q)
+			return rep.Elapsed.Microseconds(), rep.Candidates
+		},
+	}
+}
+
+// Fig17TRQ reproduces Fig. 17: temporal range query time and candidates on
+// TDrive and Lorry for TMan (TR index), TMan-XZT, TrajMesa and STH.
+// Candidates for STH are points (the paper's Fig. 17(b) note).
+func Fig17TRQ(opts Options) error {
+	opts.sanitize()
+	datasets := []*workload.Dataset{
+		workload.TDriveSim(opts.TDriveSize, opts.Seed),
+		workload.TLorrySim(opts.LorrySize, opts.Seed+1),
+	}
+	windows := []struct {
+		label string
+		dur   int64
+	}{
+		{"5m", 5 * minuteMs}, {"30m", 30 * minuteMs}, {"1h", hourMs},
+		{"6h", 6 * hourMs}, {"12h", 12 * hourMs}, {"24h", 24 * hourMs},
+	}
+	for _, ds := range datasets {
+		fmt.Fprintf(opts.Out, "dataset: %s (%d trajectories)\n", ds.Name, len(ds.Trajs))
+		systems, err := buildRangeSystems(ds, true, true)
+		if err != nil {
+			return err
+		}
+		cols := []string{"system"}
+		for _, w := range windows {
+			cols = append(cols, w.label)
+		}
+		timeRows := make([][]string, len(systems))
+		candRows := make([][]string, len(systems))
+		for si, sys := range systems {
+			for _, w := range windows {
+				sampler := workload.NewQuerySampler(ds, opts.Seed+13)
+				var m measured
+				for q := 0; q < opts.Queries; q++ {
+					tw := sampler.TimeWindow(w.dur)
+					us, cand := sys.trq(timeRangeQ{Start: tw.Start, End: tw.End})
+					m.add(durMicros(us), cand)
+				}
+				timeRows[si] = append(timeRows[si], fmtDur(m.time(opts.Percentile)))
+				candRows[si] = append(candRows[si], fmt.Sprint(m.candidates(opts.Percentile)))
+			}
+		}
+		fmt.Fprintln(opts.Out, "(a) Query time (ms)")
+		header(opts.Out, cols...)
+		for si, sys := range systems {
+			cell(opts.Out, sys.name)
+			for _, v := range timeRows[si] {
+				cell(opts.Out, v)
+			}
+			endRow(opts.Out)
+		}
+		fmt.Fprintln(opts.Out, "(b) Candidates (# trajectories; points for STH)")
+		header(opts.Out, cols...)
+		for si, sys := range systems {
+			cell(opts.Out, sys.name)
+			for _, v := range candRows[si] {
+				cell(opts.Out, v)
+			}
+			endRow(opts.Out)
+		}
+		fmt.Fprintln(opts.Out)
+	}
+	return nil
+}
+
+// durMicros converts microseconds to a time.Duration.
+func durMicros(us int64) time.Duration { return time.Duration(us) * time.Microsecond }

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig18SRQ reproduces Fig. 18: spatial range query time and candidates on
+// TDrive and Lorry for TMan (TShape), TMan-XZ, TrajMesa and STH, with
+// windows from 100m × 100m to 2500m × 2500m.
+func Fig18SRQ(opts Options) error {
+	opts.sanitize()
+	datasets := []*workload.Dataset{
+		workload.TDriveSim(opts.TDriveSize, opts.Seed),
+		workload.TLorrySim(opts.LorrySize, opts.Seed+1),
+	}
+	windows := []struct {
+		label string
+		km    float64
+	}{
+		{"100m", 0.1}, {"500m", 0.5}, {"1000m", 1.0}, {"1500m", 1.5}, {"2500m", 2.5},
+	}
+	for _, ds := range datasets {
+		fmt.Fprintf(opts.Out, "dataset: %s (%d trajectories)\n", ds.Name, len(ds.Trajs))
+		systems, err := buildRangeSystems(ds, true, false)
+		if err != nil {
+			return err
+		}
+		cols := []string{"system"}
+		for _, w := range windows {
+			cols = append(cols, w.label)
+		}
+		timeRows := make([][]string, len(systems))
+		candRows := make([][]string, len(systems))
+		for si, sys := range systems {
+			for _, w := range windows {
+				sampler := workload.NewQuerySampler(ds, opts.Seed+17)
+				var m measured
+				for q := 0; q < opts.Queries; q++ {
+					sr := sampler.SpaceWindow(w.km)
+					us, cand := sys.srq(sr)
+					m.add(durMicros(us), cand)
+				}
+				timeRows[si] = append(timeRows[si], fmtDur(m.time(opts.Percentile)))
+				candRows[si] = append(candRows[si], fmt.Sprint(m.candidates(opts.Percentile)))
+			}
+		}
+		fmt.Fprintln(opts.Out, "(a) Query time (ms)")
+		header(opts.Out, cols...)
+		for si, sys := range systems {
+			cell(opts.Out, sys.name)
+			for _, v := range timeRows[si] {
+				cell(opts.Out, v)
+			}
+			endRow(opts.Out)
+		}
+		fmt.Fprintln(opts.Out, "(b) Candidates (# trajectories; points for STH)")
+		header(opts.Out, cols...)
+		for si, sys := range systems {
+			cell(opts.Out, sys.name)
+			for _, v := range candRows[si] {
+				cell(opts.Out, v)
+			}
+			endRow(opts.Out)
+		}
+		fmt.Fprintln(opts.Out)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig19IDTSTRQ reproduces Fig. 19: (a) ID-temporal queries on TMan and
+// TrajMesa (the only baseline supporting them), preceded by the
+// trajectories-per-object distribution the paper reports; (b)
+// spatio-temporal range queries combining the Fig. 17/18 window
+// dimensions for TMan, TMan-XZ, TrajMesa and STH.
+func Fig19IDTSTRQ(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+
+	// Trajectories-per-object distribution.
+	perObj := map[string]int{}
+	for _, t := range lorry.Trajs {
+		perObj[t.OID]++
+	}
+	counts := make([]int, 0, len(perObj))
+	for _, c := range perObj {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	fmt.Fprintf(opts.Out, "objects: %d, median trajectories/object: %d, p90: %d\n\n",
+		len(counts), counts[len(counts)/2], counts[idxFor(len(counts), 0.9)])
+
+	systems, err := buildRangeSystems(lorry, true, false)
+	if err != nil {
+		return err
+	}
+
+	// (a) IDT queries over 12h ranges.
+	fmt.Fprintln(opts.Out, "(a) ID-temporal query (12h ranges)")
+	header(opts.Out, "system", "time_ms", "candidates")
+	for _, sys := range systems {
+		if sys.idt == nil {
+			continue // STH does not support IDT (as in the paper)
+		}
+		sampler := workload.NewQuerySampler(lorry, opts.Seed+23)
+		var m measured
+		for q := 0; q < opts.Queries; q++ {
+			oid, tw := sampler.ObjectWindow(12 * hourMs)
+			us, cand := sys.idt(oid, timeRangeQ{Start: tw.Start, End: tw.End})
+			m.add(durMicros(us), cand)
+		}
+		cell(opts.Out, sys.name)
+		cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		cell(opts.Out, m.candidates(opts.Percentile))
+		endRow(opts.Out)
+	}
+
+	// (b) STRQ: random combinations of spatial and temporal windows.
+	fmt.Fprintln(opts.Out, "\n(b) Spatio-temporal range query (random S x T combinations)")
+	header(opts.Out, "system", "time_ms", "candidates")
+	spaceSides := []float64{0.5, 1.0, 1.5, 2.5}
+	timeDurs := []int64{30 * minuteMs, hourMs, 6 * hourMs, 12 * hourMs}
+	for _, sys := range systems {
+		sampler := workload.NewQuerySampler(lorry, opts.Seed+29)
+		var m measured
+		for q := 0; q < opts.Queries; q++ {
+			sr := sampler.SpaceWindow(spaceSides[q%len(spaceSides)])
+			tw := sampler.TimeWindow(timeDurs[q%len(timeDurs)])
+			us, cand := sys.strq(sr, timeRangeQ{Start: tw.Start, End: tw.End})
+			m.add(durMicros(us), cand)
+		}
+		cell(opts.Out, sys.name)
+		cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		cell(opts.Out, m.candidates(opts.Percentile))
+		endRow(opts.Out)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/tman-db/tman/internal/baseline/simbase"
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// simSystem is one system under similarity comparison.
+type simSystem struct {
+	name      string
+	threshold func(q *model.Trajectory, m similarity.Measure, theta float64) (time.Duration, int64)
+	topk      func(q *model.Trajectory, m similarity.Measure, k int) (time.Duration, int64)
+}
+
+// buildSimSystems creates TMan, TraSS (TShape 2×2 without index cache,
+// matching the paper's equivalence note), DFT, DITA and REPOSE over a
+// dataset.
+func buildSimSystems(ds *workload.Dataset) ([]simSystem, error) {
+	var systems []simSystem
+
+	tman, err := buildTMan(ds, nil)
+	if err != nil {
+		return nil, err
+	}
+	systems = append(systems, engineSimSystem("TMan", tman))
+
+	trass, err := buildTMan(ds, func(c *engine.Config) {
+		c.Alpha, c.Beta = 2, 2
+		c.UseIndexCache = false
+	})
+	if err != nil {
+		return nil, err
+	}
+	systems = append(systems, engineSimSystem("TraSS", trass))
+
+	dft := simbase.NewDFT(ds.Trajs, ds.Boundary, 32, 2)
+	dita := simbase.NewDITA(ds.Trajs, ds.Boundary, 32, 4)
+	repose := simbase.NewREPOSE(ds.Trajs, ds.Boundary, 64)
+	for _, s := range []simbase.Searcher{dft, dita, repose} {
+		s := s
+		// Every query on a Spark-style in-memory system is a distributed
+		// job; charge the scheduling overhead the original systems report.
+		s.SetJobOverhead(40 * time.Millisecond)
+		systems = append(systems, simSystem{
+			name: s.Name(),
+			threshold: func(q *model.Trajectory, m similarity.Measure, theta float64) (time.Duration, int64) {
+				// The in-memory baselines work in dataset coordinates;
+				// convert the normalized theta to degrees using the wider
+				// boundary axis, as the paper's theta convention does.
+				scale := ds.Boundary.Width()
+				if h := ds.Boundary.Height(); h > scale {
+					scale = h
+				}
+				_, rep := s.Threshold(q, m, theta*scale)
+				return rep.Elapsed, int64(rep.Candidates)
+			},
+			topk: func(q *model.Trajectory, m similarity.Measure, k int) (time.Duration, int64) {
+				_, rep := s.TopK(q, m, k)
+				return rep.Elapsed, int64(rep.Candidates)
+			},
+		})
+	}
+	return systems, nil
+}
+
+func engineSimSystem(name string, e *engine.Engine) simSystem {
+	return simSystem{
+		name: name,
+		threshold: func(q *model.Trajectory, m similarity.Measure, theta float64) (time.Duration, int64) {
+			_, rep, _ := e.SimilarityThresholdQuery(q, m, theta)
+			return rep.Elapsed, rep.Candidates
+		},
+		topk: func(q *model.Trajectory, m similarity.Measure, k int) (time.Duration, int64) {
+			_, rep, _ := e.SimilarityTopKQuery(q, m, k)
+			return rep.Elapsed, rep.Candidates
+		},
+	}
+}
+
+// Fig20ThresholdSim reproduces Fig. 20: threshold similarity queries on
+// Lorry with θ = 0.015 under Fréchet, DTW and Hausdorff, for TMan, TraSS,
+// DFT and DITA.
+func Fig20ThresholdSim(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+	systems, err := buildSimSystems(lorry)
+	if err != nil {
+		return err
+	}
+	measures := []similarity.Measure{similarity.Frechet, similarity.DTW, similarity.Hausdorff}
+	queries := opts.Queries
+	if queries > 10 {
+		queries = 10 // exact similarity is O(n·m); keep runs bounded
+	}
+	header(opts.Out, "system", "frechet_ms", "dtw_ms", "hausdorff_ms", "candidates")
+	for _, sys := range systems {
+		if sys.name == "repose" {
+			continue // the paper's Fig. 20 compares TMan/TraSS/DFT/DITA
+		}
+		var cands int64
+		var cols []string
+		for _, m := range measures {
+			sampler := workload.NewQuerySampler(lorry, opts.Seed+31)
+			var meas measured
+			for q := 0; q < queries; q++ {
+				query := sampler.QueryTrajectory()
+				theta := 0.015
+				if m == similarity.DTW {
+					theta = 0.25 // DTW accumulates; same convention as tests
+				}
+				d, c := sys.threshold(query, m, theta)
+				meas.add(d, c)
+			}
+			cols = append(cols, fmtDur(meas.time(opts.Percentile)))
+			cands = meas.candidates(opts.Percentile)
+		}
+		cell(opts.Out, sys.name)
+		for _, c := range cols {
+			cell(opts.Out, c)
+		}
+		cell(opts.Out, cands)
+		endRow(opts.Out)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/similarity"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig21TopK reproduces Fig. 21: top-k similarity search on Lorry for TMan,
+// TraSS, DFT, DITA and REPOSE, sweeping k.
+func Fig21TopK(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+	systems, err := buildSimSystems(lorry)
+	if err != nil {
+		return err
+	}
+	ks := []int{5, 10, 20, 50}
+	queries := opts.Queries
+	if queries > 8 {
+		queries = 8
+	}
+	cols := []string{"system"}
+	for _, k := range ks {
+		cols = append(cols, fmt.Sprintf("k=%d", k))
+	}
+	fmt.Fprintln(opts.Out, "Top-k query time (ms), Fréchet")
+	header(opts.Out, cols...)
+	for _, sys := range systems {
+		cell(opts.Out, sys.name)
+		for _, k := range ks {
+			sampler := workload.NewQuerySampler(lorry, opts.Seed+int64(k))
+			var m measured
+			for q := 0; q < queries; q++ {
+				query := sampler.QueryTrajectory()
+				d, c := sys.topk(query, similarity.Frechet, k)
+				m.add(d, c)
+			}
+			cell(opts.Out, fmtDur(m.time(opts.Percentile)))
+		}
+		endRow(opts.Out)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tman-db/tman/internal/baseline/sthadoop"
+	"github.com/tman-db/tman/internal/baseline/trajmesa"
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig22Scalability reproduces Fig. 22: (a) TRQ/SRQ query time as the Lorry
+// dataset is replicated 1×–8× for TMan, TrajMesa and STH, with STH hitting
+// its memory budget at larger scales (the paper's Lorry-6 OOM); (b) batch
+// update (insert) throughput into an existing TMan table.
+func Fig22Scalability(opts Options) error {
+	opts.sanitize()
+	base := workload.TLorrySim(opts.LorrySize/2, opts.Seed)
+	factors := []int{1, 2, 4, 8}
+
+	fmt.Fprintln(opts.Out, "(a) Query time vs data size (TRQ 1h / SRQ 1.5km)")
+	header(opts.Out, "scale", "tman_trq", "tman_srq", "trajmesa_trq", "trajmesa_srq", "sth_trq", "sth_srq")
+	for _, f := range factors {
+		ds := workload.Replicate(base, f, opts.Seed+int64(f))
+
+		// TMan deploys a primary table per hot query type (Section IV-B):
+		// TRQ runs against a temporal-primary engine, SRQ against the
+		// default spatial-primary engine.
+		tmanT, err := buildTMan(ds, func(c *engine.Config) { c.Primary = engine.KindTR })
+		if err != nil {
+			return err
+		}
+		tmanS, err := buildTMan(ds, nil)
+		if err != nil {
+			return err
+		}
+		tm, err := trajmesa.New(trajmesa.DefaultConfig(ds.Boundary))
+		if err != nil {
+			return err
+		}
+		for _, t := range ds.Trajs {
+			if err := tm.Put(t); err != nil {
+				return err
+			}
+		}
+		sthCfg := sthadoop.DefaultConfig(ds.Boundary)
+		// Memory budget sized so STH fails around the upper scales, as in
+		// the paper's Lorry-6 observation.
+		sthCfg.MaxMemoryPoints = int64(opts.LorrySize) * 20
+		sth := sthadoop.New(sthCfg)
+		for _, t := range ds.Trajs {
+			if err := sth.Put(t); err != nil {
+				return err
+			}
+		}
+
+		sampler := workload.NewQuerySampler(ds, opts.Seed+37)
+		var mTmanT, mTmanS, mTmT, mTmS, mSthT, mSthS measured
+		sthOOM := false
+		for q := 0; q < opts.Queries; q++ {
+			tw := sampler.TimeWindow(hourMs)
+			sr := sampler.SpaceWindow(1.5)
+
+			_, rep, _ := tmanT.TemporalRangeQuery(tw)
+			mTmanT.add(rep.Elapsed, rep.Candidates)
+			_, rep, _ = tmanS.SpatialRangeQuery(sr)
+			mTmanS.add(rep.Elapsed, rep.Candidates)
+
+			_, trep := tm.TemporalRangeQuery(tw)
+			mTmT.add(trep.Elapsed, trep.Candidates)
+			_, trep = tm.SpatialRangeQuery(sr)
+			mTmS.add(trep.Elapsed, trep.Candidates)
+
+			_, srep := sth.TemporalRangeQuery(tw)
+			if srep.OOM {
+				sthOOM = true
+			}
+			mSthT.add(srep.Elapsed, srep.Candidates)
+			_, srep = sth.SpatialRangeQuery(sr)
+			if srep.OOM {
+				sthOOM = true
+			}
+			mSthS.add(srep.Elapsed, srep.Candidates)
+		}
+		cell(opts.Out, fmt.Sprintf("x%d", f))
+		cell(opts.Out, fmtDur(mTmanT.time(opts.Percentile)))
+		cell(opts.Out, fmtDur(mTmanS.time(opts.Percentile)))
+		cell(opts.Out, fmtDur(mTmT.time(opts.Percentile)))
+		cell(opts.Out, fmtDur(mTmS.time(opts.Percentile)))
+		if sthOOM {
+			cell(opts.Out, "OOM")
+			cell(opts.Out, "OOM")
+		} else {
+			cell(opts.Out, fmtDur(mSthT.time(opts.Percentile)))
+			cell(opts.Out, fmtDur(mSthS.time(opts.Percentile)))
+		}
+		endRow(opts.Out)
+	}
+
+	// (b) Batch insert into an existing table.
+	fmt.Fprintln(opts.Out, "\n(b) Batch update: insert throughput into a loaded table")
+	header(opts.Out, "batch", "tman_ms", "trajs_per_s")
+	loaded, err := buildTMan(base, nil)
+	if err != nil {
+		return err
+	}
+	extra := workload.TLorrySim(opts.LorrySize/2, opts.Seed+99)
+	batchSizes := []int{100, 500, 1000, 2000}
+	offset := 0
+	for _, b := range batchSizes {
+		if offset+b > len(extra.Trajs) {
+			break
+		}
+		batch := extra.Trajs[offset : offset+b]
+		offset += b
+		start := time.Now()
+		if err := loaded.BatchPut(batch); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		cell(opts.Out, b)
+		cell(opts.Out, fmtDur(elapsed))
+		cell(opts.Out, fmt.Sprintf("%.0f", float64(b)/elapsed.Seconds()))
+		endRow(opts.Out)
+	}
+	return nil
+}

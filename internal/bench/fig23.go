@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/baseline/trajmesa"
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Fig23TailLatency reproduces Fig. 23: TRQ and SRQ latency at the 50th,
+// 70th, 80th, 90th and 100th percentiles for TMan and TrajMesa on Lorry.
+func Fig23TailLatency(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+
+	tmanT, err := buildTMan(lorry, func(c *engine.Config) { c.Primary = engine.KindTR })
+	if err != nil {
+		return err
+	}
+	tmanS, err := buildTMan(lorry, nil)
+	if err != nil {
+		return err
+	}
+	tm, err := trajmesa.New(trajmesa.DefaultConfig(lorry.Boundary))
+	if err != nil {
+		return err
+	}
+	for _, t := range lorry.Trajs {
+		if err := tm.Put(t); err != nil {
+			return err
+		}
+	}
+	tm.Compact()
+
+	queries := opts.Queries * 3 // tail percentiles need more samples
+	sampler := workload.NewQuerySampler(lorry, opts.Seed+41)
+	var tmanTRQ, tmanSRQ, tmTRQ, tmSRQ measured
+	for q := 0; q < queries; q++ {
+		tw := sampler.TimeWindow(hourMs)
+		sr := sampler.SpaceWindow(1.5)
+		_, rep, _ := tmanT.TemporalRangeQuery(tw)
+		tmanTRQ.add(rep.Elapsed, rep.Candidates)
+		_, rep, _ = tmanS.SpatialRangeQuery(sr)
+		tmanSRQ.add(rep.Elapsed, rep.Candidates)
+		_, trep := tm.TemporalRangeQuery(tw)
+		tmTRQ.add(trep.Elapsed, trep.Candidates)
+		_, trep = tm.SpatialRangeQuery(sr)
+		tmSRQ.add(trep.Elapsed, trep.Candidates)
+	}
+
+	percentiles := []float64{0.5, 0.7, 0.8, 0.9, 1.0}
+	cols := []string{"system"}
+	for _, p := range percentiles {
+		cols = append(cols, fmt.Sprintf("p%.0f", p*100))
+	}
+	fmt.Fprintln(opts.Out, "(a) TRQ latency (ms) by percentile")
+	header(opts.Out, cols...)
+	for _, row := range []struct {
+		name string
+		m    *measured
+	}{{"TMan", &tmanTRQ}, {"TrajMesa", &tmTRQ}} {
+		cell(opts.Out, row.name)
+		for _, p := range percentiles {
+			cell(opts.Out, fmtDur(row.m.time(p)))
+		}
+		endRow(opts.Out)
+	}
+	fmt.Fprintln(opts.Out, "\n(b) SRQ latency (ms) by percentile")
+	header(opts.Out, cols...)
+	for _, row := range []struct {
+		name string
+		m    *measured
+	}{{"TMan", &tmanSRQ}, {"TrajMesa", &tmSRQ}} {
+		cell(opts.Out, row.name)
+		for _, p := range percentiles {
+			cell(opts.Out, fmtDur(row.m.time(p)))
+		}
+		endRow(opts.Out)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Table1TemporalIndexes reproduces Table I: temporal range query time and
+// candidate counts on Lorry for the XZT index and TR with periods of 10
+// and 30 minutes and 1, 2, 4, 6 and 8 hours, across query windows from 5
+// minutes to 24 hours.
+func Table1TemporalIndexes(opts Options) error {
+	opts.sanitize()
+	lorry := workload.TLorrySim(opts.LorrySize, opts.Seed)
+
+	type variant struct {
+		name   string
+		mutate func(*engine.Config)
+	}
+	trVariant := func(name string, period int64) variant {
+		return variant{name: name, mutate: func(c *engine.Config) {
+			c.Temporal = engine.KindTR
+			c.Primary = engine.KindTR // temporal index under test is primary
+			c.PeriodMillis = period
+			// N scales with the period so the bin budget still covers 48h.
+			n := int(48 * hourMs / period)
+			if n < 1 {
+				n = 1
+			}
+			c.N = n
+		}}
+	}
+	variants := []variant{
+		{name: "XZT", mutate: func(c *engine.Config) {
+			c.Temporal = engine.KindXZT
+			c.Primary = engine.KindXZT
+		}},
+		trVariant("TR-10M", 10*minuteMs),
+		trVariant("TR-30M", 30*minuteMs),
+		trVariant("TR-1H", hourMs),
+		trVariant("TR-2H", 2*hourMs),
+		trVariant("TR-4H", 4*hourMs),
+		trVariant("TR-6H", 6*hourMs),
+		trVariant("TR-8H", 8*hourMs),
+	}
+	windows := []struct {
+		label string
+		dur   int64
+	}{
+		{"5m", 5 * minuteMs}, {"10m", 10 * minuteMs}, {"30m", 30 * minuteMs},
+		{"1h", hourMs}, {"6h", 6 * hourMs}, {"12h", 12 * hourMs}, {"24h", 24 * hourMs},
+	}
+
+	type rowResult struct {
+		times []time.Duration
+		cands []int64
+	}
+	results := make([]rowResult, len(variants))
+
+	for vi, v := range variants {
+		e, err := buildTMan(lorry, v.mutate)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		for _, w := range windows {
+			sampler := workload.NewQuerySampler(lorry, opts.Seed+11)
+			var m measured
+			for q := 0; q < opts.Queries; q++ {
+				tw := sampler.TimeWindow(w.dur)
+				_, rep, err := e.TemporalRangeQuery(tw)
+				if err != nil {
+					return err
+				}
+				m.add(rep.Elapsed, rep.Candidates)
+			}
+			results[vi].times = append(results[vi].times, m.time(opts.Percentile))
+			results[vi].cands = append(results[vi].cands, m.candidates(opts.Percentile))
+		}
+	}
+
+	fmt.Fprintln(opts.Out, "Query time (ms) by window")
+	cols := []string{"index"}
+	for _, w := range windows {
+		cols = append(cols, w.label)
+	}
+	header(opts.Out, cols...)
+	for vi, v := range variants {
+		cell(opts.Out, v.name)
+		for _, d := range results[vi].times {
+			cell(opts.Out, fmtDur(d))
+		}
+		endRow(opts.Out)
+	}
+	fmt.Fprintln(opts.Out, "\nCandidates (#) by window")
+	header(opts.Out, cols...)
+	for vi, v := range variants {
+		cell(opts.Out, v.name)
+		for _, c := range results[vi].cands {
+			cell(opts.Out, c)
+		}
+		endRow(opts.Out)
+	}
+	return nil
+}

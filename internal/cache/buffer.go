@@ -1,0 +1,108 @@
+package cache
+
+import "sync"
+
+// BufferShapeCache accumulates shape bitmaps that have not yet been
+// assigned optimized final codes (paper Section IV-C). New trajectories
+// whose shapes are unknown are stored under their raw codes; once an
+// element's buffered shape count crosses the threshold, the engine triggers
+// a re-encode of that element: all known shapes (directory + buffer) are
+// reordered, affected rows are rewritten, and the buffer is cleared.
+type BufferShapeCache struct {
+	mu        sync.Mutex
+	threshold int
+	pending   map[uint64]map[uint64]struct{} // element -> set of raw shape bits
+}
+
+// NewBufferShapeCache creates a buffer that flags an element for re-encode
+// once it holds more than threshold unoptimized shapes.
+func NewBufferShapeCache(threshold int) *BufferShapeCache {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &BufferShapeCache{
+		threshold: threshold,
+		pending:   make(map[uint64]map[uint64]struct{}),
+	}
+}
+
+// Add records an unoptimized shape for an element and reports whether the
+// element's buffer has now crossed the re-encode threshold.
+func (b *BufferShapeCache) Add(elemCode, shapeBits uint64) (needsReencode bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set, ok := b.pending[elemCode]
+	if !ok {
+		set = make(map[uint64]struct{})
+		b.pending[elemCode] = set
+	}
+	set[shapeBits] = struct{}{}
+	return len(set) >= b.threshold
+}
+
+// Contains reports whether the shape is already buffered for the element.
+func (b *BufferShapeCache) Contains(elemCode, shapeBits uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.pending[elemCode][shapeBits]
+	return ok
+}
+
+// Take removes and returns the buffered shapes of an element (in insertion-
+// independent, deterministic ascending order).
+func (b *BufferShapeCache) Take(elemCode uint64) []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := b.pending[elemCode]
+	if len(set) == 0 {
+		delete(b.pending, elemCode)
+		return nil
+	}
+	out := make([]uint64, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	delete(b.pending, elemCode)
+	sortUint64s(out)
+	return out
+}
+
+// Shapes returns the buffered shapes of an element without removing them
+// (ascending order). Queries consult this so trajectories stored under raw
+// codes remain reachable before their element is re-encoded.
+func (b *BufferShapeCache) Shapes(elemCode uint64) []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := b.pending[elemCode]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sortUint64s(out)
+	return out
+}
+
+// PendingElements returns element codes that currently have buffered
+// shapes.
+func (b *BufferShapeCache) PendingElements() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]uint64, 0, len(b.pending))
+	for e := range b.pending {
+		out = append(out, e)
+	}
+	sortUint64s(out)
+	return out
+}
+
+func sortUint64s(s []uint64) {
+	// Tiny insertion sort; buffers are small by construction.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

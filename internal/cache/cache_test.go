@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestLFUBasicPutGet(t *testing.T) {
+	c := NewLFU(4)
+	c.Put(1, []Shape{{Bits: 0b11, Code: 0}})
+	got, ok := c.Get(1)
+	if !ok || len(got) != 1 || got[0].Bits != 0b11 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Error("missing key reported present")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	c := NewLFU(2)
+	c.Put(1, nil)
+	c.Put(2, nil)
+	// Touch 1 several times; 2 stays at freq 1.
+	c.Get(1)
+	c.Get(1)
+	c.Put(3, nil) // must evict 2
+	if _, ok := c.Get(2); ok {
+		t.Error("least frequently used entry (2) should have been evicted")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("frequently used entry (1) should survive")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Error("new entry (3) should be present")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestLFUReplaceBumpsFrequency(t *testing.T) {
+	c := NewLFU(2)
+	c.Put(1, nil)
+	c.Put(1, []Shape{{Bits: 5}}) // replace, freq 2
+	c.Put(2, nil)
+	c.Put(3, nil) // evicts 2 (freq 1), not 1 (freq 2)
+	if _, ok := c.Get(1); !ok {
+		t.Error("replaced entry should keep its bumped frequency")
+	}
+	got, _ := c.Get(1)
+	if len(got) != 1 || got[0].Bits != 5 {
+		t.Error("replace did not update value")
+	}
+}
+
+func TestLFUInvalidateAndClear(t *testing.T) {
+	c := NewLFU(4)
+	c.Put(1, nil)
+	c.Put(2, nil)
+	c.Invalidate(1)
+	if _, ok := c.Get(1); ok {
+		t.Error("invalidated entry still present")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+	// Invalidate of a missing key is a no-op.
+	c.Invalidate(99)
+}
+
+func TestLFUStress(t *testing.T) {
+	c := NewLFU(64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(512))
+		switch rng.Intn(3) {
+		case 0:
+			c.Put(k, nil)
+		case 1:
+			c.Get(k)
+		case 2:
+			if rng.Intn(10) == 0 {
+				c.Invalidate(k)
+			}
+		}
+		if c.Len() > 64 {
+			t.Fatalf("capacity exceeded: %d", c.Len())
+		}
+	}
+}
+
+func TestLFUConcurrent(t *testing.T) {
+	c := NewLFU(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(100))
+				if rng.Intn(2) == 0 {
+					c.Put(k, []Shape{{Bits: k}})
+				} else {
+					c.Get(k)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Errorf("capacity exceeded after concurrent use: %d", c.Len())
+	}
+}
+
+type failingDirectory struct{}
+
+func (failingDirectory) Load(uint64) ([]Shape, error) { return nil, errors.New("boom") }
+func (failingDirectory) Store(uint64, []Shape) error  { return errors.New("boom") }
+
+func TestIndexCacheLoadsFromDirectory(t *testing.T) {
+	dir := NewMemoryDirectory()
+	if err := dir.Store(7, []Shape{{Bits: 0b101, Code: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	ic := NewIndexCache(8, dir)
+	got := ic.Shapes(7)
+	if len(got) != 1 || got[0].Bits != 0b101 {
+		t.Fatalf("Shapes = %+v", got)
+	}
+	// Second access hits the cache.
+	ic.Shapes(7)
+	st := ic.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v (want one miss then one hit)", st)
+	}
+	// Unknown element: empty, not cached.
+	if got := ic.Shapes(99); got != nil {
+		t.Errorf("unknown element = %+v", got)
+	}
+}
+
+func TestIndexCacheUpdateWritesThrough(t *testing.T) {
+	dir := NewMemoryDirectory()
+	ic := NewIndexCache(8, dir)
+	if err := ic.Update(3, []Shape{{Bits: 1, Code: 0}, {Bits: 3, Code: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Visible via a fresh cache (persisted).
+	ic2 := NewIndexCache(8, dir)
+	if got := ic2.Shapes(3); len(got) != 2 {
+		t.Fatalf("persisted shapes = %+v", got)
+	}
+	// Update failure propagates.
+	bad := NewIndexCache(8, failingDirectory{})
+	if err := bad.Update(1, nil); err == nil {
+		t.Error("directory failure should surface")
+	}
+	if got := bad.Shapes(1); got != nil {
+		t.Error("failed load should return nil")
+	}
+}
+
+func TestBufferShapeCacheThreshold(t *testing.T) {
+	b := NewBufferShapeCache(3)
+	if b.Add(1, 0b001) {
+		t.Error("first shape should not trigger re-encode")
+	}
+	if b.Add(1, 0b010) {
+		t.Error("second shape should not trigger re-encode")
+	}
+	// Duplicate does not advance the count.
+	if b.Add(1, 0b010) {
+		t.Error("duplicate shape should not trigger re-encode")
+	}
+	if !b.Add(1, 0b100) {
+		t.Error("third distinct shape should trigger re-encode")
+	}
+	if !b.Contains(1, 0b001) || b.Contains(1, 0b111) {
+		t.Error("Contains wrong")
+	}
+	shapes := b.Take(1)
+	if len(shapes) != 3 || shapes[0] != 0b001 || shapes[2] != 0b100 {
+		t.Fatalf("Take = %v", shapes)
+	}
+	if got := b.Take(1); got != nil {
+		t.Error("second Take should be empty")
+	}
+}
+
+func TestBufferShapeCachePendingElements(t *testing.T) {
+	b := NewBufferShapeCache(10)
+	b.Add(5, 1)
+	b.Add(2, 1)
+	b.Add(5, 2)
+	got := b.PendingElements()
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("PendingElements = %v", got)
+	}
+}
+
+func TestMemoryDirectoryIsolation(t *testing.T) {
+	dir := NewMemoryDirectory()
+	in := []Shape{{Bits: 1}}
+	dir.Store(1, in)
+	in[0].Bits = 99 // mutation after store must not affect directory
+	got, _ := dir.Load(1)
+	if got[0].Bits != 1 {
+		t.Error("Store did not copy input")
+	}
+	got[0].Bits = 77 // mutation of loaded slice must not affect directory
+	got2, _ := dir.Load(1)
+	if got2[0].Bits != 1 {
+		t.Error("Load did not copy output")
+	}
+	if dir.Elements() != 1 {
+		t.Errorf("Elements = %d", dir.Elements())
+	}
+}
+
+func ExampleLFU() {
+	c := NewLFU(2)
+	c.Put(1, []Shape{{Bits: 0b11, Code: 0}})
+	c.Put(2, []Shape{{Bits: 0b01, Code: 1}})
+	c.Get(1) // bump 1
+	c.Put(3, nil)
+	_, ok := c.Get(2)
+	fmt.Println("entry 2 survived:", ok)
+	// Output: entry 2 survived: false
+}

@@ -1,0 +1,102 @@
+package cache
+
+import "sync"
+
+// Directory is the persistent store of ⟨element, shape, final code⟩ tuples
+// — the role Redis plays in the paper. The engine implements it on a
+// KV-store table so the whole system stays embedded.
+type Directory interface {
+	// Load returns all shape tuples of an element ((nil, nil) when the
+	// element has no recorded shapes).
+	Load(elemCode uint64) ([]Shape, error)
+	// Store persists the full directory of an element, replacing any
+	// previous tuples.
+	Store(elemCode uint64, shapes []Shape) error
+}
+
+// IndexCache is the read path of TMan's index cache: an LFU front over the
+// persistent directory. On a miss the element's tuples are loaded from the
+// directory and installed in the cache.
+type IndexCache struct {
+	lfu *LFU
+	dir Directory
+}
+
+// NewIndexCache builds an index cache with the given LFU capacity (number
+// of element directories held in memory).
+func NewIndexCache(capacity int, dir Directory) *IndexCache {
+	return &IndexCache{lfu: NewLFU(capacity), dir: dir}
+}
+
+// Shapes returns the used shapes of an element, loading from the directory
+// on a cache miss. It satisfies tshape.ShapeProvider (errors surface as an
+// empty directory, which is sound for queries over elements that have never
+// stored a shape).
+func (ic *IndexCache) Shapes(elemCode uint64) []Shape {
+	if shapes, ok := ic.lfu.Get(elemCode); ok {
+		return shapes
+	}
+	shapes, err := ic.dir.Load(elemCode)
+	if err != nil || shapes == nil {
+		return nil
+	}
+	ic.lfu.Put(elemCode, shapes)
+	return shapes
+}
+
+// Update persists a new directory for an element and refreshes the cache.
+func (ic *IndexCache) Update(elemCode uint64, shapes []Shape) error {
+	if err := ic.dir.Store(elemCode, shapes); err != nil {
+		return err
+	}
+	ic.lfu.Put(elemCode, shapes)
+	return nil
+}
+
+// Invalidate drops an element from the in-memory layer only.
+func (ic *IndexCache) Invalidate(elemCode uint64) { ic.lfu.Invalidate(elemCode) }
+
+// Stats exposes the LFU counters.
+func (ic *IndexCache) Stats() CacheStats { return ic.lfu.Stats() }
+
+// MemoryDirectory is a Directory held in process memory, for tests and for
+// engines configured without persistence.
+type MemoryDirectory struct {
+	mu sync.RWMutex
+	m  map[uint64][]Shape
+}
+
+// NewMemoryDirectory creates an empty in-memory directory.
+func NewMemoryDirectory() *MemoryDirectory {
+	return &MemoryDirectory{m: make(map[uint64][]Shape)}
+}
+
+// Load implements Directory.
+func (d *MemoryDirectory) Load(elemCode uint64) ([]Shape, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	shapes, ok := d.m[elemCode]
+	if !ok {
+		return nil, nil
+	}
+	out := make([]Shape, len(shapes))
+	copy(out, shapes)
+	return out, nil
+}
+
+// Store implements Directory.
+func (d *MemoryDirectory) Store(elemCode uint64, shapes []Shape) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cp := make([]Shape, len(shapes))
+	copy(cp, shapes)
+	d.m[elemCode] = cp
+	return nil
+}
+
+// Elements returns the number of elements with stored directories.
+func (d *MemoryDirectory) Elements() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.m)
+}

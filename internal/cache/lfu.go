@@ -1,0 +1,215 @@
+// Package cache implements TMan's index cache (paper Section IV-B(3)): the
+// in-memory LFU cache of per-element shape directories, backed by a
+// persistent directory (Redis in the paper; a KV-store table here), plus
+// the buffer shape cache used by the update path (Section IV-C).
+package cache
+
+import "sync"
+
+// lfuEntry is one cached element directory with its access frequency.
+type lfuEntry struct {
+	key   uint64
+	value []Shape
+	freq  int
+	// Intrusive position inside its frequency bucket.
+	prev, next *lfuEntry
+	bucketOf   *freqBucket
+}
+
+// Shape mirrors tshape.Shape without importing it (the cache is agnostic to
+// index internals): a raw cell bitmap and its optimized final code.
+type Shape struct {
+	Bits uint64
+	Code uint64
+}
+
+// freqBucket is a doubly-linked list of entries sharing a frequency.
+type freqBucket struct {
+	freq       int
+	head, tail *lfuEntry
+	prev, next *freqBucket
+}
+
+// LFU is a constant-time least-frequently-used cache from element code to
+// shape directory, using the classic O(1) bucket-list algorithm. The zero
+// value is not usable; use NewLFU. Safe for concurrent use.
+type LFU struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[uint64]*lfuEntry
+	buckets  *freqBucket // sentinel-free ascending list; nil when empty
+	hits     int64
+	misses   int64
+	evicts   int64
+}
+
+// NewLFU creates an LFU cache holding at most capacity element directories.
+func NewLFU(capacity int) *LFU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LFU{capacity: capacity, entries: make(map[uint64]*lfuEntry, capacity)}
+}
+
+// Get returns the cached directory for an element and whether it was
+// present, bumping the element's frequency.
+func (c *LFU) Get(key uint64) ([]Shape, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.bump(e)
+	return e.value, true
+}
+
+// Put inserts or replaces an element directory, evicting the least
+// frequently used entry when full.
+func (c *LFU) Put(key uint64, value []Shape) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.value = value
+		c.bump(e)
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		c.evictLocked()
+	}
+	e := &lfuEntry{key: key, value: value, freq: 1}
+	c.entries[key] = e
+	c.attach(e)
+}
+
+// Invalidate removes an element directory (used when re-encoding rewrites
+// final codes).
+func (c *LFU) Invalidate(key uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.detach(e)
+		delete(c.entries, key)
+	}
+}
+
+// Clear drops everything.
+func (c *LFU) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[uint64]*lfuEntry, c.capacity)
+	c.buckets = nil
+}
+
+// Len returns the number of cached elements.
+func (c *LFU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CacheStats reports hit/miss/eviction counters.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Stats returns a snapshot of the counters.
+func (c *LFU) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evicts}
+}
+
+// --- O(1) LFU plumbing -------------------------------------------------
+
+// attach inserts e (freq already set) into its bucket, creating it if
+// needed. e must not currently be linked.
+func (c *LFU) attach(e *lfuEntry) {
+	b := c.findOrInsertBucket(e.freq)
+	e.prev = nil
+	e.next = b.head
+	if b.head != nil {
+		b.head.prev = e
+	}
+	b.head = e
+	if b.tail == nil {
+		b.tail = e
+	}
+	e.bucketOf = b
+}
+
+// detach unlinks e from its bucket, removing the bucket if emptied.
+func (c *LFU) detach(e *lfuEntry) {
+	b := e.bucketOf
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	if b.head == nil {
+		c.removeBucket(b)
+	}
+	e.bucketOf = nil
+}
+
+// bump moves e to the next frequency.
+func (c *LFU) bump(e *lfuEntry) {
+	c.detach(e)
+	e.freq++
+	c.attach(e)
+}
+
+// evictLocked removes one entry from the lowest-frequency bucket (the tail
+// = least recently added among ties).
+func (c *LFU) evictLocked() {
+	if c.buckets == nil {
+		return
+	}
+	victim := c.buckets.tail
+	c.detach(victim)
+	delete(c.entries, victim.key)
+	c.evicts++
+}
+
+func (c *LFU) findOrInsertBucket(freq int) *freqBucket {
+	if c.buckets == nil || c.buckets.freq > freq {
+		b := &freqBucket{freq: freq, next: c.buckets}
+		if c.buckets != nil {
+			c.buckets.prev = b
+		}
+		c.buckets = b
+		return b
+	}
+	cur := c.buckets
+	for cur.next != nil && cur.next.freq <= freq {
+		cur = cur.next
+	}
+	if cur.freq == freq {
+		return cur
+	}
+	b := &freqBucket{freq: freq, prev: cur, next: cur.next}
+	if cur.next != nil {
+		cur.next.prev = b
+	}
+	cur.next = b
+	return b
+}
+
+func (c *LFU) removeBucket(b *freqBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		c.buckets = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}

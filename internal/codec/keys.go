@@ -1,0 +1,160 @@
+// Package codec implements the order-preserving byte encodings TMan uses to
+// build row keys for its key-value tables.
+//
+// Key-value stores sort rows lexicographically by key bytes, so every
+// component of a composite row key must be encoded such that byte order
+// equals logical order:
+//
+//   - unsigned integers are written big-endian with a fixed width;
+//   - signed integers are offset by the sign bit first;
+//   - strings are terminated with 0x00 (and must not contain 0x00).
+//
+// The primary-table row key layout (paper Eq. 6) is
+//
+//	rowkey = shard(1B) :: indexValue(8B BE) :: tid bytes
+//
+// and secondary-table keys follow the same pattern with their own index
+// value component.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortKey is returned when decoding a key that is shorter than the
+// fixed-width components require.
+var ErrShortKey = errors.New("codec: key too short")
+
+// AppendUint64 appends v big-endian (8 bytes, order-preserving) to dst.
+func AppendUint64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// Uint64 decodes a big-endian uint64 from the first 8 bytes of b.
+func Uint64(b []byte) (uint64, error) {
+	if len(b) < 8 {
+		return 0, fmt.Errorf("%w: need 8 bytes, have %d", ErrShortKey, len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// AppendUint32 appends v big-endian (4 bytes, order-preserving) to dst.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+
+// Uint32 decodes a big-endian uint32 from the first 4 bytes of b.
+func Uint32(b []byte) (uint32, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("%w: need 4 bytes, have %d", ErrShortKey, len(b))
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// AppendInt64 appends v in an order-preserving signed encoding: the sign bit
+// is flipped so that negative values sort before positive ones.
+func AppendInt64(dst []byte, v int64) []byte {
+	return AppendUint64(dst, uint64(v)^(1<<63))
+}
+
+// Int64 decodes an order-preserving signed int64 from the first 8 bytes.
+func Int64(b []byte) (int64, error) {
+	u, err := Uint64(b)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u ^ (1 << 63)), nil
+}
+
+// PrimaryKey builds a primary-table row key: shard byte, 8-byte big-endian
+// index value, then the raw tid bytes.
+func PrimaryKey(shard byte, indexValue uint64, tid string) []byte {
+	k := make([]byte, 0, 1+8+len(tid))
+	k = append(k, shard)
+	k = AppendUint64(k, indexValue)
+	k = append(k, tid...)
+	return k
+}
+
+// SplitPrimaryKey decodes a primary-table row key into its components.
+func SplitPrimaryKey(key []byte) (shard byte, indexValue uint64, tid string, err error) {
+	if len(key) < 9 {
+		return 0, 0, "", fmt.Errorf("%w: primary key needs >=9 bytes, have %d", ErrShortKey, len(key))
+	}
+	v, _ := Uint64(key[1:])
+	return key[0], v, string(key[9:]), nil
+}
+
+// RangeForIndexValues returns the [start, end) key range that covers, within
+// one shard, every primary key whose index value lies in [lo, hi] for any
+// tid. end is exclusive: it is the first key of index value hi+1 (or the
+// next shard when hi is the maximum value).
+func RangeForIndexValues(shard byte, lo, hi uint64) (start, end []byte) {
+	start = make([]byte, 0, 9)
+	start = append(start, shard)
+	start = AppendUint64(start, lo)
+	end = make([]byte, 0, 9)
+	if hi == ^uint64(0) {
+		end = append(end, shard+1)
+		if shard == 0xFF {
+			// Sentinel past all keys of the last shard.
+			end = append(end[:0], 0xFF)
+			end = AppendUint64(end, hi)
+			end = append(end, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+		}
+		return start, end
+	}
+	end = append(end, shard)
+	end = AppendUint64(end, hi+1)
+	return start, end
+}
+
+// SecondaryKey builds a secondary-table row key: shard byte, a raw
+// order-preserving encoded index component, then the tid bytes separated by
+// 0x00. tid must not contain 0x00.
+func SecondaryKey(shard byte, indexComponent []byte, tid string) []byte {
+	k := make([]byte, 0, 1+len(indexComponent)+1+len(tid))
+	k = append(k, shard)
+	k = append(k, indexComponent...)
+	k = append(k, 0x00)
+	k = append(k, tid...)
+	return k
+}
+
+// AppendString appends s followed by a 0x00 terminator, preserving order
+// among strings that do not contain 0x00.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, s...)
+	return append(dst, 0x00)
+}
+
+// String decodes a 0x00-terminated string from b, returning the string and
+// the remaining bytes.
+func String(b []byte) (string, []byte, error) {
+	for i, c := range b {
+		if c == 0x00 {
+			return string(b[:i]), b[i+1:], nil
+		}
+	}
+	return "", nil, errors.New("codec: unterminated string component")
+}
+
+// ShardOf deterministically assigns a tid to one of n shards using the FNV-1a
+// hash. n must be in [1, 256].
+func ShardOf(tid string, n int) byte {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(tid); i++ {
+		h ^= uint64(tid[i])
+		h *= prime64
+	}
+	return byte(h % uint64(n))
+}

@@ -1,0 +1,194 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := AppendUint64(nil, v)
+		got, err := Uint64(b)
+		return err == nil && got == v && len(b) == 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64OrderPreserving(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ba := AppendUint64(nil, a)
+		bb := AppendUint64(nil, b)
+		cmp := bytes.Compare(ba, bb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64OrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ba := AppendInt64(nil, a)
+		bb := AppendInt64(nil, b)
+		cmp := bytes.Compare(ba, bb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip.
+	g := func(v int64) bool {
+		got, err := Int64(AppendInt64(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortDecodes(t *testing.T) {
+	if _, err := Uint64([]byte{1, 2}); err == nil {
+		t.Error("short uint64 should error")
+	}
+	if _, err := Uint32([]byte{1}); err == nil {
+		t.Error("short uint32 should error")
+	}
+	if _, err := Int64(nil); err == nil {
+		t.Error("nil int64 should error")
+	}
+	if _, _, _, err := SplitPrimaryKey([]byte{1, 2, 3}); err == nil {
+		t.Error("short primary key should error")
+	}
+}
+
+func TestPrimaryKeyRoundTrip(t *testing.T) {
+	f := func(shard byte, v uint64, tid string) bool {
+		k := PrimaryKey(shard, v, tid)
+		s, iv, id, err := SplitPrimaryKey(k)
+		return err == nil && s == shard && iv == v && id == tid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrimaryKeyOrdering(t *testing.T) {
+	// Within a shard, keys sort by index value first, then tid.
+	k1 := PrimaryKey(3, 100, "zzz")
+	k2 := PrimaryKey(3, 101, "aaa")
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Error("smaller index value should sort first regardless of tid")
+	}
+	k3 := PrimaryKey(3, 100, "aaa")
+	if bytes.Compare(k3, k1) >= 0 {
+		t.Error("same index value: tid breaks ties")
+	}
+	// Shard dominates.
+	k4 := PrimaryKey(2, ^uint64(0), "zzz")
+	if bytes.Compare(k4, k3) >= 0 {
+		t.Error("lower shard should sort first")
+	}
+}
+
+func TestRangeForIndexValuesCoversExactly(t *testing.T) {
+	start, end := RangeForIndexValues(5, 10, 20)
+	inside := [][]byte{
+		PrimaryKey(5, 10, ""),
+		PrimaryKey(5, 10, "a"),
+		PrimaryKey(5, 15, "zz"),
+		PrimaryKey(5, 20, "\xff\xff"),
+	}
+	outside := [][]byte{
+		PrimaryKey(5, 9, "\xff"),
+		PrimaryKey(5, 21, ""),
+		PrimaryKey(4, 15, "a"),
+		PrimaryKey(6, 15, "a"),
+	}
+	for _, k := range inside {
+		if bytes.Compare(k, start) < 0 || bytes.Compare(k, end) >= 0 {
+			t.Errorf("key %x should be inside [%x,%x)", k, start, end)
+		}
+	}
+	for _, k := range outside {
+		if bytes.Compare(k, start) >= 0 && bytes.Compare(k, end) < 0 {
+			t.Errorf("key %x should be outside [%x,%x)", k, start, end)
+		}
+	}
+}
+
+func TestRangeForMaxIndexValue(t *testing.T) {
+	start, end := RangeForIndexValues(5, 100, ^uint64(0))
+	k := PrimaryKey(5, ^uint64(0), "zzzz")
+	if bytes.Compare(k, start) < 0 || bytes.Compare(k, end) >= 0 {
+		t.Errorf("max index value key should be inside range")
+	}
+	other := PrimaryKey(6, 0, "")
+	if bytes.Compare(other, end) < 0 {
+		t.Errorf("next shard's keys must be outside the range")
+	}
+}
+
+func TestStringComponentRoundTrip(t *testing.T) {
+	b := AppendString(nil, "hello")
+	b = AppendUint64(b, 42)
+	s, rest, err := String(b)
+	if err != nil || s != "hello" {
+		t.Fatalf("String = %q, err=%v", s, err)
+	}
+	v, err := Uint64(rest)
+	if err != nil || v != 42 {
+		t.Fatalf("rest decode = %d, err=%v", v, err)
+	}
+	if _, _, err := String([]byte("no-terminator")); err == nil {
+		t.Error("unterminated string should error")
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	if ShardOf("any", 1) != 0 {
+		t.Error("single shard must map to 0")
+	}
+	// Deterministic.
+	if ShardOf("abc", 16) != ShardOf("abc", 16) {
+		t.Error("ShardOf must be deterministic")
+	}
+	// Within range and reasonably spread.
+	seen := map[byte]int{}
+	for i := 0; i < 1000; i++ {
+		s := ShardOf(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)), 8)
+		if s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		seen[s]++
+	}
+	if len(seen) < 6 {
+		t.Errorf("poor shard spread: only %d of 8 shards used", len(seen))
+	}
+}
+
+func TestSecondaryKeyOrdering(t *testing.T) {
+	idx1 := AppendUint64(nil, 7)
+	idx2 := AppendUint64(nil, 8)
+	k1 := SecondaryKey(1, idx1, "tidZ")
+	k2 := SecondaryKey(1, idx2, "tidA")
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Error("secondary keys should order by index component first")
+	}
+}

@@ -1,0 +1,60 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEncodePoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomTrajectory(rng, 200)
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total += len(EncodePoints(pts))
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(total)/float64(b.N)/float64(len(pts)), "bytes/point")
+	}
+}
+
+func BenchmarkDecodePoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	blob := EncodePoints(randomTrajectory(rng, 200))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePoints(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimple8bEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]uint64, 1000)
+	for i := range src {
+		src[i] = uint64(rng.Intn(256))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simple8bEncode(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimple8bDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	src := make([]uint64, 1000)
+	for i := range src {
+		src[i] = uint64(rng.Intn(256))
+	}
+	words, _ := Simple8bEncode(src)
+	buf := make([]uint64, 0, 1000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Simple8bDecode(buf[:0], words)
+	}
+}

@@ -1,0 +1,213 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+func TestZigZagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Small magnitudes get small codes.
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4}
+	for v, want := range cases {
+		if got := ZigZag(v); got != want {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		var b []byte
+		for _, v := range vals {
+			b = AppendVarint(b, v)
+		}
+		for _, want := range vals {
+			got, n := Varint(b)
+			if n <= 0 || got != want {
+				return false
+			}
+			b = b[n:]
+		}
+		return len(b) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimple8bRoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{0},
+		{1},
+		{1 << 59},
+		make([]uint64, 500), // long zero run
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{0, 0, 0, 7, 0, 0, 1 << 40, 3},
+	}
+	for i, src := range cases {
+		words, err := Simple8bEncode(src)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got := Simple8bDecode(nil, words)
+		if len(got) != len(src) {
+			t.Fatalf("case %d: len %d != %d", i, len(got), len(src))
+		}
+		for j := range src {
+			if got[j] != src[j] {
+				t.Fatalf("case %d: value %d: %d != %d", i, j, got[j], src[j])
+			}
+		}
+	}
+}
+
+func TestSimple8bRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 100; iter++ {
+		n := rng.Intn(1000)
+		src := make([]uint64, n)
+		for i := range src {
+			// Mix of magnitudes, biased small like real delta streams.
+			shift := uint(rng.Intn(60))
+			src[i] = rng.Uint64() % (1 << shift)
+		}
+		words, err := Simple8bEncode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Simple8bDecode(nil, words)
+		if len(got) != len(src) {
+			t.Fatalf("iter %d: len %d != %d", iter, len(got), len(src))
+		}
+		for j := range src {
+			if got[j] != src[j] {
+				t.Fatalf("iter %d: value %d mismatch", iter, j)
+			}
+		}
+	}
+}
+
+func TestSimple8bOverflow(t *testing.T) {
+	if _, err := Simple8bEncode([]uint64{1 << 60}); err == nil {
+		t.Error("values >= 2^60 must be rejected")
+	}
+}
+
+func TestSimple8bCompressionRatio(t *testing.T) {
+	// Small deltas should pack many values per word.
+	src := make([]uint64, 1000)
+	for i := range src {
+		src[i] = uint64(i % 16)
+	}
+	words, err := Simple8bEncode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) > 100 {
+		t.Errorf("1000 4-bit values should use ~67 words, got %d", len(words))
+	}
+}
+
+func randomTrajectory(rng *rand.Rand, n int) []model.Point {
+	pts := make([]model.Point, n)
+	x := 116.0 + rng.Float64()
+	y := 39.0 + rng.Float64()
+	ts := int64(1_396_000_000_000) + rng.Int63n(1e9)
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * 0.001
+		y += (rng.Float64() - 0.5) * 0.001
+		ts += 10_000 + rng.Int63n(5_000)
+		pts[i] = model.Point{X: x, Y: y, T: ts}
+	}
+	return pts
+}
+
+func TestEncodeDecodePointsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		src := randomTrajectory(rng, rng.Intn(500))
+		blob := EncodePoints(src)
+		got, err := DecodePoints(blob)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if len(got) != len(src) {
+			t.Fatalf("iter %d: len %d != %d", iter, len(got), len(src))
+		}
+		for i := range src {
+			if got[i].T != src[i].T {
+				t.Fatalf("iter %d pt %d: T %d != %d", iter, i, got[i].T, src[i].T)
+			}
+			if math.Abs(got[i].X-src[i].X) > 1/CoordScale {
+				t.Fatalf("iter %d pt %d: X error %g", iter, i, got[i].X-src[i].X)
+			}
+			if math.Abs(got[i].Y-src[i].Y) > 1/CoordScale {
+				t.Fatalf("iter %d pt %d: Y error %g", iter, i, got[i].Y-src[i].Y)
+			}
+		}
+	}
+}
+
+func TestEncodePointsIdempotentAtFixedPoint(t *testing.T) {
+	// Once coordinates are on the fixed-point lattice, a decode/encode cycle
+	// is exactly stable (true losslessness for quantized data).
+	rng := rand.New(rand.NewSource(6))
+	src := randomTrajectory(rng, 200)
+	once, err := DecodePoints(EncodePoints(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := DecodePoints(EncodePoints(once))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range once {
+		if once[i] != twice[i] {
+			t.Fatalf("pt %d not stable: %+v vs %+v", i, once[i], twice[i])
+		}
+	}
+}
+
+func TestDecodePointsRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},            // bad version
+		{1},             // missing count
+		{1, 5},          // count 5 but no data
+		{1, 2, 0x80},    // truncated varint
+		{1, 0xFF, 0xFF}, // huge count, no data
+	}
+	for i, blob := range cases {
+		if _, err := DecodePoints(blob); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestEncodePointsEmpty(t *testing.T) {
+	blob := EncodePoints(nil)
+	pts, err := DecodePoints(blob)
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty round trip: pts=%v err=%v", pts, err)
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := randomTrajectory(rng, 1000)
+	blob := EncodePoints(src)
+	raw := len(src) * 24 // 3 × 8 bytes
+	if len(blob) >= raw/2 {
+		t.Errorf("compressed %d bytes vs raw %d; expected > 2x compression on smooth data", len(blob), raw)
+	}
+}

@@ -1,0 +1,101 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// simple8b packs runs of small unsigned integers into 64-bit words. Each
+// word spends its top 4 bits on a selector that chooses one of 16 layouts:
+//
+//	selector  0    1    2   3   4   5   6   7   8   9  10  11  12  13  14  15
+//	integers  240  120  60  30  20  15  12  10   8   7   6   5   4   3   2   1
+//	bits/int  0    0    1   2   3   4   5   6   7   8  10  12  15  20  30  60
+//
+// Selectors 0 and 1 encode long runs of zeros with no payload bits.
+
+var s8bCounts = [16]int{240, 120, 60, 30, 20, 15, 12, 10, 8, 7, 6, 5, 4, 3, 2, 1}
+var s8bBits = [16]uint{0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 15, 20, 30, 60}
+
+// ErrSimple8bOverflow is returned when a value exceeds the 60-bit payload
+// limit of simple8b.
+var ErrSimple8bOverflow = errors.New("compress: value exceeds simple8b 60-bit limit")
+
+// Simple8bEncode packs src into 64-bit words. Values must be < 2^60.
+func Simple8bEncode(src []uint64) ([]uint64, error) {
+	var out []uint64
+	i := 0
+	for i < len(src) {
+		word, consumed, err := s8bPackOne(src[i:])
+		if err != nil {
+			return nil, fmt.Errorf("%w (value %d at index %d)", err, src[i], i)
+		}
+		out = append(out, word)
+		i += consumed
+	}
+	return out, nil
+}
+
+// s8bPackOne packs as many leading values of src as possible into one word.
+func s8bPackOne(src []uint64) (word uint64, consumed int, err error) {
+	// Try selectors from densest to sparsest; pick the first that fits.
+	for sel := 0; sel < 16; sel++ {
+		n := s8bCounts[sel]
+		bits := s8bBits[sel]
+		if n > len(src) {
+			continue
+		}
+		if bits == 0 {
+			// Zero-run selectors: all n values must be zero.
+			ok := true
+			for _, v := range src[:n] {
+				if v != 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			return uint64(sel) << 60, n, nil
+		}
+		max := uint64(1)<<bits - 1
+		ok := true
+		for _, v := range src[:n] {
+			if v > max {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		w := uint64(sel) << 60
+		for k, v := range src[:n] {
+			w |= v << (uint(k) * bits)
+		}
+		return w, n, nil
+	}
+	return 0, 0, ErrSimple8bOverflow
+}
+
+// Simple8bDecode unpacks words produced by Simple8bEncode, appending values
+// to dst and returning the extended slice.
+func Simple8bDecode(dst []uint64, words []uint64) []uint64 {
+	for _, w := range words {
+		sel := w >> 60
+		n := s8bCounts[sel]
+		bits := s8bBits[sel]
+		if bits == 0 {
+			for k := 0; k < n; k++ {
+				dst = append(dst, 0)
+			}
+			continue
+		}
+		mask := uint64(1)<<bits - 1
+		for k := 0; k < n; k++ {
+			dst = append(dst, (w>>(uint(k)*bits))&mask)
+		}
+	}
+	return dst
+}

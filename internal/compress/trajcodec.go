@@ -1,0 +1,166 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+// CoordScale is the fixed-point scale applied to coordinates before integer
+// compression: 1e-7 degrees ≈ 1.1 cm at the equator, comfortably below GPS
+// noise, so the codec is lossless for any realistic trajectory source.
+const CoordScale = 1e7
+
+// Codec format version written as the first byte of every compressed blob.
+const trajCodecVersion = 1
+
+// Errors returned by DecodePoints.
+var (
+	ErrBadBlob    = errors.New("compress: malformed trajectory blob")
+	ErrBadVersion = errors.New("compress: unsupported trajectory codec version")
+)
+
+// EncodePoints compresses a point sequence losslessly (at CoordScale
+// fixed-point precision). Layout:
+//
+//	version(1B) | count(uvarint)
+//	| t0(varint) | dt0(varint) | ddt...(varints)       timestamps
+//	| x0(varint) | dx...(varints)                      X coordinates
+//	| y0(varint) | dy...(varints)                      Y coordinates
+func EncodePoints(pts []model.Point) []byte {
+	out := make([]byte, 0, 16+len(pts)*4)
+	out = append(out, trajCodecVersion)
+	out = AppendUvarint(out, uint64(len(pts)))
+	if len(pts) == 0 {
+		return out
+	}
+
+	// Timestamps: delta-of-delta.
+	out = AppendVarint(out, pts[0].T)
+	if len(pts) > 1 {
+		prevDelta := pts[1].T - pts[0].T
+		out = AppendVarint(out, prevDelta)
+		for i := 2; i < len(pts); i++ {
+			delta := pts[i].T - pts[i-1].T
+			out = AppendVarint(out, delta-prevDelta)
+			prevDelta = delta
+		}
+	}
+
+	// Coordinates: fixed-point deltas.
+	prevX := quantize(pts[0].X)
+	out = AppendVarint(out, prevX)
+	for i := 1; i < len(pts); i++ {
+		x := quantize(pts[i].X)
+		out = AppendVarint(out, x-prevX)
+		prevX = x
+	}
+	prevY := quantize(pts[0].Y)
+	out = AppendVarint(out, prevY)
+	for i := 1; i < len(pts); i++ {
+		y := quantize(pts[i].Y)
+		out = AppendVarint(out, y-prevY)
+		prevY = y
+	}
+	return out
+}
+
+// DecodePoints decompresses a blob produced by EncodePoints.
+func DecodePoints(blob []byte) ([]model.Point, error) {
+	if len(blob) == 0 {
+		return nil, ErrBadBlob
+	}
+	if blob[0] != trajCodecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, blob[0])
+	}
+	b := blob[1:]
+	count, n := Uvarint(b)
+	if n <= 0 {
+		return nil, ErrBadBlob
+	}
+	b = b[n:]
+	if count == 0 {
+		return nil, nil
+	}
+	if count > uint64(len(blob))*10 {
+		// A varint stream encodes at least one value per ~0.1 byte is
+		// impossible; reject absurd counts before allocating.
+		return nil, fmt.Errorf("%w: implausible point count %d", ErrBadBlob, count)
+	}
+	pts := make([]model.Point, count)
+
+	// Timestamps.
+	t0, n := Varint(b)
+	if n <= 0 {
+		return nil, ErrBadBlob
+	}
+	b = b[n:]
+	pts[0].T = t0
+	if count > 1 {
+		delta, n := Varint(b)
+		if n <= 0 {
+			return nil, ErrBadBlob
+		}
+		b = b[n:]
+		pts[1].T = t0 + delta
+		prev := pts[1].T
+		prevDelta := delta
+		for i := uint64(2); i < count; i++ {
+			dd, n := Varint(b)
+			if n <= 0 {
+				return nil, ErrBadBlob
+			}
+			b = b[n:]
+			prevDelta += dd
+			prev += prevDelta
+			pts[i].T = prev
+		}
+	}
+
+	// X coordinates.
+	x, n := Varint(b)
+	if n <= 0 {
+		return nil, ErrBadBlob
+	}
+	b = b[n:]
+	pts[0].X = dequantize(x)
+	acc := x
+	for i := uint64(1); i < count; i++ {
+		d, n := Varint(b)
+		if n <= 0 {
+			return nil, ErrBadBlob
+		}
+		b = b[n:]
+		acc += d
+		pts[i].X = dequantize(acc)
+	}
+
+	// Y coordinates.
+	y, n := Varint(b)
+	if n <= 0 {
+		return nil, ErrBadBlob
+	}
+	b = b[n:]
+	pts[0].Y = dequantize(y)
+	acc = y
+	for i := uint64(1); i < count; i++ {
+		d, n := Varint(b)
+		if n <= 0 {
+			return nil, ErrBadBlob
+		}
+		b = b[n:]
+		acc += d
+		pts[i].Y = dequantize(acc)
+	}
+	return pts, nil
+}
+
+func quantize(v float64) int64 {
+	return int64(math.Round(v * CoordScale))
+}
+
+func dequantize(q int64) float64 {
+	return float64(q) / CoordScale
+}

@@ -1,0 +1,52 @@
+// Package compress implements the lossless trajectory compression used by
+// TMan's primary-table values (paper Section IV-B(1), "points" column).
+//
+// A trajectory is split into three integer streams — timestamps, X
+// coordinates, Y coordinates (fixed-point) — which compress extremely well
+// because consecutive points are close in both space and time:
+//
+//   - timestamps use delta-of-delta encoding (sampling intervals are nearly
+//     constant, so second differences are tiny) followed by zigzag varints;
+//   - coordinates are scaled to fixed-point integers and delta + zigzag
+//     varint encoded.
+//
+// The package also provides a faithful simple8b implementation (Anh &
+// Moffat, "Index compression using 64-bit words") as an alternative word
+// packer for integer streams, mirroring the codec menu the paper cites
+// (Elf, VGB, simple8b, PFOR).
+package compress
+
+import "encoding/binary"
+
+// ZigZag maps signed integers to unsigned so that small magnitudes of either
+// sign get small codes: 0→0, -1→1, 1→2, -2→3, ...
+func ZigZag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// AppendUvarint appends u in LEB128 variable-length encoding.
+func AppendUvarint(dst []byte, u uint64) []byte {
+	return binary.AppendUvarint(dst, u)
+}
+
+// AppendVarint appends v as a zigzag varint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, ZigZag(v))
+}
+
+// Uvarint reads one LEB128 value, returning it and the bytes consumed
+// (<= 0 on malformed input, matching encoding/binary semantics).
+func Uvarint(b []byte) (uint64, int) {
+	return binary.Uvarint(b)
+}
+
+// Varint reads one zigzag varint.
+func Varint(b []byte) (int64, int) {
+	u, n := binary.Uvarint(b)
+	return UnZigZag(u), n
+}

@@ -1,0 +1,206 @@
+// Package engine implements the TMan storage and query engine: the storage
+// schema of paper Section IV-B (primary + secondary tables, index cache,
+// metadata), the update protocol of Section IV-C, and the query processing
+// layer of Section V (RBO/CBO planning, query-window generation, push-down
+// filter chains, parallel execution).
+package engine
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/kvstore"
+)
+
+// IndexKind identifies an index type usable as a primary or secondary
+// index.
+type IndexKind int
+
+const (
+	// KindTShape is TMan's shape index (default primary).
+	KindTShape IndexKind = iota
+	// KindXZ2 is plain XZ-ordering (the TMan-XZ ablation).
+	KindXZ2
+	// KindTR is TMan's temporal range index.
+	KindTR
+	// KindXZT is TrajMesa's temporal index (the TMan-XZT ablation).
+	KindXZT
+	// KindIDT is the object-id + TR composite.
+	KindIDT
+	// KindST is the TR + TShape composite.
+	KindST
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case KindTShape:
+		return "tshape"
+	case KindXZ2:
+		return "xz2"
+	case KindTR:
+		return "tr"
+	case KindXZT:
+		return "xzt"
+	case KindIDT:
+		return "idt"
+	case KindST:
+		return "st"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures an Engine. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// Boundary is the dataset's spatial extent (e.g. (110,35,125,45) for
+	// TDrive).
+	Boundary geo.Rect
+
+	// PeriodMillis is the TR index time-period length; N is the maximum
+	// periods per time bin (paper defaults: 1 hour and 48).
+	PeriodMillis int64
+	N            int
+
+	// Alpha, Beta, G parameterize the TShape index.
+	Alpha, Beta, G int
+
+	// Spatial selects the spatial index family (KindTShape or KindXZ2).
+	Spatial IndexKind
+	// Temporal selects the temporal index family (KindTR or KindXZT).
+	Temporal IndexKind
+	// Primary selects which index keys the primary table (paper
+	// Section IV-B: "users can create primary tables for query scenarios
+	// that require high efficiency"). A spatial kind (the default) makes
+	// spatial range queries primary-direct and temporal queries go through
+	// the TR secondary; a temporal kind flips that. The value must belong
+	// to the family configured in Spatial/Temporal.
+	Primary IndexKind
+
+	// XZTPeriodMillis and XZTG parameterize the XZT ablation index.
+	XZTPeriodMillis int64
+	XZTG            int
+
+	// Shards spreads rows over this many hash shards to avoid hot-spotting.
+	Shards int
+
+	// Encoding selects the shape-code optimization (bitmap/greedy/genetic).
+	Encoding tshape.Encoding
+	// UseIndexCache enables the shape directory + LFU cache. When false,
+	// trajectories are stored under raw shape bitmaps and queries cover the
+	// full shape range of intersecting elements (Fig. 16(b)'s "no cache").
+	UseIndexCache bool
+	// CacheCapacity is the LFU capacity in element directories.
+	CacheCapacity int
+	// BufferThreshold triggers per-element re-encoding after this many new
+	// unoptimized shapes (Section IV-C).
+	BufferThreshold int
+
+	// DPEpsilon and DPMaxRep control the DP-Features sketch stored with
+	// every row (normalized units; rep point budget).
+	DPEpsilon float64
+	DPMaxRep  int
+
+	// PushDown enables store-side filter evaluation. Disabling it emulates
+	// client-side filtering systems (the TrajMesa comparison).
+	PushDown bool
+
+	// WindowBudget caps the number of generated ST query windows.
+	WindowBudget int
+
+	// KV configures the underlying key-value store (including scan
+	// parallelism and the cluster cost model).
+	KV kvstore.Options
+
+	// DataDir, when set, makes the store durable: mutations are written to
+	// a WAL under this directory and the engine recovers its state on New.
+	DataDir string
+}
+
+// DefaultConfig returns the paper's default parameterization over the given
+// spatial boundary.
+func DefaultConfig(boundary geo.Rect) Config {
+	return Config{
+		Boundary:        boundary,
+		PeriodMillis:    3600_000, // 1 hour
+		N:               48,
+		Alpha:           3,
+		Beta:            3,
+		G:               16,
+		Spatial:         KindTShape,
+		Temporal:        KindTR,
+		Primary:         KindTShape,
+		XZTPeriodMillis: 14 * 24 * 3600_000, // two weeks, as TrajMesa
+		XZTG:            16,
+		Shards:          4,
+		Encoding:        tshape.EncodingGreedy,
+		UseIndexCache:   true,
+		CacheCapacity:   4096,
+		BufferThreshold: 32,
+		DPEpsilon:       0.002,
+		DPMaxRep:        16,
+		PushDown:        true,
+		WindowBudget:    4096,
+		KV:              kvstore.DefaultOptions(),
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if !c.Boundary.Valid() || c.Boundary.Width() <= 0 || c.Boundary.Height() <= 0 {
+		return fmt.Errorf("engine: invalid boundary %v", c.Boundary)
+	}
+	if c.PeriodMillis <= 0 || c.N <= 0 {
+		return fmt.Errorf("engine: invalid TR parameters period=%d N=%d", c.PeriodMillis, c.N)
+	}
+	if err := (tshape.Params{Alpha: c.Alpha, Beta: c.Beta, G: c.G}).Validate(); err != nil {
+		return err
+	}
+	if c.Spatial != KindTShape && c.Spatial != KindXZ2 {
+		return fmt.Errorf("engine: spatial index must be tshape or xz2, got %v", c.Spatial)
+	}
+	if c.Temporal != KindTR && c.Temporal != KindXZT {
+		return fmt.Errorf("engine: temporal index must be tr or xzt, got %v", c.Temporal)
+	}
+	// Primary selects a family; coerce it to the concrete index configured
+	// for that family so ablations (e.g. Spatial = XZ2) keep working
+	// without repeating themselves.
+	switch c.Primary {
+	case KindTShape, KindXZ2:
+		c.Primary = c.Spatial
+	case KindTR, KindXZT:
+		c.Primary = c.Temporal
+	default:
+		return fmt.Errorf("engine: primary must be a spatial or temporal kind, got %v", c.Primary)
+	}
+	if c.Temporal == KindXZT && (c.XZTPeriodMillis <= 0 || c.XZTG <= 0) {
+		return fmt.Errorf("engine: invalid XZT parameters")
+	}
+	if c.Shards < 1 || c.Shards > 256 {
+		return fmt.Errorf("engine: shards must be in [1,256], got %d", c.Shards)
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.BufferThreshold <= 0 {
+		c.BufferThreshold = 32
+	}
+	if c.DPMaxRep <= 0 {
+		c.DPMaxRep = 16
+	}
+	if c.DPEpsilon <= 0 {
+		c.DPEpsilon = 0.002
+	}
+	if c.WindowBudget <= 0 {
+		c.WindowBudget = 4096
+	}
+	return nil
+}
+
+// primaryIsTemporal reports whether the primary table is keyed by the
+// temporal index.
+func (c *Config) primaryIsTemporal() bool {
+	return c.Primary == KindTR || c.Primary == KindXZT
+}

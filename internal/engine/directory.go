@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"github.com/tman-db/tman/internal/cache"
+	"github.com/tman-db/tman/internal/codec"
+	"github.com/tman-db/tman/internal/compress"
+	"github.com/tman-db/tman/internal/kvstore"
+)
+
+// kvDirectory persists per-element shape directories in a KV-store table —
+// the stand-in for the paper's Redis deployment. Each element's full tuple
+// set is stored as one row: key = element code (8B BE), value = repeated
+// (bits, code) uvarint pairs.
+type kvDirectory struct {
+	table *kvstore.Table
+}
+
+func newKVDirectory(t *kvstore.Table) *kvDirectory { return &kvDirectory{table: t} }
+
+// Load implements cache.Directory.
+func (d *kvDirectory) Load(elemCode uint64) ([]cache.Shape, error) {
+	v, ok := d.table.Get(codec.AppendUint64(nil, elemCode))
+	if !ok {
+		return nil, nil
+	}
+	return decodeShapes(v)
+}
+
+// Store implements cache.Directory.
+func (d *kvDirectory) Store(elemCode uint64, shapes []cache.Shape) error {
+	d.table.Put(codec.AppendUint64(nil, elemCode), encodeShapes(shapes))
+	return nil
+}
+
+func encodeShapes(shapes []cache.Shape) []byte {
+	out := compress.AppendUvarint(nil, uint64(len(shapes)))
+	for _, s := range shapes {
+		out = compress.AppendUvarint(out, s.Bits)
+		out = compress.AppendUvarint(out, s.Code)
+	}
+	return out
+}
+
+func decodeShapes(b []byte) ([]cache.Shape, error) {
+	n, c := compress.Uvarint(b)
+	if c <= 0 {
+		return nil, ErrBadRow
+	}
+	b = b[c:]
+	if n > uint64(len(b)) {
+		return nil, ErrBadRow
+	}
+	out := make([]cache.Shape, n)
+	for i := range out {
+		bits, c := compress.Uvarint(b)
+		if c <= 0 {
+			return nil, ErrBadRow
+		}
+		b = b[c:]
+		code, c := compress.Uvarint(b)
+		if c <= 0 {
+			return nil, ErrBadRow
+		}
+		b = b[c:]
+		out[i] = cache.Shape{Bits: bits, Code: code}
+	}
+	return out, nil
+}

@@ -1,0 +1,622 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tman-db/tman/internal/cache"
+	"github.com/tman-db/tman/internal/codec"
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/idt"
+	"github.com/tman-db/tman/internal/index/st"
+	"github.com/tman-db/tman/internal/index/tr"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/index/xz2"
+	"github.com/tman-db/tman/internal/index/xzt"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Table names within the KV store.
+const (
+	tablePrimary   = "primary"
+	tableTR        = "sec_tr"
+	tableSP        = "sec_sp"
+	tableIDT       = "sec_idt"
+	tableST        = "sec_st"
+	tableShapeDir  = "shapedir"
+	tableBufShapes = "bufshapes"
+	tableMeta      = "meta"
+)
+
+// Engine is the TMan storage and query engine over an embedded KV store.
+type Engine struct {
+	cfg   Config
+	store *kvstore.Store
+	space *geo.Space
+
+	trIdx  *tr.Index
+	xztIdx *xzt.Index
+	tsIdx  *tshape.Index
+	xzIdx  *xz2.Index
+
+	primary  *kvstore.Table
+	trTable  *kvstore.Table
+	spTable  *kvstore.Table // spatial secondary, used when the primary is temporal
+	idtTable *kvstore.Table
+	stTable  *kvstore.Table
+	dirTable *kvstore.Table
+	bufTable *kvstore.Table // persisted buffer-shape state (recovery)
+	meta     *kvstore.Table
+
+	icache *cache.IndexCache
+	buffer *cache.BufferShapeCache
+
+	reencodeMu sync.Mutex // serializes per-element re-encoding
+	rows       atomic.Int64
+	reencodes  atomic.Int64
+
+	// Observed TR value extent, used by the CBO's temporal selectivity
+	// estimate.
+	minTR, maxTR atomic.Int64
+	trSeen       atomic.Bool
+}
+
+// New creates an engine with its own KV store. With Config.DataDir set the
+// store is durable and any previous state under that directory is
+// recovered.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	space, err := geo.NewSpace(cfg.Boundary)
+	if err != nil {
+		return nil, err
+	}
+	var store *kvstore.Store
+	if cfg.DataDir != "" {
+		store, err = kvstore.OpenDir(cfg.DataDir, cfg.KV)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = kvstore.Open(cfg.KV)
+	}
+	e := &Engine{cfg: cfg, space: space, store: store}
+
+	e.trIdx, err = tr.New(cfg.PeriodMillis, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Temporal == KindXZT {
+		e.xztIdx, err = xzt.New(cfg.XZTPeriodMillis, cfg.XZTG)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.tsIdx, err = tshape.New(tshape.Params{Alpha: cfg.Alpha, Beta: cfg.Beta, G: cfg.G}, space)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spatial == KindXZ2 {
+		e.xzIdx = xz2.New(cfg.G)
+	}
+
+	// OpenTable is idempotent: on a recovered store the tables already
+	// exist with their data.
+	e.primary = e.store.OpenTable(tablePrimary)
+	e.trTable = e.store.OpenTable(tableTR)
+	e.spTable = e.store.OpenTable(tableSP)
+	e.idtTable = e.store.OpenTable(tableIDT)
+	e.stTable = e.store.OpenTable(tableST)
+	e.dirTable = e.store.OpenTable(tableShapeDir)
+	e.bufTable = e.store.OpenTable(tableBufShapes)
+	e.meta = e.store.OpenTable(tableMeta)
+
+	if cfg.UseIndexCache && cfg.Spatial == KindTShape {
+		e.icache = cache.NewIndexCache(cfg.CacheCapacity, newKVDirectory(e.dirTable))
+		e.buffer = cache.NewBufferShapeCache(cfg.BufferThreshold)
+	}
+	if cfg.DataDir != "" {
+		if err := e.recoverState(); err != nil {
+			return nil, err
+		}
+	}
+	e.writeMeta()
+	return e, nil
+}
+
+// recoverState rebuilds in-memory bookkeeping from recovered tables: the
+// row count, the observed TR value extent, and the buffered (not yet
+// re-encoded) shapes that keep raw-coded rows reachable by queries.
+func (e *Engine) recoverState() error {
+	rows := e.primary.Scan(nil, nil, nil, 0)
+	e.rows.Store(int64(len(rows)))
+	for _, kv := range rows {
+		hdr, _, err := decodeRowHeader(kv.Value)
+		if err != nil {
+			continue
+		}
+		e.observeTR(hdr.TRValue)
+	}
+	if e.buffer != nil {
+		for _, kv := range e.bufTable.Scan(nil, nil, nil, 0) {
+			if len(kv.Key) != 16 {
+				continue
+			}
+			elem, _ := codec.Uint64(kv.Key)
+			bits, _ := codec.Uint64(kv.Key[8:])
+			// Re-adding may cross the threshold; re-encode immediately so
+			// the recovered state converges.
+			if e.buffer.Add(elem, bits) {
+				e.reencodeElement(elem)
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes durable state (no-op for in-memory engines).
+func (e *Engine) Close() error { return e.store.Close() }
+
+// Checkpoint snapshots a durable store and truncates its WAL.
+func (e *Engine) Checkpoint() error { return e.store.Checkpoint() }
+
+// writeMeta records index parameters in the metadata table (paper
+// Section IV-B(4)).
+func (e *Engine) writeMeta() {
+	put := func(k, v string) { e.meta.Put([]byte(k), []byte(v)) }
+	put("spatial", e.cfg.Spatial.String())
+	put("temporal", e.cfg.Temporal.String())
+	put("alpha", fmt.Sprint(e.cfg.Alpha))
+	put("beta", fmt.Sprint(e.cfg.Beta))
+	put("g", fmt.Sprint(e.cfg.G))
+	put("period_ms", fmt.Sprint(e.cfg.PeriodMillis))
+	put("n", fmt.Sprint(e.cfg.N))
+	put("encoding", e.cfg.Encoding.String())
+	put("shards", fmt.Sprint(e.cfg.Shards))
+}
+
+// Meta returns a recorded metadata entry.
+func (e *Engine) Meta(key string) (string, bool) {
+	v, ok := e.meta.Get([]byte(key))
+	return string(v), ok
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Space returns the normalization space.
+func (e *Engine) Space() *geo.Space { return e.space }
+
+// Store exposes the underlying KV store (stats, table inspection).
+func (e *Engine) Store() *kvstore.Store { return e.store }
+
+// Rows returns the number of stored trajectories.
+func (e *Engine) Rows() int64 { return e.rows.Load() }
+
+// Reencodes returns how many element re-encode passes have run.
+func (e *Engine) Reencodes() int64 { return e.reencodes.Load() }
+
+// CacheStats returns index-cache counters (zero when the cache is off).
+func (e *Engine) CacheStats() cache.CacheStats {
+	if e.icache == nil {
+		return cache.CacheStats{}
+	}
+	return e.icache.Stats()
+}
+
+// temporalValue encodes a time range with the configured temporal index.
+func (e *Engine) temporalValue(trng model.TimeRange) uint64 {
+	if e.cfg.Temporal == KindXZT {
+		return e.xztIdx.Encode(trng)
+	}
+	return e.trIdx.Encode(trng)
+}
+
+// temporalRanges produces candidate value intervals for a query range.
+func (e *Engine) temporalRanges(q model.TimeRange) []valueRange {
+	if e.cfg.Temporal == KindXZT {
+		rs := e.xztIdx.QueryRanges(q)
+		out := make([]valueRange, len(rs))
+		for i, r := range rs {
+			out[i] = valueRange{lo: r.Lo, hi: r.Hi}
+		}
+		return out
+	}
+	rs := e.trIdx.QueryRanges(q)
+	out := make([]valueRange, len(rs))
+	for i, r := range rs {
+		out[i] = valueRange{lo: r.Lo, hi: r.Hi}
+	}
+	return out
+}
+
+// valueRange is a closed index-value interval, index-family agnostic.
+type valueRange struct{ lo, hi uint64 }
+
+// spatialValue computes the primary index value of a trajectory, resolving
+// the shape code through the index cache / buffer cache when enabled.
+func (e *Engine) spatialValue(t *model.Trajectory) uint64 {
+	if e.cfg.Spatial == KindXZ2 {
+		return e.xzIdx.Encode(e.space.NormalizeRect(t.MBR()))
+	}
+	elem, bits := e.tsIdx.EncodeRaw(t)
+	return e.tsIdx.Pack(elem, e.resolveShapeCode(elem, bits))
+}
+
+// resolveShapeCode maps raw shape bits to the stored code per the update
+// protocol of Section IV-C: optimized final code when the directory knows
+// the shape, otherwise the raw bitmap (buffered for the next re-encode).
+func (e *Engine) resolveShapeCode(elem, bits uint64) uint64 {
+	if e.icache == nil {
+		return bits
+	}
+	for _, s := range e.icache.Shapes(elem) {
+		if s.Bits == bits {
+			return s.Code
+		}
+	}
+	if e.buffer.Contains(elem, bits) {
+		return bits
+	}
+	e.bufTable.Put(bufShapeKey(elem, bits), nil)
+	if e.buffer.Add(elem, bits) {
+		e.reencodeElement(elem)
+		// After re-encoding the directory knows this shape.
+		for _, s := range e.icache.Shapes(elem) {
+			if s.Bits == bits {
+				return s.Code
+			}
+		}
+	}
+	return bits
+}
+
+// bufShapeKey addresses one buffered (not yet re-encoded) shape.
+func bufShapeKey(elem, bits uint64) []byte {
+	k := codec.AppendUint64(nil, elem)
+	return codec.AppendUint64(k, bits)
+}
+
+// Put stores one trajectory, updating primary and secondary tables.
+func (e *Engine) Put(t *model.Trajectory) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	return e.putEncoded(t, e.temporalValue(t.TimeRange()), e.spatialValue(t))
+}
+
+// putEncoded writes a trajectory whose index values are already resolved.
+func (e *Engine) putEncoded(t *model.Trajectory, trValue, spatial uint64) error {
+	feat := e.normalizedFeatures(t)
+	shard := codec.ShardOf(t.TID, e.cfg.Shards)
+	primaryVal := spatial
+	if e.cfg.primaryIsTemporal() {
+		primaryVal = trValue
+	}
+	pk := codec.PrimaryKey(shard, primaryVal, t.TID)
+	e.primary.Put(pk, encodeRow(t, trValue, feat))
+
+	// Secondary tables map back to the primary row key; the family serving
+	// as the primary index needs no secondary of its own.
+	if e.cfg.primaryIsTemporal() {
+		e.spTable.Put(codec.SecondaryKey(shard, codec.AppendUint64(nil, spatial), t.TID), pk)
+	} else {
+		e.trTable.Put(codec.SecondaryKey(shard, codec.AppendUint64(nil, trValue), t.TID), pk)
+	}
+	e.idtTable.Put(codec.SecondaryKey(shard, idt.Key(t.OID, trValue), t.TID), pk)
+	e.stTable.Put(codec.SecondaryKey(shard, st.Key(trValue, spatial), t.TID), pk)
+
+	e.rows.Add(1)
+	e.observeTR(trValue)
+	return nil
+}
+
+// BatchPut stores many trajectories. Per the update protocol of
+// Section IV-C, trajectories are first grouped by their quadrant code
+// (enlarged element): each group resolves its shape codes together — one
+// directory access, at most one re-encode — before its rows are written.
+func (e *Engine) BatchPut(ts []*model.Trajectory) error {
+	if e.icache == nil || e.cfg.Spatial != KindTShape {
+		for _, t := range ts {
+			if err := e.Put(t); err != nil {
+				return fmt.Errorf("engine: batch put %s: %w", t.TID, err)
+			}
+		}
+		return nil
+	}
+	type pending struct {
+		t       *model.Trajectory
+		trValue uint64
+		bits    uint64
+	}
+	groups := make(map[uint64][]pending)
+	var order []uint64
+	for _, t := range ts {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("engine: batch put %s: %w", t.TID, err)
+		}
+		elem, bits := e.tsIdx.EncodeRaw(t)
+		if _, seen := groups[elem]; !seen {
+			order = append(order, elem)
+		}
+		groups[elem] = append(groups[elem], pending{
+			t: t, trValue: e.temporalValue(t.TimeRange()), bits: bits,
+		})
+	}
+	for _, elem := range order {
+		items := groups[elem]
+		// Resolve every distinct shape of the group first (buffer adds and
+		// the potential re-encode happen before this group's rows land).
+		codes := make(map[uint64]uint64)
+		for _, it := range items {
+			if _, done := codes[it.bits]; !done {
+				codes[it.bits] = e.resolveShapeCode(elem, it.bits)
+			}
+		}
+		// A re-encode triggered by a later shape renumbers earlier ones;
+		// re-read the final codes now that the group's directory is stable.
+		known := make(map[uint64]uint64)
+		for _, s := range e.icache.Shapes(elem) {
+			known[s.Bits] = s.Code
+		}
+		for bits := range codes {
+			if code, ok := known[bits]; ok {
+				codes[bits] = code
+			} else {
+				codes[bits] = bits // still buffered: raw code
+			}
+		}
+		for _, it := range items {
+			spatial := e.tsIdx.Pack(elem, codes[it.bits])
+			if err := e.putEncoded(it.t, it.trValue, spatial); err != nil {
+				return fmt.Errorf("engine: batch put %s: %w", it.t.TID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes a trajectory given its oid, tid and (exact) stored time
+// range and geometry — callers usually pass a trajectory previously read
+// from the engine.
+func (e *Engine) Delete(t *model.Trajectory) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	trValue := e.temporalValue(t.TimeRange())
+	spatial := e.spatialValue(t)
+	shard := codec.ShardOf(t.TID, e.cfg.Shards)
+	primaryVal := spatial
+	if e.cfg.primaryIsTemporal() {
+		primaryVal = trValue
+	}
+	pk := codec.PrimaryKey(shard, primaryVal, t.TID)
+	if _, ok := e.primary.Get(pk); !ok {
+		return nil // idempotent: nothing stored under this identity
+	}
+	e.primary.Delete(pk)
+	if e.cfg.primaryIsTemporal() {
+		e.spTable.Delete(codec.SecondaryKey(shard, codec.AppendUint64(nil, spatial), t.TID))
+	} else {
+		e.trTable.Delete(codec.SecondaryKey(shard, codec.AppendUint64(nil, trValue), t.TID))
+	}
+	e.idtTable.Delete(codec.SecondaryKey(shard, idt.Key(t.OID, trValue), t.TID))
+	e.stTable.Delete(codec.SecondaryKey(shard, st.Key(trValue, spatial), t.TID))
+	e.rows.Add(-1)
+	return nil
+}
+
+// normalizedFeatures extracts the DP-Features sketch in normalized
+// coordinates.
+func (e *Engine) normalizedFeatures(t *model.Trajectory) model.DPFeatures {
+	norm := &model.Trajectory{OID: t.OID, TID: t.TID, Points: make([]model.Point, len(t.Points))}
+	for i, p := range t.Points {
+		x, y := e.space.Normalize(p.X, p.Y)
+		norm.Points[i] = model.Point{X: x, Y: y, T: p.T}
+	}
+	return model.ExtractDPFeatures(norm, e.cfg.DPEpsilon, e.cfg.DPMaxRep)
+}
+
+func (e *Engine) observeTR(v uint64) {
+	iv := int64(v)
+	if !e.trSeen.Swap(true) {
+		e.minTR.Store(iv)
+		e.maxTR.Store(iv)
+		return
+	}
+	for {
+		cur := e.minTR.Load()
+		if iv >= cur || e.minTR.CompareAndSwap(cur, iv) {
+			break
+		}
+	}
+	for {
+		cur := e.maxTR.Load()
+		if iv <= cur || e.maxTR.CompareAndSwap(cur, iv) {
+			break
+		}
+	}
+}
+
+// reencodeElement implements the re-encode pass of Section IV-C: gather all
+// known shapes of the element (directory + buffer), compute an optimized
+// order, persist the new directory, and rewrite rows whose index value
+// changed.
+func (e *Engine) reencodeElement(elem uint64) {
+	e.reencodeMu.Lock()
+	defer e.reencodeMu.Unlock()
+
+	buffered := e.buffer.Take(elem)
+	// Drop the persisted buffer entries: the directory will own these
+	// shapes once the re-encode below completes.
+	for _, bits := range buffered {
+		e.bufTable.Delete(bufShapeKey(elem, bits))
+	}
+	existing := e.icache.Shapes(elem)
+	seen := make(map[uint64]struct{}, len(existing)+len(buffered))
+	all := make([]uint64, 0, len(existing)+len(buffered))
+	for _, s := range existing {
+		if _, dup := seen[s.Bits]; !dup {
+			seen[s.Bits] = struct{}{}
+			all = append(all, s.Bits)
+		}
+	}
+	for _, b := range buffered {
+		if _, dup := seen[b]; !dup {
+			seen[b] = struct{}{}
+			all = append(all, b)
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	ordered := tshape.OptimizeOrder(all, e.cfg.Encoding, int64(elem))
+	shapes := make([]cache.Shape, len(ordered))
+	newCode := make(map[uint64]uint64, len(ordered))
+	for i, bits := range ordered {
+		shapes[i] = cache.Shape{Bits: bits, Code: uint64(i)}
+		newCode[bits] = uint64(i)
+	}
+	if err := e.icache.Update(elem, shapes); err != nil {
+		return
+	}
+	e.reencodes.Add(1)
+	e.rewriteElementRows(elem, newCode)
+}
+
+// rewriteElementRows migrates stored rows of an element to their new shape
+// codes: primary keys move when the primary table is spatial; otherwise the
+// spatial secondary and ST mappings are rewritten in place.
+func (e *Engine) rewriteElementRows(elem uint64, newCode map[uint64]uint64) {
+	if e.cfg.primaryIsTemporal() {
+		e.rewriteElementSecondary(elem, newCode)
+		return
+	}
+	anchor := e.tsIdx.AnchorFromExtCode(elem)
+	for s := 0; s < e.cfg.Shards; s++ {
+		lo := e.tsIdx.Pack(elem, 0)
+		hi := e.tsIdx.Pack(elem, 1<<e.tsIdx.ShapeBitsWidth()-1)
+		start, end := codec.RangeForIndexValues(byte(s), lo, hi)
+		rows := e.primary.Scan(start, end, nil, 0)
+		for _, kv := range rows {
+			_, oldVal, tid, err := codec.SplitPrimaryKey(kv.Key)
+			if err != nil {
+				continue
+			}
+			row, err := decodeRow(kv.Value)
+			if err != nil {
+				continue
+			}
+			traj, err := row.Trajectory()
+			if err != nil {
+				continue
+			}
+			bits := e.tsIdx.ShapeBits(traj, anchor)
+			code, ok := newCode[bits]
+			if !ok {
+				continue // shape unknown (should not happen); keep as is
+			}
+			newVal := e.tsIdx.Pack(elem, code)
+			if newVal == oldVal {
+				continue
+			}
+			newKey := codec.PrimaryKey(byte(s), newVal, tid)
+			e.primary.Delete(kv.Key)
+			e.primary.Put(newKey, kv.Value)
+			// Refresh secondary mappings that embed the primary key or the
+			// spatial value.
+			shard := byte(s)
+			e.trTable.Put(codec.SecondaryKey(shard, codec.AppendUint64(nil, row.TRValue), tid), newKey)
+			e.idtTable.Put(codec.SecondaryKey(shard, idt.Key(row.OID, row.TRValue), tid), newKey)
+			e.stTable.Delete(codec.SecondaryKey(shard, st.Key(row.TRValue, oldVal), tid))
+			e.stTable.Put(codec.SecondaryKey(shard, st.Key(row.TRValue, newVal), tid), newKey)
+		}
+	}
+}
+
+// rewriteElementSecondary re-keys the spatial secondary and ST mappings of
+// an element when the primary table is temporal (primary rows stay put).
+func (e *Engine) rewriteElementSecondary(elem uint64, newCode map[uint64]uint64) {
+	anchor := e.tsIdx.AnchorFromExtCode(elem)
+	for s := 0; s < e.cfg.Shards; s++ {
+		lo := e.tsIdx.Pack(elem, 0)
+		hi := e.tsIdx.Pack(elem, 1<<e.tsIdx.ShapeBitsWidth()-1)
+		start := append([]byte{byte(s)}, codec.AppendUint64(nil, lo)...)
+		var end []byte
+		if hi == ^uint64(0) {
+			end = []byte{byte(s) + 1}
+		} else {
+			end = append([]byte{byte(s)}, codec.AppendUint64(nil, hi+1)...)
+		}
+		entries := e.spTable.Scan(start, end, nil, 0)
+		for _, kv := range entries {
+			// Secondary key layout: shard(1) :: value(8) :: 0x00 :: tid.
+			if len(kv.Key) < 10 {
+				continue
+			}
+			oldVal, _ := codec.Uint64(kv.Key[1:])
+			tid := string(kv.Key[10:])
+			pk := kv.Value
+			value, ok := e.primary.Get(pk)
+			if !ok {
+				continue
+			}
+			row, err := decodeRow(value)
+			if err != nil {
+				continue
+			}
+			traj, err := row.Trajectory()
+			if err != nil {
+				continue
+			}
+			bits := e.tsIdx.ShapeBits(traj, anchor)
+			code, okCode := newCode[bits]
+			if !okCode {
+				continue
+			}
+			newVal := e.tsIdx.Pack(elem, code)
+			if newVal == oldVal {
+				continue
+			}
+			shard := byte(s)
+			e.spTable.Delete(kv.Key)
+			e.spTable.Put(codec.SecondaryKey(shard, codec.AppendUint64(nil, newVal), tid), pk)
+			e.stTable.Delete(codec.SecondaryKey(shard, st.Key(row.TRValue, oldVal), tid))
+			e.stTable.Put(codec.SecondaryKey(shard, st.Key(row.TRValue, newVal), tid), pk)
+		}
+	}
+}
+
+// shapeProvider merges the persistent directory with shapes still waiting
+// in the buffer cache, so queries see trajectories stored under raw codes.
+type shapeProvider struct {
+	e *Engine
+}
+
+// Shapes implements tshape.ShapeProvider.
+func (p shapeProvider) Shapes(elem uint64) []tshape.Shape {
+	var out []tshape.Shape
+	known := map[uint64]struct{}{}
+	for _, s := range p.e.icache.Shapes(elem) {
+		out = append(out, tshape.Shape{Bits: s.Bits, Code: s.Code})
+		known[s.Bits] = struct{}{}
+	}
+	for _, bits := range p.e.buffer.Shapes(elem) {
+		if _, dup := known[bits]; !dup {
+			out = append(out, tshape.Shape{Bits: bits, Code: bits})
+		}
+	}
+	return out
+}
+
+// provider returns the ShapeProvider queries should use (nil when the index
+// cache is disabled — the full-shape-range fallback).
+func (e *Engine) provider() tshape.ShapeProvider {
+	if e.icache == nil {
+		return nil
+	}
+	return shapeProvider{e: e}
+}

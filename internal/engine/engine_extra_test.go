@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/codec"
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Corrupt primary rows (disk damage, partial writes) must be skipped by
+// every query path, never crash or surface garbage.
+func TestCorruptRowsAreSkipped(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 100, 211)
+	// Inject corrupt rows straight into the primary table at keys inside
+	// real candidate ranges.
+	victim := trajs[0]
+	spatial := e.spatialValue(victim)
+	shard := codec.ShardOf("corrupt", e.cfg.Shards)
+	e.primary.Put(codec.PrimaryKey(shard, spatial, "corrupt-a"), []byte{0xFF, 0x00, 0x13})
+	e.primary.Put(codec.PrimaryKey(shard, spatial, "corrupt-b"), nil)
+
+	got, _, err := e.SpatialRangeQuery(victim.MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range got {
+		if g.TID == "corrupt-a" || g.TID == "corrupt-b" {
+			t.Fatal("corrupt row surfaced as a result")
+		}
+	}
+	// The real trajectory must still be found despite its corrupt
+	// neighbours.
+	found := false
+	for _, g := range got {
+		if g.TID == victim.TID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("victim trajectory lost next to corrupt rows")
+	}
+}
+
+// A tiny LFU capacity forces eviction storms; queries must stay correct
+// because the persistent directory backs every miss.
+func TestCacheEvictionStormCorrectness(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheCapacity = 2 // pathological
+	cfg.BufferThreshold = 2
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(223))
+	var trajs []*model.Trajectory
+	for i := 0; i < 200; i++ {
+		tr := genTrajectory(rng, "o", fmt.Sprintf("t%04d", i))
+		trajs = append(trajs, tr)
+		if err := e.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := e.CacheStats()
+	if stats.Evictions == 0 {
+		t.Log("no evictions observed (elements may be few); continuing")
+	}
+	for iter := 0; iter < 10; iter++ {
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.5, MaxY: cy + 0.5}
+		got, _, err := e.SpatialRangeQuery(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("eviction-storm iter %d", iter), tids(got), tids(want))
+	}
+}
+
+// ST window budget: a tiny budget forces the coarse fallback; results must
+// not change.
+func TestSTWindowBudgetFallback(t *testing.T) {
+	small := testConfig()
+	small.WindowBudget = 2 // force coarse windows
+
+	big := testConfig()
+	big.WindowBudget = 100000
+
+	eSmall, trajs := loadEngine(t, small, 200, 227)
+	eBig, err := New(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trajs {
+		if err := eBig.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(229))
+	for iter := 0; iter < 10; iter++ {
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 1, MaxY: cy + 1}
+		qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + 12*3600_000}
+		a, _, err := eSmall.SpatioTemporalQuery(sr, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := eBig.SpatioTemporalQuery(sr, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTIDs(t, fmt.Sprintf("budget iter %d", iter), tids(a), tids(b))
+	}
+}
+
+// The CBO must pick sensible plans at the extremes: a tiny time range with
+// a huge window should prefer a temporal plan; a tiny window with a huge
+// time range should prefer a spatial plan.
+func TestCBOPlanSelectionExtremes(t *testing.T) {
+	e, _ := loadEngine(t, testConfig(), 300, 233)
+	nsrHuge := geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	nsrTiny := geo.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.5001, MaxY: 0.5001}
+	qTiny := model.TimeRange{Start: 1_500_000_000_000, End: 1_500_000_000_000 + 60_000}
+	qHuge := model.TimeRange{Start: 1_400_000_000_000, End: 1_700_000_000_000}
+
+	if plan := e.chooseSTPlan(nsrHuge, qTiny); plan == "primary:spatial+tfilter" {
+		t.Errorf("huge window + tiny range chose %q; spatial scan would read everything", plan)
+	}
+	if plan := e.chooseSTPlan(nsrTiny, qHuge); plan == "secondary:tr+sfilter" {
+		t.Errorf("tiny window + huge range chose %q; temporal scan would read everything", plan)
+	}
+}
+
+// QueryReport bookkeeping: plans, windows, candidates and store diffs are
+// populated consistently.
+func TestQueryReportsPopulated(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 150, 239)
+	q := trajs[0].TimeRange()
+	_, rep, err := e.TemporalRangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan == "" || rep.Windows == 0 || rep.Elapsed <= 0 {
+		t.Errorf("TRQ report incomplete: %+v", rep)
+	}
+	if rep.Store.Seeks == 0 || rep.Store.RPCs == 0 {
+		t.Errorf("store diff empty: %+v", rep.Store)
+	}
+	if rep.Candidates < int64(rep.Results) {
+		t.Errorf("candidates %d < results %d", rep.Candidates, rep.Results)
+	}
+
+	_, rep, err = e.SpatialRangeQuery(trajs[0].MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != "primary:tshape" {
+		t.Errorf("SRQ plan = %q", rep.Plan)
+	}
+	if rep.Store.RowsScanned < rep.Store.RowsReturned {
+		t.Errorf("scanned %d < returned %d", rep.Store.RowsScanned, rep.Store.RowsReturned)
+	}
+}
+
+// Duplicate TID overwrite: re-putting a trajectory with the same TID must
+// not duplicate results.
+func TestPutSameTIDOverwrites(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 20, 241)
+	victim := trajs[3]
+	if err := e.Put(victim); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.SpatialRangeQuery(victim.MBR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, g := range got {
+		if g.TID == victim.TID {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("trajectory appears %d times after re-put", count)
+	}
+}
+
+// The engine over a no-network store must behave identically (pure CPU).
+func TestNoNetworkConfigAgrees(t *testing.T) {
+	cfg := testConfig()
+	cfg.KV = kvstore.NoNetworkOptions()
+	e, trajs := loadEngine(t, cfg, 100, 251)
+	q := trajs[0].TimeRange()
+	got, rep, err := e.TemporalRangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Store.SimIONanos != 0 {
+		t.Errorf("no-network config accrued %d simulated nanos", rep.Store.SimIONanos)
+	}
+	found := false
+	for _, g := range got {
+		if g.TID == trajs[0].TID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("query lost the probe trajectory")
+	}
+}
+
+// The full ablation cross: XZ2 spatial + XZT temporal together must still
+// agree with the default configuration.
+func TestCombinedBaselineIndexesAgree(t *testing.T) {
+	base := testConfig()
+	combo := testConfig()
+	combo.Spatial = KindXZ2
+	combo.Temporal = KindXZT
+
+	eBase, trajs := loadEngine(t, base, 200, 257)
+	eCombo, err := New(combo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trajs {
+		if err := eCombo.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(263))
+	for iter := 0; iter < 8; iter++ {
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.5, MaxY: cy + 0.5}
+		qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + 6*3600_000}
+
+		a, _, _ := eBase.SpatioTemporalQuery(sr, q)
+		b, _, _ := eCombo.SpatioTemporalQuery(sr, q)
+		sameTIDs(t, fmt.Sprintf("combo STRQ iter %d", iter), tids(b), tids(a))
+		at, _, _ := eBase.TemporalRangeQuery(q)
+		bt, _, _ := eCombo.TemporalRangeQuery(q)
+		sameTIDs(t, fmt.Sprintf("combo TRQ iter %d", iter), tids(bt), tids(at))
+		as, _, _ := eBase.SpatialRangeQuery(sr)
+		bs, _, _ := eCombo.SpatialRangeQuery(sr)
+		sameTIDs(t, fmt.Sprintf("combo SRQ iter %d", iter), tids(bs), tids(as))
+	}
+}
+
+// Deleting a trajectory that was never stored must be an idempotent no-op:
+// no tombstones, no row-count drift.
+func TestDeleteMissingIsNoOp(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 10, 269)
+	ghost := trajs[0].Clone()
+	ghost.TID = "never-stored"
+	if err := e.Delete(ghost); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows() != 10 {
+		t.Fatalf("Rows = %d after deleting a ghost, want 10", e.Rows())
+	}
+	// Double delete of a real trajectory only counts once.
+	if err := e.Delete(trajs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(trajs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows() != 9 {
+		t.Fatalf("Rows = %d after double delete, want 9", e.Rows())
+	}
+}

@@ -1,0 +1,502 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+var testBoundary = geo.Rect{MinX: 110, MinY: 35, MaxX: 125, MaxY: 45}
+
+func testConfig() Config {
+	cfg := DefaultConfig(testBoundary)
+	cfg.G = 12
+	cfg.CacheCapacity = 256
+	cfg.BufferThreshold = 8
+	return cfg
+}
+
+// genTrajectory produces a random-walk trajectory inside the boundary.
+func genTrajectory(rng *rand.Rand, oid, tid string) *model.Trajectory {
+	n := 5 + rng.Intn(60)
+	pts := make([]model.Point, n)
+	x := testBoundary.MinX + rng.Float64()*testBoundary.Width()
+	y := testBoundary.MinY + rng.Float64()*testBoundary.Height()
+	ts := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * 0.02
+		y += (rng.Float64() - 0.5) * 0.02
+		x = math.Max(testBoundary.MinX, math.Min(testBoundary.MaxX, x))
+		y = math.Max(testBoundary.MinY, math.Min(testBoundary.MaxY, y))
+		ts += 30_000 + rng.Int63n(120_000)
+		pts[i] = model.Point{X: x, Y: y, T: ts}
+	}
+	return &model.Trajectory{OID: oid, TID: tid, Points: pts}
+}
+
+func loadEngine(t *testing.T, cfg Config, n int, seed int64) (*Engine, []*model.Trajectory) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trajs := make([]*model.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		tr := genTrajectory(rng, fmt.Sprintf("obj-%d", i%25), fmt.Sprintf("traj-%05d", i))
+		trajs = append(trajs, tr)
+		if err := e.Put(tr); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	return e, trajs
+}
+
+func tids(ts []*model.Trajectory) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.TID
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameTIDs(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d = %q, want %q", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineNewValidatesConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid shards accepted")
+	}
+	cfg = testConfig()
+	cfg.Boundary = geo.Rect{}
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid boundary accepted")
+	}
+}
+
+func TestEngineMetaRecorded(t *testing.T) {
+	e, _ := loadEngine(t, testConfig(), 1, 1)
+	if v, ok := e.Meta("alpha"); !ok || v != "3" {
+		t.Errorf("meta alpha = %q, %v", v, ok)
+	}
+	if v, ok := e.Meta("spatial"); !ok || v != "tshape" {
+		t.Errorf("meta spatial = %q", v)
+	}
+}
+
+func TestTemporalRangeQueryMatchesBruteForce(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 400, 7)
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 25; iter++ {
+		qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + rng.Int63n(12*3600_000)}
+		got, report, err := e.TemporalRangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.TimeRange().Intersects(q) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("TRQ iter %d", iter), tids(got), tids(want))
+		if len(want) > 0 && report.Candidates < int64(len(want)) {
+			t.Errorf("iter %d: candidates %d < results %d", iter, report.Candidates, len(want))
+		}
+	}
+}
+
+func TestSpatialRangeQueryMatchesBruteForce(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 400, 9)
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 25; iter++ {
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + rng.Float64()*0.5, MaxY: cy + rng.Float64()*0.5}
+		got, _, err := e.SpatialRangeQuery(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("SRQ iter %d", iter), tids(got), tids(want))
+	}
+}
+
+func TestIDTemporalQueryMatchesBruteForce(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 300, 11)
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 20; iter++ {
+		oid := fmt.Sprintf("obj-%d", rng.Intn(25))
+		qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + rng.Int63n(24*3600_000)}
+		got, _, err := e.IDTemporalQuery(oid, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.OID == oid && tr.TimeRange().Intersects(q) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("IDT iter %d (%s)", iter, oid), tids(got), tids(want))
+	}
+}
+
+func TestSpatioTemporalQueryMatchesBruteForceAllPlans(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 400, 13)
+	rng := rand.New(rand.NewSource(29))
+	plansSeen := map[string]bool{}
+	for iter := 0; iter < 40; iter++ {
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		// Vary window sizes wildly so the CBO exercises different plans.
+		sw := rng.Float64() * rng.Float64() * 4
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + sw, MaxY: cy + sw}
+		qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + rng.Int63n(48*3600_000)}
+		got, report, err := e.SpatioTemporalQuery(sr, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plansSeen[report.Plan] = true
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.TimeRange().Intersects(q) && tr.IntersectsRect(sr) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("STRQ iter %d plan %s", iter, report.Plan), tids(got), tids(want))
+	}
+	if len(plansSeen) < 2 {
+		t.Logf("CBO only exercised plans: %v", plansSeen)
+	}
+}
+
+func TestSimilarityThresholdMatchesBruteForce(t *testing.T) {
+	cfg := testConfig()
+	e, trajs := loadEngine(t, cfg, 250, 31)
+	rng := rand.New(rand.NewSource(37))
+	for _, m := range []similarity.Measure{similarity.Frechet, similarity.DTW, similarity.Hausdorff} {
+		for iter := 0; iter < 5; iter++ {
+			query := trajs[rng.Intn(len(trajs))]
+			theta := 0.015
+			if m == similarity.DTW {
+				theta = 0.25 // DTW sums distances; use a larger budget
+			}
+			got, _, err := e.SimilarityThresholdQuery(query, m, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nq := e.normalizePoints(query.Points)
+			var want []*model.Trajectory
+			for _, tr := range trajs {
+				d := similarity.Distance(m, nq, e.normalizePoints(tr.Points))
+				if d <= theta {
+					want = append(want, tr)
+				}
+			}
+			sameTIDs(t, fmt.Sprintf("threshold %v iter %d", m, iter), tids(got), tids(want))
+		}
+	}
+}
+
+func TestSimilarityTopKMatchesBruteForce(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 250, 41)
+	rng := rand.New(rand.NewSource(43))
+	for _, m := range []similarity.Measure{similarity.Frechet, similarity.Hausdorff} {
+		for iter := 0; iter < 4; iter++ {
+			query := trajs[rng.Intn(len(trajs))]
+			k := 5 + rng.Intn(10)
+			got, _, err := e.SimilarityTopKQuery(query, m, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Brute-force k nearest (excluding the query itself).
+			nq := e.normalizePoints(query.Points)
+			type dt struct {
+				d  float64
+				id string
+			}
+			var all []dt
+			for _, tr := range trajs {
+				if tr.TID == query.TID {
+					continue
+				}
+				all = append(all, dt{d: similarity.Distance(m, nq, e.normalizePoints(tr.Points)), id: tr.TID})
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+			if len(got) != k {
+				t.Fatalf("topk %v iter %d: got %d results, want %d", m, iter, len(got), k)
+			}
+			// Compare distance multiset (ties make TID comparison flaky).
+			kth := all[k-1].d
+			for i, g := range got {
+				gd := similarity.Distance(m, nq, e.normalizePoints(g.Points))
+				// Stored coordinates are fixed-point quantized at 1e-7
+				// degrees; allow the corresponding normalized slack.
+				if gd > kth+1e-6 {
+					t.Fatalf("topk %v iter %d: result %d dist %g exceeds true kth %g", m, iter, i, gd, kth)
+				}
+			}
+		}
+	}
+}
+
+func TestDeleteRemovesFromAllIndexes(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 50, 47)
+	victim := trajs[7]
+	if err := e.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	q := victim.TimeRange()
+	got, _, _ := e.TemporalRangeQuery(q)
+	for _, g := range got {
+		if g.TID == victim.TID {
+			t.Error("deleted trajectory still in temporal results")
+		}
+	}
+	got, _, _ = e.SpatialRangeQuery(victim.MBR())
+	for _, g := range got {
+		if g.TID == victim.TID {
+			t.Error("deleted trajectory still in spatial results")
+		}
+	}
+	got, _, _ = e.IDTemporalQuery(victim.OID, q)
+	for _, g := range got {
+		if g.TID == victim.TID {
+			t.Error("deleted trajectory still in IDT results")
+		}
+	}
+	if e.Rows() != 49 {
+		t.Errorf("Rows = %d, want 49", e.Rows())
+	}
+}
+
+// Re-encode correctness: with a tiny buffer threshold, elements re-encode
+// aggressively during ingest; no trajectory may be lost and query results
+// must stay identical to brute force.
+func TestReencodePreservesQueryability(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferThreshold = 2 // re-encode every 2 new shapes
+	cfg.Encoding = tshape.EncodingGenetic
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster trajectories in a small urban core so enlarged elements are
+	// shared and the buffer threshold actually fires (spread-out data never
+	// reuses elements, which is exactly why the cache pays off on real
+	// city-scale datasets).
+	rng := rand.New(rand.NewSource(53))
+	trajs := make([]*model.Trajectory, 0, 300)
+	for i := 0; i < 300; i++ {
+		tr := genTrajectory(rng, fmt.Sprintf("obj-%d", i%25), fmt.Sprintf("traj-%05d", i))
+		for j := range tr.Points {
+			tr.Points[j].X = 116 + math.Mod(tr.Points[j].X, 0.4)
+			tr.Points[j].Y = 39.5 + math.Mod(tr.Points[j].Y, 0.3)
+		}
+		trajs = append(trajs, tr)
+		if err := e.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Reencodes() == 0 {
+		t.Fatal("expected re-encode passes with threshold 2 on clustered data")
+	}
+	rng = rand.New(rand.NewSource(59))
+	for iter := 0; iter < 15; iter++ {
+		// Query windows over the clustered core.
+		cx := 116 + rng.Float64()*0.4
+		cy := 39.5 + rng.Float64()*0.3
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.1, MaxY: cy + 0.1}
+		got, _, err := e.SpatialRangeQuery(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("post-reencode SRQ iter %d", iter), tids(got), tids(want))
+	}
+	// All rows still present.
+	all, _, _ := e.SpatialRangeQuery(testBoundary)
+	if len(all) != 300 {
+		t.Errorf("full-space query found %d rows, want 300", len(all))
+	}
+}
+
+// Ablations must return identical result sets.
+func TestAblationConfigsAgree(t *testing.T) {
+	base := testConfig()
+
+	xz := testConfig()
+	xz.Spatial = KindXZ2
+
+	xzt := testConfig()
+	xzt.Temporal = KindXZT
+
+	nocache := testConfig()
+	nocache.UseIndexCache = false
+
+	nopush := testConfig()
+	nopush.PushDown = false
+
+	bitmap := testConfig()
+	bitmap.Encoding = tshape.EncodingBitmap
+
+	genetic := testConfig()
+	genetic.Encoding = tshape.EncodingGenetic
+
+	configs := map[string]Config{
+		"xz2": xz, "xzt": xzt, "nocache": nocache, "nopush": nopush,
+		"bitmap": bitmap, "genetic": genetic,
+	}
+
+	eBase, trajs := loadEngine(t, base, 250, 61)
+	rng := rand.New(rand.NewSource(67))
+	type window struct {
+		sr geo.Rect
+		q  model.TimeRange
+	}
+	var windows []window
+	for i := 0; i < 8; i++ {
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+		windows = append(windows, window{
+			sr: geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.5, MaxY: cy + 0.5},
+			q:  model.TimeRange{Start: qs, End: qs + 6*3600_000},
+		})
+	}
+	baseline := make([][]string, 0)
+	for _, w := range windows {
+		gotS, _, _ := eBase.SpatialRangeQuery(w.sr)
+		gotT, _, _ := eBase.TemporalRangeQuery(w.q)
+		gotST, _, _ := eBase.SpatioTemporalQuery(w.sr, w.q)
+		baseline = append(baseline, tids(gotS), tids(gotT), tids(gotST))
+	}
+
+	for name, cfg := range configs {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, tr := range trajs {
+			if err := e.Put(tr); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		i := 0
+		for _, w := range windows {
+			gotS, _, _ := e.SpatialRangeQuery(w.sr)
+			sameTIDs(t, name+" SRQ", tids(gotS), baseline[i])
+			gotT, _, _ := e.TemporalRangeQuery(w.q)
+			sameTIDs(t, name+" TRQ", tids(gotT), baseline[i+1])
+			gotST, _, _ := e.SpatioTemporalQuery(w.sr, w.q)
+			sameTIDs(t, name+" STRQ", tids(gotST), baseline[i+2])
+			i += 3
+		}
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	e, _ := loadEngine(t, testConfig(), 1, 73)
+	for iter := 0; iter < 50; iter++ {
+		tr := genTrajectory(rng, "o", fmt.Sprintf("t%d", iter))
+		feat := e.normalizedFeatures(tr)
+		val := encodeRow(tr, 42, feat)
+		row, err := decodeRow(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.OID != tr.OID || row.TID != tr.TID || row.TRValue != 42 {
+			t.Fatalf("header mismatch: %+v", row)
+		}
+		if row.TimeRange != tr.TimeRange() {
+			t.Fatalf("time range mismatch")
+		}
+		if len(row.Features.Rep) != len(feat.Rep) || len(row.Features.Boxes) != len(feat.Boxes) {
+			t.Fatalf("features shape mismatch")
+		}
+		pts, err := row.Points()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != len(tr.Points) {
+			t.Fatalf("points count mismatch")
+		}
+		for i := range pts {
+			if pts[i].T != tr.Points[i].T {
+				t.Fatalf("timestamp mismatch at %d", i)
+			}
+			if math.Abs(pts[i].X-tr.Points[i].X) > 1e-6 {
+				t.Fatalf("X error at %d", i)
+			}
+		}
+	}
+}
+
+func TestRowDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, {}, {99}, {1}, {1, 200}, {1, 3, 'a', 'b'}}
+	for i, c := range cases {
+		if _, err := decodeRow(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestPutValidatesTrajectory(t *testing.T) {
+	e, _ := loadEngine(t, testConfig(), 1, 79)
+	if err := e.Put(&model.Trajectory{TID: "x"}); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+	if err := e.Put(&model.Trajectory{OID: "o", Points: []model.Point{{X: 1, Y: 1, T: 1}}}); err == nil {
+		t.Error("missing TID accepted")
+	}
+}
+
+func TestInvalidQueriesReturnEmpty(t *testing.T) {
+	e, _ := loadEngine(t, testConfig(), 10, 83)
+	if got, _, _ := e.TemporalRangeQuery(model.TimeRange{Start: 5, End: 1}); len(got) != 0 {
+		t.Error("inverted temporal query returned rows")
+	}
+	if got, _, _ := e.SpatialRangeQuery(geo.Rect{MinX: 2, MinY: 2, MaxX: 1, MaxY: 1}); len(got) != 0 {
+		t.Error("inverted spatial query returned rows")
+	}
+	if got, _, _ := e.IDTemporalQuery("", model.TimeRange{Start: 0, End: 1}); len(got) != 0 {
+		t.Error("empty oid query returned rows")
+	}
+	if got, _, _ := e.SimilarityTopKQuery(&model.Trajectory{OID: "o", TID: "q", Points: []model.Point{{X: 112, Y: 40, T: 1}}}, similarity.Frechet, 0); len(got) != 0 {
+		t.Error("k=0 returned rows")
+	}
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// NearestQuery returns the k trajectories whose geometry passes closest to
+// the point (x, y) in dataset coordinates — the "more query types" the
+// paper lists as future work, built on the same expanding-window TShape
+// machinery as top-k similarity.
+//
+// Distance is the minimum Euclidean distance (in normalized units) between
+// the point and any segment of a trajectory; the returned report counts
+// scanned candidates.
+func (e *Engine) NearestQuery(x, y float64, k int) ([]*model.Trajectory, QueryReport, error) {
+	started := time.Now()
+	before := e.store.Stats().Snapshot()
+	report := QueryReport{Plan: "knn:tshape"}
+	if k <= 0 {
+		return nil, report, nil
+	}
+	nx, ny := e.space.Normalize(x, y)
+
+	h := &topkHeap{}
+	heap.Init(h)
+	seen := map[string]struct{}{}
+	radius := 0.005
+	for {
+		window := geo.Rect{MinX: nx - radius, MinY: ny - radius, MaxX: nx + radius, MaxY: ny + radius}
+		rows := e.candidateRows(window, &report, func(row *Row) bool {
+			return row.Features.MinDistToPoint(nx, ny) <= radius
+		})
+		for _, row := range rows {
+			if _, dup := seen[row.TID]; dup {
+				continue
+			}
+			bound := math.Inf(1)
+			if h.Len() == k {
+				bound = (*h)[0].dist
+			}
+			// The sketch lower-bounds the true point-to-trajectory distance.
+			if row.Features.MinDistToPoint(nx, ny) > bound {
+				continue
+			}
+			pts, err := row.Points()
+			if err != nil {
+				continue
+			}
+			seen[row.TID] = struct{}{}
+			d := e.pointToTrajectory(nx, ny, pts)
+			if h.Len() < k {
+				heap.Push(h, topkEntry{dist: d, row: row})
+			} else if d < (*h)[0].dist {
+				(*h)[0] = topkEntry{dist: d, row: row}
+				heap.Fix(h, 0)
+			}
+		}
+		if h.Len() == k && (*h)[0].dist <= radius {
+			break
+		}
+		if window.Contains(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}) {
+			break
+		}
+		radius *= 2
+	}
+
+	out := make([]*model.Trajectory, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		ent := heap.Pop(h).(topkEntry)
+		pts, err := ent.row.Points()
+		if err != nil {
+			continue
+		}
+		out[i] = &model.Trajectory{OID: ent.row.OID, TID: ent.row.TID, Points: pts}
+	}
+	report.Results = len(out)
+	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
+	report.Elapsed = time.Since(started) + time.Duration(report.Store.SimIONanos)
+	return out, report, nil
+}
+
+// pointToTrajectory computes the exact minimum distance from a normalized
+// point to the trajectory's segments (points given in dataset coordinates).
+func (e *Engine) pointToTrajectory(nx, ny float64, pts []model.Point) float64 {
+	if len(pts) == 0 {
+		return math.Inf(1)
+	}
+	px, py := e.space.Normalize(pts[0].X, pts[0].Y)
+	if len(pts) == 1 {
+		return math.Hypot(nx-px, ny-py)
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(pts); i++ {
+		qx, qy := e.space.Normalize(pts[i].X, pts[i].Y)
+		d := geo.PointSegmentDist(nx, ny, geo.Segment{X1: px, Y1: py, X2: qx, Y2: qy})
+		if d < best {
+			best = d
+		}
+		px, py = qx, qy
+	}
+	return best
+}

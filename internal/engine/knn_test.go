@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+func TestNearestQueryMatchesBruteForce(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 300, 421)
+	rng := rand.New(rand.NewSource(431))
+	for iter := 0; iter < 15; iter++ {
+		x := testBoundary.MinX + rng.Float64()*testBoundary.Width()
+		y := testBoundary.MinY + rng.Float64()*testBoundary.Height()
+		k := 3 + rng.Intn(8)
+		got, rep, err := e.NearestQuery(x, y, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("iter %d: got %d results, want %d", iter, len(got), k)
+		}
+		// Brute force kth distance.
+		nx, ny := e.space.Normalize(x, y)
+		dists := make([]float64, 0, len(trajs))
+		for _, tr := range trajs {
+			dists = append(dists, e.pointToTrajectory(nx, ny, tr.Points))
+		}
+		sort.Float64s(dists)
+		kth := dists[k-1]
+		for i, g := range got {
+			d := e.pointToTrajectory(nx, ny, g.Points)
+			if d > kth+1e-6 {
+				t.Fatalf("iter %d: result %d dist %g exceeds true kth %g", iter, i, d, kth)
+			}
+		}
+		if rep.Candidates == 0 {
+			t.Error("candidates not counted")
+		}
+		if rep.Plan != "knn:tshape" {
+			t.Errorf("plan = %q", rep.Plan)
+		}
+	}
+}
+
+func TestNearestQueryEdgeCases(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 10, 433)
+	if got, _, _ := e.NearestQuery(116, 40, 0); len(got) != 0 {
+		t.Error("k=0 returned results")
+	}
+	// k larger than the corpus returns everything.
+	got, _, err := e.NearestQuery(116, 40, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trajs) {
+		t.Errorf("k > corpus returned %d of %d", len(got), len(trajs))
+	}
+}
+
+// Concurrent writers and readers on one engine: correctness under race.
+func TestEngineConcurrentPutAndQuery(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferThreshold = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(int64(437 + w)))
+			for i := 0; i < 150; i++ {
+				tr := genTrajectory(rng, fmt.Sprintf("o%d", w), fmt.Sprintf("w%d-t%04d", w, i))
+				for j := range tr.Points {
+					tr.Points[j].X = 116 + math.Mod(tr.Points[j].X, 0.3)
+					tr.Points[j].Y = 39.5 + math.Mod(tr.Points[j].Y, 0.3)
+				}
+				if err := e.Put(tr); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			rng := rand.New(rand.NewSource(int64(443 + r)))
+			for i := 0; i < 30; i++ {
+				cx := 116 + rng.Float64()*0.3
+				cy := 39.5 + rng.Float64()*0.3
+				if _, _, err := e.SpatialRangeQuery(geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.1, MaxY: cy + 0.1}); err != nil {
+					done <- err
+					return
+				}
+				qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+				if _, _, err := e.TemporalRangeQuery(model.TimeRange{Start: qs, End: qs + 3600_000}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(r)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Rows() != 300 {
+		t.Fatalf("Rows = %d, want 300", e.Rows())
+	}
+	// Final consistency: a full-space query sees everything.
+	all, _, err := e.SpatialRangeQuery(testBoundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 300 {
+		t.Errorf("final query found %d of 300", len(all))
+	}
+}
+
+// BatchPut and sequential Put must produce identical query results.
+func TestBatchPutMatchesSequentialPut(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferThreshold = 3
+	rng := rand.New(rand.NewSource(449))
+	var trajs []*model.Trajectory
+	for i := 0; i < 200; i++ {
+		tr := genTrajectory(rng, "o", fmt.Sprintf("t%04d", i))
+		for j := range tr.Points {
+			tr.Points[j].X = 116 + math.Mod(tr.Points[j].X, 0.4)
+			tr.Points[j].Y = 39.5 + math.Mod(tr.Points[j].Y, 0.3)
+		}
+		trajs = append(trajs, tr)
+	}
+	eSeq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trajs {
+		if err := eSeq.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eBatch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eBatch.BatchPut(trajs); err != nil {
+		t.Fatal(err)
+	}
+	if eSeq.Rows() != eBatch.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", eSeq.Rows(), eBatch.Rows())
+	}
+	for iter := 0; iter < 10; iter++ {
+		cx := 116 + rng.Float64()*0.4
+		cy := 39.5 + rng.Float64()*0.3
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.1, MaxY: cy + 0.1}
+		a, _, _ := eSeq.SpatialRangeQuery(sr)
+		b, _, _ := eBatch.SpatialRangeQuery(sr)
+		sameTIDs(t, fmt.Sprintf("batch-vs-seq iter %d", iter), tids(b), tids(a))
+	}
+	// Grouped resolution should not re-encode more often than sequential.
+	if eBatch.Reencodes() > eSeq.Reencodes() {
+		t.Errorf("batch re-encodes %d > sequential %d", eBatch.Reencodes(), eSeq.Reencodes())
+	}
+}

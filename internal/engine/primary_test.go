@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Temporal-primary configuration: all query types must still match brute
+// force, with TRQ running against the primary table directly.
+func TestTemporalPrimaryConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Primary = KindTR
+	e, trajs := loadEngine(t, cfg, 300, 101)
+
+	rng := rand.New(rand.NewSource(103))
+	for iter := 0; iter < 15; iter++ {
+		qs := int64(1_500_000_000_000) + rng.Int63n(30*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + rng.Int63n(12*3600_000)}
+		got, rep, err := e.TemporalRangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Plan != "primary:tr" {
+			t.Fatalf("TRQ plan = %q, want primary:tr", rep.Plan)
+		}
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.TimeRange().Intersects(q) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("temporal-primary TRQ iter %d", iter), tids(got), tids(want))
+
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.5, MaxY: cy + 0.5}
+		gotS, repS, err := e.SpatialRangeQuery(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if repS.Plan != "secondary:tshape" {
+			t.Fatalf("SRQ plan = %q, want secondary:tshape", repS.Plan)
+		}
+		var wantS []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				wantS = append(wantS, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("temporal-primary SRQ iter %d", iter), tids(gotS), tids(wantS))
+
+		gotST, _, err := e.SpatioTemporalQuery(sr, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantST []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) && tr.TimeRange().Intersects(q) {
+				wantST = append(wantST, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("temporal-primary STRQ iter %d", iter), tids(gotST), tids(wantST))
+	}
+}
+
+// Re-encoding with a temporal primary rewrites the spatial secondary in
+// place; spatial queries must stay exact.
+func TestTemporalPrimaryReencode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Primary = KindTR
+	cfg.BufferThreshold = 2
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(107))
+	trajs := make([]*model.Trajectory, 0, 200)
+	for i := 0; i < 200; i++ {
+		tr := genTrajectory(rng, fmt.Sprintf("obj-%d", i%10), fmt.Sprintf("traj-%05d", i))
+		for j := range tr.Points {
+			tr.Points[j].X = 116 + math.Mod(tr.Points[j].X, 0.4)
+			tr.Points[j].Y = 39.5 + math.Mod(tr.Points[j].Y, 0.3)
+		}
+		trajs = append(trajs, tr)
+		if err := e.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Reencodes() == 0 {
+		t.Fatal("expected re-encodes on clustered data")
+	}
+	for iter := 0; iter < 10; iter++ {
+		cx := 116 + rng.Float64()*0.4
+		cy := 39.5 + rng.Float64()*0.3
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.1, MaxY: cy + 0.1}
+		got, _, err := e.SpatialRangeQuery(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []*model.Trajectory
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				want = append(want, tr)
+			}
+		}
+		sameTIDs(t, fmt.Sprintf("reencoded SRQ iter %d", iter), tids(got), tids(want))
+	}
+}
+
+func TestPrimaryMismatchRejected(t *testing.T) {
+	cfg := testConfig()
+	cfg.Primary = IndexKind(99)
+	if _, err := New(cfg); err == nil {
+		t.Error("bogus primary kind accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Property-based end-to-end check: for an arbitrary (seeded) corpus and
+// arbitrary query windows, every query type agrees with brute force. This
+// complements the loop-based oracle tests with quick.Check's shrinking
+// input generation over window geometry.
+func TestEngineQueriesQuickCheck(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 250, 467)
+
+	prop := func(cxRaw, cyRaw, sideRaw uint16, startRaw uint32, durRaw uint16) bool {
+		cx := testBoundary.MinX + float64(cxRaw)/65535*testBoundary.Width()
+		cy := testBoundary.MinY + float64(cyRaw)/65535*testBoundary.Height()
+		side := 0.01 + float64(sideRaw)/65535*2
+		sr := geo.Rect{MinX: cx, MinY: cy, MaxX: cx + side, MaxY: cy + side}
+		qs := int64(1_500_000_000_000) + int64(startRaw)%(30*24*3600_000)
+		q := model.TimeRange{Start: qs, End: qs + int64(durRaw)%(24*3600_000) + 1}
+
+		gotS, _, err := e.SpatialRangeQuery(sr)
+		if err != nil {
+			return false
+		}
+		wantS := map[string]bool{}
+		for _, tr := range trajs {
+			if tr.IntersectsRect(sr) {
+				wantS[tr.TID] = true
+			}
+		}
+		if len(gotS) != len(wantS) {
+			return false
+		}
+		for _, g := range gotS {
+			if !wantS[g.TID] {
+				return false
+			}
+		}
+
+		gotT, _, err := e.TemporalRangeQuery(q)
+		if err != nil {
+			return false
+		}
+		wantT := map[string]bool{}
+		for _, tr := range trajs {
+			if tr.TimeRange().Intersects(q) {
+				wantT[tr.TID] = true
+			}
+		}
+		if len(gotT) != len(wantT) {
+			return false
+		}
+		for _, g := range gotT {
+			if !wantT[g.TID] {
+				return false
+			}
+		}
+
+		gotST, _, err := e.SpatioTemporalQuery(sr, q)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, tr := range trajs {
+			if wantS[tr.TID] && wantT[tr.TID] {
+				count++
+			}
+		}
+		if len(gotST) != count {
+			return false
+		}
+		for _, g := range gotST {
+			if !wantS[g.TID] || !wantT[g.TID] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(479))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Put then Delete is an identity for every query type.
+func TestPutDeleteIdentityQuickCheck(t *testing.T) {
+	e, trajs := loadEngine(t, testConfig(), 80, 487)
+	baseline := map[string][]string{}
+	windows := make([]geo.Rect, 5)
+	rng := rand.New(rand.NewSource(491))
+	for i := range windows {
+		cx := testBoundary.MinX + rng.Float64()*testBoundary.Width()*0.9
+		cy := testBoundary.MinY + rng.Float64()*testBoundary.Height()*0.9
+		windows[i] = geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 0.8, MaxY: cy + 0.8}
+		got, _, _ := e.SpatialRangeQuery(windows[i])
+		baseline[fmt.Sprint(i)] = tids(got)
+	}
+	// Insert and remove a churn set.
+	for round := 0; round < 3; round++ {
+		var churn []*model.Trajectory
+		for i := 0; i < 30; i++ {
+			tr := genTrajectory(rng, "churn", fmt.Sprintf("churn-%d-%d", round, i))
+			churn = append(churn, tr)
+			if err := e.Put(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tr := range churn {
+			if err := e.Delete(tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if e.Rows() != int64(len(trajs)) {
+		t.Fatalf("Rows = %d after churn, want %d", e.Rows(), len(trajs))
+	}
+	for i, w := range windows {
+		got, _, _ := e.SpatialRangeQuery(w)
+		sameTIDs(t, fmt.Sprintf("post-churn window %d", i), tids(got), baseline[fmt.Sprint(i)])
+	}
+}

@@ -1,0 +1,585 @@
+package engine
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"github.com/tman-db/tman/internal/codec"
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/idt"
+	"github.com/tman-db/tman/internal/index/st"
+	"github.com/tman-db/tman/internal/index/tr"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// QueryReport describes one executed query: which plan ran, how many
+// candidates the index produced, and how much work the store did. The
+// Candidates field is the paper's "number of retrievals / visited
+// candidates" metric.
+type QueryReport struct {
+	Plan       string
+	Windows    int
+	Candidates int64
+	Results    int
+	Elapsed    time.Duration
+	Store      kvstore.Snapshot // store counter diff for this query
+}
+
+// primaryWindows converts spatial value ranges into primary-table key
+// ranges across all shards.
+func (e *Engine) primaryWindows(ranges []valueRange) []kvstore.KeyRange {
+	out := make([]kvstore.KeyRange, 0, len(ranges)*e.cfg.Shards)
+	for s := 0; s < e.cfg.Shards; s++ {
+		for _, r := range ranges {
+			start, end := codec.RangeForIndexValues(byte(s), r.lo, r.hi)
+			out = append(out, kvstore.KeyRange{Start: start, End: end})
+		}
+	}
+	return out
+}
+
+// secondaryWindows converts raw index-component byte ranges into
+// secondary-table key ranges across all shards.
+func (e *Engine) secondaryWindows(ranges [][2][]byte) []kvstore.KeyRange {
+	out := make([]kvstore.KeyRange, 0, len(ranges)*e.cfg.Shards)
+	for s := 0; s < e.cfg.Shards; s++ {
+		for _, r := range ranges {
+			start := append([]byte{byte(s)}, r[0]...)
+			end := append([]byte{byte(s)}, r[1]...)
+			out = append(out, kvstore.KeyRange{Start: start, End: end})
+		}
+	}
+	return out
+}
+
+// spatialRanges produces candidate spatial value intervals for a normalized
+// window with the configured spatial index.
+func (e *Engine) spatialRanges(nsr geo.Rect) []valueRange {
+	if e.cfg.Spatial == KindXZ2 {
+		rs := e.xzIdx.QueryRanges(nsr)
+		out := make([]valueRange, len(rs))
+		for i, r := range rs {
+			out[i] = valueRange{lo: r.Lo, hi: r.Hi}
+		}
+		return out
+	}
+	rs, _ := e.tsIdx.QueryRanges(nsr, e.provider())
+	out := make([]valueRange, len(rs))
+	for i, r := range rs {
+		out[i] = valueRange{lo: r.Lo, hi: r.Hi}
+	}
+	return out
+}
+
+// temporalFilter builds a push-down filter that keeps rows whose exact time
+// range intersects q (decoding only the row header).
+func temporalFilter(q model.TimeRange) kvstore.Filter {
+	return kvstore.FilterFunc(func(_, value []byte) bool {
+		hdr, _, err := decodeRowHeader(value)
+		if err != nil {
+			return false
+		}
+		return hdr.TimeRange.Intersects(q)
+	})
+}
+
+// spatialFilter builds a push-down filter that keeps rows intersecting the
+// normalized window: the DP-Features sketch rejects cheaply, then the exact
+// geometry decides.
+func (e *Engine) spatialFilter(nsr geo.Rect) kvstore.Filter {
+	return kvstore.FilterFunc(func(_, value []byte) bool {
+		row, err := decodeRow(value)
+		if err != nil {
+			return false
+		}
+		return e.rowIntersects(row, nsr)
+	})
+}
+
+// rowIntersects checks a decoded row against a normalized window: sketch
+// first, exact points second.
+func (e *Engine) rowIntersects(row *Row, nsr geo.Rect) bool {
+	if !row.Features.MayIntersect(nsr) {
+		return false
+	}
+	pts, err := row.Points()
+	if err != nil {
+		return false
+	}
+	dsr := e.space.DenormalizeRect(nsr)
+	t := model.Trajectory{Points: pts}
+	return t.IntersectsRect(dsr)
+}
+
+// TemporalRangeQuery returns all trajectories whose time range intersects
+// q (paper Section V-B). With a temporal primary table the query scans the
+// primary directly with a push-down temporal filter; otherwise it resolves
+// candidates through the TR secondary.
+func (e *Engine) TemporalRangeQuery(q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
+	started := time.Now()
+	before := e.store.Stats().Snapshot()
+	report := QueryReport{}
+	if !q.Valid() {
+		report.Plan = "secondary:" + e.cfg.Temporal.String()
+		return nil, report, nil
+	}
+
+	ranges := e.temporalRanges(q)
+	var rows []*Row
+	if e.cfg.primaryIsTemporal() {
+		report.Plan = "primary:" + e.cfg.Temporal.String()
+		windows := e.primaryWindows(ranges)
+		report.Windows = len(windows)
+		filter := temporalFilter(q)
+		if !e.cfg.PushDown {
+			filter = nil
+		}
+		kvs := e.primary.ScanRanges(windows, filter, 0)
+		if e.cfg.PushDown {
+			rows = decodeAll(kvs)
+		} else {
+			for _, kv := range kvs {
+				row, err := decodeRow(kv.Value)
+				if err != nil {
+					continue
+				}
+				if _, err := row.Points(); err != nil {
+					continue
+				}
+				if row.TimeRange.Intersects(q) {
+					rows = append(rows, row)
+				}
+			}
+		}
+		report.Candidates = kvstore.Diff(before, e.store.Stats().Snapshot()).RowsScanned
+	} else {
+		report.Plan = "secondary:" + e.cfg.Temporal.String()
+		byteRanges := make([][2][]byte, len(ranges))
+		for i, r := range ranges {
+			byteRanges[i] = uint64ByteRange(r)
+		}
+		windows := e.secondaryWindows(byteRanges)
+		report.Windows = len(windows)
+		keys := e.trTable.ScanRanges(windows, nil, 0)
+		report.Candidates = int64(len(keys))
+		rows = e.fetchRows(keys, func(row *Row) bool {
+			return row.TimeRange.Intersects(q)
+		})
+	}
+	out, err := materialize(rows)
+	report.Results = len(out)
+	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
+	report.Elapsed = time.Since(started) + time.Duration(report.Store.SimIONanos)
+	return out, report, err
+}
+
+// uint64ByteRange converts a closed value interval into a half-open byte
+// range over 8-byte big-endian components.
+func uint64ByteRange(r valueRange) [2][]byte {
+	lo := codec.AppendUint64(nil, r.lo)
+	var hi []byte
+	if r.hi == ^uint64(0) {
+		hi = append(codec.AppendUint64(nil, r.hi), 0xFF)
+	} else {
+		hi = codec.AppendUint64(nil, r.hi+1)
+	}
+	return [2][]byte{lo, hi}
+}
+
+// SpatialRangeQuery returns all trajectories intersecting the dataset-
+// coordinate window sr (paper Section V-C). With a spatial primary table
+// the query scans the primary directly with a push-down spatial filter;
+// otherwise it resolves candidates through the spatial secondary.
+func (e *Engine) SpatialRangeQuery(sr geo.Rect) ([]*model.Trajectory, QueryReport, error) {
+	started := time.Now()
+	before := e.store.Stats().Snapshot()
+	report := QueryReport{}
+	if !sr.Valid() {
+		report.Plan = "primary:" + e.cfg.Spatial.String()
+		return nil, report, nil
+	}
+	nsr := e.space.NormalizeRect(sr)
+	ranges := e.spatialRanges(nsr)
+
+	var rows []*Row
+	if e.cfg.primaryIsTemporal() {
+		report.Plan = "secondary:" + e.cfg.Spatial.String()
+		byteRanges := make([][2][]byte, len(ranges))
+		for i, r := range ranges {
+			byteRanges[i] = uint64ByteRange(r)
+		}
+		windows := e.secondaryWindows(byteRanges)
+		report.Windows = len(windows)
+		keys := e.spTable.ScanRanges(windows, nil, 0)
+		report.Candidates = int64(len(keys))
+		rows = e.fetchRows(keys, func(row *Row) bool {
+			return e.rowIntersects(row, nsr)
+		})
+	} else {
+		report.Plan = "primary:" + e.cfg.Spatial.String()
+		windows := e.primaryWindows(ranges)
+		report.Windows = len(windows)
+		if e.cfg.PushDown {
+			kvs := e.primary.ScanRanges(windows, e.spatialFilter(nsr), 0)
+			rows = decodeAll(kvs)
+		} else {
+			// Client-side filtering: every candidate row is transferred and
+			// decoded before the spatial check (the TrajMesa execution
+			// model).
+			kvs := e.primary.ScanRanges(windows, nil, 0)
+			for _, kv := range kvs {
+				row, err := decodeRow(kv.Value)
+				if err != nil {
+					continue
+				}
+				if _, err := row.Points(); err != nil {
+					continue
+				}
+				if e.rowIntersects(row, nsr) {
+					rows = append(rows, row)
+				}
+			}
+		}
+		report.Candidates = kvstore.Diff(before, e.store.Stats().Snapshot()).RowsScanned
+	}
+	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
+	out, err := materialize(rows)
+	report.Results = len(out)
+	report.Elapsed = time.Since(started) + time.Duration(report.Store.SimIONanos)
+	return out, report, err
+}
+
+// IDTemporalQuery returns the trajectories of one object intersecting a
+// time range (paper Section V-D).
+func (e *Engine) IDTemporalQuery(oid string, q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
+	started := time.Now()
+	before := e.store.Stats().Snapshot()
+	report := QueryReport{Plan: "secondary:idt"}
+	if !q.Valid() || oid == "" {
+		return nil, report, nil
+	}
+	ranges := e.temporalRanges(q)
+	byteRanges := make([][2][]byte, len(ranges))
+	for i, r := range ranges {
+		lo := idt.Key(oid, r.lo)
+		var hi []byte
+		if r.hi == ^uint64(0) {
+			hi = append(idt.Key(oid, r.hi), 0xFF)
+		} else {
+			hi = idt.Key(oid, r.hi+1)
+		}
+		byteRanges[i] = [2][]byte{lo, hi}
+	}
+	windows := e.secondaryWindows(byteRanges)
+	report.Windows = len(windows)
+
+	keys := e.idtTable.ScanRanges(windows, nil, 0)
+	report.Candidates = int64(len(keys))
+
+	rows := e.fetchRows(keys, func(row *Row) bool {
+		return row.OID == oid && row.TimeRange.Intersects(q)
+	})
+	out, err := materialize(rows)
+	report.Results = len(out)
+	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
+	report.Elapsed = time.Since(started) + time.Duration(report.Store.SimIONanos)
+	return out, report, err
+}
+
+// SpatioTemporalQuery returns trajectories intersecting both a spatial
+// window and a time range (paper Section V-E). The CBO picks among three
+// plans: the ST secondary index, the spatial primary with a temporal
+// push-down filter, or the TR secondary with spatial refinement.
+func (e *Engine) SpatioTemporalQuery(sr geo.Rect, q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
+	started := time.Now()
+	before := e.store.Stats().Snapshot()
+	report := QueryReport{}
+	if !sr.Valid() || !q.Valid() {
+		return nil, report, nil
+	}
+	nsr := e.space.NormalizeRect(sr)
+
+	plan := e.chooseSTPlan(nsr, q)
+	report.Plan = plan
+
+	var rows []*Row
+	switch plan {
+	case "secondary:st":
+		trRanges := make([]tr.ValueRange, 0)
+		for _, r := range e.temporalRanges(q) {
+			trRanges = append(trRanges, tr.ValueRange{Lo: r.lo, Hi: r.hi})
+		}
+		tsRanges := e.stSpatialRanges(nsr)
+		byteRanges := make([][2][]byte, 0)
+		for _, br := range st.QueryRanges(trRanges, tsRanges, e.cfg.WindowBudget) {
+			byteRanges = append(byteRanges, [2][]byte{br.Start, br.End})
+		}
+		windows := e.secondaryWindows(byteRanges)
+		report.Windows = len(windows)
+		keys := e.stTable.ScanRanges(windows, nil, 0)
+		report.Candidates = int64(len(keys))
+		rows = e.fetchRows(keys, func(row *Row) bool {
+			return row.TimeRange.Intersects(q) && e.rowIntersectsLoaded(row, nsr)
+		})
+	case "primary:spatial+tfilter", "primary:temporal+sfilter":
+		// Scan the primary directly with the other dimension pushed down.
+		var ranges []valueRange
+		if e.cfg.primaryIsTemporal() {
+			ranges = e.temporalRanges(q)
+		} else {
+			ranges = e.spatialRanges(nsr)
+		}
+		windows := e.primaryWindows(ranges)
+		report.Windows = len(windows)
+		filter := kvstore.Chain(temporalFilter(q), e.spatialFilter(nsr))
+		if !e.cfg.PushDown {
+			filter = nil
+		}
+		kvs := e.primary.ScanRanges(windows, filter, 0)
+		if e.cfg.PushDown {
+			rows = decodeAll(kvs)
+		} else {
+			for _, kv := range kvs {
+				row, err := decodeRow(kv.Value)
+				if err != nil {
+					continue
+				}
+				if row.TimeRange.Intersects(q) && e.rowIntersects(row, nsr) {
+					rows = append(rows, row)
+				}
+			}
+		}
+		report.Candidates = kvstore.Diff(before, e.store.Stats().Snapshot()).RowsScanned
+	default: // "secondary:tr+sfilter" / "secondary:sp+tfilter"
+		// Use the secondary of the non-primary family, refine both
+		// dimensions while fetching.
+		var ranges []valueRange
+		table := e.trTable
+		if e.cfg.primaryIsTemporal() {
+			ranges = e.spatialRanges(nsr)
+			table = e.spTable
+		} else {
+			ranges = e.temporalRanges(q)
+		}
+		byteRanges := make([][2][]byte, len(ranges))
+		for i, r := range ranges {
+			byteRanges[i] = uint64ByteRange(r)
+		}
+		windows := e.secondaryWindows(byteRanges)
+		report.Windows = len(windows)
+		keys := table.ScanRanges(windows, nil, 0)
+		report.Candidates = int64(len(keys))
+		rows = e.fetchRows(keys, func(row *Row) bool {
+			return row.TimeRange.Intersects(q) && e.rowIntersectsLoaded(row, nsr)
+		})
+	}
+	out, err := materialize(rows)
+	report.Results = len(out)
+	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
+	report.Elapsed = time.Since(started) + time.Duration(report.Store.SimIONanos)
+	return out, report, err
+}
+
+// rowIntersectsLoaded is rowIntersects for rows already fetched (points may
+// need decoding, identical semantics).
+func (e *Engine) rowIntersectsLoaded(row *Row, nsr geo.Rect) bool {
+	return e.rowIntersects(row, nsr)
+}
+
+// stSpatialRanges produces the spatial component intervals for the ST
+// secondary index, regardless of the configured primary spatial family.
+func (e *Engine) stSpatialRanges(nsr geo.Rect) []tshape.ValueRange {
+	if e.cfg.Spatial == KindXZ2 {
+		rs := e.xzIdx.QueryRanges(nsr)
+		out := make([]tshape.ValueRange, len(rs))
+		for i, r := range rs {
+			out[i] = tshape.ValueRange{Lo: r.Lo, Hi: r.Hi}
+		}
+		return out
+	}
+	rs, _ := e.tsIdx.QueryRanges(nsr, e.provider())
+	return rs
+}
+
+// fetchRows resolves secondary-index hits (values = primary keys) into
+// decoded rows, applying the refinement predicate. Per the paper's
+// Section V-G(1), candidate keys become query windows executed as one
+// batched multi-range scan on the primary table; with push-down enabled the
+// refinement runs store-side so rejected rows are never transferred.
+func (e *Engine) fetchRows(hits []kvstore.KV, keep func(*Row) bool) []*Row {
+	if len(hits) == 0 {
+		return nil
+	}
+	keys := make([][]byte, 0, len(hits))
+	for _, h := range hits {
+		keys = append(keys, h.Value)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	windows := make([]kvstore.KeyRange, 0, len(keys))
+	for i, k := range keys {
+		if i > 0 && bytes.Equal(k, keys[i-1]) {
+			continue
+		}
+		end := make([]byte, len(k)+1)
+		copy(end, k) // end = key + 0x00: the immediate successor
+		windows = append(windows, kvstore.KeyRange{Start: k, End: end})
+	}
+
+	var filter kvstore.Filter
+	if e.cfg.PushDown && keep != nil {
+		filter = kvstore.FilterFunc(func(_, value []byte) bool {
+			row, err := decodeRow(value)
+			if err != nil {
+				return false
+			}
+			return keep(row)
+		})
+	}
+	kvs := e.primary.ScanRanges(windows, filter, 0)
+	rows := make([]*Row, 0, len(kvs))
+	for _, kv := range kvs {
+		row, err := decodeRow(kv.Value)
+		if err != nil {
+			continue
+		}
+		if filter == nil && keep != nil && !keep(row) {
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func decodeAll(kvs []kvstore.KV) []*Row {
+	out := make([]*Row, 0, len(kvs))
+	for _, kv := range kvs {
+		row, err := decodeRow(kv.Value)
+		if err != nil {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func materialize(rows []*Row) ([]*model.Trajectory, error) {
+	out := make([]*model.Trajectory, 0, len(rows))
+	seen := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		if _, dup := seen[r.TID]; dup {
+			continue
+		}
+		seen[r.TID] = struct{}{}
+		t, err := r.Trajectory()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// chooseSTPlan is the cost-based optimizer for spatio-temporal queries: it
+// estimates the candidate row count of each plan from index selectivities
+// and picks the cheapest (paper Section V-A).
+func (e *Engine) chooseSTPlan(nsr geo.Rect, q model.TimeRange) string {
+	rows := float64(e.rows.Load())
+	if rows == 0 {
+		return "secondary:st"
+	}
+	tSel := e.temporalSelectivity(q)
+	sSel := e.spatialSelectivity(nsr)
+
+	costSpatial := rows * sSel  // spatial-index candidates
+	costTemporal := rows * tSel // temporal-index candidates
+	// The ST composite touches the intersection but pays per-window seek
+	// overhead; the factor penalizes tiny workloads where window setup
+	// dominates.
+	costST := rows * tSel * sSel * 4
+
+	primaryPlan := "primary:spatial+tfilter"
+	secondaryPlan := "secondary:tr+sfilter"
+	costPrimary, costSecondary := costSpatial, costTemporal
+	if e.cfg.primaryIsTemporal() {
+		primaryPlan = "primary:temporal+sfilter"
+		secondaryPlan = "secondary:sp+tfilter"
+		costPrimary, costSecondary = costTemporal, costSpatial
+	}
+	switch {
+	case costST <= costPrimary && costST <= costSecondary:
+		return "secondary:st"
+	case costPrimary <= costSecondary:
+		return primaryPlan
+	default:
+		return secondaryPlan
+	}
+}
+
+// temporalSelectivity estimates the fraction of rows a temporal range
+// touches from the observed TR value extent.
+func (e *Engine) temporalSelectivity(q model.TimeRange) float64 {
+	if !e.trSeen.Load() {
+		return 1
+	}
+	lo, hi := e.minTR.Load(), e.maxTR.Load()
+	if hi <= lo {
+		return 1
+	}
+	var covered uint64
+	for _, r := range e.temporalRanges(q) {
+		covered += r.hi - r.lo + 1
+	}
+	frac := float64(covered) / float64(hi-lo+1)
+	if frac > 1 {
+		return 1
+	}
+	if frac < 1e-6 {
+		return 1e-6
+	}
+	return frac
+}
+
+// spatialSelectivity estimates the fraction of rows a normalized window
+// touches from its area (trajectory extents add a smoothing floor).
+func (e *Engine) spatialSelectivity(nsr geo.Rect) float64 {
+	frac := nsr.Area()
+	// Windows also catch trajectories overlapping their border; widen by a
+	// typical trajectory extent (one cell at median resolution).
+	frac += 2 * (nsr.Width() + nsr.Height()) * 0.01
+	if frac > 1 {
+		return 1
+	}
+	if frac < 1e-6 {
+		return 1e-6
+	}
+	return frac
+}
+
+// RangeCount is a helper for benchmarks: candidate index values of a
+// temporal query under the configured temporal index.
+func (e *Engine) TemporalCandidateValues(q model.TimeRange) uint64 {
+	var total uint64
+	for _, r := range e.temporalRanges(q) {
+		total += r.hi - r.lo + 1
+	}
+	return total
+}
+
+// SpatialCandidateStats exposes the Algorithm 2 statistics for a dataset-
+// coordinate window (benchmark support).
+func (e *Engine) SpatialCandidateStats(sr geo.Rect) (uint64, tshape.QueryStats) {
+	nsr := e.space.NormalizeRect(sr)
+	if e.cfg.Spatial == KindXZ2 {
+		rs := e.xzIdx.QueryRanges(nsr)
+		var total uint64
+		for _, r := range rs {
+			total += r.Hi - r.Lo + 1
+		}
+		return total, tshape.QueryStats{}
+	}
+	rs, stats := e.tsIdx.QueryRanges(nsr, e.provider())
+	return tshape.CandidateValues(rs), stats
+}

@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/tman-db/tman/internal/compress"
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Row is the decoded primary-table value (the paper's Fig. 11 layout):
+// object id, trajectory id, the TR index value, the exact time range, the
+// DP-Features sketch, and the compressed point blob. The blob is decoded
+// lazily because push-down filters usually decide on the header and
+// features alone.
+type Row struct {
+	OID       string
+	TID       string
+	TRValue   uint64
+	TimeRange model.TimeRange
+	Features  model.DPFeatures
+
+	pointsBlob []byte
+	points     []model.Point // decoded on demand
+}
+
+const rowVersion = 1
+
+// ErrBadRow is returned when a primary-table value cannot be decoded.
+var ErrBadRow = errors.New("engine: malformed row value")
+
+// encodeRow serializes a row value. Features are stored in normalized
+// coordinates (they are compared against normalized query windows); points
+// are compressed in dataset coordinates.
+func encodeRow(t *model.Trajectory, trValue uint64, feat model.DPFeatures) []byte {
+	blob := compress.EncodePoints(t.Points)
+	out := make([]byte, 0, 64+len(blob))
+	out = append(out, rowVersion)
+	out = compress.AppendUvarint(out, uint64(len(t.OID)))
+	out = append(out, t.OID...)
+	out = compress.AppendUvarint(out, uint64(len(t.TID)))
+	out = append(out, t.TID...)
+	tr := t.TimeRange()
+	out = compress.AppendVarint(out, tr.Start)
+	out = compress.AppendVarint(out, tr.End)
+	out = compress.AppendUvarint(out, trValue)
+
+	// Features: representative points then boxes, fixed-point coordinates.
+	out = compress.AppendUvarint(out, uint64(len(feat.Rep)))
+	for _, p := range feat.Rep {
+		out = compress.AppendVarint(out, q7(p.X))
+		out = compress.AppendVarint(out, q7(p.Y))
+		out = compress.AppendVarint(out, p.T)
+	}
+	out = compress.AppendUvarint(out, uint64(len(feat.Boxes)))
+	for _, b := range feat.Boxes {
+		out = compress.AppendVarint(out, q7(b.MinX))
+		out = compress.AppendVarint(out, q7(b.MinY))
+		out = compress.AppendVarint(out, q7(b.MaxX))
+		out = compress.AppendVarint(out, q7(b.MaxY))
+	}
+	out = compress.AppendUvarint(out, uint64(len(blob)))
+	out = append(out, blob...)
+	return out
+}
+
+// decodeRow parses a full row value (header + features); the point blob is
+// retained unparsed.
+func decodeRow(value []byte) (*Row, error) {
+	hdr, rest, err := decodeRowHeader(value)
+	if err != nil {
+		return nil, err
+	}
+	r := hdr
+
+	repN, n := compress.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrBadRow
+	}
+	rest = rest[n:]
+	if repN > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: implausible rep count %d", ErrBadRow, repN)
+	}
+	r.Features.Rep = make([]model.Point, repN)
+	for i := range r.Features.Rep {
+		var x, y, ts int64
+		if x, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+		if y, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+		if ts, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+		r.Features.Rep[i] = model.Point{X: dq7(x), Y: dq7(y), T: ts}
+	}
+	boxN, n := compress.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrBadRow
+	}
+	rest = rest[n:]
+	if boxN > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: implausible box count %d", ErrBadRow, boxN)
+	}
+	r.Features.Boxes = make([]geo.Rect, boxN)
+	for i := range r.Features.Boxes {
+		var x1, y1, x2, y2 int64
+		if x1, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+		if y1, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+		if x2, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+		if y2, rest, err = readVarint(rest); err != nil {
+			return nil, err
+		}
+		r.Features.Boxes[i] = geo.Rect{MinX: dq7(x1), MinY: dq7(y1), MaxX: dq7(x2), MaxY: dq7(y2)}
+	}
+	blobLen, n := compress.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrBadRow
+	}
+	rest = rest[n:]
+	if blobLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: blob length %d exceeds remaining %d", ErrBadRow, blobLen, len(rest))
+	}
+	r.pointsBlob = rest[:blobLen]
+	return r, nil
+}
+
+// decodeRowHeader parses only the fixed header (oid, tid, time range, TR
+// value) — the fast path used by the temporal push-down filter.
+func decodeRowHeader(value []byte) (*Row, []byte, error) {
+	if len(value) < 2 || value[0] != rowVersion {
+		return nil, nil, ErrBadRow
+	}
+	rest := value[1:]
+	oid, rest, err := readString(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	tid, rest, err := readString(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	start, rest, err := readVarint(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	end, rest, err := readVarint(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	trValue, n := compress.Uvarint(rest)
+	if n <= 0 {
+		return nil, nil, ErrBadRow
+	}
+	rest = rest[n:]
+	return &Row{
+		OID:       oid,
+		TID:       tid,
+		TRValue:   trValue,
+		TimeRange: model.TimeRange{Start: start, End: end},
+	}, rest, nil
+}
+
+// Points decodes (and memoizes) the compressed point sequence.
+func (r *Row) Points() ([]model.Point, error) {
+	if r.points != nil {
+		return r.points, nil
+	}
+	pts, err := compress.DecodePoints(r.pointsBlob)
+	if err != nil {
+		return nil, err
+	}
+	r.points = pts
+	return pts, nil
+}
+
+// Trajectory materializes the full trajectory.
+func (r *Row) Trajectory() (*model.Trajectory, error) {
+	pts, err := r.Points()
+	if err != nil {
+		return nil, err
+	}
+	return &model.Trajectory{OID: r.OID, TID: r.TID, Points: pts}, nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	l, n := compress.Uvarint(b)
+	if n <= 0 || l > uint64(len(b)-n) {
+		return "", nil, ErrBadRow
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+func readVarint(b []byte) (int64, []byte, error) {
+	v, n := compress.Varint(b)
+	if n <= 0 {
+		return 0, nil, ErrBadRow
+	}
+	return v, b[n:], nil
+}
+
+// q7 quantizes a normalized coordinate at 1e-7 resolution for varint
+// storage; dq7 inverts it.
+func q7(v float64) int64  { return int64(math.Round(v * 1e7)) }
+func dq7(q int64) float64 { return float64(q) / 1e7 }

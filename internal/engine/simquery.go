@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+// SimilarityThresholdQuery returns all trajectories within distance theta
+// of the query trajectory under the chosen measure (paper Section V-F).
+// theta is expressed in normalized units — a fraction of the dataset
+// boundary, matching the paper's θ = 0.015 convention — and distances are
+// computed on normalized coordinates.
+//
+// The TraSS-style execution is: global pruning with TShape candidates of
+// the query MBR expanded by theta, a local filter with MBR and DP-Features
+// lower bounds, then exact distance computation.
+func (e *Engine) SimilarityThresholdQuery(query *model.Trajectory, m similarity.Measure, theta float64) ([]*model.Trajectory, QueryReport, error) {
+	started := time.Now()
+	before := e.store.Stats().Snapshot()
+	report := QueryReport{Plan: "similarity:threshold:" + m.String()}
+	if err := query.Validate(); err != nil {
+		return nil, report, err
+	}
+	nq := e.normalizePoints(query.Points)
+	nmbr := boundsOfPoints(nq)
+
+	// Global pruning: only trajectories whose geometry comes within theta
+	// of the query can qualify (true for Fréchet and Hausdorff; for DTW the
+	// bound is conservative since DTW >= max matched pair >= min distance).
+	// The MBR and DP-Features lower bounds are pushed down as the paper's
+	// similarity filter, so pruned rows never leave the storage layer.
+	window := nmbr.Expand(theta)
+	rows := e.candidateRows(window, &report, func(row *Row) bool {
+		if similarity.MBRLowerBound(nmbr, row.Features.MBR()) > theta {
+			return false
+		}
+		if similarity.EndpointLowerBound(m, nq, row.Features.Rep) > theta {
+			return false
+		}
+		return similarity.FeatureLowerBound(nq, row.Features) <= theta
+	})
+
+	var out []*model.Trajectory
+	for _, row := range rows {
+		pts, err := row.Points()
+		if err != nil {
+			continue
+		}
+		npts := e.normalizePoints(pts)
+		if similarity.Distance(m, nq, npts) <= theta {
+			out = append(out, &model.Trajectory{OID: row.OID, TID: row.TID, Points: pts})
+		}
+	}
+	report.Results = len(out)
+	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
+	report.Elapsed = time.Since(started) + time.Duration(report.Store.SimIONanos)
+	return out, report, nil
+}
+
+// SimilarityTopKQuery returns the k trajectories closest to the query
+// under the chosen measure, excluding the query's own TID if stored.
+// It expands the search window geometrically until the k-th best distance
+// is no larger than the guaranteed-covered radius.
+func (e *Engine) SimilarityTopKQuery(query *model.Trajectory, m similarity.Measure, k int) ([]*model.Trajectory, QueryReport, error) {
+	started := time.Now()
+	before := e.store.Stats().Snapshot()
+	report := QueryReport{Plan: "similarity:topk:" + m.String()}
+	if err := query.Validate(); err != nil {
+		return nil, report, err
+	}
+	if k <= 0 {
+		return nil, report, nil
+	}
+	nq := e.normalizePoints(query.Points)
+	nmbr := boundsOfPoints(nq)
+
+	h := &topkHeap{}
+	heap.Init(h)
+	seen := map[string]struct{}{}
+	radius := 0.01
+	for {
+		window := nmbr.Expand(radius)
+		// Push down the feature lower bound at the current radius: rows
+		// farther than the guaranteed-covered radius are re-examined on
+		// the next (doubled) expansion if still needed.
+		rows := e.candidateRows(window, &report, func(row *Row) bool {
+			return similarity.FeatureLowerBound(nq, row.Features) <= radius
+		})
+		for _, row := range rows {
+			if row.TID == query.TID {
+				continue
+			}
+			if _, dup := seen[row.TID]; dup {
+				continue
+			}
+			bound := math.Inf(1)
+			if h.Len() == k {
+				bound = (*h)[0].dist
+			}
+			if similarity.MBRLowerBound(nmbr, row.Features.MBR()) > bound {
+				continue
+			}
+			if similarity.EndpointLowerBound(m, nq, row.Features.Rep) > bound {
+				continue
+			}
+			if similarity.FeatureLowerBound(nq, row.Features) > bound {
+				continue
+			}
+			pts, err := row.Points()
+			if err != nil {
+				continue
+			}
+			seen[row.TID] = struct{}{}
+			d := similarity.Distance(m, nq, e.normalizePoints(pts))
+			if h.Len() < k {
+				heap.Push(h, topkEntry{dist: d, row: row})
+			} else if d < (*h)[0].dist {
+				(*h)[0] = topkEntry{dist: d, row: row}
+				heap.Fix(h, 0)
+			}
+		}
+		// Termination: the window guarantees every trajectory within
+		// `radius` was examined; if we have k results all within radius,
+		// nothing outside can beat them. Also stop once the window covers
+		// the whole space.
+		if h.Len() == k && (*h)[0].dist <= radius {
+			break
+		}
+		if window.Contains(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}) {
+			break
+		}
+		radius *= 2
+	}
+
+	out := make([]*model.Trajectory, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		ent := heap.Pop(h).(topkEntry)
+		pts, err := ent.row.Points()
+		if err != nil {
+			continue
+		}
+		out[i] = &model.Trajectory{OID: ent.row.OID, TID: ent.row.TID, Points: pts}
+	}
+	report.Results = len(out)
+	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
+	report.Elapsed = time.Since(started) + time.Duration(report.Store.SimIONanos)
+	return out, report, nil
+}
+
+// candidateRows runs the spatial candidate machinery for a normalized
+// window and returns decoded rows without exact geometric refinement (the
+// similarity filters refine instead). The DP-Features sketch prunes rows
+// that cannot touch the window; extra (if non-nil) is an additional
+// push-down predicate — the paper's similarity filter in the filter chain.
+// With a temporal primary, candidates resolve through the spatial
+// secondary instead.
+func (e *Engine) candidateRows(nsr geo.Rect, report *QueryReport, extra func(*Row) bool) []*Row {
+	clamped := geo.Rect{
+		MinX: math.Max(nsr.MinX, 0), MinY: math.Max(nsr.MinY, 0),
+		MaxX: math.Min(nsr.MaxX, 1), MaxY: math.Min(nsr.MaxY, 1),
+	}
+	keep := func(row *Row) bool {
+		if !row.Features.MayIntersect(clamped) {
+			return false
+		}
+		return extra == nil || extra(row)
+	}
+	ranges := e.spatialRanges(clamped)
+
+	if e.cfg.primaryIsTemporal() {
+		byteRanges := make([][2][]byte, len(ranges))
+		for i, r := range ranges {
+			byteRanges[i] = uint64ByteRange(r)
+		}
+		windows := e.secondaryWindows(byteRanges)
+		report.Windows += len(windows)
+		keys := e.spTable.ScanRanges(windows, nil, 0)
+		report.Candidates += int64(len(keys))
+		return e.fetchRows(keys, keep)
+	}
+
+	windows := e.primaryWindows(ranges)
+	report.Windows += len(windows)
+	filter := kvstore.FilterFunc(func(_, value []byte) bool {
+		row, err := decodeRow(value)
+		if err != nil {
+			return false
+		}
+		return keep(row)
+	})
+	if e.cfg.PushDown {
+		scanned := e.primary.ScanRanges(windows, filter, 0)
+		rows := decodeAll(scanned)
+		report.Candidates += int64(len(scanned))
+		return rows
+	}
+	scanned := e.primary.ScanRanges(windows, nil, 0)
+	report.Candidates += int64(len(scanned))
+	out := make([]*Row, 0, len(scanned))
+	for _, kv := range scanned {
+		row, err := decodeRow(kv.Value)
+		if err != nil {
+			continue
+		}
+		if keep(row) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func (e *Engine) normalizePoints(pts []model.Point) []model.Point {
+	out := make([]model.Point, len(pts))
+	for i, p := range pts {
+		x, y := e.space.Normalize(p.X, p.Y)
+		out[i] = model.Point{X: x, Y: y, T: p.T}
+	}
+	return out
+}
+
+func boundsOfPoints(pts []model.Point) geo.Rect {
+	r := geo.Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		if p.X < r.MinX {
+			r.MinX = p.X
+		}
+		if p.X > r.MaxX {
+			r.MaxX = p.X
+		}
+		if p.Y < r.MinY {
+			r.MinY = p.Y
+		}
+		if p.Y > r.MaxY {
+			r.MaxY = p.Y
+		}
+	}
+	return r
+}
+
+// topkHeap is a max-heap on distance (root = current worst of the best k).
+type topkEntry struct {
+	dist float64
+	row  *Row
+}
+
+type topkHeap []topkEntry
+
+func (h topkHeap) Len() int            { return len(h) }
+func (h topkHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h topkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x interface{}) { *h = append(*h, x.(topkEntry)) }
+func (h *topkHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,132 @@
+// Package geo provides planar geometry primitives used by TMan's spatial
+// indexes: axis-aligned rectangles, segments, and the normalized unit space
+// onto which a dataset's spatial boundary is mapped.
+//
+// All index math in TMan (XZ-ordering, XZ*, TShape) is defined on the unit
+// square [0,1] x [0,1]; Space performs the affine mapping between dataset
+// coordinates (typically lng/lat) and normalized coordinates.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle. MinX/MinY is the lower-left corner and
+// MaxX/MaxY the upper-right corner. A Rect with Min == Max is a point and is
+// considered valid; rectangles are closed on all sides.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle spanning the two corner points in any order.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	return Rect{
+		MinX: math.Min(x1, x2),
+		MinY: math.Min(y1, y2),
+		MaxX: math.Max(x1, x2),
+		MaxY: math.Max(y1, y2),
+	}
+}
+
+// Valid reports whether r is a well-formed rectangle (Min <= Max on both
+// axes and all coordinates are finite).
+func (r Rect) Valid() bool {
+	if math.IsNaN(r.MinX) || math.IsNaN(r.MinY) || math.IsNaN(r.MaxX) || math.IsNaN(r.MaxY) {
+		return false
+	}
+	if math.IsInf(r.MinX, 0) || math.IsInf(r.MinY, 0) || math.IsInf(r.MaxX, 0) || math.IsInf(r.MaxY, 0) {
+		return false
+	}
+	return r.MinX <= r.MaxX && r.MinY <= r.MaxY
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() (x, y float64) {
+	return (r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2
+}
+
+// Intersects reports whether r and o share at least one point (closed
+// rectangles: touching edges intersect).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Contains reports whether o lies entirely within r (boundaries included).
+func (r Rect) Contains(o Rect) bool {
+	return r.MinX <= o.MinX && o.MaxX <= r.MaxX && r.MinY <= o.MinY && o.MaxY <= r.MaxY
+}
+
+// ContainsPoint reports whether the point (x, y) lies within r
+// (boundaries included).
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return r.MinX <= x && x <= r.MaxX && r.MinY <= y && y <= r.MaxY
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX),
+		MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX),
+		MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+// Intersection returns the overlap of r and o and whether it is non-empty.
+func (r Rect) Intersection(o Rect) (Rect, bool) {
+	out := Rect{
+		MinX: math.Max(r.MinX, o.MinX),
+		MinY: math.Max(r.MinY, o.MinY),
+		MaxX: math.Min(r.MaxX, o.MaxX),
+		MaxY: math.Min(r.MaxY, o.MaxY),
+	}
+	if out.MinX > out.MaxX || out.MinY > out.MaxY {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Expand returns r grown by d on every side. A negative d shrinks the
+// rectangle; the result may become invalid if shrunk past its center.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{MinX: r.MinX - d, MinY: r.MinY - d, MaxX: r.MaxX + d, MaxY: r.MaxY + d}
+}
+
+// MinDistToPoint returns the minimum Euclidean distance from the point
+// (x, y) to any point of r. It is zero when the point is inside r.
+func (r Rect) MinDistToPoint(x, y float64) float64 {
+	dx := math.Max(0, math.Max(r.MinX-x, x-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-y, y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// MaxDistToPoint returns the maximum Euclidean distance from the point
+// (x, y) to any point of r (attained at one of the four corners).
+func (r Rect) MaxDistToPoint(x, y float64) float64 {
+	dx := math.Max(math.Abs(x-r.MinX), math.Abs(x-r.MaxX))
+	dy := math.Max(math.Abs(y-r.MinY), math.Abs(y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// MinDist returns the minimum Euclidean distance between any point of r and
+// any point of o. It is zero when the rectangles intersect.
+func (r Rect) MinDist(o Rect) float64 {
+	dx := math.Max(0, math.Max(o.MinX-r.MaxX, r.MinX-o.MaxX))
+	dy := math.Max(0, math.Max(o.MinY-r.MaxY, r.MinY-o.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("Rect(%g,%g,%g,%g)", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}

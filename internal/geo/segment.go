@@ -1,0 +1,94 @@
+package geo
+
+import "math"
+
+// Segment is a directed line segment from (X1, Y1) to (X2, Y2).
+type Segment struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Bounds returns the bounding rectangle of s.
+func (s Segment) Bounds() Rect {
+	return NewRect(s.X1, s.Y1, s.X2, s.Y2)
+}
+
+// IntersectsRect reports whether the segment shares at least one point with
+// the closed rectangle r. It uses the Liang-Barsky parametric clip, which
+// handles degenerate (zero-length) segments as points.
+func (s Segment) IntersectsRect(r Rect) bool {
+	// Quick accept: either endpoint inside.
+	if r.ContainsPoint(s.X1, s.Y1) || r.ContainsPoint(s.X2, s.Y2) {
+		return true
+	}
+	// Quick reject: bounding boxes disjoint.
+	if !s.Bounds().Intersects(r) {
+		return false
+	}
+	dx := s.X2 - s.X1
+	dy := s.Y2 - s.Y1
+	if dx == 0 && dy == 0 {
+		return r.ContainsPoint(s.X1, s.Y1)
+	}
+	t0, t1 := 0.0, 1.0
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	if !clip(-dx, s.X1-r.MinX) {
+		return false
+	}
+	if !clip(dx, r.MaxX-s.X1) {
+		return false
+	}
+	if !clip(-dy, s.Y1-r.MinY) {
+		return false
+	}
+	if !clip(dy, r.MaxY-s.Y1) {
+		return false
+	}
+	return t0 <= t1
+}
+
+// PointSegmentDist returns the Euclidean distance from point (px, py) to the
+// closest point of segment s.
+func PointSegmentDist(px, py float64, s Segment) float64 {
+	dx := s.X2 - s.X1
+	dy := s.Y2 - s.Y1
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return dist(px, py, s.X1, s.Y1)
+	}
+	t := ((px-s.X1)*dx + (py-s.Y1)*dy) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return dist(px, py, s.X1+t*dx, s.Y1+t*dy)
+}
+
+func dist(x1, y1, x2, y2 float64) float64 {
+	dx := x1 - x2
+	dy := y1 - y2
+	// math.Hypot is robust but slow; coordinates here are normalized to
+	// [0,1] so plain multiplication cannot overflow.
+	return math.Sqrt(dx*dx + dy*dy)
+}

@@ -1,0 +1,80 @@
+package geo
+
+import "fmt"
+
+// Space maps dataset coordinates (typically lng/lat degrees) onto the unit
+// square [0,1] x [0,1] in which all of TMan's spatial index math operates.
+//
+// The mapping is a per-axis affine transform over the dataset's spatial
+// boundary. Points outside the boundary are clamped so that index values
+// remain well defined for slightly out-of-range data.
+type Space struct {
+	boundary Rect
+	invW     float64
+	invH     float64
+}
+
+// NewSpace creates a Space over the given dataset boundary. The boundary
+// must be a valid rectangle with positive extent on both axes.
+func NewSpace(boundary Rect) (*Space, error) {
+	if !boundary.Valid() {
+		return nil, fmt.Errorf("geo: invalid boundary %v", boundary)
+	}
+	if boundary.Width() <= 0 || boundary.Height() <= 0 {
+		return nil, fmt.Errorf("geo: boundary must have positive extent, got %v", boundary)
+	}
+	return &Space{
+		boundary: boundary,
+		invW:     1 / boundary.Width(),
+		invH:     1 / boundary.Height(),
+	}, nil
+}
+
+// MustSpace is NewSpace that panics on error, for use with static boundaries.
+func MustSpace(boundary Rect) *Space {
+	s, err := NewSpace(boundary)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Boundary returns the dataset boundary this space was built over.
+func (s *Space) Boundary() Rect { return s.boundary }
+
+// Normalize maps a dataset coordinate to the unit square, clamping values
+// outside the boundary to [0, 1].
+func (s *Space) Normalize(x, y float64) (nx, ny float64) {
+	nx = (x - s.boundary.MinX) * s.invW
+	ny = (y - s.boundary.MinY) * s.invH
+	return clamp01(nx), clamp01(ny)
+}
+
+// Denormalize maps a unit-square coordinate back to dataset coordinates.
+func (s *Space) Denormalize(nx, ny float64) (x, y float64) {
+	return s.boundary.MinX + nx*s.boundary.Width(), s.boundary.MinY + ny*s.boundary.Height()
+}
+
+// NormalizeRect maps a dataset rectangle to the unit square.
+func (s *Space) NormalizeRect(r Rect) Rect {
+	x1, y1 := s.Normalize(r.MinX, r.MinY)
+	x2, y2 := s.Normalize(r.MaxX, r.MaxY)
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+// DenormalizeRect maps a unit-square rectangle back to dataset coordinates.
+func (s *Space) DenormalizeRect(r Rect) Rect {
+	x1, y1 := s.Denormalize(r.MinX, r.MinY)
+	x2, y2 := s.Denormalize(r.MaxX, r.MaxY)
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,324 @@
+// Package httpapi exposes a TMan database over HTTP/JSON — the service
+// layer a deployment would put in front of the engine. It is deliberately
+// small: JSON in, JSON out, no framework.
+//
+// Endpoints:
+//
+//	PUT  /trajectories           ingest a JSON array of trajectories
+//	GET  /query/time             ?start=&end=                 (unix ms)
+//	GET  /query/space            ?minx=&miny=&maxx=&maxy=
+//	GET  /query/spacetime        space params + start/end
+//	GET  /query/object           ?oid=&start=&end=
+//	POST /query/similar          {"query": {...}, "measure": "frechet",
+//	                              "k": 10} or {"theta": 0.015}
+//	GET  /query/nearest          ?x=&y=&k=
+//	DELETE /trajectories/{tid}   body: the trajectory to delete
+//	GET  /stats                  engine + store counters
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+// TrajectoryJSON is the wire representation of a trajectory.
+type TrajectoryJSON struct {
+	OID    string      `json:"oid"`
+	TID    string      `json:"tid"`
+	Points []PointJSON `json:"points"`
+}
+
+// PointJSON is the wire representation of one observation.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	T int64   `json:"t"`
+}
+
+// QueryResponse is the wire representation of a query result.
+type QueryResponse struct {
+	Count        int              `json:"count"`
+	Plan         string           `json:"plan"`
+	Candidates   int64            `json:"candidates"`
+	ElapsedMs    float64          `json:"elapsed_ms"`
+	Trajectories []TrajectoryJSON `json:"trajectories"`
+}
+
+// similarRequest is the POST /query/similar body.
+type similarRequest struct {
+	Query   TrajectoryJSON `json:"query"`
+	Measure string         `json:"measure"`
+	K       int            `json:"k,omitempty"`
+	Theta   float64        `json:"theta,omitempty"`
+}
+
+// Server wraps a DB with HTTP handlers.
+type Server struct {
+	db  *tman.DB
+	mux *http.ServeMux
+}
+
+// New builds a Server over an open database.
+func New(db *tman.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/trajectories", s.handleIngest)
+	s.mux.HandleFunc("/trajectories/", s.handleDelete)
+	s.mux.HandleFunc("/query/time", s.handleTime)
+	s.mux.HandleFunc("/query/space", s.handleSpace)
+	s.mux.HandleFunc("/query/spacetime", s.handleSpaceTime)
+	s.mux.HandleFunc("/query/object", s.handleObject)
+	s.mux.HandleFunc("/query/similar", s.handleSimilar)
+	s.mux.HandleFunc("/query/nearest", s.handleNearest)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func toModel(in TrajectoryJSON) *tman.Trajectory {
+	t := &tman.Trajectory{OID: in.OID, TID: in.TID}
+	for _, p := range in.Points {
+		t.Points = append(t.Points, tman.Point{X: p.X, Y: p.Y, T: p.T})
+	}
+	return t
+}
+
+func fromModel(t *tman.Trajectory) TrajectoryJSON {
+	out := TrajectoryJSON{OID: t.OID, TID: t.TID}
+	for _, p := range t.Points {
+		out.Points = append(out.Points, PointJSON{X: p.X, Y: p.Y, T: p.T})
+	}
+	return out
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut && r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use PUT or POST")
+		return
+	}
+	var in []TrajectoryJSON
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	stored := 0
+	for _, tj := range in {
+		t := toModel(tj)
+		t.SortByTime()
+		if err := s.db.Put(t); err != nil {
+			httpError(w, http.StatusUnprocessableEntity,
+				"trajectory %q rejected after %d stored: %v", tj.TID, stored, err)
+			return
+		}
+		stored++
+	}
+	writeJSON(w, map[string]any{"stored": stored, "total": s.db.Len()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "use DELETE")
+		return
+	}
+	var in TrajectoryJSON
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if err := s.db.Delete(toModel(in)); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "delete failed: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"total": s.db.Len()})
+}
+
+func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q, ok := timeRangeParam(w, r)
+	if !ok {
+		return
+	}
+	trips, rep, err := s.db.QueryTimeRange(q)
+	respond(w, trips, rep, err)
+}
+
+func (s *Server) handleSpace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	sr, ok := rectParam(w, r)
+	if !ok {
+		return
+	}
+	trips, rep, err := s.db.QuerySpace(sr)
+	respond(w, trips, rep, err)
+}
+
+func (s *Server) handleSpaceTime(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	sr, ok := rectParam(w, r)
+	if !ok {
+		return
+	}
+	q, ok := timeRangeParam(w, r)
+	if !ok {
+		return
+	}
+	trips, rep, err := s.db.QuerySpaceTime(sr, q)
+	respond(w, trips, rep, err)
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	oid := r.URL.Query().Get("oid")
+	if oid == "" {
+		httpError(w, http.StatusBadRequest, "missing oid")
+		return
+	}
+	q, ok := timeRangeParam(w, r)
+	if !ok {
+		return
+	}
+	trips, rep, err := s.db.QueryObject(oid, q)
+	respond(w, trips, rep, err)
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req similarRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	var m tman.Measure
+	switch req.Measure {
+	case "frechet", "":
+		m = similarity.Frechet
+	case "dtw":
+		m = similarity.DTW
+	case "hausdorff":
+		m = similarity.Hausdorff
+	default:
+		httpError(w, http.StatusBadRequest, "unknown measure %q", req.Measure)
+		return
+	}
+	query := toModel(req.Query)
+	query.SortByTime()
+	switch {
+	case req.K > 0:
+		trips, rep, err := s.db.QuerySimilarTopK(query, m, req.K)
+		respond(w, trips, rep, err)
+	case req.Theta > 0:
+		trips, rep, err := s.db.QuerySimilarThreshold(query, m, req.Theta)
+		respond(w, trips, rep, err)
+	default:
+		httpError(w, http.StatusBadRequest, "set k or theta")
+	}
+}
+
+// handleNearest serves GET /query/nearest?x=&y=&k=.
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	x, e1 := strconv.ParseFloat(r.URL.Query().Get("x"), 64)
+	y, e2 := strconv.ParseFloat(r.URL.Query().Get("y"), 64)
+	k, e3 := strconv.Atoi(r.URL.Query().Get("k"))
+	if e1 != nil || e2 != nil || e3 != nil || k <= 0 {
+		httpError(w, http.StatusBadRequest, "need x, y and k > 0")
+		return
+	}
+	trips, rep, err := s.db.QueryNearest(x, y, k)
+	respond(w, trips, rep, err)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.db.Engine().Store().Stats().Snapshot()
+	cs := s.db.Engine().CacheStats()
+	writeJSON(w, map[string]any{
+		"trajectories":   s.db.Len(),
+		"rows_scanned":   snap.RowsScanned,
+		"rows_returned":  snap.RowsReturned,
+		"seeks":          snap.Seeks,
+		"rpcs":           snap.RPCs,
+		"bytes_returned": snap.BytesReturned,
+		"region_splits":  snap.RegionSplits,
+		"reencodes":      s.db.Engine().Reencodes(),
+		"cache_hits":     cs.Hits,
+		"cache_misses":   cs.Misses,
+		"cache_evicts":   cs.Evictions,
+	})
+}
+
+// ------------------------------------------------------------- helpers ---
+
+func respond(w http.ResponseWriter, trips []*tman.Trajectory, rep tman.Report, err error) {
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		return
+	}
+	out := QueryResponse{
+		Count:      len(trips),
+		Plan:       rep.Plan,
+		Candidates: rep.Candidates,
+		ElapsedMs:  float64(rep.Elapsed.Microseconds()) / 1000,
+	}
+	for _, t := range trips {
+		out.Trajectories = append(out.Trajectories, fromModel(t))
+	}
+	writeJSON(w, out)
+}
+
+func timeRangeParam(w http.ResponseWriter, r *http.Request) (tman.TimeRange, bool) {
+	start, err1 := strconv.ParseInt(r.URL.Query().Get("start"), 10, 64)
+	end, err2 := strconv.ParseInt(r.URL.Query().Get("end"), 10, 64)
+	if err1 != nil || err2 != nil || end < start {
+		httpError(w, http.StatusBadRequest, "need start <= end (unix ms)")
+		return tman.TimeRange{}, false
+	}
+	return tman.TimeRange{Start: start, End: end}, true
+}
+
+func rectParam(w http.ResponseWriter, r *http.Request) (tman.Rect, bool) {
+	get := func(k string) (float64, error) { return strconv.ParseFloat(r.URL.Query().Get(k), 64) }
+	minx, e1 := get("minx")
+	miny, e2 := get("miny")
+	maxx, e3 := get("maxx")
+	maxy, e4 := get("maxy")
+	if e1 != nil || e2 != nil || e3 != nil || e4 != nil || maxx < minx || maxy < miny {
+		httpError(w, http.StatusBadRequest, "need minx <= maxx, miny <= maxy")
+		return tman.Rect{}, false
+	}
+	return tman.Rect{MinX: minx, MinY: miny, MaxX: maxx, MaxY: maxy}, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,64 @@
+// Package idt implements TMan's IDT index (paper Section IV-A3): the
+// composite of an object identifier and the TR index value of a
+// trajectory's time range,
+//
+//	IDT(T) = T.oid :: TR(TB(i,j))
+//
+// supporting ID-temporal queries ("all trajectories of courier X last
+// Tuesday"). The oid component is 0x00-terminated so that byte order equals
+// (oid, tr-value) order.
+package idt
+
+import (
+	"github.com/tman-db/tman/internal/codec"
+	"github.com/tman-db/tman/internal/index/tr"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Key builds the IDT index component for an object and a TR index value.
+func Key(oid string, trValue uint64) []byte {
+	k := codec.AppendString(nil, oid)
+	return codec.AppendUint64(k, trValue)
+}
+
+// Split decodes an IDT index component.
+func Split(key []byte) (oid string, trValue uint64, err error) {
+	oid, rest, err := codec.String(key)
+	if err != nil {
+		return "", 0, err
+	}
+	v, err := codec.Uint64(rest)
+	if err != nil {
+		return "", 0, err
+	}
+	return oid, v, nil
+}
+
+// ByteRange is a half-open [Start, End) range over index components.
+type ByteRange struct {
+	Start, End []byte
+}
+
+// QueryRanges combines an object id with TR candidate value ranges into
+// byte ranges over IDT components.
+func QueryRanges(oid string, ix *tr.Index, q model.TimeRange) []ByteRange {
+	values := ix.QueryRanges(q)
+	out := make([]ByteRange, 0, len(values))
+	for _, vr := range values {
+		out = append(out, ByteRange{
+			Start: Key(oid, vr.Lo),
+			End:   keyAfter(oid, vr.Hi),
+		})
+	}
+	return out
+}
+
+// keyAfter returns the first component greater than every (oid, v) pair.
+func keyAfter(oid string, hi uint64) []byte {
+	if hi == ^uint64(0) {
+		// Past the last value of this oid: bump the terminator.
+		k := []byte(oid)
+		return append(k, 0x01)
+	}
+	return Key(oid, hi+1)
+}

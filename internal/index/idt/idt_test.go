@@ -1,0 +1,77 @@
+package idt
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tman-db/tman/internal/index/tr"
+	"github.com/tman-db/tman/internal/model"
+)
+
+const hour = int64(3600_000)
+
+func TestKeySplitRoundTrip(t *testing.T) {
+	k := Key("courier-42", 12345)
+	oid, v, err := Split(k)
+	if err != nil || oid != "courier-42" || v != 12345 {
+		t.Fatalf("Split = (%q,%d,%v)", oid, v, err)
+	}
+	if _, _, err := Split([]byte("no-terminator")); err == nil {
+		t.Error("malformed key should error")
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	// Order by oid first, then TR value.
+	if bytes.Compare(Key("a", 999), Key("b", 0)) >= 0 {
+		t.Error("oid should dominate ordering")
+	}
+	if bytes.Compare(Key("a", 1), Key("a", 2)) >= 0 {
+		t.Error("same oid: TR value should order")
+	}
+	// A shorter oid that is a prefix of a longer one sorts first.
+	if bytes.Compare(Key("ab", 0), Key("abc", 0)) >= 0 {
+		t.Error("prefix oid should sort before extension")
+	}
+}
+
+func TestQueryRangesCoverEncodedKeys(t *testing.T) {
+	ix := tr.MustNew(hour, 8)
+	q := model.TimeRange{Start: 100 * hour, End: 102 * hour}
+	ranges := QueryRanges("obj-7", ix, q)
+	if len(ranges) == 0 {
+		t.Fatal("no ranges generated")
+	}
+	// A trajectory of obj-7 overlapping q must fall inside some range.
+	otr := model.TimeRange{Start: 101 * hour, End: 103 * hour}
+	k := Key("obj-7", ix.Encode(otr))
+	found := false
+	for _, r := range ranges {
+		if bytes.Compare(k, r.Start) >= 0 && bytes.Compare(k, r.End) < 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("overlapping trajectory key not covered by any range")
+	}
+	// A different object's key must never be covered.
+	other := Key("obj-8", ix.Encode(otr))
+	for _, r := range ranges {
+		if bytes.Compare(other, r.Start) >= 0 && bytes.Compare(other, r.End) < 0 {
+			t.Error("other object's key covered by oid-scoped range")
+		}
+	}
+}
+
+func TestKeyAfterMaxValue(t *testing.T) {
+	end := keyAfter("zz", ^uint64(0))
+	k := Key("zz", ^uint64(0))
+	if bytes.Compare(k, end) >= 0 {
+		t.Error("keyAfter(max) must sort after the max key")
+	}
+	next := Key("zza", 0)
+	if bytes.Compare(end, next) > 0 {
+		t.Error("keyAfter(max) must not cover other oids' keys")
+	}
+}

@@ -1,0 +1,189 @@
+// Package quad implements the quad-tree sequence math shared by TMan's
+// spatial indexes (XZ-ordering, XZ*, TShape).
+//
+// The unit square is recursively divided into four sub-cells. A cell at
+// resolution r is identified either by its quadrant sequence q1..qr
+// (qi ∈ {0,1,2,3}: 0 = lower-left, 1 = lower-right, 2 = upper-left,
+// 3 = upper-right) or, equivalently, by grid coordinates (ix, iy) at
+// resolution r where the cell spans [ix·w, (ix+1)·w) × [iy·w, (iy+1)·w)
+// with w = 0.5^r.
+//
+// Sequences are mapped to integers by the XZ-ordering code (paper Eq. 2),
+// which preserves lexicographic (depth-first) order:
+//
+//	code(q1..qr) = Σ_{i=1..r} ( qi · (4^{g-i+1}-1)/3 + 1 ) - 1
+//
+// where g is the maximum resolution. All elements prefixed by a sequence
+// occupy the consecutive code interval [code, code+SubtreeSize(r)).
+package quad
+
+import "github.com/tman-db/tman/internal/geo"
+
+// MaxResolution is the largest supported g. With g = 30 the maximum code is
+// below 2^61, leaving room for composite encodings.
+const MaxResolution = 30
+
+// Cell identifies one quad-tree cell by grid coordinates at a resolution.
+type Cell struct {
+	IX, IY uint32
+	R      int
+}
+
+// Rect returns the unit-square rectangle of the cell.
+func (c Cell) Rect() geo.Rect {
+	w := CellWidth(c.R)
+	x := float64(c.IX) * w
+	y := float64(c.IY) * w
+	return geo.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + w}
+}
+
+// Children returns the four sub-cells at resolution R+1 in quadrant order
+// (lower-left, lower-right, upper-left, upper-right).
+func (c Cell) Children() [4]Cell {
+	bx, by := c.IX*2, c.IY*2
+	return [4]Cell{
+		{IX: bx, IY: by, R: c.R + 1},
+		{IX: bx + 1, IY: by, R: c.R + 1},
+		{IX: bx, IY: by + 1, R: c.R + 1},
+		{IX: bx + 1, IY: by + 1, R: c.R + 1},
+	}
+}
+
+// CellWidth returns the side length of cells at resolution r.
+func CellWidth(r int) float64 {
+	return 1 / float64(uint64(1)<<uint(r))
+}
+
+// CellAt returns the cell containing the point (x, y) at resolution r,
+// clamping coordinates into [0, 1).
+func CellAt(x, y float64, r int) Cell {
+	n := uint64(1) << uint(r)
+	ix := int64(x * float64(n))
+	iy := int64(y * float64(n))
+	if ix < 0 {
+		ix = 0
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if ix >= int64(n) {
+		ix = int64(n) - 1
+	}
+	if iy >= int64(n) {
+		iy = int64(n) - 1
+	}
+	return Cell{IX: uint32(ix), IY: uint32(iy), R: r}
+}
+
+// Sequence returns the quadrant sequence q1..qr of the cell, derived from
+// the interleaved bits of (IX, IY) most-significant first.
+func (c Cell) Sequence() []byte {
+	seq := make([]byte, c.R)
+	for i := 0; i < c.R; i++ {
+		shift := uint(c.R - 1 - i)
+		xb := (c.IX >> shift) & 1
+		yb := (c.IY >> shift) & 1
+		seq[i] = byte(xb + 2*yb)
+	}
+	return seq
+}
+
+// CellFromSequence reconstructs a cell from its quadrant sequence.
+func CellFromSequence(seq []byte) Cell {
+	var ix, iy uint32
+	for _, q := range seq {
+		ix = ix<<1 | uint32(q&1)
+		iy = iy<<1 | uint32(q>>1&1)
+	}
+	return Cell{IX: ix, IY: iy, R: len(seq)}
+}
+
+// quarterPow4[i] = (4^i - 1) / 3 = 0b0101..01 with i digits base 4.
+var quarterPow4 [MaxResolution + 2]uint64
+
+func init() {
+	for i := 1; i < len(quarterPow4); i++ {
+		quarterPow4[i] = quarterPow4[i-1]*4 + 1
+	}
+}
+
+// Code computes the XZ-ordering code (Eq. 2) of the cell's sequence with
+// maximum resolution g. The empty sequence (root, R = 0) has no code in the
+// paper's scheme; Code panics for R == 0 or R > g.
+func (c Cell) Code(g int) uint64 {
+	if c.R < 1 || c.R > g {
+		panic("quad: Code requires 1 <= R <= g")
+	}
+	var code uint64
+	for i := 1; i <= c.R; i++ {
+		shift := uint(c.R - i)
+		q := uint64((c.IX>>shift)&1) + 2*uint64((c.IY>>shift)&1)
+		code += q*quarterPow4[g-i+1] + 1
+	}
+	return code - 1
+}
+
+// SubtreeSize returns EN(E): the number of elements (cells) whose sequence
+// is prefixed by a sequence of resolution r, itself included, up to g:
+// Σ_{i=r..g} 4^{i-r}.
+func SubtreeSize(r, g int) uint64 {
+	if r > g {
+		return 0
+	}
+	// Σ_{k=0..g-r} 4^k = (4^{g-r+1} - 1) / 3.
+	return quarterPow4[g-r+1]
+}
+
+// MaxCode returns the largest code at maximum resolution g (the code of the
+// all-3s sequence of length g).
+func MaxCode(g int) uint64 {
+	c := Cell{IX: 1<<uint(g) - 1, IY: 1<<uint(g) - 1, R: g}
+	return c.Code(g)
+}
+
+// ExtCode extends Eq. 2 to the root: the root cell (R = 0) gets code 0 and
+// every other cell gets Code+1. Depth-first consecutiveness is preserved:
+// the subtree of a cell at resolution r occupies [ExtCode, ExtCode +
+// ExtSubtreeSize(r, g)).
+func ExtCode(c Cell, g int) uint64 {
+	if c.R == 0 {
+		return 0
+	}
+	return c.Code(g) + 1
+}
+
+// ExtSubtreeSize returns the number of extended codes in the subtree rooted
+// at a cell of resolution r (itself included): Σ_{i=r..g} 4^{i-r}, with the
+// root counting the entire code space.
+func ExtSubtreeSize(r, g int) uint64 {
+	if r > g {
+		return 0
+	}
+	return quarterPow4[g-r+1]
+}
+
+// TotalExtCodes returns the size of the extended code space for maximum
+// resolution g (root + all cells of resolutions 1..g).
+func TotalExtCodes(g int) uint64 {
+	return ExtSubtreeSize(0, g)
+}
+
+// ResolutionForExtent returns l = floor(log0.5(max(w/α, h/β))) — the
+// candidate resolution at which a box of size w×h fits into an enlarged
+// element of α×β cells (paper Lemma 3). The result is clamped to [0, g];
+// resolution 0 anchors at the root cell.
+func ResolutionForExtent(w, h float64, alpha, beta int, g int) int {
+	m := w / float64(alpha)
+	if hh := h / float64(beta); hh > m {
+		m = hh
+	}
+	if m <= 0 {
+		return g
+	}
+	l := 0
+	// Largest l with 0.5^l >= m.
+	for l < g && CellWidth(l+1) >= m {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,220 @@
+package quad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The paper's Figure 8(a) examples with g = 2: quadrant codes of enlarged
+// elements '03' and '33' are 4 and 20.
+func TestCodeMatchesPaperExamples(t *testing.T) {
+	const g = 2
+	seq03 := CellFromSequence([]byte{0, 3})
+	if got := seq03.Code(g); got != 4 {
+		t.Errorf("code('03') = %d, want 4", got)
+	}
+	// Figure 8(a) labels '33' as 20, but Eq. 2 evaluates to 19 — with g=2
+	// there are exactly 4+16 = 20 sequences, so the DFS-last code is 19 and
+	// the figure is off by one ('03' = 4 confirms the 0-based numbering).
+	seq33 := CellFromSequence([]byte{3, 3})
+	if got := seq33.Code(g); got != 19 {
+		t.Errorf("code('33') = %d, want 19 (Eq. 2)", got)
+	}
+	// First sequences in DFS order: '0' = 0, '00' = 1.
+	if got := CellFromSequence([]byte{0}).Code(g); got != 0 {
+		t.Errorf("code('0') = %d, want 0", got)
+	}
+	if got := CellFromSequence([]byte{0, 0}).Code(g); got != 1 {
+		t.Errorf("code('00') = %d, want 1", got)
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 500; iter++ {
+		r := 1 + rng.Intn(12)
+		c := Cell{IX: uint32(rng.Intn(1 << r)), IY: uint32(rng.Intn(1 << r)), R: r}
+		seq := c.Sequence()
+		if len(seq) != r {
+			t.Fatalf("sequence length %d != %d", len(seq), r)
+		}
+		back := CellFromSequence(seq)
+		if back != c {
+			t.Fatalf("round trip %v -> %v -> %v", c, seq, back)
+		}
+	}
+}
+
+// Codes are assigned in depth-first lexicographic order: for any two cells,
+// lexicographic sequence order must equal code order.
+func TestCodeIsDFSOrder(t *testing.T) {
+	const g = 5
+	type sc struct {
+		seq  string
+		code uint64
+	}
+	var all []sc
+	var walk func(c Cell, seq []byte)
+	walk = func(c Cell, seq []byte) {
+		if c.R >= 1 {
+			all = append(all, sc{seq: string(seq), code: c.Code(g)})
+		}
+		if c.R >= g {
+			return
+		}
+		for q, ch := range c.Children() {
+			walk(ch, append(seq, byte('0'+q)))
+		}
+	}
+	walk(Cell{R: 0}, nil)
+	for i := 1; i < len(all); i++ {
+		if all[i-1].code >= all[i].code {
+			t.Fatalf("DFS order violated: %q=%d then %q=%d", all[i-1].seq, all[i-1].code, all[i].seq, all[i].code)
+		}
+		if all[i].code != all[i-1].code+1 {
+			t.Fatalf("codes not consecutive in DFS: %q=%d then %q=%d", all[i-1].seq, all[i-1].code, all[i].seq, all[i].code)
+		}
+	}
+	if all[0].code != 0 {
+		t.Errorf("first DFS code = %d, want 0", all[0].code)
+	}
+	if got, want := all[len(all)-1].code, MaxCode(g); got != want {
+		t.Errorf("last DFS code = %d, MaxCode = %d", got, want)
+	}
+}
+
+func TestSubtreeSize(t *testing.T) {
+	const g = 4
+	// A cell at resolution g has only itself.
+	if got := SubtreeSize(g, g); got != 1 {
+		t.Errorf("SubtreeSize(g,g) = %d", got)
+	}
+	// r = g-1: itself + 4 children.
+	if got := SubtreeSize(g-1, g); got != 5 {
+		t.Errorf("SubtreeSize(g-1,g) = %d", got)
+	}
+	if got := SubtreeSize(g+1, g); got != 0 {
+		t.Errorf("SubtreeSize(g+1,g) = %d", got)
+	}
+	// Consistency with DFS: codes of subtree of '0' at r=1 are [0, SubtreeSize).
+	c := CellFromSequence([]byte{0})
+	lastInSubtree := CellFromSequence([]byte{0, 3, 3, 3})
+	if lastInSubtree.Code(g) != c.Code(g)+SubtreeSize(1, g)-1 {
+		t.Errorf("subtree range mismatch: %d vs %d + %d - 1",
+			lastInSubtree.Code(g), c.Code(g), SubtreeSize(1, g))
+	}
+	// Total extended codes = 1 + sum of 4 level-1 subtrees.
+	if TotalExtCodes(g) != 1+4*SubtreeSize(1, g) {
+		t.Errorf("TotalExtCodes inconsistent")
+	}
+}
+
+func TestExtCode(t *testing.T) {
+	const g = 3
+	if ExtCode(Cell{R: 0}, g) != 0 {
+		t.Error("root ext code should be 0")
+	}
+	if ExtCode(CellFromSequence([]byte{0}), g) != 1 {
+		t.Error("first child ext code should be 1")
+	}
+	// Subtree consecutiveness under ExtCode.
+	c := CellFromSequence([]byte{1})
+	first := ExtCode(c, g)
+	last := ExtCode(CellFromSequence([]byte{1, 3, 3}), g)
+	if last != first+ExtSubtreeSize(1, g)-1 {
+		t.Errorf("ext subtree range mismatch: first=%d last=%d size=%d", first, last, ExtSubtreeSize(1, g))
+	}
+}
+
+func TestCellRectAndCellAt(t *testing.T) {
+	c := CellAt(0.6, 0.3, 2)
+	// 0.6 -> column 2, 0.3 -> row 1 at resolution 2 (4x4 grid).
+	if c.IX != 2 || c.IY != 1 {
+		t.Errorf("CellAt = %+v", c)
+	}
+	r := c.Rect()
+	if r.MinX != 0.5 || r.MinY != 0.25 || r.MaxX != 0.75 || r.MaxY != 0.5 {
+		t.Errorf("Rect = %v", r)
+	}
+	if !r.ContainsPoint(0.6, 0.3) {
+		t.Error("cell rect must contain its defining point")
+	}
+	// Clamping at the boundary.
+	edge := CellAt(1.0, 1.0, 3)
+	if edge.IX != 7 || edge.IY != 7 {
+		t.Errorf("boundary CellAt = %+v", edge)
+	}
+	if CellAt(-0.1, 2.0, 1) != (Cell{IX: 0, IY: 1, R: 1}) {
+		t.Error("out-of-range clamping failed")
+	}
+}
+
+func TestChildrenPartitionParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		r := rng.Intn(10)
+		c := Cell{IX: uint32(rng.Intn(1 << r)), IY: uint32(rng.Intn(1 << r)), R: r}
+		pr := c.Rect()
+		var area float64
+		for _, ch := range c.Children() {
+			cr := ch.Rect()
+			if !pr.Contains(cr) {
+				t.Fatalf("child %v (%v) not inside parent %v (%v)", ch, cr, c, pr)
+			}
+			area += cr.Area()
+		}
+		if math.Abs(area-pr.Area()) > 1e-12 {
+			t.Fatalf("children areas %g != parent area %g", area, pr.Area())
+		}
+	}
+}
+
+func TestResolutionForExtent(t *testing.T) {
+	const g = 16
+	cases := []struct {
+		w, h        float64
+		alpha, beta int
+		want        int
+	}{
+		{0.3, 0.3, 1, 1, 1},   // log0.5(0.3) = 1.74
+		{0.25, 0.25, 1, 1, 2}, // exactly 0.25 -> l = 2
+		{0.6, 0.1, 1, 1, 0},   // wider than half the space
+		{0.6, 0.1, 2, 2, 1},   // α=2 halves effective extent
+		{0, 0, 3, 3, g},       // point
+		{1e-9, 1e-9, 5, 5, g}, // tiny -> clamped at g
+		{0.05, 0.2, 2, 4, 4},  // max(0.025, 0.05) = 0.05 -> l=4
+	}
+	for i, tc := range cases {
+		if got := ResolutionForExtent(tc.w, tc.h, tc.alpha, tc.beta, g); got != tc.want {
+			t.Errorf("case %d: ResolutionForExtent = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+// Property: the enlarged element of α×β cells at the returned resolution is
+// at least as large as the box on both axes (Lemma 3's upper bound l).
+func TestResolutionForExtentCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const g = 20
+	for iter := 0; iter < 1000; iter++ {
+		w := rng.Float64()
+		h := rng.Float64()
+		alpha := 2 + rng.Intn(4)
+		beta := 2 + rng.Intn(4)
+		l := ResolutionForExtent(w, h, alpha, beta, g)
+		if l == g {
+			continue // clamped; nothing to verify
+		}
+		cw := CellWidth(l)
+		if float64(alpha)*cw < w-1e-12 || float64(beta)*cw < h-1e-12 {
+			t.Fatalf("iter %d: enlarged element %gx%g at l=%d smaller than box %gx%g",
+				iter, float64(alpha)*cw, float64(beta)*cw, l, w, h)
+		}
+		// l is maximal: at l+1 the enlarged element no longer covers.
+		cw2 := CellWidth(l + 1)
+		if float64(alpha)*cw2 >= w && float64(beta)*cw2 >= h {
+			t.Fatalf("iter %d: l=%d not maximal for box %gx%g (α=%d β=%d)", iter, l, w, h, alpha, beta)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package st implements TMan's ST index (paper Section IV-A4): the
+// spatio-temporal composite
+//
+//	ST(T) = TR(TB(i,j)) :: TShape(code(E), s)
+//
+// — a 16-byte big-endian concatenation of the TR value and the TShape
+// value, ordered first by time bin and then by spatial index value.
+//
+// Spatio-temporal range queries cross TR candidate intervals with TShape
+// candidate intervals. Because the temporal component is the key prefix, a
+// TShape interval constrains the key range only when the TR component is
+// pinned to a single value; the window generator therefore enumerates TR
+// values up to a budget and falls back to coarse per-interval windows when
+// the cross product would explode (the store-side filter still refines).
+package st
+
+import (
+	"github.com/tman-db/tman/internal/codec"
+	"github.com/tman-db/tman/internal/index/tr"
+	"github.com/tman-db/tman/internal/index/tshape"
+)
+
+// Key builds the 16-byte ST index component.
+func Key(trValue, tshapeValue uint64) []byte {
+	k := codec.AppendUint64(nil, trValue)
+	return codec.AppendUint64(k, tshapeValue)
+}
+
+// Split decodes an ST index component.
+func Split(key []byte) (trValue, tshapeValue uint64, err error) {
+	trValue, err = codec.Uint64(key)
+	if err != nil {
+		return 0, 0, err
+	}
+	tshapeValue, err = codec.Uint64(key[8:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return trValue, tshapeValue, nil
+}
+
+// ByteRange is a half-open [Start, End) range over index components.
+type ByteRange struct {
+	Start, End []byte
+}
+
+// DefaultWindowBudget bounds the number of generated query windows.
+const DefaultWindowBudget = 4096
+
+// QueryRanges crosses TR intervals with TShape intervals into byte ranges.
+// budget <= 0 uses DefaultWindowBudget. When the exact cross product would
+// exceed the budget, TR intervals are emitted as coarse windows spanning
+// the full spatial code space (sound: refinement happens in push-down).
+func QueryRanges(trRanges []tr.ValueRange, tsRanges []tshape.ValueRange, budget int) []ByteRange {
+	if budget <= 0 {
+		budget = DefaultWindowBudget
+	}
+	if len(trRanges) == 0 || len(tsRanges) == 0 {
+		return nil
+	}
+	var trValues uint64
+	for _, r := range trRanges {
+		trValues += r.Hi - r.Lo + 1
+	}
+	exact := trValues * uint64(len(tsRanges))
+	out := make([]ByteRange, 0, min64(exact, uint64(budget)))
+	if exact <= uint64(budget) {
+		for _, tv := range trRanges {
+			for v := tv.Lo; ; v++ {
+				for _, sv := range tsRanges {
+					out = append(out, ByteRange{
+						Start: Key(v, sv.Lo),
+						End:   keyAfter(v, sv.Hi),
+					})
+				}
+				if v == tv.Hi {
+					break
+				}
+			}
+		}
+		return out
+	}
+	// Coarse fallback: one window per TR interval covering all spatial
+	// values — equivalent to a pure temporal scan over those bins.
+	for _, tv := range trRanges {
+		out = append(out, ByteRange{
+			Start: Key(tv.Lo, 0),
+			End:   keyAfter(tv.Hi, ^uint64(0)),
+		})
+	}
+	return out
+}
+
+func keyAfter(trValue, tshapeHi uint64) []byte {
+	if tshapeHi == ^uint64(0) {
+		if trValue == ^uint64(0) {
+			// Sentinel past everything: 17 bytes of 0xFF sorts after any
+			// 16-byte component.
+			k := make([]byte, 17)
+			for i := range k {
+				k[i] = 0xFF
+			}
+			return k
+		}
+		return Key(trValue+1, 0)
+	}
+	return Key(trValue, tshapeHi+1)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package st
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tman-db/tman/internal/index/tr"
+	"github.com/tman-db/tman/internal/index/tshape"
+)
+
+func TestKeySplitRoundTrip(t *testing.T) {
+	k := Key(7, 99)
+	tv, sv, err := Split(k)
+	if err != nil || tv != 7 || sv != 99 {
+		t.Fatalf("Split = (%d,%d,%v)", tv, sv, err)
+	}
+	if _, _, err := Split([]byte{1, 2, 3}); err == nil {
+		t.Error("short key should error")
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	if bytes.Compare(Key(1, 999), Key(2, 0)) >= 0 {
+		t.Error("TR value should dominate ordering")
+	}
+	if bytes.Compare(Key(5, 10), Key(5, 11)) >= 0 {
+		t.Error("same TR: TShape value should order")
+	}
+}
+
+func TestQueryRangesExactCrossProduct(t *testing.T) {
+	trR := []tr.ValueRange{{Lo: 10, Hi: 11}}
+	tsR := []tshape.ValueRange{{Lo: 100, Hi: 105}, {Lo: 200, Hi: 200}}
+	got := QueryRanges(trR, tsR, 100)
+	if len(got) != 2*2 {
+		t.Fatalf("windows = %d, want 4", len(got))
+	}
+	contains := func(trV, tsV uint64) bool {
+		k := Key(trV, tsV)
+		for _, r := range got {
+			if bytes.Compare(k, r.Start) >= 0 && bytes.Compare(k, r.End) < 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for _, trV := range []uint64{10, 11} {
+		for _, tsV := range []uint64{100, 103, 105, 200} {
+			if !contains(trV, tsV) {
+				t.Errorf("(%d,%d) not covered", trV, tsV)
+			}
+		}
+	}
+	if contains(10, 106) || contains(12, 100) || contains(9, 200) {
+		t.Error("exact windows cover values outside the cross product")
+	}
+}
+
+func TestQueryRangesBudgetFallback(t *testing.T) {
+	trR := []tr.ValueRange{{Lo: 0, Hi: 999}}
+	tsR := []tshape.ValueRange{{Lo: 1, Hi: 1}, {Lo: 5, Hi: 5}}
+	got := QueryRanges(trR, tsR, 10)
+	if len(got) != 1 {
+		t.Fatalf("fallback windows = %d, want 1 per TR interval", len(got))
+	}
+	// The coarse window must still cover every exact pair.
+	k := Key(500, 5)
+	if bytes.Compare(k, got[0].Start) < 0 || bytes.Compare(k, got[0].End) >= 0 {
+		t.Error("coarse window lost a pair")
+	}
+}
+
+func TestQueryRangesEmptyInputs(t *testing.T) {
+	if QueryRanges(nil, []tshape.ValueRange{{Lo: 1, Hi: 2}}, 0) != nil {
+		t.Error("nil TR ranges should yield nil")
+	}
+	if QueryRanges([]tr.ValueRange{{Lo: 1, Hi: 2}}, nil, 0) != nil {
+		t.Error("nil TShape ranges should yield nil")
+	}
+}
+
+func TestKeyAfterSentinels(t *testing.T) {
+	end := keyAfter(^uint64(0), ^uint64(0))
+	k := Key(^uint64(0), ^uint64(0))
+	if bytes.Compare(k, end) >= 0 {
+		t.Error("ultimate sentinel must sort after the maximum key")
+	}
+	end2 := keyAfter(5, ^uint64(0))
+	if !bytes.Equal(end2, Key(6, 0)) {
+		t.Error("tshape overflow should carry into the TR component")
+	}
+}

@@ -1,0 +1,25 @@
+package tr
+
+import (
+	"testing"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	ix := MustNew(hour, 48)
+	q := model.TimeRange{Start: 1_500_000_000_000, End: 1_500_000_000_000 + 90*60_000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Encode(q)
+	}
+}
+
+func BenchmarkQueryRanges(b *testing.B) {
+	ix := MustNew(hour, 48)
+	q := model.TimeRange{Start: 1_500_000_000_000, End: 1_500_000_000_000 + 6*hour}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ix.QueryRanges(q)
+	}
+}

@@ -1,0 +1,41 @@
+package tr_test
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/index/tr"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// A trajectory running from 09:30 to 11:15 with one-hour periods spans
+// periods 9..11, so its bin is TB(9,11) and Eq. 1 gives 9*48 + 2.
+func ExampleIndex_Encode() {
+	ix := tr.MustNew(3600_000, 48) // 1-hour periods, N = 48
+
+	nineThirty := int64(9*3600_000 + 30*60_000)
+	elevenFifteen := int64(11*3600_000 + 15*60_000)
+	v := ix.Encode(model.TimeRange{Start: nineThirty, End: elevenFifteen})
+
+	i, j := ix.Decode(v)
+	fmt.Printf("value=%d bin=TB(%d,%d)\n", v, i, j)
+	// Output: value=434 bin=TB(9,11)
+}
+
+// Temporal range queries produce at most N candidate value intervals
+// (Algorithm 1): one per possible earlier start period, plus one merged
+// interval for bins starting inside the query.
+func ExampleIndex_QueryRanges() {
+	ix := tr.MustNew(3600_000, 4) // small N for a readable example
+
+	q := model.TimeRange{Start: 10 * 3600_000, End: 11*3600_000 - 1} // period 10
+	for _, r := range ix.QueryRanges(q) {
+		lo1, lo2 := ix.Decode(r.Lo)
+		hi1, hi2 := ix.Decode(r.Hi)
+		fmt.Printf("[%d..%d] = TB(%d,%d)..TB(%d,%d)\n", r.Lo, r.Hi, lo1, lo2, hi1, hi2)
+	}
+	// Output:
+	// [31..31] = TB(7,10)..TB(7,10)
+	// [34..35] = TB(8,10)..TB(8,11)
+	// [37..39] = TB(9,10)..TB(9,12)
+	// [40..43] = TB(10,10)..TB(10,13)
+}

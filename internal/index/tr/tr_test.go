@@ -1,0 +1,243 @@
+package tr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+const hour = int64(3600_000)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 48); err == nil {
+		t.Error("zero period should be rejected")
+	}
+	if _, err := New(hour, 0); err == nil {
+		t.Error("zero N should be rejected")
+	}
+	if _, err := New(hour, 48); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestPeriodMath(t *testing.T) {
+	ix := MustNew(hour, 48)
+	if p := ix.Period(0); p != 0 {
+		t.Errorf("Period(0) = %d", p)
+	}
+	if p := ix.Period(hour - 1); p != 0 {
+		t.Errorf("Period(hour-1) = %d", p)
+	}
+	if p := ix.Period(hour); p != 1 {
+		t.Errorf("Period(hour) = %d", p)
+	}
+	if s := ix.PeriodStart(5); s != 5*hour {
+		t.Errorf("PeriodStart(5) = %d", s)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ix := MustNew(hour, 48)
+	f := func(rawI int64, span uint8) bool {
+		i := rawI % 1_000_000
+		if i < 0 {
+			i = -i
+		}
+		j := i + int64(span%48)
+		v := ix.EncodeBin(i, j)
+		gi, gj := ix.Decode(v)
+		return gi == i && gj == j
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 1: TR(TB(i,j)) + 1 == TR(TB(i,j+1)).
+func TestLemma1AdjacentBinsSamePeriod(t *testing.T) {
+	ix := MustNew(hour, 48)
+	for i := int64(0); i < 100; i++ {
+		for j := i; j < i+47; j++ {
+			if ix.EncodeBin(i, j)+1 != ix.EncodeBin(i, j+1) {
+				t.Fatalf("Lemma 1 violated at i=%d j=%d", i, j)
+			}
+		}
+	}
+}
+
+// Lemma 2: TR(TB(i,i+N-1)) + 1 == TR(TB(i+1,i+1)) and the max interval
+// between bins of adjacent periods is 2N-1.
+func TestLemma2AdjacentPeriods(t *testing.T) {
+	ix := MustNew(hour, 48)
+	n := int64(48)
+	for i := int64(0); i < 100; i++ {
+		if ix.EncodeBin(i, i+n-1)+1 != ix.EncodeBin(i+1, i+1) {
+			t.Fatalf("Lemma 2 contiguity violated at i=%d", i)
+		}
+		if ix.EncodeBin(i+1, i+1+n-1)-ix.EncodeBin(i, i) != uint64(2*n-1) {
+			t.Fatalf("Lemma 2 max interval violated at i=%d", i)
+		}
+	}
+}
+
+// Uniqueness: distinct bins get distinct values.
+func TestEncodingUniqueness(t *testing.T) {
+	ix := MustNew(hour, 8)
+	seen := map[uint64][2]int64{}
+	for i := int64(0); i < 200; i++ {
+		for j := i; j < i+8; j++ {
+			v := ix.EncodeBin(i, j)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("value %d assigned to both %v and (%d,%d)", v, prev, i, j)
+			}
+			seen[v] = [2]int64{i, j}
+		}
+	}
+}
+
+func TestEncodeClampsLongRanges(t *testing.T) {
+	ix := MustNew(hour, 4)
+	// 10-hour trajectory with N=4 gets clamped to 4 periods.
+	v := ix.Encode(model.TimeRange{Start: 0, End: 10 * hour})
+	i, j := ix.Decode(v)
+	if i != 0 || j != 3 {
+		t.Errorf("clamped bin = (%d,%d), want (0,3)", i, j)
+	}
+	// Inverted range degrades to a single period, not a panic.
+	v = ix.Encode(model.TimeRange{Start: 5 * hour, End: 2 * hour})
+	i, j = ix.Decode(v)
+	if i != 5 || j != 5 {
+		t.Errorf("inverted range bin = (%d,%d), want (5,5)", i, j)
+	}
+}
+
+func TestBinRangeCoversEncodeInput(t *testing.T) {
+	ix := MustNew(30*60_000, 16) // 30-minute periods
+	f := func(startRaw int64, durRaw int64) bool {
+		start := abs64(startRaw) % (1_000_000 * hour)
+		// Keep durations within N-1 periods so clamping never kicks in:
+		// a range of d <= 7h starting anywhere spans at most 15+1 = 16
+		// 30-minute periods.
+		dur := abs64(durRaw) % (7 * hour)
+		q := model.TimeRange{Start: start, End: start + dur}
+		v := ix.Encode(q)
+		br := ix.BinRange(v)
+		return br.Start <= q.Start && q.End <= br.End
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 5 / Algorithm 1 completeness: every bin that intersects the query
+// is covered by some returned range, and (soundness) every covered bin
+// actually can intersect the query.
+func TestQueryRangesCompleteAndSound(t *testing.T) {
+	ix := MustNew(hour, 8)
+	rng := rand.New(rand.NewSource(21))
+	n := int64(8)
+	for iter := 0; iter < 300; iter++ {
+		qs := rng.Int63n(2000) * hour / 2
+		qe := qs + rng.Int63n(48*hour)
+		q := model.TimeRange{Start: qs, End: qe}
+		ranges := ix.QueryRanges(q)
+
+		covered := func(v uint64) bool {
+			for _, r := range ranges {
+				if r.Lo <= v && v <= r.Hi {
+					return true
+				}
+			}
+			return false
+		}
+
+		qi := ix.Period(qs)
+		qj := ix.Period(qe)
+		// Exhaustively walk all bins near the query.
+		for i := qi - 2*n; i <= qj+2*n; i++ {
+			if i < 0 {
+				continue
+			}
+			for j := i; j < i+n; j++ {
+				v := ix.EncodeBin(i, j)
+				binIntersects := i <= qj && j >= qi // bin periods [i,j] vs query periods [qi,qj]
+				if binIntersects && !covered(v) {
+					t.Fatalf("iter %d: bin (%d,%d) intersects query %v but not covered", iter, i, j, q)
+				}
+				if !binIntersects && covered(v) {
+					// Allowed only for bins the interval must include for
+					// contiguity: Algorithm 1's per-start-period intervals
+					// are exact, so any covered non-intersecting bin is a
+					// soundness bug.
+					t.Fatalf("iter %d: bin (%d,%d) does not intersect query %v but is covered", iter, i, j, q)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryRangesAreSortedDisjoint(t *testing.T) {
+	ix := MustNew(hour, 48)
+	q := model.TimeRange{Start: 100 * hour, End: 103 * hour}
+	ranges := ix.QueryRanges(q)
+	for i := 0; i < len(ranges); i++ {
+		if ranges[i].Lo > ranges[i].Hi {
+			t.Fatalf("range %d inverted: %+v", i, ranges[i])
+		}
+		if i > 0 && ranges[i].Lo <= ranges[i-1].Hi {
+			t.Fatalf("ranges %d and %d overlap or are unsorted", i-1, i)
+		}
+	}
+	if len(ranges) != 48 {
+		// N-1 head intervals plus the merged tail interval.
+		t.Errorf("expected N ranges for mid-timeline query, got %d", len(ranges))
+	}
+}
+
+func TestQueryRangesInvalidQuery(t *testing.T) {
+	ix := MustNew(hour, 48)
+	if got := ix.QueryRanges(model.TimeRange{Start: 10, End: 5}); got != nil {
+		t.Errorf("invalid query should return nil, got %v", got)
+	}
+}
+
+// The paper's retrieval-count claim: with a 30-minute period, T=1488
+// periods, N=8 and Q=2 periods, a query touches ~ (N*(N-1)/2 + Q*N) bins.
+func TestCandidateBinsMatchesPaperFormula(t *testing.T) {
+	ix := MustNew(30*60_000, 8)
+	period := int64(30 * 60_000)
+	q := model.TimeRange{Start: 1000 * period, End: 1002*period - 1} // Q = 2 periods exactly
+	got := CandidateBins(ix.QueryRanges(q))
+	// Head intervals: sum over k in [i-N+1, i-1] of (N - (i-k)) values =
+	// N(N-1)/2. Tail: (j-i+1)*N = Q*N values.
+	want := uint64(8*7/2 + 2*8)
+	if got != want {
+		t.Errorf("CandidateBins = %d, want %d", got, want)
+	}
+}
+
+func TestEncodeMatchesPaperExample(t *testing.T) {
+	// Figure 4's scheme: a range spanning periods i..j is the bin of
+	// (j-i+1) periods starting at i.
+	ix := MustNew(hour, 48)
+	q := model.TimeRange{Start: 3*hour + 5, End: 6*hour + 10} // periods 3..6
+	v := ix.Encode(q)
+	if i, j := ix.Decode(v); i != 3 || j != 6 {
+		t.Errorf("bin = (%d,%d), want (3,6)", i, j)
+	}
+	if v != uint64(3*48+3) {
+		t.Errorf("Eq.1 value = %d, want %d", v, 3*48+3)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		if v == -1<<63 {
+			return 1<<63 - 1
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package tshape
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	space := geo.MustSpace(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	ix, err := New(Params{Alpha: 3, Beta: 3, G: 16}, space)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func benchTraj(n int) *model.Trajectory {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]model.Point, n)
+	x, y := 0.4, 0.4
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * 0.002
+		y += (rng.Float64() - 0.5) * 0.002
+		pts[i] = model.Point{X: x, Y: y, T: int64(i) * 1000}
+	}
+	return &model.Trajectory{OID: "o", TID: "t", Points: pts}
+}
+
+func BenchmarkEncodeRaw(b *testing.B) {
+	ix := benchIndex(b)
+	tr := benchTraj(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = ix.EncodeRaw(tr)
+	}
+}
+
+func BenchmarkQueryRangesWithProvider(b *testing.B) {
+	ix := benchIndex(b)
+	rng := rand.New(rand.NewSource(2))
+	provider := memProvider{}
+	for i := 0; i < 2000; i++ {
+		tr := randomTraj(rng, 2+rng.Intn(30), 0.01)
+		elem, bits := ix.EncodeRaw(tr)
+		provider[elem] = append(provider[elem], Shape{Bits: bits, Code: bits})
+	}
+	q := geo.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.42, MaxY: 0.42}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = ix.QueryRanges(q, provider)
+	}
+}
+
+func BenchmarkOptimizeOrderGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := make([]uint64, 64)
+	for i := range shapes {
+		shapes[i] = rng.Uint64() & 0x1FF
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = OptimizeOrder(shapes, EncodingGreedy, 1)
+	}
+}
+
+func BenchmarkOptimizeOrderGenetic(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	shapes := make([]uint64, 64)
+	for i := range shapes {
+		shapes[i] = rng.Uint64() & 0x1FF
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = OptimizeOrder(shapes, EncodingGenetic, 1)
+	}
+}

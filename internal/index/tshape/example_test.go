@@ -1,0 +1,45 @@
+package tshape_test
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// A short trajectory in the unit square is represented by its enlarged
+// element (the quadrant code of the anchor cell) and the bitmap of the
+// 3x3 cells it crosses.
+func ExampleIndex_EncodeRaw() {
+	space := geo.MustSpace(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	ix := tshape.MustNew(tshape.Params{Alpha: 3, Beta: 3, G: 8}, space)
+
+	// An L-shaped trip: right along the bottom cells, then up.
+	trip := &model.Trajectory{OID: "o", TID: "t", Points: []model.Point{
+		{X: 0.05, Y: 0.05, T: 0},
+		{X: 0.30, Y: 0.05, T: 60_000},
+		{X: 0.30, Y: 0.30, T: 120_000},
+	}}
+	elem, bits := ix.EncodeRaw(trip)
+	fmt.Printf("element=%d shape=%09b value=%d\n", elem, bits, ix.Pack(elem, bits))
+	// Output: element=3 shape=100100111 value=1831
+}
+
+// The paper's Figure 10 worked example: greedy ordering of four shapes by
+// Jaccard similarity improves the cumulative adjacency score from 1.75
+// (raw order) to 1.92.
+func ExampleOptimizeOrder() {
+	shapes := []uint64{
+		0b111100001, // s0
+		0b011110001, // s1
+		0b000010011, // s2
+		0b010010011, // s3
+	}
+	fmt.Printf("raw order:    %.2f\n", tshape.CumulativeSimilarity(shapes))
+	ordered := tshape.OptimizeOrder(shapes, tshape.EncodingGreedy, 1)
+	fmt.Printf("greedy order: %.2f\n", tshape.CumulativeSimilarity(ordered))
+	// Output:
+	// raw order:    1.75
+	// greedy order: 1.92
+}

@@ -1,0 +1,159 @@
+package tshape
+
+import (
+	"math"
+	"sort"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/quad"
+)
+
+// QueryStats reports the work done by one candidate-generation pass.
+type QueryStats struct {
+	ElementsVisited   int // enlarged elements checked by the BFS
+	ElementsContained int // elements fully inside the query (subtree ranges)
+	ShapesChecked     int // used shapes tested for intersection
+	ShapesMatched     int // shapes that intersect the query
+}
+
+// QueryRanges implements the paper's Algorithm 2. It returns sorted,
+// disjoint closed intervals of index values whose shapes may intersect the
+// normalized query window sr:
+//
+//   - elements whose enlarged rectangle is contained in sr contribute their
+//     entire subtree code interval (every trajectory there is inside sr);
+//   - elements that merely intersect sr contribute only the index values of
+//     used shapes (obtained from the ShapeProvider) whose covered cells
+//     intersect sr;
+//   - disjoint elements prune their whole subtree.
+//
+// With a nil provider, intersecting elements fall back to their full
+// 2^(α·β) shape interval — the "no index cache" mode of Fig. 16(b).
+func (ix *Index) QueryRanges(sr geo.Rect, provider ShapeProvider) ([]ValueRange, QueryStats) {
+	var out []ValueRange
+	var stats QueryStats
+
+	// Recursion cap: once cells are much finer than the query window, the
+	// boundary ring of partially-intersecting elements grows exponentially
+	// while contributing almost no extra selectivity. Below stopLevel,
+	// intersecting elements emit their whole (conservative) subtree range
+	// and rely on push-down refinement — the same max-recursion guard
+	// GeoMesa applies to XZ queries.
+	stopLevel := ix.p.G
+	if minSide := math.Min(sr.Width(), sr.Height()); minSide > 0 {
+		for lvl := 1; lvl <= ix.p.G; lvl++ {
+			if quad.CellWidth(lvl) < minSide/16 {
+				stopLevel = lvl
+				break
+			}
+		}
+	}
+
+	emitSubtree := func(c quad.Cell) {
+		lo := quad.ExtCode(c, ix.p.G)
+		min := ix.Pack(lo, 0)
+		max := ix.Pack(lo+quad.ExtSubtreeSize(c.R, ix.p.G)-1, 1<<ix.bits-1)
+		out = append(out, ValueRange{Lo: min, Hi: max})
+	}
+
+	// Breadth-first per the paper; level order does not change the result
+	// set, but we keep it faithful to Algorithm 2's queue + LevelTerminator
+	// structure.
+	queue := []quad.Cell{{R: 0}}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		e := ix.ElementRect(c)
+		stats.ElementsVisited++
+		switch {
+		case sr.Contains(e):
+			stats.ElementsContained++
+			emitSubtree(c)
+		case sr.Intersects(e):
+			if c.R >= stopLevel && c.R < ix.p.G {
+				emitSubtree(c)
+				continue
+			}
+			elemCode := quad.ExtCode(c, ix.p.G)
+			if provider == nil {
+				out = append(out, ValueRange{
+					Lo: ix.Pack(elemCode, 0),
+					Hi: ix.Pack(elemCode, 1<<ix.bits-1),
+				})
+			} else {
+				for _, s := range provider.Shapes(elemCode) {
+					stats.ShapesChecked++
+					if ix.shapeIntersects(c, s.Bits, sr) {
+						stats.ShapesMatched++
+						v := ix.Pack(elemCode, s.Code)
+						out = append(out, ValueRange{Lo: v, Hi: v})
+					}
+				}
+			}
+			if c.R < ix.p.G {
+				ch := c.Children()
+				queue = append(queue, ch[0], ch[1], ch[2], ch[3])
+			}
+		}
+	}
+	return normalizeRanges(out), stats
+}
+
+// shapeIntersects reports whether any covered cell of the shape bitmap
+// intersects sr.
+func (ix *Index) shapeIntersects(anchor quad.Cell, bits uint64, sr geo.Rect) bool {
+	r := anchor.Rect()
+	w := r.Width()
+	for dy := 0; dy < ix.p.Beta; dy++ {
+		rowBase := dy * ix.p.Alpha
+		y := r.MinY + float64(dy)*w
+		if y > sr.MaxY || y+w < sr.MinY {
+			continue
+		}
+		for dx := 0; dx < ix.p.Alpha; dx++ {
+			if bits&(1<<uint(rowBase+dx)) == 0 {
+				continue
+			}
+			x := r.MinX + float64(dx)*w
+			if x <= sr.MaxX && x+w >= sr.MinX {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// normalizeRanges sorts and merges candidate ranges. BFS emits values out
+// of global order (level by level), so a full sort is required, unlike the
+// DFS-ordered XZ walk.
+func normalizeRanges(in []ValueRange) []ValueRange {
+	if len(in) <= 1 {
+		return in
+	}
+	sortRanges(in)
+	out := in[:1]
+	for _, r := range in[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortRanges(rs []ValueRange) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+}
+
+// CandidateValues sums the number of index values covered by ranges.
+func CandidateValues(ranges []ValueRange) uint64 {
+	var total uint64
+	for _, r := range ranges {
+		total += r.Hi - r.Lo + 1
+	}
+	return total
+}

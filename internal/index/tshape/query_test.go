@@ -1,0 +1,94 @@
+package tshape
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// The recursion cap (stopLevel) kicks in for windows much larger than the
+// finest cells. It must never lose a result — only add conservative
+// candidates. Exercise it with large windows against brute force.
+func TestQueryRangesLargeWindowsNoFalseNegatives(t *testing.T) {
+	ix := newIndex(t, 3, 3, 14)
+	rng := rand.New(rand.NewSource(307))
+	type indexed struct {
+		tr *model.Trajectory
+		v  uint64
+	}
+	provider := memProvider{}
+	var objs []indexed
+	for i := 0; i < 400; i++ {
+		tr := randomTraj(rng, 2+rng.Intn(20), 0.01)
+		elem, bits := ix.EncodeRaw(tr)
+		objs = append(objs, indexed{tr: tr, v: ix.Pack(elem, bits)})
+		provider[elem] = append(provider[elem], Shape{Bits: bits, Code: bits})
+	}
+	// Window sizes from "covers half the space" down to a few cells.
+	for _, side := range []float64{0.9, 0.5, 0.25, 0.1} {
+		for iter := 0; iter < 20; iter++ {
+			x := rng.Float64() * (1 - side)
+			y := rng.Float64() * (1 - side)
+			q := geo.Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side}
+			ranges, stats := ix.QueryRanges(q, provider)
+			for _, o := range objs {
+				if !o.tr.IntersectsRect(q) {
+					continue
+				}
+				if !coveredBy(ranges, o.v) {
+					t.Fatalf("side %g iter %d: intersecting trajectory lost", side, iter)
+				}
+			}
+			// The cap must bound BFS growth: visiting the full tree to
+			// depth 14 would be ~4^14 elements; the cap keeps it far below.
+			if stats.ElementsVisited > 200_000 {
+				t.Fatalf("side %g: %d elements visited; recursion cap ineffective", side, stats.ElementsVisited)
+			}
+		}
+	}
+}
+
+// Full-space query must cover every possible packed value.
+func TestQueryRangesFullSpaceCoversAll(t *testing.T) {
+	ix := newIndex(t, 2, 2, 8)
+	full := geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	ranges, _ := ix.QueryRanges(full, nil)
+	rng := rand.New(rand.NewSource(311))
+	for i := 0; i < 500; i++ {
+		tr := randomTraj(rng, 2+rng.Intn(10), 0.05)
+		elem, bits := ix.EncodeRaw(tr)
+		if !coveredBy(ranges, ix.Pack(elem, bits)) {
+			t.Fatalf("full-space query missed a value")
+		}
+	}
+}
+
+// Degenerate (point) query windows still work.
+func TestQueryRangesPointWindow(t *testing.T) {
+	ix := newIndex(t, 3, 3, 10)
+	provider := memProvider{}
+	tr := mkTraj([2]float64{0.31, 0.44}, [2]float64{0.33, 0.46})
+	elem, bits := ix.EncodeRaw(tr)
+	provider[elem] = append(provider[elem], Shape{Bits: bits, Code: bits})
+	q := geo.Rect{MinX: 0.32, MinY: 0.45, MaxX: 0.32, MaxY: 0.45}
+	ranges, _ := ix.QueryRanges(q, provider)
+	if tr.IntersectsRect(q) && !coveredBy(ranges, ix.Pack(elem, bits)) {
+		t.Fatal("point window lost an intersecting trajectory")
+	}
+}
+
+func TestNormalizeRangesMergesBFSOutput(t *testing.T) {
+	in := []ValueRange{{Lo: 50, Hi: 60}, {Lo: 10, Hi: 20}, {Lo: 21, Hi: 30}, {Lo: 55, Hi: 70}}
+	out := normalizeRanges(in)
+	want := []ValueRange{{Lo: 10, Hi: 30}, {Lo: 50, Hi: 70}}
+	if len(out) != len(want) {
+		t.Fatalf("normalizeRanges = %+v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("range %d = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+}

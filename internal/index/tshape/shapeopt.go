@@ -1,0 +1,230 @@
+package tshape
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+)
+
+// Encoding selects how the used shapes of an enlarged element are assigned
+// final codes (paper Section IV-A2(3)).
+type Encoding int
+
+const (
+	// EncodingBitmap keeps raw bitmaps as codes (sorted numerically) — the
+	// unoptimized control.
+	EncodingBitmap Encoding = iota
+	// EncodingGreedy orders shapes by nearest-neighbor Jaccard similarity.
+	EncodingGreedy
+	// EncodingGenetic refines an order with a genetic algorithm maximizing
+	// cumulative adjacent similarity (the TSP formulation of Eq. 5).
+	EncodingGenetic
+)
+
+// String implements fmt.Stringer.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingBitmap:
+		return "bitmap"
+	case EncodingGreedy:
+		return "greedy"
+	case EncodingGenetic:
+		return "genetic"
+	default:
+		return "unknown"
+	}
+}
+
+// Jaccard returns the Jaccard similarity of two shape bitmaps (Eq. 4): the
+// number of cells covered by both over the number covered by either. Two
+// empty shapes have similarity 1.
+func Jaccard(a, b uint64) float64 {
+	union := bits.OnesCount64(a | b)
+	if union == 0 {
+		return 1
+	}
+	return float64(bits.OnesCount64(a&b)) / float64(union)
+}
+
+// CumulativeSimilarity returns Σ Jaccard(order[i], order[i+1]) — the TSP
+// objective of Eq. 5.
+func CumulativeSimilarity(order []uint64) float64 {
+	var sum float64
+	for i := 0; i+1 < len(order); i++ {
+		sum += Jaccard(order[i], order[i+1])
+	}
+	return sum
+}
+
+// OptimizeOrder renumbers the used shapes of one enlarged element: it
+// returns the shapes in their final-code order (final code = position).
+// The input order is the "raw order" the paper's Figure 9/10 refer to.
+// seed makes the genetic search deterministic.
+func OptimizeOrder(shapes []uint64, enc Encoding, seed int64) []uint64 {
+	out := make([]uint64, len(shapes))
+	copy(out, shapes)
+	if len(out) <= 2 {
+		if enc == EncodingBitmap {
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		}
+		return out
+	}
+	switch enc {
+	case EncodingBitmap:
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	case EncodingGreedy:
+		return greedyOrder(out)
+	case EncodingGenetic:
+		return geneticOrder(out, seed)
+	default:
+		return out
+	}
+}
+
+// greedyOrder implements the paper's greedy heuristic: starting from the
+// first shape, repeatedly append the unvisited shape most similar to the
+// current path end.
+func greedyOrder(shapes []uint64) []uint64 {
+	n := len(shapes)
+	used := make([]bool, n)
+	out := make([]uint64, 0, n)
+	cur := 0
+	used[0] = true
+	out = append(out, shapes[0])
+	for len(out) < n {
+		best, bestSim := -1, -1.0
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if sim := Jaccard(shapes[cur], shapes[i]); sim > bestSim {
+				best, bestSim = i, sim
+			}
+		}
+		used[best] = true
+		out = append(out, shapes[best])
+		cur = best
+	}
+	return out
+}
+
+// Genetic algorithm parameters. Modest sizes keep per-element optimization
+// cheap (elements rarely hold more than a few thousand shapes, and most
+// hold fewer than ten — Fig. 16(a)).
+const (
+	gaPopulation  = 32
+	gaGenerations = 60
+	gaMutationP   = 0.2
+	gaElite       = 2
+	gaTournament  = 3
+)
+
+// geneticOrder maximizes cumulative adjacent similarity with a permutation
+// GA: greedy-seeded population, tournament selection, order crossover (OX)
+// and swap mutation, with elitism.
+func geneticOrder(shapes []uint64, seed int64) []uint64 {
+	n := len(shapes)
+	rng := rand.New(rand.NewSource(seed))
+
+	type individual struct {
+		perm    []int
+		fitness float64
+	}
+	fitnessOf := func(perm []int) float64 {
+		var sum float64
+		for i := 0; i+1 < n; i++ {
+			sum += Jaccard(shapes[perm[i]], shapes[perm[i+1]])
+		}
+		return sum
+	}
+
+	// Seed population: one greedy solution, rest random permutations.
+	greedy := greedyOrder(shapes)
+	greedyPerm := permOf(shapes, greedy)
+	pop := make([]individual, gaPopulation)
+	pop[0] = individual{perm: greedyPerm, fitness: fitnessOf(greedyPerm)}
+	for i := 1; i < gaPopulation; i++ {
+		p := rng.Perm(n)
+		pop[i] = individual{perm: p, fitness: fitnessOf(p)}
+	}
+
+	sortPop := func() {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
+	}
+	sortPop()
+
+	tournament := func() []int {
+		best := rng.Intn(gaPopulation)
+		for k := 1; k < gaTournament; k++ {
+			c := rng.Intn(gaPopulation)
+			if pop[c].fitness > pop[best].fitness {
+				best = c
+			}
+		}
+		return pop[best].perm
+	}
+
+	for gen := 0; gen < gaGenerations; gen++ {
+		next := make([]individual, 0, gaPopulation)
+		next = append(next, pop[:gaElite]...)
+		for len(next) < gaPopulation {
+			child := orderCrossover(tournament(), tournament(), rng)
+			if rng.Float64() < gaMutationP {
+				i, j := rng.Intn(n), rng.Intn(n)
+				child[i], child[j] = child[j], child[i]
+			}
+			next = append(next, individual{perm: child, fitness: fitnessOf(child)})
+		}
+		pop = next
+		sortPop()
+	}
+
+	best := pop[0].perm
+	out := make([]uint64, n)
+	for i, idx := range best {
+		out[i] = shapes[idx]
+	}
+	return out
+}
+
+// orderCrossover implements OX: copy a random slice from parent a, fill the
+// rest with parent b's order.
+func orderCrossover(a, b []int, rng *rand.Rand) []int {
+	n := len(a)
+	lo := rng.Intn(n)
+	hi := lo + rng.Intn(n-lo)
+	child := make([]int, n)
+	inSlice := make(map[int]bool, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		child[i] = a[i]
+		inSlice[a[i]] = true
+	}
+	pos := 0
+	for _, v := range b {
+		if inSlice[v] {
+			continue
+		}
+		for pos >= lo && pos <= hi {
+			pos++
+		}
+		child[pos] = v
+		pos++
+	}
+	return child
+}
+
+// permOf maps an ordered shape slice back to indices into the original.
+func permOf(original, ordered []uint64) []int {
+	pos := make(map[uint64][]int, len(original))
+	for i, s := range original {
+		pos[s] = append(pos[s], i)
+	}
+	perm := make([]int, len(ordered))
+	for i, s := range ordered {
+		idxs := pos[s]
+		perm[i] = idxs[0]
+		pos[s] = idxs[1:]
+	}
+	return perm
+}

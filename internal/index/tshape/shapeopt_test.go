@@ -1,0 +1,157 @@
+package tshape
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The paper's Figure 7/10 worked example: four shapes in a 3x3 element.
+// s0 = 111100001, s1 = 011110001, s2 = 000010011, s3 = 010010011 (the
+// tuples listed in Section IV-B(3)), written there most-significant bit
+// first.
+var paperShapes = []uint64{
+	0b111100001,
+	0b011110001,
+	0b000010011,
+	0b010010011,
+}
+
+func TestJaccardMatchesPaperFigure10(t *testing.T) {
+	want := [4][4]float64{
+		{1, 0.67, 0.14, 0.29},
+		{0.67, 1, 0.33, 0.50},
+		{0.14, 0.33, 1, 0.75},
+		{0.29, 0.50, 0.75, 1},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			got := Jaccard(paperShapes[i], paperShapes[j])
+			if math.Abs(got-want[i][j]) > 0.005 {
+				t.Errorf("Jaccard(s%d,s%d) = %.3f, want %.2f", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestGreedyOrderMatchesPaperFigure10(t *testing.T) {
+	got := OptimizeOrder(paperShapes, EncodingGreedy, 1)
+	want := []uint64{paperShapes[0], paperShapes[1], paperShapes[3], paperShapes[2]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("greedy order[%d] = %09b, want %09b (paper order <s0,s1,s3,s2>)", i, got[i], want[i])
+		}
+	}
+	sim := CumulativeSimilarity(got)
+	if math.Abs(sim-1.92) > 0.01 {
+		t.Errorf("greedy cumulative similarity = %.3f, want 1.92", sim)
+	}
+	raw := CumulativeSimilarity(paperShapes)
+	if math.Abs(raw-1.75) > 0.01 {
+		t.Errorf("raw cumulative similarity = %.3f, want 1.75", raw)
+	}
+}
+
+func TestJaccardBasics(t *testing.T) {
+	if Jaccard(0, 0) != 1 {
+		t.Error("empty shapes should have similarity 1")
+	}
+	if Jaccard(0b101, 0b101) != 1 {
+		t.Error("identical shapes should have similarity 1")
+	}
+	if Jaccard(0b1, 0b10) != 0 {
+		t.Error("disjoint shapes should have similarity 0")
+	}
+	if got := Jaccard(0b11, 0b10); got != 0.5 {
+		t.Errorf("Jaccard(11,10) = %g, want 0.5", got)
+	}
+}
+
+func TestOptimizeOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, enc := range []Encoding{EncodingBitmap, EncodingGreedy, EncodingGenetic} {
+		for iter := 0; iter < 20; iter++ {
+			n := 1 + rng.Intn(40)
+			shapes := make([]uint64, n)
+			seen := map[uint64]bool{}
+			for i := range shapes {
+				for {
+					s := rng.Uint64() & 0x1FF
+					if !seen[s] {
+						seen[s] = true
+						shapes[i] = s
+						break
+					}
+				}
+			}
+			got := OptimizeOrder(shapes, enc, int64(iter))
+			if len(got) != n {
+				t.Fatalf("%v: length %d != %d", enc, len(got), n)
+			}
+			a := append([]uint64(nil), shapes...)
+			b := append([]uint64(nil), got...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: output is not a permutation of input", enc)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneticAtLeastAsGoodAsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 10; iter++ {
+		n := 5 + rng.Intn(30)
+		shapes := make([]uint64, n)
+		for i := range shapes {
+			shapes[i] = rng.Uint64() & 0x1FFFFFF // 25-bit shapes
+		}
+		greedy := CumulativeSimilarity(OptimizeOrder(shapes, EncodingGreedy, 1))
+		genetic := CumulativeSimilarity(OptimizeOrder(shapes, EncodingGenetic, 1))
+		// The GA is seeded with the greedy solution and keeps elites, so it
+		// can never be worse.
+		if genetic < greedy-1e-9 {
+			t.Errorf("iter %d: genetic %.4f < greedy %.4f", iter, genetic, greedy)
+		}
+	}
+}
+
+func TestGeneticDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	shapes := make([]uint64, 20)
+	for i := range shapes {
+		shapes[i] = rng.Uint64() & 0x1FF
+	}
+	a := OptimizeOrder(shapes, EncodingGenetic, 42)
+	b := OptimizeOrder(shapes, EncodingGenetic, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("genetic order must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestOptimizeOrderDegenerate(t *testing.T) {
+	if got := OptimizeOrder(nil, EncodingGreedy, 1); len(got) != 0 {
+		t.Error("empty input should return empty output")
+	}
+	one := OptimizeOrder([]uint64{7}, EncodingGenetic, 1)
+	if len(one) != 1 || one[0] != 7 {
+		t.Errorf("single shape = %v", one)
+	}
+	two := OptimizeOrder([]uint64{9, 3}, EncodingBitmap, 1)
+	if two[0] != 3 || two[1] != 9 {
+		t.Errorf("bitmap encoding should sort: %v", two)
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if EncodingBitmap.String() != "bitmap" || EncodingGreedy.String() != "greedy" ||
+		EncodingGenetic.String() != "genetic" || Encoding(99).String() != "unknown" {
+		t.Error("Encoding.String labels wrong")
+	}
+}

@@ -1,0 +1,241 @@
+// Package tshape implements TMan's TShape index (paper Section IV-A2):
+// a spatial index that represents the irregular shape of a trajectory by
+// the combination of cells it intersects inside an "enlarged element" of
+// α×β quad-tree cells.
+//
+// An enlarged element is identified by the quadrant sequence of its
+// lower-left (anchor) cell; the trajectory's shape inside the element is a
+// bitmap of α·β bits (bit dy·α+dx set iff the trajectory intersects the
+// cell at column dx, row dy). The index value packs both (Eq. 3):
+//
+//	TShape(code(E), s) = code(E) << (α·β) | s
+//
+// Because only a small fraction of the 2^(α·β) possible shapes occur in
+// real data, shape codes can be renumbered per element ("final codes") so
+// that spatially similar shapes receive adjacent values; package shapeopt
+// computes such orders and the engine's index cache stores the mapping.
+// Spatial range queries follow the paper's Algorithm 2.
+package tshape
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/quad"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Params configures a TShape index.
+type Params struct {
+	Alpha, Beta int // enlarged element spans Alpha × Beta cells
+	G           int // maximum quad-tree resolution
+}
+
+// Validate checks that the parameters fit the 64-bit index value layout:
+// extended quadrant codes need at most 2G+2 bits, leaving α·β bits for the
+// shape code.
+func (p Params) Validate() error {
+	if p.Alpha < 2 || p.Beta < 2 {
+		return fmt.Errorf("tshape: alpha and beta must be >= 2, got %d x %d", p.Alpha, p.Beta)
+	}
+	if p.Alpha*p.Beta > 30 {
+		return fmt.Errorf("tshape: alpha*beta must be <= 30, got %d", p.Alpha*p.Beta)
+	}
+	if p.G < 1 || p.G > quad.MaxResolution {
+		return fmt.Errorf("tshape: G must be in [1,%d], got %d", quad.MaxResolution, p.G)
+	}
+	if 2*p.G+2+p.Alpha*p.Beta > 64 {
+		return fmt.Errorf("tshape: 2G+2+alpha*beta = %d exceeds 64 bits", 2*p.G+2+p.Alpha*p.Beta)
+	}
+	return nil
+}
+
+// Index is a TShape index over the unit square.
+type Index struct {
+	p     Params
+	bits  uint // shape code width = alpha*beta
+	space *geo.Space
+}
+
+// ValueRange is a closed interval [Lo, Hi] of candidate index values.
+type ValueRange struct {
+	Lo, Hi uint64
+}
+
+// Shape is one used shape of an enlarged element: the raw cell bitmap and
+// the (possibly optimized) final code stored in index values.
+type Shape struct {
+	Bits uint64 // raw α·β-bit cell bitmap
+	Code uint64 // final code; equals Bits when no optimization is applied
+}
+
+// ShapeProvider supplies the used shapes of an enlarged element during
+// query processing — TMan's index cache. A nil provider makes queries fall
+// back to covering the full 2^(α·β) shape range of every intersecting
+// element (the paper's "no index cache" ablation).
+type ShapeProvider interface {
+	Shapes(elemCode uint64) []Shape
+}
+
+// New creates a TShape index. space maps dataset coordinates to the unit
+// square.
+func New(p Params, space *geo.Space) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if space == nil {
+		return nil, fmt.Errorf("tshape: nil space")
+	}
+	return &Index{p: p, bits: uint(p.Alpha * p.Beta), space: space}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(p Params, space *geo.Space) *Index {
+	ix, err := New(p, space)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Params returns the index parameters.
+func (ix *Index) Params() Params { return ix.p }
+
+// Space returns the normalization space.
+func (ix *Index) Space() *geo.Space { return ix.space }
+
+// ShapeBitsWidth returns α·β, the number of bits in a shape code.
+func (ix *Index) ShapeBitsWidth() uint { return ix.bits }
+
+// ElementRect returns the unit-square rectangle spanned by the enlarged
+// element anchored at cell c: α cells wide, β cells tall.
+func (ix *Index) ElementRect(c quad.Cell) geo.Rect {
+	r := c.Rect()
+	w := r.Width()
+	return geo.Rect{
+		MinX: r.MinX, MinY: r.MinY,
+		MaxX: r.MinX + float64(ix.p.Alpha)*w,
+		MaxY: r.MinY + float64(ix.p.Beta)*w,
+	}
+}
+
+// Anchor returns the anchor cell of the smallest enlarged element covering
+// the normalized MBR r, per Lemmas 3 and 4: try l =
+// floor(log0.5(max(w/α, h/β))); if the element anchored at the cell
+// containing r's lower-left corner does not reach past r, drop to l-1.
+func (ix *Index) Anchor(r geo.Rect) quad.Cell {
+	l := quad.ResolutionForExtent(r.Width(), r.Height(), ix.p.Alpha, ix.p.Beta, ix.p.G)
+	for ; l > 0; l-- {
+		c := quad.CellAt(r.MinX, r.MinY, l)
+		if er := ix.ElementRect(c); er.MaxX >= r.MaxX && er.MaxY >= r.MaxY {
+			return c
+		}
+	}
+	return quad.Cell{R: 0}
+}
+
+// ShapeBits computes the raw shape bitmap of a trajectory (already in
+// dataset coordinates) inside the enlarged element anchored at c. Bit
+// dy·α+dx is set iff the trajectory intersects the cell at (dx, dy).
+func (ix *Index) ShapeBits(t *model.Trajectory, c quad.Cell) uint64 {
+	anchor := c.Rect()
+	w := anchor.Width()
+	var bits uint64
+	full := uint64(1)<<ix.bits - 1
+
+	cellRect := func(dx, dy int) geo.Rect {
+		x := anchor.MinX + float64(dx)*w
+		y := anchor.MinY + float64(dy)*w
+		return geo.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + w}
+	}
+
+	if len(t.Points) == 1 {
+		nx, ny := ix.space.Normalize(t.Points[0].X, t.Points[0].Y)
+		for dy := 0; dy < ix.p.Beta; dy++ {
+			for dx := 0; dx < ix.p.Alpha; dx++ {
+				if cellRect(dx, dy).ContainsPoint(nx, ny) {
+					bits |= 1 << uint(dy*ix.p.Alpha+dx)
+				}
+			}
+		}
+		return bits
+	}
+
+	px, py := ix.space.Normalize(t.Points[0].X, t.Points[0].Y)
+	for i := 1; i < len(t.Points); i++ {
+		nx, ny := ix.space.Normalize(t.Points[i].X, t.Points[i].Y)
+		seg := geo.Segment{X1: px, Y1: py, X2: nx, Y2: ny}
+		px, py = nx, ny
+		sb := seg.Bounds()
+		// Only test cells overlapping the segment's bounding box.
+		dx0 := clampCell(int((sb.MinX-anchor.MinX)/w), ix.p.Alpha)
+		dx1 := clampCell(int((sb.MaxX-anchor.MinX)/w), ix.p.Alpha)
+		dy0 := clampCell(int((sb.MinY-anchor.MinY)/w), ix.p.Beta)
+		dy1 := clampCell(int((sb.MaxY-anchor.MinY)/w), ix.p.Beta)
+		for dy := dy0; dy <= dy1; dy++ {
+			for dx := dx0; dx <= dx1; dx++ {
+				bit := uint64(1) << uint(dy*ix.p.Alpha+dx)
+				if bits&bit != 0 {
+					continue
+				}
+				if seg.IntersectsRect(cellRect(dx, dy)) {
+					bits |= bit
+				}
+			}
+		}
+		if bits == full {
+			break
+		}
+	}
+	return bits
+}
+
+// Pack builds the index value from an element's extended quadrant code and
+// a shape code (Eq. 3).
+func (ix *Index) Pack(elemCode, shapeCode uint64) uint64 {
+	return elemCode<<ix.bits | shapeCode
+}
+
+// Unpack splits an index value into element code and shape code.
+func (ix *Index) Unpack(v uint64) (elemCode, shapeCode uint64) {
+	return v >> ix.bits, v & (1<<ix.bits - 1)
+}
+
+// EncodeRaw computes the (element code, raw shape bits) pair of a
+// trajectory without shape-code optimization.
+func (ix *Index) EncodeRaw(t *model.Trajectory) (elemCode, shapeBits uint64) {
+	mbr := ix.space.NormalizeRect(t.MBR())
+	c := ix.Anchor(mbr)
+	return quad.ExtCode(c, ix.p.G), ix.ShapeBits(t, c)
+}
+
+// AnchorFromExtCode reconstructs the anchor cell of an element code by
+// walking the extended DFS numbering.
+func (ix *Index) AnchorFromExtCode(code uint64) quad.Cell {
+	c := quad.Cell{R: 0}
+	if code == 0 {
+		return c
+	}
+	code-- // consume the root
+	for {
+		// Each child subtree has ExtSubtreeSize(c.R+1, G) codes.
+		sub := quad.ExtSubtreeSize(c.R+1, ix.p.G)
+		childIdx := code / sub
+		c = c.Children()[childIdx]
+		code %= sub
+		if code == 0 {
+			return c
+		}
+		code--
+	}
+}
+
+func clampCell(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}

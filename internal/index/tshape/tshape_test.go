@@ -1,0 +1,318 @@
+package tshape
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/quad"
+	"github.com/tman-db/tman/internal/model"
+)
+
+func unitSpace(t *testing.T) *geo.Space {
+	t.Helper()
+	return geo.MustSpace(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+}
+
+func newIndex(t *testing.T, alpha, beta, g int) *Index {
+	t.Helper()
+	ix, err := New(Params{Alpha: alpha, Beta: beta, G: g}, unitSpace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{Alpha: 3, Beta: 3, G: 16}, true},
+		{Params{Alpha: 5, Beta: 5, G: 16}, true},
+		{Params{Alpha: 1, Beta: 3, G: 16}, false},
+		{Params{Alpha: 6, Beta: 6, G: 16}, false}, // 36 bits > 30
+		{Params{Alpha: 5, Beta: 5, G: 0}, false},
+		{Params{Alpha: 5, Beta: 5, G: 20}, false}, // 2*20+2+25 = 67 > 64
+		{Params{Alpha: 2, Beta: 2, G: 28}, true},  // 58+4 = 62
+	}
+	for i, tc := range cases {
+		err := tc.p.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d (%+v): err = %v", i, tc.p, err)
+		}
+	}
+}
+
+func TestAnchorElementCoversMBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, ab := range [][2]int{{2, 2}, {3, 3}, {3, 4}, {5, 5}} {
+		ix := newIndex(t, ab[0], ab[1], 16)
+		for iter := 0; iter < 1000; iter++ {
+			x := rng.Float64() * 0.95
+			y := rng.Float64() * 0.95
+			r := geo.Rect{
+				MinX: x, MinY: y,
+				MaxX: x + rng.Float64()*(1-x),
+				MaxY: y + rng.Float64()*(1-y),
+			}
+			a := ix.Anchor(r)
+			er := ix.ElementRect(a)
+			if !(er.MinX <= r.MinX && er.MinY <= r.MinY && er.MaxX >= r.MaxX-1e-12 && er.MaxY >= r.MaxY-1e-12) {
+				t.Fatalf("α=%d β=%d iter %d: element %v does not cover %v (anchor %+v)",
+					ab[0], ab[1], iter, er, r, a)
+			}
+		}
+	}
+}
+
+// Lemma 3/4: the chosen resolution is l or l-1 where l comes from the
+// extent formula.
+func TestAnchorResolutionIsLemma3(t *testing.T) {
+	ix := newIndex(t, 3, 3, 16)
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 1000; iter++ {
+		x := rng.Float64() * 0.9
+		y := rng.Float64() * 0.9
+		r := geo.Rect{
+			MinX: x, MinY: y,
+			MaxX: x + rng.Float64()*(1-x)*0.8,
+			MaxY: y + rng.Float64()*(1-y)*0.8,
+		}
+		l := quad.ResolutionForExtent(r.Width(), r.Height(), 3, 3, 16)
+		a := ix.Anchor(r)
+		if a.R != l && a.R != l-1 {
+			t.Fatalf("iter %d: anchor resolution %d, want %d or %d (mbr %v)", iter, a.R, l, l-1, r)
+		}
+	}
+}
+
+func mkTraj(pts ...[2]float64) *model.Trajectory {
+	t := &model.Trajectory{OID: "o", TID: "t"}
+	for i, p := range pts {
+		t.Points = append(t.Points, model.Point{X: p[0], Y: p[1], T: int64(i) * 1000})
+	}
+	return t
+}
+
+func TestShapeBitsSimpleDiagonal(t *testing.T) {
+	ix := newIndex(t, 2, 2, 8)
+	// Anchor at cell (0,0) resolution 1: element covers the whole unit
+	// square as 2x2 cells of width 0.5. A diagonal crosses lower-left and
+	// upper-right (and touches the shared corner cells).
+	anchor := quad.Cell{IX: 0, IY: 0, R: 1}
+	tr := mkTraj([2]float64{0.1, 0.1}, [2]float64{0.9, 0.9})
+	bits := ix.ShapeBits(tr, anchor)
+	// Cells: bit0 = (0,0), bit1 = (1,0), bit2 = (0,1), bit3 = (1,1).
+	if bits&(1<<0) == 0 || bits&(1<<3) == 0 {
+		t.Errorf("diagonal must cover corner cells, bits = %04b", bits)
+	}
+	// An L-shaped trajectory hugging the bottom and right edges must NOT
+	// cover the upper-left cell.
+	lshape := mkTraj([2]float64{0.1, 0.1}, [2]float64{0.9, 0.1}, [2]float64{0.9, 0.9})
+	bits = ix.ShapeBits(lshape, anchor)
+	if bits&(1<<2) != 0 {
+		t.Errorf("L-shape must not cover upper-left cell, bits = %04b", bits)
+	}
+	if bits&(1<<0) == 0 || bits&(1<<1) == 0 || bits&(1<<3) == 0 {
+		t.Errorf("L-shape must cover the three cells it passes, bits = %04b", bits)
+	}
+}
+
+func TestShapeBitsSinglePoint(t *testing.T) {
+	ix := newIndex(t, 3, 3, 8)
+	anchor := quad.Cell{IX: 0, IY: 0, R: 2} // cells of width 0.25, element 0.75x0.75
+	tr := mkTraj([2]float64{0.3, 0.55})     // cell (1, 2) of the element
+	bits := ix.ShapeBits(tr, anchor)
+	wantBit := uint(2*3 + 1)
+	if bits&(1<<wantBit) == 0 {
+		t.Errorf("point should set bit %d, bits = %09b", wantBit, bits)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	ix := newIndex(t, 3, 3, 16)
+	for _, elem := range []uint64{0, 1, 12345, 1 << 30} {
+		for _, shape := range []uint64{0, 1, 0x1FF} {
+			v := ix.Pack(elem, shape)
+			ge, gs := ix.Unpack(v)
+			if ge != elem || gs != shape {
+				t.Fatalf("Pack/Unpack(%d,%d) = (%d,%d)", elem, shape, ge, gs)
+			}
+		}
+	}
+}
+
+func TestAnchorFromExtCodeRoundTrip(t *testing.T) {
+	ix := newIndex(t, 3, 3, 10)
+	rng := rand.New(rand.NewSource(57))
+	for iter := 0; iter < 2000; iter++ {
+		r := rng.Intn(11)
+		var c quad.Cell
+		if r == 0 {
+			c = quad.Cell{R: 0}
+		} else {
+			c = quad.Cell{IX: uint32(rng.Intn(1 << r)), IY: uint32(rng.Intn(1 << r)), R: r}
+		}
+		code := quad.ExtCode(c, 10)
+		back := ix.AnchorFromExtCode(code)
+		if back != c {
+			t.Fatalf("iter %d: code %d: %+v -> %+v", iter, code, c, back)
+		}
+	}
+}
+
+func TestEncodeRawStableAndInElement(t *testing.T) {
+	ix := newIndex(t, 3, 3, 12)
+	rng := rand.New(rand.NewSource(59))
+	for iter := 0; iter < 200; iter++ {
+		tr := randomTraj(rng, 2+rng.Intn(50), 0.05)
+		elem, bits := ix.EncodeRaw(tr)
+		if bits == 0 {
+			t.Fatalf("iter %d: trajectory inside element must cover >= 1 cell", iter)
+		}
+		// Re-encode must be deterministic.
+		e2, b2 := ix.EncodeRaw(tr)
+		if e2 != elem || b2 != bits {
+			t.Fatalf("iter %d: non-deterministic encode", iter)
+		}
+		// The anchor reconstructed from the code must cover the MBR.
+		anchor := ix.AnchorFromExtCode(elem)
+		er := ix.ElementRect(anchor)
+		mbr := ix.space.NormalizeRect(tr.MBR())
+		if !(er.MinX <= mbr.MinX+1e-12 && er.MaxX >= mbr.MaxX-1e-12) {
+			t.Fatalf("iter %d: element %v does not cover mbr %v", iter, er, mbr)
+		}
+	}
+}
+
+func randomTraj(rng *rand.Rand, n int, step float64) *model.Trajectory {
+	pts := make([]model.Point, n)
+	x := rng.Float64()*0.8 + 0.1
+	y := rng.Float64()*0.8 + 0.1
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * step
+		y += (rng.Float64() - 0.5) * step
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y > 1 {
+			y = 1
+		}
+		pts[i] = model.Point{X: x, Y: y, T: int64(i) * 1000}
+	}
+	return &model.Trajectory{OID: "o", TID: "t", Points: pts}
+}
+
+// memProvider is a test ShapeProvider over a map.
+type memProvider map[uint64][]Shape
+
+func (m memProvider) Shapes(elem uint64) []Shape { return m[elem] }
+
+// The central soundness property: index + Algorithm 2 never lose a result.
+// Build many trajectories, index them with raw shape codes, and check every
+// trajectory that intersects a random query window has its value covered.
+func TestQueryRangesNoFalseNegatives(t *testing.T) {
+	for _, ab := range [][2]int{{2, 2}, {3, 3}, {5, 5}} {
+		ix := newIndex(t, ab[0], ab[1], 10)
+		rng := rand.New(rand.NewSource(int64(61 + ab[0])))
+		type indexed struct {
+			tr *model.Trajectory
+			v  uint64
+		}
+		provider := memProvider{}
+		var objs []indexed
+		for i := 0; i < 300; i++ {
+			tr := randomTraj(rng, 2+rng.Intn(30), 0.02)
+			elem, bits := ix.EncodeRaw(tr)
+			objs = append(objs, indexed{tr: tr, v: ix.Pack(elem, bits)})
+			// Register the shape (raw code = final code in this test).
+			found := false
+			for _, s := range provider[elem] {
+				if s.Bits == bits {
+					found = true
+					break
+				}
+			}
+			if !found {
+				provider[elem] = append(provider[elem], Shape{Bits: bits, Code: bits})
+			}
+		}
+		for iter := 0; iter < 100; iter++ {
+			qx, qy := rng.Float64()*0.9, rng.Float64()*0.9
+			q := geo.Rect{MinX: qx, MinY: qy, MaxX: qx + rng.Float64()*0.1, MaxY: qy + rng.Float64()*0.1}
+			ranges, _ := ix.QueryRanges(q, provider)
+			for _, o := range objs {
+				if !o.tr.IntersectsRect(q) {
+					continue
+				}
+				if !coveredBy(ranges, o.v) {
+					t.Fatalf("α×β=%dx%d iter %d: trajectory %v intersects %v but value %d not covered",
+						ab[0], ab[1], iter, o.tr.MBR(), q, o.v)
+				}
+			}
+			// Also: nil provider (no cache) must cover at least as much.
+			nilRanges, _ := ix.QueryRanges(q, nil)
+			for _, o := range objs {
+				if o.tr.IntersectsRect(q) && !coveredBy(nilRanges, o.v) {
+					t.Fatalf("nil-provider query lost trajectory")
+				}
+			}
+		}
+	}
+}
+
+func coveredBy(ranges []ValueRange, v uint64) bool {
+	for _, r := range ranges {
+		if r.Lo <= v && v <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// TShape should be more selective than covering all shapes: with the shape
+// provider the candidate count must never exceed the nil-provider count.
+func TestShapeProviderImprovesSelectivity(t *testing.T) {
+	ix := newIndex(t, 3, 3, 10)
+	rng := rand.New(rand.NewSource(67))
+	provider := memProvider{}
+	for i := 0; i < 500; i++ {
+		tr := randomTraj(rng, 2+rng.Intn(30), 0.02)
+		elem, bits := ix.EncodeRaw(tr)
+		provider[elem] = append(provider[elem], Shape{Bits: bits, Code: bits})
+	}
+	var withCache, withoutCache uint64
+	for iter := 0; iter < 50; iter++ {
+		qx, qy := rng.Float64()*0.9, rng.Float64()*0.9
+		q := geo.Rect{MinX: qx, MinY: qy, MaxX: qx + 0.05, MaxY: qy + 0.05}
+		r1, _ := ix.QueryRanges(q, provider)
+		r2, _ := ix.QueryRanges(q, nil)
+		withCache += CandidateValues(r1)
+		withoutCache += CandidateValues(r2)
+	}
+	if withCache >= withoutCache {
+		t.Errorf("cache candidates %d >= no-cache %d; provider should prune", withCache, withoutCache)
+	}
+}
+
+func TestQueryStatsPopulated(t *testing.T) {
+	ix := newIndex(t, 3, 3, 8)
+	provider := memProvider{}
+	tr := mkTraj([2]float64{0.4, 0.4}, [2]float64{0.45, 0.45})
+	elem, bits := ix.EncodeRaw(tr)
+	provider[elem] = append(provider[elem], Shape{Bits: bits, Code: 0})
+	_, stats := ix.QueryRanges(geo.Rect{MinX: 0.39, MinY: 0.39, MaxX: 0.46, MaxY: 0.46}, provider)
+	if stats.ElementsVisited == 0 {
+		t.Error("ElementsVisited should be > 0")
+	}
+	if stats.ShapesChecked == 0 || stats.ShapesMatched == 0 {
+		t.Errorf("shape stats empty: %+v", stats)
+	}
+}

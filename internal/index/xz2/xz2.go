@@ -1,0 +1,145 @@
+// Package xz2 implements XZ-ordering (Böhm, Klump, Kriegel 1999): the
+// space-filling curve for spatially extended objects used by GeoMesa,
+// TrajMesa, JUST and VRE, and the spatial baseline TMan compares against.
+//
+// Every quad-tree cell is doubled in width and height to form an "enlarged
+// element"; an object is represented by the code of the smallest enlarged
+// element that covers its MBR. Queries enumerate enlarged elements that
+// intersect the query window: fully contained subtrees collapse into one
+// consecutive code interval, partially intersecting elements contribute
+// their own code.
+package xz2
+
+import (
+	"math"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/quad"
+)
+
+// Index is an XZ-ordering index over the unit square with maximum
+// resolution G.
+type Index struct {
+	g int
+}
+
+// ValueRange is a closed interval [Lo, Hi] of candidate index values.
+type ValueRange struct {
+	Lo, Hi uint64
+}
+
+// New creates an XZ-ordering index with maximum resolution g in [1, 30].
+func New(g int) *Index {
+	if g < 1 || g > quad.MaxResolution {
+		panic("xz2: resolution out of range")
+	}
+	return &Index{g: g}
+}
+
+// G returns the maximum resolution.
+func (ix *Index) G() int { return ix.g }
+
+// Anchor returns the cell whose enlarged element (the cell doubled right
+// and up) is the smallest covering the normalized MBR r.
+func (ix *Index) Anchor(r geo.Rect) quad.Cell {
+	l := quad.ResolutionForExtent(r.Width(), r.Height(), 1, 1, ix.g)
+	for ; l > 0; l-- {
+		c := quad.CellAt(r.MinX, r.MinY, l)
+		if Enlarged(c).Contains(r) {
+			return c
+		}
+	}
+	return quad.Cell{R: 0}
+}
+
+// Encode returns the XZ index value (extended code) for a normalized MBR.
+func (ix *Index) Encode(r geo.Rect) uint64 {
+	return quad.ExtCode(ix.Anchor(r), ix.g)
+}
+
+// Enlarged returns the enlarged element of a cell: the cell doubled in
+// width and height (anchored at the cell's lower-left corner).
+func Enlarged(c quad.Cell) geo.Rect {
+	r := c.Rect()
+	return geo.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MinX + 2*r.Width(), MaxY: r.MinY + 2*r.Height()}
+}
+
+// QueryRanges returns the sorted, disjoint closed intervals of index values
+// whose enlarged elements intersect the normalized query window sr. Every
+// object intersecting sr is indexed under one of these values (its enlarged
+// element covers its MBR, and that element must intersect sr); objects not
+// intersecting sr may still be returned and are refined by push-down.
+func (ix *Index) QueryRanges(sr geo.Rect) []ValueRange {
+	var out []ValueRange
+
+	// Recursion cap, as in GeoMesa: once cells are much finer than the
+	// window, partially-intersecting elements emit their whole subtree
+	// interval (conservative; refined downstream) instead of recursing.
+	stopLevel := ix.g
+	if minSide := math.Min(sr.Width(), sr.Height()); minSide > 0 {
+		for lvl := 1; lvl <= ix.g; lvl++ {
+			if quad.CellWidth(lvl) < minSide/16 {
+				stopLevel = lvl
+				break
+			}
+		}
+	}
+
+	var visit func(c quad.Cell)
+	visit = func(c quad.Cell) {
+		e := Enlarged(c)
+		switch {
+		case sr.Contains(e):
+			// Every enlarged element in the subtree lies inside sr (a
+			// child's enlarged element is contained in its parent's): take
+			// the whole consecutive code interval.
+			lo := quad.ExtCode(c, ix.g)
+			out = append(out, ValueRange{Lo: lo, Hi: lo + quad.ExtSubtreeSize(c.R, ix.g) - 1})
+		case sr.Intersects(e):
+			lo := quad.ExtCode(c, ix.g)
+			if c.R >= stopLevel && c.R < ix.g {
+				out = append(out, ValueRange{Lo: lo, Hi: lo + quad.ExtSubtreeSize(c.R, ix.g) - 1})
+				return
+			}
+			out = append(out, ValueRange{Lo: lo, Hi: lo})
+			if c.R < ix.g {
+				for _, ch := range c.Children() {
+					visit(ch)
+				}
+			}
+		}
+		// Disjoint: the whole subtree is pruned — children's enlarged
+		// elements are contained in this one.
+	}
+	visit(quad.Cell{R: 0})
+	return mergeRanges(out)
+}
+
+// mergeRanges sorts and coalesces adjacent/overlapping ranges. The visit
+// order is already DFS (= code order), so a single linear pass suffices.
+func mergeRanges(in []ValueRange) []ValueRange {
+	if len(in) <= 1 {
+		return in
+	}
+	out := in[:1]
+	for _, r := range in[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CandidateValues sums the number of index values covered by ranges.
+func CandidateValues(ranges []ValueRange) uint64 {
+	var total uint64
+	for _, r := range ranges {
+		total += r.Hi - r.Lo + 1
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package xz2
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/quad"
+)
+
+func TestAnchorCoversMBR(t *testing.T) {
+	ix := New(16)
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 2000; iter++ {
+		x := rng.Float64()
+		y := rng.Float64()
+		w := rng.Float64() * (1 - x) * 0.99
+		h := rng.Float64() * (1 - y) * 0.99
+		r := geo.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+		a := ix.Anchor(r)
+		if !Enlarged(a).Contains(r) {
+			t.Fatalf("iter %d: enlarged element of anchor %v does not cover %v", iter, a, r)
+		}
+	}
+}
+
+func TestAnchorIsMaximalResolution(t *testing.T) {
+	ix := New(16)
+	// A tiny box away from cell boundaries should land at a deep resolution.
+	r := geo.Rect{MinX: 0.3000001, MinY: 0.3000001, MaxX: 0.3000002, MaxY: 0.3000002}
+	a := ix.Anchor(r)
+	if a.R != 16 {
+		t.Errorf("tiny box anchor resolution = %d, want 16", a.R)
+	}
+	// A box spanning nearly everything anchors at the root.
+	big := geo.Rect{MinX: 0.01, MinY: 0.01, MaxX: 0.99, MaxY: 0.99}
+	if a := ix.Anchor(big); a.R != 0 {
+		t.Errorf("huge box anchor resolution = %d, want 0", a.R)
+	}
+}
+
+func TestEncodeDistinguishesRegions(t *testing.T) {
+	ix := New(8)
+	a := ix.Encode(geo.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.12, MaxY: 0.12})
+	b := ix.Encode(geo.Rect{MinX: 0.8, MinY: 0.8, MaxX: 0.82, MaxY: 0.82})
+	if a == b {
+		t.Error("distant boxes should get different codes")
+	}
+}
+
+// Core soundness property: for random objects and query windows, every
+// object whose MBR intersects the query must have its index value covered
+// by some query range (no false negatives).
+func TestQueryRangesNoFalseNegatives(t *testing.T) {
+	ix := New(10)
+	rng := rand.New(rand.NewSource(43))
+	covered := func(ranges []ValueRange, v uint64) bool {
+		for _, r := range ranges {
+			if r.Lo <= v && v <= r.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	for iter := 0; iter < 300; iter++ {
+		qx, qy := rng.Float64()*0.9, rng.Float64()*0.9
+		q := geo.Rect{MinX: qx, MinY: qy, MaxX: qx + rng.Float64()*0.1, MaxY: qy + rng.Float64()*0.1}
+		ranges := ix.QueryRanges(q)
+		for obj := 0; obj < 50; obj++ {
+			ox, oy := rng.Float64()*0.95, rng.Float64()*0.95
+			o := geo.Rect{MinX: ox, MinY: oy, MaxX: ox + rng.Float64()*0.05, MaxY: oy + rng.Float64()*0.05}
+			if !o.Intersects(q) {
+				continue
+			}
+			v := ix.Encode(o)
+			if !covered(ranges, v) {
+				t.Fatalf("iter %d: object %v intersects query %v but value %d not covered", iter, o, q, v)
+			}
+		}
+	}
+}
+
+func TestQueryRangesSortedDisjoint(t *testing.T) {
+	ix := New(12)
+	rng := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 100; iter++ {
+		qx, qy := rng.Float64()*0.8, rng.Float64()*0.8
+		q := geo.Rect{MinX: qx, MinY: qy, MaxX: qx + rng.Float64()*0.2, MaxY: qy + rng.Float64()*0.2}
+		ranges := ix.QueryRanges(q)
+		for i, r := range ranges {
+			if r.Lo > r.Hi {
+				t.Fatalf("iter %d: inverted range %+v", iter, r)
+			}
+			if i > 0 && r.Lo <= ranges[i-1].Hi+1 {
+				t.Fatalf("iter %d: ranges not disjoint/merged: %+v then %+v", iter, ranges[i-1], r)
+			}
+		}
+	}
+}
+
+// Selectivity: a small query window should cover far fewer index values
+// than the whole code space.
+func TestQueryRangesAreSelective(t *testing.T) {
+	ix := New(12)
+	q := geo.Rect{MinX: 0.41, MinY: 0.41, MaxX: 0.43, MaxY: 0.43}
+	got := CandidateValues(ix.QueryRanges(q))
+	total := quad.TotalExtCodes(12)
+	if got*20 > total {
+		t.Errorf("small window covers %d of %d values; expected < 5%%", got, total)
+	}
+	// Full-space query covers everything.
+	full := CandidateValues(ix.QueryRanges(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}))
+	if full != total {
+		t.Errorf("full-space query covers %d, want %d", full, total)
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	in := []ValueRange{{1, 3}, {4, 6}, {8, 9}, {9, 12}, {20, 20}}
+	got := mergeRanges(in)
+	want := []ValueRange{{1, 6}, {8, 12}, {20, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("range %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if out := mergeRanges(nil); out != nil {
+		t.Error("nil input should stay nil")
+	}
+}
+
+func TestNewPanicsOnBadResolution(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,71 @@
+// Package xzstar implements the XZ* index from TraSS (He et al., ICDE
+// 2022): XZ-ordering extended with a 4-bit sub-quad combination code.
+//
+// An enlarged element is the anchor cell doubled in both directions — i.e.
+// a 2×2 block of cells — and a trajectory is represented by the bitmask of
+// the sub-quads it intersects. XZ* is exactly TShape with α = β = 2 and no
+// per-element shape directory: all 15 non-empty combinations are statically
+// known, so queries check each of them against the query window. TMan's
+// TShape generalizes the block to α×β cells and adds the optimized shape
+// encoding; this package provides the baseline for Fig. 16 and the
+// similarity-search comparisons.
+package xzstar
+
+import (
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Index is an XZ* index over a normalized space.
+type Index struct {
+	ts     *tshape.Index
+	shapes staticShapes
+}
+
+// staticShapes serves the 15 possible sub-quad combinations for every
+// element.
+type staticShapes []tshape.Shape
+
+// Shapes implements tshape.ShapeProvider.
+func (s staticShapes) Shapes(uint64) []tshape.Shape { return s }
+
+// New creates an XZ* index with maximum resolution g.
+func New(g int, space *geo.Space) (*Index, error) {
+	ts, err := tshape.New(tshape.Params{Alpha: 2, Beta: 2, G: g}, space)
+	if err != nil {
+		return nil, err
+	}
+	shapes := make(staticShapes, 0, 15)
+	for bits := uint64(1); bits < 16; bits++ {
+		shapes = append(shapes, tshape.Shape{Bits: bits, Code: bits})
+	}
+	return &Index{ts: ts, shapes: shapes}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(g int, space *geo.Space) *Index {
+	ix, err := New(g, space)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Encode returns the XZ* index value of a trajectory: element code shifted
+// by 4 bits, OR'ed with the sub-quad mask.
+func (ix *Index) Encode(t *model.Trajectory) uint64 {
+	elem, bits := ix.ts.EncodeRaw(t)
+	return ix.ts.Pack(elem, bits)
+}
+
+// QueryRanges returns candidate index value intervals for a normalized
+// spatial window.
+func (ix *Index) QueryRanges(sr geo.Rect) []tshape.ValueRange {
+	ranges, _ := ix.ts.QueryRanges(sr, ix.shapes)
+	return ranges
+}
+
+// Inner exposes the underlying TShape machinery (anchor math, packing) for
+// reuse by similarity baselines.
+func (ix *Index) Inner() *tshape.Index { return ix.ts }

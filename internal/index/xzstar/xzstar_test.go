@@ -1,0 +1,97 @@
+package xzstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+func unitSpace() *geo.Space {
+	return geo.MustSpace(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+}
+
+func randomTraj(rng *rand.Rand, n int) *model.Trajectory {
+	pts := make([]model.Point, n)
+	x := rng.Float64()*0.8 + 0.1
+	y := rng.Float64()*0.8 + 0.1
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * 0.02
+		y += (rng.Float64() - 0.5) * 0.02
+		pts[i] = model.Point{X: clamp(x), Y: clamp(y), T: int64(i) * 1000}
+	}
+	return &model.Trajectory{OID: "o", TID: "t", Points: pts}
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestEncodeHasNonEmptyMask(t *testing.T) {
+	ix := MustNew(12, unitSpace())
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 200; i++ {
+		tr := randomTraj(rng, 2+rng.Intn(20))
+		v := ix.Encode(tr)
+		if v&0xF == 0 {
+			t.Fatalf("iter %d: sub-quad mask empty for value %d", i, v)
+		}
+	}
+}
+
+func TestQueryRangesNoFalseNegatives(t *testing.T) {
+	ix := MustNew(10, unitSpace())
+	rng := rand.New(rand.NewSource(103))
+	type obj struct {
+		tr *model.Trajectory
+		v  uint64
+	}
+	var objs []obj
+	for i := 0; i < 300; i++ {
+		tr := randomTraj(rng, 2+rng.Intn(20))
+		objs = append(objs, obj{tr: tr, v: ix.Encode(tr)})
+	}
+	for iter := 0; iter < 100; iter++ {
+		qx, qy := rng.Float64()*0.9, rng.Float64()*0.9
+		q := geo.Rect{MinX: qx, MinY: qy, MaxX: qx + rng.Float64()*0.1, MaxY: qy + rng.Float64()*0.1}
+		ranges := ix.QueryRanges(q)
+		for _, o := range objs {
+			if !o.tr.IntersectsRect(q) {
+				continue
+			}
+			found := false
+			for _, r := range ranges {
+				if r.Lo <= o.v && o.v <= r.Hi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("iter %d: trajectory intersects query but value not covered", iter)
+			}
+		}
+	}
+}
+
+func TestNewValidationAndInner(t *testing.T) {
+	if _, err := New(40, unitSpace()); err == nil {
+		t.Error("excessive resolution accepted")
+	}
+	ix := MustNew(8, unitSpace())
+	if ix.Inner() == nil {
+		t.Error("Inner should expose the TShape machinery")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad params should panic")
+		}
+	}()
+	MustNew(0, unitSpace())
+}

@@ -1,0 +1,226 @@
+// Package xzt implements TrajMesa's XZT temporal index — the baseline TMan
+// compares TR against (paper Sections II-1 and VI-A2).
+//
+// Time is divided into long fixed periods (e.g. one week). Within a period,
+// elements are formed by binary dichotomy: the element at level l with
+// binary sequence b1..bl spans 1/2^l of the period. Each element is doubled
+// in length to get an XElement; a time range is represented by the code of
+// the smallest XElement that covers it. Codes order sequences depth-first
+// (the 1-D analogue of XZ-ordering):
+//
+//	code(b1..bl) = Σ_{i=1..l} ( bi · (2^{g-i+1}-1) + 1 )
+//
+// extended with code 0 for the empty sequence (the whole period), and the
+// full index value is periodIndex · codesPerPeriod + code.
+package xzt
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Index is an XZT index.
+type Index struct {
+	periodMillis int64
+	g            int // maximum dichotomy depth
+	perPeriod    uint64
+}
+
+// ValueRange is a closed interval [Lo, Hi] of candidate index values.
+type ValueRange struct {
+	Lo, Hi uint64
+}
+
+// New creates an XZT index with the given period length (TrajMesa uses one
+// to two weeks) and maximum dichotomy depth g in [1, 50].
+func New(periodMillis int64, g int) (*Index, error) {
+	if periodMillis <= 0 {
+		return nil, fmt.Errorf("xzt: period must be positive, got %d", periodMillis)
+	}
+	if g < 1 || g > 50 {
+		return nil, fmt.Errorf("xzt: g must be in [1,50], got %d", g)
+	}
+	return &Index{periodMillis: periodMillis, g: g, perPeriod: totalCodes(g)}, nil
+}
+
+// MustNew is New that panics on invalid parameters.
+func MustNew(periodMillis int64, g int) *Index {
+	ix, err := New(periodMillis, g)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// PeriodMillis returns the period length.
+func (ix *Index) PeriodMillis() int64 { return ix.periodMillis }
+
+// G returns the maximum dichotomy depth.
+func (ix *Index) G() int { return ix.g }
+
+// CodesPerPeriod returns the size of the code space within one period.
+func (ix *Index) CodesPerPeriod() uint64 { return ix.perPeriod }
+
+// totalCodes returns 1 (empty sequence) + Σ_{l=1..g} 2^l = 2^{g+1} - 1.
+func totalCodes(g int) uint64 {
+	return 1<<(uint(g)+1) - 1
+}
+
+// subtreeSize returns the number of sequences prefixed by a sequence of
+// length l (itself included): Σ_{i=l..g} 2^{i-l} = 2^{g-l+1} - 1.
+func (ix *Index) subtreeSize(l int) uint64 {
+	return 1<<(uint(ix.g-l)+1) - 1
+}
+
+// element identifies a dichotomy element inside one period.
+type element struct {
+	level int
+	idx   int64 // position within the period at this level: [0, 2^level)
+}
+
+// interval returns the element's absolute [start, end) in milliseconds for
+// period p.
+func (ix *Index) interval(p int64, e element) (start, end int64) {
+	w := ix.periodMillis >> uint(e.level)
+	start = p*ix.periodMillis + e.idx*w
+	return start, start + w
+}
+
+// xInterval returns the XElement interval: the element doubled in length.
+func (ix *Index) xInterval(p int64, e element) (start, end int64) {
+	s, en := ix.interval(p, e)
+	return s, s + 2*(en-s)
+}
+
+// code computes the extended DFS code of an element (0 = whole period).
+func (ix *Index) code(e element) uint64 {
+	if e.level == 0 {
+		return 0
+	}
+	var c uint64 = 1 // consume the empty-sequence code
+	for i := 1; i <= e.level; i++ {
+		bit := (e.idx >> uint(e.level-i)) & 1
+		// Skipping a left subtree costs its whole size.
+		if bit == 1 {
+			c += ix.subtreeSize(i)
+		}
+		if i < e.level {
+			c++ // descend into the child: its own code slot
+		}
+	}
+	return c
+}
+
+// Period returns the period index containing t.
+func (ix *Index) Period(t int64) int64 {
+	p := t / ix.periodMillis
+	if t < 0 && t%ix.periodMillis != 0 {
+		p--
+	}
+	return p
+}
+
+// Encode returns the XZT index value of a time range: the smallest XElement
+// covering it. Time ranges longer than the period are clamped to the
+// whole-period element of the period containing the start time (TrajMesa
+// assumes trajectory durations below the period length).
+func (ix *Index) Encode(tr model.TimeRange) uint64 {
+	p := ix.Period(tr.Start)
+	length := tr.End - tr.Start
+	if length < 0 {
+		length = 0
+	}
+	// TrajMesa's XZT selects the level from the range length alone:
+	// l = floor(log2(P / length)), whose element width w = P/2^l satisfies
+	// w >= length so the doubled element always covers (element start <=
+	// tr.Start implies start + 2w >= tr.Start + length + w >= tr.End).
+	// It does NOT descend further even when a deeper element would cover a
+	// range that happens to begin near an element start — the dichotomy
+	// dead region TMan's TR index eliminates (paper Section II-1).
+	level := 0
+	for level < ix.g && ix.periodMillis>>(uint(level)+1) >= length {
+		level++
+	}
+	elemAt := func(lv int) element {
+		w := ix.periodMillis >> uint(lv)
+		return element{level: lv, idx: (tr.Start - p*ix.periodMillis) / w}
+	}
+	covers := func(e element) bool {
+		_, xe := ix.xInterval(p, e)
+		return xe >= tr.End
+	}
+	// Back off while the level fails to cover (l-1 fallback; also handles
+	// length > period).
+	for level > 0 && !covers(elemAt(level)) {
+		level--
+	}
+	return uint64(p)*ix.perPeriod + ix.code(elemAt(level))
+}
+
+// QueryRanges returns sorted, disjoint closed intervals of index values
+// whose XElements intersect the query time range. XElements may extend one
+// period past their own, so the walk starts one period early.
+func (ix *Index) QueryRanges(q model.TimeRange) []ValueRange {
+	if !q.Valid() {
+		return nil
+	}
+	var out []ValueRange
+	p0 := ix.Period(q.Start) - 1
+	if p0 < 0 {
+		p0 = 0
+	}
+	p1 := ix.Period(q.End)
+	for p := p0; p <= p1; p++ {
+		base := uint64(p) * ix.perPeriod
+		var visit func(e element)
+		visit = func(e element) {
+			xs, xe := ix.xInterval(p, e)
+			if xe <= q.Start || xs > q.End {
+				return // disjoint: children's XElements are contained
+			}
+			if xs >= q.Start && xe <= q.End+1 {
+				// Entire XElement inside the query: every descendant's
+				// XElement is inside too — take the whole subtree interval.
+				lo := base + ix.code(e)
+				out = append(out, ValueRange{Lo: lo, Hi: lo + ix.subtreeSize(e.level) - 1})
+				return
+			}
+			lo := base + ix.code(e)
+			out = append(out, ValueRange{Lo: lo, Hi: lo})
+			if e.level < ix.g {
+				visit(element{level: e.level + 1, idx: e.idx * 2})
+				visit(element{level: e.level + 1, idx: e.idx*2 + 1})
+			}
+		}
+		visit(element{level: 0, idx: 0})
+	}
+	return mergeRanges(out)
+}
+
+func mergeRanges(in []ValueRange) []ValueRange {
+	if len(in) <= 1 {
+		return in
+	}
+	out := in[:1]
+	for _, r := range in[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CandidateValues sums the number of index values covered by ranges.
+func CandidateValues(ranges []ValueRange) uint64 {
+	var total uint64
+	for _, r := range ranges {
+		total += r.Hi - r.Lo + 1
+	}
+	return total
+}

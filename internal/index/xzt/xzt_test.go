@@ -1,0 +1,195 @@
+package xzt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+const (
+	hour = int64(3600_000)
+	week = 7 * 24 * hour
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Error("zero period should be rejected")
+	}
+	if _, err := New(week, 0); err == nil {
+		t.Error("zero g should be rejected")
+	}
+	if _, err := New(week, 16); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+// DFS code layout for g=2: "" 0, "0" 1, "00" 2, "01" 3, "1" 4, "10" 5, "11" 6.
+func TestCodeDFSLayout(t *testing.T) {
+	ix := MustNew(week, 2)
+	cases := []struct {
+		level int
+		idx   int64
+		want  uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{2, 0, 2},
+		{2, 1, 3},
+		{1, 1, 4},
+		{2, 2, 5},
+		{2, 3, 6},
+	}
+	for _, tc := range cases {
+		if got := ix.code(element{level: tc.level, idx: tc.idx}); got != tc.want {
+			t.Errorf("code(level=%d idx=%d) = %d, want %d", tc.level, tc.idx, got, tc.want)
+		}
+	}
+	if ix.CodesPerPeriod() != 7 {
+		t.Errorf("CodesPerPeriod = %d, want 7", ix.CodesPerPeriod())
+	}
+}
+
+func TestEncodeChoosesSmallestCoveringXElement(t *testing.T) {
+	ix := MustNew(week, 16)
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 2000; iter++ {
+		start := rng.Int63n(100 * week)
+		length := rng.Int63n(2 * 24 * hour) // up to 48h, typical trajectories
+		tr := model.TimeRange{Start: start, End: start + length}
+		v := ix.Encode(tr)
+		p := int64(v / ix.perPeriod)
+		code := v % ix.perPeriod
+		e, ok := elementFromCode(ix, code)
+		if !ok {
+			t.Fatalf("iter %d: cannot invert code %d", iter, code)
+		}
+		xs, xe := ix.xInterval(p, e)
+		if xs > tr.Start || xe < tr.End {
+			t.Fatalf("iter %d: XElement [%d,%d) does not cover [%d,%d]", iter, xs, xe, tr.Start, tr.End)
+		}
+		// Level selection follows TrajMesa's rule: the formula level l =
+		// floor(log2(P/len)) or a shallower fallback — never deeper.
+		wantLevel := 0
+		for wantLevel < ix.g && ix.periodMillis>>(uint(wantLevel)+1) >= length {
+			wantLevel++
+		}
+		if e.level > wantLevel {
+			t.Fatalf("iter %d: level %d deeper than formula level %d", iter, e.level, wantLevel)
+		}
+	}
+}
+
+// elementFromCode inverts the DFS numbering (test helper).
+func elementFromCode(ix *Index, code uint64) (element, bool) {
+	if code == 0 {
+		return element{level: 0, idx: 0}, true
+	}
+	code--
+	e := element{level: 0, idx: 0}
+	for {
+		e.level++
+		e.idx *= 2
+		sub := ix.subtreeSize(e.level)
+		if code >= sub {
+			code -= sub
+			e.idx++
+		}
+		if code == 0 {
+			return e, true
+		}
+		code--
+		if e.level > ix.g {
+			return element{}, false
+		}
+	}
+}
+
+// No false negatives: every time range intersecting the query has its value
+// covered by a returned range.
+func TestQueryRangesNoFalseNegatives(t *testing.T) {
+	ix := MustNew(24*hour, 10) // one-day period to exercise cross-period cases
+	rng := rand.New(rand.NewSource(89))
+	covered := func(ranges []ValueRange, v uint64) bool {
+		for _, r := range ranges {
+			if r.Lo <= v && v <= r.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	for iter := 0; iter < 300; iter++ {
+		qs := rng.Int63n(50 * 24 * hour)
+		q := model.TimeRange{Start: qs, End: qs + rng.Int63n(24*hour)}
+		ranges := ix.QueryRanges(q)
+		for obj := 0; obj < 50; obj++ {
+			os := rng.Int63n(52 * 24 * hour)
+			o := model.TimeRange{Start: os, End: os + rng.Int63n(20*hour)}
+			if !o.Intersects(q) {
+				continue
+			}
+			v := ix.Encode(o)
+			if !covered(ranges, v) {
+				t.Fatalf("iter %d: range %v intersects query %v but value %d not covered", iter, o, q, v)
+			}
+		}
+	}
+}
+
+func TestQueryRangesSortedDisjoint(t *testing.T) {
+	ix := MustNew(week, 12)
+	rng := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 100; iter++ {
+		qs := rng.Int63n(20 * week)
+		q := model.TimeRange{Start: qs, End: qs + rng.Int63n(3*24*hour)}
+		ranges := ix.QueryRanges(q)
+		for i, r := range ranges {
+			if r.Lo > r.Hi {
+				t.Fatalf("inverted range %+v", r)
+			}
+			if i > 0 && r.Lo <= ranges[i-1].Hi+1 {
+				t.Fatalf("ranges not merged/sorted: %+v then %+v", ranges[i-1], r)
+			}
+		}
+	}
+}
+
+func TestQueryRangesInvalidQuery(t *testing.T) {
+	ix := MustNew(week, 12)
+	if got := ix.QueryRanges(model.TimeRange{Start: 10, End: 5}); got != nil {
+		t.Errorf("invalid query should return nil, got %v", got)
+	}
+}
+
+// The structural weakness the paper exploits: XZT's dichotomy leaves up to
+// half an XElement as dead region. A range slightly longer than the element
+// width at level l+1 is assigned level l, whose XElement spans almost 4x
+// the range length.
+func TestDichotomyDeadRegion(t *testing.T) {
+	ix := MustNew(week, 16)
+	w := week / (1 << 8) // element width at level 8
+	// Range of 1.01 x w: the formula picks level 7 (width 2w), whose
+	// XElement spans 4w — nearly 75% dead region.
+	tr := model.TimeRange{Start: 10 * week, End: 10*week + w + w/100}
+	v := ix.Encode(tr)
+	e, ok := elementFromCode(ix, v%ix.perPeriod)
+	if !ok {
+		t.Fatal("cannot invert code")
+	}
+	if e.level != 7 {
+		t.Errorf("expected formula level 7, got %d", e.level)
+	}
+	xs, xe := ix.xInterval(10, e)
+	span := xe - xs
+	if span < 3*(tr.End-tr.Start) {
+		t.Errorf("XElement span %d should dwarf range %d (dead region)", span, tr.End-tr.Start)
+	}
+	// A range of exactly w starting at an element boundary gets level 8
+	// (width w, XElement 2w): the best case, still half dead.
+	tr2 := model.TimeRange{Start: 10 * week, End: 10*week + w}
+	v2 := ix.Encode(tr2)
+	e2, _ := elementFromCode(ix, v2%ix.perPeriod)
+	if e2.level != 8 {
+		t.Errorf("exact-width range: expected level 8, got %d", e2.level)
+	}
+}

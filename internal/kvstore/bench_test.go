@@ -1,0 +1,80 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTable(b *testing.B, rows int) *Table {
+	b.Helper()
+	s := Open(NoNetworkOptions())
+	tbl, _ := s.CreateTable("t")
+	for i := 0; i < rows; i++ {
+		tbl.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte(fmt.Sprintf("value-%08d", i)))
+	}
+	s.CompactAll()
+	return tbl
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := Open(NoNetworkOptions())
+	tbl, _ := s.CreateTable("t")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Put([]byte(fmt.Sprintf("key-%012d", i)), []byte("payload-payload-payload"))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tbl := benchTable(b, 100_000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%08d", i%100_000))
+		if _, ok := tbl.Get(key); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkScan1k(b *testing.B) {
+	tbl := benchTable(b, 100_000)
+	start := []byte("key-00050000")
+	end := []byte("key-00051000")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := tbl.Scan(start, end, nil, 0)
+		if len(out) != 1000 {
+			b.Fatalf("scan returned %d", len(out))
+		}
+	}
+}
+
+func BenchmarkScanRanges100Windows(b *testing.B) {
+	tbl := benchTable(b, 100_000)
+	ranges := make([]KeyRange, 100)
+	for i := range ranges {
+		lo := fmt.Sprintf("key-%08d", i*1000)
+		hi := fmt.Sprintf("key-%08d", i*1000+10)
+		ranges[i] = KeyRange{Start: []byte(lo), End: []byte(hi)}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := tbl.ScanRanges(ranges, nil, 0)
+		if len(out) != 1000 {
+			b.Fatalf("scan returned %d", len(out))
+		}
+	}
+}
+
+func BenchmarkScanFiltered(b *testing.B) {
+	tbl := benchTable(b, 50_000)
+	filter := FilterFunc(func(k, v []byte) bool { return k[len(k)-1] == '0' })
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Scan(nil, nil, filter, 0)
+	}
+}

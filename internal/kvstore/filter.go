@@ -1,0 +1,48 @@
+package kvstore
+
+// Filter is a push-down predicate evaluated inside region scans, the
+// store-side analogue of an HBase filter chain. Returning false drops the
+// row before it is "transferred" to the client; the row still counts toward
+// RowsScanned, so filter selectivity is visible in scan statistics.
+//
+// Implementations must be safe for concurrent use: a single Filter value is
+// shared by the parallel per-region scanners of one query.
+type Filter interface {
+	Accept(key, value []byte) bool
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(key, value []byte) bool
+
+// Accept implements Filter.
+func (f FilterFunc) Accept(key, value []byte) bool { return f(key, value) }
+
+// Chain combines filters with AND semantics, mirroring TMan's filter chain
+// (temporal + spatial + similarity filters pushed down together). A nil or
+// empty chain accepts everything.
+func Chain(filters ...Filter) Filter {
+	compact := make([]Filter, 0, len(filters))
+	for _, f := range filters {
+		if f != nil {
+			compact = append(compact, f)
+		}
+	}
+	switch len(compact) {
+	case 0:
+		return nil
+	case 1:
+		return compact[0]
+	}
+	return chainFilter(compact)
+}
+
+type chainFilter []Filter
+
+func (c chainFilter) Accept(key, value []byte) bool {
+	for _, f := range c {
+		if !f.Accept(key, value) {
+			return false
+		}
+	}
+	return true
+}

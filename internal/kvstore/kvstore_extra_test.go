@@ -1,0 +1,214 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCompactAllCollapsesRuns(t *testing.T) {
+	s := Open(Options{MemtableFlushBytes: 1 << 10, RegionMaxBytes: 1 << 30, MaxRunsPerRegion: 100})
+	tbl, _ := s.CreateTable("t")
+	val := bytes.Repeat([]byte("v"), 200)
+	for i := 0; i < 200; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k%04d", i)), val)
+	}
+	// Delete some, then compact: tombstones must be garbage-collected and
+	// results unchanged.
+	for i := 0; i < 200; i += 4 {
+		tbl.Delete([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	before := tbl.Scan(nil, nil, nil, 0)
+	s.CompactAll()
+	after := tbl.Scan(nil, nil, nil, 0)
+	if len(before) != len(after) || len(after) != 150 {
+		t.Fatalf("compaction changed results: %d -> %d", len(before), len(after))
+	}
+	for i := range after {
+		if !bytes.Equal(before[i].Key, after[i].Key) {
+			t.Fatalf("row %d key changed after compaction", i)
+		}
+	}
+	if s.Stats().Snapshot().Compactions == 0 {
+		t.Error("compaction not counted")
+	}
+}
+
+func TestSimulatedIOAccounting(t *testing.T) {
+	s := Open(Options{RPCLatencyMicros: 500, TransferMBps: 1, DiskMBps: 1})
+	tbl, _ := s.CreateTable("t")
+	val := bytes.Repeat([]byte("x"), 1<<14) // 16 KiB rows
+	for i := 0; i < 64; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k%02d", i)), val)
+	}
+	before := s.Stats().Snapshot()
+	got := tbl.Scan(nil, nil, nil, 0)
+	d := Diff(before, s.Stats().Snapshot())
+	if len(got) != 64 {
+		t.Fatalf("scan returned %d rows", len(got))
+	}
+	// 64 rows x 16KiB = 1 MiB visited and transferred at 1 MB/s each →
+	// about 2 s of simulated cost plus RPC latency.
+	if d.SimIONanos < 1_500_000_000 {
+		t.Errorf("SimIONanos = %d, expected >= 1.5s of simulated I/O", d.SimIONanos)
+	}
+	if d.RPCs == 0 {
+		t.Error("RPCs not counted")
+	}
+
+	// Disabled model accrues nothing.
+	s2 := Open(NoNetworkOptions())
+	tbl2, _ := s2.CreateTable("t")
+	tbl2.Put([]byte("k"), []byte("v"))
+	before2 := s2.Stats().Snapshot()
+	tbl2.Scan(nil, nil, nil, 0)
+	if d2 := Diff(before2, s2.Stats().Snapshot()); d2.SimIONanos != 0 {
+		t.Errorf("NoNetworkOptions accrued %d simulated nanos", d2.SimIONanos)
+	}
+}
+
+func TestPushDownReducesTransferredBytes(t *testing.T) {
+	s := Open(NoNetworkOptions())
+	tbl, _ := s.CreateTable("t")
+	for i := 0; i < 1000; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte("v"), 100))
+	}
+	before := s.Stats().Snapshot()
+	tbl.Scan(nil, nil, FilterFunc(func(k, v []byte) bool { return k[3] == '0' }), 0)
+	d := Diff(before, s.Stats().Snapshot())
+	if d.RowsScanned != 1000 {
+		t.Fatalf("RowsScanned = %d", d.RowsScanned)
+	}
+	if d.RowsReturned >= 200 {
+		t.Fatalf("RowsReturned = %d; filter should drop ~90%%", d.RowsReturned)
+	}
+	if d.BytesReturned != d.RowsReturned*100 {
+		t.Errorf("BytesReturned = %d for %d rows", d.BytesReturned, d.RowsReturned)
+	}
+}
+
+func TestScanLimitAcrossRanges(t *testing.T) {
+	s := Open(NoNetworkOptions())
+	tbl, _ := s.CreateTable("t")
+	for i := 0; i < 100; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	ranges := []KeyRange{
+		{Start: []byte("k000"), End: []byte("k010")},
+		{Start: []byte("k050"), End: []byte("k060")},
+	}
+	got := tbl.ScanRanges(ranges, nil, 15)
+	if len(got) != 15 {
+		t.Fatalf("limit scan across ranges = %d rows, want 15", len(got))
+	}
+}
+
+func TestConcurrentSplitsAndRangeScans(t *testing.T) {
+	s := Open(Options{
+		RegionMaxBytes:     16 << 10,
+		MemtableFlushBytes: 2 << 10,
+		Parallelism:        4,
+		RPCLatencyMicros:   0, TransferMBps: 0, DiskMBps: 0,
+	})
+	tbl, _ := s.CreateTable("t")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers force frequent splits.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				k := fmt.Sprintf("w%d-%06d", w, rng.Intn(100000))
+				tbl.Put([]byte(k), bytes.Repeat([]byte("p"), 64))
+			}
+			if w == 0 {
+				close(stop)
+			}
+		}(w)
+	}
+	// Scanners verify ordering invariants continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out := tbl.ScanRanges([]KeyRange{
+				{Start: []byte("w0-"), End: []byte("w0-~")},
+				{Start: []byte("w1-"), End: []byte("w1-~")},
+			}, nil, 0)
+			for i := 1; i < len(out); i++ {
+				if bytes.Compare(out[i-1].Key, out[i].Key) > 0 {
+					t.Error("range scan order violated during splits")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if tbl.RegionCount() < 2 {
+		t.Error("expected splits under write load")
+	}
+}
+
+func TestDropAndReopenTable(t *testing.T) {
+	s := Open(NoNetworkOptions())
+	tbl, _ := s.CreateTable("t")
+	tbl.Put([]byte("k"), []byte("v"))
+	s.DropTable("t")
+	if s.Table("t") != nil {
+		t.Fatal("dropped table still visible")
+	}
+	fresh := s.OpenTable("t")
+	if _, ok := fresh.Get([]byte("k")); ok {
+		t.Error("reopened table kept old data")
+	}
+	names := s.TableNames()
+	if len(names) != 1 || names[0] != "t" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestStatsResetAndNodes(t *testing.T) {
+	s := Open(Options{Nodes: 3})
+	if s.Nodes() != 3 {
+		t.Errorf("Nodes = %d", s.Nodes())
+	}
+	tbl, _ := s.CreateTable("t")
+	tbl.Put([]byte("k"), []byte("v"))
+	tbl.Scan(nil, nil, nil, 0)
+	if s.Stats().Snapshot().Puts == 0 {
+		t.Fatal("puts not counted")
+	}
+	s.Stats().Reset()
+	snap := s.Stats().Snapshot()
+	if snap.Puts != 0 || snap.RowsScanned != 0 || snap.SimIONanos != 0 {
+		t.Errorf("Reset left counters: %+v", snap)
+	}
+}
+
+// Overwriting a key repeatedly across flushes must always yield the newest
+// value and exactly one row.
+func TestOverwriteAcrossFlushes(t *testing.T) {
+	s := Open(Options{MemtableFlushBytes: 512, RegionMaxBytes: 1 << 30})
+	tbl, _ := s.CreateTable("t")
+	for i := 0; i < 500; i++ {
+		tbl.Put([]byte("hot-key"), []byte(fmt.Sprintf("v%04d", i)))
+		tbl.Put([]byte(fmt.Sprintf("filler-%04d", i)), bytes.Repeat([]byte("f"), 64))
+	}
+	v, ok := tbl.Get([]byte("hot-key"))
+	if !ok || string(v) != "v0499" {
+		t.Fatalf("Get hot-key = %q, %v", v, ok)
+	}
+	rows := tbl.Scan([]byte("hot-key"), []byte("hot-kez"), nil, 0)
+	if len(rows) != 1 {
+		t.Fatalf("hot-key appears %d times in scan", len(rows))
+	}
+}

@@ -1,0 +1,274 @@
+package kvstore
+
+import (
+	"bytes"
+	"sync"
+)
+
+// region is one contiguous key range of a table: [startKey, endKey), where a
+// nil startKey means -inf and a nil endKey means +inf. Each region is a tiny
+// LSM tree owned by a simulated node.
+type region struct {
+	mu       sync.RWMutex
+	startKey []byte // inclusive; nil = -inf
+	endKey   []byte // exclusive; nil = +inf
+	mem      *skiplist
+	runs     []*sortedRun // newest first
+	node     int          // owning node id
+
+	flushBytes int
+	maxRuns    int
+}
+
+func newRegion(start, end []byte, node, flushBytes, maxRuns int) *region {
+	return &region{
+		startKey:   start,
+		endKey:     end,
+		mem:        newSkiplist(nextSkiplistSeed()),
+		node:       node,
+		flushBytes: flushBytes,
+		maxRuns:    maxRuns,
+	}
+}
+
+// containsKey reports whether key falls inside this region's range.
+func (r *region) containsKey(key []byte) bool {
+	if r.startKey != nil && bytes.Compare(key, r.startKey) < 0 {
+		return false
+	}
+	if r.endKey != nil && bytes.Compare(key, r.endKey) >= 0 {
+		return false
+	}
+	return true
+}
+
+// overlapsRange reports whether [start, end) overlaps the region. nil end
+// means +inf; nil start means -inf.
+func (r *region) overlapsRange(start, end []byte) bool {
+	if end != nil && r.startKey != nil && bytes.Compare(end, r.startKey) <= 0 {
+		return false
+	}
+	if r.endKey != nil && start != nil && bytes.Compare(start, r.endKey) >= 0 {
+		return false
+	}
+	return true
+}
+
+// put inserts or replaces a row, flushing the memtable if it grew past the
+// threshold. Returns the region's approximate size so the table can decide
+// whether to split.
+func (r *region) put(key, value []byte, stats *Stats) (sizeBytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mem.set(key, value, false)
+	if r.mem.bytes >= r.flushBytes {
+		r.flushLocked(stats)
+	}
+	return r.sizeLocked()
+}
+
+// delete writes a tombstone.
+func (r *region) delete(key []byte, stats *Stats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mem.set(key, nil, true)
+	if r.mem.bytes >= r.flushBytes {
+		r.flushLocked(stats)
+	}
+}
+
+// flushLocked turns the memtable into a sorted run; caller holds mu.
+func (r *region) flushLocked(stats *Stats) {
+	if r.mem.size == 0 {
+		return
+	}
+	run := newSortedRun(r.mem.drain())
+	r.runs = append([]*sortedRun{run}, r.runs...)
+	r.mem = newSkiplist(nextSkiplistSeed())
+	if stats != nil {
+		stats.Flushes.Add(1)
+	}
+	if len(r.runs) > r.maxRuns {
+		r.compactLocked(stats)
+	}
+}
+
+// compactLocked merges all runs into one, dropping tombstones (a region owns
+// its whole key range, so nothing older can resurface).
+func (r *region) compactLocked(stats *Stats) {
+	sources := make([][]entry, len(r.runs))
+	for i, run := range r.runs {
+		sources[i] = run.entries
+	}
+	merged := mergeRuns(sources, true)
+	r.runs = []*sortedRun{newSortedRun(merged)}
+	if stats != nil {
+		stats.Compactions.Add(1)
+	}
+}
+
+// get performs a point lookup, newest version wins.
+func (r *region) get(key []byte) (value []byte, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if v, tomb, found := r.mem.get(key); found {
+		if tomb {
+			return nil, false
+		}
+		return v, true
+	}
+	for _, run := range r.runs {
+		if v, tomb, found := run.get(key); found {
+			if tomb {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// scan visits live rows with key in [start, end) ∩ region range in key
+// order, applying the push-down filter and appending accepted rows to out.
+// limit <= 0 means unlimited. Returns the extended slice, whether the limit
+// was reached, and the bytes of rows visited (the simulated disk-read
+// volume).
+func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats) (result []KV, hitLimit bool, scannedBytes int64) {
+	lo := maxKey(start, r.startKey)
+	hi := minKey(end, r.endKey)
+
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if stats != nil {
+		stats.Seeks.Add(1)
+	}
+
+	// Gather non-empty sources (memtable + runs), newest first. The common
+	// post-compaction case of a single source skips the merge entirely.
+	sources := make([][]entry, 0, len(r.runs)+1)
+	if memEntries := r.collectMemRange(lo, hi); len(memEntries) > 0 {
+		sources = append(sources, memEntries)
+	}
+	for _, run := range r.runs {
+		i := 0
+		if lo != nil {
+			i = run.seek(lo)
+		}
+		j := len(run.entries)
+		if hi != nil {
+			j = run.seek(hi)
+		}
+		if j > i {
+			sources = append(sources, run.entries[i:j])
+		}
+	}
+	var merged []entry
+	switch len(sources) {
+	case 0:
+		return out, false, 0
+	case 1:
+		// May still contain tombstones (filtered in the loop); with a
+		// single source nothing older can be shadowed, so this is safe.
+		merged = sources[0]
+	default:
+		merged = mergeRuns(sources, true)
+	}
+
+	for _, e := range merged {
+		if e.tomb {
+			continue
+		}
+		scannedBytes += int64(len(e.key) + len(e.value))
+		if stats != nil {
+			stats.RowsScanned.Add(1)
+		}
+		if filter != nil && !filter.Accept(e.key, e.value) {
+			continue
+		}
+		out = append(out, KV{Key: e.key, Value: e.value})
+		if stats != nil {
+			stats.RowsReturned.Add(1)
+			stats.BytesReturned.Add(int64(len(e.value)))
+		}
+		if limit > 0 && len(out) >= limit {
+			hitLimit = true
+			break
+		}
+	}
+	return out, hitLimit, scannedBytes
+}
+
+// collectMemRange snapshots memtable entries in [lo, hi); caller holds at
+// least RLock.
+func (r *region) collectMemRange(lo, hi []byte) []entry {
+	var n *skipNode
+	if lo != nil {
+		n = r.mem.seek(lo)
+	} else {
+		n = r.mem.first()
+	}
+	var out []entry
+	for ; n != nil; n = n.next[0] {
+		if hi != nil && bytes.Compare(n.key, hi) >= 0 {
+			break
+		}
+		out = append(out, entry{key: n.key, value: n.value, tomb: n.tomb})
+	}
+	return out
+}
+
+// size returns the approximate byte size of the region.
+func (r *region) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sizeLocked()
+}
+
+func (r *region) sizeLocked() int {
+	s := r.mem.bytes
+	for _, run := range r.runs {
+		s += run.bytes
+	}
+	return s
+}
+
+// splitEntries compacts the region and returns all live entries plus the
+// median key for splitting. Caller must hold the table-level write lock to
+// prevent concurrent access; the region's own lock is still taken.
+func (r *region) splitEntries() (entries []entry, median []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked(nil)
+	r.compactLocked(nil)
+	if len(r.runs) == 0 || len(r.runs[0].entries) < 2 {
+		return nil, nil
+	}
+	es := r.runs[0].entries
+	return es, es[len(es)/2].key
+}
+
+func maxKey(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if bytes.Compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func minKey(a, b []byte) []byte {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if bytes.Compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}

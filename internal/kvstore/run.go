@@ -1,0 +1,89 @@
+package kvstore
+
+import (
+	"bytes"
+	"sort"
+)
+
+// sortedRun is an immutable, key-ordered array of entries produced by a
+// memtable flush or a compaction. Newer runs shadow older ones.
+type sortedRun struct {
+	entries []entry
+	bytes   int
+}
+
+func newSortedRun(entries []entry) *sortedRun {
+	b := 0
+	for _, e := range entries {
+		b += len(e.key) + len(e.value)
+	}
+	return &sortedRun{entries: entries, bytes: b}
+}
+
+// seek returns the index of the first entry with key >= target.
+func (r *sortedRun) seek(target []byte) int {
+	return sort.Search(len(r.entries), func(i int) bool {
+		return bytes.Compare(r.entries[i].key, target) >= 0
+	})
+}
+
+// get performs a point lookup.
+func (r *sortedRun) get(key []byte) (value []byte, tomb, found bool) {
+	i := r.seek(key)
+	if i < len(r.entries) && bytes.Equal(r.entries[i].key, key) {
+		return r.entries[i].value, r.entries[i].tomb, true
+	}
+	return nil, false, false
+}
+
+// mergeRuns merges newest-to-oldest ordered sources into a single run,
+// dropping shadowed versions. If dropTombs is true, tombstones are removed
+// (full compaction); otherwise they are preserved so they keep shadowing
+// older data that may live elsewhere.
+func mergeRuns(sources [][]entry, dropTombs bool) []entry {
+	type cursor struct {
+		src []entry
+		pos int
+		pri int // lower = newer
+	}
+	cursors := make([]*cursor, 0, len(sources))
+	total := 0
+	for pri, src := range sources {
+		if len(src) > 0 {
+			cursors = append(cursors, &cursor{src: src, pri: pri})
+			total += len(src)
+		}
+	}
+	out := make([]entry, 0, total)
+	for {
+		// Find smallest key among cursors; ties resolved by priority.
+		var best *cursor
+		for _, c := range cursors {
+			if c.pos >= len(c.src) {
+				continue
+			}
+			if best == nil {
+				best = c
+				continue
+			}
+			cmp := bytes.Compare(c.src[c.pos].key, best.src[best.pos].key)
+			if cmp < 0 || (cmp == 0 && c.pri < best.pri) {
+				best = c
+			}
+		}
+		if best == nil {
+			return out
+		}
+		e := best.src[best.pos]
+		// Advance every cursor past this key (shadowed versions).
+		for _, c := range cursors {
+			for c.pos < len(c.src) && bytes.Equal(c.src[c.pos].key, e.key) {
+				c.pos++
+			}
+		}
+		if e.tomb && dropTombs {
+			continue
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,159 @@
+// Package kvstore implements the ordered key-value store substrate TMan
+// runs on — an embedded stand-in for an HBase-style cluster.
+//
+// A Store holds named Tables. Each Table is range-partitioned into regions;
+// regions are assigned round-robin to simulated nodes and split
+// automatically when they grow past a threshold. Each region is a small
+// LSM tree: a skiplist memtable plus immutable sorted runs produced by
+// flushes and merged by compaction.
+//
+// Scans accept push-down Filters that are evaluated inside the region scan
+// loop — the store-side analogue of HBase coprocessor filters — and
+// statistics (rows scanned, rows returned, seeks) are recorded so that
+// benchmarks can report the candidate counts the TMan paper uses as its
+// I/O-cost metric.
+package kvstore
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const (
+	skiplistMaxLevel = 24
+	skiplistP        = 0.25
+)
+
+type skipNode struct {
+	key   []byte
+	value []byte // nil value + tombstone=true marks a delete
+	tomb  bool
+	next  []*skipNode
+}
+
+// skiplist is a single-writer-locked ordered map from []byte to []byte with
+// tombstone support. It is not internally synchronized; the owning region
+// serializes access.
+type skiplist struct {
+	head  *skipNode
+	level int
+	size  int // entries (including tombstones)
+	bytes int // approximate payload bytes
+	rng   *rand.Rand
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:  &skipNode{next: make([]*skipNode, skiplistMaxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < skiplistMaxLevel && s.rng.Float64() < skiplistP {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills prev with the rightmost node < key at every level.
+func (s *skiplist) findPredecessors(key []byte, prev *[skiplistMaxLevel]*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		prev[i] = x
+	}
+	return x.next[0]
+}
+
+// set inserts or replaces key. A nil value with tomb=true records a
+// tombstone. Returns the change in approximate byte size.
+func (s *skiplist) set(key, value []byte, tomb bool) int {
+	var prev [skiplistMaxLevel]*skipNode
+	next := s.findPredecessors(key, &prev)
+	if next != nil && bytes.Equal(next.key, key) {
+		delta := len(value) - len(next.value)
+		next.value = value
+		next.tomb = tomb
+		s.bytes += delta
+		return delta
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prev[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipNode{key: key, value: value, tomb: tomb, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	s.size++
+	delta := len(key) + len(value) + 48 // rough node overhead
+	s.bytes += delta
+	return delta
+}
+
+// get returns the value for key. found reports whether the key has an entry
+// (possibly a tombstone, indicated by tomb).
+func (s *skiplist) get(key []byte) (value []byte, tomb, found bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.value, n.tomb, true
+	}
+	return nil, false, false
+}
+
+// seek returns the first node with key >= target.
+func (s *skiplist) seek(target []byte) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, target) < 0 {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}
+
+// first returns the smallest node, or nil when empty.
+func (s *skiplist) first() *skipNode { return s.head.next[0] }
+
+// entry is a materialized key-value pair used by sorted runs and iterators.
+type entry struct {
+	key   []byte
+	value []byte
+	tomb  bool
+}
+
+// drain returns all entries in key order (used by flush).
+func (s *skiplist) drain() []entry {
+	out := make([]entry, 0, s.size)
+	for n := s.first(); n != nil; n = n.next[0] {
+		out = append(out, entry{key: n.key, value: n.value, tomb: n.tomb})
+	}
+	return out
+}
+
+var skiplistSeed int64 = 1
+
+var skiplistSeedMu sync.Mutex
+
+func nextSkiplistSeed() int64 {
+	skiplistSeedMu.Lock()
+	defer skiplistSeedMu.Unlock()
+	skiplistSeed++
+	return skiplistSeed
+}

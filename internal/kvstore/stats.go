@@ -1,0 +1,88 @@
+package kvstore
+
+import "sync/atomic"
+
+// Stats accumulates scan-side counters. RowsScanned counts every live row a
+// scanner visited; RowsReturned counts rows that passed the push-down filter
+// and were handed to the client; Seeks counts scanner setups (one per
+// region × range); BytesReturned counts transferred value bytes. The
+// difference between scanned and returned is exactly the work saved by
+// push-down, and RowsScanned is the "number of candidates / retrievals"
+// metric of the paper's evaluation.
+type Stats struct {
+	RowsScanned   atomic.Int64
+	RowsReturned  atomic.Int64
+	Seeks         atomic.Int64
+	RPCs          atomic.Int64
+	SimIONanos    atomic.Int64
+	BytesReturned atomic.Int64
+	Puts          atomic.Int64
+	Deletes       atomic.Int64
+	Flushes       atomic.Int64
+	Compactions   atomic.Int64
+	RegionSplits  atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	RowsScanned   int64
+	RowsReturned  int64
+	Seeks         int64
+	RPCs          int64
+	SimIONanos    int64
+	BytesReturned int64
+	Puts          int64
+	Deletes       int64
+	Flushes       int64
+	Compactions   int64
+	RegionSplits  int64
+}
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		RowsScanned:   s.RowsScanned.Load(),
+		RowsReturned:  s.RowsReturned.Load(),
+		Seeks:         s.Seeks.Load(),
+		RPCs:          s.RPCs.Load(),
+		SimIONanos:    s.SimIONanos.Load(),
+		BytesReturned: s.BytesReturned.Load(),
+		Puts:          s.Puts.Load(),
+		Deletes:       s.Deletes.Load(),
+		Flushes:       s.Flushes.Load(),
+		Compactions:   s.Compactions.Load(),
+		RegionSplits:  s.RegionSplits.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.RowsScanned.Store(0)
+	s.RowsReturned.Store(0)
+	s.Seeks.Store(0)
+	s.RPCs.Store(0)
+	s.SimIONanos.Store(0)
+	s.BytesReturned.Store(0)
+	s.Puts.Store(0)
+	s.Deletes.Store(0)
+	s.Flushes.Store(0)
+	s.Compactions.Store(0)
+	s.RegionSplits.Store(0)
+}
+
+// Diff returns b - a field-wise, for measuring a single operation.
+func Diff(a, b Snapshot) Snapshot {
+	return Snapshot{
+		RowsScanned:   b.RowsScanned - a.RowsScanned,
+		RowsReturned:  b.RowsReturned - a.RowsReturned,
+		Seeks:         b.Seeks - a.Seeks,
+		RPCs:          b.RPCs - a.RPCs,
+		SimIONanos:    b.SimIONanos - a.SimIONanos,
+		BytesReturned: b.BytesReturned - a.BytesReturned,
+		Puts:          b.Puts - a.Puts,
+		Deletes:       b.Deletes - a.Deletes,
+		Flushes:       b.Flushes - a.Flushes,
+		Compactions:   b.Compactions - a.Compactions,
+		RegionSplits:  b.RegionSplits - a.RegionSplits,
+	}
+}

@@ -1,0 +1,184 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Nodes is the number of simulated storage nodes regions are spread
+	// over. It only affects region placement bookkeeping; all data is in
+	// process memory.
+	Nodes int
+	// RegionMaxBytes triggers a region split when a region's approximate
+	// size passes this threshold.
+	RegionMaxBytes int
+	// MemtableFlushBytes triggers a memtable flush into a sorted run.
+	MemtableFlushBytes int
+	// MaxRunsPerRegion triggers a compaction when a region accumulates more
+	// sorted runs than this.
+	MaxRunsPerRegion int
+	// Parallelism bounds the number of concurrent region scanners per query.
+	Parallelism int
+	// RPCLatencyMicros models the round-trip cost of one region scan RPC
+	// (the paper's five-node HBase deployment); each per-region scan task
+	// sleeps this long. Zero disables the network model.
+	RPCLatencyMicros int
+	// TransferMBps models client<-regionserver bandwidth: rows that pass
+	// the push-down filter are "transferred" and charged at this rate.
+	// Zero disables the charge. Push-down savings become visible in wall
+	// clock through this term.
+	TransferMBps int
+	// DiskMBps models regionserver storage bandwidth: every row a scanner
+	// visits is charged at this rate whether or not it passes the filter —
+	// the physical cost behind the paper's "candidates" metric. Zero
+	// disables the charge.
+	DiskMBps int
+}
+
+// DefaultOptions mirrors the paper's five-node deployment at laptop scale.
+func DefaultOptions() Options {
+	return Options{
+		Nodes:              5,
+		RegionMaxBytes:     8 << 20,
+		MemtableFlushBytes: 1 << 20,
+		MaxRunsPerRegion:   6,
+		Parallelism:        8,
+		RPCLatencyMicros:   150,
+		TransferMBps:       32,
+		DiskMBps:           256,
+	}
+}
+
+// NoNetworkOptions returns DefaultOptions with the simulated network model
+// disabled — pure CPU measurement, useful for unit tests and
+// microbenchmarks.
+func NoNetworkOptions() Options {
+	o := DefaultOptions()
+	o.RPCLatencyMicros = 0
+	o.TransferMBps = 0
+	o.DiskMBps = 0
+	return o
+}
+
+func (o *Options) sanitize() {
+	def := DefaultOptions()
+	if o.Nodes <= 0 {
+		o.Nodes = def.Nodes
+	}
+	if o.RegionMaxBytes <= 0 {
+		o.RegionMaxBytes = def.RegionMaxBytes
+	}
+	if o.MemtableFlushBytes <= 0 {
+		o.MemtableFlushBytes = def.MemtableFlushBytes
+	}
+	if o.MemtableFlushBytes > o.RegionMaxBytes {
+		o.MemtableFlushBytes = o.RegionMaxBytes
+	}
+	if o.MaxRunsPerRegion <= 0 {
+		o.MaxRunsPerRegion = def.MaxRunsPerRegion
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = def.Parallelism
+	}
+}
+
+// Store is an embedded, sharded, ordered key-value store: the substrate all
+// of TMan's tables live in.
+type Store struct {
+	opts    Options
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	nodeSeq atomic.Int64
+	stats   Stats
+
+	// Durability (set by OpenDir; nil for in-memory stores).
+	dir string
+	wal *wal
+}
+
+// Open creates an empty store with the given options.
+func Open(opts Options) *Store {
+	opts.sanitize()
+	return &Store{opts: opts, tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table, erroring if the name is taken.
+func (s *Store) CreateTable(name string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("kvstore: table %q already exists", name)
+	}
+	t := newTable(name, s)
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or nil when absent.
+func (s *Store) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[name]
+}
+
+// OpenTable returns the named table, creating it if needed.
+func (s *Store) OpenTable(name string) *Table {
+	if t := s.Table(name); t != nil {
+		return t
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[name]; ok {
+		return t
+	}
+	t := newTable(name, s)
+	s.tables[name] = t
+	return t
+}
+
+// DropTable removes a table and all its data.
+func (s *Store) DropTable(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, name)
+}
+
+// TableNames returns the names of all tables.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Stats exposes the store's scan/write counters.
+func (s *Store) Stats() *Stats { return &s.stats }
+
+// Nodes returns the configured simulated node count.
+func (s *Store) Nodes() int { return s.opts.Nodes }
+
+// nextNode assigns the next region to a node round-robin.
+func (s *Store) nextNode() int {
+	return int(s.nodeSeq.Add(1)-1) % s.opts.Nodes
+}
+
+// CompactAll flushes and compacts every region of every table — the
+// analogue of a major compaction after bulk loading. Benchmarks call this
+// so scans measure the steady state.
+func (s *Store) CompactAll() {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range tables {
+		t.CompactAll()
+	}
+}

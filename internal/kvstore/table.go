@@ -1,0 +1,259 @@
+package kvstore
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"time"
+)
+
+// KV is a key-value row returned by scans.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// KeyRange is a half-open scan range [Start, End). A nil Start means the
+// beginning of the table; a nil End means the end of the table.
+type KeyRange struct {
+	Start, End []byte
+}
+
+// Table is a range-partitioned ordered map. Regions split automatically as
+// the table grows; all rows live in exactly one region at a time.
+type Table struct {
+	name  string
+	store *Store
+
+	mu      sync.RWMutex
+	regions []*region // ordered by startKey; regions[0].startKey == nil
+}
+
+func newTable(name string, store *Store) *Table {
+	t := &Table{name: name, store: store}
+	t.regions = []*region{newRegion(nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion)}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// regionForKey returns the region owning key. Caller must hold t.mu (R or W).
+func (t *Table) regionForKey(key []byte) *region {
+	// Binary search: last region whose startKey <= key.
+	i := sort.Search(len(t.regions), func(i int) bool {
+		r := t.regions[i]
+		return r.startKey != nil && bytes.Compare(r.startKey, key) > 0
+	})
+	return t.regions[i-1]
+}
+
+// Put inserts or replaces a row. Key and value are retained by the table;
+// callers must not mutate them afterwards.
+func (t *Table) Put(key, value []byte) {
+	t.store.logMutation(opPut, t.name, key, value)
+	t.mu.RLock()
+	r := t.regionForKey(key)
+	size := r.put(key, value, &t.store.stats)
+	t.mu.RUnlock()
+	t.store.stats.Puts.Add(1)
+	if size >= t.store.opts.RegionMaxBytes {
+		t.maybeSplit(r)
+	}
+}
+
+// Delete removes a row (writes a tombstone).
+func (t *Table) Delete(key []byte) {
+	t.store.logMutation(opDelete, t.name, key, nil)
+	t.mu.RLock()
+	r := t.regionForKey(key)
+	r.delete(key, &t.store.stats)
+	t.mu.RUnlock()
+	t.store.stats.Deletes.Add(1)
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key []byte) (value []byte, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.regionForKey(key).get(key)
+}
+
+// maybeSplit splits region r in two if it is still oversized. The table
+// write lock excludes scans and other writers for the duration.
+func (t *Table) maybeSplit(r *region) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Region may have been split by a racing writer; confirm it's still ours.
+	idx := -1
+	for i, cand := range t.regions {
+		if cand == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || r.size() < t.store.opts.RegionMaxBytes {
+		return
+	}
+	entries, median := r.splitEntries()
+	if median == nil {
+		return
+	}
+	cut := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].key, median) >= 0
+	})
+	if cut == 0 || cut == len(entries) {
+		return
+	}
+	left := newRegion(r.startKey, median, r.node, r.flushBytes, r.maxRuns)
+	right := newRegion(median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns)
+	left.runs = []*sortedRun{newSortedRun(entries[:cut])}
+	right.runs = []*sortedRun{newSortedRun(entries[cut:])}
+	t.regions = append(t.regions[:idx], append([]*region{left, right}, t.regions[idx+1:]...)...)
+	t.store.stats.RegionSplits.Add(1)
+}
+
+// Scan returns all live rows with key in [start, end) that pass the
+// push-down filter, in key order. limit <= 0 means unlimited. Regions are
+// scanned in parallel (bounded by the store's Parallelism option) and
+// results are concatenated in region order, which preserves global key
+// order.
+func (t *Table) Scan(start, end []byte, filter Filter, limit int) []KV {
+	return t.ScanRanges([]KeyRange{{Start: start, End: end}}, filter, limit)
+}
+
+// ScanRanges executes many scan ranges as one parallel operation: the query
+// windows of TMan's query processor. Ranges touching the same region are
+// grouped into one scan task — the analogue of HBase's multi-row-range
+// filter executing many windows in a single region RPC. If the input ranges
+// are sorted and non-overlapping, the output is globally key-ordered.
+//
+// When the store's network model is enabled, every region task is charged
+// one RPC latency plus transfer time for the bytes that passed the filter,
+// so push-down savings show up in wall-clock measurements.
+func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
+	type task struct {
+		reg       *region
+		rangeIdxs []int
+	}
+	t.mu.RLock()
+	var tasks []task
+	for _, reg := range t.regions {
+		var idxs []int
+		for ri, kr := range ranges {
+			if reg.overlapsRange(kr.Start, kr.End) {
+				idxs = append(idxs, ri)
+			}
+		}
+		if idxs != nil {
+			tasks = append(tasks, task{reg: reg, rangeIdxs: idxs})
+		}
+	}
+
+	results := make([][]KV, len(tasks))
+	taskCosts := make([]time.Duration, len(tasks))
+	par := t.store.opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	rpcLatency := time.Duration(t.store.opts.RPCLatencyMicros) * time.Microsecond
+	mbps := t.store.opts.TransferMBps
+	diskMBps := t.store.opts.DiskMBps
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, tk := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, tk task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var out []KV
+			var scanned int64
+			for _, ri := range tk.rangeIdxs {
+				kr := ranges[ri]
+				var hit bool
+				var sb int64
+				out, hit, sb = tk.reg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats)
+				scanned += sb
+				if hit {
+					break
+				}
+			}
+			results[i] = out
+			t.store.stats.RPCs.Add(1)
+			cost := rpcLatency
+			if diskMBps > 0 {
+				cost += time.Duration(float64(scanned) / float64(diskMBps) * float64(time.Second) / (1 << 20))
+			}
+			if mbps > 0 {
+				var bytes int
+				for _, kv := range out {
+					bytes += len(kv.Key) + len(kv.Value)
+				}
+				cost += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
+			}
+			taskCosts[i] = cost
+		}(i, tk)
+	}
+	wg.Wait()
+	t.mu.RUnlock()
+
+	// Account the simulated I/O makespan: parallel tasks overlap up to the
+	// parallelism bound, so the cluster-side wall clock is at least the
+	// largest single task and at least the total work divided by the
+	// parallel width. The accounting is analytic (no sleeping) so that
+	// measurements stay precise on any host.
+	var total, maxCost time.Duration
+	for _, c := range taskCosts {
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	makespan := total / time.Duration(par)
+	if maxCost > makespan {
+		makespan = maxCost
+	}
+	t.store.stats.SimIONanos.Add(int64(makespan))
+
+	var out []KV
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// RegionCount returns the number of regions (for tests and stats).
+func (t *Table) RegionCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.regions)
+}
+
+// ApproxSize returns the approximate byte size of the table.
+func (t *Table) ApproxSize() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := 0
+	for _, r := range t.regions {
+		s += r.size()
+	}
+	return s
+}
+
+// CompactAll flushes memtables and merges all runs of every region.
+func (t *Table) CompactAll() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.regions {
+		r.mu.Lock()
+		r.flushLocked(&t.store.stats)
+		if len(r.runs) > 1 {
+			r.compactLocked(&t.store.stats)
+		}
+		r.mu.Unlock()
+	}
+}

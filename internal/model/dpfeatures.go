@@ -1,0 +1,193 @@
+package model
+
+import (
+	"github.com/tman-db/tman/internal/geo"
+)
+
+// DPFeatures is the trajectory sketch proposed in TraSS ("dp-feature") and
+// reused by TMan's storage schema (Section III / IV-B of the paper): a small
+// set of representative points chosen by Douglas-Peucker simplification,
+// together with the bounding box of every run of original points between two
+// consecutive representative points.
+//
+// The sketch supports cheap conservative tests:
+//
+//   - spatial filters can reject a trajectory if no sub-box intersects the
+//     query window, without decompressing the full point sequence;
+//   - similarity searches obtain lower bounds on point-set distances from
+//     the boxes (every original point lies inside the box covering it).
+type DPFeatures struct {
+	// Rep holds the representative points in trajectory order. It always
+	// includes the first and last point of the trajectory.
+	Rep []Point
+	// Boxes[i] bounds all original points between Rep[i] and Rep[i+1]
+	// inclusive; len(Boxes) == len(Rep)-1 for trajectories with >= 2
+	// representative points, and len(Boxes) == 0 for single-point input.
+	Boxes []geo.Rect
+}
+
+// ExtractDPFeatures computes the DP-Features sketch with the given
+// simplification tolerance (in coordinate units) and an upper bound on the
+// number of representative points. maxRep <= 2 keeps only the endpoints;
+// maxRep <= 0 means no bound.
+func ExtractDPFeatures(t *Trajectory, epsilon float64, maxRep int) DPFeatures {
+	n := len(t.Points)
+	if n == 0 {
+		return DPFeatures{}
+	}
+	if n == 1 {
+		return DPFeatures{Rep: []Point{t.Points[0]}}
+	}
+	keep := douglasPeucker(t.Points, epsilon)
+	if maxRep > 1 && len(keep) > maxRep {
+		keep = thinIndices(keep, maxRep)
+	}
+	rep := make([]Point, len(keep))
+	for i, idx := range keep {
+		rep[i] = t.Points[idx]
+	}
+	boxes := make([]geo.Rect, len(keep)-1)
+	for i := 0; i+1 < len(keep); i++ {
+		boxes[i] = boundsOf(t.Points[keep[i] : keep[i+1]+1])
+	}
+	return DPFeatures{Rep: rep, Boxes: boxes}
+}
+
+// douglasPeucker returns the sorted indices of points kept by the classic
+// Douglas-Peucker polyline simplification with tolerance epsilon. The first
+// and last indices are always kept. An iterative stack avoids deep recursion
+// on long trajectories.
+func douglasPeucker(pts []Point, epsilon float64) []int {
+	n := len(pts)
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+
+	type span struct{ lo, hi int }
+	stack := []span{{0, n - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		seg := geo.Segment{X1: pts[s.lo].X, Y1: pts[s.lo].Y, X2: pts[s.hi].X, Y2: pts[s.hi].Y}
+		maxD, maxI := -1.0, -1
+		for i := s.lo + 1; i < s.hi; i++ {
+			d := geo.PointSegmentDist(pts[i].X, pts[i].Y, seg)
+			if d > maxD {
+				maxD, maxI = d, i
+			}
+		}
+		if maxD > epsilon {
+			keep[maxI] = true
+			stack = append(stack, span{s.lo, maxI}, span{maxI, s.hi})
+		}
+	}
+	out := make([]int, 0, 16)
+	for i, k := range keep {
+		if k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// thinIndices reduces a sorted index list to at most max entries, always
+// preserving the first and last.
+func thinIndices(idx []int, max int) []int {
+	if len(idx) <= max {
+		return idx
+	}
+	out := make([]int, 0, max)
+	// Evenly sample max-1 positions over [0, len-2], then append the last.
+	for i := 0; i < max-1; i++ {
+		pos := i * (len(idx) - 1) / (max - 1)
+		if len(out) == 0 || idx[pos] != out[len(out)-1] {
+			out = append(out, idx[pos])
+		}
+	}
+	if out[len(out)-1] != idx[len(idx)-1] {
+		out = append(out, idx[len(idx)-1])
+	}
+	return out
+}
+
+func boundsOf(pts []Point) geo.Rect {
+	r := geo.Rect{MinX: pts[0].X, MinY: pts[0].Y, MaxX: pts[0].X, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		if p.X < r.MinX {
+			r.MinX = p.X
+		}
+		if p.X > r.MaxX {
+			r.MaxX = p.X
+		}
+		if p.Y < r.MinY {
+			r.MinY = p.Y
+		}
+		if p.Y > r.MaxY {
+			r.MaxY = p.Y
+		}
+	}
+	return r
+}
+
+// MBR returns the union of all feature boxes (or the bounds of the
+// representative points when there are no boxes).
+func (f DPFeatures) MBR() geo.Rect {
+	if len(f.Boxes) == 0 {
+		if len(f.Rep) == 0 {
+			return geo.Rect{}
+		}
+		return boundsOf(f.Rep)
+	}
+	r := f.Boxes[0]
+	for _, b := range f.Boxes[1:] {
+		r = r.Union(b)
+	}
+	return r
+}
+
+// MayIntersect reports whether the sketch admits an intersection between the
+// original trajectory and r. False guarantees the original trajectory does
+// not intersect r; true requires an exact check on the full points.
+func (f DPFeatures) MayIntersect(r geo.Rect) bool {
+	if len(f.Boxes) == 0 {
+		for _, p := range f.Rep {
+			if r.ContainsPoint(p.X, p.Y) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range f.Boxes {
+		if b.Intersects(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinDistToPoint returns a lower bound on the distance from (x, y) to any
+// original point of the trajectory.
+func (f DPFeatures) MinDistToPoint(x, y float64) float64 {
+	if len(f.Boxes) == 0 {
+		best := -1.0
+		for _, p := range f.Rep {
+			d := geo.PointSegmentDist(x, y, geo.Segment{X1: p.X, Y1: p.Y, X2: p.X, Y2: p.Y})
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	}
+	best := f.Boxes[0].MinDistToPoint(x, y)
+	for _, b := range f.Boxes[1:] {
+		if d := b.MinDistToPoint(x, y); d < best {
+			best = d
+		}
+	}
+	return best
+}

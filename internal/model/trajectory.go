@@ -1,0 +1,170 @@
+// Package model defines TMan's core data model: spatio-temporal points,
+// trajectories, time ranges, and the DP-Features sketch (representative
+// points + bounding boxes, after TraSS) used to accelerate spatial and
+// similarity queries without decompressing full point sequences.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/tman-db/tman/internal/geo"
+)
+
+// Point is a single GPS observation. X and Y are planar coordinates
+// (longitude and latitude in degrees for the datasets used in the paper);
+// T is the observation timestamp in Unix milliseconds.
+type Point struct {
+	X, Y float64
+	T    int64
+}
+
+// TimeRange is a closed time interval [Start, End] in Unix milliseconds.
+type TimeRange struct {
+	Start, End int64
+}
+
+// Valid reports whether the range is well formed (Start <= End).
+func (tr TimeRange) Valid() bool { return tr.Start <= tr.End }
+
+// Duration returns the length of the range in milliseconds.
+func (tr TimeRange) Duration() int64 { return tr.End - tr.Start }
+
+// Intersects reports whether two closed time ranges share at least one
+// instant.
+func (tr TimeRange) Intersects(o TimeRange) bool {
+	return tr.Start <= o.End && o.Start <= tr.End
+}
+
+// Contains reports whether o lies entirely within tr.
+func (tr TimeRange) Contains(o TimeRange) bool {
+	return tr.Start <= o.Start && o.End <= tr.End
+}
+
+// String implements fmt.Stringer.
+func (tr TimeRange) String() string {
+	return fmt.Sprintf("[%d,%d]", tr.Start, tr.End)
+}
+
+// Trajectory is a time-ordered sequence of points produced by one moving
+// object. OID identifies the object (a courier, a taxi); TID uniquely
+// identifies the trajectory among all trajectories of all objects.
+type Trajectory struct {
+	OID    string
+	TID    string
+	Points []Point
+}
+
+// Validation errors returned by Trajectory.Validate.
+var (
+	ErrEmptyTrajectory = errors.New("model: trajectory has no points")
+	ErrNoTID           = errors.New("model: trajectory has no TID")
+	ErrUnorderedPoints = errors.New("model: trajectory points are not time-ordered")
+)
+
+// Validate checks structural invariants: a non-empty TID, at least one
+// point, and non-decreasing timestamps.
+func (t *Trajectory) Validate() error {
+	if t.TID == "" {
+		return ErrNoTID
+	}
+	if len(t.Points) == 0 {
+		return ErrEmptyTrajectory
+	}
+	for i := 1; i < len(t.Points); i++ {
+		if t.Points[i].T < t.Points[i-1].T {
+			return fmt.Errorf("%w: point %d at %d before point %d at %d",
+				ErrUnorderedPoints, i, t.Points[i].T, i-1, t.Points[i-1].T)
+		}
+	}
+	return nil
+}
+
+// SortByTime sorts the points of t by timestamp (stable), repairing
+// out-of-order input.
+func (t *Trajectory) SortByTime() {
+	sort.SliceStable(t.Points, func(i, j int) bool { return t.Points[i].T < t.Points[j].T })
+}
+
+// TimeRange returns the closed interval from the first point's timestamp to
+// the last point's. The trajectory must be non-empty and time-ordered.
+func (t *Trajectory) TimeRange() TimeRange {
+	if len(t.Points) == 0 {
+		return TimeRange{}
+	}
+	return TimeRange{Start: t.Points[0].T, End: t.Points[len(t.Points)-1].T}
+}
+
+// MBR returns the minimum bounding rectangle of all points.
+func (t *Trajectory) MBR() geo.Rect {
+	if len(t.Points) == 0 {
+		return geo.Rect{}
+	}
+	r := geo.Rect{MinX: t.Points[0].X, MinY: t.Points[0].Y, MaxX: t.Points[0].X, MaxY: t.Points[0].Y}
+	for _, p := range t.Points[1:] {
+		if p.X < r.MinX {
+			r.MinX = p.X
+		}
+		if p.X > r.MaxX {
+			r.MaxX = p.X
+		}
+		if p.Y < r.MinY {
+			r.MinY = p.Y
+		}
+		if p.Y > r.MaxY {
+			r.MaxY = p.Y
+		}
+	}
+	return r
+}
+
+// Len returns the number of points.
+func (t *Trajectory) Len() int { return len(t.Points) }
+
+// Segments calls fn for every consecutive point pair. It is the common
+// building block for intersection tests without materializing a segment
+// slice. fn returning false stops the iteration early.
+func (t *Trajectory) Segments(fn func(s geo.Segment) bool) {
+	for i := 1; i < len(t.Points); i++ {
+		s := geo.Segment{
+			X1: t.Points[i-1].X, Y1: t.Points[i-1].Y,
+			X2: t.Points[i].X, Y2: t.Points[i].Y,
+		}
+		if !fn(s) {
+			return
+		}
+	}
+}
+
+// IntersectsRect reports whether any point or segment of the trajectory
+// intersects r. A single-point trajectory intersects iff its point is in r.
+func (t *Trajectory) IntersectsRect(r geo.Rect) bool {
+	if len(t.Points) == 0 {
+		return false
+	}
+	if len(t.Points) == 1 {
+		return r.ContainsPoint(t.Points[0].X, t.Points[0].Y)
+	}
+	hit := false
+	t.Segments(func(s geo.Segment) bool {
+		if s.IntersectsRect(r) {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// Clone returns a deep copy of the trajectory.
+func (t *Trajectory) Clone() *Trajectory {
+	pts := make([]Point, len(t.Points))
+	copy(pts, t.Points)
+	return &Trajectory{OID: t.OID, TID: t.TID, Points: pts}
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (t *Trajectory) String() string {
+	return fmt.Sprintf("Trajectory(oid=%s tid=%s pts=%d tr=%v)", t.OID, t.TID, len(t.Points), t.TimeRange())
+}

@@ -1,0 +1,288 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+)
+
+func traj(tid string, pts ...Point) *Trajectory {
+	return &Trajectory{OID: "o1", TID: tid, Points: pts}
+}
+
+func TestTrajectoryValidate(t *testing.T) {
+	if err := traj("t1", Point{0, 0, 1}, Point{1, 1, 2}).Validate(); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+	if err := traj("t1").Validate(); !errors.Is(err, ErrEmptyTrajectory) {
+		t.Errorf("empty trajectory: got %v", err)
+	}
+	if err := (&Trajectory{Points: []Point{{0, 0, 1}}}).Validate(); !errors.Is(err, ErrNoTID) {
+		t.Errorf("missing tid: got %v", err)
+	}
+	if err := traj("t1", Point{0, 0, 5}, Point{1, 1, 2}).Validate(); !errors.Is(err, ErrUnorderedPoints) {
+		t.Errorf("unordered: got %v", err)
+	}
+	// Equal timestamps are allowed.
+	if err := traj("t1", Point{0, 0, 5}, Point{1, 1, 5}).Validate(); err != nil {
+		t.Errorf("equal timestamps rejected: %v", err)
+	}
+}
+
+func TestTrajectorySortByTime(t *testing.T) {
+	tr := traj("t1", Point{0, 0, 5}, Point{1, 1, 2}, Point{2, 2, 9})
+	tr.SortByTime()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("after sort: %v", err)
+	}
+	if tr.Points[0].T != 2 || tr.Points[2].T != 9 {
+		t.Errorf("sort order wrong: %+v", tr.Points)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	tr := traj("t1", Point{0, 0, 100}, Point{1, 1, 200}, Point{2, 2, 350})
+	if got := tr.TimeRange(); got != (TimeRange{100, 350}) {
+		t.Errorf("TimeRange = %v", got)
+	}
+	a := TimeRange{0, 10}
+	if !a.Intersects(TimeRange{10, 20}) {
+		t.Error("touching ranges should intersect")
+	}
+	if a.Intersects(TimeRange{11, 20}) {
+		t.Error("disjoint ranges should not intersect")
+	}
+	if !a.Contains(TimeRange{3, 7}) || a.Contains(TimeRange{3, 11}) {
+		t.Error("Contains wrong")
+	}
+	if (TimeRange{5, 3}).Valid() {
+		t.Error("inverted range should be invalid")
+	}
+}
+
+func TestTrajectoryMBR(t *testing.T) {
+	tr := traj("t1", Point{3, 7, 1}, Point{-1, 2, 2}, Point{5, 4, 3})
+	want := geo.Rect{MinX: -1, MinY: 2, MaxX: 5, MaxY: 7}
+	if got := tr.MBR(); got != want {
+		t.Errorf("MBR = %v, want %v", got, want)
+	}
+	single := traj("t1", Point{2, 3, 1})
+	if got := single.MBR(); got != (geo.Rect{MinX: 2, MinY: 3, MaxX: 2, MaxY: 3}) {
+		t.Errorf("single-point MBR = %v", got)
+	}
+}
+
+func TestTrajectoryIntersectsRect(t *testing.T) {
+	// A trajectory whose MBR covers the rect but whose path avoids it.
+	tr := traj("t1", Point{0, 0, 1}, Point{4, 0, 2}, Point{4, 4, 3})
+	hole := geo.Rect{MinX: 1, MinY: 2, MaxX: 2, MaxY: 3}
+	if !tr.MBR().Intersects(hole) {
+		t.Fatal("test setup: MBR should cover the hole")
+	}
+	if tr.IntersectsRect(hole) {
+		t.Error("path avoids rect; IntersectsRect should be false")
+	}
+	crossing := geo.Rect{MinX: 1, MinY: -1, MaxX: 2, MaxY: 1}
+	if !tr.IntersectsRect(crossing) {
+		t.Error("path crosses rect; IntersectsRect should be true")
+	}
+	if !traj("p", Point{1, 1, 1}).IntersectsRect(geo.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}) {
+		t.Error("single point inside rect")
+	}
+	if traj("p", Point{5, 5, 1}).IntersectsRect(geo.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}) {
+		t.Error("single point outside rect")
+	}
+}
+
+func TestTrajectoryClone(t *testing.T) {
+	tr := traj("t1", Point{0, 0, 1}, Point{1, 1, 2})
+	c := tr.Clone()
+	c.Points[0].X = 99
+	if tr.Points[0].X == 99 {
+		t.Error("Clone shares point storage")
+	}
+}
+
+func TestSegmentsEarlyStop(t *testing.T) {
+	tr := traj("t1", Point{0, 0, 1}, Point{1, 0, 2}, Point{2, 0, 3}, Point{3, 0, 4})
+	count := 0
+	tr.Segments(func(geo.Segment) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d segments, want 2", count)
+	}
+}
+
+func randomWalk(rng *rand.Rand, n int) *Trajectory {
+	pts := make([]Point, n)
+	x, y := rng.Float64(), rng.Float64()
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * 0.01
+		y += (rng.Float64() - 0.5) * 0.01
+		pts[i] = Point{X: x, Y: y, T: int64(i) * 1000}
+	}
+	return &Trajectory{OID: "o", TID: "t", Points: pts}
+}
+
+func TestDPFeaturesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		tr := randomWalk(rng, 2+rng.Intn(200))
+		f := ExtractDPFeatures(tr, 0.001, 32)
+		if len(f.Rep) < 2 {
+			t.Fatalf("iter %d: want >=2 representative points, got %d", iter, len(f.Rep))
+		}
+		if len(f.Rep) > 32 {
+			t.Fatalf("iter %d: maxRep exceeded: %d", iter, len(f.Rep))
+		}
+		if f.Rep[0] != tr.Points[0] || f.Rep[len(f.Rep)-1] != tr.Points[len(tr.Points)-1] {
+			t.Fatalf("iter %d: endpoints not preserved", iter)
+		}
+		if len(f.Boxes) != len(f.Rep)-1 {
+			t.Fatalf("iter %d: boxes=%d reps=%d", iter, len(f.Boxes), len(f.Rep))
+		}
+		// Every original point is covered by at least one box.
+		for _, p := range tr.Points {
+			covered := false
+			for _, b := range f.Boxes {
+				if b.ContainsPoint(p.X, p.Y) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("iter %d: point %+v not covered by any feature box", iter, p)
+			}
+		}
+		// Sketch MBR equals trajectory MBR.
+		if f.MBR() != tr.MBR() {
+			t.Fatalf("iter %d: sketch MBR %v != trajectory MBR %v", iter, f.MBR(), tr.MBR())
+		}
+	}
+}
+
+func TestDPFeaturesMayIntersectIsConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		tr := randomWalk(rng, 2+rng.Intn(100))
+		f := ExtractDPFeatures(tr, 0.002, 16)
+		cx, cy := rng.Float64(), rng.Float64()
+		r := geo.NewRect(cx, cy, cx+rng.Float64()*0.1, cy+rng.Float64()*0.1)
+		exact := tr.IntersectsRect(r)
+		approx := f.MayIntersect(r)
+		if exact && !approx {
+			t.Fatalf("iter %d: sketch produced a false negative (rect %v)", iter, r)
+		}
+	}
+}
+
+func TestDPFeaturesMinDistLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 100; iter++ {
+		tr := randomWalk(rng, 2+rng.Intn(100))
+		f := ExtractDPFeatures(tr, 0.002, 16)
+		qx, qy := rng.Float64()*2-0.5, rng.Float64()*2-0.5
+		lb := f.MinDistToPoint(qx, qy)
+		// Exact nearest original point distance.
+		best := -1.0
+		for _, p := range tr.Points {
+			dx, dy := p.X-qx, p.Y-qy
+			d := dx*dx + dy*dy
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		exact := sqrtf(best)
+		if lb > exact+1e-9 {
+			t.Fatalf("iter %d: lower bound %g exceeds exact distance %g", iter, lb, exact)
+		}
+	}
+}
+
+func sqrtf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 64; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+func TestDPFeaturesDegenerateInputs(t *testing.T) {
+	empty := ExtractDPFeatures(&Trajectory{TID: "e"}, 0.01, 8)
+	if len(empty.Rep) != 0 || len(empty.Boxes) != 0 {
+		t.Error("empty trajectory should yield empty sketch")
+	}
+	single := ExtractDPFeatures(traj("s", Point{1, 2, 3}), 0.01, 8)
+	if len(single.Rep) != 1 || len(single.Boxes) != 0 {
+		t.Errorf("single point sketch = %+v", single)
+	}
+	if !single.MayIntersect(geo.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 3}) {
+		t.Error("single point sketch should intersect covering rect")
+	}
+	two := ExtractDPFeatures(traj("d", Point{0, 0, 1}, Point{1, 1, 2}), 0.01, 8)
+	if len(two.Rep) != 2 || len(two.Boxes) != 1 {
+		t.Errorf("two-point sketch = %+v", two)
+	}
+}
+
+func TestDPFeaturesStraightLineCollapses(t *testing.T) {
+	pts := make([]Point, 50)
+	for i := range pts {
+		pts[i] = Point{X: float64(i), Y: 2 * float64(i), T: int64(i)}
+	}
+	f := ExtractDPFeatures(&Trajectory{OID: "o", TID: "line", Points: pts}, 1e-9, 0)
+	if len(f.Rep) != 2 {
+		t.Errorf("collinear points should collapse to endpoints, got %d reps", len(f.Rep))
+	}
+}
+
+func TestStringersAndAccessors(t *testing.T) {
+	tr := traj("t9", Point{1, 2, 100}, Point{3, 4, 200})
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.TimeRange().Duration(); got != 100 {
+		t.Errorf("Duration = %d", got)
+	}
+	if s := tr.String(); s == "" || !strings.Contains(s, "t9") {
+		t.Errorf("Trajectory.String = %q", s)
+	}
+	if s := (TimeRange{1, 2}).String(); s != "[1,2]" {
+		t.Errorf("TimeRange.String = %q", s)
+	}
+	// Empty trajectory degenerate accessors.
+	empty := &Trajectory{TID: "e"}
+	if empty.TimeRange() != (TimeRange{}) {
+		t.Error("empty TimeRange should be zero")
+	}
+}
+
+func TestDPFeaturesSinglePointBounds(t *testing.T) {
+	single := ExtractDPFeatures(traj("s", Point{2, 3, 1}), 0.01, 8)
+	// MBR of a box-less sketch falls back to representative-point bounds.
+	if got := single.MBR(); got != (geo.Rect{MinX: 2, MinY: 3, MaxX: 2, MaxY: 3}) {
+		t.Errorf("single MBR = %v", got)
+	}
+	if d := single.MinDistToPoint(2, 4); math.Abs(d-1) > 1e-12 {
+		t.Errorf("single MinDistToPoint = %g", d)
+	}
+	if single.MayIntersect(geo.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}) {
+		t.Error("distant rect should not intersect single-point sketch")
+	}
+	emptySketch := DPFeatures{}
+	if emptySketch.MBR() != (geo.Rect{}) {
+		t.Error("empty sketch MBR should be zero")
+	}
+	if emptySketch.MinDistToPoint(1, 1) != 0 {
+		t.Error("empty sketch MinDist should be 0")
+	}
+}

@@ -1,0 +1,36 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkFrechet100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randTraj(rng, 100)
+	q := randTraj(rng, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = FrechetDistance(p, q)
+	}
+}
+
+func BenchmarkDTW100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := randTraj(rng, 100)
+	q := randTraj(rng, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DTWDistance(p, q)
+	}
+}
+
+func BenchmarkHausdorff100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := randTraj(rng, 100)
+	q := randTraj(rng, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = HausdorffDistance(p, q)
+	}
+}

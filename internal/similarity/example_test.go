@@ -1,0 +1,21 @@
+package similarity_test
+
+import (
+	"fmt"
+
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+// Fréchet respects traversal order while Hausdorff does not: the same road
+// driven in opposite directions is Hausdorff-identical but Fréchet-distant.
+func ExampleDistance() {
+	forward := []model.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	backward := []model.Point{{X: 2, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 0}}
+
+	fmt.Printf("hausdorff: %.0f\n", similarity.Distance(similarity.Hausdorff, forward, backward))
+	fmt.Printf("frechet:   %.0f\n", similarity.Distance(similarity.Frechet, forward, backward))
+	// Output:
+	// hausdorff: 0
+	// frechet:   2
+}

@@ -1,0 +1,199 @@
+// Package similarity implements the trajectory distance measures TMan's
+// similarity queries support (paper Section V-F / VI-E): discrete Fréchet,
+// Dynamic Time Warping, and Hausdorff distance, together with cheap lower
+// bounds derived from MBRs and DP-Features that make TraSS-style global
+// pruning and local filtering possible.
+//
+// All measures operate on point sequences in a common planar coordinate
+// system (TMan normalizes to the unit square before comparing, so
+// thresholds like the paper's θ = 0.015 are fractions of the space).
+package similarity
+
+import (
+	"math"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Measure identifies a trajectory distance function.
+type Measure int
+
+const (
+	// Frechet is the discrete Fréchet distance.
+	Frechet Measure = iota
+	// DTW is dynamic time warping with Euclidean ground distance.
+	DTW
+	// Hausdorff is the symmetric Hausdorff distance.
+	Hausdorff
+)
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	switch m {
+	case Frechet:
+		return "frechet"
+	case DTW:
+		return "dtw"
+	case Hausdorff:
+		return "hausdorff"
+	default:
+		return "unknown"
+	}
+}
+
+// Distance computes the chosen measure between two point sequences. Both
+// must be non-empty; it returns +Inf otherwise.
+func Distance(m Measure, a, b []model.Point) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	switch m {
+	case Frechet:
+		return FrechetDistance(a, b)
+	case DTW:
+		return DTWDistance(a, b)
+	case Hausdorff:
+		return HausdorffDistance(a, b)
+	default:
+		return math.Inf(1)
+	}
+}
+
+func euclid(p, q model.Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// FrechetDistance computes the discrete Fréchet distance with the classic
+// O(n·m) dynamic program, using a rolling row (O(m) memory).
+func FrechetDistance(a, b []model.Point) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for j := 0; j < m; j++ {
+		d := euclid(a[0], b[j])
+		if j == 0 {
+			prev[0] = d
+		} else {
+			prev[j] = math.Max(prev[j-1], d)
+		}
+	}
+	for i := 1; i < n; i++ {
+		cur[0] = math.Max(prev[0], euclid(a[i], b[0]))
+		for j := 1; j < m; j++ {
+			best := math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+			cur[j] = math.Max(best, euclid(a[i], b[j]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// DTWDistance computes dynamic time warping (sum of matched pair distances,
+// no warping window) with O(m) memory.
+func DTWDistance(a, b []model.Point) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	prev[0] = euclid(a[0], b[0])
+	for j := 1; j < m; j++ {
+		prev[j] = prev[j-1] + euclid(a[0], b[j])
+	}
+	for i := 1; i < n; i++ {
+		cur[0] = prev[0] + euclid(a[i], b[0])
+		for j := 1; j < m; j++ {
+			best := math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+			cur[j] = best + euclid(a[i], b[j])
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}
+
+// HausdorffDistance computes the symmetric Hausdorff distance between the
+// two point sets.
+func HausdorffDistance(a, b []model.Point) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	return math.Max(directedHausdorff(a, b), directedHausdorff(b, a))
+}
+
+func directedHausdorff(a, b []model.Point) float64 {
+	var worst float64
+	for _, p := range a {
+		best := math.Inf(1)
+		for _, q := range b {
+			if d := euclid(p, q); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// MBRLowerBound returns a lower bound on Fréchet and Hausdorff distances
+// between trajectories given only their MBRs: the minimum distance between
+// the rectangles. (For DTW it bounds the per-pair ground distance, so
+// DTW >= MBRLowerBound as well since DTW sums at least one pair.)
+func MBRLowerBound(a, b geo.Rect) float64 {
+	return a.MinDist(b)
+}
+
+// EndpointLowerBound returns a lower bound valid for alignment-constrained
+// measures: discrete Fréchet and DTW both match the first points together
+// and the last points together, so
+//
+//	d >= max( dist(a_first, b_first), dist(a_last, b_last) ).
+//
+// The bound does not hold for Hausdorff (alignment-free) and returns 0
+// there. rep may be a sparse representative-point sketch as long as it
+// preserves the true endpoints (DP-Features does).
+func EndpointLowerBound(m Measure, query, rep []model.Point) float64 {
+	if m == Hausdorff || len(query) == 0 || len(rep) == 0 {
+		return 0
+	}
+	dFirst := euclid(query[0], rep[0])
+	dLast := euclid(query[len(query)-1], rep[len(rep)-1])
+	return math.Max(dFirst, dLast)
+}
+
+// FeatureLowerBound returns a lower bound on the Fréchet and Hausdorff
+// distances between a query point sequence and a stored trajectory known
+// only through its DP-Features sketch.
+//
+// Both measures are at least max over query endpoints' matched-pair
+// distance? No single-point bound is valid for interior points under
+// Fréchet (alignment is flexible), but every point of the *stored*
+// trajectory lies in some feature box and every query point must match some
+// stored point, so
+//
+//	d >= max_i min_box dist(q_i, box)      for Fréchet
+//	d >= max_i min_box dist(q_i, box)      for Hausdorff (directed)
+//
+// For DTW the same quantity bounds the largest single matched pair and thus
+// the total sum.
+func FeatureLowerBound(query []model.Point, f model.DPFeatures) float64 {
+	var worst float64
+	for _, p := range query {
+		d := f.MinDistToPoint(p.X, p.Y)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,187 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+func pts(xy ...float64) []model.Point {
+	out := make([]model.Point, len(xy)/2)
+	for i := range out {
+		out[i] = model.Point{X: xy[2*i], Y: xy[2*i+1], T: int64(i)}
+	}
+	return out
+}
+
+func TestFrechetKnownValues(t *testing.T) {
+	a := pts(0, 0, 1, 0, 2, 0)
+	b := pts(0, 1, 1, 1, 2, 1)
+	// Parallel lines distance 1 apart: Fréchet = 1.
+	if d := FrechetDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("parallel lines = %g, want 1", d)
+	}
+	// Identical sequences: 0.
+	if d := FrechetDistance(a, a); d != 0 {
+		t.Errorf("identical = %g", d)
+	}
+	// Single points.
+	if d := FrechetDistance(pts(0, 0), pts(3, 4)); math.Abs(d-5) > 1e-12 {
+		t.Errorf("points = %g, want 5", d)
+	}
+}
+
+func TestFrechetRequiresOrderPreservation(t *testing.T) {
+	// A goes left-to-right; B right-to-left along the same path: Hausdorff
+	// is 0-ish but Fréchet must pay the full traversal.
+	a := pts(0, 0, 1, 0, 2, 0)
+	b := pts(2, 0, 1, 0, 0, 0)
+	f := FrechetDistance(a, b)
+	h := HausdorffDistance(a, b)
+	if h != 0 {
+		t.Errorf("Hausdorff of same point set = %g, want 0", h)
+	}
+	if f < 2-1e-12 {
+		t.Errorf("reversed Fréchet = %g, want >= 2", f)
+	}
+}
+
+func TestDTWKnownValues(t *testing.T) {
+	a := pts(0, 0, 1, 0)
+	b := pts(0, 0, 1, 0)
+	if d := DTWDistance(a, b); d != 0 {
+		t.Errorf("identical DTW = %g", d)
+	}
+	// One-point vs two-point: both b points match the single a point.
+	d := DTWDistance(pts(0, 0), pts(0, 1, 0, 2))
+	if math.Abs(d-3) > 1e-12 {
+		t.Errorf("DTW = %g, want 1+2 = 3", d)
+	}
+}
+
+func TestDTWAtLeastFrechetStyleBound(t *testing.T) {
+	// DTW (a sum) is always >= the largest single matched distance and
+	// >= MBR min distance.
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		a := randTraj(rng, 2+rng.Intn(20))
+		b := randTraj(rng, 2+rng.Intn(20))
+		dtw := DTWDistance(a, b)
+		lb := MBRLowerBound(boundsOf(a), boundsOf(b))
+		if dtw < lb-1e-9 {
+			t.Fatalf("iter %d: DTW %g < MBR lower bound %g", iter, dtw, lb)
+		}
+	}
+}
+
+func TestHausdorffKnownValues(t *testing.T) {
+	a := pts(0, 0, 1, 0)
+	b := pts(0, 0, 1, 0, 1, 2)
+	// Directed a->b = 0; b->a = 2 (point (1,2) to (1,0)).
+	if d := HausdorffDistance(a, b); math.Abs(d-2) > 1e-12 {
+		t.Errorf("Hausdorff = %g, want 2", d)
+	}
+	if d := HausdorffDistance(a, a); d != 0 {
+		t.Errorf("identical Hausdorff = %g", d)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for _, m := range []Measure{Frechet, DTW, Hausdorff} {
+		if d := Distance(m, nil, pts(0, 0)); !math.IsInf(d, 1) {
+			t.Errorf("%v with empty input = %g, want +Inf", m, d)
+		}
+	}
+	if !math.IsInf(FrechetDistance(nil, nil), 1) ||
+		!math.IsInf(DTWDistance(pts(1, 1), nil), 1) ||
+		!math.IsInf(HausdorffDistance(nil, pts(1, 1)), 1) {
+		t.Error("direct calls with empty inputs should return +Inf")
+	}
+	if d := Distance(Measure(99), pts(0, 0), pts(0, 0)); !math.IsInf(d, 1) {
+		t.Error("unknown measure should return +Inf")
+	}
+}
+
+func randTraj(rng *rand.Rand, n int) []model.Point {
+	out := make([]model.Point, n)
+	x, y := rng.Float64(), rng.Float64()
+	for i := range out {
+		x += (rng.Float64() - 0.5) * 0.05
+		y += (rng.Float64() - 0.5) * 0.05
+		out[i] = model.Point{X: x, Y: y, T: int64(i)}
+	}
+	return out
+}
+
+func boundsOf(p []model.Point) geo.Rect {
+	r := geo.Rect{MinX: p[0].X, MinY: p[0].Y, MaxX: p[0].X, MaxY: p[0].Y}
+	for _, q := range p[1:] {
+		if q.X < r.MinX {
+			r.MinX = q.X
+		}
+		if q.X > r.MaxX {
+			r.MaxX = q.X
+		}
+		if q.Y < r.MinY {
+			r.MinY = q.Y
+		}
+		if q.Y > r.MaxY {
+			r.MaxY = q.Y
+		}
+	}
+	return r
+}
+
+// Metric-style properties on random data: symmetry and identity for
+// Fréchet and Hausdorff; all measures non-negative; MBR and feature lower
+// bounds never exceed the exact distances.
+func TestMeasureProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		a := randTraj(rng, 2+rng.Intn(30))
+		b := randTraj(rng, 2+rng.Intn(30))
+		f1, f2 := FrechetDistance(a, b), FrechetDistance(b, a)
+		if math.Abs(f1-f2) > 1e-9 {
+			t.Fatalf("Fréchet not symmetric: %g vs %g", f1, f2)
+		}
+		h1, h2 := HausdorffDistance(a, b), HausdorffDistance(b, a)
+		if math.Abs(h1-h2) > 1e-9 {
+			t.Fatalf("Hausdorff not symmetric: %g vs %g", h1, h2)
+		}
+		if f1 < 0 || h1 < 0 || DTWDistance(a, b) < 0 {
+			t.Fatal("distances must be non-negative")
+		}
+		// Hausdorff <= Fréchet always (Fréchet is a matching constrained
+		// harder than nearest-neighbor).
+		if h1 > f1+1e-9 {
+			t.Fatalf("Hausdorff %g > Fréchet %g", h1, f1)
+		}
+		// Lower bounds.
+		lb := MBRLowerBound(boundsOf(a), boundsOf(b))
+		if lb > f1+1e-9 || lb > h1+1e-9 {
+			t.Fatalf("MBR bound %g exceeds exact (f=%g h=%g)", lb, f1, h1)
+		}
+		trB := &model.Trajectory{OID: "o", TID: "b", Points: b}
+		feat := model.ExtractDPFeatures(trB, 0.01, 8)
+		flb := FeatureLowerBound(a, feat)
+		if flb > f1+1e-9 {
+			t.Fatalf("feature bound %g exceeds Fréchet %g", flb, f1)
+		}
+		if flb > h1+1e-9 {
+			t.Fatalf("feature bound %g exceeds Hausdorff %g", flb, h1)
+		}
+		if flb > DTWDistance(a, b)+1e-9 {
+			t.Fatalf("feature bound %g exceeds DTW", flb)
+		}
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	if Frechet.String() != "frechet" || DTW.String() != "dtw" ||
+		Hausdorff.String() != "hausdorff" || Measure(9).String() != "unknown" {
+		t.Error("Measure.String labels wrong")
+	}
+}

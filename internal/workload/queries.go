@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// QuerySampler draws the random query windows the paper's setting section
+// describes: "we randomly generate 100 query windows within the
+// spatio-temporal range of TDrive and Lorry".
+type QuerySampler struct {
+	ds  *Dataset
+	rng *rand.Rand
+}
+
+// NewQuerySampler creates a sampler over a dataset.
+func NewQuerySampler(ds *Dataset, seed int64) *QuerySampler {
+	return &QuerySampler{ds: ds, rng: rand.New(rand.NewSource(seed))}
+}
+
+// TimeWindow samples a temporal query of the given duration, anchored near
+// trajectory activity (a random trajectory's start time) so queries are not
+// dominated by empty regions.
+func (s *QuerySampler) TimeWindow(duration int64) model.TimeRange {
+	if len(s.ds.Trajs) == 0 {
+		start := s.ds.TimeOrigin + s.rng.Int63n(maxI64(1, s.ds.TimeSpan-duration))
+		return model.TimeRange{Start: start, End: start + duration}
+	}
+	t := s.ds.Trajs[s.rng.Intn(len(s.ds.Trajs))]
+	anchor := t.TimeRange().Start - duration/2 + s.rng.Int63n(maxI64(1, duration))
+	if anchor < s.ds.TimeOrigin {
+		anchor = s.ds.TimeOrigin
+	}
+	return model.TimeRange{Start: anchor, End: anchor + duration}
+}
+
+// SpaceWindow samples a spatial query window of sideKm × sideKm kilometres,
+// centered near a random trajectory point.
+func (s *QuerySampler) SpaceWindow(sideKm float64) geo.Rect {
+	side := sideKm / kmPerDegree
+	var cx, cy float64
+	if len(s.ds.Trajs) == 0 {
+		cx = s.ds.Boundary.MinX + s.rng.Float64()*s.ds.Boundary.Width()
+		cy = s.ds.Boundary.MinY + s.rng.Float64()*s.ds.Boundary.Height()
+	} else {
+		t := s.ds.Trajs[s.rng.Intn(len(s.ds.Trajs))]
+		p := t.Points[s.rng.Intn(len(t.Points))]
+		cx, cy = p.X, p.Y
+	}
+	r := geo.Rect{
+		MinX: cx - side/2, MinY: cy - side/2,
+		MaxX: cx + side/2, MaxY: cy + side/2,
+	}
+	// Clamp into the boundary, preserving the window size where possible.
+	if r.MinX < s.ds.Boundary.MinX {
+		r.MaxX += s.ds.Boundary.MinX - r.MinX
+		r.MinX = s.ds.Boundary.MinX
+	}
+	if r.MinY < s.ds.Boundary.MinY {
+		r.MaxY += s.ds.Boundary.MinY - r.MinY
+		r.MinY = s.ds.Boundary.MinY
+	}
+	if r.MaxX > s.ds.Boundary.MaxX {
+		r.MinX -= r.MaxX - s.ds.Boundary.MaxX
+		r.MaxX = s.ds.Boundary.MaxX
+	}
+	if r.MaxY > s.ds.Boundary.MaxY {
+		r.MinY -= r.MaxY - s.ds.Boundary.MaxY
+		r.MaxY = s.ds.Boundary.MaxY
+	}
+	return r
+}
+
+// QueryTrajectory samples a stored trajectory to use as a similarity query.
+func (s *QuerySampler) QueryTrajectory() *model.Trajectory {
+	return s.ds.Trajs[s.rng.Intn(len(s.ds.Trajs))]
+}
+
+// ObjectID samples an object id present in the dataset.
+func (s *QuerySampler) ObjectID() string {
+	return s.ds.Trajs[s.rng.Intn(len(s.ds.Trajs))].OID
+}
+
+// ObjectWindow samples an ID-temporal query: an object together with a time
+// range anchored near one of its trajectories, so queries hit realistic
+// activity instead of empty time.
+func (s *QuerySampler) ObjectWindow(duration int64) (string, model.TimeRange) {
+	t := s.ds.Trajs[s.rng.Intn(len(s.ds.Trajs))]
+	anchor := t.TimeRange().Start - duration/2
+	if anchor < s.ds.TimeOrigin {
+		anchor = s.ds.TimeOrigin
+	}
+	return t.OID, model.TimeRange{Start: anchor, End: anchor + duration}
+}

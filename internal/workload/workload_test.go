@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/quad"
+)
+
+func TestTDriveSimMatchesPaperTimeDistribution(t *testing.T) {
+	ds := TDriveSim(5000, 1)
+	if len(ds.Trajs) != 5000 {
+		t.Fatalf("generated %d trajectories", len(ds.Trajs))
+	}
+	var under2h, under18h int
+	for _, tr := range ds.Trajs {
+		d := tr.TimeRange().Duration()
+		if d <= 2*hour {
+			under2h++
+		}
+		if d <= 18*hour {
+			under18h++
+		}
+	}
+	f2 := float64(under2h) / 5000
+	f18 := float64(under18h) / 5000
+	// Paper: ~66% < 2h, >99% < 18h.
+	if f2 < 0.60 || f2 > 0.72 {
+		t.Errorf("TDrive under-2h fraction = %.3f, want ~0.66", f2)
+	}
+	if f18 < 0.985 {
+		t.Errorf("TDrive under-18h fraction = %.3f, want > 0.99", f18)
+	}
+}
+
+func TestTLorrySimMatchesPaperTimeDistribution(t *testing.T) {
+	ds := TLorrySim(5000, 2)
+	var under2h, under14h int
+	for _, tr := range ds.Trajs {
+		d := tr.TimeRange().Duration()
+		if d <= 2*hour {
+			under2h++
+		}
+		if d <= 14*hour {
+			under14h++
+		}
+	}
+	f2 := float64(under2h) / 5000
+	f14 := float64(under14h) / 5000
+	// Paper: ~88% < 2h, 99% < 14h.
+	if f2 < 0.82 || f2 > 0.93 {
+		t.Errorf("Lorry under-2h fraction = %.3f, want ~0.88", f2)
+	}
+	if f14 < 0.98 {
+		t.Errorf("Lorry under-14h fraction = %.3f, want ~0.99", f14)
+	}
+}
+
+// Fig. 14(c)/(d): resolution histograms at α=β=5. TDrive concentrates at
+// 7-10; Lorry at 9-14 with a small long-haul tail.
+func TestResolutionDistributions(t *testing.T) {
+	check := func(name string, ds *Dataset, lo, hi int, wantFrac float64) {
+		t.Helper()
+		space := geo.MustSpace(ds.Boundary)
+		in := 0
+		for _, tr := range ds.Trajs {
+			mbr := space.NormalizeRect(tr.MBR())
+			r := quad.ResolutionForExtent(mbr.Width(), mbr.Height(), 5, 5, 16)
+			if r >= lo && r <= hi {
+				in++
+			}
+		}
+		frac := float64(in) / float64(len(ds.Trajs))
+		if frac < wantFrac {
+			t.Errorf("%s: only %.3f of trajectories in resolutions [%d,%d], want >= %.2f",
+				name, frac, lo, hi, wantFrac)
+		}
+	}
+	check("tdrive", TDriveSim(3000, 3), 7, 10, 0.80)
+	check("lorry", TLorrySim(3000, 4), 9, 14, 0.80)
+}
+
+func TestTrajectoriesAreValidAndInBounds(t *testing.T) {
+	for _, ds := range []*Dataset{TDriveSim(1000, 5), TLorrySim(1000, 6)} {
+		for i, tr := range ds.Trajs {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s traj %d invalid: %v", ds.Name, i, err)
+			}
+			mbr := tr.MBR()
+			if !ds.Boundary.Contains(mbr) {
+				t.Fatalf("%s traj %d MBR %v outside boundary", ds.Name, i, mbr)
+			}
+			trng := tr.TimeRange()
+			if trng.Start < ds.TimeOrigin || trng.End > ds.TimeOrigin+ds.TimeSpan+2*day {
+				t.Fatalf("%s traj %d time range %v outside dataset span", ds.Name, i, trng)
+			}
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a := TDriveSim(100, 42)
+	b := TDriveSim(100, 42)
+	for i := range a.Trajs {
+		if a.Trajs[i].TID != b.Trajs[i].TID || len(a.Trajs[i].Points) != len(b.Trajs[i].Points) {
+			t.Fatal("generation is not deterministic for equal seeds")
+		}
+		if a.Trajs[i].Points[0] != b.Trajs[i].Points[0] {
+			t.Fatal("point streams differ for equal seeds")
+		}
+	}
+	c := TDriveSim(100, 43)
+	same := 0
+	for i := range a.Trajs {
+		if a.Trajs[i].Points[0] == c.Trajs[i].Points[0] {
+			same++
+		}
+	}
+	if same == len(a.Trajs) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestReplicateScalesAndOffsets(t *testing.T) {
+	base := TLorrySim(200, 7)
+	rep := Replicate(base, 3, 8)
+	if len(rep.Trajs) != 600 {
+		t.Fatalf("replicated size = %d, want 600", len(rep.Trajs))
+	}
+	// TIDs must stay unique.
+	seen := map[string]bool{}
+	for _, tr := range rep.Trajs {
+		if seen[tr.TID] {
+			t.Fatalf("duplicate TID %s", tr.TID)
+		}
+		seen[tr.TID] = true
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Copies are offset but stay within the (slightly extended) span so
+	// data density grows with the factor.
+	for _, tr := range rep.Trajs {
+		r := tr.TimeRange()
+		if r.Start < rep.TimeOrigin || r.End > rep.TimeOrigin+rep.TimeSpan+2*day {
+			t.Errorf("replica time range %v outside extended span", r)
+			break
+		}
+	}
+}
+
+func TestQuerySampler(t *testing.T) {
+	ds := TDriveSim(500, 9)
+	s := NewQuerySampler(ds, 10)
+	for i := 0; i < 200; i++ {
+		q := s.TimeWindow(1 * hour)
+		if !q.Valid() || q.Duration() != hour {
+			t.Fatalf("bad time window %v", q)
+		}
+		r := s.SpaceWindow(1.5)
+		if !r.Valid() {
+			t.Fatalf("bad space window %v", r)
+		}
+		if !ds.Boundary.Contains(r) {
+			t.Fatalf("window %v outside boundary", r)
+		}
+		side := r.Width() * kmPerDegree
+		if side < 1.4 || side > 1.6 {
+			t.Fatalf("window side = %.2f km, want 1.5", side)
+		}
+	}
+	if s.ObjectID() == "" {
+		t.Error("empty object id")
+	}
+	if s.QueryTrajectory() == nil {
+		t.Error("nil query trajectory")
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	ds := TLorrySim(3000, 21)
+	// At least half of all trajectory starts should fall near the
+	// configured urban hotspots (within ~1.5 degrees of Guangzhou or
+	// Shenzhen).
+	near := 0
+	for _, tr := range ds.Trajs {
+		p := tr.Points[0]
+		if dist2(p.X, p.Y, 113.3, 23.1) < 1.5 || dist2(p.X, p.Y, 114.1, 22.6) < 1.5 {
+			near++
+		}
+	}
+	frac := float64(near) / float64(len(ds.Trajs))
+	if frac < 0.5 {
+		t.Errorf("only %.2f of starts near hotspots; clustering too weak", frac)
+	}
+}
+
+func dist2(x1, y1, x2, y2 float64) float64 {
+	dx, dy := x1-x2, y1-y2
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+func TestExtentsRoughlyMatchSample(t *testing.T) {
+	ds := TDriveSim(2000, 23)
+	// The extent mixture tops out at 65 km for TDrive; sampled MBRs should
+	// respect it with modest walk overshoot.
+	over := 0
+	for _, tr := range ds.Trajs {
+		mbr := tr.MBR()
+		km := mbr.Width() * kmPerDegree
+		if h := mbr.Height() * kmPerDegree; h > km {
+			km = h
+		}
+		if km > 100 {
+			over++
+		}
+	}
+	if frac := float64(over) / float64(len(ds.Trajs)); frac > 0.02 {
+		t.Errorf("%.3f of trajectories exceed 100km extent; walk control too loose", frac)
+	}
+}
+
+func TestTimeWindowNeverBeforeOrigin(t *testing.T) {
+	ds := TDriveSim(50, 25)
+	s := NewQuerySampler(ds, 26)
+	for i := 0; i < 500; i++ {
+		q := s.TimeWindow(24 * hour)
+		if q.Start < ds.TimeOrigin {
+			t.Fatalf("window starts before origin: %v", q)
+		}
+	}
+}
+
+func TestObjectWindowAnchorsToObjectActivity(t *testing.T) {
+	ds := TLorrySim(500, 27)
+	s := NewQuerySampler(ds, 28)
+	for i := 0; i < 100; i++ {
+		oid, q := s.ObjectWindow(12 * hour)
+		// The object must have at least one trajectory intersecting q.
+		hit := false
+		for _, tr := range ds.Trajs {
+			if tr.OID == oid && tr.TimeRange().Intersects(q) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Fatalf("iter %d: sampled object window misses all activity", i)
+		}
+	}
+}

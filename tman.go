@@ -1,0 +1,226 @@
+// Package tman is a high-performance trajectory data management system
+// built on an embedded ordered key-value store — a Go implementation of
+// "TMan: A High-Performance Trajectory Data Management System Based on
+// Key-Value Stores" (He et al., ICDE 2024).
+//
+// TMan stores each trajectory intact in a single primary-table row and
+// indexes it with:
+//
+//   - the TR index — time ranges become single integers with no redundant
+//     storage (Eq. 1 of the paper);
+//   - the TShape index — irregular trajectory shapes become combinations
+//     of quad-tree cells inside "enlarged elements", with shape codes
+//     optimized so similar shapes get adjacent values (a TSP solved by
+//     greedy or genetic search);
+//   - IDT and ST composites for ID-temporal and spatio-temporal queries.
+//
+// Six query types are supported: temporal range, spatial range,
+// ID-temporal, spatio-temporal range, threshold similarity and top-k
+// similarity (discrete Fréchet, DTW, Hausdorff).
+//
+// # Quick start
+//
+//	db, err := tman.Open(tman.Beijing)
+//	if err != nil { ... }
+//	db.Put(&tman.Trajectory{
+//		OID: "taxi-42", TID: "trip-0001",
+//		Points: []tman.Point{{X: 116.39, Y: 39.91, T: 1700000000000}, ...},
+//	})
+//	trips, rep, err := db.QuerySpace(tman.Rect{
+//		MinX: 116.3, MinY: 39.8, MaxX: 116.5, MaxY: 40.0,
+//	})
+//	fmt.Println(len(trips), "trips,", rep.Candidates, "candidates scanned")
+package tman
+
+import (
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+// Core data types, re-exported for the public API.
+type (
+	// Point is a single GPS observation: planar X/Y (typically lng/lat
+	// degrees) and a Unix-millisecond timestamp.
+	Point = model.Point
+	// Trajectory is a time-ordered point sequence of one moving object.
+	Trajectory = model.Trajectory
+	// TimeRange is a closed interval in Unix milliseconds.
+	TimeRange = model.TimeRange
+	// Rect is an axis-aligned rectangle in dataset coordinates.
+	Rect = geo.Rect
+	// Report describes an executed query (plan, candidates, timings).
+	Report = engine.QueryReport
+	// Measure selects a similarity distance function.
+	Measure = similarity.Measure
+	// ShapeEncoding selects the TShape shape-code optimization.
+	ShapeEncoding = tshape.Encoding
+)
+
+// Similarity measures.
+const (
+	Frechet   = similarity.Frechet
+	DTW       = similarity.DTW
+	Hausdorff = similarity.Hausdorff
+)
+
+// Shape-code encodings (paper Section IV-A2(3)).
+const (
+	EncodingBitmap  = tshape.EncodingBitmap
+	EncodingGreedy  = tshape.EncodingGreedy
+	EncodingGenetic = tshape.EncodingGenetic
+)
+
+// Beijing is the TDrive dataset boundary from the paper, a convenient
+// default region for examples.
+var Beijing = Rect{MinX: 110, MinY: 35, MaxX: 125, MaxY: 45}
+
+// Option customizes a DB at Open time.
+type Option func(*engine.Config)
+
+// WithTimePeriod sets the TR index period length (milliseconds) and the
+// maximum periods per time bin N. The paper pairs 1 hour with N = 48.
+func WithTimePeriod(periodMillis int64, n int) Option {
+	return func(c *engine.Config) {
+		c.PeriodMillis = periodMillis
+		c.N = n
+	}
+}
+
+// WithShapeGrid sets the TShape enlarged-element dimensions α×β and the
+// maximum quad-tree resolution g.
+func WithShapeGrid(alpha, beta, g int) Option {
+	return func(c *engine.Config) {
+		c.Alpha = alpha
+		c.Beta = beta
+		c.G = g
+	}
+}
+
+// WithShapeEncoding selects the shape-code optimization method.
+func WithShapeEncoding(enc ShapeEncoding) Option {
+	return func(c *engine.Config) { c.Encoding = enc }
+}
+
+// WithShards sets the hash-shard count used to spread rows across regions.
+func WithShards(n int) Option {
+	return func(c *engine.Config) { c.Shards = n }
+}
+
+// WithIndexCache toggles the shape directory + LFU index cache and sets
+// its capacity (element directories held in memory).
+func WithIndexCache(enabled bool, capacity int) Option {
+	return func(c *engine.Config) {
+		c.UseIndexCache = enabled
+		if capacity > 0 {
+			c.CacheCapacity = capacity
+		}
+	}
+}
+
+// WithPushDown toggles store-side filter evaluation (on by default).
+func WithPushDown(enabled bool) Option {
+	return func(c *engine.Config) { c.PushDown = enabled }
+}
+
+// WithDataDir makes the database durable: mutations are logged to a WAL
+// under dir and Open recovers any previous state found there. Call
+// DB.Close before exiting and DB.Checkpoint periodically to bound log
+// growth.
+func WithDataDir(dir string) Option {
+	return func(c *engine.Config) { c.DataDir = dir }
+}
+
+// WithPrimaryTemporal keys the primary table by the temporal index instead
+// of the spatial one — the right choice for deployments dominated by
+// temporal range queries (paper Section IV-B).
+func WithPrimaryTemporal() Option {
+	return func(c *engine.Config) { c.Primary = engine.KindTR }
+}
+
+// DB is a TMan database instance.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates a TMan database over the given spatial boundary. The
+// boundary must enclose all data; points outside are clamped for indexing
+// (their stored coordinates are exact).
+func Open(boundary Rect, opts ...Option) (*DB, error) {
+	cfg := engine.DefaultConfig(boundary)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Put stores one trajectory. The trajectory must have a TID, at least one
+// point, and time-ordered points (use Trajectory.SortByTime to repair).
+func (db *DB) Put(t *Trajectory) error { return db.eng.Put(t) }
+
+// PutBatch stores many trajectories.
+func (db *DB) PutBatch(ts []*Trajectory) error { return db.eng.BatchPut(ts) }
+
+// Delete removes a trajectory previously stored (typically one read back
+// from a query).
+func (db *DB) Delete(t *Trajectory) error { return db.eng.Delete(t) }
+
+// Len returns the number of stored trajectories.
+func (db *DB) Len() int64 { return db.eng.Rows() }
+
+// QueryTimeRange returns all trajectories whose time range intersects q.
+func (db *DB) QueryTimeRange(q TimeRange) ([]*Trajectory, Report, error) {
+	return db.eng.TemporalRangeQuery(q)
+}
+
+// QuerySpace returns all trajectories intersecting the window (dataset
+// coordinates).
+func (db *DB) QuerySpace(sr Rect) ([]*Trajectory, Report, error) {
+	return db.eng.SpatialRangeQuery(sr)
+}
+
+// QueryObject returns the trajectories of one object intersecting q.
+func (db *DB) QueryObject(oid string, q TimeRange) ([]*Trajectory, Report, error) {
+	return db.eng.IDTemporalQuery(oid, q)
+}
+
+// QuerySpaceTime returns trajectories intersecting both the window and the
+// time range; the cost-based optimizer picks the execution plan.
+func (db *DB) QuerySpaceTime(sr Rect, q TimeRange) ([]*Trajectory, Report, error) {
+	return db.eng.SpatioTemporalQuery(sr, q)
+}
+
+// QuerySimilarThreshold returns all trajectories within theta of the query
+// under the chosen measure. theta is a fraction of the boundary extent
+// (normalized units), matching the paper's θ convention.
+func (db *DB) QuerySimilarThreshold(q *Trajectory, m Measure, theta float64) ([]*Trajectory, Report, error) {
+	return db.eng.SimilarityThresholdQuery(q, m, theta)
+}
+
+// QuerySimilarTopK returns the k trajectories most similar to the query.
+func (db *DB) QuerySimilarTopK(q *Trajectory, m Measure, k int) ([]*Trajectory, Report, error) {
+	return db.eng.SimilarityTopKQuery(q, m, k)
+}
+
+// QueryNearest returns the k trajectories passing closest to the point
+// (x, y) in dataset coordinates — e.g. "which trips went by this address".
+func (db *DB) QueryNearest(x, y float64, k int) ([]*Trajectory, Report, error) {
+	return db.eng.NearestQuery(x, y, k)
+}
+
+// Close flushes durable state to disk (a no-op for in-memory databases).
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Checkpoint writes a snapshot of a durable database and truncates its
+// write-ahead log. It returns an error for in-memory databases.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Engine exposes the underlying engine for advanced use (statistics,
+// benchmarks, ablations).
+func (db *DB) Engine() *engine.Engine { return db.eng }

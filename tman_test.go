@@ -1,0 +1,198 @@
+package tman_test
+
+import (
+	"fmt"
+	"testing"
+
+	tman "github.com/tman-db/tman"
+)
+
+func sampleTrip(oid, tid string, startT int64, xs, ys float64) *tman.Trajectory {
+	t := &tman.Trajectory{OID: oid, TID: tid}
+	x, y := xs, ys
+	for i := 0; i < 20; i++ {
+		x += 0.001
+		y += 0.0005
+		t.Points = append(t.Points, tman.Point{X: x, Y: y, T: startT + int64(i)*60_000})
+	}
+	return t
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db, err := tman.Open(tman.Beijing,
+		tman.WithTimePeriod(3600_000, 48),
+		tman.WithShapeGrid(3, 3, 14),
+		tman.WithShapeEncoding(tman.EncodingGreedy),
+		tman.WithShards(2),
+		tman.WithIndexCache(true, 512),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := int64(1_700_000_000_000)
+	for i := 0; i < 50; i++ {
+		trip := sampleTrip(fmt.Sprintf("taxi-%d", i%5), fmt.Sprintf("trip-%03d", i),
+			base+int64(i)*3600_000, 116.3+float64(i%10)*0.01, 39.9)
+		if err := db.Put(trip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Len() != 50 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+
+	// Temporal.
+	trips, rep, err := db.QueryTimeRange(tman.TimeRange{Start: base, End: base + 2*3600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) == 0 || rep.Plan == "" {
+		t.Fatalf("temporal query: %d trips, plan %q", len(trips), rep.Plan)
+	}
+
+	// Spatial.
+	trips, _, err = db.QuerySpace(tman.Rect{MinX: 116.3, MinY: 39.89, MaxX: 116.35, MaxY: 39.93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) == 0 {
+		t.Fatal("spatial query found nothing")
+	}
+
+	// Object.
+	trips, _, err = db.QueryObject("taxi-1", tman.TimeRange{Start: base, End: base + 50*3600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trips {
+		if tr.OID != "taxi-1" {
+			t.Fatalf("object query returned %s", tr.OID)
+		}
+	}
+	if len(trips) != 10 {
+		t.Fatalf("object query = %d trips, want 10", len(trips))
+	}
+
+	// Spatio-temporal.
+	trips, rep, err = db.QuerySpaceTime(
+		tman.Rect{MinX: 116.29, MinY: 39.88, MaxX: 116.42, MaxY: 39.95},
+		tman.TimeRange{Start: base, End: base + 5*3600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan == "" {
+		t.Error("spatio-temporal plan missing")
+	}
+	for _, tr := range trips {
+		if !tr.TimeRange().Intersects(tman.TimeRange{Start: base, End: base + 5*3600_000}) {
+			t.Error("result outside time range")
+		}
+	}
+
+	// Similarity.
+	q := sampleTrip("probe", "probe-1", base, 116.3, 39.9)
+	sims, _, err := db.QuerySimilarTopK(q, tman.Frechet, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != 3 {
+		t.Fatalf("topk = %d trips", len(sims))
+	}
+	within, _, err := db.QuerySimilarThreshold(q, tman.Hausdorff, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(within) == 0 {
+		t.Error("threshold similarity found nothing in a dense cluster")
+	}
+
+	// Delete.
+	victim := trips[0]
+	if err := db.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 49 {
+		t.Fatalf("Len after delete = %d", db.Len())
+	}
+}
+
+func TestOpenRejectsBadBoundary(t *testing.T) {
+	if _, err := tman.Open(tman.Rect{}); err == nil {
+		t.Error("zero boundary accepted")
+	}
+}
+
+func ExampleOpen() {
+	db, err := tman.Open(tman.Beijing)
+	if err != nil {
+		panic(err)
+	}
+	trip := &tman.Trajectory{
+		OID: "taxi-42",
+		TID: "trip-0001",
+		Points: []tman.Point{
+			{X: 116.39, Y: 39.91, T: 1_700_000_000_000},
+			{X: 116.40, Y: 39.92, T: 1_700_000_060_000},
+			{X: 116.41, Y: 39.92, T: 1_700_000_120_000},
+		},
+	}
+	if err := db.Put(trip); err != nil {
+		panic(err)
+	}
+	trips, _, _ := db.QuerySpace(tman.Rect{MinX: 116.3, MinY: 39.8, MaxX: 116.5, MaxY: 40.0})
+	fmt.Println("trips found:", len(trips))
+	// Output: trips found: 1
+}
+
+func TestDurablePublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	db, err := tman.Open(tman.Beijing, tman.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_700_000_000_000)
+	for i := 0; i < 20; i++ {
+		if err := db.Put(sampleTrip("taxi", fmt.Sprintf("trip-%02d", i), base+int64(i)*3600_000, 116.3, 39.9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := tman.Open(tman.Beijing, tman.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != 20 {
+		t.Fatalf("recovered Len = %d, want 20", db2.Len())
+	}
+	trips, _, err := db2.QueryTimeRange(tman.TimeRange{Start: base, End: base + 30*3600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) != 20 {
+		t.Fatalf("recovered query found %d trips", len(trips))
+	}
+}
+
+func TestPrimaryTemporalOption(t *testing.T) {
+	db, err := tman.Open(tman.Beijing, tman.WithPrimaryTemporal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_700_000_000_000)
+	db.Put(sampleTrip("taxi", "t1", base, 116.3, 39.9))
+	_, rep, err := db.QueryTimeRange(tman.TimeRange{Start: base, End: base + 3600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != "primary:tr" {
+		t.Errorf("plan = %q, want primary:tr", rep.Plan)
+	}
+}
