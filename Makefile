@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all vet build test race check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The fault-injection and scan paths are heavily concurrent; run them under
+# the race detector.
+race:
+	$(GO) test -race ./internal/kvstore ./internal/engine
+
+check: vet build test race

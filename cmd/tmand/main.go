@@ -8,12 +8,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	tman "github.com/tman-db/tman"
 	"github.com/tman-db/tman/internal/httpapi"
@@ -21,14 +27,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		boundary = flag.String("boundary", "110,35,125,45", "dataset boundary minx,miny,maxx,maxy")
-		shards   = flag.Int("shards", 4, "hash shards")
-		alpha    = flag.Int("alpha", 3, "TShape alpha")
-		beta     = flag.Int("beta", 3, "TShape beta")
-		g        = flag.Int("g", 16, "TShape max resolution")
-		encoding = flag.String("encoding", "greedy", "shape encoding: bitmap|greedy|genetic")
-		dataDir  = flag.String("data", "", "durable data directory (empty = in-memory)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		boundary  = flag.String("boundary", "110,35,125,45", "dataset boundary minx,miny,maxx,maxy")
+		shards    = flag.Int("shards", 4, "hash shards")
+		alpha     = flag.Int("alpha", 3, "TShape alpha")
+		beta      = flag.Int("beta", 3, "TShape beta")
+		g         = flag.Int("g", 16, "TShape max resolution")
+		encoding  = flag.String("encoding", "greedy", "shape encoding: bitmap|greedy|genetic")
+		dataDir   = flag.String("data", "", "durable data directory (empty = in-memory)")
+		drainWait = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
 	)
 	flag.Parse()
 
@@ -64,11 +71,42 @@ func main() {
 		log.Printf("tmand recovered %d trajectories from %s", db.Len(), *dataDir)
 	}
 
-	log.Printf("tmand listening on %s (boundary %v, %dx%d grid, %s encoding)",
-		*addr, rect, *alpha, *beta, *encoding)
-	if err := http.ListenAndServe(*addr, httpapi.New(db)); err != nil {
-		log.Fatal(err)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(db),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("tmand listening on %s (boundary %v, %dx%d grid, %s encoding)",
+			*addr, rect, *alpha, *beta, *encoding)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("tmand: %v — draining for up to %v", sig, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("tmand: drain incomplete: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("tmand: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("tmand: close: %v", err)
+	}
+	log.Print("tmand: shut down cleanly")
 }
 
 func parseBoundary(s string) (tman.Rect, error) {

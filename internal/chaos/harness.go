@@ -1,0 +1,153 @@
+// Package chaos is a fault-injection test harness for the simulated
+// cluster: it loads identical workloads into fault-free and faulted
+// database instances, replays identical seeded query mixes against both,
+// and provides comparators to assert that retried queries converge to the
+// fault-free answer (or degrade to a correct subset under deadlines).
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// Cluster pairs a database with the dataset loaded into it.
+type Cluster struct {
+	DB *tman.DB
+	DS *workload.Dataset
+}
+
+// SmallRegions shrinks region and memtable thresholds so even modest
+// datasets split into many regions across several nodes — the interesting
+// regime for fault injection, where a query fans out to many region scans.
+func SmallRegions() tman.Option {
+	return func(c *engine.Config) {
+		c.KV.RegionMaxBytes = 32 << 10
+		c.KV.MemtableFlushBytes = 8 << 10
+	}
+}
+
+// NewCluster loads n TDrive-like trajectories (deterministic in seed) into
+// a fresh database. Two clusters built with the same (n, seed) hold
+// identical data, so their query answers are directly comparable.
+func NewCluster(n int, seed int64, opts ...tman.Option) (*Cluster, error) {
+	ds := workload.TDriveSim(n, seed)
+	db, err := tman.Open(ds.Boundary, append([]tman.Option{SmallRegions()}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.PutBatch(ds.Trajs); err != nil {
+		return nil, err
+	}
+	return &Cluster{DB: db, DS: ds}, nil
+}
+
+// QueryResult is one query's outcome on one cluster.
+type QueryResult struct {
+	Name   string
+	Rows   []*tman.Trajectory
+	Report tman.Report
+}
+
+// StandardQueries replays a deterministic mixed workload — temporal,
+// spatial, ID-temporal and spatio-temporal windows drawn by a seeded
+// sampler — under ctx. The same (seed, rounds) against clusters holding the
+// same dataset issues byte-identical queries, so results line up pairwise.
+func (c *Cluster) StandardQueries(ctx context.Context, seed int64, rounds int) ([]QueryResult, error) {
+	const hour = int64(3600_000)
+	s := workload.NewQuerySampler(c.DS, seed)
+	out := make([]QueryResult, 0, rounds*4)
+	for i := 0; i < rounds; i++ {
+		tw := s.TimeWindow(2 * hour)
+		rows, rep, err := c.DB.QueryTimeRangeCtx(ctx, tw)
+		if err != nil {
+			return out, fmt.Errorf("time query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("time-%d", i), Rows: rows, Report: rep})
+
+		sw := s.SpaceWindow(20)
+		rows, rep, err = c.DB.QuerySpaceCtx(ctx, sw)
+		if err != nil {
+			return out, fmt.Errorf("space query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("space-%d", i), Rows: rows, Report: rep})
+
+		oid, ow := s.ObjectWindow(6 * hour)
+		rows, rep, err = c.DB.QueryObjectCtx(ctx, oid, ow)
+		if err != nil {
+			return out, fmt.Errorf("object query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("object-%d", i), Rows: rows, Report: rep})
+
+		sw2 := s.SpaceWindow(40)
+		tw2 := s.TimeWindow(6 * hour)
+		rows, rep, err = c.DB.QuerySpaceTimeCtx(ctx, sw2, tw2)
+		if err != nil {
+			return out, fmt.Errorf("spacetime query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("spacetime-%d", i), Rows: rows, Report: rep})
+	}
+	return out, nil
+}
+
+// TIDs returns the sorted trajectory ids of a result set.
+func TIDs(ts []*tman.Trajectory) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.TID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SameTIDs reports whether two result sets contain exactly the same
+// trajectories (order-insensitive).
+func SameTIDs(a, b []*tman.Trajectory) bool {
+	as, bs := TIDs(a), TIDs(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetTIDs reports whether every trajectory in a also appears in b.
+func SubsetTIDs(a, b []*tman.Trajectory) bool {
+	have := make(map[string]struct{}, len(b))
+	for _, t := range b {
+		have[t.TID] = struct{}{}
+	}
+	for _, t := range a {
+		if _, ok := have[t.TID]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalRetries sums client RPC retries across a result set's reports.
+func TotalRetries(rs []QueryResult) int64 {
+	var n int64
+	for _, r := range rs {
+		n += r.Report.RetriedRPCs
+	}
+	return n
+}
+
+// AnyPartial reports whether any query in the set degraded.
+func AnyPartial(rs []QueryResult) bool {
+	for _, r := range rs {
+		if r.Report.Partial {
+			return true
+		}
+	}
+	return false
+}

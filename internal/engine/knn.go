@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -19,7 +20,15 @@ import (
 // the point and any segment of a trajectory; the returned report counts
 // scanned candidates.
 func (e *Engine) NearestQuery(x, y float64, k int) ([]*model.Trajectory, QueryReport, error) {
+	return e.NearestQueryCtx(context.Background(), x, y, k)
+}
+
+// NearestQueryCtx is NearestQuery under a context. On deadline expiry the
+// expanding-window loop stops early and returns the best neighbours found
+// so far with Partial set; cancellation aborts with an error.
+func (e *Engine) NearestQueryCtx(ctx context.Context, x, y float64, k int) ([]*model.Trajectory, QueryReport, error) {
 	started := time.Now()
+	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "knn:tshape"}
 	if k <= 0 {
@@ -32,10 +41,17 @@ func (e *Engine) NearestQuery(x, y float64, k int) ([]*model.Trajectory, QueryRe
 	seen := map[string]struct{}{}
 	radius := 0.005
 	for {
+		if kvstore.DeadlineExceeded(ctx) {
+			report.Partial = true
+			break
+		}
 		window := geo.Rect{MinX: nx - radius, MinY: ny - radius, MaxX: nx + radius, MaxY: ny + radius}
-		rows := e.candidateRows(window, &report, func(row *Row) bool {
+		rows, err := e.candidateRows(ctx, window, &report, func(row *Row) bool {
 			return row.Features.MinDistToPoint(nx, ny) <= radius
 		})
+		if err != nil {
+			return nil, report, err
+		}
 		for _, row := range rows {
 			if _, dup := seen[row.TID]; dup {
 				continue

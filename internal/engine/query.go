@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"time"
 
@@ -19,6 +20,13 @@ import (
 // candidates the index produced, and how much work the store did. The
 // Candidates field is the paper's "number of retrievals / visited
 // candidates" metric.
+//
+// Under fault injection or a context deadline a query can degrade instead of
+// failing: Partial marks a result that is a correct subset of the full
+// answer (some region scans were abandoned after exhausting retries or
+// running out of deadline), RetriedRPCs counts client retries the query
+// performed, and FailedRegions counts region scan tasks that contributed no
+// rows.
 type QueryReport struct {
 	Plan       string
 	Windows    int
@@ -26,6 +34,17 @@ type QueryReport struct {
 	Results    int
 	Elapsed    time.Duration
 	Store      kvstore.Snapshot // store counter diff for this query
+
+	Partial       bool
+	RetriedRPCs   int64
+	FailedRegions int
+}
+
+// absorb folds one scan's fault/retry outcome into the report.
+func (r *QueryReport) absorb(st kvstore.ScanStatus) {
+	r.Partial = r.Partial || st.Partial
+	r.RetriedRPCs += st.RetriedRPCs
+	r.FailedRegions += st.FailedRegions
 }
 
 // primaryWindows converts spatial value ranges into primary-table key
@@ -119,7 +138,15 @@ func (e *Engine) rowIntersects(row *Row, nsr geo.Rect) bool {
 // primary directly with a push-down temporal filter; otherwise it resolves
 // candidates through the TR secondary.
 func (e *Engine) TemporalRangeQuery(q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
+	return e.TemporalRangeQueryCtx(context.Background(), q)
+}
+
+// TemporalRangeQueryCtx is TemporalRangeQuery under a context: a deadline
+// degrades the answer to a Partial subset, cancellation aborts with an
+// error, and per-RPC faults are retried per the store's RetryPolicy.
+func (e *Engine) TemporalRangeQueryCtx(ctx context.Context, q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
 	started := time.Now()
+	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{}
 	if !q.Valid() {
@@ -137,7 +164,11 @@ func (e *Engine) TemporalRangeQuery(q model.TimeRange) ([]*model.Trajectory, Que
 		if !e.cfg.PushDown {
 			filter = nil
 		}
-		kvs := e.primary.ScanRanges(windows, filter, 0)
+		kvs, status, err := e.primary.ScanRangesCtx(ctx, windows, filter, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, report, err
+		}
 		if e.cfg.PushDown {
 			rows = decodeAll(kvs)
 		} else {
@@ -163,11 +194,18 @@ func (e *Engine) TemporalRangeQuery(q model.TimeRange) ([]*model.Trajectory, Que
 		}
 		windows := e.secondaryWindows(byteRanges)
 		report.Windows = len(windows)
-		keys := e.trTable.ScanRanges(windows, nil, 0)
+		keys, status, err := e.trTable.ScanRangesCtx(ctx, windows, nil, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, report, err
+		}
 		report.Candidates = int64(len(keys))
-		rows = e.fetchRows(keys, func(row *Row) bool {
+		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return row.TimeRange.Intersects(q)
 		})
+		if err != nil {
+			return nil, report, err
+		}
 	}
 	out, err := materialize(rows)
 	report.Results = len(out)
@@ -194,7 +232,14 @@ func uint64ByteRange(r valueRange) [2][]byte {
 // the query scans the primary directly with a push-down spatial filter;
 // otherwise it resolves candidates through the spatial secondary.
 func (e *Engine) SpatialRangeQuery(sr geo.Rect) ([]*model.Trajectory, QueryReport, error) {
+	return e.SpatialRangeQueryCtx(context.Background(), sr)
+}
+
+// SpatialRangeQueryCtx is SpatialRangeQuery under a context (deadline →
+// partial results, cancel → error, faults retried).
+func (e *Engine) SpatialRangeQueryCtx(ctx context.Context, sr geo.Rect) ([]*model.Trajectory, QueryReport, error) {
 	started := time.Now()
+	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{}
 	if !sr.Valid() {
@@ -213,23 +258,38 @@ func (e *Engine) SpatialRangeQuery(sr geo.Rect) ([]*model.Trajectory, QueryRepor
 		}
 		windows := e.secondaryWindows(byteRanges)
 		report.Windows = len(windows)
-		keys := e.spTable.ScanRanges(windows, nil, 0)
+		keys, status, err := e.spTable.ScanRangesCtx(ctx, windows, nil, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, report, err
+		}
 		report.Candidates = int64(len(keys))
-		rows = e.fetchRows(keys, func(row *Row) bool {
+		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return e.rowIntersects(row, nsr)
 		})
+		if err != nil {
+			return nil, report, err
+		}
 	} else {
 		report.Plan = "primary:" + e.cfg.Spatial.String()
 		windows := e.primaryWindows(ranges)
 		report.Windows = len(windows)
 		if e.cfg.PushDown {
-			kvs := e.primary.ScanRanges(windows, e.spatialFilter(nsr), 0)
+			kvs, status, err := e.primary.ScanRangesCtx(ctx, windows, e.spatialFilter(nsr), 0)
+			report.absorb(status)
+			if err != nil {
+				return nil, report, err
+			}
 			rows = decodeAll(kvs)
 		} else {
 			// Client-side filtering: every candidate row is transferred and
 			// decoded before the spatial check (the TrajMesa execution
 			// model).
-			kvs := e.primary.ScanRanges(windows, nil, 0)
+			kvs, status, err := e.primary.ScanRangesCtx(ctx, windows, nil, 0)
+			report.absorb(status)
+			if err != nil {
+				return nil, report, err
+			}
 			for _, kv := range kvs {
 				row, err := decodeRow(kv.Value)
 				if err != nil {
@@ -255,7 +315,14 @@ func (e *Engine) SpatialRangeQuery(sr geo.Rect) ([]*model.Trajectory, QueryRepor
 // IDTemporalQuery returns the trajectories of one object intersecting a
 // time range (paper Section V-D).
 func (e *Engine) IDTemporalQuery(oid string, q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
+	return e.IDTemporalQueryCtx(context.Background(), oid, q)
+}
+
+// IDTemporalQueryCtx is IDTemporalQuery under a context (deadline →
+// partial results, cancel → error, faults retried).
+func (e *Engine) IDTemporalQueryCtx(ctx context.Context, oid string, q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
 	started := time.Now()
+	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "secondary:idt"}
 	if !q.Valid() || oid == "" {
@@ -276,12 +343,19 @@ func (e *Engine) IDTemporalQuery(oid string, q model.TimeRange) ([]*model.Trajec
 	windows := e.secondaryWindows(byteRanges)
 	report.Windows = len(windows)
 
-	keys := e.idtTable.ScanRanges(windows, nil, 0)
+	keys, status, err := e.idtTable.ScanRangesCtx(ctx, windows, nil, 0)
+	report.absorb(status)
+	if err != nil {
+		return nil, report, err
+	}
 	report.Candidates = int64(len(keys))
 
-	rows := e.fetchRows(keys, func(row *Row) bool {
+	rows, err := e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 		return row.OID == oid && row.TimeRange.Intersects(q)
 	})
+	if err != nil {
+		return nil, report, err
+	}
 	out, err := materialize(rows)
 	report.Results = len(out)
 	report.Store = kvstore.Diff(before, e.store.Stats().Snapshot())
@@ -294,7 +368,14 @@ func (e *Engine) IDTemporalQuery(oid string, q model.TimeRange) ([]*model.Trajec
 // plans: the ST secondary index, the spatial primary with a temporal
 // push-down filter, or the TR secondary with spatial refinement.
 func (e *Engine) SpatioTemporalQuery(sr geo.Rect, q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
+	return e.SpatioTemporalQueryCtx(context.Background(), sr, q)
+}
+
+// SpatioTemporalQueryCtx is SpatioTemporalQuery under a context (deadline →
+// partial results, cancel → error, faults retried).
+func (e *Engine) SpatioTemporalQueryCtx(ctx context.Context, sr geo.Rect, q model.TimeRange) ([]*model.Trajectory, QueryReport, error) {
 	started := time.Now()
+	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{}
 	if !sr.Valid() || !q.Valid() {
@@ -319,11 +400,18 @@ func (e *Engine) SpatioTemporalQuery(sr geo.Rect, q model.TimeRange) ([]*model.T
 		}
 		windows := e.secondaryWindows(byteRanges)
 		report.Windows = len(windows)
-		keys := e.stTable.ScanRanges(windows, nil, 0)
+		keys, status, err := e.stTable.ScanRangesCtx(ctx, windows, nil, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, report, err
+		}
 		report.Candidates = int64(len(keys))
-		rows = e.fetchRows(keys, func(row *Row) bool {
+		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return row.TimeRange.Intersects(q) && e.rowIntersectsLoaded(row, nsr)
 		})
+		if err != nil {
+			return nil, report, err
+		}
 	case "primary:spatial+tfilter", "primary:temporal+sfilter":
 		// Scan the primary directly with the other dimension pushed down.
 		var ranges []valueRange
@@ -338,7 +426,11 @@ func (e *Engine) SpatioTemporalQuery(sr geo.Rect, q model.TimeRange) ([]*model.T
 		if !e.cfg.PushDown {
 			filter = nil
 		}
-		kvs := e.primary.ScanRanges(windows, filter, 0)
+		kvs, status, err := e.primary.ScanRangesCtx(ctx, windows, filter, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, report, err
+		}
 		if e.cfg.PushDown {
 			rows = decodeAll(kvs)
 		} else {
@@ -370,11 +462,18 @@ func (e *Engine) SpatioTemporalQuery(sr geo.Rect, q model.TimeRange) ([]*model.T
 		}
 		windows := e.secondaryWindows(byteRanges)
 		report.Windows = len(windows)
-		keys := table.ScanRanges(windows, nil, 0)
+		keys, status, err := table.ScanRangesCtx(ctx, windows, nil, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, report, err
+		}
 		report.Candidates = int64(len(keys))
-		rows = e.fetchRows(keys, func(row *Row) bool {
+		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return row.TimeRange.Intersects(q) && e.rowIntersectsLoaded(row, nsr)
 		})
+		if err != nil {
+			return nil, report, err
+		}
 	}
 	out, err := materialize(rows)
 	report.Results = len(out)
@@ -408,10 +507,11 @@ func (e *Engine) stSpatialRanges(nsr geo.Rect) []tshape.ValueRange {
 // decoded rows, applying the refinement predicate. Per the paper's
 // Section V-G(1), candidate keys become query windows executed as one
 // batched multi-range scan on the primary table; with push-down enabled the
-// refinement runs store-side so rejected rows are never transferred.
-func (e *Engine) fetchRows(hits []kvstore.KV, keep func(*Row) bool) []*Row {
+// refinement runs store-side so rejected rows are never transferred. Fault
+// and deadline outcomes of the batched fetch are folded into report.
+func (e *Engine) fetchRows(ctx context.Context, hits []kvstore.KV, report *QueryReport, keep func(*Row) bool) ([]*Row, error) {
 	if len(hits) == 0 {
-		return nil
+		return nil, nil
 	}
 	keys := make([][]byte, 0, len(hits))
 	for _, h := range hits {
@@ -438,7 +538,11 @@ func (e *Engine) fetchRows(hits []kvstore.KV, keep func(*Row) bool) []*Row {
 			return keep(row)
 		})
 	}
-	kvs := e.primary.ScanRanges(windows, filter, 0)
+	kvs, status, err := e.primary.ScanRangesCtx(ctx, windows, filter, 0)
+	report.absorb(status)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]*Row, 0, len(kvs))
 	for _, kv := range kvs {
 		row, err := decodeRow(kv.Value)
@@ -450,7 +554,7 @@ func (e *Engine) fetchRows(hits []kvstore.KV, keep func(*Row) bool) []*Row {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 func decodeAll(kvs []kvstore.KV) []*Row {

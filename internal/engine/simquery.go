@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -21,7 +22,14 @@ import (
 // the query MBR expanded by theta, a local filter with MBR and DP-Features
 // lower bounds, then exact distance computation.
 func (e *Engine) SimilarityThresholdQuery(query *model.Trajectory, m similarity.Measure, theta float64) ([]*model.Trajectory, QueryReport, error) {
+	return e.SimilarityThresholdQueryCtx(context.Background(), query, m, theta)
+}
+
+// SimilarityThresholdQueryCtx is SimilarityThresholdQuery under a context
+// (deadline → partial results, cancel → error, faults retried).
+func (e *Engine) SimilarityThresholdQueryCtx(ctx context.Context, query *model.Trajectory, m similarity.Measure, theta float64) ([]*model.Trajectory, QueryReport, error) {
 	started := time.Now()
+	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "similarity:threshold:" + m.String()}
 	if err := query.Validate(); err != nil {
@@ -36,7 +44,7 @@ func (e *Engine) SimilarityThresholdQuery(query *model.Trajectory, m similarity.
 	// The MBR and DP-Features lower bounds are pushed down as the paper's
 	// similarity filter, so pruned rows never leave the storage layer.
 	window := nmbr.Expand(theta)
-	rows := e.candidateRows(window, &report, func(row *Row) bool {
+	rows, err := e.candidateRows(ctx, window, &report, func(row *Row) bool {
 		if similarity.MBRLowerBound(nmbr, row.Features.MBR()) > theta {
 			return false
 		}
@@ -45,6 +53,9 @@ func (e *Engine) SimilarityThresholdQuery(query *model.Trajectory, m similarity.
 		}
 		return similarity.FeatureLowerBound(nq, row.Features) <= theta
 	})
+	if err != nil {
+		return nil, report, err
+	}
 
 	var out []*model.Trajectory
 	for _, row := range rows {
@@ -68,7 +79,15 @@ func (e *Engine) SimilarityThresholdQuery(query *model.Trajectory, m similarity.
 // It expands the search window geometrically until the k-th best distance
 // is no larger than the guaranteed-covered radius.
 func (e *Engine) SimilarityTopKQuery(query *model.Trajectory, m similarity.Measure, k int) ([]*model.Trajectory, QueryReport, error) {
+	return e.SimilarityTopKQueryCtx(context.Background(), query, m, k)
+}
+
+// SimilarityTopKQueryCtx is SimilarityTopKQuery under a context. On
+// deadline expiry the expansion loop stops early and returns the best
+// results found so far with Partial set.
+func (e *Engine) SimilarityTopKQueryCtx(ctx context.Context, query *model.Trajectory, m similarity.Measure, k int) ([]*model.Trajectory, QueryReport, error) {
 	started := time.Now()
+	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "similarity:topk:" + m.String()}
 	if err := query.Validate(); err != nil {
@@ -85,13 +104,20 @@ func (e *Engine) SimilarityTopKQuery(query *model.Trajectory, m similarity.Measu
 	seen := map[string]struct{}{}
 	radius := 0.01
 	for {
+		if kvstore.DeadlineExceeded(ctx) {
+			report.Partial = true
+			break
+		}
 		window := nmbr.Expand(radius)
 		// Push down the feature lower bound at the current radius: rows
 		// farther than the guaranteed-covered radius are re-examined on
 		// the next (doubled) expansion if still needed.
-		rows := e.candidateRows(window, &report, func(row *Row) bool {
+		rows, err := e.candidateRows(ctx, window, &report, func(row *Row) bool {
 			return similarity.FeatureLowerBound(nq, row.Features) <= radius
 		})
+		if err != nil {
+			return nil, report, err
+		}
 		for _, row := range rows {
 			if row.TID == query.TID {
 				continue
@@ -160,7 +186,7 @@ func (e *Engine) SimilarityTopKQuery(query *model.Trajectory, m similarity.Measu
 // push-down predicate — the paper's similarity filter in the filter chain.
 // With a temporal primary, candidates resolve through the spatial
 // secondary instead.
-func (e *Engine) candidateRows(nsr geo.Rect, report *QueryReport, extra func(*Row) bool) []*Row {
+func (e *Engine) candidateRows(ctx context.Context, nsr geo.Rect, report *QueryReport, extra func(*Row) bool) ([]*Row, error) {
 	clamped := geo.Rect{
 		MinX: math.Max(nsr.MinX, 0), MinY: math.Max(nsr.MinY, 0),
 		MaxX: math.Min(nsr.MaxX, 1), MaxY: math.Min(nsr.MaxY, 1),
@@ -180,9 +206,13 @@ func (e *Engine) candidateRows(nsr geo.Rect, report *QueryReport, extra func(*Ro
 		}
 		windows := e.secondaryWindows(byteRanges)
 		report.Windows += len(windows)
-		keys := e.spTable.ScanRanges(windows, nil, 0)
+		keys, status, err := e.spTable.ScanRangesCtx(ctx, windows, nil, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, err
+		}
 		report.Candidates += int64(len(keys))
-		return e.fetchRows(keys, keep)
+		return e.fetchRows(ctx, keys, report, keep)
 	}
 
 	windows := e.primaryWindows(ranges)
@@ -195,12 +225,20 @@ func (e *Engine) candidateRows(nsr geo.Rect, report *QueryReport, extra func(*Ro
 		return keep(row)
 	})
 	if e.cfg.PushDown {
-		scanned := e.primary.ScanRanges(windows, filter, 0)
+		scanned, status, err := e.primary.ScanRangesCtx(ctx, windows, filter, 0)
+		report.absorb(status)
+		if err != nil {
+			return nil, err
+		}
 		rows := decodeAll(scanned)
 		report.Candidates += int64(len(scanned))
-		return rows
+		return rows, nil
 	}
-	scanned := e.primary.ScanRanges(windows, nil, 0)
+	scanned, status, err := e.primary.ScanRangesCtx(ctx, windows, nil, 0)
+	report.absorb(status)
+	if err != nil {
+		return nil, err
+	}
 	report.Candidates += int64(len(scanned))
 	out := make([]*Row, 0, len(scanned))
 	for _, kv := range scanned {
@@ -212,7 +250,7 @@ func (e *Engine) candidateRows(nsr geo.Rect, report *QueryReport, extra func(*Ro
 			out = append(out, row)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (e *Engine) normalizePoints(pts []model.Point) []model.Point {

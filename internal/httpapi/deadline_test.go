@@ -1,0 +1,145 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/engine"
+)
+
+// newFaultedServer builds a server over a database with many small regions
+// and the given fault model, pre-loaded with n trajectories around Beijing.
+func newFaultedServer(t *testing.T, n int, fc tman.FaultConfig, rp tman.RetryPolicy) (*httptest.Server, *tman.DB) {
+	t.Helper()
+	db, err := tman.Open(tman.Beijing,
+		func(c *engine.Config) {
+			c.KV.RegionMaxBytes = 32 << 10
+			c.KV.MemtableFlushBytes = 8 << 10
+		},
+		tman.WithFaultInjection(fc),
+		tman.WithRetryPolicy(rp),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := int64(1_700_000_000_000)
+	trajs := make([]*tman.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		x := 116.0 + float64(i%40)*0.02
+		y := 39.5 + float64(i/40%40)*0.02
+		tr := &tman.Trajectory{OID: fmt.Sprintf("o%03d", i%50), TID: fmt.Sprintf("t%05d", i)}
+		for p := 0; p < 12; p++ {
+			tr.Points = append(tr.Points, tman.Point{
+				X: x + float64(p)*0.001, Y: y + float64(p)*0.001,
+				T: base + int64(i)*60_000 + int64(p)*5_000,
+			})
+		}
+		trajs = append(trajs, tr)
+	}
+	if err := db.PutBatch(trajs); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(db))
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+// TestDeadlineParamDegradesToPartial200: a whole-boundary spatial query
+// under aggressive faults and a tight ?deadline_ms= must respond 200 with
+// partial=true and a non-empty subset, not an error.
+func TestDeadlineParamDegradesToPartial200(t *testing.T) {
+	ts, _ := newFaultedServer(t, 1200,
+		tman.FaultConfig{Seed: 13, PFailRPC: 0.5},
+		tman.RetryPolicy{
+			MaxAttempts: 6,
+			BaseBackoff: 300 * time.Millisecond,
+			MaxBackoff:  10 * time.Second,
+			Multiplier:  2,
+			JitterFrac:  0.2,
+		},
+	)
+	path := "/query/space?minx=110&miny=35&maxx=125&maxy=45&deadline_ms=50"
+	started := time.Now()
+	out := getQuery(t, ts, path) // getQuery fails the test on non-200
+	if time.Since(started) > 2*time.Second {
+		t.Fatal("deadline handling slept for real backoff time")
+	}
+	if !out.Partial {
+		t.Fatalf("expected partial=true under 50%% faults and a 50ms deadline: %+v", out)
+	}
+	if out.Count == 0 {
+		t.Fatal("partial response must keep rows from healthy regions")
+	}
+	if out.FailedRegions == 0 {
+		t.Fatalf("partial response must count failed regions: %+v", out)
+	}
+
+	// The same window without a deadline eventually succeeds in full.
+	full := getQuery(t, ts, "/query/space?minx=110&miny=35&maxx=125&maxy=45")
+	if full.Partial {
+		t.Fatalf("deadline-free query must retry to completion: %+v", full)
+	}
+	if full.Count <= out.Count {
+		t.Fatalf("full answer (%d) should exceed the partial one (%d)", full.Count, out.Count)
+	}
+	if full.RetriedRPCs == 0 {
+		t.Fatal("full answer under faults must have retried")
+	}
+
+	// /stats exposes the fault counters.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"retried_rpcs", "failed_rpcs", "failed_regions", "partial_scans"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("/stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["partial_scans"].(float64) == 0 {
+		t.Fatalf("partial_scans not counted: %v", stats)
+	}
+	if stats["retried_rpcs"].(float64) == 0 {
+		t.Fatalf("retried_rpcs not counted: %v", stats)
+	}
+}
+
+// TestDeadlineParamHealthyServerUnaffected: a generous deadline on a
+// fault-free server returns the complete answer with partial=false.
+func TestDeadlineParamHealthyServerUnaffected(t *testing.T) {
+	ts, db := newTestServer(t)
+	base := int64(1_700_000_000_000)
+	ingest(t, ts, sampleJSON("a", "t1", base, 116.40, 39.90))
+	out := getQuery(t, ts, fmt.Sprintf("/query/time?start=%d&end=%d&deadline_ms=5000", base, base+3600_000))
+	if out.Partial || out.Count != 1 {
+		t.Fatalf("healthy deadline query degraded: %+v", out)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+// TestDeadlineParamValidation: malformed deadlines are a 400.
+func TestDeadlineParamValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, bad := range []string{"abc", "-5", "0", "1.5"} {
+		resp, err := http.Get(ts.URL + "/query/time?start=0&end=1&deadline_ms=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline_ms=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

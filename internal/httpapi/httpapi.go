@@ -17,10 +17,12 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	tman "github.com/tman-db/tman"
 	"github.com/tman-db/tman/internal/similarity"
@@ -40,13 +42,19 @@ type PointJSON struct {
 	T int64   `json:"t"`
 }
 
-// QueryResponse is the wire representation of a query result.
+// QueryResponse is the wire representation of a query result. Partial is
+// true when the query degraded gracefully (deadline expiry or exhausted
+// retries dropped some region scans): the trajectories present are correct,
+// but more may exist. Degraded queries still respond 200.
 type QueryResponse struct {
-	Count        int              `json:"count"`
-	Plan         string           `json:"plan"`
-	Candidates   int64            `json:"candidates"`
-	ElapsedMs    float64          `json:"elapsed_ms"`
-	Trajectories []TrajectoryJSON `json:"trajectories"`
+	Count         int              `json:"count"`
+	Plan          string           `json:"plan"`
+	Candidates    int64            `json:"candidates"`
+	ElapsedMs     float64          `json:"elapsed_ms"`
+	Partial       bool             `json:"partial"`
+	RetriedRPCs   int64            `json:"retried_rpcs"`
+	FailedRegions int              `json:"failed_regions"`
+	Trajectories  []TrajectoryJSON `json:"trajectories"`
 }
 
 // similarRequest is the POST /query/similar body.
@@ -147,7 +155,12 @@ func (s *Server) handleTime(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	trips, rep, err := s.db.QueryTimeRange(q)
+	ctx, cancel, ok := queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	trips, rep, err := s.db.QueryTimeRangeCtx(ctx, q)
 	respond(w, trips, rep, err)
 }
 
@@ -160,7 +173,12 @@ func (s *Server) handleSpace(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	trips, rep, err := s.db.QuerySpace(sr)
+	ctx, cancel, ok := queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	trips, rep, err := s.db.QuerySpaceCtx(ctx, sr)
 	respond(w, trips, rep, err)
 }
 
@@ -177,7 +195,12 @@ func (s *Server) handleSpaceTime(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	trips, rep, err := s.db.QuerySpaceTime(sr, q)
+	ctx, cancel, ok := queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	trips, rep, err := s.db.QuerySpaceTimeCtx(ctx, sr, q)
 	respond(w, trips, rep, err)
 }
 
@@ -195,7 +218,12 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	trips, rep, err := s.db.QueryObject(oid, q)
+	ctx, cancel, ok := queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	trips, rep, err := s.db.QueryObjectCtx(ctx, oid, q)
 	respond(w, trips, rep, err)
 }
 
@@ -223,12 +251,17 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	}
 	query := toModel(req.Query)
 	query.SortByTime()
+	ctx, cancel, ok := queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	switch {
 	case req.K > 0:
-		trips, rep, err := s.db.QuerySimilarTopK(query, m, req.K)
+		trips, rep, err := s.db.QuerySimilarTopKCtx(ctx, query, m, req.K)
 		respond(w, trips, rep, err)
 	case req.Theta > 0:
-		trips, rep, err := s.db.QuerySimilarThreshold(query, m, req.Theta)
+		trips, rep, err := s.db.QuerySimilarThresholdCtx(ctx, query, m, req.Theta)
 		respond(w, trips, rep, err)
 	default:
 		httpError(w, http.StatusBadRequest, "set k or theta")
@@ -248,7 +281,12 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "need x, y and k > 0")
 		return
 	}
-	trips, rep, err := s.db.QueryNearest(x, y, k)
+	ctx, cancel, ok := queryCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	trips, rep, err := s.db.QueryNearestCtx(ctx, x, y, k)
 	respond(w, trips, rep, err)
 }
 
@@ -263,6 +301,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"rpcs":           snap.RPCs,
 		"bytes_returned": snap.BytesReturned,
 		"region_splits":  snap.RegionSplits,
+		"failed_rpcs":    snap.FailedRPCs,
+		"retried_rpcs":   snap.RetriedRPCs,
+		"failed_regions": snap.FailedRegions,
+		"partial_scans":  snap.PartialScans,
 		"reencodes":      s.db.Engine().Reencodes(),
 		"cache_hits":     cs.Hits,
 		"cache_misses":   cs.Misses,
@@ -272,16 +314,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // ------------------------------------------------------------- helpers ---
 
+// queryCtx derives the query context from an optional ?deadline_ms=
+// parameter. With a deadline set, queries that run out of time respond 200
+// with partial=true instead of failing. The returned cancel must be called.
+func queryCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	raw := r.URL.Query().Get("deadline_ms")
+	if raw == "" {
+		return r.Context(), func() {}, true
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		httpError(w, http.StatusBadRequest, "deadline_ms must be a positive integer, got %q", raw)
+		return nil, nil, false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, true
+}
+
 func respond(w http.ResponseWriter, trips []*tman.Trajectory, rep tman.Report, err error) {
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
 		return
 	}
 	out := QueryResponse{
-		Count:      len(trips),
-		Plan:       rep.Plan,
-		Candidates: rep.Candidates,
-		ElapsedMs:  float64(rep.Elapsed.Microseconds()) / 1000,
+		Count:         len(trips),
+		Plan:          rep.Plan,
+		Candidates:    rep.Candidates,
+		ElapsedMs:     float64(rep.Elapsed.Microseconds()) / 1000,
+		Partial:       rep.Partial,
+		RetriedRPCs:   rep.RetriedRPCs,
+		FailedRegions: rep.FailedRegions,
 	}
 	for _, t := range trips {
 		out.Trajectories = append(out.Trajectories, fromModel(t))

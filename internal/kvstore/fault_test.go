@@ -1,0 +1,273 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// faultedOptions returns a no-network option set with the given fault model
+// and a fast deterministic retry policy.
+func faultedOptions(fc FaultConfig) Options {
+	o := NoNetworkOptions()
+	o.Fault = fc
+	o.Retry = RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+	return o
+}
+
+func loadSequential(t *testing.T, s *Store, n int) *Table {
+	t.Helper()
+	tbl := s.OpenTable("t")
+	for i := 0; i < n; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k%06d", i)), []byte(fmt.Sprintf("v%06d", i)))
+	}
+	return tbl
+}
+
+func TestFaultInjectionDisabledByDefault(t *testing.T) {
+	s := Open(NoNetworkOptions())
+	if s.FaultsEnabled() {
+		t.Fatal("zero FaultConfig must disable injection")
+	}
+	tbl := loadSequential(t, s, 100)
+	rows, status, err := tbl.ScanRangesCtx(context.Background(), []KeyRange{{}}, nil, 0)
+	if err != nil || status.Partial || status.RetriedRPCs != 0 {
+		t.Fatalf("fault-free scan: err=%v status=%+v", err, status)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("got %d rows, want 100", len(rows))
+	}
+}
+
+func TestScanRetriesConvergeToFullResult(t *testing.T) {
+	o := faultedOptions(FaultConfig{Seed: 42, PFailRPC: 0.3})
+	o.Retry.MaxAttempts = 10   // 0.3^10: retries always win
+	o.RegionMaxBytes = 4 << 10 // force many regions
+	o.MemtableFlushBytes = 1 << 10
+	s := Open(o)
+	tbl := loadSequential(t, s, 3000)
+	if tbl.RegionCount() < 2 {
+		t.Fatalf("want several regions, got %d", tbl.RegionCount())
+	}
+
+	started := time.Now()
+	rows, status, err := tbl.ScanRangesCtx(context.Background(), []KeyRange{{}}, nil, 0)
+	elapsed := time.Since(started)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Partial {
+		t.Fatalf("retries should mask a 30%% fault rate with 5 attempts: %+v", status)
+	}
+	if len(rows) != 3000 {
+		t.Fatalf("got %d rows, want 3000", len(rows))
+	}
+	if status.RetriedRPCs == 0 {
+		t.Fatal("expected at least one retry at a 30% fault rate")
+	}
+	// Backoff is analytic: dozens of 10ms+ backoffs must not cost real time.
+	if elapsed > 2*time.Second {
+		t.Fatalf("scan slept for real backoff time: %v", elapsed)
+	}
+	if got := s.Stats().Snapshot(); got.SimIONanos == 0 || got.RetriedRPCs != status.RetriedRPCs {
+		t.Fatalf("backoff not charged into stats: %+v", got)
+	}
+}
+
+func TestScanRetriesAreDeterministic(t *testing.T) {
+	run := func() (int64, int) {
+		o := faultedOptions(FaultConfig{Seed: 7, PFailRPC: 0.25})
+		o.RegionMaxBytes = 4 << 10
+		o.MemtableFlushBytes = 1 << 10
+		s := Open(o)
+		tbl := loadSequential(t, s, 2000)
+		_, status, err := tbl.ScanRangesCtx(context.Background(), []KeyRange{{}}, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return status.RetriedRPCs, status.FailedRegions
+	}
+	r1, f1 := run()
+	r2, f2 := run()
+	if r1 != r2 || f1 != f2 {
+		t.Fatalf("same seed produced different fault schedules: (%d,%d) vs (%d,%d)", r1, f1, r2, f2)
+	}
+	if r1 == 0 {
+		t.Fatal("expected retries at a 25% fault rate")
+	}
+}
+
+func TestScanDeadlinePartialResults(t *testing.T) {
+	// Aggressive faults + a deadline shorter than one backoff: failed
+	// regions cannot recover in time, but healthy regions still answer.
+	o := faultedOptions(FaultConfig{Seed: 3, PFailRPC: 0.5})
+	o.Retry.BaseBackoff = 200 * time.Millisecond
+	o.RegionMaxBytes = 4 << 10
+	o.MemtableFlushBytes = 1 << 10
+	s := Open(o)
+	tbl := loadSequential(t, s, 3000)
+	if tbl.RegionCount() < 4 {
+		t.Fatalf("want >=4 regions, got %d", tbl.RegionCount())
+	}
+
+	ctx, cancel := context.WithTimeout(WithQueryBudget(context.Background()), 50*time.Millisecond)
+	defer cancel()
+	started := time.Now()
+	rows, status, err := tbl.ScanRangesCtx(ctx, []KeyRange{{}}, nil, 0)
+	if err != nil {
+		t.Fatalf("deadline expiry must degrade, not error: %v", err)
+	}
+	if time.Since(started) > time.Second {
+		t.Fatal("deadline handling slept for real")
+	}
+	if !status.Partial {
+		t.Fatalf("expected partial result, got %+v with %d rows", status, len(rows))
+	}
+	if len(rows) == 0 {
+		t.Fatal("expected non-empty partial result: healthy regions should still answer")
+	}
+	if len(rows) >= 3000 {
+		t.Fatal("partial result should be missing the failed regions' rows")
+	}
+	snap := s.Stats().Snapshot()
+	if snap.PartialScans == 0 || snap.FailedRegions == 0 {
+		t.Fatalf("partial scan not counted: %+v", snap)
+	}
+}
+
+func TestScanExhaustedRetriesPartial(t *testing.T) {
+	o := faultedOptions(FaultConfig{Seed: 11, PFailRPC: 1})
+	o.Retry.MaxAttempts = 3
+	s := Open(o)
+	tbl := loadSequential(t, s, 50)
+	rows, status, err := tbl.ScanRangesCtx(context.Background(), []KeyRange{{}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Partial || status.FailedRegions == 0 {
+		t.Fatalf("100%% fault rate with 3 attempts must fail the region: %+v (%d rows)", status, len(rows))
+	}
+}
+
+func TestScanCancelReturnsError(t *testing.T) {
+	s := Open(NoNetworkOptions())
+	tbl := loadSequential(t, s, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := tbl.ScanRangesCtx(ctx, []KeyRange{{}}, nil, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRegionUnavailabilityAfterSplitIsRetried(t *testing.T) {
+	o := faultedOptions(FaultConfig{Seed: 1, UnavailableRPCsAfterSplit: 2})
+	o.RegionMaxBytes = 4 << 10
+	o.MemtableFlushBytes = 1 << 10
+	s := Open(o)
+	tbl := loadSequential(t, s, 3000)
+	if s.Stats().Snapshot().RegionSplits == 0 {
+		t.Fatal("load should have split regions")
+	}
+	rows, status, err := tbl.ScanRangesCtx(context.Background(), []KeyRange{{}}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Partial {
+		t.Fatalf("2-RPC unavailability window must drain within 5 attempts: %+v", status)
+	}
+	if len(rows) != 3000 {
+		t.Fatalf("got %d rows, want 3000", len(rows))
+	}
+	if status.RetriedRPCs == 0 {
+		t.Fatal("expected retries against freshly split regions")
+	}
+}
+
+func TestGetPutCtxFallible(t *testing.T) {
+	o := faultedOptions(FaultConfig{Seed: 5, PFailRPC: 0.999})
+	o.Retry.MaxAttempts = 3
+	s := Open(o)
+	tbl := s.OpenTable("t")
+
+	err := tbl.PutCtx(context.Background(), []byte("k"), []byte("v"))
+	if err == nil {
+		t.Fatal("PutCtx should fail at 99.9% fault rate with 3 attempts")
+	}
+	if !errors.Is(err, ErrRetriesExhausted) || !IsRetryable(errors.Unwrap(err)) && !errors.Is(err, ErrTransientRPC) {
+		t.Fatalf("want typed retryable exhaustion, got %v", err)
+	}
+
+	// The same store's trusted path still works, and GetCtx on a healthy
+	// store succeeds.
+	tbl.Put([]byte("k"), []byte("v"))
+	s2 := Open(faultedOptions(FaultConfig{Seed: 5, PFailRPC: 0.2}))
+	tbl2 := s2.OpenTable("t")
+	tbl2.Put([]byte("a"), []byte("1"))
+	v, ok, err := tbl2.GetCtx(context.Background(), []byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("GetCtx = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestGetCtxDeadline(t *testing.T) {
+	o := faultedOptions(FaultConfig{Seed: 9, PFailRPC: 1})
+	o.Retry.BaseBackoff = time.Hour // one backoff blows any deadline
+	s := Open(o)
+	tbl := s.OpenTable("t")
+	tbl.Put([]byte("k"), []byte("v"))
+	ctx, cancel := context.WithTimeout(WithQueryBudget(context.Background()), 100*time.Millisecond)
+	defer cancel()
+	started := time.Now()
+	_, _, err := tbl.GetCtx(ctx, []byte("k"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(started) > time.Second {
+		t.Fatal("analytic deadline must not sleep")
+	}
+}
+
+func TestSlowNodeChargesMoreSimTime(t *testing.T) {
+	run := func(slow map[int]float64) int64 {
+		o := NoNetworkOptions()
+		o.RPCLatencyMicros = 100
+		o.Fault = FaultConfig{Seed: 2, SlowNodes: slow}
+		s := Open(o)
+		tbl := loadSequential(t, s, 200)
+		before := s.Stats().Snapshot()
+		if _, _, err := tbl.ScanRangesCtx(context.Background(), []KeyRange{{}}, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		return Diff(before, s.Stats().Snapshot()).SimIONanos
+	}
+	healthy := run(map[int]float64{})
+	// A single table starts with one region on node 0; slow it 10x.
+	slowed := run(map[int]float64{0: 10})
+	if slowed < healthy*5 {
+		t.Fatalf("slow node not charged: healthy=%d slowed=%d", healthy, slowed)
+	}
+}
+
+func TestRetryPolicyBackoffBoundsAndJitter(t *testing.T) {
+	p := DefaultRetryPolicy()
+	if d := p.backoff(1, 0.5); d != p.BaseBackoff {
+		t.Fatalf("first backoff = %v, want base %v", d, p.BaseBackoff)
+	}
+	if d := p.backoff(50, 0.5); d != p.MaxBackoff {
+		t.Fatalf("late backoff = %v, want cap %v", d, p.MaxBackoff)
+	}
+	lo := p.backoff(3, 0)
+	hi := p.backoff(3, 0.999)
+	if lo >= hi {
+		t.Fatalf("jitter not applied: lo=%v hi=%v", lo, hi)
+	}
+}

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
 )
 
 // region is one contiguous key range of a table: [startKey, endKey), where a
@@ -15,19 +16,42 @@ type region struct {
 	mem      *skiplist
 	runs     []*sortedRun // newest first
 	node     int          // owning node id
+	id       int64        // store-unique id, stable for a deterministic load order
 
 	flushBytes int
 	maxRuns    int
+
+	// Fault-model state: unavail counts down client RPC attempts that fail
+	// with ErrRegionUnavailable (post-split/compaction window); faultSeq
+	// numbers this region's RPC attempts so injected faults are a pure
+	// function of (seed, region id, attempt).
+	unavail  atomic.Int64
+	faultSeq atomic.Int64
 }
 
-func newRegion(start, end []byte, node, flushBytes, maxRuns int) *region {
+func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int) *region {
 	return &region{
+		id:         id,
 		startKey:   start,
 		endKey:     end,
 		mem:        newSkiplist(nextSkiplistSeed()),
 		node:       node,
 		flushBytes: flushBytes,
 		maxRuns:    maxRuns,
+	}
+}
+
+// takeUnavailable consumes one RPC from the unavailability window, returning
+// true while the window is open.
+func (r *region) takeUnavailable() bool {
+	for {
+		v := r.unavail.Load()
+		if v <= 0 {
+			return false
+		}
+		if r.unavail.CompareAndSwap(v, v-1) {
+			return true
+		}
 	}
 }
 

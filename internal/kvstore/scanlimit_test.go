@@ -1,0 +1,96 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestScanRangesLimitDeterministicAcrossRegions: with limit > 0 spanning
+// several regions, every run must return the same rows — the globally
+// smallest `limit` keys matching the (sorted, non-overlapping) ranges —
+// because merged rows are sorted by key before truncation.
+func TestScanRangesLimitDeterministicAcrossRegions(t *testing.T) {
+	o := NoNetworkOptions()
+	o.RegionMaxBytes = 4 << 10
+	o.MemtableFlushBytes = 1 << 10
+	s := Open(o)
+	tbl := s.OpenTable("t")
+	const n = 4000
+	for i := 0; i < n; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k%06d", i)), []byte(fmt.Sprintf("v%06d", i)))
+	}
+	if tbl.RegionCount() < 3 {
+		t.Fatalf("want >=3 regions, got %d", tbl.RegionCount())
+	}
+
+	// Two sorted, non-overlapping ranges that each span region boundaries.
+	ranges := []KeyRange{
+		{Start: []byte("k000100"), End: []byte("k001500")},
+		{Start: []byte("k002000"), End: []byte("k003500")},
+	}
+	const limit = 700
+
+	// Brute force: smallest `limit` matching keys.
+	var want []string
+	for i := 100; i < 1500 && len(want) < limit; i++ {
+		want = append(want, fmt.Sprintf("k%06d", i))
+	}
+	for i := 2000; i < 3500 && len(want) < limit; i++ {
+		want = append(want, fmt.Sprintf("k%06d", i))
+	}
+
+	var first []KV
+	for run := 0; run < 10; run++ {
+		got := tbl.ScanRanges(ranges, nil, limit)
+		if len(got) != limit {
+			t.Fatalf("run %d: %d rows, want %d", run, len(got), limit)
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return bytes.Compare(got[i].Key, got[j].Key) < 0 }) {
+			t.Fatalf("run %d: limited result not key-ordered", run)
+		}
+		for i, kv := range got {
+			if string(kv.Key) != want[i] {
+				t.Fatalf("run %d row %d: got %q, want %q", run, i, kv.Key, want[i])
+			}
+		}
+		if run == 0 {
+			first = got
+		} else if len(first) != len(got) {
+			t.Fatalf("run %d: result size changed: %d vs %d", run, len(got), len(first))
+		}
+	}
+}
+
+// TestScanRangesLimitUnsortedRangesDeterministic: even with ranges given out
+// of order the truncated result must be identical across runs.
+func TestScanRangesLimitUnsortedRangesDeterministic(t *testing.T) {
+	o := NoNetworkOptions()
+	o.RegionMaxBytes = 4 << 10
+	o.MemtableFlushBytes = 1 << 10
+	s := Open(o)
+	tbl := s.OpenTable("t")
+	for i := 0; i < 4000; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k%06d", i)), []byte("v"))
+	}
+	ranges := []KeyRange{
+		{Start: []byte("k003000"), End: []byte("k003800")},
+		{Start: []byte("k000200"), End: []byte("k001000")},
+	}
+	baseline := tbl.ScanRanges(ranges, nil, 300)
+	if len(baseline) != 300 {
+		t.Fatalf("got %d rows, want 300", len(baseline))
+	}
+	for run := 0; run < 10; run++ {
+		got := tbl.ScanRanges(ranges, nil, 300)
+		if len(got) != len(baseline) {
+			t.Fatalf("run %d: size %d vs %d", run, len(got), len(baseline))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].Key, baseline[i].Key) {
+				t.Fatalf("run %d row %d: %q vs %q", run, i, got[i].Key, baseline[i].Key)
+			}
+		}
+	}
+}

@@ -9,6 +9,12 @@ import "sync/atomic"
 // difference between scanned and returned is exactly the work saved by
 // push-down, and RowsScanned is the "number of candidates / retrievals"
 // metric of the paper's evaluation.
+//
+// The fault-model counters cover the retry machinery: FailedRPCs counts
+// injected per-attempt faults, RetriedRPCs counts retries the client
+// performed, FailedRegions counts region tasks abandoned after exhausting
+// retries or hitting a deadline, and PartialScans counts scans that returned
+// a partial result.
 type Stats struct {
 	RowsScanned   atomic.Int64
 	RowsReturned  atomic.Int64
@@ -21,6 +27,10 @@ type Stats struct {
 	Flushes       atomic.Int64
 	Compactions   atomic.Int64
 	RegionSplits  atomic.Int64
+	FailedRPCs    atomic.Int64
+	RetriedRPCs   atomic.Int64
+	FailedRegions atomic.Int64
+	PartialScans  atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -36,6 +46,10 @@ type Snapshot struct {
 	Flushes       int64
 	Compactions   int64
 	RegionSplits  int64
+	FailedRPCs    int64
+	RetriedRPCs   int64
+	FailedRegions int64
+	PartialScans  int64
 }
 
 // Snapshot returns the current counter values.
@@ -52,6 +66,10 @@ func (s *Stats) Snapshot() Snapshot {
 		Flushes:       s.Flushes.Load(),
 		Compactions:   s.Compactions.Load(),
 		RegionSplits:  s.RegionSplits.Load(),
+		FailedRPCs:    s.FailedRPCs.Load(),
+		RetriedRPCs:   s.RetriedRPCs.Load(),
+		FailedRegions: s.FailedRegions.Load(),
+		PartialScans:  s.PartialScans.Load(),
 	}
 }
 
@@ -68,6 +86,10 @@ func (s *Stats) Reset() {
 	s.Flushes.Store(0)
 	s.Compactions.Store(0)
 	s.RegionSplits.Store(0)
+	s.FailedRPCs.Store(0)
+	s.RetriedRPCs.Store(0)
+	s.FailedRegions.Store(0)
+	s.PartialScans.Store(0)
 }
 
 // Diff returns b - a field-wise, for measuring a single operation.
@@ -84,5 +106,9 @@ func Diff(a, b Snapshot) Snapshot {
 		Flushes:       b.Flushes - a.Flushes,
 		Compactions:   b.Compactions - a.Compactions,
 		RegionSplits:  b.RegionSplits - a.RegionSplits,
+		FailedRPCs:    b.FailedRPCs - a.FailedRPCs,
+		RetriedRPCs:   b.RetriedRPCs - a.RetriedRPCs,
+		FailedRegions: b.FailedRegions - a.FailedRegions,
+		PartialScans:  b.PartialScans - a.PartialScans,
 	}
 }

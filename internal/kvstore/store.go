@@ -36,6 +36,14 @@ type Options struct {
 	// the physical cost behind the paper's "candidates" metric. Zero
 	// disables the charge.
 	DiskMBps int
+	// Fault configures deterministic fault injection on the client RPC
+	// paths (ScanCtx/ScanRangesCtx/GetCtx/PutCtx). The zero value disables
+	// injection.
+	Fault FaultConfig
+	// Retry is the client-side retry schedule used by the context-aware
+	// operations when a fault is injected. Zero-valued fields take
+	// DefaultRetryPolicy values.
+	Retry RetryPolicy
 }
 
 // DefaultOptions mirrors the paper's five-node deployment at laptop scale.
@@ -83,16 +91,19 @@ func (o *Options) sanitize() {
 	if o.Parallelism <= 0 {
 		o.Parallelism = def.Parallelism
 	}
+	o.Retry.sanitize()
 }
 
 // Store is an embedded, sharded, ordered key-value store: the substrate all
 // of TMan's tables live in.
 type Store struct {
-	opts    Options
-	mu      sync.RWMutex
-	tables  map[string]*Table
-	nodeSeq atomic.Int64
-	stats   Stats
+	opts      Options
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	nodeSeq   atomic.Int64
+	regionSeq atomic.Int64
+	stats     Stats
+	injector  *faultInjector // nil when fault injection is disabled
 
 	// Durability (set by OpenDir; nil for in-memory stores).
 	dir string
@@ -102,7 +113,11 @@ type Store struct {
 // Open creates an empty store with the given options.
 func Open(opts Options) *Store {
 	opts.sanitize()
-	return &Store{opts: opts, tables: make(map[string]*Table)}
+	return &Store{
+		opts:     opts,
+		tables:   make(map[string]*Table),
+		injector: newFaultInjector(opts.Fault),
+	}
 }
 
 // CreateTable creates a table, erroring if the name is taken.
@@ -167,6 +182,16 @@ func (s *Store) Nodes() int { return s.opts.Nodes }
 func (s *Store) nextNode() int {
 	return int(s.nodeSeq.Add(1)-1) % s.opts.Nodes
 }
+
+// nextRegionID issues store-unique region ids; with a deterministic load
+// order they are stable across runs, which keeps injected faults replayable.
+func (s *Store) nextRegionID() int64 { return s.regionSeq.Add(1) }
+
+// RetryPolicy returns the sanitized client retry schedule.
+func (s *Store) RetryPolicy() RetryPolicy { return s.opts.Retry }
+
+// FaultsEnabled reports whether the store injects faults.
+func (s *Store) FaultsEnabled() bool { return s.injector != nil }
 
 // CompactAll flushes and compacts every region of every table — the
 // analogue of a major compaction after bulk loading. Benchmarks call this

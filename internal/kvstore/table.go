@@ -2,8 +2,12 @@ package kvstore
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,7 +35,7 @@ type Table struct {
 
 func newTable(name string, store *Store) *Table {
 	t := &Table{name: name, store: store}
-	t.regions = []*region{newRegion(nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion)}
+	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion)}
 	return t
 }
 
@@ -49,7 +53,9 @@ func (t *Table) regionForKey(key []byte) *region {
 }
 
 // Put inserts or replaces a row. Key and value are retained by the table;
-// callers must not mutate them afterwards.
+// callers must not mutate them afterwards. Put models a trusted in-process
+// write (WAL replay, snapshot load, index rewrites) and never fails; client
+// writes that should observe cluster faults go through PutCtx.
 func (t *Table) Put(key, value []byte) {
 	t.store.logMutation(opPut, t.name, key, value)
 	t.mu.RLock()
@@ -62,6 +68,21 @@ func (t *Table) Put(key, value []byte) {
 	}
 }
 
+// PutCtx is the client-RPC form of Put: with fault injection enabled the
+// write may be retried per the store's RetryPolicy and fails with a typed
+// error once retries or the context deadline are exhausted.
+func (t *Table) PutCtx(ctx context.Context, key, value []byte) error {
+	t.mu.RLock()
+	r := t.regionForKey(key)
+	err := t.rpcWithRetry(ctx, r)
+	t.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	t.Put(key, value)
+	return nil
+}
+
 // Delete removes a row (writes a tombstone).
 func (t *Table) Delete(key []byte) {
 	t.store.logMutation(opDelete, t.name, key, nil)
@@ -72,11 +93,63 @@ func (t *Table) Delete(key []byte) {
 	t.store.stats.Deletes.Add(1)
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key (trusted in-process path).
 func (t *Table) Get(key []byte) (value []byte, ok bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.regionForKey(key).get(key)
+}
+
+// GetCtx is the client-RPC form of Get: fallible under fault injection,
+// deadline-aware, retried per the store's RetryPolicy.
+func (t *Table) GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r := t.regionForKey(key)
+	if err := t.rpcWithRetry(ctx, r); err != nil {
+		return nil, false, err
+	}
+	v, ok := r.get(key)
+	return v, ok, nil
+}
+
+// rpcWithRetry runs the client retry loop for one point RPC against a
+// region: injected faults are retried with analytic exponential backoff
+// (charged into SimIONanos and the query budget, never slept) until the
+// policy or the context deadline gives up.
+func (t *Table) rpcWithRetry(ctx context.Context, r *region) error {
+	in := t.store.injector
+	pol := t.store.opts.Retry
+	budget := budgetFrom(ctx)
+	deadline, hasDL := ctx.Deadline()
+	var local time.Duration
+	charge := func() {
+		if local > 0 {
+			t.store.stats.SimIONanos.Add(int64(local))
+			budget.Charge(local)
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			charge()
+			return err
+		}
+		if hasDL && !time.Now().Add(budget.SimElapsed()+local).Before(deadline) {
+			charge()
+			return context.DeadlineExceeded
+		}
+		err := in.attempt(r, &t.store.stats)
+		if err == nil {
+			charge()
+			return nil
+		}
+		if attempt >= pol.MaxAttempts {
+			charge()
+			return fmt.Errorf("kvstore: %d attempts on table %q: %w", attempt, t.name, errors.Join(ErrRetriesExhausted, err))
+		}
+		local += pol.backoff(attempt, in.unit(r.id, r.faultSeq.Add(1)))
+		t.store.stats.RetriedRPCs.Add(1)
+	}
 }
 
 // maybeSplit splits region r in two if it is still oversized. The table
@@ -105,10 +178,13 @@ func (t *Table) maybeSplit(r *region) {
 	if cut == 0 || cut == len(entries) {
 		return
 	}
-	left := newRegion(r.startKey, median, r.node, r.flushBytes, r.maxRuns)
-	right := newRegion(median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns)
+	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.node, r.flushBytes, r.maxRuns)
+	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns)
 	left.runs = []*sortedRun{newSortedRun(entries[:cut])}
 	right.runs = []*sortedRun{newSortedRun(entries[cut:])}
+	// Freshly moved regions are briefly unavailable to clients, as in HBase.
+	t.store.injector.markUnavailable(left)
+	t.store.injector.markUnavailable(right)
 	t.regions = append(t.regions[:idx], append([]*region{left, right}, t.regions[idx+1:]...)...)
 	t.store.stats.RegionSplits.Add(1)
 }
@@ -122,16 +198,46 @@ func (t *Table) Scan(start, end []byte, filter Filter, limit int) []KV {
 	return t.ScanRanges([]KeyRange{{Start: start, End: end}}, filter, limit)
 }
 
+// ScanCtx is the client-RPC form of Scan: deadline-aware and fallible under
+// fault injection, returning a ScanStatus describing retries and partial
+// results.
+func (t *Table) ScanCtx(ctx context.Context, start, end []byte, filter Filter, limit int) ([]KV, ScanStatus, error) {
+	return t.ScanRangesCtx(ctx, []KeyRange{{Start: start, End: end}}, filter, limit)
+}
+
 // ScanRanges executes many scan ranges as one parallel operation: the query
-// windows of TMan's query processor. Ranges touching the same region are
-// grouped into one scan task — the analogue of HBase's multi-row-range
-// filter executing many windows in a single region RPC. If the input ranges
-// are sorted and non-overlapping, the output is globally key-ordered.
+// windows of TMan's query processor. This trusted in-process form never
+// fails and bypasses fault injection; client reads go through ScanRangesCtx.
+func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
+	out, _, _ := t.scanRanges(context.Background(), ranges, filter, limit, false)
+	return out
+}
+
+// ScanRangesCtx executes many scan ranges as one parallel client operation.
+// Ranges touching the same region are grouped into one scan task — the
+// analogue of HBase's multi-row-range filter executing many windows in a
+// single region RPC. If the input ranges are sorted and non-overlapping, the
+// output is globally key-ordered.
+//
+// Under fault injection each region task runs the client retry loop:
+// injected faults are retried with analytic exponential backoff charged into
+// SimIONanos (nothing sleeps). A task that exhausts its retries, or a
+// context deadline that expires once analytic time is accounted, degrades
+// the scan gracefully: rows from the surviving regions are returned with
+// ScanStatus.Partial set instead of an error. The returned error is non-nil
+// only when ctx was canceled outright.
+func (t *Table) ScanRangesCtx(ctx context.Context, ranges []KeyRange, filter Filter, limit int) ([]KV, ScanStatus, error) {
+	return t.scanRanges(ctx, ranges, filter, limit, true)
+}
+
+// scanRanges is the shared scan core. fallible selects the client-RPC
+// behavior (fault injection, retries, deadline accounting).
 //
 // When the store's network model is enabled, every region task is charged
 // one RPC latency plus transfer time for the bytes that passed the filter,
-// so push-down savings show up in wall-clock measurements.
-func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
+// so push-down savings show up in wall-clock measurements; slow-node
+// multipliers and retry backoff are charged the same way.
+func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter, limit int, fallible bool) ([]KV, ScanStatus, error) {
 	type task struct {
 		reg       *region
 		rangeIdxs []int
@@ -152,6 +258,8 @@ func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
 
 	results := make([][]KV, len(tasks))
 	taskCosts := make([]time.Duration, len(tasks))
+	taskFailed := make([]bool, len(tasks))
+	var retried atomic.Int64
 	par := t.store.opts.Parallelism
 	if par < 1 {
 		par = 1
@@ -159,6 +267,33 @@ func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
 	rpcLatency := time.Duration(t.store.opts.RPCLatencyMicros) * time.Microsecond
 	mbps := t.store.opts.TransferMBps
 	diskMBps := t.store.opts.DiskMBps
+
+	injector := t.store.injector
+	if !fallible {
+		injector = nil
+	}
+	pol := t.store.opts.Retry
+	budget := budgetFrom(ctx)
+	deadline, hasDeadline := time.Time{}, false
+	if fallible {
+		deadline, hasDeadline = ctx.Deadline()
+	}
+	// expired reports whether the query is out of time once the analytic
+	// clock (shared budget + this task's serial backoff) is added to real
+	// time, or ctx is done for another reason.
+	expired := func(taskLocal time.Duration) bool {
+		if !fallible {
+			return false
+		}
+		if ctx.Err() != nil {
+			return true
+		}
+		if !hasDeadline {
+			return false
+		}
+		return !time.Now().Add(budget.SimElapsed() + taskLocal).Before(deadline)
+	}
+
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, tk := range tasks {
@@ -167,6 +302,29 @@ func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
 		go func(i int, tk task) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			var cost time.Duration
+			// Client retry loop: every injected fault costs one analytic
+			// backoff; the task gives up on deadline expiry or exhausted
+			// attempts, failing only its own region.
+			for attempt := 1; ; attempt++ {
+				if expired(cost) {
+					taskFailed[i] = true
+					taskCosts[i] = cost
+					return
+				}
+				err := injector.attempt(tk.reg, &t.store.stats)
+				if err == nil {
+					break
+				}
+				if attempt >= pol.MaxAttempts {
+					taskFailed[i] = true
+					taskCosts[i] = cost
+					return
+				}
+				cost += pol.backoff(attempt, injector.unit(tk.reg.id, tk.reg.faultSeq.Add(1)))
+				retried.Add(1)
+				t.store.stats.RetriedRPCs.Add(1)
+			}
 			var out []KV
 			var scanned int64
 			for _, ri := range tk.rangeIdxs {
@@ -181,18 +339,21 @@ func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
 			}
 			results[i] = out
 			t.store.stats.RPCs.Add(1)
-			cost := rpcLatency
+			io := rpcLatency
 			if diskMBps > 0 {
-				cost += time.Duration(float64(scanned) / float64(diskMBps) * float64(time.Second) / (1 << 20))
+				io += time.Duration(float64(scanned) / float64(diskMBps) * float64(time.Second) / (1 << 20))
 			}
 			if mbps > 0 {
 				var bytes int
 				for _, kv := range out {
 					bytes += len(kv.Key) + len(kv.Value)
 				}
-				cost += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
+				io += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
 			}
-			taskCosts[i] = cost
+			if scale := injector.latencyScale(tk.reg.node); scale != 1 {
+				io = time.Duration(float64(io) * scale)
+			}
+			taskCosts[i] = cost + io
 		}(i, tk)
 	}
 	wg.Wait()
@@ -215,15 +376,40 @@ func (t *Table) ScanRanges(ranges []KeyRange, filter Filter, limit int) []KV {
 		makespan = maxCost
 	}
 	t.store.stats.SimIONanos.Add(int64(makespan))
+	budget.Charge(makespan)
 
+	status := ScanStatus{RetriedRPCs: retried.Load()}
 	var out []KV
-	for _, rs := range results {
+	for i, rs := range results {
+		if taskFailed[i] {
+			status.Partial = true
+			status.FailedRegions++
+			continue
+		}
 		out = append(out, rs...)
 	}
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+	if status.FailedRegions > 0 {
+		t.store.stats.FailedRegions.Add(int64(status.FailedRegions))
 	}
-	return out
+	if status.Partial {
+		t.store.stats.PartialScans.Add(1)
+	}
+	if limit > 0 {
+		// With a limit spanning several regions each task early-exits after
+		// `limit` rows; sort the merged rows by key before truncating so the
+		// kept subset is deterministic whatever the range/region geometry.
+		if len(tasks) > 1 {
+			sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
+		}
+		if len(out) > limit {
+			out = out[:limit]
+		}
+	}
+	var err error
+	if cerr := ctx.Err(); fallible && cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
+		err = cerr
+	}
+	return out, status, err
 }
 
 // RegionCount returns the number of regions (for tests and stats).
@@ -253,6 +439,9 @@ func (t *Table) CompactAll() {
 		r.flushLocked(&t.store.stats)
 		if len(r.runs) > 1 {
 			r.compactLocked(&t.store.stats)
+			// A major compaction briefly blocks client RPCs, as a region
+			// move would.
+			t.store.injector.markUnavailable(r)
 		}
 		r.mu.Unlock()
 	}

@@ -112,6 +112,8 @@ type walRecord struct {
 }
 
 // replayWAL streams records from the log, stopping cleanly at a torn tail.
+// Record lengths are validated against the bytes actually remaining in the
+// file, so a bit-flipped length field can never trigger a huge allocation.
 func replayWAL(path string, apply func(walRecord)) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -121,17 +123,24 @@ func replayWAL(path string, apply func(walRecord)) error {
 		return err
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	remaining := fi.Size()
 	r := bufio.NewReaderSize(f, 1<<16)
 	for {
 		var hdr [4]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return nil // clean EOF or torn header: stop
 		}
+		remaining -= 4
 		wantCRC := binary.LittleEndian.Uint32(hdr[:])
-		rec, payload, err := readWALPayload(r)
+		rec, payload, err := readWALPayload(r, remaining)
 		if err != nil {
 			return nil // torn record
 		}
+		remaining -= int64(len(payload))
 		if crc32.Checksum(payload, crcTable) != wantCRC {
 			return nil // corrupt tail
 		}
@@ -139,7 +148,10 @@ func replayWAL(path string, apply func(walRecord)) error {
 	}
 }
 
-func readWALPayload(r *bufio.Reader) (walRecord, []byte, error) {
+// readWALPayload decodes one record body. remaining bounds every length
+// field: a declared length beyond the bytes left in the file is a torn or
+// corrupt record, reported before any allocation happens.
+func readWALPayload(r *bufio.Reader, remaining int64) (walRecord, []byte, error) {
 	var rec walRecord
 	op, err := r.ReadByte()
 	if err != nil {
@@ -147,15 +159,17 @@ func readWALPayload(r *bufio.Reader) (walRecord, []byte, error) {
 	}
 	rec.op = op
 	payload := []byte{op}
+	remaining--
 
 	readN := func(n int) ([]byte, error) {
-		if n < 0 || n > 1<<30 {
-			return nil, fmt.Errorf("kvstore: implausible wal length %d", n)
+		if n < 0 || int64(n) > remaining {
+			return nil, fmt.Errorf("kvstore: implausible wal length %d (%d bytes left)", n, remaining)
 		}
 		b := make([]byte, n)
 		if _, err := io.ReadFull(r, b); err != nil {
 			return nil, err
 		}
+		remaining -= int64(n)
 		payload = append(payload, b...)
 		return b, nil
 	}
@@ -164,6 +178,7 @@ func readWALPayload(r *bufio.Reader) (walRecord, []byte, error) {
 	if _, err := io.ReadFull(r, l2[:]); err != nil {
 		return rec, nil, err
 	}
+	remaining -= 2
 	payload = append(payload, l2[:]...)
 	table, err := readN(int(binary.LittleEndian.Uint16(l2[:])))
 	if err != nil {
@@ -175,6 +190,7 @@ func readWALPayload(r *bufio.Reader) (walRecord, []byte, error) {
 	if _, err := io.ReadFull(r, l4[:]); err != nil {
 		return rec, nil, err
 	}
+	remaining -= 4
 	payload = append(payload, l4[:]...)
 	rec.key, err = readN(int(binary.LittleEndian.Uint32(l4[:])))
 	if err != nil {
@@ -185,6 +201,7 @@ func readWALPayload(r *bufio.Reader) (walRecord, []byte, error) {
 		if _, err := io.ReadFull(r, l4[:]); err != nil {
 			return rec, nil, err
 		}
+		remaining -= 4
 		payload = append(payload, l4[:]...)
 		rec.value, err = readN(int(binary.LittleEndian.Uint32(l4[:])))
 		if err != nil {

@@ -33,9 +33,12 @@
 package tman
 
 import (
+	"context"
+
 	"github.com/tman-db/tman/internal/engine"
 	"github.com/tman-db/tman/internal/geo"
 	"github.com/tman-db/tman/internal/index/tshape"
+	"github.com/tman-db/tman/internal/kvstore"
 	"github.com/tman-db/tman/internal/model"
 	"github.com/tman-db/tman/internal/similarity"
 )
@@ -57,6 +60,13 @@ type (
 	Measure = similarity.Measure
 	// ShapeEncoding selects the TShape shape-code optimization.
 	ShapeEncoding = tshape.Encoding
+	// FaultConfig describes the deterministic fault model injected into the
+	// simulated cluster (seeded transient RPC failures, slow nodes, region
+	// unavailability windows after splits/compactions).
+	FaultConfig = kvstore.FaultConfig
+	// RetryPolicy controls client RPC retries: capped attempts and
+	// exponential backoff with jitter, charged analytically (no sleeping).
+	RetryPolicy = kvstore.RetryPolicy
 )
 
 // Similarity measures.
@@ -140,6 +150,19 @@ func WithPrimaryTemporal() Option {
 	return func(c *engine.Config) { c.Primary = engine.KindTR }
 }
 
+// WithFaultInjection enables the deterministic fault model on the simulated
+// cluster. Queries issued through the Ctx methods retry transient failures
+// per the retry policy and degrade to partial results on deadline expiry.
+func WithFaultInjection(fc FaultConfig) Option {
+	return func(c *engine.Config) { c.KV.Fault = fc }
+}
+
+// WithRetryPolicy overrides the client RPC retry policy (attempts, backoff
+// bounds, jitter). Zero fields fall back to DefaultRetryPolicy values.
+func WithRetryPolicy(rp RetryPolicy) Option {
+	return func(c *engine.Config) { c.KV.Retry = rp }
+}
+
 // DB is a TMan database instance.
 type DB struct {
 	eng *engine.Engine
@@ -179,10 +202,24 @@ func (db *DB) QueryTimeRange(q TimeRange) ([]*Trajectory, Report, error) {
 	return db.eng.TemporalRangeQuery(q)
 }
 
+// QueryTimeRangeCtx is QueryTimeRange under a context: a deadline degrades
+// the answer to a correct subset with Report.Partial set instead of
+// failing; cancellation aborts with an error; transient cluster faults are
+// retried per the retry policy.
+func (db *DB) QueryTimeRangeCtx(ctx context.Context, q TimeRange) ([]*Trajectory, Report, error) {
+	return db.eng.TemporalRangeQueryCtx(ctx, q)
+}
+
 // QuerySpace returns all trajectories intersecting the window (dataset
 // coordinates).
 func (db *DB) QuerySpace(sr Rect) ([]*Trajectory, Report, error) {
 	return db.eng.SpatialRangeQuery(sr)
+}
+
+// QuerySpaceCtx is QuerySpace under a context (deadline → partial results,
+// cancel → error, faults retried).
+func (db *DB) QuerySpaceCtx(ctx context.Context, sr Rect) ([]*Trajectory, Report, error) {
+	return db.eng.SpatialRangeQueryCtx(ctx, sr)
 }
 
 // QueryObject returns the trajectories of one object intersecting q.
@@ -190,10 +227,22 @@ func (db *DB) QueryObject(oid string, q TimeRange) ([]*Trajectory, Report, error
 	return db.eng.IDTemporalQuery(oid, q)
 }
 
+// QueryObjectCtx is QueryObject under a context (deadline → partial
+// results, cancel → error, faults retried).
+func (db *DB) QueryObjectCtx(ctx context.Context, oid string, q TimeRange) ([]*Trajectory, Report, error) {
+	return db.eng.IDTemporalQueryCtx(ctx, oid, q)
+}
+
 // QuerySpaceTime returns trajectories intersecting both the window and the
 // time range; the cost-based optimizer picks the execution plan.
 func (db *DB) QuerySpaceTime(sr Rect, q TimeRange) ([]*Trajectory, Report, error) {
 	return db.eng.SpatioTemporalQuery(sr, q)
+}
+
+// QuerySpaceTimeCtx is QuerySpaceTime under a context (deadline → partial
+// results, cancel → error, faults retried).
+func (db *DB) QuerySpaceTimeCtx(ctx context.Context, sr Rect, q TimeRange) ([]*Trajectory, Report, error) {
+	return db.eng.SpatioTemporalQueryCtx(ctx, sr, q)
 }
 
 // QuerySimilarThreshold returns all trajectories within theta of the query
@@ -203,15 +252,33 @@ func (db *DB) QuerySimilarThreshold(q *Trajectory, m Measure, theta float64) ([]
 	return db.eng.SimilarityThresholdQuery(q, m, theta)
 }
 
+// QuerySimilarThresholdCtx is QuerySimilarThreshold under a context
+// (deadline → partial results, cancel → error, faults retried).
+func (db *DB) QuerySimilarThresholdCtx(ctx context.Context, q *Trajectory, m Measure, theta float64) ([]*Trajectory, Report, error) {
+	return db.eng.SimilarityThresholdQueryCtx(ctx, q, m, theta)
+}
+
 // QuerySimilarTopK returns the k trajectories most similar to the query.
 func (db *DB) QuerySimilarTopK(q *Trajectory, m Measure, k int) ([]*Trajectory, Report, error) {
 	return db.eng.SimilarityTopKQuery(q, m, k)
+}
+
+// QuerySimilarTopKCtx is QuerySimilarTopK under a context; on deadline
+// expiry the best results found so far are returned with Report.Partial.
+func (db *DB) QuerySimilarTopKCtx(ctx context.Context, q *Trajectory, m Measure, k int) ([]*Trajectory, Report, error) {
+	return db.eng.SimilarityTopKQueryCtx(ctx, q, m, k)
 }
 
 // QueryNearest returns the k trajectories passing closest to the point
 // (x, y) in dataset coordinates — e.g. "which trips went by this address".
 func (db *DB) QueryNearest(x, y float64, k int) ([]*Trajectory, Report, error) {
 	return db.eng.NearestQuery(x, y, k)
+}
+
+// QueryNearestCtx is QueryNearest under a context; on deadline expiry the
+// best neighbours found so far are returned with Report.Partial.
+func (db *DB) QueryNearestCtx(ctx context.Context, x, y float64, k int) ([]*Trajectory, Report, error) {
+	return db.eng.NearestQueryCtx(ctx, x, y, k)
 }
 
 // Close flushes durable state to disk (a no-op for in-memory databases).
