@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check
+.PHONY: all vet build test race check bench
 
 all: check
 
@@ -19,3 +19,12 @@ race:
 	$(GO) test -race ./internal/kvstore ./internal/engine
 
 check: vet build test race
+
+# Read-path benchmarks (region scan, k-way merge, scan executor, hot SRQ).
+# Human-readable output goes to stderr; machine-readable results land in
+# BENCH_readpath.json for archival and regression diffing.
+bench:
+	$(GO) test -run= -bench 'BenchmarkRegionScan|BenchmarkScanRangesManyRegions|BenchmarkMergeRuns' \
+		-benchmem -benchtime=2s ./internal/kvstore/ > /tmp/bench_kvstore.txt
+	$(GO) test -run= -bench 'BenchmarkSRQHot' -benchmem -benchtime=2s ./internal/engine/ > /tmp/bench_engine.txt
+	cat /tmp/bench_kvstore.txt /tmp/bench_engine.txt | $(GO) run ./cmd/benchjson -o BENCH_readpath.json

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark runs can be archived and
+// diffed without re-parsing the textual format.
+//
+//	go test -bench=. -benchmem ./internal/kvstore/ | benchjson -o BENCH.json
+//
+// Only the standard benchmark line shape is understood:
+//
+//	BenchmarkName-8   100   6850000 ns/op   3670240 B/op   6 allocs/op
+//
+// Non-benchmark lines (PASS, ok, logs) are ignored. The -benchmem columns
+// are optional; missing metrics are emitted as zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	label := flag.String("label", "", "optional label recorded alongside the results")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	doc := struct {
+		Label   string   `json:"label,omitempty"`
+		Results []result `json:"results"`
+	}{Label: *label, Results: results}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+func parse(r io.Reader) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the input so benchjson can sit at the end of a pipe without
+		// hiding the human-readable report.
+		fmt.Fprintln(os.Stderr, line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX ... --- SKIP" shapes
+		}
+		res := result{Name: trimCPUSuffix(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// trimCPUSuffix drops the trailing -N GOMAXPROCS marker from a benchmark
+// name, so results compare across machines with different core counts.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (pprof listener only)
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,6 +37,7 @@ func main() {
 		encoding  = flag.String("encoding", "greedy", "shape encoding: bitmap|greedy|genetic")
 		dataDir   = flag.String("data", "", "durable data directory (empty = in-memory)")
 		drainWait = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+		pprofAddr = flag.String("pprof-addr", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,20 @@ func main() {
 	}
 	if *dataDir != "" {
 		log.Printf("tmand recovered %d trajectories from %s", db.Len(), *dataDir)
+	}
+
+	// The pprof endpoints live on their own listener so profiling is never
+	// exposed on the serving address. The API server installs its own
+	// Handler, which leaves DefaultServeMux free for net/http/pprof's
+	// registrations.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("tmand pprof listening on %s", *pprofAddr)
+			psrv := &http.Server{Addr: *pprofAddr, ReadHeaderTimeout: 5 * time.Second}
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("tmand: pprof server: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

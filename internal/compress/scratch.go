@@ -1,0 +1,55 @@
+package compress
+
+import (
+	"sync"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Pooled scratch buffers for the decode hot path. Query execution decodes
+// one value per candidate row — unpacking varint words and materializing
+// points that are inspected and immediately discarded — so per-row
+// allocations dominate the read path without reuse. The pools hand the same
+// steady-state buffers to every transient decode; callers must not retain
+// pooled memory (or anything aliasing it) after Put.
+
+var pointBufPool = sync.Pool{
+	New: func() any { return new([]model.Point) },
+}
+
+// GetPointBuf returns a zero-length point buffer for AppendPoints, with
+// whatever capacity earlier decodes grew.
+func GetPointBuf() []model.Point {
+	return (*(pointBufPool.Get().(*[]model.Point)))[:0]
+}
+
+// PutPointBuf recycles a buffer obtained from GetPointBuf (or any decode
+// result the caller is done with). The points must not be referenced
+// afterwards.
+func PutPointBuf(buf []model.Point) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	pointBufPool.Put(&buf)
+}
+
+var u64BufPool = sync.Pool{
+	New: func() any { return new([]uint64) },
+}
+
+// GetUint64Buf returns a zero-length uint64 buffer — word-unpacking scratch
+// for Simple8bDecode and similar columnar decoders.
+func GetUint64Buf() []uint64 {
+	return (*(u64BufPool.Get().(*[]uint64)))[:0]
+}
+
+// PutUint64Buf recycles a buffer obtained from GetUint64Buf. The values
+// must not be referenced afterwards.
+func PutUint64Buf(buf []uint64) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	u64BufPool.Put(&buf)
+}

@@ -69,39 +69,65 @@ func EncodePoints(pts []model.Point) []byte {
 
 // DecodePoints decompresses a blob produced by EncodePoints.
 func DecodePoints(blob []byte) ([]model.Point, error) {
+	pts, err := AppendPoints(nil, blob)
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// AppendPoints decompresses a blob produced by EncodePoints, appending the
+// decoded points to dst and returning the extended slice. Reusing a buffer
+// with spare capacity (a pooled one from GetPointBuf, or a prior result
+// resliced to [:0]) makes repeated decodes allocation-free: the push-down
+// filter hot path decodes one trajectory per candidate row and discards it
+// immediately, so the buffer reaches steady state after the largest
+// trajectory in the workload. On error dst is returned unchanged.
+func AppendPoints(dst []model.Point, blob []byte) ([]model.Point, error) {
 	if len(blob) == 0 {
-		return nil, ErrBadBlob
+		return dst, ErrBadBlob
 	}
 	if blob[0] != trajCodecVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, blob[0])
+		return dst, fmt.Errorf("%w: %d", ErrBadVersion, blob[0])
 	}
 	b := blob[1:]
 	count, n := Uvarint(b)
 	if n <= 0 {
-		return nil, ErrBadBlob
+		return dst, ErrBadBlob
 	}
 	b = b[n:]
 	if count == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	if count > uint64(len(blob))*10 {
 		// A varint stream encodes at least one value per ~0.1 byte is
 		// impossible; reject absurd counts before allocating.
-		return nil, fmt.Errorf("%w: implausible point count %d", ErrBadBlob, count)
+		return dst, fmt.Errorf("%w: implausible point count %d", ErrBadBlob, count)
 	}
-	pts := make([]model.Point, count)
+	base := len(dst)
+	need := base + int(count)
+	if cap(dst) < need {
+		grown := make([]model.Point, need)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:need]
+	}
+	// Every field of every point below is assigned, so stale values in a
+	// recycled buffer never leak through.
+	pts := dst[base:]
 
 	// Timestamps.
 	t0, n := Varint(b)
 	if n <= 0 {
-		return nil, ErrBadBlob
+		return dst[:base], ErrBadBlob
 	}
 	b = b[n:]
 	pts[0].T = t0
 	if count > 1 {
 		delta, n := Varint(b)
 		if n <= 0 {
-			return nil, ErrBadBlob
+			return dst[:base], ErrBadBlob
 		}
 		b = b[n:]
 		pts[1].T = t0 + delta
@@ -110,7 +136,7 @@ func DecodePoints(blob []byte) ([]model.Point, error) {
 		for i := uint64(2); i < count; i++ {
 			dd, n := Varint(b)
 			if n <= 0 {
-				return nil, ErrBadBlob
+				return dst[:base], ErrBadBlob
 			}
 			b = b[n:]
 			prevDelta += dd
@@ -122,7 +148,7 @@ func DecodePoints(blob []byte) ([]model.Point, error) {
 	// X coordinates.
 	x, n := Varint(b)
 	if n <= 0 {
-		return nil, ErrBadBlob
+		return dst[:base], ErrBadBlob
 	}
 	b = b[n:]
 	pts[0].X = dequantize(x)
@@ -130,7 +156,7 @@ func DecodePoints(blob []byte) ([]model.Point, error) {
 	for i := uint64(1); i < count; i++ {
 		d, n := Varint(b)
 		if n <= 0 {
-			return nil, ErrBadBlob
+			return dst[:base], ErrBadBlob
 		}
 		b = b[n:]
 		acc += d
@@ -140,7 +166,7 @@ func DecodePoints(blob []byte) ([]model.Point, error) {
 	// Y coordinates.
 	y, n := Varint(b)
 	if n <= 0 {
-		return nil, ErrBadBlob
+		return dst[:base], ErrBadBlob
 	}
 	b = b[n:]
 	pts[0].Y = dequantize(y)
@@ -148,13 +174,13 @@ func DecodePoints(blob []byte) ([]model.Point, error) {
 	for i := uint64(1); i < count; i++ {
 		d, n := Varint(b)
 		if n <= 0 {
-			return nil, ErrBadBlob
+			return dst[:base], ErrBadBlob
 		}
 		b = b[n:]
 		acc += d
 		pts[i].Y = dequantize(acc)
 	}
-	return pts, nil
+	return dst, nil
 }
 
 func quantize(v float64) int64 {

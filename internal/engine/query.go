@@ -94,24 +94,24 @@ func (e *Engine) spatialRanges(nsr geo.Rect) []valueRange {
 }
 
 // temporalFilter builds a push-down filter that keeps rows whose exact time
-// range intersects q (decoding only the row header).
+// range intersects q (reading only the time range, allocation-free).
 func temporalFilter(q model.TimeRange) kvstore.Filter {
 	return kvstore.FilterFunc(func(_, value []byte) bool {
-		hdr, _, err := decodeRowHeader(value)
-		if err != nil {
-			return false
-		}
-		return hdr.TimeRange.Intersects(q)
+		tr, ok := rowTimeRange(value)
+		return ok && tr.Intersects(q)
 	})
 }
 
 // spatialFilter builds a push-down filter that keeps rows intersecting the
 // normalized window: the DP-Features sketch rejects cheaply, then the exact
-// geometry decides.
+// geometry decides. Candidates are decoded into a pooled scratch row that
+// never escapes the callback.
 func (e *Engine) spatialFilter(nsr geo.Rect) kvstore.Filter {
 	return kvstore.FilterFunc(func(_, value []byte) bool {
-		row, err := decodeRow(value)
-		if err != nil {
+		row := getScratchRow()
+		defer putScratchRow(row)
+		// Geometry never reads identities; skip the OID/TID string allocs.
+		if err := decodeRowInto(row, value, false); err != nil {
 			return false
 		}
 		return e.rowIntersects(row, nsr)
@@ -531,8 +531,9 @@ func (e *Engine) fetchRows(ctx context.Context, hits []kvstore.KV, report *Query
 	var filter kvstore.Filter
 	if e.cfg.PushDown && keep != nil {
 		filter = kvstore.FilterFunc(func(_, value []byte) bool {
-			row, err := decodeRow(value)
-			if err != nil {
+			row := getScratchRow()
+			defer putScratchRow(row)
+			if err := decodeRowInto(row, value, true); err != nil {
 				return false
 			}
 			return keep(row)

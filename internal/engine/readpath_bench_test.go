@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSRQHot measures a hot spatial range query end to end: index
+// ranges → multi-window primary scan → push-down spatial filter (header +
+// feature decode per candidate, point decode for survivors). This is the
+// engine-level view of the kvstore read path plus the row-decode hot loop.
+func BenchmarkSRQHot(b *testing.B) {
+	cfg := testConfig()
+	cfg.KV.RPCLatencyMicros = 0
+	cfg.KV.TransferMBps = 0
+	cfg.KV.DiskMBps = 0
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var anchorX, anchorY float64
+	for i := 0; i < 3000; i++ {
+		tr := genTrajectory(rng, fmt.Sprintf("obj-%d", i%50), fmt.Sprintf("traj-%05d", i))
+		if i == 123 {
+			anchorX, anchorY = tr.Points[0].X, tr.Points[0].Y
+		}
+		if err := e.Put(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	window := testBoundary
+	window.MinX, window.MaxX = anchorX-1.2, anchorX+1.2
+	window.MinY, window.MaxY = anchorY-0.9, anchorY+0.9
+	out, rep, err := e.SpatialRangeQuery(window)
+	if err != nil || len(out) == 0 {
+		b.Fatalf("warmup query: %d results, err=%v (plan %s)", len(out), err, rep.Plan)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		res, _, err := e.SpatialRangeQuery(window)
+		if err != nil || len(res) != len(out) {
+			b.Fatalf("query: %d results (want %d), err=%v", len(res), len(out), err)
+		}
+	}
+}

@@ -24,6 +24,7 @@ type Row struct {
 
 	pointsBlob []byte
 	points     []model.Point // decoded on demand
+	decoded    bool          // whether points holds the decoded blob (pooled rows reuse the buffer)
 }
 
 const rowVersion = 1
@@ -69,117 +70,191 @@ func encodeRow(t *model.Trajectory, trValue uint64, feat model.DPFeatures) []byt
 // decodeRow parses a full row value (header + features); the point blob is
 // retained unparsed.
 func decodeRow(value []byte) (*Row, error) {
-	hdr, rest, err := decodeRowHeader(value)
-	if err != nil {
+	r := new(Row)
+	if err := decodeRowInto(r, value, true); err != nil {
 		return nil, err
 	}
-	r := hdr
-
-	repN, n := compress.Uvarint(rest)
-	if n <= 0 {
-		return nil, ErrBadRow
-	}
-	rest = rest[n:]
-	if repN > uint64(len(rest)) {
-		return nil, fmt.Errorf("%w: implausible rep count %d", ErrBadRow, repN)
-	}
-	r.Features.Rep = make([]model.Point, repN)
-	for i := range r.Features.Rep {
-		var x, y, ts int64
-		if x, rest, err = readVarint(rest); err != nil {
-			return nil, err
-		}
-		if y, rest, err = readVarint(rest); err != nil {
-			return nil, err
-		}
-		if ts, rest, err = readVarint(rest); err != nil {
-			return nil, err
-		}
-		r.Features.Rep[i] = model.Point{X: dq7(x), Y: dq7(y), T: ts}
-	}
-	boxN, n := compress.Uvarint(rest)
-	if n <= 0 {
-		return nil, ErrBadRow
-	}
-	rest = rest[n:]
-	if boxN > uint64(len(rest)) {
-		return nil, fmt.Errorf("%w: implausible box count %d", ErrBadRow, boxN)
-	}
-	r.Features.Boxes = make([]geo.Rect, boxN)
-	for i := range r.Features.Boxes {
-		var x1, y1, x2, y2 int64
-		if x1, rest, err = readVarint(rest); err != nil {
-			return nil, err
-		}
-		if y1, rest, err = readVarint(rest); err != nil {
-			return nil, err
-		}
-		if x2, rest, err = readVarint(rest); err != nil {
-			return nil, err
-		}
-		if y2, rest, err = readVarint(rest); err != nil {
-			return nil, err
-		}
-		r.Features.Boxes[i] = geo.Rect{MinX: dq7(x1), MinY: dq7(y1), MaxX: dq7(x2), MaxY: dq7(y2)}
-	}
-	blobLen, n := compress.Uvarint(rest)
-	if n <= 0 {
-		return nil, ErrBadRow
-	}
-	rest = rest[n:]
-	if blobLen > uint64(len(rest)) {
-		return nil, fmt.Errorf("%w: blob length %d exceeds remaining %d", ErrBadRow, blobLen, len(rest))
-	}
-	r.pointsBlob = rest[:blobLen]
 	return r, nil
 }
 
+// decodeRowInto parses a full row value into r, reusing r's feature slices
+// (and, via Points, its point buffer) — the scratch-row hot path. On
+// success every field of r is replaced; the points stay undecoded until
+// Points is called. withIDs=false skips materializing the OID/TID strings
+// (left empty) for predicates that never read identities, saving two
+// allocations per candidate row.
+func decodeRowInto(r *Row, value []byte, withIDs bool) error {
+	rest, err := decodeRowHeaderInto(r, value, withIDs)
+	if err != nil {
+		return err
+	}
+	r.decoded = false
+
+	repN, n := compress.Uvarint(rest)
+	if n <= 0 {
+		return ErrBadRow
+	}
+	rest = rest[n:]
+	if repN > uint64(len(rest)) {
+		return fmt.Errorf("%w: implausible rep count %d", ErrBadRow, repN)
+	}
+	rep := r.Features.Rep[:0]
+	if cap(rep) < int(repN) {
+		rep = make([]model.Point, 0, repN)
+	}
+	for i := uint64(0); i < repN; i++ {
+		var x, y, ts int64
+		if x, rest, err = readVarint(rest); err != nil {
+			return err
+		}
+		if y, rest, err = readVarint(rest); err != nil {
+			return err
+		}
+		if ts, rest, err = readVarint(rest); err != nil {
+			return err
+		}
+		rep = append(rep, model.Point{X: dq7(x), Y: dq7(y), T: ts})
+	}
+	r.Features.Rep = rep
+	boxN, n := compress.Uvarint(rest)
+	if n <= 0 {
+		return ErrBadRow
+	}
+	rest = rest[n:]
+	if boxN > uint64(len(rest)) {
+		return fmt.Errorf("%w: implausible box count %d", ErrBadRow, boxN)
+	}
+	boxes := r.Features.Boxes[:0]
+	if cap(boxes) < int(boxN) {
+		boxes = make([]geo.Rect, 0, boxN)
+	}
+	for i := uint64(0); i < boxN; i++ {
+		var x1, y1, x2, y2 int64
+		if x1, rest, err = readVarint(rest); err != nil {
+			return err
+		}
+		if y1, rest, err = readVarint(rest); err != nil {
+			return err
+		}
+		if x2, rest, err = readVarint(rest); err != nil {
+			return err
+		}
+		if y2, rest, err = readVarint(rest); err != nil {
+			return err
+		}
+		boxes = append(boxes, geo.Rect{MinX: dq7(x1), MinY: dq7(y1), MaxX: dq7(x2), MaxY: dq7(y2)})
+	}
+	r.Features.Boxes = boxes
+	blobLen, n := compress.Uvarint(rest)
+	if n <= 0 {
+		return ErrBadRow
+	}
+	rest = rest[n:]
+	if blobLen > uint64(len(rest)) {
+		return fmt.Errorf("%w: blob length %d exceeds remaining %d", ErrBadRow, blobLen, len(rest))
+	}
+	r.pointsBlob = rest[:blobLen]
+	return nil
+}
+
 // decodeRowHeader parses only the fixed header (oid, tid, time range, TR
-// value) — the fast path used by the temporal push-down filter.
+// value) into a fresh row.
 func decodeRowHeader(value []byte) (*Row, []byte, error) {
+	r := new(Row)
+	rest, err := decodeRowHeaderInto(r, value, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, rest, nil
+}
+
+// decodeRowHeaderInto parses the fixed header (oid, tid, time range, TR
+// value) into r, returning the remainder of the value. withIDs=false skips
+// the OID/TID strings.
+func decodeRowHeaderInto(r *Row, value []byte, withIDs bool) ([]byte, error) {
 	if len(value) < 2 || value[0] != rowVersion {
-		return nil, nil, ErrBadRow
+		return nil, ErrBadRow
 	}
 	rest := value[1:]
-	oid, rest, err := readString(rest)
-	if err != nil {
-		return nil, nil, err
-	}
-	tid, rest, err := readString(rest)
-	if err != nil {
-		return nil, nil, err
+	var oid, tid string
+	var err error
+	if withIDs {
+		oid, rest, err = readString(rest)
+		if err != nil {
+			return nil, err
+		}
+		tid, rest, err = readString(rest)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if rest, err = skipString(rest); err != nil {
+			return nil, err
+		}
+		if rest, err = skipString(rest); err != nil {
+			return nil, err
+		}
 	}
 	start, rest, err := readVarint(rest)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	end, rest, err := readVarint(rest)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	trValue, n := compress.Uvarint(rest)
 	if n <= 0 {
-		return nil, nil, ErrBadRow
+		return nil, ErrBadRow
 	}
 	rest = rest[n:]
-	return &Row{
-		OID:       oid,
-		TID:       tid,
-		TRValue:   trValue,
-		TimeRange: model.TimeRange{Start: start, End: end},
-	}, rest, nil
+	r.OID = oid
+	r.TID = tid
+	r.TRValue = trValue
+	r.TimeRange = model.TimeRange{Start: start, End: end}
+	return rest, nil
 }
 
-// Points decodes (and memoizes) the compressed point sequence.
+// rowTimeRange extracts just the exact time range from an encoded row
+// value, allocation-free: the temporal push-down filter runs once per
+// candidate row and needs nothing else from the header.
+func rowTimeRange(value []byte) (model.TimeRange, bool) {
+	if len(value) < 2 || value[0] != rowVersion {
+		return model.TimeRange{}, false
+	}
+	rest := value[1:]
+	for i := 0; i < 2; i++ { // skip oid and tid without materializing strings
+		l, n := compress.Uvarint(rest)
+		if n <= 0 || l > uint64(len(rest)-n) {
+			return model.TimeRange{}, false
+		}
+		rest = rest[n+int(l):]
+	}
+	start, n := compress.Varint(rest)
+	if n <= 0 {
+		return model.TimeRange{}, false
+	}
+	rest = rest[n:]
+	end, n := compress.Varint(rest)
+	if n <= 0 {
+		return model.TimeRange{}, false
+	}
+	return model.TimeRange{Start: start, End: end}, true
+}
+
+// Points decodes (and memoizes) the compressed point sequence. The decode
+// appends into r's existing point buffer, so a pooled row reuses the same
+// backing array across values.
 func (r *Row) Points() ([]model.Point, error) {
-	if r.points != nil {
+	if r.decoded {
 		return r.points, nil
 	}
-	pts, err := compress.DecodePoints(r.pointsBlob)
+	pts, err := compress.AppendPoints(r.points[:0], r.pointsBlob)
 	if err != nil {
 		return nil, err
 	}
 	r.points = pts
+	r.decoded = true
 	return pts, nil
 }
 
@@ -198,6 +273,15 @@ func readString(b []byte) (string, []byte, error) {
 		return "", nil, ErrBadRow
 	}
 	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+// skipString advances past a length-prefixed string without materializing it.
+func skipString(b []byte) ([]byte, error) {
+	l, n := compress.Uvarint(b)
+	if n <= 0 || l > uint64(len(b)-n) {
+		return nil, ErrBadRow
+	}
+	return b[n+int(l):], nil
 }
 
 func readVarint(b []byte) (int64, []byte, error) {

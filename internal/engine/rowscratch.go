@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"sync"
+
+	"github.com/tman-db/tman/internal/compress"
+)
+
+// scratchRowPool recycles Rows for decode-inspect-discard call sites: the
+// push-down filters decode one row per candidate, evaluate a predicate, and
+// drop it. Pooled rows keep their feature slices across uses and borrow a
+// point buffer from the shared compress pool, so a steady query stream
+// stops allocating per candidate row.
+//
+// Ownership rule: a scratch row (and anything aliasing its slices — Points
+// results, Features) must never escape the filter callback it was fetched
+// for. Rows that outlive the call, e.g. anything that reaches
+// materialize(), must come from decodeRow, which allocates fresh.
+var scratchRowPool = sync.Pool{New: func() any { return new(Row) }}
+
+func getScratchRow() *Row {
+	r := scratchRowPool.Get().(*Row)
+	r.points = compress.GetPointBuf()
+	return r
+}
+
+func putScratchRow(r *Row) {
+	compress.PutPointBuf(r.points)
+	r.points = nil
+	r.decoded = false
+	// Drop references into the scanned value so pooled rows never pin
+	// region memory; capacities of the feature slices are retained.
+	r.OID, r.TID = "", ""
+	r.pointsBlob = nil
+	r.Features.Rep = r.Features.Rep[:0]
+	r.Features.Boxes = r.Features.Boxes[:0]
+	scratchRowPool.Put(r)
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// TestQueryReportGolden pins the per-query candidate counts and store
+// counters of a seeded query workload. Candidates (RowsScanned for
+// primary-direct plans, index hits for secondary plans) are the paper's
+// headline I/O metric; a read-path change that alters them silently changes
+// what every experiment in EXPERIMENTS.md measures.
+func TestQueryReportGolden(t *testing.T) {
+	cfg := testConfig()
+	cfg.KV.RegionMaxBytes = 128 << 10
+	cfg.KV.MemtableFlushBytes = 16 << 10
+	cfg.KV.MaxRunsPerRegion = 4
+	e, trajs := loadEngine(t, cfg, 1200, 99)
+
+	type obs struct {
+		plan        string
+		candidates  int64
+		results     int64
+		rowsScanned int64
+		rowsRet     int64
+		seeks       int64
+		rpcs        int64
+	}
+	var got []obs
+	record := func(rep QueryReport) {
+		got = append(got, obs{
+			plan:        rep.Plan,
+			candidates:  rep.Candidates,
+			results:     int64(rep.Results),
+			rowsScanned: rep.Store.RowsScanned,
+			rowsRet:     rep.Store.RowsReturned,
+			seeks:       rep.Store.Seeks,
+			rpcs:        rep.Store.RPCs,
+		})
+	}
+
+	anchor := trajs[17].Points[0]
+	window := geo.Rect{
+		MinX: anchor.X - 2.0, MinY: anchor.Y - 1.5,
+		MaxX: anchor.X + 2.0, MaxY: anchor.Y + 1.5,
+	}
+	tr0 := trajs[29].TimeRange()
+	trange := model.TimeRange{Start: tr0.Start - 3600_000, End: tr0.Start + 48*3600_000}
+
+	_, rep, err := e.SpatialRangeQuery(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(rep)
+	_, rep, err = e.TemporalRangeQuery(trange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(rep)
+	_, rep, err = e.IDTemporalQuery(trajs[41].OID, model.TimeRange{Start: trange.Start, End: trange.End + 12*3600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(rep)
+	_, rep, err = e.SpatioTemporalQuery(window, model.TimeRange{Start: trange.Start, End: trange.End + 24*3600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(rep)
+
+	want := []obs{
+		{plan: "primary:tshape", candidates: 50, results: 44, rowsScanned: 50, rowsRet: 44, seeks: 564, rpcs: 4},
+		{plan: "secondary:tr", candidates: 92, results: 89, rowsScanned: 184, rowsRet: 181, seeks: 284, rpcs: 7},
+		{plan: "secondary:idt", candidates: 5, results: 5, rowsScanned: 10, rowsRet: 10, seeks: 197, rpcs: 5},
+		{plan: "secondary:st", candidates: 132, results: 5, rowsScanned: 264, rowsRet: 137, seeks: 324, rpcs: 7},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d queries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("query %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if t.Failed() {
+		for i, o := range got {
+			t.Logf("golden[%d] = %s", i, fmt.Sprintf("%#v", o))
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package kvstore
+
+import (
+	"bytes"
+	"sync"
+)
+
+// K-way merge machinery shared by compaction (mergeRuns) and streaming
+// region scans. Sources are ordered newest-to-oldest by priority; among
+// entries with equal keys the lowest priority (newest) wins and the
+// shadowed versions are skipped. A binary heap over the source cursors
+// makes each emitted entry O(log K) instead of the O(K) per-entry linear
+// minimum search the old merge performed.
+
+// mergeCursor is one source of a k-way merge. Two backing modes share the
+// struct: a key-sorted entry slice (a sorted run, or a pre-sliced window of
+// one) when entries is non-nil, otherwise a live skiplist walk bounded by
+// hi. cur always points at the current entry — into the slice, or at the
+// cursor-owned memEnt staging slot in skiplist mode — so comparisons and
+// advances never copy entries around.
+type mergeCursor struct {
+	// Slice mode.
+	entries []entry
+	pos     int
+	// Skiplist mode.
+	node   *skipNode
+	hi     []byte
+	memEnt entry // staging for the current skiplist node
+
+	pri int // lower = newer; tie-break for duplicate keys
+	cur *entry
+	ok  bool
+}
+
+// initSlice points the cursor at a key-sorted entry slice.
+func (c *mergeCursor) initSlice(entries []entry, pri int) {
+	*c = mergeCursor{entries: entries, pri: pri}
+	if len(entries) > 0 {
+		c.cur = &entries[0]
+		c.ok = true
+	}
+}
+
+// initMem points the cursor at a skiplist walk starting at start (already
+// sought to the scan's lower bound) and stopping at hi (exclusive; nil =
+// +inf). The cursor becomes self-referential (cur aims at its own memEnt
+// slot), so it must be initialized in its final storage, never copied.
+func (c *mergeCursor) initMem(start *skipNode, hi []byte, pri int) {
+	*c = mergeCursor{node: start, hi: hi, pri: pri}
+	c.loadNode()
+}
+
+func (c *mergeCursor) loadNode() {
+	n := c.node
+	if n == nil || (c.hi != nil && bytes.Compare(n.key, c.hi) >= 0) {
+		c.ok = false
+		return
+	}
+	c.memEnt = entry{key: n.key, value: n.value, tomb: n.tomb}
+	c.cur = &c.memEnt
+	c.ok = true
+}
+
+// advance moves to the next entry; the cursor must be ok.
+func (c *mergeCursor) advance() {
+	if c.entries != nil {
+		c.pos++
+		if c.pos < len(c.entries) {
+			c.cur = &c.entries[c.pos]
+		} else {
+			c.ok = false
+		}
+		return
+	}
+	c.node = c.node.next[0]
+	c.loadNode()
+}
+
+// mergeLess orders cursors by (current key, priority): the heap root is the
+// smallest key, and among equal keys the newest version.
+func mergeLess(a, b *mergeCursor) bool {
+	cmp := bytes.Compare(a.cur.key, b.cur.key)
+	if cmp != 0 {
+		return cmp < 0
+	}
+	return a.pri < b.pri
+}
+
+// mergeIter streams the merged, deduplicated entry sequence of its cursors.
+// Tombstones are emitted (newest version wins as for any key); callers
+// decide whether to drop them.
+//
+// Three modes by live source count: exactly one source streams directly; up
+// to linearMergeMax sources use a linear minimum search (fewer branches and
+// no sift traffic beat O(log K) at small K); more use the binary heap.
+type mergeIter struct {
+	heap   []*mergeCursor // live cursors: min-heap, or unordered in linear mode
+	single *mergeCursor   // fast path: exactly one live source, no heap ops
+	linear bool
+}
+
+// linearMergeMax is the live-source count at or below which the linear
+// minimum search replaces the heap.
+const linearMergeMax = 4
+
+// init takes ownership of cursors (filtered and reordered in place).
+func (m *mergeIter) init(cursors []*mergeCursor) {
+	live := cursors[:0]
+	for _, c := range cursors {
+		if c.ok {
+			live = append(live, c)
+		}
+	}
+	m.single = nil
+	m.linear = false
+	if len(live) == 1 {
+		m.single = live[0]
+		m.heap = nil
+		return
+	}
+	m.heap = live
+	if len(live) <= linearMergeMax {
+		m.linear = true
+		return
+	}
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+// next returns the next live-or-tombstone entry in key order, newest
+// version winning among duplicates, or ok=false when exhausted.
+func (m *mergeIter) next() (e entry, ok bool) {
+	if c := m.single; c != nil {
+		if !c.ok {
+			return entry{}, false
+		}
+		e = *c.cur
+		c.advance()
+		// Runs normally hold unique keys, but dedup anyway so the merge
+		// contract is the same in both modes.
+		for c.ok && bytes.Equal(c.cur.key, e.key) {
+			c.advance()
+		}
+		return e, true
+	}
+	if len(m.heap) == 0 {
+		return entry{}, false
+	}
+	if m.linear {
+		return m.nextLinear()
+	}
+	e = *m.heap[0].cur
+	m.advanceRoot()
+	// Skip shadowed versions of the emitted key in older sources.
+	for len(m.heap) > 0 && bytes.Equal(m.heap[0].cur.key, e.key) {
+		m.advanceRoot()
+	}
+	return e, true
+}
+
+// nextLinear is next for the small-K mode: find the (key, priority) minimum
+// by scanning the live cursors, then advance every cursor past that key.
+func (m *mergeIter) nextLinear() (entry, bool) {
+	best := m.heap[0]
+	for _, c := range m.heap[1:] {
+		if mergeLess(c, best) {
+			best = c
+		}
+	}
+	e := *best.cur
+	for i := len(m.heap) - 1; i >= 0; i-- {
+		c := m.heap[i]
+		for c.ok && bytes.Equal(c.cur.key, e.key) {
+			c.advance()
+		}
+		if !c.ok {
+			last := len(m.heap) - 1
+			m.heap[i] = m.heap[last]
+			m.heap[last] = nil
+			m.heap = m.heap[:last]
+		}
+	}
+	return e, true
+}
+
+// appendTo drains the iterator into out, optionally dropping tombstones —
+// the batch form compaction uses. The flat per-mode loops avoid the
+// per-entry call and copy overhead of next, which matters when merging
+// whole runs.
+func (m *mergeIter) appendTo(out []entry, dropTombs bool) []entry {
+	if c := m.single; c != nil {
+		for c.ok {
+			e := *c.cur
+			c.advance()
+			for c.ok && bytes.Equal(c.cur.key, e.key) {
+				c.advance()
+			}
+			if e.tomb && dropTombs {
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	if m.linear {
+		allSlices := true
+		for _, c := range m.heap {
+			if c.entries == nil {
+				allSlices = false
+				break
+			}
+		}
+		if allSlices {
+			return m.appendLinearSlices(out, dropTombs)
+		}
+		for len(m.heap) > 0 {
+			best := m.heap[0]
+			for _, c := range m.heap[1:] {
+				if mergeLess(c, best) {
+					best = c
+				}
+			}
+			e := *best.cur
+			for i := len(m.heap) - 1; i >= 0; i-- {
+				c := m.heap[i]
+				for c.ok && bytes.Equal(c.cur.key, e.key) {
+					c.advance()
+				}
+				if !c.ok {
+					last := len(m.heap) - 1
+					m.heap[i] = m.heap[last]
+					m.heap[last] = nil
+					m.heap = m.heap[:last]
+				}
+			}
+			if e.tomb && dropTombs {
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	for len(m.heap) > 0 {
+		e := *m.heap[0].cur
+		m.advanceRoot()
+		for len(m.heap) > 0 && bytes.Equal(m.heap[0].cur.key, e.key) {
+			m.advanceRoot()
+		}
+		if e.tomb && dropTombs {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// appendLinearSlices is the linear-mode drain when every live source is an
+// entry slice — the compaction shape. Working on raw slice positions keeps
+// the per-entry cost to bare index arithmetic: no cur pointer maintenance
+// and no advance calls. It consumes the cursors without updating cur/ok, so
+// it must fully drain (it does; m.heap ends empty).
+func (m *mergeIter) appendLinearSlices(out []entry, dropTombs bool) []entry {
+	live := m.heap
+	for len(live) > 0 {
+		best := live[0]
+		bk := best.entries[best.pos].key
+		for _, c := range live[1:] {
+			ck := c.entries[c.pos].key
+			cmp := bytes.Compare(ck, bk)
+			if cmp < 0 || (cmp == 0 && c.pri < best.pri) {
+				best, bk = c, ck
+			}
+		}
+		e := best.entries[best.pos]
+		for i := len(live) - 1; i >= 0; i-- {
+			c := live[i]
+			for c.pos < len(c.entries) && bytes.Equal(c.entries[c.pos].key, e.key) {
+				c.pos++
+			}
+			if c.pos >= len(c.entries) {
+				c.ok = false
+				last := len(live) - 1
+				live[i] = live[last]
+				live[last] = nil
+				live = live[:last]
+			}
+		}
+		if e.tomb && dropTombs {
+			continue
+		}
+		out = append(out, e)
+	}
+	m.heap = live
+	return out
+}
+
+// advanceRoot advances the root cursor and restores the heap invariant,
+// dropping the cursor when it is exhausted.
+func (m *mergeIter) advanceRoot() {
+	c := m.heap[0]
+	c.advance()
+	if !c.ok {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap[last] = nil
+		m.heap = m.heap[:last]
+		if len(m.heap) == 0 {
+			return
+		}
+	}
+	m.siftDown(0)
+}
+
+func (m *mergeIter) siftDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && mergeLess(h[r], h[l]) {
+			small = r
+		}
+		if !mergeLess(h[small], h[i]) {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// scanScratch pools the per-scan merge state (cursor storage, heap slice,
+// iterator) so steady-state scans and compactions allocate nothing for
+// their merge plumbing. Ownership rule: a scratch is private to one
+// scan/merge call; it must be released before returning and nothing taken
+// from it may be retained (cursors alias run entries and skiplist nodes).
+type scanScratch struct {
+	cursors []mergeCursor
+	ptrs    []*mergeCursor
+	it      mergeIter
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// getScanScratch returns a scratch whose cursor storage can hold at least
+// capHint cursors without reallocating (pointers into cursors stay valid).
+func getScanScratch(capHint int) *scanScratch {
+	sc := scanScratchPool.Get().(*scanScratch)
+	if cap(sc.cursors) < capHint {
+		sc.cursors = make([]mergeCursor, 0, capHint)
+	}
+	if cap(sc.ptrs) < capHint {
+		sc.ptrs = make([]*mergeCursor, 0, capHint)
+	}
+	return sc
+}
+
+// start heapifies the cursors appended into sc.cursors and returns the
+// ready iterator.
+func (sc *scanScratch) start() *mergeIter {
+	ptrs := sc.ptrs[:0]
+	for i := range sc.cursors {
+		ptrs = append(ptrs, &sc.cursors[i])
+	}
+	sc.ptrs = ptrs
+	sc.it.init(ptrs)
+	return &sc.it
+}
+
+// release drops all backing references and returns the scratch to the pool.
+func (sc *scanScratch) release() {
+	for i := range sc.cursors {
+		sc.cursors[i] = mergeCursor{}
+	}
+	sc.cursors = sc.cursors[:0]
+	for i := range sc.ptrs {
+		sc.ptrs[i] = nil
+	}
+	sc.ptrs = sc.ptrs[:0]
+	sc.it = mergeIter{}
+	scanScratchPool.Put(sc)
+}

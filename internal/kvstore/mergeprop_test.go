@@ -1,0 +1,153 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// referenceMerge is the pre-overhaul linear k-way merge, kept verbatim as
+// the correctness oracle for the heap merge: per emitted entry it scans all
+// cursors for the smallest key (ties resolved newest-first), then advances
+// every cursor past that key so shadowed versions are skipped.
+func referenceMerge(sources [][]entry, dropTombs bool) []entry {
+	type cursor struct {
+		src []entry
+		pos int
+		pri int // lower = newer
+	}
+	cursors := make([]*cursor, 0, len(sources))
+	total := 0
+	for pri, src := range sources {
+		if len(src) > 0 {
+			cursors = append(cursors, &cursor{src: src, pri: pri})
+			total += len(src)
+		}
+	}
+	out := make([]entry, 0, total)
+	for {
+		var best *cursor
+		for _, c := range cursors {
+			if c.pos >= len(c.src) {
+				continue
+			}
+			if best == nil {
+				best = c
+				continue
+			}
+			cmp := bytes.Compare(c.src[c.pos].key, best.src[best.pos].key)
+			if cmp < 0 || (cmp == 0 && c.pri < best.pri) {
+				best = c
+			}
+		}
+		if best == nil {
+			return out
+		}
+		e := best.src[best.pos]
+		for _, c := range cursors {
+			for c.pos < len(c.src) && bytes.Equal(c.src[c.pos].key, e.key) {
+				c.pos++
+			}
+		}
+		if e.tomb && dropTombs {
+			continue
+		}
+		out = append(out, e)
+	}
+}
+
+// randomMergeSources draws up to 6 sorted sources over a small key universe
+// so cross-source duplicates (shadowing) are common; values vary per source
+// so the winning version is observable, and tombstones appear throughout.
+func randomMergeSources(rng *rand.Rand) [][]entry {
+	k := rng.Intn(7)
+	sources := make([][]entry, k)
+	for s := range sources {
+		n := rng.Intn(40)
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(60)
+		}
+		// Sorted, possibly with duplicate keys inside one source: the merge
+		// must dedup those too.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		src := make([]entry, n)
+		for i, kv := range keys {
+			e := entry{key: []byte(fmt.Sprintf("key-%02d", kv))}
+			if rng.Intn(4) == 0 {
+				e.tomb = true
+			} else {
+				e.value = []byte(fmt.Sprintf("val-%02d-src%d-%d", kv, s, rng.Intn(1000)))
+			}
+			src[i] = e
+		}
+		sources[s] = src
+	}
+	return sources
+}
+
+func entriesEqual(a, b []entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].key, b[i].key) || !bytes.Equal(a[i].value, b[i].value) || a[i].tomb != b[i].tomb {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHeapMergeMatchesReference property-checks the heap merge against the
+// old linear merge: identical keys, values, tombstone handling, and
+// newest-wins shadowing on arbitrary sorted sources, with and without
+// tombstone dropping.
+func TestHeapMergeMatchesReference(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(randomMergeSources(rng))
+			args[1] = reflect.ValueOf(rng.Intn(2) == 0)
+		},
+	}
+	f := func(sources [][]entry, dropTombs bool) bool {
+		got := mergeRuns(sources, dropTombs)
+		want := referenceMerge(sources, dropTombs)
+		return entriesEqual(got, want)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapMergeEdgeCases pins the shapes quick.Check may not hit: no
+// sources, all-empty sources, and a single source with internal duplicates.
+func TestHeapMergeEdgeCases(t *testing.T) {
+	if got := mergeRuns(nil, true); len(got) != 0 {
+		t.Fatalf("merge of no sources = %v, want empty", got)
+	}
+	if got := mergeRuns([][]entry{{}, {}, nil}, false); len(got) != 0 {
+		t.Fatalf("merge of empty sources = %v, want empty", got)
+	}
+	single := [][]entry{{
+		{key: []byte("a"), value: []byte("1")},
+		{key: []byte("b"), value: []byte("2")},
+		{key: []byte("b"), value: []byte("3")},
+		{key: []byte("c"), tomb: true},
+	}}
+	got := mergeRuns(single, false)
+	want := referenceMerge(single, false)
+	if !entriesEqual(got, want) {
+		t.Fatalf("single-source merge = %v, want %v", got, want)
+	}
+	if len(got) != 3 || string(got[1].value) != "2" {
+		t.Fatalf("single-source dedup kept %v", got)
+	}
+}

@@ -1,0 +1,117 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the overhauled read path: k-way run merging, hot-region
+// streaming scans, and the multi-window scan executor. Run via `make bench`
+// to regenerate BENCH_readpath.json.
+
+// buildMergeSources produces k key-sorted sources whose keys interleave,
+// with a sprinkling of cross-source duplicates and tombstones — the shape a
+// compaction or multi-run scan merge actually sees.
+func buildMergeSources(k, total int) [][]entry {
+	per := total / k
+	sources := make([][]entry, k)
+	for i := range sources {
+		es := make([]entry, per)
+		for j := range es {
+			seq := j*k + i
+			if j%37 == 0 && i > 0 {
+				seq = j * k // duplicate a key owned by source 0
+			}
+			es[j] = entry{
+				key:   []byte(fmt.Sprintf("key-%09d", seq)),
+				value: []byte("value-payload-payload"),
+				tomb:  j%53 == 0,
+			}
+		}
+		sources[i] = es
+	}
+	return sources
+}
+
+func benchmarkMergeRuns(b *testing.B, k int) {
+	sources := buildMergeSources(k, 65536)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		out := mergeRuns(sources, true)
+		if len(out) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+func BenchmarkMergeRuns4Sources(b *testing.B)  { benchmarkMergeRuns(b, 4) }
+func BenchmarkMergeRuns16Sources(b *testing.B) { benchmarkMergeRuns(b, 16) }
+func BenchmarkMergeRuns64Sources(b *testing.B) { benchmarkMergeRuns(b, 64) }
+
+// BenchmarkRegionScan scans a hot region holding many uncompacted runs plus
+// a live memtable — the worst case for the merge layer.
+func BenchmarkRegionScan(b *testing.B) {
+	r := newRegion(1, nil, nil, 0, 1<<30, 1<<30) // thresholds disable auto flush/compact
+	const runs, perRun = 16, 2000
+	for runIdx := 0; runIdx < runs; runIdx++ {
+		for j := 0; j < perRun; j++ {
+			seq := j*runs + runIdx
+			r.put([]byte(fmt.Sprintf("key-%08d", seq)), []byte("value-payload-payload"), nil)
+		}
+		r.mu.Lock()
+		r.flushLocked(nil)
+		r.mu.Unlock()
+	}
+	// Leave some rows in the memtable so the scan merges runs + memtable.
+	for j := 0; j < perRun; j++ {
+		r.put([]byte(fmt.Sprintf("key-%08d", j*runs+3)), []byte("fresh-payload"), nil)
+	}
+	var out []KV
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		out = out[:0]
+		var hit bool
+		out, hit, _ = r.scan(nil, nil, nil, 0, out, nil)
+		if hit || len(out) != runs*perRun {
+			b.Fatalf("scan returned %d rows (hit=%v)", len(out), hit)
+		}
+	}
+}
+
+// BenchmarkScanRangesManyRegions measures the multi-window executor over a
+// table split into many regions, each still holding several runs (no final
+// compaction): per-query goroutine churn and merge allocations dominate the
+// baseline here.
+func BenchmarkScanRangesManyRegions(b *testing.B) {
+	opts := NoNetworkOptions()
+	opts.RegionMaxBytes = 32 << 10
+	opts.MemtableFlushBytes = 4 << 10
+	opts.MaxRunsPerRegion = 8
+	s := Open(opts)
+	tbl, _ := s.CreateTable("t")
+	const rows = 30000
+	for i := 0; i < rows; i++ {
+		tbl.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("value-payload-payload-payload"))
+	}
+	ranges := make([]KeyRange, 64)
+	for i := range ranges {
+		lo := i * 400
+		ranges[i] = KeyRange{
+			Start: []byte(fmt.Sprintf("key-%08d", lo)),
+			End:   []byte(fmt.Sprintf("key-%08d", lo+50)),
+		}
+	}
+	if rc := tbl.RegionCount(); rc < 8 {
+		b.Fatalf("want many regions, got %d", rc)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		out := tbl.ScanRanges(ranges, nil, 0)
+		if len(out) != 64*50 {
+			b.Fatalf("scan returned %d", len(out))
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package kvstore
+
+// Benchmarks the pre-overhaul linear merge (kept as the property-test
+// oracle in mergeprop_test.go) so before/after comparisons can be
+// reproduced on one machine under identical load.
+import "testing"
+
+func benchmarkReferenceMerge(b *testing.B, k int) {
+	sources := buildMergeSources(k, 65536)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		out := referenceMerge(sources, true)
+		if len(out) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+func BenchmarkReferenceMerge4Sources(b *testing.B)  { benchmarkReferenceMerge(b, 4) }
+func BenchmarkReferenceMerge16Sources(b *testing.B) { benchmarkReferenceMerge(b, 16) }
+func BenchmarkReferenceMerge64Sources(b *testing.B) { benchmarkReferenceMerge(b, 64) }

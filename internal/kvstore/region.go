@@ -14,7 +14,7 @@ type region struct {
 	startKey []byte // inclusive; nil = -inf
 	endKey   []byte // exclusive; nil = +inf
 	mem      *skiplist
-	runs     []*sortedRun // newest first
+	runs     []*sortedRun // oldest first: flushes append, so the newest run is last
 	node     int          // owning node id
 	id       int64        // store-unique id, stable for a deterministic load order
 
@@ -101,13 +101,15 @@ func (r *region) delete(key []byte, stats *Stats) {
 	}
 }
 
-// flushLocked turns the memtable into a sorted run; caller holds mu.
+// flushLocked turns the memtable into a sorted run; caller holds mu. Runs
+// are kept oldest-first so a flush is a plain append rather than a
+// whole-slice reallocating prepend.
 func (r *region) flushLocked(stats *Stats) {
 	if r.mem.size == 0 {
 		return
 	}
 	run := newSortedRun(r.mem.drain())
-	r.runs = append([]*sortedRun{run}, r.runs...)
+	r.runs = append(r.runs, run)
 	r.mem = newSkiplist(nextSkiplistSeed())
 	if stats != nil {
 		stats.Flushes.Add(1)
@@ -120,9 +122,10 @@ func (r *region) flushLocked(stats *Stats) {
 // compactLocked merges all runs into one, dropping tombstones (a region owns
 // its whole key range, so nothing older can resurface).
 func (r *region) compactLocked(stats *Stats) {
+	// mergeRuns wants sources newest first; runs are stored oldest first.
 	sources := make([][]entry, len(r.runs))
 	for i, run := range r.runs {
-		sources[i] = run.entries
+		sources[len(r.runs)-1-i] = run.entries
 	}
 	merged := mergeRuns(sources, true)
 	r.runs = []*sortedRun{newSortedRun(merged)}
@@ -141,8 +144,8 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 		}
 		return v, true
 	}
-	for _, run := range r.runs {
-		if v, tomb, found := run.get(key); found {
+	for i := len(r.runs) - 1; i >= 0; i-- {
+		if v, tomb, found := r.runs[i].get(key); found {
 			if tomb {
 				return nil, false
 			}
@@ -157,6 +160,11 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 // limit <= 0 means unlimited. Returns the extended slice, whether the limit
 // was reached, and the bytes of rows visited (the simulated disk-read
 // volume).
+//
+// The scan streams a heap merge over the live memtable and every run:
+// each run is binary-search-seeked to the window once, cursors advance in
+// lockstep, and a limit stops the merge without visiting (or copying) the
+// rest of the window. No per-source sub-slices are materialized.
 func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats) (result []KV, hitLimit bool, scannedBytes int64) {
 	lo := maxKey(start, r.startKey)
 	hi := minKey(end, r.endKey)
@@ -167,13 +175,31 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		stats.Seeks.Add(1)
 	}
 
-	// Gather non-empty sources (memtable + runs), newest first. The common
-	// post-compaction case of a single source skips the merge entirely.
-	sources := make([][]entry, 0, len(r.runs)+1)
-	if memEntries := r.collectMemRange(lo, hi); len(memEntries) > 0 {
-		sources = append(sources, memEntries)
+	sc := getScanScratch(len(r.runs) + 1)
+	defer sc.release()
+
+	// Sources newest first: the live memtable (priority 0), then runs from
+	// newest (last) to oldest. Priorities make the newest version win among
+	// duplicate keys.
+	{
+		var n *skipNode
+		if lo != nil {
+			n = r.mem.seek(lo)
+		} else {
+			n = r.mem.first()
+		}
+		// A memtable cursor is self-referential; init it in its final slot.
+		sc.cursors = append(sc.cursors, mergeCursor{})
+		c := &sc.cursors[len(sc.cursors)-1]
+		c.initMem(n, hi, 0)
+		if !c.ok {
+			sc.cursors = sc.cursors[:len(sc.cursors)-1]
+		}
 	}
-	for _, run := range r.runs {
+	pri := 1
+	windowTotal := 0
+	for k := len(r.runs) - 1; k >= 0; k-- {
+		run := r.runs[k]
 		i := 0
 		if lo != nil {
 			i = run.seek(lo)
@@ -183,22 +209,35 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 			j = run.seek(hi)
 		}
 		if j > i {
-			sources = append(sources, run.entries[i:j])
+			var c mergeCursor
+			c.initSlice(run.entries[i:j], pri)
+			sc.cursors = append(sc.cursors, c)
+			pri++
+			windowTotal += j - i
 		}
 	}
-	var merged []entry
-	switch len(sources) {
-	case 0:
-		return out, false, 0
-	case 1:
-		// May still contain tombstones (filtered in the loop); with a
-		// single source nothing older can be shadowed, so this is safe.
-		merged = sources[0]
-	default:
-		merged = mergeRuns(sources, true)
+
+	// With no filter every deduped window entry is returned, so the run
+	// windows bound the result size; grow out once instead of per-append.
+	// (Duplicates and tombstones only make the bound generous.)
+	if filter == nil && windowTotal > 0 {
+		hint := windowTotal
+		if limit > 0 && limit-len(out) < hint {
+			hint = limit - len(out)
+		}
+		if need := len(out) + hint; need > cap(out) {
+			grown := make([]KV, len(out), need)
+			copy(grown, out)
+			out = grown
+		}
 	}
 
-	for _, e := range merged {
+	it := sc.start()
+	for {
+		e, ok := it.next()
+		if !ok {
+			break
+		}
 		if e.tomb {
 			continue
 		}
@@ -220,25 +259,6 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		}
 	}
 	return out, hitLimit, scannedBytes
-}
-
-// collectMemRange snapshots memtable entries in [lo, hi); caller holds at
-// least RLock.
-func (r *region) collectMemRange(lo, hi []byte) []entry {
-	var n *skipNode
-	if lo != nil {
-		n = r.mem.seek(lo)
-	} else {
-		n = r.mem.first()
-	}
-	var out []entry
-	for ; n != nil; n = n.next[0] {
-		if hi != nil && bytes.Compare(n.key, hi) >= 0 {
-			break
-		}
-		out = append(out, entry{key: n.key, value: n.value, tomb: n.tomb})
-	}
-	return out
 }
 
 // size returns the approximate byte size of the region.

@@ -37,53 +37,22 @@ func (r *sortedRun) get(key []byte) (value []byte, tomb, found bool) {
 }
 
 // mergeRuns merges newest-to-oldest ordered sources into a single run,
-// dropping shadowed versions. If dropTombs is true, tombstones are removed
-// (full compaction); otherwise they are preserved so they keep shadowing
-// older data that may live elsewhere.
+// dropping shadowed versions via a k-way heap merge (O(N log K) instead of
+// the O(N·K) per-entry linear minimum search). If dropTombs is true,
+// tombstones are removed (full compaction); otherwise they are preserved so
+// they keep shadowing older data that may live elsewhere.
 func mergeRuns(sources [][]entry, dropTombs bool) []entry {
-	type cursor struct {
-		src []entry
-		pos int
-		pri int // lower = newer
-	}
-	cursors := make([]*cursor, 0, len(sources))
+	sc := getScanScratch(len(sources))
+	defer sc.release()
 	total := 0
 	for pri, src := range sources {
 		if len(src) > 0 {
-			cursors = append(cursors, &cursor{src: src, pri: pri})
+			var c mergeCursor
+			c.initSlice(src, pri)
+			sc.cursors = append(sc.cursors, c)
 			total += len(src)
 		}
 	}
-	out := make([]entry, 0, total)
-	for {
-		// Find smallest key among cursors; ties resolved by priority.
-		var best *cursor
-		for _, c := range cursors {
-			if c.pos >= len(c.src) {
-				continue
-			}
-			if best == nil {
-				best = c
-				continue
-			}
-			cmp := bytes.Compare(c.src[c.pos].key, best.src[best.pos].key)
-			if cmp < 0 || (cmp == 0 && c.pri < best.pri) {
-				best = c
-			}
-		}
-		if best == nil {
-			return out
-		}
-		e := best.src[best.pos]
-		// Advance every cursor past this key (shadowed versions).
-		for _, c := range cursors {
-			for c.pos < len(c.src) && bytes.Equal(c.src[c.pos].key, e.key) {
-				c.pos++
-			}
-		}
-		if e.tomb && dropTombs {
-			continue
-		}
-		out = append(out, e)
-	}
+	it := sc.start()
+	return it.appendTo(make([]entry, 0, total), dropTombs)
 }

@@ -1,0 +1,127 @@
+package kvstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// scanPool is the store-level scan executor: a bounded set of persistent
+// worker goroutines that region scan tasks are submitted to. It replaces
+// the per-query semaphore + goroutine-spawn pattern, so a query stream
+// reuses the same workers instead of churning goroutines, while the
+// Parallelism bound still caps how many region scans run at once (and
+// therefore how many any single query can have in flight).
+//
+// The queue is unbounded and submit never blocks, so queries waiting on
+// their tasks can never deadlock against each other; tasks carry their own
+// retry/deadline logic and simply run later when the pool is saturated.
+type scanPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []scanJob
+	head    int
+	workers int
+	idle    int
+	max     int
+	closed  bool
+
+	// running/maxRunning instrument the concurrency bound for tests.
+	running    atomic.Int64
+	maxRunning atomic.Int64
+}
+
+func newScanPool(max int) *scanPool {
+	if max < 1 {
+		max = 1
+	}
+	p := &scanPool{max: max}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// scanJob is one queued unit of work: run(tk), then wg.Done(). The typed
+// shape (instead of a bare func()) lets a query submit one shared `run`
+// closure for all its region tasks, so enqueueing N tasks costs zero
+// per-task allocations — the queue slice is reused across queries.
+type scanJob struct {
+	run func(*scanTask)
+	tk  *scanTask
+	wg  *sync.WaitGroup
+}
+
+func (j scanJob) execute() {
+	defer j.wg.Done()
+	j.run(j.tk)
+}
+
+// submit enqueues a job, waking an idle worker or (lazily, up to the
+// bound) spawning a new one. Never blocks. After close, jobs degrade to a
+// plain goroutine so late scans still complete.
+func (p *scanPool) submit(job scanJob) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		go job.execute()
+		return
+	}
+	p.queue = append(p.queue, job)
+	if p.idle > 0 {
+		p.cond.Signal()
+	} else if p.workers < p.max {
+		p.workers++
+		go p.worker()
+	}
+	p.mu.Unlock()
+}
+
+func (p *scanPool) worker() {
+	p.mu.Lock()
+	for {
+		for p.head >= len(p.queue) && !p.closed {
+			p.idle++
+			p.cond.Wait()
+			p.idle--
+		}
+		if p.head >= len(p.queue) { // closed and drained
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[p.head]
+		p.queue[p.head] = scanJob{}
+		p.head++
+		if p.head == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.head = 0
+		} else if p.head > 1024 && p.head*2 > len(p.queue) {
+			p.queue = append(p.queue[:0], p.queue[p.head:]...)
+			p.head = 0
+		}
+		p.mu.Unlock()
+
+		n := p.running.Add(1)
+		for {
+			max := p.maxRunning.Load()
+			if n <= max || p.maxRunning.CompareAndSwap(max, n) {
+				break
+			}
+		}
+		job.execute()
+		p.running.Add(-1)
+
+		p.mu.Lock()
+	}
+}
+
+// close drains nothing and stops nothing in flight: queued tasks still run,
+// workers exit once the queue is empty. Idempotent.
+func (p *scanPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// maxObservedRunning reports the high-water mark of concurrently running
+// tasks (test instrumentation for the Parallelism bound).
+func (p *scanPool) maxObservedRunning() int64 { return p.maxRunning.Load() }

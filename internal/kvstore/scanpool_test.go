@@ -1,0 +1,180 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestScanPoolBound submits far more tasks than the pool width and checks
+// every task runs while the concurrency high-water mark stays within the
+// bound.
+func TestScanPoolBound(t *testing.T) {
+	const width, tasks = 3, 200
+	p := newScanPool(width)
+	var wg sync.WaitGroup
+	ran := make([]scanTask, tasks)
+	run := func(tk *scanTask) { tk.failed = true } // reuse a field as a "ran" marker
+	wg.Add(tasks)
+	for i := range ran {
+		p.submit(scanJob{run: run, tk: &ran[i], wg: &wg})
+	}
+	wg.Wait()
+	for i := range ran {
+		if !ran[i].failed {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+	if got := p.maxObservedRunning(); got > width {
+		t.Fatalf("maxObservedRunning = %d, want <= %d", got, width)
+	}
+	p.close()
+
+	// Post-close submissions degrade to plain goroutines but still run.
+	done := make(chan struct{})
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	p.submit(scanJob{run: func(*scanTask) { close(done) }, tk: new(scanTask), wg: &wg2})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-close task never ran")
+	}
+}
+
+// TestScanPoolStress drives the shared executor the way a loaded server
+// does: many tables on one store, concurrent queries with mixed deadlines
+// and fault injection, writers running alongside. Run under -race by `make
+// race`. It asserts that results never bleed across queries or tables (each
+// row's value must be the one its key's table wrote) and that the
+// store-wide Parallelism bound holds.
+func TestScanPoolStress(t *testing.T) {
+	opts := NoNetworkOptions()
+	opts.Parallelism = 4
+	opts.RegionMaxBytes = 16 << 10
+	opts.MemtableFlushBytes = 2 << 10
+	opts.MaxRunsPerRegion = 3
+	opts.Fault = FaultConfig{Seed: 11, PFailRPC: 0.2, UnavailableRPCsAfterSplit: 1}
+	opts.Retry = RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Multiplier: 2}
+	store := Open(opts)
+	defer store.Close()
+
+	const numTables, rowsPerTable = 6, 1500
+	tables := make([]*Table, numTables)
+	for ti := range tables {
+		tbl, err := store.CreateTable(fmt.Sprintf("stress-%d", ti))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rowsPerTable; i++ {
+			tbl.Put(stressKey(ti, i), stressVal(ti, i))
+		}
+		tables[ti] = tbl
+	}
+
+	checkRows := func(ti int, kvs []KV) {
+		t.Helper()
+		prev := []byte(nil)
+		for _, kv := range kvs {
+			if prev != nil && string(kv.Key) < string(prev) {
+				t.Errorf("table %d: keys out of order: %q after %q", ti, kv.Key, prev)
+				return
+			}
+			prev = kv.Key
+			var gotT, gotI int
+			if _, err := fmt.Sscanf(string(kv.Key), "t%02d-key-%05d", &gotT, &gotI); err != nil || gotT != ti {
+				t.Errorf("table %d: foreign key %q leaked into results", ti, kv.Key)
+				return
+			}
+			if want := stressVal(ti, gotI); string(kv.Value) != string(want) {
+				t.Errorf("table %d key %q: value %q, want %q", ti, kv.Key, kv.Value, want)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Writers rewrite existing rows with their unchanged values: real lock
+	// contention and flush/compaction churn without perturbing what readers
+	// must observe.
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i := w; i < rowsPerTable; i += 7 {
+					tables[w].Put(stressKey(w, i), stressVal(w, i))
+				}
+			}
+		}()
+	}
+	for g := 0; g < 12; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ti := g % numTables
+			tbl := tables[ti]
+			for iter := 0; iter < 25; iter++ {
+				switch iter % 4 {
+				case 0:
+					// Trusted full scan: must be complete and exact.
+					kvs := tbl.Scan(nil, nil, nil, 0)
+					if len(kvs) != rowsPerTable {
+						t.Errorf("table %d: full scan returned %d rows, want %d", ti, len(kvs), rowsPerTable)
+					}
+					checkRows(ti, kvs)
+				case 1:
+					// Fallible multi-range scan: may be partial under faults,
+					// but every surviving row must be exact.
+					// Sorted, non-overlapping windows (the ordering contract
+					// of ScanRangesCtx).
+					var ranges []KeyRange
+					for r := 0; r < 8; r++ {
+						lo := (iter*89)%150 + r*180
+						ranges = append(ranges, KeyRange{Start: stressKey(ti, lo), End: stressKey(ti, lo+40)})
+					}
+					kvs, _, err := tbl.ScanRangesCtx(context.Background(), ranges, nil, 0)
+					if err != nil {
+						t.Errorf("table %d: ScanRangesCtx: %v", ti, err)
+					}
+					checkRows(ti, kvs)
+				case 2:
+					// Tight deadline: partial or empty results are fine, rows
+					// must still be exact and the call must not wedge.
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+g%3)*time.Millisecond)
+					kvs, _, err := tbl.ScanCtx(ctx, nil, nil, nil, 200)
+					cancel()
+					if err != nil {
+						t.Errorf("table %d: ScanCtx: %v", ti, err)
+					}
+					checkRows(ti, kvs)
+				default:
+					// Filtered + limited scan through the fallible path.
+					filter := FilterFunc(func(key, _ []byte) bool { return key[len(key)-1]%2 == 0 })
+					kvs, _, err := tbl.ScanRangesCtx(context.Background(),
+						[]KeyRange{{Start: stressKey(ti, 0), End: stressKey(ti, rowsPerTable)}}, filter, 100)
+					if err != nil {
+						t.Errorf("table %d: filtered ScanRangesCtx: %v", ti, err)
+					}
+					if len(kvs) > 100 {
+						t.Errorf("table %d: limit 100 returned %d rows", ti, len(kvs))
+					}
+					checkRows(ti, kvs)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := store.scanPool.maxObservedRunning(); got > int64(opts.Parallelism) {
+		t.Fatalf("scan pool ran %d tasks concurrently, Parallelism = %d", got, opts.Parallelism)
+	}
+}
+
+func stressKey(ti, i int) []byte { return []byte(fmt.Sprintf("t%02d-key-%05d", ti, i)) }
+
+func stressVal(ti, i int) []byte { return []byte(fmt.Sprintf("value-%02d-%05d", ti, i)) }

@@ -1,0 +1,104 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadPathStatsGolden pins the externally observable Stats counters of a
+// seeded workload to exact values. The counters (RowsScanned in particular)
+// are the paper's "candidates / retrievals" metric and feed the analytic
+// cost model, so read-path refactors must reproduce them byte for byte:
+// any drift here means the new scan path visits different rows, dedups
+// differently, or charges RPCs differently than the reference behavior.
+//
+// Everything in the workload is deterministic: writes are issued from a
+// seeded PRNG on a single goroutine, fault decisions are a pure function of
+// (seed, region id, attempt sequence), and no query carries a deadline (the
+// only wall-clock-dependent path).
+func TestReadPathStatsGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RegionMaxBytes = 64 << 10
+	opts.MemtableFlushBytes = 8 << 10
+	opts.MaxRunsPerRegion = 4
+	opts.Parallelism = 4
+	opts.Fault = FaultConfig{Seed: 7, PFailRPC: 0.35, UnavailableRPCsAfterSplit: 2}
+	opts.Retry = RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+	s := Open(opts)
+	tbl, err := s.CreateTable("golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rows = 4000
+	rng := rand.New(rand.NewSource(11))
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+	for _, i := range rng.Perm(rows) {
+		val := strings.Repeat("v", 20+i%40) + fmt.Sprintf("#%06d", i)
+		tbl.Put(key(i), []byte(val))
+	}
+	for i := 0; i < rows; i += 17 {
+		tbl.Delete(key(i))
+	}
+	for i := 0; i < rows; i += 13 {
+		tbl.Put(key(i), []byte(fmt.Sprintf("rewritten-%06d", i)))
+	}
+
+	ctx := context.Background()
+	for i := 0; i < rows; i += 97 {
+		// Exhausted retries are an acceptable, deterministic outcome.
+		_, _, _ = tbl.GetCtx(WithQueryBudget(ctx), key(i))
+	}
+
+	filter := FilterFunc(func(k, _ []byte) bool { return k[len(k)-1]%2 == 0 })
+	_ = tbl.Scan(nil, nil, nil, 0)
+	_ = tbl.Scan(key(500), key(2500), filter, 0)
+	_ = tbl.Scan(key(100), key(3900), nil, 250)
+
+	var ranges []KeyRange
+	for i := 0; i < rows; i += 250 {
+		ranges = append(ranges, KeyRange{Start: key(i), End: key(i + 40)})
+	}
+	_ = tbl.ScanRanges(ranges, nil, 0)
+	_ = tbl.ScanRanges(ranges, filter, 120)
+	for q := 0; q < 8; q++ {
+		_, _, _ = tbl.ScanRangesCtx(WithQueryBudget(ctx), ranges, filter, 0)
+	}
+	_, _, _ = tbl.ScanCtx(WithQueryBudget(ctx), key(0), key(3999), nil, 300)
+	s.CompactAll()
+	_ = tbl.Scan(nil, nil, filter, 0)
+
+	got := s.Stats().Snapshot()
+	check := func(name string, got, want int64) {
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check("RowsScanned", got.RowsScanned, 18726)
+	check("RowsReturned", got.RowsReturned, 13216)
+	check("Seeks", got.Seeks, 206)
+	check("RPCs", got.RPCs, 88)
+	check("RetriedRPCs", got.RetriedRPCs, 71)
+	check("FailedRPCs", got.FailedRPCs, 74)
+	check("FailedRegions", got.FailedRegions, 1)
+	check("PartialScans", got.PartialScans, 1)
+	check("BytesReturned", got.BytesReturned, 577555)
+	check("Puts", got.Puts, 4308)
+	check("Deletes", got.Deletes, 236)
+	check("Flushes", got.Flushes, 54)
+	check("Compactions", got.Compactions, 14)
+	check("RegionSplits", got.RegionSplits, 5)
+	if t.Failed() {
+		t.Logf("full snapshot: %+v", got)
+	}
+}

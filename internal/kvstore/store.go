@@ -20,7 +20,9 @@ type Options struct {
 	// MaxRunsPerRegion triggers a compaction when a region accumulates more
 	// sorted runs than this.
 	MaxRunsPerRegion int
-	// Parallelism bounds the number of concurrent region scanners per query.
+	// Parallelism sizes the store's shared scan worker pool: the number of
+	// region scan tasks that may run concurrently store-wide, and therefore
+	// the parallelism ceiling of any single query.
 	Parallelism int
 	// RPCLatencyMicros models the round-trip cost of one region scan RPC
 	// (the paper's five-node HBase deployment); each per-region scan task
@@ -104,6 +106,7 @@ type Store struct {
 	regionSeq atomic.Int64
 	stats     Stats
 	injector  *faultInjector // nil when fault injection is disabled
+	scanPool  *scanPool      // shared bounded executor for region scan tasks
 
 	// Durability (set by OpenDir; nil for in-memory stores).
 	dir string
@@ -117,6 +120,7 @@ func Open(opts Options) *Store {
 		opts:     opts,
 		tables:   make(map[string]*Table),
 		injector: newFaultInjector(opts.Fault),
+		scanPool: newScanPool(opts.Parallelism),
 	}
 }
 

@@ -230,6 +230,85 @@ func (t *Table) ScanRangesCtx(ctx context.Context, ranges []KeyRange, filter Fil
 	return t.scanRanges(ctx, ranges, filter, limit, true)
 }
 
+// scanTask is one region's share of a multi-range scan: which ranges to
+// visit, plus the slots the worker writes its results into. Tasks are held
+// in a per-query slice, so each worker writes only to its own element and
+// no synchronization beyond the WaitGroup is needed.
+type scanTask struct {
+	reg       *region
+	rangeIdxs []int
+	out       []KV
+	cost      time.Duration
+	failed    bool
+}
+
+// singleRangeIdx is the shared index slice for the common one-window scan,
+// avoiding a per-task allocation.
+var singleRangeIdx = []int{0}
+
+// runScanTask executes one region task: the client retry loop under fault
+// injection, then the region scans, then the analytic I/O cost accounting.
+// Results land in tk; only the retry counter is shared across tasks.
+func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limit int, injector *faultInjector, expired func(time.Duration) bool, retried *atomic.Int64) {
+	pol := t.store.opts.Retry
+	rpcLatency := time.Duration(t.store.opts.RPCLatencyMicros) * time.Microsecond
+	mbps := t.store.opts.TransferMBps
+	diskMBps := t.store.opts.DiskMBps
+
+	var cost time.Duration
+	// Client retry loop: every injected fault costs one analytic backoff;
+	// the task gives up on deadline expiry or exhausted attempts, failing
+	// only its own region.
+	for attempt := 1; ; attempt++ {
+		if expired(cost) {
+			tk.failed = true
+			tk.cost = cost
+			return
+		}
+		err := injector.attempt(tk.reg, &t.store.stats)
+		if err == nil {
+			break
+		}
+		if attempt >= pol.MaxAttempts {
+			tk.failed = true
+			tk.cost = cost
+			return
+		}
+		cost += pol.backoff(attempt, injector.unit(tk.reg.id, tk.reg.faultSeq.Add(1)))
+		retried.Add(1)
+		t.store.stats.RetriedRPCs.Add(1)
+	}
+	var out []KV
+	var scanned int64
+	for _, ri := range tk.rangeIdxs {
+		kr := ranges[ri]
+		var hit bool
+		var sb int64
+		out, hit, sb = tk.reg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats)
+		scanned += sb
+		if hit {
+			break
+		}
+	}
+	tk.out = out
+	t.store.stats.RPCs.Add(1)
+	io := rpcLatency
+	if diskMBps > 0 {
+		io += time.Duration(float64(scanned) / float64(diskMBps) * float64(time.Second) / (1 << 20))
+	}
+	if mbps > 0 {
+		var bytes int
+		for _, kv := range out {
+			bytes += len(kv.Key) + len(kv.Value)
+		}
+		io += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
+	}
+	if scale := injector.latencyScale(tk.reg.node); scale != 1 {
+		io = time.Duration(float64(io) * scale)
+	}
+	tk.cost = cost + io
+}
+
 // scanRanges is the shared scan core. fallible selects the client-RPC
 // behavior (fault injection, retries, deadline accounting).
 //
@@ -238,41 +317,58 @@ func (t *Table) ScanRangesCtx(ctx context.Context, ranges []KeyRange, filter Fil
 // so push-down savings show up in wall-clock measurements; slow-node
 // multipliers and retry backoff are charged the same way.
 func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter, limit int, fallible bool) ([]KV, ScanStatus, error) {
-	type task struct {
-		reg       *region
-		rangeIdxs []int
-	}
 	t.mu.RLock()
-	var tasks []task
-	for _, reg := range t.regions {
-		var idxs []int
-		for ri, kr := range ranges {
-			if reg.overlapsRange(kr.Start, kr.End) {
-				idxs = append(idxs, ri)
+	var tasks []scanTask
+	if len(ranges) == 1 {
+		// Common single-window case: no per-task index slices at all.
+		tasks = make([]scanTask, 0, len(t.regions))
+		for _, reg := range t.regions {
+			if reg.overlapsRange(ranges[0].Start, ranges[0].End) {
+				tasks = append(tasks, scanTask{reg: reg, rangeIdxs: singleRangeIdx})
 			}
 		}
-		if idxs != nil {
-			tasks = append(tasks, task{reg: reg, rangeIdxs: idxs})
+	} else {
+		// Two passes: size exactly, then carve every task's range-index
+		// list out of one shared backing array — two allocations for the
+		// whole query instead of append churn per region.
+		nTasks, nIdxs := 0, 0
+		for _, reg := range t.regions {
+			c := 0
+			for _, kr := range ranges {
+				if reg.overlapsRange(kr.Start, kr.End) {
+					c++
+				}
+			}
+			if c > 0 {
+				nTasks++
+				nIdxs += c
+			}
+		}
+		tasks = make([]scanTask, 0, nTasks)
+		idxBuf := make([]int, 0, nIdxs)
+		for _, reg := range t.regions {
+			start := len(idxBuf)
+			for ri, kr := range ranges {
+				if reg.overlapsRange(kr.Start, kr.End) {
+					idxBuf = append(idxBuf, ri)
+				}
+			}
+			if len(idxBuf) > start {
+				tasks = append(tasks, scanTask{reg: reg, rangeIdxs: idxBuf[start:len(idxBuf):len(idxBuf)]})
+			}
 		}
 	}
 
-	results := make([][]KV, len(tasks))
-	taskCosts := make([]time.Duration, len(tasks))
-	taskFailed := make([]bool, len(tasks))
 	var retried atomic.Int64
 	par := t.store.opts.Parallelism
 	if par < 1 {
 		par = 1
 	}
-	rpcLatency := time.Duration(t.store.opts.RPCLatencyMicros) * time.Microsecond
-	mbps := t.store.opts.TransferMBps
-	diskMBps := t.store.opts.DiskMBps
 
 	injector := t.store.injector
 	if !fallible {
 		injector = nil
 	}
-	pol := t.store.opts.Retry
 	budget := budgetFrom(ctx)
 	deadline, hasDeadline := time.Time{}, false
 	if fallible {
@@ -294,67 +390,18 @@ func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter
 		return !time.Now().Add(budget.SimElapsed() + taskLocal).Before(deadline)
 	}
 
-	sem := make(chan struct{}, par)
+	// Region tasks run on the store's shared worker pool instead of fresh
+	// per-query goroutines; the pool's width is the same Parallelism bound
+	// the per-query semaphore used to enforce. One `run` closure is shared
+	// by all of this query's tasks, and each task writes only into its own
+	// scanTask slot, so queries never share result state.
 	var wg sync.WaitGroup
-	for i, tk := range tasks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, tk task) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var cost time.Duration
-			// Client retry loop: every injected fault costs one analytic
-			// backoff; the task gives up on deadline expiry or exhausted
-			// attempts, failing only its own region.
-			for attempt := 1; ; attempt++ {
-				if expired(cost) {
-					taskFailed[i] = true
-					taskCosts[i] = cost
-					return
-				}
-				err := injector.attempt(tk.reg, &t.store.stats)
-				if err == nil {
-					break
-				}
-				if attempt >= pol.MaxAttempts {
-					taskFailed[i] = true
-					taskCosts[i] = cost
-					return
-				}
-				cost += pol.backoff(attempt, injector.unit(tk.reg.id, tk.reg.faultSeq.Add(1)))
-				retried.Add(1)
-				t.store.stats.RetriedRPCs.Add(1)
-			}
-			var out []KV
-			var scanned int64
-			for _, ri := range tk.rangeIdxs {
-				kr := ranges[ri]
-				var hit bool
-				var sb int64
-				out, hit, sb = tk.reg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats)
-				scanned += sb
-				if hit {
-					break
-				}
-			}
-			results[i] = out
-			t.store.stats.RPCs.Add(1)
-			io := rpcLatency
-			if diskMBps > 0 {
-				io += time.Duration(float64(scanned) / float64(diskMBps) * float64(time.Second) / (1 << 20))
-			}
-			if mbps > 0 {
-				var bytes int
-				for _, kv := range out {
-					bytes += len(kv.Key) + len(kv.Value)
-				}
-				io += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
-			}
-			if scale := injector.latencyScale(tk.reg.node); scale != 1 {
-				io = time.Duration(float64(io) * scale)
-			}
-			taskCosts[i] = cost + io
-		}(i, tk)
+	run := func(tk *scanTask) {
+		t.runScanTask(tk, ranges, filter, limit, injector, expired, &retried)
+	}
+	wg.Add(len(tasks))
+	for i := range tasks {
+		t.store.scanPool.submit(scanJob{run: run, tk: &tasks[i], wg: &wg})
 	}
 	wg.Wait()
 	t.mu.RUnlock()
@@ -365,7 +412,8 @@ func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter
 	// parallel width. The accounting is analytic (no sleeping) so that
 	// measurements stay precise on any host.
 	var total, maxCost time.Duration
-	for _, c := range taskCosts {
+	for i := range tasks {
+		c := tasks[i].cost
 		total += c
 		if c > maxCost {
 			maxCost = c
@@ -379,14 +427,23 @@ func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter
 	budget.Charge(makespan)
 
 	status := ScanStatus{RetriedRPCs: retried.Load()}
-	var out []KV
-	for i, rs := range results {
-		if taskFailed[i] {
+	totalOut := 0
+	for i := range tasks {
+		if tasks[i].failed {
 			status.Partial = true
 			status.FailedRegions++
 			continue
 		}
-		out = append(out, rs...)
+		totalOut += len(tasks[i].out)
+	}
+	var out []KV
+	if totalOut > 0 {
+		out = make([]KV, 0, totalOut)
+		for i := range tasks {
+			if !tasks[i].failed {
+				out = append(out, tasks[i].out...)
+			}
+		}
 	}
 	if status.FailedRegions > 0 {
 		t.store.stats.FailedRegions.Add(int64(status.FailedRegions))

@@ -410,8 +410,11 @@ func (s *Store) Sync() error {
 	return s.wal.sync()
 }
 
-// Close flushes and closes the WAL (no-op for in-memory stores).
+// Close stops the scan worker pool and flushes and closes the WAL (which
+// in-memory stores don't have). Scans issued after Close still work; their
+// tasks fall back to plain goroutines.
 func (s *Store) Close() error {
+	s.scanPool.close()
 	if s.wal == nil {
 		return nil
 	}
