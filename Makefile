@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench
+.PHONY: all vet build test race check bench bench-write
 
 all: check
 
@@ -27,4 +27,15 @@ bench:
 	$(GO) test -run= -bench 'BenchmarkRegionScan|BenchmarkScanRangesManyRegions|BenchmarkMergeRuns' \
 		-benchmem -benchtime=2s ./internal/kvstore/ > /tmp/bench_kvstore.txt
 	$(GO) test -run= -bench 'BenchmarkSRQHot' -benchmem -benchtime=2s ./internal/engine/ > /tmp/bench_engine.txt
-	cat /tmp/bench_kvstore.txt /tmp/bench_engine.txt | $(GO) run ./cmd/benchjson -o BENCH_readpath.json
+	$(GO) run ./cmd/benchjson -suite readpath -o BENCH_readpath.json \
+		/tmp/bench_kvstore.txt /tmp/bench_engine.txt
+
+# Write-path benchmarks (per-region MultiPut vs sequential Put, WAL group
+# commit, engine BatchPut vs Put loop). Results land in BENCH_writepath.json.
+bench-write:
+	$(GO) test -run= -bench 'BenchmarkWrite(Sequential|Batched)' \
+		-benchmem -benchtime=2s ./internal/kvstore/ > /tmp/bench_write_kvstore.txt
+	$(GO) test -run= -bench 'BenchmarkEngineIngest' \
+		-benchmem -benchtime=20x ./internal/engine/ > /tmp/bench_write_engine.txt
+	$(GO) run ./cmd/benchjson -suite writepath -o BENCH_writepath.json \
+		/tmp/bench_write_kvstore.txt /tmp/bench_write_engine.txt

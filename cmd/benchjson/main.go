@@ -3,13 +3,22 @@
 // diffed without re-parsing the textual format.
 //
 //	go test -bench=. -benchmem ./internal/kvstore/ | benchjson -o BENCH.json
+//	benchjson -suite writepath -o BENCH.json kvstore.txt engine.txt
 //
+// Input comes from positional file arguments, or stdin when none are given.
 // Only the standard benchmark line shape is understood:
 //
 //	BenchmarkName-8   100   6850000 ns/op   3670240 B/op   6 allocs/op
 //
 // Non-benchmark lines (PASS, ok, logs) are ignored. The -benchmem columns
 // are optional; missing metrics are emitted as zero.
+//
+// Without -suite the output is the flat legacy document {label, results}.
+// With -suite the results are wrapped in a named suite, and if the output
+// file already holds a suites document the named suite is replaced in place
+// while every other suite is preserved — so independent benchmark runs
+// (read path, write path) can share one archive file without clobbering
+// each other.
 package main
 
 import (
@@ -33,21 +42,37 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// suite is one named benchmark run inside a multi-suite document.
+type suite struct {
+	Name    string   `json:"name"`
+	Label   string   `json:"label,omitempty"`
+	Results []result `json:"results"`
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	label := flag.String("label", "", "optional label recorded alongside the results")
+	suiteName := flag.String("suite", "", "wrap results in a named suite and merge into the output file")
 	flag.Parse()
 
-	results, err := parse(os.Stdin)
+	results, err := parseInputs(flag.Args())
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
 	}
-	doc := struct {
-		Label   string   `json:"label,omitempty"`
-		Results []result `json:"results"`
-	}{Label: *label, Results: results}
 
-	enc, err := json.MarshalIndent(doc, "", "  ")
+	var enc []byte
+	if *suiteName == "" {
+		doc := struct {
+			Label   string   `json:"label,omitempty"`
+			Results []result `json:"results"`
+		}{Label: *label, Results: results}
+		enc, err = json.MarshalIndent(doc, "", "  ")
+	} else {
+		doc := struct {
+			Suites []suite `json:"suites"`
+		}{Suites: mergeSuite(*out, suite{Name: *suiteName, Label: *label, Results: results})}
+		enc, err = json.MarshalIndent(doc, "", "  ")
+	}
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
 	}
@@ -60,6 +85,54 @@ func main() {
 		log.Fatalf("benchjson: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// parseInputs concatenates the named files (stdin when none) into one result
+// list, preserving file order so multi-package runs read top to bottom.
+func parseInputs(paths []string) ([]result, error) {
+	if len(paths) == 0 {
+		return parse(os.Stdin)
+	}
+	var all []result
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		results, err := parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, results...)
+	}
+	return all, nil
+}
+
+// mergeSuite loads any existing suites document at path and replaces the
+// suite with the same name, keeping the rest. A missing, empty, or legacy
+// flat-format file starts a fresh document.
+func mergeSuite(path string, s suite) []suite {
+	if path == "" {
+		return []suite{s}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []suite{s}
+	}
+	var doc struct {
+		Suites []suite `json:"suites"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || len(doc.Suites) == 0 {
+		return []suite{s}
+	}
+	for i := range doc.Suites {
+		if doc.Suites[i].Name == s.Name {
+			doc.Suites[i] = s
+			return doc.Suites
+		}
+	}
+	return append(doc.Suites, s)
 }
 
 func parse(r io.Reader) ([]result, error) {

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// TestBatchPutConcurrentWithQueries hammers the batched write path the way a
+// loaded server does: several goroutines issuing BatchPut while others run
+// range queries, with region thresholds tuned so splits and background
+// flushes fire mid-batch. Run under -race by `make race` and the dedicated
+// CI job; correctness assertions are that queries never error, never return
+// a torn row (every TID seen must decode to its full trajectory), and that
+// once the writers join, every batch is fully visible.
+func TestBatchPutConcurrentWithQueries(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferThreshold = 4
+	cfg.KV.RegionMaxBytes = 32 << 10
+	cfg.KV.MemtableFlushBytes = 4 << 10
+	cfg.KV.MaxRunsPerRegion = 3
+	cfg.KV.Parallelism = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const writers, batches, perBatch = 3, 6, 60
+	// Pre-generate every writer's batches on one goroutine so generation is
+	// deterministic and the workers only exercise BatchPut itself.
+	all := make([][][]*model.Trajectory, writers)
+	rng := rand.New(rand.NewSource(1234))
+	for w := 0; w < writers; w++ {
+		all[w] = make([][]*model.Trajectory, batches)
+		for b := 0; b < batches; b++ {
+			batch := make([]*model.Trajectory, perBatch)
+			for i := range batch {
+				batch[i] = genTrajectory(rng, fmt.Sprintf("o%d", w),
+					fmt.Sprintf("w%d-b%02d-t%03d", w, b, i))
+			}
+			all[w][b] = batch
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, batch := range all[w] {
+				if err := e.BatchPut(batch); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	for q := 0; q < 4; q++ {
+		q := q
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(int64(100 + q)))
+			for iter := 0; iter < 20; iter++ {
+				switch iter % 3 {
+				case 0:
+					cx := testBoundary.MinX + qrng.Float64()*testBoundary.Width()*0.8
+					cy := testBoundary.MinY + qrng.Float64()*testBoundary.Height()*0.8
+					got, _, err := e.SpatialRangeQuery(geo.Rect{MinX: cx, MinY: cy, MaxX: cx + 5, MaxY: cy + 5})
+					if err != nil {
+						t.Errorf("reader %d: spatial: %v", q, err)
+						return
+					}
+					for _, tr := range got {
+						if tr.TID == "" || len(tr.Points) == 0 {
+							t.Errorf("reader %d: torn row %+v", q, tr)
+							return
+						}
+					}
+				case 1:
+					start := int64(1_500_000_000_000) + qrng.Int63n(15*24*3600_000)
+					if _, _, err := e.TemporalRangeQuery(model.TimeRange{Start: start, End: start + 24*3600_000}); err != nil {
+						t.Errorf("reader %d: temporal: %v", q, err)
+						return
+					}
+				default:
+					if _, _, err := e.IDTemporalQuery(fmt.Sprintf("o%d", iter%writers),
+						model.TimeRange{Start: 1_500_000_000_000, End: 1_600_000_000_000}); err != nil {
+						t.Errorf("reader %d: idt: %v", q, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if want := int64(writers * batches * perBatch); e.Rows() != want {
+		t.Fatalf("Rows = %d, want %d", e.Rows(), want)
+	}
+	// Every stored trajectory must be reachable by ID once writers settle.
+	for w := 0; w < writers; w++ {
+		got, _, err := e.IDTemporalQuery(fmt.Sprintf("o%d", w),
+			model.TimeRange{Start: 1_400_000_000_000, End: 1_700_000_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != batches*perBatch {
+			t.Errorf("object o%d: %d trajectories visible, want %d", w, len(got), batches*perBatch)
+		}
+	}
+}

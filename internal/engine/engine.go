@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -314,42 +315,107 @@ func (e *Engine) putEncoded(t *model.Trajectory, trValue, spatial uint64) error 
 	return nil
 }
 
-// BatchPut stores many trajectories. Per the update protocol of
-// Section IV-C, trajectories are first grouped by their quadrant code
-// (enlarged element): each group resolves its shape codes together — one
-// directory access, at most one re-encode — before its rows are written.
+// BatchPut stores many trajectories through the batched write path:
+//
+//  1. every trajectory is validated up front (an invalid row rejects the
+//     whole batch before anything is written);
+//  2. index values are resolved — for TShape with the index cache enabled
+//     this keeps the update protocol of Section IV-C, grouping rows by
+//     quadrant code so each group resolves its shape codes with one
+//     directory access and at most one re-encode;
+//  3. row values are encoded in parallel (point compression and DP-Feature
+//     extraction are the CPU hot spot of ingest);
+//  4. rows land as one MultiPut per KV table — primary plus each secondary
+//     index — so the store charges one cost-model RPC per region batch and
+//     group-commits each table batch to the WAL.
 func (e *Engine) BatchPut(ts []*model.Trajectory) error {
-	if e.icache == nil || e.cfg.Spatial != KindTShape {
-		for _, t := range ts {
-			if err := e.Put(t); err != nil {
-				return fmt.Errorf("engine: batch put %s: %w", t.TID, err)
-			}
-		}
+	if len(ts) == 0 {
 		return nil
 	}
-	type pending struct {
-		t       *model.Trajectory
-		trValue uint64
-		bits    uint64
-	}
-	groups := make(map[uint64][]pending)
-	var order []uint64
 	for _, t := range ts {
 		if err := t.Validate(); err != nil {
 			return fmt.Errorf("engine: batch put %s: %w", t.TID, err)
 		}
+	}
+	trVals := make([]uint64, len(ts))
+	for i, t := range ts {
+		trVals[i] = e.temporalValue(t.TimeRange())
+	}
+	spVals, err := e.resolveBatchSpatial(ts)
+	if err != nil {
+		return err
+	}
+
+	encoded := e.encodeBatchRows(ts, trVals)
+
+	temporalPrimary := e.cfg.primaryIsTemporal()
+	primaryRows := make([]kvstore.KV, len(ts))
+	secRows := make([]kvstore.KV, len(ts)) // spatial or TR secondary, whichever isn't primary
+	idtRows := make([]kvstore.KV, len(ts))
+	stRows := make([]kvstore.KV, len(ts))
+	for i, t := range ts {
+		shard := codec.ShardOf(t.TID, e.cfg.Shards)
+		primaryVal := spVals[i]
+		if temporalPrimary {
+			primaryVal = trVals[i]
+		}
+		pk := codec.PrimaryKey(shard, primaryVal, t.TID)
+		primaryRows[i] = kvstore.KV{Key: pk, Value: encoded[i]}
+		if temporalPrimary {
+			secRows[i] = kvstore.KV{Key: codec.SecondaryKey(shard, codec.AppendUint64(nil, spVals[i]), t.TID), Value: pk}
+		} else {
+			secRows[i] = kvstore.KV{Key: codec.SecondaryKey(shard, codec.AppendUint64(nil, trVals[i]), t.TID), Value: pk}
+		}
+		idtRows[i] = kvstore.KV{Key: codec.SecondaryKey(shard, idt.Key(t.OID, trVals[i]), t.TID), Value: pk}
+		stRows[i] = kvstore.KV{Key: codec.SecondaryKey(shard, st.Key(trVals[i], spVals[i]), t.TID), Value: pk}
+	}
+	e.primary.MultiPut(primaryRows)
+	if temporalPrimary {
+		e.spTable.MultiPut(secRows)
+	} else {
+		e.trTable.MultiPut(secRows)
+	}
+	e.idtTable.MultiPut(idtRows)
+	e.stTable.MultiPut(stRows)
+
+	e.rows.Add(int64(len(ts)))
+	for _, v := range trVals {
+		e.observeTR(v)
+	}
+	return nil
+}
+
+// resolveBatchSpatial computes the spatial index value of every (already
+// validated) trajectory. With TShape and the index cache on, rows group by
+// enlarged element so buffer adds and the potential re-encode of a group
+// happen once, before any of the batch's rows are written; re-encodes are
+// per-element, so resolving all groups before writing is equivalent to the
+// sequential group-by-group protocol.
+func (e *Engine) resolveBatchSpatial(ts []*model.Trajectory) ([]uint64, error) {
+	spVals := make([]uint64, len(ts))
+	if e.icache == nil || e.cfg.Spatial != KindTShape {
+		for i, t := range ts {
+			spVals[i] = e.spatialValue(t)
+		}
+		return spVals, nil
+	}
+	type pending struct {
+		idx  int
+		bits uint64
+	}
+	groups := make(map[uint64][]pending)
+	var order []uint64
+	for i, t := range ts {
 		elem, bits := e.tsIdx.EncodeRaw(t)
 		if _, seen := groups[elem]; !seen {
 			order = append(order, elem)
 		}
-		groups[elem] = append(groups[elem], pending{
-			t: t, trValue: e.temporalValue(t.TimeRange()), bits: bits,
-		})
+		groups[elem] = append(groups[elem], pending{idx: i, bits: bits})
 	}
 	for _, elem := range order {
 		items := groups[elem]
 		// Resolve every distinct shape of the group first (buffer adds and
-		// the potential re-encode happen before this group's rows land).
+		// the potential re-encode happen before this group's codes settle).
 		codes := make(map[uint64]uint64)
 		for _, it := range items {
 			if _, done := codes[it.bits]; !done {
@@ -370,13 +436,52 @@ func (e *Engine) BatchPut(ts []*model.Trajectory) error {
 			}
 		}
 		for _, it := range items {
-			spatial := e.tsIdx.Pack(elem, codes[it.bits])
-			if err := e.putEncoded(it.t, it.trValue, spatial); err != nil {
-				return fmt.Errorf("engine: batch put %s: %w", it.t.TID, err)
-			}
+			spVals[it.idx] = e.tsIdx.Pack(elem, codes[it.bits])
 		}
 	}
-	return nil
+	return spVals, nil
+}
+
+// encodeBatchRows serializes every row value, fanning the CPU-bound encode
+// (DP-Feature extraction + point compression) across GOMAXPROCS goroutines
+// in fixed chunks. Results are positional, so output order is exactly input
+// order regardless of scheduling.
+func (e *Engine) encodeBatchRows(ts []*model.Trajectory, trVals []uint64) [][]byte {
+	encoded := make([][]byte, len(ts))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	if workers <= 1 {
+		for i, t := range ts {
+			encoded[i] = encodeRow(t, trVals[i], e.normalizedFeatures(t))
+		}
+		return encoded
+	}
+	const chunk = 16
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= len(ts) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(ts) {
+					hi = len(ts)
+				}
+				for i := lo; i < hi; i++ {
+					encoded[i] = encodeRow(ts[i], trVals[i], e.normalizedFeatures(ts[i]))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return encoded
 }
 
 // Delete removes a trajectory given its oid, tid and (exact) stored time

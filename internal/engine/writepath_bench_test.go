@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/model"
+)
+
+// Engine-level ingest benchmarks: the full trajectory write path — feature
+// extraction, point compression, index-value resolution, and the four table
+// writes — sequential Put versus BatchPut. Run via `make bench-write`.
+
+func buildIngestTrajs(n int) []*model.Trajectory {
+	rng := rand.New(rand.NewSource(9))
+	trajs := make([]*model.Trajectory, n)
+	for i := range trajs {
+		trajs[i] = genTrajectory(rng, fmt.Sprintf("obj-%d", i%40), fmt.Sprintf("traj-%05d", i))
+	}
+	return trajs
+}
+
+func benchmarkEngineIngest(b *testing.B, batched bool) {
+	cfg := testConfig()
+	cfg.KV.RPCLatencyMicros = 0
+	cfg.KV.TransferMBps = 0
+	cfg.KV.DiskMBps = 0
+	trajs := buildIngestTrajs(1000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if batched {
+			if err := e.BatchPut(trajs); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, tr := range trajs {
+				if err := e.Put(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		if e.Rows() != int64(len(trajs)) {
+			b.Fatalf("Rows = %d, want %d", e.Rows(), len(trajs))
+		}
+		e.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkEngineIngestSequential(b *testing.B) { benchmarkEngineIngest(b, false) }
+func BenchmarkEngineIngestBatched(b *testing.B)    { benchmarkEngineIngest(b, true) }

@@ -115,18 +115,32 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	stored := 0
+	// Validate up front so the request lands as one PutBatch through the
+	// batched write path. The first invalid trajectory cuts the batch: the
+	// valid prefix is still stored and the response reports how far ingest
+	// got, matching the old sequential semantics.
+	batch := make([]*tman.Trajectory, 0, len(in))
+	var badTID string
+	var badErr error
 	for _, tj := range in {
 		t := toModel(tj)
 		t.SortByTime()
-		if err := s.db.Put(t); err != nil {
-			httpError(w, http.StatusUnprocessableEntity,
-				"trajectory %q rejected after %d stored: %v", tj.TID, stored, err)
-			return
+		if err := t.Validate(); err != nil {
+			badTID, badErr = tj.TID, err
+			break
 		}
-		stored++
+		batch = append(batch, t)
 	}
-	writeJSON(w, map[string]any{"stored": stored, "total": s.db.Len()})
+	if err := s.db.PutBatch(batch); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+		return
+	}
+	if badErr != nil {
+		httpError(w, http.StatusUnprocessableEntity,
+			"trajectory %q rejected after %d stored: %v", badTID, len(batch), badErr)
+		return
+	}
+	writeJSON(w, map[string]any{"stored": len(batch), "total": s.db.Len()})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,122 @@
+package kvstore
+
+import "sync"
+
+// flusher is the store's background flush/compaction service: a bounded set
+// of workers that turn sealed memtables into sorted runs and trigger
+// compactions when a region's run count crosses its threshold, so writers
+// never block on flush or compaction.
+//
+// Counter totals (Flushes, Compactions) stay deterministic regardless of
+// scheduling because every conversion site — here, splits, CompactAll —
+// charges identically per immutable processed (see region.drainImmsLocked),
+// and regions are processed FIFO under their flushMu.
+type flusher struct {
+	stats *Stats
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*region
+	queued  map[*region]bool
+	workers int
+	max     int
+	active  int
+	closed  bool
+}
+
+func newFlusher(stats *Stats, workers int) *flusher {
+	if workers < 1 {
+		workers = 1
+	}
+	f := &flusher{stats: stats, queued: make(map[*region]bool), max: workers}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// enqueue schedules a region's pending immutables for flushing. Duplicate
+// enqueues of an already-queued region coalesce. Never blocks. After close,
+// enqueues are dropped: sealed memtables stay readable in place and any
+// foreground path (split, CompactAll) still converts them with identical
+// counting.
+func (f *flusher) enqueue(r *region) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.closed || f.queued[r] {
+		f.mu.Unlock()
+		return
+	}
+	f.queued[r] = true
+	f.queue = append(f.queue, r)
+	if f.workers < f.max {
+		f.workers++
+		go f.worker()
+	} else {
+		// Broadcast, not Signal: drain waiters share the cond, and a
+		// Signal landing on one of them would strand the queued region.
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+func (f *flusher) worker() {
+	f.mu.Lock()
+	for {
+		for len(f.queue) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if len(f.queue) == 0 { // closed and drained
+			f.workers--
+			f.cond.Broadcast() // wake drain waiters
+			f.mu.Unlock()
+			return
+		}
+		r := f.queue[0]
+		f.queue[0] = nil
+		f.queue = f.queue[1:]
+		// Deregister before processing: a seal that lands mid-flush
+		// re-enqueues and the extra pass is a cheap no-op.
+		delete(f.queued, r)
+		f.active++
+		f.mu.Unlock()
+
+		r.flushMu.Lock()
+		for r.flushOldestImm(f.stats) {
+		}
+		r.flushMu.Unlock()
+
+		f.mu.Lock()
+		f.active--
+		if len(f.queue) == 0 && f.active == 0 {
+			f.cond.Broadcast() // wake drain waiters
+		}
+	}
+}
+
+// drain blocks until every flush scheduled so far has completed (queue empty
+// and no worker mid-region).
+func (f *flusher) drain() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	for len(f.queue) > 0 || f.active > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// close drains pending work and stops the workers. Idempotent.
+func (f *flusher) close() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	for len(f.queue) > 0 || f.active > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}

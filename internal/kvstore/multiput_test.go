@@ -1,0 +1,218 @@
+package kvstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMultiPutMatchesPut loads the same rows into two stores — one via
+// per-row Put, one via shuffled MultiPut batches with duplicate keys — and
+// asserts the visible contents are identical, across splits, flushes, and a
+// final compaction.
+func TestMultiPutMatchesPut(t *testing.T) {
+	opts := NoNetworkOptions()
+	opts.RegionMaxBytes = 32 << 10
+	opts.MemtableFlushBytes = 4 << 10
+	opts.MaxRunsPerRegion = 3
+
+	mkRows := func() []KV {
+		rng := rand.New(rand.NewSource(42))
+		var rows []KV
+		for i := 0; i < 3000; i++ {
+			rows = append(rows, KV{
+				Key:   []byte(fmt.Sprintf("key-%06d", i%2400)), // 600 duplicate keys
+				Value: []byte(fmt.Sprintf("val-%06d-%d", i%2400, i)),
+			})
+		}
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		return rows
+	}
+
+	seq := Open(opts)
+	defer seq.Close()
+	seqTbl, _ := seq.CreateTable("t")
+	for _, kv := range mkRows() {
+		seqTbl.Put(kv.Key, kv.Value)
+	}
+
+	bat := Open(opts)
+	defer bat.Close()
+	batTbl, _ := bat.CreateTable("t")
+	rows := mkRows()
+	for i := 0; i < len(rows); i += 512 {
+		end := i + 512
+		if end > len(rows) {
+			end = len(rows)
+		}
+		batTbl.MultiPut(rows[i:end])
+	}
+
+	// Duplicate-key resolution differs between the paths only if MultiPut's
+	// stable sort broke the later-write-wins contract.
+	check := func() {
+		t.Helper()
+		a := seqTbl.Scan(nil, nil, nil, 0)
+		b := batTbl.Scan(nil, nil, nil, 0)
+		if len(a) != len(b) {
+			t.Fatalf("row counts differ: Put=%d MultiPut=%d", len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+				t.Fatalf("row %d differs: Put=(%q,%q) MultiPut=(%q,%q)", i, a[i].Key, a[i].Value, b[i].Key, b[i].Value)
+			}
+		}
+	}
+	check()
+	if batTbl.RegionCount() < 2 {
+		t.Fatalf("want splits during batched load, got %d regions", batTbl.RegionCount())
+	}
+	seq.CompactAll()
+	bat.CompactAll()
+	check()
+	seq.Quiesce()
+	bat.Quiesce()
+	check()
+}
+
+// TestMultiPutDurableReplay round-trips batched writes through the WAL: a
+// reopened store must replay the group-commit batch records exactly.
+func TestMultiPutDurableReplay(t *testing.T) {
+	dir := t.TempDir()
+	opts := NoNetworkOptions()
+	s, err := OpenDir(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.OpenTable("t")
+	var rows []KV
+	for i := 0; i < 500; i++ {
+		rows = append(rows, KV{Key: []byte(fmt.Sprintf("k-%05d", i)), Value: []byte(fmt.Sprintf("v-%05d", i))})
+	}
+	tbl.MultiPut(rows)
+	// Overwrite a subset in a second batch: replay must preserve order.
+	var over []KV
+	for i := 0; i < 500; i += 7 {
+		over = append(over, KV{Key: []byte(fmt.Sprintf("k-%05d", i)), Value: []byte(fmt.Sprintf("over-%05d", i))})
+	}
+	tbl.MultiPut(over)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	reTbl := re.Table("t")
+	if reTbl == nil {
+		t.Fatal("table missing after replay")
+	}
+	got := reTbl.Scan(nil, nil, nil, 0)
+	if len(got) != 500 {
+		t.Fatalf("replayed %d rows, want 500", len(got))
+	}
+	for i := 0; i < 500; i++ {
+		want := fmt.Sprintf("v-%05d", i)
+		if i%7 == 0 {
+			want = fmt.Sprintf("over-%05d", i)
+		}
+		v, ok := reTbl.Get([]byte(fmt.Sprintf("k-%05d", i)))
+		if !ok || string(v) != want {
+			t.Fatalf("key %d: got (%q,%v), want %q", i, v, ok, want)
+		}
+	}
+}
+
+// TestMultiPutCtxPartialApply drives a batch into a many-region table with
+// aggressive fault injection and no retries: some region batches must fail,
+// and the report has to account for every row — applied rows visible,
+// failed rows absent, FailedRanges covering exactly the lost regions.
+func TestMultiPutCtxPartialApply(t *testing.T) {
+	opts := NoNetworkOptions()
+	opts.RegionMaxBytes = 16 << 10
+	opts.MemtableFlushBytes = 2 << 10
+	opts.Fault = FaultConfig{Seed: 3, PFailRPC: 0.6}
+	opts.Retry = RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Multiplier: 2}
+	s := Open(opts)
+	defer s.Close()
+	tbl, _ := s.CreateTable("t")
+
+	// Pre-split the table with trusted writes so the fallible batch spans
+	// many regions.
+	for i := 0; i < 4000; i++ {
+		tbl.Put([]byte(fmt.Sprintf("k-%06d", i)), []byte("seed-value-payload-padding"))
+	}
+	if tbl.RegionCount() < 4 {
+		t.Fatalf("want several regions, got %d", tbl.RegionCount())
+	}
+
+	var rows []KV
+	for i := 0; i < 4000; i += 3 {
+		rows = append(rows, KV{Key: []byte(fmt.Sprintf("k-%06d", i)), Value: []byte(fmt.Sprintf("new-%06d", i))})
+	}
+	rep, err := tbl.MultiPutCtx(WithQueryBudget(context.Background()), rows)
+	if err != nil {
+		t.Fatalf("MultiPutCtx: %v", err)
+	}
+	if rep.Applied+rep.Failed != len(rows) {
+		t.Fatalf("report rows don't add up: applied %d + failed %d != %d", rep.Applied, rep.Failed, len(rows))
+	}
+	if rep.Partial != (rep.FailedRegions > 0) || len(rep.FailedRanges) != rep.FailedRegions {
+		t.Fatalf("inconsistent report: %+v", rep)
+	}
+	if rep.FailedRegions == 0 || rep.FailedRegions == rep.Regions {
+		t.Fatalf("want a strict subset of regions to fail under p=0.6/attempts=2, got %d/%d", rep.FailedRegions, rep.Regions)
+	}
+	inFailedRange := func(key []byte) bool {
+		for _, kr := range rep.FailedRanges {
+			if (kr.Start == nil || bytes.Compare(key, kr.Start) >= 0) && (kr.End == nil || bytes.Compare(key, kr.End) < 0) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, kv := range rows {
+		v, ok := tbl.Get(kv.Key)
+		if !ok {
+			t.Fatalf("key %q missing entirely", kv.Key)
+		}
+		if inFailedRange(kv.Key) {
+			if string(v) != "seed-value-payload-padding" {
+				t.Fatalf("key %q in failed range was written: %q", kv.Key, v)
+			}
+		} else if !bytes.Equal(v, kv.Value) {
+			t.Fatalf("key %q in applied range not written: %q", kv.Key, v)
+		}
+	}
+	if rep.RetriedRPCs == 0 {
+		t.Fatal("want retries under p=0.6")
+	}
+	if got := s.Stats().Snapshot().FailedRegions; got < int64(rep.FailedRegions) {
+		t.Fatalf("stats FailedRegions=%d < report %d", got, rep.FailedRegions)
+	}
+}
+
+// TestMultiPutCtxCanceled: an already-canceled context applies nothing and
+// surfaces the cancellation.
+func TestMultiPutCtxCanceled(t *testing.T) {
+	s := Open(NoNetworkOptions())
+	defer s.Close()
+	tbl, _ := s.CreateTable("t")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := tbl.MultiPutCtx(ctx, []KV{{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("b"), Value: []byte("2")}})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Applied != 0 || !rep.Partial {
+		t.Fatalf("canceled batch applied rows: %+v", rep)
+	}
+	if _, ok := tbl.Get([]byte("a")); ok {
+		t.Fatal("row visible after canceled batch")
+	}
+}

@@ -52,20 +52,22 @@ func BenchmarkMergeRuns64Sources(b *testing.B) { benchmarkMergeRuns(b, 64) }
 // BenchmarkRegionScan scans a hot region holding many uncompacted runs plus
 // a live memtable — the worst case for the merge layer.
 func BenchmarkRegionScan(b *testing.B) {
-	r := newRegion(1, nil, nil, 0, 1<<30, 1<<30) // thresholds disable auto flush/compact
+	r := newRegion(1, nil, nil, 0, 1<<30, 1<<30, nil) // thresholds disable auto flush/compact
+	var sink Stats
 	const runs, perRun = 16, 2000
 	for runIdx := 0; runIdx < runs; runIdx++ {
 		for j := 0; j < perRun; j++ {
 			seq := j*runs + runIdx
-			r.put([]byte(fmt.Sprintf("key-%08d", seq)), []byte("value-payload-payload"), nil)
+			r.put([]byte(fmt.Sprintf("key-%08d", seq)), []byte("value-payload-payload"))
 		}
 		r.mu.Lock()
-		r.flushLocked(nil)
+		r.sealLocked()
+		r.drainImmsLocked(&sink)
 		r.mu.Unlock()
 	}
 	// Leave some rows in the memtable so the scan merges runs + memtable.
 	for j := 0; j < perRun; j++ {
-		r.put([]byte(fmt.Sprintf("key-%08d", j*runs+3)), []byte("fresh-payload"), nil)
+		r.put([]byte(fmt.Sprintf("key-%08d", j*runs+3)), []byte("fresh-payload"))
 	}
 	var out []KV
 	b.ResetTimer()

@@ -9,17 +9,41 @@ import (
 // region is one contiguous key range of a table: [startKey, endKey), where a
 // nil startKey means -inf and a nil endKey means +inf. Each region is a tiny
 // LSM tree owned by a simulated node.
+//
+// Write pipeline: puts land in the live memtable (mem); when it crosses the
+// flush threshold it is sealed onto the immutable list (imm) and the store's
+// background flusher turns immutables into sorted runs and compacts when the
+// run count crosses maxRuns — writers never block on flush or compaction.
+//
+// Lock order: table.mu → region.flushMu → region.mu. flushMu serializes
+// every mutator of the run set (flusher, split, CompactAll), which lets
+// compaction merge outside region.mu: the run set is frozen for the merge's
+// duration, so the post-merge swap cannot lose a concurrent flush.
 type region struct {
 	mu       sync.RWMutex
 	startKey []byte // inclusive; nil = -inf
 	endKey   []byte // exclusive; nil = +inf
 	mem      *skiplist
+	imm      []*skiplist  // sealed memtables awaiting flush, oldest first
 	runs     []*sortedRun // oldest first: flushes append, so the newest run is last
 	node     int          // owning node id
 	id       int64        // store-unique id, stable for a deterministic load order
 
 	flushBytes int
 	maxRuns    int
+	fl         *flusher // store's background flusher; nil only in unit fixtures
+
+	// flushMu serializes run-set mutators; see the lock-order note above.
+	flushMu sync.Mutex
+
+	// writeBytes is the split-decision metric: the monotonic ingest volume
+	// charged per mutation at put time (key+value+overhead), independent of
+	// replacements, flush progress, and tombstone drops — so split points
+	// are a pure function of the write sequence no matter how the
+	// background flusher is scheduled. It is re-seeded from actual content
+	// when a region splits (or a split aborts), keeping it an honest
+	// approximation of region size.
+	writeBytes atomic.Int64
 
 	// Fault-model state: unavail counts down client RPC attempts that fail
 	// with ErrRegionUnavailable (post-split/compaction window); faultSeq
@@ -29,7 +53,7 @@ type region struct {
 	faultSeq atomic.Int64
 }
 
-func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int) *region {
+func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, fl *flusher) *region {
 	return &region{
 		id:         id,
 		startKey:   start,
@@ -38,6 +62,7 @@ func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int) *regi
 		node:       node,
 		flushBytes: flushBytes,
 		maxRuns:    maxRuns,
+		fl:         fl,
 	}
 }
 
@@ -78,60 +103,159 @@ func (r *region) overlapsRange(start, end []byte) bool {
 	return true
 }
 
-// put inserts or replaces a row, flushing the memtable if it grew past the
-// threshold. Returns the region's approximate size so the table can decide
-// whether to split.
-func (r *region) put(key, value []byte, stats *Stats) (sizeBytes int) {
+// ingestCharge is the writeBytes cost of one mutation.
+func ingestCharge(key, value []byte) int64 {
+	return int64(len(key) + len(value) + memEntryOverhead)
+}
+
+// put inserts or replaces a row, sealing the memtable for background flush
+// if it grew past the threshold. Returns the region's monotonic ingest
+// volume so the table can decide whether to split.
+func (r *region) put(key, value []byte) (writeBytes int64) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.mem.set(key, value, false)
+	wb := r.writeBytes.Add(ingestCharge(key, value))
+	sealed := false
 	if r.mem.bytes >= r.flushBytes {
-		r.flushLocked(stats)
+		sealed = r.sealLocked()
 	}
-	return r.sizeLocked()
+	r.mu.Unlock()
+	if sealed {
+		r.fl.enqueue(r)
+	}
+	return wb
+}
+
+// putBatch applies a key-ascending run of put rows under a single lock
+// acquisition, sealing (possibly repeatedly) as the memtable fills. Rows
+// must all fall inside the region's range. Returns the post-apply ingest
+// volume for the split check.
+func (r *region) putBatch(rows []KV) (writeBytes int64) {
+	var ingest int64
+	for i := range rows {
+		ingest += ingestCharge(rows[i].Key, rows[i].Value)
+	}
+	sealed := false
+	r.mu.Lock()
+	var ins batchInserter
+	for len(rows) > 0 {
+		n := r.mem.setSortedPuts(rows, r.flushBytes, &ins)
+		rows = rows[n:]
+		if r.mem.bytes >= r.flushBytes {
+			if r.sealLocked() {
+				sealed = true
+			}
+			ins = batchInserter{} // fingers pointed into the sealed memtable
+		}
+	}
+	wb := r.writeBytes.Add(ingest)
+	r.mu.Unlock()
+	if sealed {
+		r.fl.enqueue(r)
+	}
+	return wb
 }
 
 // delete writes a tombstone.
-func (r *region) delete(key []byte, stats *Stats) {
+func (r *region) delete(key []byte) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.mem.set(key, nil, true)
+	r.writeBytes.Add(ingestCharge(key, nil))
+	sealed := false
 	if r.mem.bytes >= r.flushBytes {
-		r.flushLocked(stats)
+		sealed = r.sealLocked()
+	}
+	r.mu.Unlock()
+	if sealed {
+		r.fl.enqueue(r)
 	}
 }
 
-// flushLocked turns the memtable into a sorted run; caller holds mu. Runs
-// are kept oldest-first so a flush is a plain append rather than a
-// whole-slice reallocating prepend.
-func (r *region) flushLocked(stats *Stats) {
+// sealLocked moves a non-empty live memtable onto the immutable list; caller
+// holds mu. The actual flush to a sorted run happens on the background
+// flusher.
+func (r *region) sealLocked() bool {
 	if r.mem.size == 0 {
-		return
+		return false
 	}
-	run := newSortedRun(r.mem.drain())
-	r.runs = append(r.runs, run)
+	r.imm = append(r.imm, r.mem)
 	r.mem = newSkiplist(nextSkiplistSeed())
-	if stats != nil {
-		stats.Flushes.Add(1)
-	}
-	if len(r.runs) > r.maxRuns {
-		r.compactLocked(stats)
-	}
+	return true
 }
 
-// compactLocked merges all runs into one, dropping tombstones (a region owns
-// its whole key range, so nothing older can resurface).
-func (r *region) compactLocked(stats *Stats) {
-	// mergeRuns wants sources newest first; runs are stored oldest first.
-	sources := make([][]entry, len(r.runs))
-	for i, run := range r.runs {
-		sources[len(r.runs)-1-i] = run.entries
+// flushOldestImm converts the oldest immutable memtable into a sorted run,
+// compacting out of line if the run count crossed maxRuns. Caller holds
+// flushMu (not mu). Returns false when no immutable was pending.
+//
+// The drain happens outside region.mu: the sealed memtable is never written
+// again and concurrent readers only read it, while flushMu excludes every
+// other run-set mutator.
+func (r *region) flushOldestImm(stats *Stats) bool {
+	r.mu.RLock()
+	if len(r.imm) == 0 {
+		r.mu.RUnlock()
+		return false
 	}
-	merged := mergeRuns(sources, true)
-	r.runs = []*sortedRun{newSortedRun(merged)}
-	if stats != nil {
-		stats.Compactions.Add(1)
+	m := r.imm[0]
+	r.mu.RUnlock()
+
+	run := newSortedRun(m.drain())
+	r.mu.Lock()
+	r.imm = r.imm[1:]
+	r.runs = append(r.runs, run)
+	over := len(r.runs) > r.maxRuns
+	r.mu.Unlock()
+	stats.Flushes.Add(1)
+	if over {
+		r.compactOutOfLine(stats)
 	}
+	return true
+}
+
+// compactOutOfLine merges all runs into one without holding region.mu for
+// the merge. Caller holds flushMu, so the run set cannot change underneath
+// the merge and the swap is exact.
+func (r *region) compactOutOfLine(stats *Stats) {
+	r.mu.RLock()
+	snap := make([]*sortedRun, len(r.runs))
+	copy(snap, r.runs)
+	r.mu.RUnlock()
+	merged := mergeRunSlice(snap)
+	r.mu.Lock()
+	r.runs = []*sortedRun{merged}
+	r.mu.Unlock()
+	stats.Compactions.Add(1)
+}
+
+// mergeRunSlice merges oldest-first runs into one tombstone-free run (a
+// region owns its whole key range, so nothing older can resurface).
+func mergeRunSlice(runs []*sortedRun) *sortedRun {
+	sources := make([][]entry, len(runs))
+	for i, run := range runs {
+		sources[len(runs)-1-i] = run.entries
+	}
+	return newSortedRun(mergeRuns(sources, true))
+}
+
+// drainImmsLocked converts every pending immutable memtable into a run with
+// exactly the counting the background flusher would have performed (one
+// Flush per conversion, one Compaction per maxRuns crossing) — so counter
+// totals stay a pure function of the write sequence whether the flusher or
+// a foreground path (split, CompactAll) got there first. Caller holds
+// flushMu and mu.
+func (r *region) drainImmsLocked(stats *Stats) {
+	for _, m := range r.imm {
+		if m.size == 0 {
+			continue
+		}
+		r.runs = append(r.runs, newSortedRun(m.drain()))
+		stats.Flushes.Add(1)
+		if len(r.runs) > r.maxRuns {
+			r.runs = []*sortedRun{mergeRunSlice(r.runs)}
+			stats.Compactions.Add(1)
+		}
+	}
+	r.imm = nil
 }
 
 // get performs a point lookup, newest version wins.
@@ -143,6 +267,14 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 			return nil, false
 		}
 		return v, true
+	}
+	for i := len(r.imm) - 1; i >= 0; i-- {
+		if v, tomb, found := r.imm[i].get(key); found {
+			if tomb {
+				return nil, false
+			}
+			return v, true
+		}
 	}
 	for i := len(r.runs) - 1; i >= 0; i-- {
 		if v, tomb, found := r.runs[i].get(key); found {
@@ -161,10 +293,11 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 // was reached, and the bytes of rows visited (the simulated disk-read
 // volume).
 //
-// The scan streams a heap merge over the live memtable and every run:
-// each run is binary-search-seeked to the window once, cursors advance in
-// lockstep, and a limit stops the merge without visiting (or copying) the
-// rest of the window. No per-source sub-slices are materialized.
+// The scan streams a heap merge over the live memtable, the sealed
+// immutables, and every run: each run is binary-search-seeked to the window
+// once, cursors advance in lockstep, and a limit stops the merge without
+// visiting (or copying) the rest of the window. No per-source sub-slices are
+// materialized.
 func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats) (result []KV, hitLimit bool, scannedBytes int64) {
 	lo := maxKey(start, r.startKey)
 	hi := minKey(end, r.endKey)
@@ -175,28 +308,33 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		stats.Seeks.Add(1)
 	}
 
-	sc := getScanScratch(len(r.runs) + 1)
+	sc := getScanScratch(len(r.runs) + len(r.imm) + 1)
 	defer sc.release()
 
-	// Sources newest first: the live memtable (priority 0), then runs from
-	// newest (last) to oldest. Priorities make the newest version win among
-	// duplicate keys.
-	{
+	// Sources newest first: the live memtable (priority 0), sealed
+	// immutables newest (last) to oldest, then runs newest (last) to
+	// oldest. Priorities make the newest version win among duplicate keys.
+	addMem := func(m *skiplist, pri int) {
 		var n *skipNode
 		if lo != nil {
-			n = r.mem.seek(lo)
+			n = m.seek(lo)
 		} else {
-			n = r.mem.first()
+			n = m.first()
 		}
 		// A memtable cursor is self-referential; init it in its final slot.
 		sc.cursors = append(sc.cursors, mergeCursor{})
 		c := &sc.cursors[len(sc.cursors)-1]
-		c.initMem(n, hi, 0)
+		c.initMem(n, hi, pri)
 		if !c.ok {
 			sc.cursors = sc.cursors[:len(sc.cursors)-1]
 		}
 	}
+	addMem(r.mem, 0)
 	pri := 1
+	for k := len(r.imm) - 1; k >= 0; k-- {
+		addMem(r.imm[k], pri)
+		pri++
+	}
 	windowTotal := 0
 	for k := len(r.runs) - 1; k >= 0; k-- {
 		run := r.runs[k]
@@ -270,6 +408,9 @@ func (r *region) size() int {
 
 func (r *region) sizeLocked() int {
 	s := r.mem.bytes
+	for _, m := range r.imm {
+		s += m.bytes
+	}
 	for _, run := range r.runs {
 		s += run.bytes
 	}
@@ -278,17 +419,41 @@ func (r *region) sizeLocked() int {
 
 // splitEntries compacts the region and returns all live entries plus the
 // median key for splitting. Caller must hold the table-level write lock to
-// prevent concurrent access; the region's own lock is still taken.
-func (r *region) splitEntries() (entries []entry, median []byte) {
+// prevent concurrent table access; flushMu excludes an in-flight background
+// flush. Pending immutables are converted with flusher-equivalent counting
+// (see drainImmsLocked); the live memtable flush and the final merge are
+// uncounted, as the inline split compaction always was.
+func (r *region) splitEntries(stats *Stats) (entries []entry, median []byte) {
+	r.flushMu.Lock()
+	defer r.flushMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.flushLocked(nil)
-	r.compactLocked(nil)
-	if len(r.runs) == 0 || len(r.runs[0].entries) < 2 {
+	r.drainImmsLocked(stats)
+	if r.mem.size > 0 {
+		r.runs = append(r.runs, newSortedRun(r.mem.drain()))
+		r.mem = newSkiplist(nextSkiplistSeed())
+	}
+	if len(r.runs) == 0 {
 		return nil, nil
 	}
+	// Always re-merge: even a single run may carry tombstones from a plain
+	// flush, and split children must start from live rows only.
+	r.runs = []*sortedRun{mergeRunSlice(r.runs)}
 	es := r.runs[0].entries
+	if len(es) < 2 {
+		return nil, nil
+	}
 	return es, es[len(es)/2].key
+}
+
+// entriesCharge sums the ingest charge over a run of entries — used to
+// re-seed writeBytes from actual content after a split.
+func entriesCharge(es []entry) int64 {
+	var c int64
+	for i := range es {
+		c += ingestCharge(es[i].key, es[i].value)
+	}
+	return c
 }
 
 func maxKey(a, b []byte) []byte {

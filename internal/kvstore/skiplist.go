@@ -96,9 +96,103 @@ func (s *skiplist) set(key, value []byte, tomb bool) int {
 		prev[i].next[i] = n
 	}
 	s.size++
-	delta := len(key) + len(value) + 48 // rough node overhead
+	delta := len(key) + len(value) + memEntryOverhead
 	s.bytes += delta
 	return delta
+}
+
+// memEntryOverhead is the approximate per-entry bookkeeping cost added to
+// key+value payload when charging memtable bytes and ingest volume.
+const memEntryOverhead = 48
+
+// batchInserter carries the per-level predecessor fingers of a sorted batch
+// insertion. A batchInserter is bound to one skiplist: after the owning
+// memtable is swapped the caller must reset it (ins = batchInserter{}) so
+// the fingers are re-seeded against the fresh list.
+type batchInserter struct {
+	prev    [skiplistMaxLevel]*skipNode
+	inited  bool
+	lastKey []byte
+}
+
+// setSortedPuts inserts a key-ascending run of put rows (duplicates allowed;
+// later rows win), reusing predecessor fingers across consecutive keys: each
+// level's finger only ever moves forward, so inserting a dense sorted batch
+// costs amortized O(1) comparisons per row instead of a full O(log n) search
+// from the head. Insertion stops once s.bytes reaches limitBytes (<= 0 means
+// no limit) so the owning region can seal the memtable mid-batch; at least
+// one row is consumed per call. Returns the number of rows consumed.
+func (s *skiplist) setSortedPuts(rows []KV, limitBytes int, ins *batchInserter) (consumed int) {
+	if !ins.inited || (ins.lastKey != nil && len(rows) > 0 && bytes.Compare(rows[0].Key, ins.lastKey) < 0) {
+		for i := range ins.prev {
+			ins.prev[i] = s.head
+		}
+		ins.inited = true
+	}
+	// Node and next-pointer slabs, carved as rows insert. nextSlab holds the
+	// expected total level count (mean 1/(1-p) per node) and grows by chunk
+	// if the level draw runs hot.
+	var nodeSlab []skipNode
+	var nextSlab []*skipNode
+	for ri := range rows {
+		key, value := rows[ri].Key, rows[ri].Value
+		// Advance the fingers: every prev[i] already satisfies key(prev[i]) <
+		// key because the batch is ascending, so each level only scans
+		// forward from where the previous row left it.
+		for i := s.level - 1; i >= 0; i-- {
+			x := ins.prev[i]
+			for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+				x = x.next[i]
+			}
+			ins.prev[i] = x
+		}
+		ins.lastKey = key
+		if n := ins.prev[0].next[0]; n != nil && bytes.Equal(n.key, key) {
+			s.bytes += len(value) - len(n.value)
+			n.value = value
+			n.tomb = false
+			consumed++
+			if limitBytes > 0 && s.bytes >= limitBytes {
+				break
+			}
+			continue
+		}
+		lvl := s.randomLevel()
+		if lvl > s.level {
+			for i := s.level; i < lvl; i++ {
+				ins.prev[i] = s.head
+			}
+			s.level = lvl
+		}
+		if len(nodeSlab) == 0 {
+			nodeSlab = make([]skipNode, len(rows)-ri)
+		}
+		n := &nodeSlab[0]
+		nodeSlab = nodeSlab[1:]
+		if len(nextSlab) < lvl {
+			want := (len(rows) - ri) * 3 / 2
+			if want < lvl {
+				want = lvl
+			}
+			nextSlab = make([]*skipNode, want)
+		}
+		n.key, n.value, n.next = key, value, nextSlab[:lvl:lvl]
+		nextSlab = nextSlab[lvl:]
+		// Fingers deliberately stay on n's predecessors rather than moving
+		// onto n: a later batch row with the same key must find n via
+		// prev[0].next[0] to take the replacement branch.
+		for i := 0; i < lvl; i++ {
+			n.next[i] = ins.prev[i].next[i]
+			ins.prev[i].next[i] = n
+		}
+		s.size++
+		s.bytes += len(key) + len(value) + memEntryOverhead
+		consumed++
+		if limitBytes > 0 && s.bytes >= limitBytes {
+			break
+		}
+	}
+	return consumed
 }
 
 // get returns the value for key. found reports whether the key has an entry

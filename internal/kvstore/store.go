@@ -20,10 +20,14 @@ type Options struct {
 	// MaxRunsPerRegion triggers a compaction when a region accumulates more
 	// sorted runs than this.
 	MaxRunsPerRegion int
-	// Parallelism sizes the store's shared scan worker pool: the number of
-	// region scan tasks that may run concurrently store-wide, and therefore
-	// the parallelism ceiling of any single query.
+	// Parallelism sizes the store's shared worker pool: the number of
+	// region scan/write tasks that may run concurrently store-wide, and
+	// therefore the parallelism ceiling of any single query or MultiPut.
 	Parallelism int
+	// FlushWorkers sizes the background flusher: how many regions can have
+	// memtables flushed (and compactions run) concurrently. Flush work
+	// happens off the put path, so writers never block on it.
+	FlushWorkers int
 	// RPCLatencyMicros models the round-trip cost of one region scan RPC
 	// (the paper's five-node HBase deployment); each per-region scan task
 	// sleeps this long. Zero disables the network model.
@@ -56,6 +60,7 @@ func DefaultOptions() Options {
 		MemtableFlushBytes: 1 << 20,
 		MaxRunsPerRegion:   6,
 		Parallelism:        8,
+		FlushWorkers:       1,
 		RPCLatencyMicros:   150,
 		TransferMBps:       32,
 		DiskMBps:           256,
@@ -93,6 +98,9 @@ func (o *Options) sanitize() {
 	if o.Parallelism <= 0 {
 		o.Parallelism = def.Parallelism
 	}
+	if o.FlushWorkers <= 0 {
+		o.FlushWorkers = def.FlushWorkers
+	}
 	o.Retry.sanitize()
 }
 
@@ -106,7 +114,8 @@ type Store struct {
 	regionSeq atomic.Int64
 	stats     Stats
 	injector  *faultInjector // nil when fault injection is disabled
-	scanPool  *scanPool      // shared bounded executor for region scan tasks
+	pool      *workPool      // shared bounded executor for region scan/write tasks
+	fl        *flusher       // background memtable flusher/compactor
 
 	// Durability (set by OpenDir; nil for in-memory stores).
 	dir string
@@ -116,12 +125,14 @@ type Store struct {
 // Open creates an empty store with the given options.
 func Open(opts Options) *Store {
 	opts.sanitize()
-	return &Store{
+	s := &Store{
 		opts:     opts,
 		tables:   make(map[string]*Table),
 		injector: newFaultInjector(opts.Fault),
-		scanPool: newScanPool(opts.Parallelism),
+		pool:     newWorkPool(opts.Parallelism),
 	}
+	s.fl = newFlusher(&s.stats, opts.FlushWorkers)
+	return s
 }
 
 // CreateTable creates a table, erroring if the name is taken.

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,7 +36,7 @@ type Table struct {
 
 func newTable(name string, store *Store) *Table {
 	t := &Table{name: name, store: store}
-	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion)}
+	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.fl)}
 	return t
 }
 
@@ -52,6 +53,45 @@ func (t *Table) regionForKey(key []byte) *region {
 	return t.regions[i-1]
 }
 
+// PreSplit carves an empty table into len(keys)+1 regions at the given
+// strictly ascending split keys — the bulk-load pre-split of an HBase
+// deployment, letting a batched ingest fan out across regions from the
+// first row instead of waiting for threshold-driven splits. It does not
+// count toward the RegionSplits stat (nothing moved) and fails on a table
+// that already holds data or was already split.
+func (t *Table) PreSplit(keys [][]byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.regions) != 1 {
+		return errors.New("kvstore: PreSplit on an already-split table")
+	}
+	if t.regions[0].size() != 0 {
+		return errors.New("kvstore: PreSplit on a non-empty table")
+	}
+	for i, k := range keys {
+		if len(k) == 0 {
+			return errors.New("kvstore: PreSplit keys must be non-empty")
+		}
+		if i > 0 && bytes.Compare(keys[i-1], k) >= 0 {
+			return errors.New("kvstore: PreSplit keys must be strictly ascending")
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	regions := make([]*region, 0, len(keys)+1)
+	var start []byte
+	for _, k := range keys {
+		regions = append(regions, newRegion(t.store.nextRegionID(), start, k,
+			t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl))
+		start = k
+	}
+	regions = append(regions, newRegion(t.store.nextRegionID(), start, nil,
+		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl))
+	t.regions = regions
+	return nil
+}
+
 // Put inserts or replaces a row. Key and value are retained by the table;
 // callers must not mutate them afterwards. Put models a trusted in-process
 // write (WAL replay, snapshot load, index rewrites) and never fails; client
@@ -60,26 +100,34 @@ func (t *Table) Put(key, value []byte) {
 	t.store.logMutation(opPut, t.name, key, value)
 	t.mu.RLock()
 	r := t.regionForKey(key)
-	size := r.put(key, value, &t.store.stats)
+	wb := r.put(key, value)
 	t.mu.RUnlock()
 	t.store.stats.Puts.Add(1)
-	if size >= t.store.opts.RegionMaxBytes {
+	if wb >= int64(t.store.opts.RegionMaxBytes) {
 		t.maybeSplit(r)
 	}
 }
 
 // PutCtx is the client-RPC form of Put: with fault injection enabled the
 // write may be retried per the store's RetryPolicy and fails with a typed
-// error once retries or the context deadline are exhausted.
+// error once retries or the context deadline are exhausted. The region is
+// resolved once and the retry loop and the write run under the same table
+// lock acquisition, so the write cannot land on a different region than the
+// one that served the RPC.
 func (t *Table) PutCtx(ctx context.Context, key, value []byte) error {
 	t.mu.RLock()
 	r := t.regionForKey(key)
-	err := t.rpcWithRetry(ctx, r)
-	t.mu.RUnlock()
-	if err != nil {
+	if err := t.rpcWithRetry(ctx, r); err != nil {
+		t.mu.RUnlock()
 		return err
 	}
-	t.Put(key, value)
+	t.store.logMutation(opPut, t.name, key, value)
+	wb := r.put(key, value)
+	t.mu.RUnlock()
+	t.store.stats.Puts.Add(1)
+	if wb >= int64(t.store.opts.RegionMaxBytes) {
+		t.maybeSplit(r)
+	}
 	return nil
 }
 
@@ -88,7 +136,7 @@ func (t *Table) Delete(key []byte) {
 	t.store.logMutation(opDelete, t.name, key, nil)
 	t.mu.RLock()
 	r := t.regionForKey(key)
-	r.delete(key, &t.store.stats)
+	r.delete(key)
 	t.mu.RUnlock()
 	t.store.stats.Deletes.Add(1)
 }
@@ -153,7 +201,10 @@ func (t *Table) rpcWithRetry(ctx context.Context, r *region) error {
 }
 
 // maybeSplit splits region r in two if it is still oversized. The table
-// write lock excludes scans and other writers for the duration.
+// write lock excludes scans and other writers for the duration. The split
+// decision runs on the monotonic ingest metric (region.writeBytes), which is
+// a pure function of the write sequence — never of background-flush timing —
+// so region geometry is deterministic for a fixed workload.
 func (t *Table) maybeSplit(r *region) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -165,28 +216,312 @@ func (t *Table) maybeSplit(r *region) {
 			break
 		}
 	}
-	if idx < 0 || r.size() < t.store.opts.RegionMaxBytes {
+	if idx < 0 || r.writeBytes.Load() < int64(t.store.opts.RegionMaxBytes) {
 		return
 	}
-	entries, median := r.splitEntries()
+	entries, median := r.splitEntries(&t.store.stats)
 	if median == nil {
+		// Nothing (or a single row) survives compaction; re-seed the ingest
+		// metric from actual content so puts don't re-attempt every time.
+		r.writeBytes.Store(int64(r.size()))
 		return
 	}
 	cut := sort.Search(len(entries), func(i int) bool {
 		return bytes.Compare(entries[i].key, median) >= 0
 	})
 	if cut == 0 || cut == len(entries) {
+		// Degenerate key distribution (everything on one side): same
+		// re-seed so an overwrite-heavy region doesn't loop on splitting.
+		r.writeBytes.Store(entriesCharge(entries))
 		return
 	}
-	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.node, r.flushBytes, r.maxRuns)
-	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns)
+	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.node, r.flushBytes, r.maxRuns, t.store.fl)
+	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, t.store.fl)
 	left.runs = []*sortedRun{newSortedRun(entries[:cut])}
 	right.runs = []*sortedRun{newSortedRun(entries[cut:])}
+	left.writeBytes.Store(entriesCharge(entries[:cut]))
+	right.writeBytes.Store(entriesCharge(entries[cut:]))
 	// Freshly moved regions are briefly unavailable to clients, as in HBase.
 	t.store.injector.markUnavailable(left)
 	t.store.injector.markUnavailable(right)
 	t.regions = append(t.regions[:idx], append([]*region{left, right}, t.regions[idx+1:]...)...)
 	t.store.stats.RegionSplits.Add(1)
+}
+
+// writeTask is one region's share of a MultiPut: the contiguous key-sorted
+// row sub-slice owned by that region, plus the slots the worker writes its
+// outcome into. Tasks are held in a per-call slice, so each worker writes
+// only to its own element and no synchronization beyond the WaitGroup is
+// needed.
+type writeTask struct {
+	reg    *region
+	rows   []KV
+	wb     int64 // region ingest volume after apply (split check)
+	cost   time.Duration
+	failed bool
+}
+
+// runWriteTask applies one region batch and charges the analytic cost model
+// one batch RPC — the HBase batch-mutate analogue: latency is paid once per
+// region, transfer and disk once per byte.
+func (t *Table) runWriteTask(tk *writeTask) {
+	tk.wb = tk.reg.putBatch(tk.rows)
+	t.store.stats.RPCs.Add(1)
+	rpcLatency := time.Duration(t.store.opts.RPCLatencyMicros) * time.Microsecond
+	io := rpcLatency
+	if t.store.opts.TransferMBps > 0 || t.store.opts.DiskMBps > 0 {
+		var bytes int
+		for i := range tk.rows {
+			bytes += len(tk.rows[i].Key) + len(tk.rows[i].Value)
+		}
+		if mbps := t.store.opts.TransferMBps; mbps > 0 {
+			io += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
+		}
+		if mbps := t.store.opts.DiskMBps; mbps > 0 {
+			io += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
+		}
+	}
+	if scale := t.store.injector.latencyScale(tk.reg.node); scale != 1 {
+		io = time.Duration(float64(io) * scale)
+	}
+	tk.cost += io
+}
+
+// sortRowsStable orders a batch by key, keeping input order among
+// duplicates (later wins at apply time). An index array sorted with the
+// unstable pdqsort and the original position as tie-breaker is equivalent
+// to a stable sort of the rows, and profiles far cheaper than the rotation
+// heavy in-place stable merge (or the reflection-based sort.SliceStable).
+func sortRowsStable(rows []KV) {
+	idx := make([]int32, len(rows))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		if c := bytes.Compare(rows[a].Key, rows[b].Key); c != 0 {
+			return c
+		}
+		return int(a - b)
+	})
+	out := make([]KV, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	copy(rows, out)
+}
+
+// groupWriteTasks carves key-sorted rows into per-region contiguous
+// sub-slices. Caller must hold t.mu (R or W).
+func (t *Table) groupWriteTasks(rows []KV) []writeTask {
+	tasks := make([]writeTask, 0, 4)
+	i := 0
+	for i < len(rows) {
+		r := t.regionForKey(rows[i].Key)
+		j := len(rows)
+		if r.endKey != nil {
+			j = i + sort.Search(len(rows)-i, func(k int) bool {
+				return bytes.Compare(rows[i+k].Key, r.endKey) >= 0
+			})
+		}
+		tasks = append(tasks, writeTask{reg: r, rows: rows[i:j]})
+		i = j
+	}
+	return tasks
+}
+
+// finishMultiPut runs the shared post-apply accounting: per-row Puts, the
+// simulated I/O makespan over the region batches (parallel tasks overlap up
+// to the parallelism bound), and the split checks for regions that crossed
+// the threshold.
+func (t *Table) finishMultiPut(tasks []writeTask, applied int, budget *QueryBudget) {
+	t.store.stats.Puts.Add(int64(applied))
+	var total, maxCost time.Duration
+	for i := range tasks {
+		c := tasks[i].cost
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	par := t.store.opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	makespan := total / time.Duration(par)
+	if maxCost > makespan {
+		makespan = maxCost
+	}
+	t.store.stats.SimIONanos.Add(int64(makespan))
+	budget.Charge(makespan)
+	for i := range tasks {
+		if !tasks[i].failed && tasks[i].wb >= int64(t.store.opts.RegionMaxBytes) {
+			t.maybeSplit(tasks[i].reg)
+		}
+	}
+}
+
+// MultiPut inserts or replaces a batch of rows in one operation: rows are
+// sorted and grouped into per-region contiguous batches, the WAL receives
+// the whole batch as a single group-commit record, and the region batches
+// apply in parallel on the store's shared worker pool, each charged one
+// batch RPC by the cost model — the HBase batch-mutate shape. Rows are
+// sorted in place; among duplicate keys the later row wins. Keys and values
+// are retained by the table; callers must not mutate them afterwards.
+//
+// MultiPut models a trusted in-process write (WAL replay, bulk index
+// rebuilds) and never fails; client batches that should observe cluster
+// faults go through MultiPutCtx.
+func (t *Table) MultiPut(rows []KV) {
+	if len(rows) == 0 {
+		return
+	}
+	sortRowsStable(rows)
+	t.store.logBatch(t.name, rows)
+	t.mu.RLock()
+	tasks := t.groupWriteTasks(rows)
+	if len(tasks) == 1 {
+		// Single-region batch: apply inline, skipping the pool handoff.
+		t.runWriteTask(&tasks[0])
+	} else {
+		var wg sync.WaitGroup
+		run := func(tk *writeTask) { t.runWriteTask(tk) }
+		wg.Add(len(tasks))
+		for i := range tasks {
+			t.store.pool.submit(poolJob{write: run, wt: &tasks[i], wg: &wg})
+		}
+		wg.Wait()
+	}
+	t.mu.RUnlock()
+	t.finishMultiPut(tasks, len(rows), nil)
+}
+
+// MultiPutReport describes the per-region outcome of a MultiPutCtx.
+type MultiPutReport struct {
+	// Regions is the number of region batches the rows grouped into.
+	Regions int
+	// Applied and Failed count rows: Applied rows are durable and visible,
+	// Failed rows (from regions whose retries or deadline ran out) were not
+	// written at all — a region batch applies all-or-nothing.
+	Applied int
+	Failed  int
+	// FailedRegions counts region batches that gave up.
+	FailedRegions int
+	// RetriedRPCs counts retry attempts performed across all batches.
+	RetriedRPCs int64
+	// Partial is true when at least one region batch failed: the write
+	// landed on a strict subset of regions.
+	Partial bool
+	// FailedRanges lists the key ranges of the failed regions, so callers
+	// can re-drive exactly the rows that were lost.
+	FailedRanges []KeyRange
+}
+
+// MultiPutCtx is the client-RPC form of MultiPut, keeping the fault
+// semantics of the other ...Ctx operations: each region batch runs the
+// client retry loop with analytic backoff, gives up on exhausted retries or
+// an expired deadline, and failed batches degrade the write gracefully —
+// surviving regions still apply (all-or-nothing per region) and the report
+// says which key ranges were lost. Only applied rows are logged to the WAL
+// (one group-commit record). The returned error is non-nil only when ctx
+// was canceled outright.
+func (t *Table) MultiPutCtx(ctx context.Context, rows []KV) (MultiPutReport, error) {
+	var rep MultiPutReport
+	if len(rows) == 0 {
+		return rep, nil
+	}
+	sortRowsStable(rows)
+
+	injector := t.store.injector
+	pol := t.store.opts.Retry
+	budget := budgetFrom(ctx)
+	deadline, hasDeadline := ctx.Deadline()
+	expired := func(taskLocal time.Duration) bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		if !hasDeadline {
+			return false
+		}
+		return !time.Now().Add(budget.SimElapsed() + taskLocal).Before(deadline)
+	}
+	var retried atomic.Int64
+
+	t.mu.RLock()
+	tasks := t.groupWriteTasks(rows)
+	var wg sync.WaitGroup
+	run := func(tk *writeTask) {
+		// Client retry loop: every injected fault costs one analytic
+		// backoff; the batch gives up on deadline expiry or exhausted
+		// attempts, failing only its own region (nothing applied there).
+		for attempt := 1; ; attempt++ {
+			if expired(tk.cost) {
+				tk.failed = true
+				return
+			}
+			err := injector.attempt(tk.reg, &t.store.stats)
+			if err == nil {
+				break
+			}
+			if attempt >= pol.MaxAttempts {
+				tk.failed = true
+				return
+			}
+			tk.cost += pol.backoff(attempt, injector.unit(tk.reg.id, tk.reg.faultSeq.Add(1)))
+			retried.Add(1)
+			t.store.stats.RetriedRPCs.Add(1)
+		}
+		t.runWriteTask(tk)
+	}
+	if len(tasks) == 1 {
+		run(&tasks[0])
+	} else {
+		wg.Add(len(tasks))
+		for i := range tasks {
+			t.store.pool.submit(poolJob{write: run, wt: &tasks[i], wg: &wg})
+		}
+		wg.Wait()
+	}
+
+	rep.Regions = len(tasks)
+	applied := 0
+	for i := range tasks {
+		if tasks[i].failed {
+			rep.Partial = true
+			rep.FailedRegions++
+			rep.Failed += len(tasks[i].rows)
+			rep.FailedRanges = append(rep.FailedRanges, KeyRange{Start: tasks[i].reg.startKey, End: tasks[i].reg.endKey})
+			continue
+		}
+		applied += len(tasks[i].rows)
+	}
+	rep.Applied = applied
+	// Log only the rows that actually landed, still as one batch record.
+	if t.store.wal != nil && applied > 0 {
+		if applied == len(rows) {
+			t.store.logBatch(t.name, rows)
+		} else {
+			kept := make([]KV, 0, applied)
+			for i := range tasks {
+				if !tasks[i].failed {
+					kept = append(kept, tasks[i].rows...)
+				}
+			}
+			t.store.logBatch(t.name, kept)
+		}
+	}
+	t.mu.RUnlock()
+
+	rep.RetriedRPCs = retried.Load()
+	if rep.FailedRegions > 0 {
+		t.store.stats.FailedRegions.Add(int64(rep.FailedRegions))
+	}
+	t.finishMultiPut(tasks, applied, budget)
+
+	var err error
+	if cerr := ctx.Err(); cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
+		err = cerr
+	}
+	return rep, err
 }
 
 // Scan returns all live rows with key in [start, end) that pass the
@@ -401,7 +736,7 @@ func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter
 	}
 	wg.Add(len(tasks))
 	for i := range tasks {
-		t.store.scanPool.submit(scanJob{run: run, tk: &tasks[i], wg: &wg})
+		t.store.pool.submit(poolJob{scan: run, st: &tasks[i], wg: &wg})
 	}
 	wg.Wait()
 	t.mu.RUnlock()
@@ -487,19 +822,34 @@ func (t *Table) ApproxSize() int {
 	return s
 }
 
-// CompactAll flushes memtables and merges all runs of every region.
+// CompactAll flushes memtables (sealed and live) and merges all runs of
+// every region. Pending background flushes are absorbed with
+// flusher-equivalent counting, so counter totals don't depend on how far
+// the flusher got.
 func (t *Table) CompactAll() {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for _, r := range t.regions {
+		r.flushMu.Lock()
 		r.mu.Lock()
-		r.flushLocked(&t.store.stats)
+		r.drainImmsLocked(&t.store.stats)
+		if r.mem.size > 0 {
+			r.runs = append(r.runs, newSortedRun(r.mem.drain()))
+			r.mem = newSkiplist(nextSkiplistSeed())
+			t.store.stats.Flushes.Add(1)
+			if len(r.runs) > r.maxRuns {
+				r.runs = []*sortedRun{mergeRunSlice(r.runs)}
+				t.store.stats.Compactions.Add(1)
+			}
+		}
 		if len(r.runs) > 1 {
-			r.compactLocked(&t.store.stats)
+			r.runs = []*sortedRun{mergeRunSlice(r.runs)}
+			t.store.stats.Compactions.Add(1)
 			// A major compaction briefly blocks client RPCs, as a region
 			// move would.
 			t.store.injector.markUnavailable(r)
 		}
 		r.mu.Unlock()
+		r.flushMu.Unlock()
 	}
 }

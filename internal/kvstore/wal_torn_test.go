@@ -129,3 +129,118 @@ func TestWALBitFlipMidLog(t *testing.T) {
 		}
 	}
 }
+
+// buildBatchWAL writes `singles` synced single-put records followed by one
+// group-commit batch record of batchRows rows, returning the log bytes and
+// the offset where the batch record begins.
+func buildBatchWAL(t *testing.T, dir string, singles, batchRows int) (data []byte, batchOff int) {
+	t.Helper()
+	path := filepath.Join(dir, walFileName)
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < singles; i++ {
+		if err := w.append(opPut, "t", []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.sync(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchOff = int(fi.Size())
+	rows := make([]KV, batchRows)
+	for i := range rows {
+		rows[i] = KV{Key: []byte(fmt.Sprintf("b%03d", i)), Value: []byte(fmt.Sprintf("w%03d", i))}
+	}
+	if err := w.appendBatch("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, batchOff
+}
+
+// replayBatchCount replays a WAL image holding single puts plus at most one
+// batch record, returning (singles applied, batch rows applied). The batch
+// must be all-or-nothing: a partial batch row set fails the test.
+func replayBatchCount(t *testing.T, data []byte, batchRows int) (singles, rows int) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.log")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := replayWAL(path, func(rec walRecord) {
+		switch rec.op {
+		case opPut:
+			singles++
+		case opBatch:
+			if len(rec.rows) != batchRows {
+				t.Fatalf("partial batch replayed: %d rows, want %d or nothing", len(rec.rows), batchRows)
+			}
+			for i, kv := range rec.rows {
+				if want := fmt.Sprintf("b%03d", i); string(kv.Key) != want {
+					t.Fatalf("batch row %d has key %q, want %q", i, kv.Key, want)
+				}
+			}
+			rows += len(rec.rows)
+		default:
+			t.Fatalf("replayed corrupt record: op=%d", rec.op)
+		}
+	})
+	if err != nil {
+		t.Fatalf("replayWAL must never error on torn tails: %v", err)
+	}
+	return singles, rows
+}
+
+// TestWALTornBatchEveryOffset truncates the log at every byte offset of a
+// trailing batch record: replay must recover exactly the synced single-put
+// prefix and never a partial batch — the batch lands all-or-nothing.
+func TestWALTornBatchEveryOffset(t *testing.T) {
+	const singlesN, batchN = 5, 12
+	data, batchOff := buildBatchWAL(t, t.TempDir(), singlesN, batchN)
+	for cut := batchOff; cut <= len(data); cut++ {
+		gotSingles, gotRows := replayBatchCount(t, data[:cut], batchN)
+		if gotSingles != singlesN {
+			t.Fatalf("truncated at %d: replayed %d singles, want %d", cut, gotSingles, singlesN)
+		}
+		wantRows := 0
+		if cut == len(data) {
+			wantRows = batchN
+		}
+		if gotRows != wantRows {
+			t.Fatalf("truncated at %d/%d: replayed %d batch rows, want %d", cut, len(data), gotRows, wantRows)
+		}
+	}
+}
+
+// TestWALBitFlipInBatch flips every bit of every byte of the batch record:
+// CRC must reject the whole batch (no partial rows, no invented records, no
+// huge allocations from a flipped count or length field) while the synced
+// prefix survives.
+func TestWALBitFlipInBatch(t *testing.T) {
+	const singlesN, batchN = 5, 12
+	data, batchOff := buildBatchWAL(t, t.TempDir(), singlesN, batchN)
+	for off := batchOff; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			gotSingles, gotRows := replayBatchCount(t, mut, batchN)
+			if gotSingles != singlesN || gotRows != 0 {
+				t.Fatalf("flip byte %d bit %d: replayed %d singles + %d batch rows, want %d + 0",
+					off, bit, gotSingles, gotRows, singlesN)
+			}
+		}
+	}
+}

@@ -5,20 +5,20 @@ import (
 	"sync/atomic"
 )
 
-// scanPool is the store-level scan executor: a bounded set of persistent
-// worker goroutines that region scan tasks are submitted to. It replaces
-// the per-query semaphore + goroutine-spawn pattern, so a query stream
-// reuses the same workers instead of churning goroutines, while the
-// Parallelism bound still caps how many region scans run at once (and
-// therefore how many any single query can have in flight).
+// workPool is the store-level task executor: a bounded set of persistent
+// worker goroutines that region scan and region write tasks are submitted
+// to. It replaces the per-query semaphore + goroutine-spawn pattern, so an
+// operation stream reuses the same workers instead of churning goroutines,
+// while the Parallelism bound still caps how many region tasks run at once
+// (and therefore the parallelism of any single operation).
 //
-// The queue is unbounded and submit never blocks, so queries waiting on
+// The queue is unbounded and submit never blocks, so operations waiting on
 // their tasks can never deadlock against each other; tasks carry their own
 // retry/deadline logic and simply run later when the pool is saturated.
-type scanPool struct {
+type workPool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []scanJob
+	queue   []poolJob
 	head    int
 	workers int
 	idle    int
@@ -30,34 +30,41 @@ type scanPool struct {
 	maxRunning atomic.Int64
 }
 
-func newScanPool(max int) *scanPool {
+func newWorkPool(max int) *workPool {
 	if max < 1 {
 		max = 1
 	}
-	p := &scanPool{max: max}
+	p := &workPool{max: max}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
-// scanJob is one queued unit of work: run(tk), then wg.Done(). The typed
-// shape (instead of a bare func()) lets a query submit one shared `run`
-// closure for all its region tasks, so enqueueing N tasks costs zero
-// per-task allocations — the queue slice is reused across queries.
-type scanJob struct {
-	run func(*scanTask)
-	tk  *scanTask
-	wg  *sync.WaitGroup
+// poolJob is one queued unit of work — a region scan task or a region write
+// task — followed by wg.Done(). The typed shape (instead of a bare func())
+// lets an operation submit one shared closure for all its region tasks, so
+// enqueueing N tasks costs zero per-task allocations — the queue slice is
+// reused across operations. Exactly one of scan/write is set.
+type poolJob struct {
+	scan  func(*scanTask)
+	st    *scanTask
+	write func(*writeTask)
+	wt    *writeTask
+	wg    *sync.WaitGroup
 }
 
-func (j scanJob) execute() {
+func (j poolJob) execute() {
 	defer j.wg.Done()
-	j.run(j.tk)
+	if j.scan != nil {
+		j.scan(j.st)
+		return
+	}
+	j.write(j.wt)
 }
 
 // submit enqueues a job, waking an idle worker or (lazily, up to the
 // bound) spawning a new one. Never blocks. After close, jobs degrade to a
-// plain goroutine so late scans still complete.
-func (p *scanPool) submit(job scanJob) {
+// plain goroutine so late operations still complete.
+func (p *workPool) submit(job poolJob) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -74,7 +81,7 @@ func (p *scanPool) submit(job scanJob) {
 	p.mu.Unlock()
 }
 
-func (p *scanPool) worker() {
+func (p *workPool) worker() {
 	p.mu.Lock()
 	for {
 		for p.head >= len(p.queue) && !p.closed {
@@ -88,7 +95,7 @@ func (p *scanPool) worker() {
 			return
 		}
 		job := p.queue[p.head]
-		p.queue[p.head] = scanJob{}
+		p.queue[p.head] = poolJob{}
 		p.head++
 		if p.head == len(p.queue) {
 			p.queue = p.queue[:0]
@@ -115,7 +122,7 @@ func (p *scanPool) worker() {
 
 // close drains nothing and stops nothing in flight: queued tasks still run,
 // workers exit once the queue is empty. Idempotent.
-func (p *scanPool) close() {
+func (p *workPool) close() {
 	p.mu.Lock()
 	p.closed = true
 	p.cond.Broadcast()
@@ -124,4 +131,4 @@ func (p *scanPool) close() {
 
 // maxObservedRunning reports the high-water mark of concurrently running
 // tasks (test instrumentation for the Parallelism bound).
-func (p *scanPool) maxObservedRunning() int64 { return p.maxRunning.Load() }
+func (p *workPool) maxObservedRunning() int64 { return p.maxRunning.Load() }

@@ -8,23 +8,29 @@ import (
 	"time"
 )
 
-// TestScanPoolBound submits far more tasks than the pool width and checks
+// TestWorkPoolBound submits far more tasks than the pool width and checks
 // every task runs while the concurrency high-water mark stays within the
-// bound.
-func TestScanPoolBound(t *testing.T) {
+// bound — scan and write jobs mixed through the same pool.
+func TestWorkPoolBound(t *testing.T) {
 	const width, tasks = 3, 200
-	p := newScanPool(width)
+	p := newWorkPool(width)
 	var wg sync.WaitGroup
-	ran := make([]scanTask, tasks)
-	run := func(tk *scanTask) { tk.failed = true } // reuse a field as a "ran" marker
-	wg.Add(tasks)
-	for i := range ran {
-		p.submit(scanJob{run: run, tk: &ran[i], wg: &wg})
+	ranScan := make([]scanTask, tasks)
+	ranWrite := make([]writeTask, tasks)
+	scanRun := func(tk *scanTask) { tk.failed = true } // reuse a field as a "ran" marker
+	writeRun := func(tk *writeTask) { tk.failed = true }
+	wg.Add(2 * tasks)
+	for i := range ranScan {
+		p.submit(poolJob{scan: scanRun, st: &ranScan[i], wg: &wg})
+		p.submit(poolJob{write: writeRun, wt: &ranWrite[i], wg: &wg})
 	}
 	wg.Wait()
-	for i := range ran {
-		if !ran[i].failed {
-			t.Fatalf("task %d never ran", i)
+	for i := range ranScan {
+		if !ranScan[i].failed {
+			t.Fatalf("scan task %d never ran", i)
+		}
+		if !ranWrite[i].failed {
+			t.Fatalf("write task %d never ran", i)
 		}
 	}
 	if got := p.maxObservedRunning(); got > width {
@@ -36,7 +42,7 @@ func TestScanPoolBound(t *testing.T) {
 	done := make(chan struct{})
 	var wg2 sync.WaitGroup
 	wg2.Add(1)
-	p.submit(scanJob{run: func(*scanTask) { close(done) }, tk: new(scanTask), wg: &wg2})
+	p.submit(poolJob{scan: func(*scanTask) { close(done) }, st: new(scanTask), wg: &wg2})
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
@@ -170,8 +176,8 @@ func TestScanPoolStress(t *testing.T) {
 	}
 	wg.Wait()
 
-	if got := store.scanPool.maxObservedRunning(); got > int64(opts.Parallelism) {
-		t.Fatalf("scan pool ran %d tasks concurrently, Parallelism = %d", got, opts.Parallelism)
+	if got := store.pool.maxObservedRunning(); got > int64(opts.Parallelism) {
+		t.Fatalf("work pool ran %d tasks concurrently, Parallelism = %d", got, opts.Parallelism)
 	}
 }
 

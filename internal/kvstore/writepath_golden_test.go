@@ -1,0 +1,108 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePathStatsGolden pins the Stats counters of a fixed batched-ingest
+// workload to exact values, the write-path twin of TestReadPathStatsGolden.
+// The pinned counters are exactly the knobs the batched write path is allowed
+// to move — one RPC per region batch, seals decided by ingest volume, flushes
+// and compactions drained in the background — so any drift means the pipeline
+// changed how often it seals, flushes, compacts, splits, or talks to regions
+// for the same logical write sequence.
+//
+// Determinism: rows come from a seeded PRNG on one goroutine; region batches
+// execute in parallel but fault decisions are a pure function of (seed,
+// region id, per-region attempt sequence) and every counter is summed over
+// regions, so scheduling order cannot move totals. Quiesce drains the
+// background flusher before the snapshot is read.
+func TestWritePathStatsGolden(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RegionMaxBytes = 64 << 10
+	opts.MemtableFlushBytes = 8 << 10
+	opts.MaxRunsPerRegion = 4
+	opts.Parallelism = 4
+	opts.Fault = FaultConfig{Seed: 19, PFailRPC: 0.3}
+	opts.Retry = RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  8 * time.Millisecond,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	}
+	s := Open(opts)
+	defer s.Close()
+	tbl, err := s.CreateTable("golden-write")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rows, batch = 6000, 500
+	rng := rand.New(rand.NewSource(23))
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+	perm := rng.Perm(rows)
+	// Bulk load through the trusted batched path, shuffled batches spanning
+	// the whole keyspace so splits happen mid-ingest.
+	for off := 0; off < rows; off += batch {
+		kvs := make([]KV, 0, batch)
+		for _, i := range perm[off : off+batch] {
+			val := strings.Repeat("w", 16+i%48) + fmt.Sprintf("#%06d", i)
+			kvs = append(kvs, KV{Key: key(i), Value: []byte(val)})
+		}
+		tbl.MultiPut(kvs)
+	}
+	// Deletes and single-row rewrites interleave the batched and row paths.
+	for i := 0; i < rows; i += 19 {
+		tbl.Delete(key(i))
+	}
+	// Fallible batched overwrites exercise per-region retry accounting.
+	ctx := context.Background()
+	for round := 0; round < 4; round++ {
+		var kvs []KV
+		for i := round; i < rows; i += 7 {
+			kvs = append(kvs, KV{Key: key(i), Value: []byte(fmt.Sprintf("ctx-%d-%06d", round, i))})
+		}
+		if _, err := tbl.MultiPutCtx(WithQueryBudget(ctx), kvs); err != nil {
+			t.Fatalf("MultiPutCtx round %d: %v", round, err)
+		}
+	}
+	s.Quiesce()
+
+	got := s.Stats().Snapshot()
+	check := func(name string, got, want int64) {
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	check("Puts", got.Puts, pinWritePuts)
+	check("Deletes", got.Deletes, pinWriteDeletes)
+	check("Flushes", got.Flushes, pinWriteFlushes)
+	check("Compactions", got.Compactions, pinWriteCompactions)
+	check("RegionSplits", got.RegionSplits, pinWriteSplits)
+	check("RPCs", got.RPCs, pinWriteRPCs)
+	check("RetriedRPCs", got.RetriedRPCs, pinWriteRetried)
+	check("FailedRPCs", got.FailedRPCs, pinWriteFailedRPCs)
+	check("FailedRegions", got.FailedRegions, pinWriteFailedRegions)
+	if t.Failed() {
+		t.Logf("full snapshot: %+v", got)
+	}
+}
+
+// Pinned counter values for TestWritePathStatsGolden's workload.
+const (
+	pinWritePuts          = 9318
+	pinWriteDeletes       = 316
+	pinWriteFlushes       = 90
+	pinWriteCompactions   = 8
+	pinWriteSplits        = 15
+	pinWriteRPCs          = 137
+	pinWriteRetried       = 21
+	pinWriteFailedRPCs    = 23
+	pinWriteFailedRegions = 2
+)

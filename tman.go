@@ -187,7 +187,12 @@ func Open(boundary Rect, opts ...Option) (*DB, error) {
 // point, and time-ordered points (use Trajectory.SortByTime to repair).
 func (db *DB) Put(t *Trajectory) error { return db.eng.Put(t) }
 
-// PutBatch stores many trajectories.
+// PutBatch stores many trajectories through the batched write path: all
+// inputs are validated up front (an invalid trajectory rejects the whole
+// batch before anything is written), row values are encoded in parallel,
+// and rows land as one grouped multi-put per underlying KV table — one
+// cost-model RPC per region batch and a single WAL group commit per table.
+// For bulk ingest this is substantially faster than calling Put in a loop.
 func (db *DB) PutBatch(ts []*Trajectory) error { return db.eng.BatchPut(ts) }
 
 // Delete removes a trajectory previously stored (typically one read back
