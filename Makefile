@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-write
+.PHONY: all vet build test race check bench bench-write bench-query
 
 all: check
 
@@ -39,3 +39,14 @@ bench-write:
 		-benchmem -benchtime=20x ./internal/engine/ > /tmp/bench_write_engine.txt
 	$(GO) run ./cmd/benchjson -suite writepath -o BENCH_writepath.json \
 		/tmp/bench_write_kvstore.txt /tmp/bench_write_engine.txt
+
+# Query-path throughput benchmarks: the mixed workload driven by 1/4/8
+# concurrent clients against the tuned path (sharded LFU + singleflight +
+# plan cache) and the pre-PR baseline (single mutex, no plan cache).
+# QUERY_BENCHTIME=1x gives CI a smoke run; the default measures for real.
+QUERY_BENCHTIME ?= 2000x
+bench-query:
+	$(GO) test -run= -bench 'BenchmarkQueryPath' \
+		-benchmem -benchtime=$(QUERY_BENCHTIME) ./internal/engine/ > /tmp/bench_querypath.txt
+	$(GO) run ./cmd/benchjson -suite querypath -o BENCH_querypath.json \
+		/tmp/bench_querypath.txt

@@ -33,13 +33,15 @@ import (
 	"strings"
 )
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line. Extra holds custom b.ReportMetric
+// units (e.g. qps, p50_us) keyed by unit name.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // suite is one named benchmark run inside a multi-suite document.
@@ -165,6 +167,17 @@ func parse(r io.Reader) ([]result, error) {
 				res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
 				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				// Custom b.ReportMetric units (qps, p50_us, ...): keep them
+				// rather than silently dropping columns we don't know.
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					continue
+				}
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] = f
 			}
 		}
 		results = append(results, res)

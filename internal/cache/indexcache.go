@@ -1,6 +1,9 @@
 package cache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Directory is the persistent store of ⟨element, shape, final code⟩ tuples
 // — the role Redis plays in the paper. The engine implements it on a
@@ -14,50 +17,98 @@ type Directory interface {
 	Store(elemCode uint64, shapes []Shape) error
 }
 
-// IndexCache is the read path of TMan's index cache: an LFU front over the
-// persistent directory. On a miss the element's tuples are loaded from the
-// directory and installed in the cache.
+// IndexCache is the read path of TMan's index cache: a sharded LFU front
+// over the persistent directory. On a miss the element's tuples are loaded
+// from the directory and installed in the cache; concurrent misses for the
+// same cold element collapse into one directory load (singleflight), so a
+// stampede of queries over a hot-but-uncached element costs one KV read.
 type IndexCache struct {
-	lfu *LFU
+	lfu *ShardedLFU
 	dir Directory
+
+	flights flightGroup
+	loads   atomic.Int64 // Directory.Load calls actually issued
+	shared  atomic.Int64 // misses served by piggy-backing on an in-flight load
 }
 
 // NewIndexCache builds an index cache with the given LFU capacity (number
-// of element directories held in memory).
+// of element directories held in memory) and the default shard count.
 func NewIndexCache(capacity int, dir Directory) *IndexCache {
-	return &IndexCache{lfu: NewLFU(capacity), dir: dir}
+	return NewIndexCacheSharded(capacity, 0, dir)
+}
+
+// NewIndexCacheSharded is NewIndexCache with an explicit LFU shard count
+// (0 → DefaultCacheShards; 1 → the single-mutex pre-sharding layout, kept
+// for equivalence testing and ablations).
+func NewIndexCacheSharded(capacity, shards int, dir Directory) *IndexCache {
+	return &IndexCache{lfu: NewShardedLFU(capacity, shards), dir: dir}
 }
 
 // Shapes returns the used shapes of an element, loading from the directory
 // on a cache miss. It satisfies tshape.ShapeProvider (errors surface as an
 // empty directory, which is sound for queries over elements that have never
-// stored a shape).
+// stored a shape). The returned slice is shared, read-only cache state:
+// callers iterate it but must never write through it.
 func (ic *IndexCache) Shapes(elemCode uint64) []Shape {
 	if shapes, ok := ic.lfu.Get(elemCode); ok {
 		return shapes
 	}
-	shapes, err := ic.dir.Load(elemCode)
+	shapes, leader, install, err := ic.flights.do(elemCode, func() ([]Shape, error) {
+		ic.loads.Add(1)
+		return ic.dir.Load(elemCode)
+	})
+	if !leader {
+		ic.shared.Add(1)
+	}
 	if err != nil || shapes == nil {
 		return nil
 	}
-	ic.lfu.Put(elemCode, shapes)
+	// Only the leader installs, and only if no Update/Invalidate raced the
+	// load (the flight would have been forgotten, marking the result stale).
+	if install {
+		ic.lfu.Put(elemCode, shapes)
+	}
 	return shapes
 }
 
 // Update persists a new directory for an element and refreshes the cache.
+// Any load in flight for the element is marked stale so it cannot
+// overwrite the new tuples with pre-update state.
 func (ic *IndexCache) Update(elemCode uint64, shapes []Shape) error {
 	if err := ic.dir.Store(elemCode, shapes); err != nil {
 		return err
 	}
+	ic.flights.forget(elemCode)
 	ic.lfu.Put(elemCode, shapes)
 	return nil
 }
 
 // Invalidate drops an element from the in-memory layer only.
-func (ic *IndexCache) Invalidate(elemCode uint64) { ic.lfu.Invalidate(elemCode) }
+func (ic *IndexCache) Invalidate(elemCode uint64) {
+	ic.flights.forget(elemCode)
+	ic.lfu.Invalidate(elemCode)
+}
 
-// Stats exposes the LFU counters.
-func (ic *IndexCache) Stats() CacheStats { return ic.lfu.Stats() }
+// Stats exposes the aggregated LFU counters plus the singleflight view of
+// the miss path.
+func (ic *IndexCache) Stats() CacheStats {
+	st := ic.lfu.Stats()
+	st.DirLoads = ic.loads.Load()
+	st.SharedLoads = ic.shared.Load()
+	return st
+}
+
+// ResetStats clears every counter (LFU entries survive); benchmark phases
+// use it to read clean deltas.
+func (ic *IndexCache) ResetStats() {
+	for _, sh := range ic.lfu.shards {
+		sh.mu.Lock()
+		sh.hits, sh.misses, sh.evicts = 0, 0, 0
+		sh.mu.Unlock()
+	}
+	ic.loads.Store(0)
+	ic.shared.Store(0)
+}
 
 // MemoryDirectory is a Directory held in process memory, for tests and for
 // engines configured without persistence.

@@ -32,7 +32,15 @@ type freqBucket struct {
 
 // LFU is a constant-time least-frequently-used cache from element code to
 // shape directory, using the classic O(1) bucket-list algorithm. The zero
-// value is not usable; use NewLFU. Safe for concurrent use.
+// value is not usable; use NewLFU. Safe for concurrent use, but a single
+// mutex guards every operation — concurrent query serving should wrap
+// shards of these in a ShardedLFU.
+//
+// Ownership contract: Put copies the inserted slice, so the cache never
+// aliases caller memory; Get returns the cache's internal slice, which
+// callers must treat as read-only (the engine only iterates directories,
+// and copying on every hit would put an allocation on the hottest read
+// path).
 type LFU struct {
 	mu       sync.Mutex
 	capacity int
@@ -52,7 +60,8 @@ func NewLFU(capacity int) *LFU {
 }
 
 // Get returns the cached directory for an element and whether it was
-// present, bumping the element's frequency.
+// present, bumping the element's frequency. The returned slice is the
+// cache's internal copy: callers must not mutate it.
 func (c *LFU) Get(key uint64) ([]Shape, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,19 +76,25 @@ func (c *LFU) Get(key uint64) ([]Shape, bool) {
 }
 
 // Put inserts or replaces an element directory, evicting the least
-// frequently used entry when full.
+// frequently used entry when full. The value is copied defensively, so the
+// caller may keep mutating its slice after Put returns.
 func (c *LFU) Put(key uint64, value []Shape) {
+	var cp []Shape
+	if value != nil {
+		cp = make([]Shape, len(value))
+		copy(cp, value)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
-		e.value = value
+		e.value = cp
 		c.bump(e)
 		return
 	}
 	if len(c.entries) >= c.capacity {
 		c.evictLocked()
 	}
-	e := &lfuEntry{key: key, value: value, freq: 1}
+	e := &lfuEntry{key: key, value: cp, freq: 1}
 	c.entries[key] = e
 	c.attach(e)
 }
@@ -95,12 +110,14 @@ func (c *LFU) Invalidate(key uint64) {
 	}
 }
 
-// Clear drops everything.
+// Clear drops everything, including the hit/miss/eviction counters, so
+// back-to-back benchmark phases read clean stats.
 func (c *LFU) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[uint64]*lfuEntry, c.capacity)
 	c.buckets = nil
+	c.hits, c.misses, c.evicts = 0, 0, 0
 }
 
 // Len returns the number of cached elements.
@@ -110,9 +127,13 @@ func (c *LFU) Len() int {
 	return len(c.entries)
 }
 
-// CacheStats reports hit/miss/eviction counters.
+// CacheStats reports hit/miss/eviction counters. DirLoads and SharedLoads
+// describe the miss path of an IndexCache: directory loads actually issued
+// versus misses that piggy-backed on another caller's in-flight load
+// (singleflight dedup). A plain LFU/ShardedLFU leaves them zero.
 type CacheStats struct {
 	Hits, Misses, Evictions int64
+	DirLoads, SharedLoads   int64
 }
 
 // Stats returns a snapshot of the counters.

@@ -1,0 +1,93 @@
+package cache
+
+// ShardedLFU spreads an LFU cache over independently locked shards so
+// concurrent queries do not serialize on one global mutex. Element codes are
+// mixed with a 64-bit finalizer before sharding, because quadrant DFS codes
+// cluster in their low bits and would otherwise hot-spot a few shards.
+//
+// Eviction is per shard: each shard runs the O(1) LFU algorithm over its
+// own slice of the capacity. Aggregate occupancy can therefore diverge from
+// a single global LFU under skew, which is the standard trade for lock-free
+// cross-shard reads (the same partitioning HBase's LruBlockCache and
+// ristretto apply).
+type ShardedLFU struct {
+	shards []*LFU
+	mask   uint64
+}
+
+// DefaultCacheShards is the shard count used when callers pass 0.
+const DefaultCacheShards = 16
+
+// NewShardedLFU builds a cache of the given total capacity split over
+// shards (rounded up to a power of two; 0 means DefaultCacheShards, 1 keeps
+// the single-mutex layout). Per-shard capacity is at least one entry.
+func NewShardedLFU(capacity, shards int) *ShardedLFU {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	perShard := (capacity + n - 1) / n
+	s := &ShardedLFU{shards: make([]*LFU, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = NewLFU(perShard)
+	}
+	return s
+}
+
+// shard routes a key to its shard via a splitmix64 finalizer.
+func (s *ShardedLFU) shard(key uint64) *LFU {
+	h := key
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return s.shards[h&s.mask]
+}
+
+// Get returns the cached directory for an element, bumping its frequency.
+// The returned slice is cache-internal and must be treated as read-only.
+func (s *ShardedLFU) Get(key uint64) ([]Shape, bool) { return s.shard(key).Get(key) }
+
+// Put inserts or replaces an element directory (value copied defensively).
+func (s *ShardedLFU) Put(key uint64, value []Shape) { s.shard(key).Put(key, value) }
+
+// Invalidate removes an element directory.
+func (s *ShardedLFU) Invalidate(key uint64) { s.shard(key).Invalidate(key) }
+
+// Clear drops every shard's entries and counters.
+func (s *ShardedLFU) Clear() {
+	for _, sh := range s.shards {
+		sh.Clear()
+	}
+}
+
+// Len returns the total number of cached elements.
+func (s *ShardedLFU) Len() int {
+	var n int
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Shards returns the shard count.
+func (s *ShardedLFU) Shards() int { return len(s.shards) }
+
+// Stats aggregates the per-shard counters into one snapshot.
+func (s *ShardedLFU) Stats() CacheStats {
+	var out CacheStats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+	}
+	return out
+}

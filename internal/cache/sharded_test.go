@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedLFUBasic(t *testing.T) {
+	s := NewShardedLFU(64, 16)
+	if s.Shards() != 16 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+	for k := uint64(0); k < 32; k++ {
+		s.Put(k, []Shape{{Bits: k, Code: k}})
+	}
+	for k := uint64(0); k < 32; k++ {
+		got, ok := s.Get(k)
+		if !ok || len(got) != 1 || got[0].Bits != k {
+			t.Fatalf("Get(%d) = %+v, %v", k, got, ok)
+		}
+	}
+	st := s.Stats()
+	if st.Hits != 32 || st.Misses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	s.Invalidate(7)
+	if _, ok := s.Get(7); ok {
+		t.Error("invalidated key still present")
+	}
+	if s.Len() != 31 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+	if st := s.Stats(); st != (CacheStats{}) {
+		t.Errorf("Clear left counters: %+v", st)
+	}
+}
+
+func TestShardedLFUShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultCacheShards}, {1, 1}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		if got := NewShardedLFU(128, tc.in).Shards(); got != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLFUClearResetsCounters(t *testing.T) {
+	c := NewLFU(4)
+	c.Put(1, nil)
+	c.Get(1)
+	c.Get(2)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("pre-clear stats = %+v", st)
+	}
+	c.Clear()
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("Clear left counters: %+v", st)
+	}
+}
+
+func TestLFUPutCopiesValue(t *testing.T) {
+	c := NewLFU(4)
+	in := []Shape{{Bits: 1, Code: 2}}
+	c.Put(9, in)
+	in[0].Bits = 99 // caller keeps mutating its slice
+	got, _ := c.Get(9)
+	if got[0].Bits != 1 {
+		t.Error("Put did not copy the inserted slice")
+	}
+}
+
+// TestIndexCacheShapesAliasing pins the aliasing fix: a caller mutating the
+// slice it handed to Update must not corrupt what later readers observe.
+func TestIndexCacheShapesAliasing(t *testing.T) {
+	ic := NewIndexCache(8, NewMemoryDirectory())
+	in := []Shape{{Bits: 0b11, Code: 0}}
+	if err := ic.Update(5, in); err != nil {
+		t.Fatal(err)
+	}
+	in[0].Code = 77
+	if got := ic.Shapes(5); got[0].Code != 0 {
+		t.Errorf("Update aliased caller memory: %+v", got)
+	}
+}
+
+// countingDirectory counts Load calls and can block them on a gate, to make
+// concurrent cold misses observable.
+type countingDirectory struct {
+	inner   Directory
+	loads   atomic.Int64
+	started chan struct{} // closed once the first Load begins
+	gate    chan struct{} // Loads block until closed (nil = no blocking)
+	once    sync.Once
+}
+
+func (d *countingDirectory) Load(elem uint64) ([]Shape, error) {
+	d.loads.Add(1)
+	d.once.Do(func() { close(d.started) })
+	if d.gate != nil {
+		<-d.gate
+	}
+	return d.inner.Load(elem)
+}
+
+func (d *countingDirectory) Store(elem uint64, shapes []Shape) error {
+	return d.inner.Store(elem, shapes)
+}
+
+// TestSingleflightDedupesColdMisses asserts the acceptance criterion
+// directly: N concurrent queries for one cold element issue exactly one
+// Directory.Load.
+func TestSingleflightDedupesColdMisses(t *testing.T) {
+	mem := NewMemoryDirectory()
+	mem.Store(42, []Shape{{Bits: 0b101, Code: 0}})
+	dir := &countingDirectory{inner: mem, started: make(chan struct{}), gate: make(chan struct{})}
+	ic := NewIndexCache(8, dir)
+
+	const clients = 16
+	var entered atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][]Shape, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entered.Add(1)
+			results[i] = ic.Shapes(42)
+		}(i)
+	}
+	// Release the (single) leader's load only after every client has called
+	// Shapes, so all of them observe the element as cold.
+	<-dir.started
+	for entered.Load() < clients {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(dir.gate)
+	wg.Wait()
+
+	if got := dir.loads.Load(); got != 1 {
+		t.Fatalf("concurrent cold misses issued %d directory loads, want 1", got)
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0].Bits != 0b101 {
+			t.Fatalf("client %d got %+v", i, r)
+		}
+	}
+	st := ic.Stats()
+	if st.DirLoads != 1 || st.SharedLoads != clients-1 {
+		t.Errorf("stats = %+v (want 1 load, %d shared)", st, clients-1)
+	}
+	// The element is now cached: one more access is a pure hit.
+	ic.Shapes(42)
+	if got := dir.loads.Load(); got != 1 {
+		t.Errorf("cached element reloaded: %d loads", got)
+	}
+}
+
+// TestSingleflightUpdateDuringLoad checks the staleness guard: an Update
+// racing an in-flight load must win — the cache may not end up holding the
+// pre-update directory.
+func TestSingleflightUpdateDuringLoad(t *testing.T) {
+	mem := NewMemoryDirectory()
+	mem.Store(7, []Shape{{Bits: 1, Code: 0}})
+	dir := &countingDirectory{inner: mem, started: make(chan struct{}), gate: make(chan struct{})}
+	ic := NewIndexCache(8, dir)
+
+	done := make(chan []Shape)
+	go func() {
+		done <- ic.Shapes(7) // leader; blocks inside Load on the gate
+	}()
+	<-dir.started
+	// Writer replaces the directory while the load is in flight.
+	if err := ic.Update(7, []Shape{{Bits: 1, Code: 0}, {Bits: 3, Code: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	close(dir.gate)
+	<-done
+
+	if got := ic.Shapes(7); len(got) != 2 {
+		t.Fatalf("stale in-flight load overwrote Update: %+v", got)
+	}
+}
+
+// TestShardedLFUConcurrentStress is the -race stress test of the sharded
+// read path: concurrent Shapes/Update/Invalidate over a shared IndexCache.
+func TestShardedLFUConcurrentStress(t *testing.T) {
+	dir := NewMemoryDirectory()
+	for e := uint64(0); e < 64; e++ {
+		dir.Store(e, []Shape{{Bits: e, Code: 0}})
+	}
+	ic := NewIndexCacheSharded(32, 16, dir)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 4000; i++ {
+				e := uint64(rng.Intn(64))
+				switch rng.Intn(10) {
+				case 0:
+					ic.Update(e, []Shape{{Bits: e, Code: uint64(i)}})
+				case 1:
+					ic.Invalidate(e)
+				default:
+					for _, s := range ic.Shapes(e) {
+						if s.Bits != e {
+							t.Errorf("element %d returned foreign shape %+v", e, s)
+							return
+						}
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	st := ic.Stats()
+	if st.Hits == 0 || st.DirLoads == 0 {
+		t.Errorf("stress produced no cache traffic: %+v", st)
+	}
+}

@@ -1,0 +1,62 @@
+package cache
+
+import "sync"
+
+// inflightLoad is one directory load in progress. Followers wait on wg and
+// read shapes/err afterwards; both are written exactly once, before Done.
+type inflightLoad struct {
+	wg     sync.WaitGroup
+	shapes []Shape
+	err    error
+}
+
+// flightGroup deduplicates concurrent directory loads per element code: the
+// first caller (the leader) runs the load, everyone arriving while it is in
+// flight waits for the leader's result instead of issuing another load —
+// N concurrent cold misses cost one Directory.Load, not N.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[uint64]*inflightLoad
+}
+
+// do runs fn for key unless a flight is already underway, in which case it
+// waits and returns the shared result. leader reports whether this caller
+// ran fn; install reports whether the leader's result is still current (a
+// Forget during the flight — a writer replacing the directory — vetoes
+// installing the possibly stale result into the cache).
+func (g *flightGroup) do(key uint64, fn func() ([]Shape, error)) (shapes []Shape, leader, install bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[uint64]*inflightLoad)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.shapes, false, false, f.err
+	}
+	f := &inflightLoad{}
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.shapes, f.err = fn()
+
+	g.mu.Lock()
+	install = g.m[key] == f
+	if install {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	f.wg.Done()
+	return f.shapes, true, install, f.err
+}
+
+// forget detaches any in-flight load for key: waiters still receive the
+// old result, but the leader will not install it, and the next caller
+// starts a fresh load. Writers call this after replacing an element's
+// directory so a racing load cannot resurrect the pre-write tuples.
+func (g *flightGroup) forget(key uint64) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+}

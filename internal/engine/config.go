@@ -94,6 +94,14 @@ type Config struct {
 	UseIndexCache bool
 	// CacheCapacity is the LFU capacity in element directories.
 	CacheCapacity int
+	// CacheShards splits the LFU into independently locked shards so
+	// concurrent queries do not serialize on one mutex (0 → 16; 1 keeps the
+	// single-lock layout, for ablations and equivalence tests).
+	CacheShards int
+	// PlanCacheSize bounds the query-plan cache, which memoizes generated
+	// index value ranges per exact query window (0 → 1024; negative
+	// disables plan caching).
+	PlanCacheSize int
 	// BufferThreshold triggers per-element re-encoding after this many new
 	// unoptimized shapes (Section IV-C).
 	BufferThreshold int
@@ -138,6 +146,8 @@ func DefaultConfig(boundary geo.Rect) Config {
 		Encoding:        tshape.EncodingGreedy,
 		UseIndexCache:   true,
 		CacheCapacity:   4096,
+		CacheShards:     16,
+		PlanCacheSize:   1024,
 		BufferThreshold: 32,
 		DPEpsilon:       0.002,
 		DPMaxRep:        16,
@@ -183,6 +193,15 @@ func (c *Config) Validate() error {
 	}
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = 4096
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheShards < 0 {
+		return fmt.Errorf("engine: cache shards must be positive, got %d", c.CacheShards)
+	}
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 1024
 	}
 	if c.BufferThreshold <= 0 {
 		c.BufferThreshold = 32

@@ -53,6 +53,11 @@ type Engine struct {
 
 	icache *cache.IndexCache
 	buffer *cache.BufferShapeCache
+	plans  *planCache // memoized query ranges; nil when disabled
+
+	// rangeWorkers is the worker budget for parallel TShape element
+	// enumeration (the store's scan parallelism).
+	rangeWorkers int
 
 	reencodeMu sync.Mutex // serializes per-element re-encoding
 	rows       atomic.Int64
@@ -116,8 +121,15 @@ func New(cfg Config) (*Engine, error) {
 	e.meta = e.store.OpenTable(tableMeta)
 
 	if cfg.UseIndexCache && cfg.Spatial == KindTShape {
-		e.icache = cache.NewIndexCache(cfg.CacheCapacity, newKVDirectory(e.dirTable))
+		e.icache = cache.NewIndexCacheSharded(cfg.CacheCapacity, cfg.CacheShards, newKVDirectory(e.dirTable))
 		e.buffer = cache.NewBufferShapeCache(cfg.BufferThreshold)
+	}
+	if cfg.PlanCacheSize > 0 {
+		e.plans = newPlanCache(cfg.PlanCacheSize)
+	}
+	e.rangeWorkers = cfg.KV.Parallelism
+	if e.rangeWorkers <= 0 {
+		e.rangeWorkers = kvstore.DefaultOptions().Parallelism
 	}
 	if cfg.DataDir != "" {
 		if err := e.recoverState(); err != nil {
@@ -208,6 +220,35 @@ func (e *Engine) CacheStats() cache.CacheStats {
 	return e.icache.Stats()
 }
 
+// PlanCacheStats returns plan-cache counters (zero when disabled).
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.plans == nil {
+		return PlanCacheStats{}
+	}
+	return e.plans.stats()
+}
+
+// ResetQueryPathStats zeroes the index-cache and plan-cache counters so
+// back-to-back benchmark phases read clean deltas. Cached entries survive.
+func (e *Engine) ResetQueryPathStats() {
+	if e.icache != nil {
+		e.icache.ResetStats()
+	}
+	if e.plans != nil {
+		e.plans.resetStats()
+	}
+}
+
+// bumpPlanEpoch invalidates memoized spatial plans. It must run after every
+// shape-state mutation queries can observe: a raw shape entering the buffer
+// (provider output changes) or a re-encode replacing final codes (the
+// stale-plan-after-reencode correctness hazard).
+func (e *Engine) bumpPlanEpoch() {
+	if e.plans != nil {
+		e.plans.bump()
+	}
+}
+
 // temporalValue encodes a time range with the configured temporal index.
 func (e *Engine) temporalValue(trng model.TimeRange) uint64 {
 	if e.cfg.Temporal == KindXZT {
@@ -216,8 +257,25 @@ func (e *Engine) temporalValue(trng model.TimeRange) uint64 {
 	return e.trIdx.Encode(trng)
 }
 
-// temporalRanges produces candidate value intervals for a query range.
+// temporalRanges produces candidate value intervals for a query range,
+// memoized per exact range: TR/XZT range generation is a pure function of
+// static index parameters, so entries never expire. The returned slice is
+// shared read-only plan state.
 func (e *Engine) temporalRanges(q model.TimeRange) []valueRange {
+	if e.plans != nil {
+		if rs, ok := e.plans.temporalGet(q); ok {
+			return rs
+		}
+	}
+	out := e.temporalRangesUncached(q)
+	if e.plans != nil {
+		e.plans.temporalPut(q, out)
+	}
+	return out
+}
+
+// temporalRangesUncached runs the configured temporal index directly.
+func (e *Engine) temporalRangesUncached(q model.TimeRange) []valueRange {
 	if e.cfg.Temporal == KindXZT {
 		rs := e.xztIdx.QueryRanges(q)
 		out := make([]valueRange, len(rs))
@@ -263,6 +321,9 @@ func (e *Engine) resolveShapeCode(elem, bits uint64) uint64 {
 		return bits
 	}
 	e.bufTable.Put(bufShapeKey(elem, bits), nil)
+	// A newly buffered raw shape changes what the shape provider reports
+	// for this element; memoized spatial plans are stale from here on.
+	defer e.bumpPlanEpoch()
 	if e.buffer.Add(elem, bits) {
 		e.reencodeElement(elem)
 		// After re-encoding the directory knows this shape.
@@ -588,8 +649,12 @@ func (e *Engine) reencodeElement(elem uint64) {
 	if err := e.icache.Update(elem, shapes); err != nil {
 		return
 	}
+	// Final codes just changed: plans generated against the old directory
+	// would scan dead index values and miss the rewritten rows.
+	e.bumpPlanEpoch()
 	e.reencodes.Add(1)
 	e.rewriteElementRows(elem, newCode)
+	e.bumpPlanEpoch()
 }
 
 // rewriteElementRows migrates stored rows of an element to their new shape

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// planCache memoizes query-range generation — the sorted []valueRange that
+// spatialRanges (XZ2 / TShape Algorithm 2) and temporalRanges (TR / XZT)
+// produce for a window. Under a concurrent workload the same windows recur
+// constantly, and for TShape the enumeration walks thousands of elements
+// through the index cache per query; replaying the memoized plan turns
+// that into one map lookup.
+//
+// Keys are the exact bit patterns of the window (float64 bits for rects,
+// the raw int64s for time ranges) — already quantized inputs, never a
+// lossy rounding of the window itself, so a cached plan is only ever
+// replayed for a byte-identical window and results stay exactly equal to
+// the uncached path.
+//
+// Correctness under writes: spatial TShape plans depend on the shape state
+// (directory + buffer). Every shape-state mutation — a buffered raw shape,
+// a re-encode rewriting final codes — bumps the engine's plan epoch, and a
+// spatial entry is only valid while its recorded epoch matches. Entries
+// record the epoch read *before* range generation ran, so a plan computed
+// concurrently with a mutation self-invalidates rather than serving the
+// pre-mutation view forever. Temporal plans are pure functions of static
+// index parameters and never expire.
+type planCache struct {
+	cap   int
+	epoch atomic.Int64 // shape-state version (see Engine.bumpPlanEpoch)
+
+	mu       sync.RWMutex
+	spatial  map[spatialPlanKey]spatialPlanEntry
+	temporal map[temporalPlanKey][]valueRange
+
+	hits, misses atomic.Int64
+}
+
+type spatialPlanKey [4]uint64
+
+type temporalPlanKey [2]int64
+
+type spatialPlanEntry struct {
+	epoch  int64
+	ranges []valueRange
+}
+
+// PlanCacheStats reports plan-cache effectiveness counters.
+type PlanCacheStats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// newPlanCache builds a cache bounded to roughly cap entries per kind.
+func newPlanCache(cap int) *planCache {
+	return &planCache{
+		cap:      cap,
+		spatial:  make(map[spatialPlanKey]spatialPlanEntry),
+		temporal: make(map[temporalPlanKey][]valueRange),
+	}
+}
+
+func spatialKey(nsr geo.Rect) spatialPlanKey {
+	return spatialPlanKey{
+		math.Float64bits(nsr.MinX), math.Float64bits(nsr.MinY),
+		math.Float64bits(nsr.MaxX), math.Float64bits(nsr.MaxY),
+	}
+}
+
+// spatialGet returns the memoized ranges for a window when they are still
+// current. The returned slice is shared read-only plan state.
+func (pc *planCache) spatialGet(nsr geo.Rect) ([]valueRange, bool) {
+	key := spatialKey(nsr)
+	pc.mu.RLock()
+	e, ok := pc.spatial[key]
+	pc.mu.RUnlock()
+	if !ok || e.epoch != pc.epoch.Load() {
+		pc.misses.Add(1)
+		return nil, false
+	}
+	pc.hits.Add(1)
+	return e.ranges, true
+}
+
+// spatialPut memoizes ranges computed while the epoch read beforehand was
+// `epoch`. A stale epoch is stored as-is: the entry simply never validates,
+// and the next lookup recomputes.
+func (pc *planCache) spatialPut(nsr geo.Rect, epoch int64, ranges []valueRange) {
+	key := spatialKey(nsr)
+	pc.mu.Lock()
+	if len(pc.spatial) >= pc.cap {
+		pc.evictSpatialLocked()
+	}
+	pc.spatial[key] = spatialPlanEntry{epoch: epoch, ranges: ranges}
+	pc.mu.Unlock()
+}
+
+// evictSpatialLocked drops stale entries first (free wins), then falls back
+// to evicting an arbitrary eighth of the map — crude, but plan entries are
+// tiny and recomputable, and it keeps the write path O(cap) worst case
+// instead of maintaining recency lists on the read path.
+func (pc *planCache) evictSpatialLocked() {
+	cur := pc.epoch.Load()
+	for k, e := range pc.spatial {
+		if e.epoch != cur {
+			delete(pc.spatial, k)
+		}
+	}
+	if len(pc.spatial) < pc.cap {
+		return
+	}
+	drop := pc.cap/8 + 1
+	for k := range pc.spatial {
+		delete(pc.spatial, k)
+		if drop--; drop <= 0 {
+			break
+		}
+	}
+}
+
+func (pc *planCache) temporalGet(q model.TimeRange) ([]valueRange, bool) {
+	key := temporalPlanKey{q.Start, q.End}
+	pc.mu.RLock()
+	rs, ok := pc.temporal[key]
+	pc.mu.RUnlock()
+	if !ok {
+		pc.misses.Add(1)
+		return nil, false
+	}
+	pc.hits.Add(1)
+	return rs, true
+}
+
+func (pc *planCache) temporalPut(q model.TimeRange, ranges []valueRange) {
+	key := temporalPlanKey{q.Start, q.End}
+	pc.mu.Lock()
+	if len(pc.temporal) >= pc.cap {
+		drop := pc.cap/8 + 1
+		for k := range pc.temporal {
+			delete(pc.temporal, k)
+			if drop--; drop <= 0 {
+				break
+			}
+		}
+	}
+	pc.temporal[key] = ranges
+	pc.mu.Unlock()
+}
+
+// bump advances the shape-state epoch, invalidating every spatial entry.
+func (pc *planCache) bump() { pc.epoch.Add(1) }
+
+// stats snapshots the counters.
+func (pc *planCache) stats() PlanCacheStats {
+	pc.mu.RLock()
+	entries := len(pc.spatial) + len(pc.temporal)
+	pc.mu.RUnlock()
+	return PlanCacheStats{Hits: pc.hits.Load(), Misses: pc.misses.Load(), Entries: entries}
+}
+
+// resetStats clears the counters (entries survive).
+func (pc *planCache) resetStats() {
+	pc.hits.Store(0)
+	pc.misses.Store(0)
+}

@@ -75,8 +75,31 @@ func (e *Engine) secondaryWindows(ranges [][2][]byte) []kvstore.KeyRange {
 }
 
 // spatialRanges produces candidate spatial value intervals for a normalized
-// window with the configured spatial index.
+// window with the configured spatial index, memoized per exact window. A
+// cached TShape plan is valid only while the shape state (directory +
+// buffer) it was computed from is current — see planCache. The returned
+// slice is shared read-only plan state.
 func (e *Engine) spatialRanges(nsr geo.Rect) []valueRange {
+	if e.plans != nil {
+		if rs, ok := e.plans.spatialGet(nsr); ok {
+			return rs
+		}
+	}
+	var epoch int64
+	if e.plans != nil {
+		epoch = e.plans.epoch.Load()
+	}
+	out := e.spatialRangesUncached(nsr)
+	if e.plans != nil {
+		e.plans.spatialPut(nsr, epoch, out)
+	}
+	return out
+}
+
+// spatialRangesUncached runs the configured spatial index directly; TShape
+// element enumeration fans out across the engine worker budget for large
+// windows.
+func (e *Engine) spatialRangesUncached(nsr geo.Rect) []valueRange {
 	if e.cfg.Spatial == KindXZ2 {
 		rs := e.xzIdx.QueryRanges(nsr)
 		out := make([]valueRange, len(rs))
@@ -85,7 +108,7 @@ func (e *Engine) spatialRanges(nsr geo.Rect) []valueRange {
 		}
 		return out
 	}
-	rs, _ := e.tsIdx.QueryRanges(nsr, e.provider())
+	rs, _ := e.tsIdx.QueryRangesParallel(nsr, e.provider(), e.rangeWorkers)
 	out := make([]valueRange, len(rs))
 	for i, r := range rs {
 		out[i] = valueRange{lo: r.Lo, hi: r.Hi}
@@ -490,17 +513,16 @@ func (e *Engine) rowIntersectsLoaded(row *Row, nsr geo.Rect) bool {
 
 // stSpatialRanges produces the spatial component intervals for the ST
 // secondary index, regardless of the configured primary spatial family.
+// Both spatial families generate the same intervals here as spatialRanges
+// does, so this shares its per-window memoization instead of re-running the
+// enumeration.
 func (e *Engine) stSpatialRanges(nsr geo.Rect) []tshape.ValueRange {
-	if e.cfg.Spatial == KindXZ2 {
-		rs := e.xzIdx.QueryRanges(nsr)
-		out := make([]tshape.ValueRange, len(rs))
-		for i, r := range rs {
-			out[i] = tshape.ValueRange{Lo: r.Lo, Hi: r.Hi}
-		}
-		return out
+	rs := e.spatialRanges(nsr)
+	out := make([]tshape.ValueRange, len(rs))
+	for i, r := range rs {
+		out[i] = tshape.ValueRange{Lo: r.lo, Hi: r.hi}
 	}
-	rs, _ := e.tsIdx.QueryRanges(nsr, e.provider())
-	return rs
+	return out
 }
 
 // fetchRows resolves secondary-index hits (values = primary keys) into

@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+)
+
+// qpWorkloadQuery is one query of the mixed read workload used by the
+// query-path tests and benchmarks.
+type qpWorkloadQuery struct {
+	kind int // 0 spatial, 1 temporal, 2 spatio-temporal, 3 id-temporal
+	sr   geo.Rect
+	tr   model.TimeRange
+	oid  string
+}
+
+// qpMixShape scales the windows of a generated workload: broad analytic
+// windows for coverage tests, small hot windows for the cached-workload
+// throughput benchmark.
+type qpMixShape struct {
+	wBase, wSpan, hBase, hSpan float64 // spatial half-extents (degrees)
+	tBefore, tAfter            int64   // temporal window around the anchor (ms)
+}
+
+var (
+	qpBroadMix = qpMixShape{0.3, 1.8, 0.3, 1.2, 6 * 3600_000, 36 * 3600_000}
+	qpHotMix   = qpMixShape{0.04, 0.16, 0.04, 0.12, 1 * 3600_000, 5 * 3600_000}
+)
+
+// genQueryMix derives a deterministic mixed workload from stored
+// trajectories: windows anchored at real data so queries hit rows.
+func genQueryMix(rng *rand.Rand, trajs []*model.Trajectory, n int) []qpWorkloadQuery {
+	return genQueryMixShaped(rng, trajs, n, qpBroadMix)
+}
+
+func genQueryMixShaped(rng *rand.Rand, trajs []*model.Trajectory, n int, shape qpMixShape) []qpWorkloadQuery {
+	out := make([]qpWorkloadQuery, n)
+	for i := range out {
+		t := trajs[rng.Intn(len(trajs))]
+		p := t.Points[rng.Intn(len(t.Points))]
+		w := shape.wBase + rng.Float64()*shape.wSpan
+		h := shape.hBase + rng.Float64()*shape.hSpan
+		sr := geo.Rect{MinX: p.X - w, MinY: p.Y - h, MaxX: p.X + w, MaxY: p.Y + h}
+		trng := model.TimeRange{Start: p.T - shape.tBefore, End: p.T + shape.tAfter}
+		q := qpWorkloadQuery{sr: sr, tr: trng, oid: t.OID}
+		switch r := rng.Intn(10); {
+		case r < 4:
+			q.kind = 0
+		case r < 6:
+			q.kind = 1
+		case r < 9:
+			q.kind = 2
+		default:
+			q.kind = 3
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// runWorkloadQuery executes one workload query and returns its results.
+func runWorkloadQuery(e *Engine, q qpWorkloadQuery) ([]*model.Trajectory, QueryReport, error) {
+	switch q.kind {
+	case 0:
+		return e.SpatialRangeQuery(q.sr)
+	case 1:
+		return e.TemporalRangeQuery(q.tr)
+	case 2:
+		return e.SpatioTemporalQuery(q.sr, q.tr)
+	default:
+		return e.IDTemporalQuery(q.oid, q.tr)
+	}
+}
+
+// canonicalize renders a result set into comparable bytes (sorted by TID;
+// scan order is deterministic but sorting keeps the comparison about
+// content, not plan-internal emission order).
+func canonicalize(t *testing.T, trips []*model.Trajectory) string {
+	t.Helper()
+	sorted := make([]*model.Trajectory, len(trips))
+	copy(sorted, trips)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].TID < sorted[j-1].TID; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	enc, err := json.Marshal(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(enc)
+}
+
+// TestQueryPathEquivalence is the golden equivalence gate: the tuned
+// query-serving path (sharded LFU, singleflight, plan cache, parallel
+// TShape enumeration) must return byte-identical results to the
+// unsharded/uncached path for every query of the mixed workload — on both
+// a cold and a warm (memoized-plan) pass.
+func TestQueryPathEquivalence(t *testing.T) {
+	tuned := testConfig()
+	tuned.CacheShards = 16
+	tuned.PlanCacheSize = 1024
+
+	plain := testConfig()
+	plain.CacheShards = 1   // single-mutex LFU layout
+	plain.PlanCacheSize = -1 // no plan memoization
+
+	const rows = 900
+	eTuned, trajs := loadEngine(t, tuned, rows, 23)
+	ePlain, _ := loadEngine(t, plain, rows, 23)
+
+	queries := genQueryMix(rand.New(rand.NewSource(31)), trajs, 60)
+	warm := make([]string, len(queries))
+	for i, q := range queries {
+		gotT, _, errT := runWorkloadQuery(eTuned, q)
+		gotP, _, errP := runWorkloadQuery(ePlain, q)
+		if errT != nil || errP != nil {
+			t.Fatalf("query %d: errs %v / %v", i, errT, errP)
+		}
+		ct, cp := canonicalize(t, gotT), canonicalize(t, gotP)
+		if ct != cp {
+			t.Fatalf("query %d (kind %d): tuned %d results != plain %d results", i, q.kind, len(gotT), len(gotP))
+		}
+		warm[i] = ct
+	}
+	// Second pass replays memoized plans; results must not drift.
+	for i, q := range queries {
+		got, _, err := runWorkloadQuery(eTuned, q)
+		if err != nil {
+			t.Fatalf("warm query %d: %v", i, err)
+		}
+		if c := canonicalize(t, got); c != warm[i] {
+			t.Fatalf("warm query %d (kind %d): cached plan changed the result", i, q.kind)
+		}
+	}
+	ps := eTuned.PlanCacheStats()
+	if ps.Hits == 0 {
+		t.Errorf("warm pass produced no plan-cache hits: %+v", ps)
+	}
+}
+
+// TestPlanCacheInvalidationOnReencode pins the correctness rule the plan
+// cache must obey: after a re-encode rewrites an element's final codes, the
+// next query must plan with fresh codes, not replay the memoized ranges.
+func TestPlanCacheInvalidationOnReencode(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferThreshold = 4 // re-encode after a handful of new shapes
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := cfg
+	control.PlanCacheSize = -1
+	ec, err := New(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	put := func(tr *model.Trajectory) {
+		t.Helper()
+		if err := e.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := ec.Put(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cluster trajectories in one small urban core so they share enlarged
+	// elements and their distinct shapes drive the buffer to threshold
+	// (spread-out data never reuses elements).
+	cluster := func(tr *model.Trajectory) {
+		for j := range tr.Points {
+			tr.Points[j].X = 116 + math.Mod(tr.Points[j].X, 0.4)
+			tr.Points[j].Y = 39.5 + math.Mod(tr.Points[j].Y, 0.3)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		tr := genTrajectory(rng, "obj", fmt.Sprintf("phase1-%03d", i))
+		cluster(tr)
+		put(tr)
+	}
+	window := geo.Rect{MinX: 115.5, MinY: 39, MaxX: 117, MaxY: 40.5}
+
+	// Prime the plan cache for the window.
+	r1, _, err := e.SpatialRangeQuery(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _, err := ec.SpatialRangeQuery(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalize(t, r1) != canonicalize(t, c1) {
+		t.Fatal("pre-reencode results diverge")
+	}
+	if hits := func() int64 { e.SpatialRangeQuery(window); return e.PlanCacheStats().Hits }(); hits == 0 {
+		t.Fatal("repeated window did not hit the plan cache")
+	}
+
+	// Phase 2: new distinct shapes in the same area force a re-encode.
+	before := e.Reencodes()
+	for i := 0; i < 120 && e.Reencodes() == before; i++ {
+		tr := genTrajectory(rng, "obj2", fmt.Sprintf("phase2-%03d", i))
+		cluster(tr)
+		put(tr)
+	}
+	if e.Reencodes() == before {
+		t.Fatal("workload never triggered a re-encode; test premise broken")
+	}
+
+	// The memoized plan must now be dead: spatialRanges has to equal a
+	// fresh (uncached) enumeration against the rewritten directory...
+	nsr := e.space.NormalizeRect(window)
+	gotRanges := e.spatialRanges(nsr)
+	freshRanges := e.spatialRangesUncached(nsr)
+	if len(gotRanges) != len(freshRanges) {
+		t.Fatalf("post-reencode plan has %d ranges, fresh enumeration %d — stale plan served", len(gotRanges), len(freshRanges))
+	}
+	for i := range freshRanges {
+		if gotRanges[i] != freshRanges[i] {
+			t.Fatalf("post-reencode plan range %d = %+v, fresh %+v", i, gotRanges[i], freshRanges[i])
+		}
+	}
+	// ...and the query must see every row, exactly like the uncached engine.
+	r2, _, err := e.SpatialRangeQuery(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := ec.SpatialRangeQuery(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalize(t, r2) != canonicalize(t, c2) {
+		t.Fatalf("post-reencode results diverge: %d vs %d rows", len(r2), len(c2))
+	}
+	if len(r2) <= len(r1) {
+		t.Fatalf("phase-2 rows invisible after reencode: %d <= %d", len(r2), len(r1))
+	}
+}
+
+// TestConcurrentQueryStress hammers one engine from parallel readers while
+// a writer keeps buffering shapes and triggering re-encodes — the -race
+// gate for the sharded cache, singleflight, plan epoch, and parallel
+// enumeration working together.
+func TestConcurrentQueryStress(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufferThreshold = 6
+	cfg.CacheCapacity = 64 // force evictions and cold misses
+	e, trajs := loadEngine(t, cfg, 400, 51)
+
+	queries := genQueryMix(rand.New(rand.NewSource(52)), trajs, 64)
+	var readersWG, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+
+	writerWG.Add(1)
+	go func() { // writer: keeps mutating shape state under the readers
+		defer writerWG.Done()
+		rng := rand.New(rand.NewSource(53))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr := genTrajectory(rng, "w", fmt.Sprintf("stress-%05d", i))
+			if err := e.Put(tr); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		readersWG.Add(1)
+		go func(seed int64) {
+			defer readersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 120; i++ {
+				q := queries[rng.Intn(len(queries))]
+				if _, _, err := runWorkloadQuery(e, q); err != nil {
+					errs <- fmt.Errorf("reader: %w", err)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+	done := make(chan struct{})
+	go func() { readersWG.Wait(); close(done) }()
+	select {
+	case err := <-errs:
+		close(stop)
+		writerWG.Wait()
+		t.Fatal(err)
+	case <-done:
+	}
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Post-stress sanity: the engine still answers consistently with an
+	// uncached replay of the same physical state.
+	nsr := geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	got := e.spatialRanges(nsr)
+	fresh := e.spatialRangesUncached(nsr)
+	if len(got) != len(fresh) {
+		t.Fatalf("post-stress plan diverges from fresh enumeration: %d vs %d ranges", len(got), len(fresh))
+	}
+	st := e.CacheStats()
+	if st.DirLoads == 0 {
+		t.Errorf("stress exercised no directory loads: %+v", st)
+	}
+}

@@ -307,6 +307,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.db.Engine().Store().Stats().Snapshot()
 	cs := s.db.Engine().CacheStats()
+	ps := s.db.Engine().PlanCacheStats()
 	writeJSON(w, map[string]any{
 		"trajectories":   s.db.Len(),
 		"rows_scanned":   snap.RowsScanned,
@@ -323,6 +324,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache_hits":     cs.Hits,
 		"cache_misses":   cs.Misses,
 		"cache_evicts":   cs.Evictions,
+		"dir_loads":      cs.DirLoads,
+		"shared_loads":   cs.SharedLoads,
+		"plan_hits":      ps.Hits,
+		"plan_misses":    ps.Misses,
+		"plan_entries":   ps.Entries,
 	})
 }
 

@@ -187,6 +187,11 @@ func TestStatsEndpoint(t *testing.T) {
 	if stats["trajectories"].(float64) != 1 {
 		t.Errorf("stats = %v", stats)
 	}
+	for _, key := range []string{"cache_hits", "cache_misses", "dir_loads", "shared_loads", "plan_hits", "plan_misses", "plan_entries"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats missing %q: %v", key, stats)
+		}
+	}
 }
 
 func TestBadRequests(t *testing.T) {

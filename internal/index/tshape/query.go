@@ -3,6 +3,7 @@ package tshape
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/tman-db/tman/internal/geo"
 	"github.com/tman-db/tman/internal/index/quad"
@@ -14,6 +15,14 @@ type QueryStats struct {
 	ElementsContained int // elements fully inside the query (subtree ranges)
 	ShapesChecked     int // used shapes tested for intersection
 	ShapesMatched     int // shapes that intersect the query
+}
+
+// add folds another pass's counters in (used to merge parallel chunks).
+func (s *QueryStats) add(o QueryStats) {
+	s.ElementsVisited += o.ElementsVisited
+	s.ElementsContained += o.ElementsContained
+	s.ShapesChecked += o.ShapesChecked
+	s.ShapesMatched += o.ShapesMatched
 }
 
 // QueryRanges implements the paper's Algorithm 2. It returns sorted,
@@ -30,6 +39,25 @@ type QueryStats struct {
 // With a nil provider, intersecting elements fall back to their full
 // 2^(α·β) shape interval — the "no index cache" mode of Fig. 16(b).
 func (ix *Index) QueryRanges(sr geo.Rect, provider ShapeProvider) ([]ValueRange, QueryStats) {
+	return ix.QueryRangesParallel(sr, provider, 1)
+}
+
+// parallelFrontierMin is the BFS frontier size below which a level is
+// processed inline: small levels are a few rectangle tests, not worth a
+// goroutine handoff.
+const parallelFrontierMin = 32
+
+// QueryRangesParallel is QueryRanges with the per-level element checks
+// fanned across up to workers goroutines. Large windows at fine resolutions
+// produce boundary frontiers of thousands of elements, each paying a
+// directory/cache lookup; those checks are independent, so the enumeration
+// runs level-synchronously and splits each big frontier into contiguous
+// chunks. Results are identical to the sequential walk: per-chunk outputs
+// are merged in frontier order and the final normalizeRanges sort is
+// order-insensitive. workers <= 1 (or a small frontier) keeps everything
+// inline. The provider must be safe for concurrent use (the engine's
+// IndexCache is).
+func (ix *Index) QueryRangesParallel(sr geo.Rect, provider ShapeProvider, workers int) ([]ValueRange, QueryStats) {
 	var out []ValueRange
 	var stats QueryStats
 
@@ -49,25 +77,69 @@ func (ix *Index) QueryRanges(sr geo.Rect, provider ShapeProvider) ([]ValueRange,
 		}
 	}
 
+	// Level-synchronous BFS per the paper's Algorithm 2 (the frontier swap
+	// is its LevelTerminator); level order does not change the result set.
+	frontier := []quad.Cell{{R: 0}}
+	for len(frontier) > 0 {
+		if workers <= 1 || len(frontier) < parallelFrontierMin {
+			res := ix.visitCells(frontier, sr, provider, stopLevel)
+			out = append(out, res.out...)
+			stats.add(res.stats)
+			frontier = res.next
+			continue
+		}
+		n := workers
+		if max := (len(frontier) + parallelFrontierMin - 1) / parallelFrontierMin; n > max {
+			n = max
+		}
+		chunks := make([]levelResult, n)
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			lo := w * len(frontier) / n
+			hi := (w + 1) * len(frontier) / n
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				chunks[w] = ix.visitCells(frontier[lo:hi], sr, provider, stopLevel)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		var next []quad.Cell
+		for _, res := range chunks {
+			out = append(out, res.out...)
+			next = append(next, res.next...)
+			stats.add(res.stats)
+		}
+		frontier = next
+	}
+	return normalizeRanges(out), stats
+}
+
+// levelResult is one chunk of a BFS level: emitted ranges, the next-level
+// cells it produced, and the work counters.
+type levelResult struct {
+	out   []ValueRange
+	next  []quad.Cell
+	stats QueryStats
+}
+
+// visitCells runs the Algorithm 2 per-element classification over a slice
+// of same-level cells, appending child cells for elements that still need
+// refinement.
+func (ix *Index) visitCells(cells []quad.Cell, sr geo.Rect, provider ShapeProvider, stopLevel int) levelResult {
+	var res levelResult
 	emitSubtree := func(c quad.Cell) {
 		lo := quad.ExtCode(c, ix.p.G)
 		min := ix.Pack(lo, 0)
 		max := ix.Pack(lo+quad.ExtSubtreeSize(c.R, ix.p.G)-1, 1<<ix.bits-1)
-		out = append(out, ValueRange{Lo: min, Hi: max})
+		res.out = append(res.out, ValueRange{Lo: min, Hi: max})
 	}
-
-	// Breadth-first per the paper; level order does not change the result
-	// set, but we keep it faithful to Algorithm 2's queue + LevelTerminator
-	// structure.
-	queue := []quad.Cell{{R: 0}}
-	for len(queue) > 0 {
-		c := queue[0]
-		queue = queue[1:]
+	for _, c := range cells {
 		e := ix.ElementRect(c)
-		stats.ElementsVisited++
+		res.stats.ElementsVisited++
 		switch {
 		case sr.Contains(e):
-			stats.ElementsContained++
+			res.stats.ElementsContained++
 			emitSubtree(c)
 		case sr.Intersects(e):
 			if c.R >= stopLevel && c.R < ix.p.G {
@@ -76,27 +148,27 @@ func (ix *Index) QueryRanges(sr geo.Rect, provider ShapeProvider) ([]ValueRange,
 			}
 			elemCode := quad.ExtCode(c, ix.p.G)
 			if provider == nil {
-				out = append(out, ValueRange{
+				res.out = append(res.out, ValueRange{
 					Lo: ix.Pack(elemCode, 0),
 					Hi: ix.Pack(elemCode, 1<<ix.bits-1),
 				})
 			} else {
 				for _, s := range provider.Shapes(elemCode) {
-					stats.ShapesChecked++
+					res.stats.ShapesChecked++
 					if ix.shapeIntersects(c, s.Bits, sr) {
-						stats.ShapesMatched++
+						res.stats.ShapesMatched++
 						v := ix.Pack(elemCode, s.Code)
-						out = append(out, ValueRange{Lo: v, Hi: v})
+						res.out = append(res.out, ValueRange{Lo: v, Hi: v})
 					}
 				}
 			}
 			if c.R < ix.p.G {
 				ch := c.Children()
-				queue = append(queue, ch[0], ch[1], ch[2], ch[3])
+				res.next = append(res.next, ch[0], ch[1], ch[2], ch[3])
 			}
 		}
 	}
-	return normalizeRanges(out), stats
+	return res
 }
 
 // shapeIntersects reports whether any covered cell of the shape bitmap

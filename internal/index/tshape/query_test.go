@@ -79,6 +79,43 @@ func TestQueryRangesPointWindow(t *testing.T) {
 	}
 }
 
+// Parallel enumeration must produce exactly the sequential ranges and
+// stats for every window size, with and without a provider.
+func TestQueryRangesParallelMatchesSequential(t *testing.T) {
+	ix := newIndex(t, 3, 3, 14)
+	rng := rand.New(rand.NewSource(419))
+	provider := memProvider{}
+	for i := 0; i < 300; i++ {
+		tr := randomTraj(rng, 2+rng.Intn(20), 0.01)
+		elem, bits := ix.EncodeRaw(tr)
+		provider[elem] = append(provider[elem], Shape{Bits: bits, Code: bits})
+	}
+	for _, side := range []float64{0.9, 0.4, 0.1, 0.02} {
+		for iter := 0; iter < 10; iter++ {
+			x := rng.Float64() * (1 - side)
+			y := rng.Float64() * (1 - side)
+			q := geo.Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side}
+			for _, p := range []ShapeProvider{nil, provider} {
+				seqR, seqS := ix.QueryRangesParallel(q, p, 1)
+				for _, workers := range []int{2, 8} {
+					parR, parS := ix.QueryRangesParallel(q, p, workers)
+					if parS != seqS {
+						t.Fatalf("side %g workers %d: stats %+v != sequential %+v", side, workers, parS, seqS)
+					}
+					if len(parR) != len(seqR) {
+						t.Fatalf("side %g workers %d: %d ranges != sequential %d", side, workers, len(parR), len(seqR))
+					}
+					for i := range seqR {
+						if parR[i] != seqR[i] {
+							t.Fatalf("side %g workers %d: range %d = %+v != %+v", side, workers, i, parR[i], seqR[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestNormalizeRangesMergesBFSOutput(t *testing.T) {
 	in := []ValueRange{{Lo: 50, Hi: 60}, {Lo: 10, Hi: 20}, {Lo: 21, Hi: 30}, {Lo: 55, Hi: 70}}
 	out := normalizeRanges(in)
