@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-write bench-query
+.PHONY: all vet build test race check bench bench-write bench-query \
+	bench-overhead lint-logs obs-check
 
 all: check
 
@@ -18,7 +19,28 @@ test:
 race:
 	$(GO) test -race ./internal/kvstore ./internal/engine
 
-check: vet build test race
+# Library code must log through log/slog (or stay silent) — bare fmt.Print*
+# writes to stdout bypass the structured request log and pollute exposition
+# pipes. Test files are exempt.
+lint-logs:
+	@if grep -rn --include='*.go' --exclude='*_test.go' 'fmt\.Print' internal/; then \
+		echo 'lint-logs: use log/slog (or return errors) instead of fmt.Print* in internal/' >&2; \
+		exit 1; \
+	fi
+	@echo 'lint-logs: OK'
+
+check: vet build lint-logs test race
+
+# Boot tmand, scrape /metrics, and validate the Prometheus exposition
+# (parseability, TYPE declarations, histogram consistency, minimum series
+# count). obscheck retries while the server comes up, so no sleeps.
+OBS_ADDR ?= 127.0.0.1:18080
+obs-check:
+	$(GO) build -o /tmp/tmand-obscheck ./cmd/tmand
+	$(GO) build -o /tmp/obscheck ./cmd/obscheck
+	@/tmp/tmand-obscheck -addr $(OBS_ADDR) -log-level warn -trace-sample 1 & pid=$$!; \
+	/tmp/obscheck -url http://$(OBS_ADDR)/metrics -min-series 25; rc=$$?; \
+	kill $$pid 2>/dev/null; exit $$rc
 
 # Read-path benchmarks (region scan, k-way merge, scan executor, hot SRQ).
 # Human-readable output goes to stderr; machine-readable results land in
@@ -50,3 +72,15 @@ bench-query:
 		-benchmem -benchtime=$(QUERY_BENCHTIME) ./internal/engine/ > /tmp/bench_querypath.txt
 	$(GO) run ./cmd/benchjson -suite querypath -o BENCH_querypath.json \
 		/tmp/bench_querypath.txt
+
+# Instrumentation overhead assertion: rerun the concurrent query-path
+# benchmark (metrics on, trace sampling off — the production default) and
+# compare ns/op against the archived pre-instrumentation baseline in
+# BENCH_querypath.json. Fails when any benchmark regresses more than
+# OVERHEAD_BUDGET percent.
+OVERHEAD_BUDGET ?= 2
+bench-overhead:
+	$(GO) test -run= -bench 'BenchmarkQueryPathConcurrent' \
+		-benchmem -benchtime=$(QUERY_BENCHTIME) ./internal/engine/ > /tmp/bench_overhead.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_querypath.json -suite querypath \
+		-max-regress $(OVERHEAD_BUDGET) /tmp/bench_overhead.txt

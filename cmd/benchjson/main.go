@@ -55,11 +55,22 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	label := flag.String("label", "", "optional label recorded alongside the results")
 	suiteName := flag.String("suite", "", "wrap results in a named suite and merge into the output file")
+	baseline := flag.String("baseline", "", "compare parsed results against this archived JSON document")
+	maxRegress := flag.Float64("max-regress", 0, "with -baseline: fail when ns/op regresses more than this percent (0 = report only)")
 	flag.Parse()
 
 	results, err := parseInputs(flag.Args())
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
+	}
+
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, *suiteName, results, *maxRegress); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		if *out == "" {
+			return
+		}
 	}
 
 	var enc []byte
@@ -135,6 +146,67 @@ func mergeSuite(path string, s suite) []suite {
 		}
 	}
 	return append(doc.Suites, s)
+}
+
+// compareBaseline diffs the freshly parsed results against an archived
+// document (flat or suites format; suiteName picks the suite when set). The
+// per-benchmark ns/op delta is printed to stderr; with maxRegress > 0 any
+// benchmark slower than baseline by more than that percentage fails the run —
+// the overhead-assertion mode `make bench-overhead` uses to hold query-path
+// instrumentation under its regression budget.
+func compareBaseline(path, suiteName string, results []result, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Results []result `json:"results"`
+		Suites  []suite  `json:"suites"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base := doc.Results
+	for _, s := range doc.Suites {
+		if suiteName == "" || s.Name == suiteName {
+			base = s.Results
+			break
+		}
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("%s: no baseline results (suite %q)", path, suiteName)
+	}
+	byName := make(map[string]result, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+
+	var failed []string
+	compared := 0
+	for _, r := range results {
+		b, ok := byName[r.Name]
+		if !ok || b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		deltaPct := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		status := "ok"
+		if maxRegress > 0 && deltaPct > maxRegress {
+			status = "FAIL"
+			failed = append(failed, r.Name)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-50s %12.0f -> %12.0f ns/op  %+6.2f%%  [%s]\n",
+			r.Name, b.NsPerOp, r.NsPerOp, deltaPct, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks matched baseline %s", path)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.1f%% vs %s: %s",
+			len(failed), maxRegress, path, strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) within budget vs %s\n", compared, path)
+	return nil
 }
 
 func parse(r io.Reader) ([]result, error) {

@@ -1,0 +1,228 @@
+// Command obscheck validates a /metrics endpoint: it fetches the exposition
+// (retrying while the server boots), checks that every line parses as
+// Prometheus text format 0.0.4, that every sample belongs to a family with a
+// TYPE declaration, that histogram bucket series are cumulative and
+// consistent with their _count, and that at least -min-series samples are
+// exported. `make obs-check` runs it against a freshly booted tmand.
+//
+//	obscheck -url http://127.0.0.1:8080/metrics -min-series 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080/metrics", "metrics endpoint")
+	minSeries := flag.Int("min-series", 25, "minimum number of exported samples")
+	retries := flag.Int("retries", 50, "fetch attempts while the server boots")
+	interval := flag.Duration("interval", 100*time.Millisecond, "delay between attempts")
+	flag.Parse()
+
+	body, err := fetch(*url, *retries, *interval)
+	if err != nil {
+		fail("fetch %s: %v", *url, err)
+	}
+	samples, families, err := validate(body)
+	if err != nil {
+		fail("invalid exposition: %v", err)
+	}
+	if samples < *minSeries {
+		fail("only %d samples exported, need at least %d", samples, *minSeries)
+	}
+	fmt.Printf("obscheck: OK — %d samples across %d families from %s\n", samples, families, *url)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// fetch GETs the endpoint, retrying connection failures while the server
+// comes up.
+func fetch(url string, retries int, interval time.Duration) (string, error) {
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			time.Sleep(interval)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			return "", fmt.Errorf("unexpected content type %q", ct)
+		}
+		return string(body), nil
+	}
+	return "", lastErr
+}
+
+// histState accumulates one histogram family's bucket/count consistency.
+type histState struct {
+	lastCum  float64
+	infSeen  bool
+	infValue float64
+	count    float64
+	hasCount bool
+}
+
+// validate parses the exposition and returns (samples, families).
+func validate(body string) (int, int, error) {
+	types := map[string]string{} // family -> counter|gauge|histogram
+	hists := map[string]*histState{}
+	samples := 0
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return 0, 0, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return 0, 0, fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, 0, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return 0, 0, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			return 0, 0, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if types[family] == "histogram" {
+			h := hists[family+"{"+stripLE(labels)+"}"]
+			if h == nil {
+				h = &histState{}
+				hists[family+"{"+stripLE(labels)+"}"] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if value < h.lastCum {
+					return 0, 0, fmt.Errorf("line %d: non-cumulative bucket in %s", lineNo, family)
+				}
+				h.lastCum = value
+				if strings.Contains(labels, `le="+Inf"`) {
+					h.infSeen = true
+					h.infValue = value
+				}
+			case strings.HasSuffix(name, "_count"):
+				h.count = value
+				h.hasCount = true
+			}
+		}
+	}
+	for series, h := range hists {
+		if !h.infSeen {
+			return 0, 0, fmt.Errorf("histogram %s is missing its +Inf bucket", series)
+		}
+		if h.hasCount && h.count != h.infValue {
+			return 0, 0, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", series, h.count, h.infValue)
+		}
+	}
+	return samples, len(types), nil
+}
+
+// parseSample splits one sample line into name, label body and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+		for _, pair := range splitLabels(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || k == "" || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", 0, fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	if name == "" {
+		return "", "", 0, fmt.Errorf("empty metric name in %q", line)
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// stripLE removes the le label so all buckets of one histogram series key
+// to the same state entry.
+func stripLE(labels string) string {
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		if !strings.HasPrefix(pair, "le=") {
+			kept = append(kept, pair)
+		}
+	}
+	return strings.Join(kept, ",")
+}

@@ -4,7 +4,13 @@
 //
 // See internal/httpapi for the endpoint reference. Data lives in process
 // memory (the embedded KV store); tmand is the single-node deployment shape
-// of the system.
+// of the system. Observability:
+//
+//	GET /metrics               Prometheus text exposition
+//	GET /trace?query=space&... run one traced query, return its span tree
+//	-log-level debug           structured request logging (log/slog)
+//	-slow-query-ms 250         WARN-log requests slower than 250ms
+//	-trace-sample 0.01         trace 1% of queries into the trace ring
 package main
 
 import (
@@ -12,7 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (pprof listener only)
 	"os"
@@ -28,22 +34,37 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		boundary  = flag.String("boundary", "110,35,125,45", "dataset boundary minx,miny,maxx,maxy")
-		shards    = flag.Int("shards", 4, "hash shards")
-		alpha     = flag.Int("alpha", 3, "TShape alpha")
-		beta      = flag.Int("beta", 3, "TShape beta")
-		g         = flag.Int("g", 16, "TShape max resolution")
-		encoding  = flag.String("encoding", "greedy", "shape encoding: bitmap|greedy|genetic")
-		dataDir   = flag.String("data", "", "durable data directory (empty = in-memory)")
-		drainWait = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
-		pprofAddr = flag.String("pprof-addr", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		boundary    = flag.String("boundary", "110,35,125,45", "dataset boundary minx,miny,maxx,maxy")
+		shards      = flag.Int("shards", 4, "hash shards")
+		alpha       = flag.Int("alpha", 3, "TShape alpha")
+		beta        = flag.Int("beta", 3, "TShape beta")
+		g           = flag.Int("g", 16, "TShape max resolution")
+		encoding    = flag.String("encoding", "greedy", "shape encoding: bitmap|greedy|genetic")
+		dataDir     = flag.String("data", "", "durable data directory (empty = in-memory)")
+		drainWait   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+		pprofAddr   = flag.String("pprof-addr", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
+		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		slowQueryMS = flag.Int("slow-query-ms", 0, "WARN-log requests slower than this many ms (0 = disabled)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of queries to trace into the trace ring (0..1)")
 	)
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "tmand: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	rect, err := parseBoundary(*boundary)
 	if err != nil {
-		log.Fatalf("tmand: %v", err)
+		fatal("bad boundary", "err", err)
 	}
 	enc := tman.EncodingGreedy
 	switch *encoding {
@@ -54,23 +75,24 @@ func main() {
 	case "genetic":
 		enc = tman.EncodingGenetic
 	default:
-		log.Fatalf("tmand: unknown encoding %q", *encoding)
+		fatal("unknown encoding", "encoding", *encoding)
 	}
 
 	opts := []tman.Option{
 		tman.WithShards(*shards),
 		tman.WithShapeGrid(*alpha, *beta, *g),
 		tman.WithShapeEncoding(enc),
+		tman.WithTraceSampling(*traceSample),
 	}
 	if *dataDir != "" {
 		opts = append(opts, tman.WithDataDir(*dataDir))
 	}
 	db, err := tman.Open(rect, opts...)
 	if err != nil {
-		log.Fatalf("tmand: %v", err)
+		fatal("open failed", "err", err)
 	}
 	if *dataDir != "" {
-		log.Printf("tmand recovered %d trajectories from %s", db.Len(), *dataDir)
+		logger.Info("recovered durable state", "trajectories", db.Len(), "dir", *dataDir)
 	}
 
 	// The pprof endpoints live on their own listener so profiling is never
@@ -79,17 +101,21 @@ func main() {
 	// registrations.
 	if *pprofAddr != "" {
 		go func() {
-			log.Printf("tmand pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			psrv := &http.Server{Addr: *pprofAddr, ReadHeaderTimeout: 5 * time.Second}
 			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("tmand: pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
 
+	api := httpapi.New(db,
+		httpapi.WithLogger(logger),
+		httpapi.WithSlowQueryThreshold(time.Duration(*slowQueryMS)*time.Millisecond),
+	)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(db),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -99,8 +125,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("tmand listening on %s (boundary %v, %dx%d grid, %s encoding)",
-			*addr, rect, *alpha, *beta, *encoding)
+		logger.Info("listening", "addr", *addr, "boundary", rect.String(),
+			"grid", fmt.Sprintf("%dx%d", *alpha, *beta), "encoding", *encoding,
+			"trace_sample", *traceSample)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -108,21 +135,21 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("tmand: %v — draining for up to %v", sig, *drainWait)
+		logger.Info("draining", "signal", sig.String(), "deadline", *drainWait)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("tmand: drain incomplete: %v", err)
+			logger.Warn("drain incomplete", "err", err)
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("tmand: %v", err)
+			fatal("server failed", "err", err)
 		}
 	}
 	if err := db.Close(); err != nil {
-		log.Fatalf("tmand: close: %v", err)
+		fatal("close failed", "err", err)
 	}
-	log.Print("tmand: shut down cleanly")
+	logger.Info("shut down cleanly")
 }
 
 func parseBoundary(s string) (tman.Rect, error) {

@@ -118,6 +118,13 @@ type Config struct {
 	// WindowBudget caps the number of generated ST query windows.
 	WindowBudget int
 
+	// TraceSampleRate is the fraction of queries (0..1) that get a full
+	// trace-span tree recorded into the engine's trace ring. 0 disables
+	// sampling entirely: untraced queries pay one context lookup and no
+	// allocations. Queries whose context already carries a span (the /trace
+	// endpoint) are always traced regardless of the rate.
+	TraceSampleRate float64
+
 	// KV configures the underlying key-value store (including scan
 	// parallelism and the cluster cost model).
 	KV kvstore.Options
@@ -214,6 +221,9 @@ func (c *Config) Validate() error {
 	}
 	if c.WindowBudget <= 0 {
 		c.WindowBudget = 4096
+	}
+	if c.TraceSampleRate < 0 || c.TraceSampleRate > 1 {
+		return fmt.Errorf("engine: trace sample rate must be in [0,1], got %g", c.TraceSampleRate)
 	}
 	return nil
 }

@@ -67,6 +67,8 @@ type Engine struct {
 	// estimate.
 	minTR, maxTR atomic.Int64
 	trSeen       atomic.Bool
+
+	met *engineMetrics
 }
 
 // New creates an engine with its own KV store. With Config.DataDir set the
@@ -131,6 +133,7 @@ func New(cfg Config) (*Engine, error) {
 	if e.rangeWorkers <= 0 {
 		e.rangeWorkers = kvstore.DefaultOptions().Parallelism
 	}
+	e.met = newEngineMetrics(e)
 	if cfg.DataDir != "" {
 		if err := e.recoverState(); err != nil {
 			return nil, err

@@ -31,6 +31,8 @@ func (e *Engine) NearestQueryCtx(ctx context.Context, x, y float64, k int) ([]*m
 	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "knn:tshape"}
+	ctx, qspan, sampled := e.beginQuery(ctx, qNearest)
+	defer func() { e.endQuery(qNearest, qspan, sampled, &report) }()
 	if k <= 0 {
 		return nil, report, nil
 	}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"context"
+
+	"github.com/tman-db/tman/internal/obs"
+)
+
+// Query-type labels used by the per-type metric series and span names.
+const (
+	qTemporal  = "temporal"
+	qSpatial   = "spatial"
+	qSpaceTime = "spacetime"
+	qObject    = "object"
+	qSimilar   = "similar"
+	qNearest   = "nearest"
+)
+
+var queryTypes = []string{qTemporal, qSpatial, qSpaceTime, qObject, qSimilar, qNearest}
+
+// engineMetrics is the engine's registration into the obs layer: the shared
+// registry every subsystem exports through, per-query-type latency
+// histograms and counters, and the trace sampler + ring.
+//
+// Counters that already exist as a subsystem's own atomics (kvstore.Stats,
+// cache stats, plan-cache stats) are mirrored as scrape-time func metrics —
+// the hot paths keep their single-atomic-add cost and nothing is counted
+// twice.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	queriesTotal    map[string]*obs.Counter
+	queryLatency    map[string]*obs.Histogram
+	queriesPartial  *obs.Counter
+	queryCandidates *obs.Histogram
+
+	sampler *obs.Sampler   // nil when TraceSampleRate is 0 (tracing off)
+	traces  *obs.TraceRing // most recent sampled traces
+}
+
+// newEngineMetrics builds the registry and registers every engine-side and
+// store-side series.
+func newEngineMetrics(e *Engine) *engineMetrics {
+	reg := obs.NewRegistry()
+	m := &engineMetrics{
+		reg:          reg,
+		queriesTotal: make(map[string]*obs.Counter, len(queryTypes)),
+		queryLatency: make(map[string]*obs.Histogram, len(queryTypes)),
+		sampler:      obs.NewSampler(e.cfg.TraceSampleRate),
+		traces:       obs.NewTraceRing(32),
+	}
+
+	// --- kvstore: scan/write/fault counters mirrored from Stats ----------
+	st := e.store.Stats()
+	counter := func(name, help string, fn func() int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(fn()) })
+	}
+	counter("tman_store_rows_scanned_total", "live rows visited by region scanners (the paper's candidates metric)", st.RowsScanned.Load)
+	counter("tman_store_rows_returned_total", "rows that passed push-down filters and were returned to the client", st.RowsReturned.Load)
+	counter("tman_store_seeks_total", "scanner setups (one per region x range)", st.Seeks.Load)
+	counter("tman_store_rpcs_total", "region RPCs charged by the cost model", st.RPCs.Load)
+	counter("tman_store_bytes_returned_total", "value bytes transferred to clients", st.BytesReturned.Load)
+	counter("tman_store_puts_total", "row puts applied", st.Puts.Load)
+	counter("tman_store_deletes_total", "tombstones written", st.Deletes.Load)
+	counter("tman_store_flushes_total", "memtable flushes into sorted runs", st.Flushes.Load)
+	counter("tman_store_compactions_total", "run compactions", st.Compactions.Load)
+	counter("tman_store_region_splits_total", "threshold-driven region splits", st.RegionSplits.Load)
+	counter("tman_store_failed_rpcs_total", "injected per-attempt RPC faults", st.FailedRPCs.Load)
+	counter("tman_store_retried_rpcs_total", "client RPC retries performed", st.RetriedRPCs.Load)
+	counter("tman_store_failed_regions_total", "region tasks abandoned after retries/deadline", st.FailedRegions.Load)
+	counter("tman_store_partial_scans_total", "scans that returned a partial result", st.PartialScans.Load)
+	counter("tman_store_wal_appends_total", "WAL records appended (batch group commits count once)", st.WALAppends.Load)
+	counter("tman_store_wal_syncs_total", "WAL fsyncs", st.WALSyncs.Load)
+	reg.CounterFunc("tman_store_sim_io_seconds_total", "analytic cluster I/O time charged by the cost model",
+		func() float64 { return float64(st.SimIONanos.Load()) / 1e9 })
+	reg.GaugeFunc("tman_store_regions", "regions across all tables",
+		func() float64 { return float64(e.store.TotalRegions()) })
+
+	// --- engine: dataset + shape-maintenance state -----------------------
+	reg.GaugeFunc("tman_engine_trajectories", "stored trajectories",
+		func() float64 { return float64(e.rows.Load()) })
+	counter("tman_engine_reencodes_total", "TShape element re-encode passes", e.reencodes.Load)
+
+	// --- index cache + plan cache ----------------------------------------
+	counter("tman_cache_hits_total", "index-cache hits", func() int64 { return e.CacheStats().Hits })
+	counter("tman_cache_misses_total", "index-cache misses", func() int64 { return e.CacheStats().Misses })
+	counter("tman_cache_evictions_total", "index-cache evictions", func() int64 { return e.CacheStats().Evictions })
+	counter("tman_cache_dir_loads_total", "directory loads performed (singleflight leaders)", func() int64 { return e.CacheStats().DirLoads })
+	counter("tman_cache_shared_loads_total", "directory loads deduplicated by singleflight", func() int64 { return e.CacheStats().SharedLoads })
+	counter("tman_plan_cache_hits_total", "plan-cache hits", func() int64 { return e.PlanCacheStats().Hits })
+	counter("tman_plan_cache_misses_total", "plan-cache misses", func() int64 { return e.PlanCacheStats().Misses })
+	reg.GaugeFunc("tman_plan_cache_entries", "memoized query plans resident",
+		func() float64 { return float64(e.PlanCacheStats().Entries) })
+
+	// --- per-query-type latency + volume ---------------------------------
+	for _, qt := range queryTypes {
+		m.queriesTotal[qt] = reg.Counter(
+			`tman_queries_total{type="`+qt+`"}`, "queries executed by type")
+		m.queryLatency[qt] = reg.Histogram(
+			`tman_query_duration_seconds{type="`+qt+`"}`,
+			"query latency by type (wall + analytic cluster I/O)", obs.DefBuckets)
+	}
+	m.queriesPartial = reg.Counter("tman_queries_partial_total",
+		"queries that degraded to a partial result")
+	m.queryCandidates = reg.Histogram("tman_query_candidates",
+		"candidates visited per query (the paper's retrievals metric)", obs.SizeBuckets)
+	return m
+}
+
+// Metrics returns the engine's metrics registry — the single exposition
+// point for store, cache, plan-cache and query series. httpapi serves it at
+// /metrics and registers its own request series into it.
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// LastTrace returns the most recent sampled query trace (nil when tracing
+// is disabled or nothing was sampled yet).
+func (e *Engine) LastTrace() *obs.Span { return e.met.traces.Last() }
+
+// beginQuery opens the observability scope of one query: if the caller's
+// context already carries a span (the /trace endpoint, or a traced parent
+// query), the query becomes a child span; otherwise the sampler decides
+// whether this query gets a fresh root trace. Untraced queries pay one
+// context lookup and, at most, one atomic add in the sampler.
+func (e *Engine) beginQuery(ctx context.Context, qtype string) (context.Context, *obs.Span, bool) {
+	if parent := obs.SpanFrom(ctx); parent != nil {
+		sp := parent.StartChild("query:" + qtype)
+		return obs.ContextWithSpan(ctx, sp), sp, false
+	}
+	if e.met.sampler.Sample() {
+		sp := obs.NewSpan("query:" + qtype)
+		return obs.ContextWithSpan(ctx, sp), sp, true
+	}
+	return ctx, nil, false
+}
+
+// endQuery records the query's outcome: per-type counters and latency
+// histograms always; span attributes and the trace ring only when traced.
+// The span is closed with the report's elapsed time (wall + analytic I/O),
+// so a trace's root duration equals the latency the client was told.
+func (e *Engine) endQuery(qtype string, sp *obs.Span, sampled bool, rep *QueryReport) {
+	m := e.met
+	m.queriesTotal[qtype].Inc()
+	m.queryLatency[qtype].ObserveDuration(int64(rep.Elapsed))
+	m.queryCandidates.Observe(float64(rep.Candidates))
+	if rep.Partial {
+		m.queriesPartial.Inc()
+	}
+	if sp == nil {
+		return
+	}
+	sp.Add("candidates", rep.Candidates)
+	sp.Add("results", int64(rep.Results))
+	sp.Add("windows", int64(rep.Windows))
+	sp.Add("retried_rpcs", rep.RetriedRPCs)
+	sp.Add("failed_regions", int64(rep.FailedRegions))
+	sp.Add("sim_io_ns", rep.Store.SimIONanos)
+	if rep.Partial {
+		sp.Add("partial", 1)
+	}
+	sp.EndWith(rep.Elapsed)
+	if sampled {
+		m.traces.Add(sp)
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/obs"
+)
+
+// obsTestEngine loads a small deterministic dataset into an engine with the
+// simulated network zeroed (pure in-process measurement).
+func obsTestEngine(t *testing.T, sampleRate float64) *Engine {
+	t.Helper()
+	cfg := testConfig()
+	cfg.KV.RPCLatencyMicros = 0
+	cfg.KV.TransferMBps = 0
+	cfg.KV.DiskMBps = 0
+	cfg.TraceSampleRate = sampleRate
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		if err := e.Put(genTrajectory(rng, fmt.Sprintf("obj-%d", i%20), fmt.Sprintf("traj-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// TestTracedQuerySpanRowsMatchCandidates is the trace-accounting invariant:
+// for a primary-plan spatial query, Report.Candidates counts the rows region
+// scanners visited, and the scan spans charge exactly those rows as
+// rows_visited attributes — so the span-tree sum must equal the report.
+func TestTracedQuerySpanRowsMatchCandidates(t *testing.T) {
+	e := obsTestEngine(t, 0)
+	window := geo.Rect{MinX: 112, MinY: 37, MaxX: 120, MaxY: 43}
+
+	// Warm: the directory cache and memoized plan settle, so the traced run
+	// below does only the primary-table scan.
+	if _, _, err := e.SpatialRangeQuery(window); err != nil {
+		t.Fatal(err)
+	}
+
+	root := obs.NewSpan("test")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	_, rep, err := e.SpatialRangeQueryCtx(ctx, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if !strings.HasPrefix(rep.Plan, "primary:") {
+		t.Fatalf("want a primary plan, got %q", rep.Plan)
+	}
+	if rep.Candidates == 0 {
+		t.Fatal("query visited no candidates; widen the window")
+	}
+	if got := root.SumAttr("rows_visited"); got != rep.Candidates {
+		t.Fatalf("span rows_visited sum = %d, report.Candidates = %d", got, rep.Candidates)
+	}
+
+	// Tree shape: root -> query:spatial -> {plan, scan:primary -> region:*}.
+	var query, scan *obs.Span
+	root.Walk(func(s *obs.Span) {
+		switch {
+		case s.Name() == "query:spatial":
+			query = s
+		case strings.HasPrefix(s.Name(), "scan:"):
+			scan = s
+		}
+	})
+	if query == nil || scan == nil {
+		t.Fatalf("trace missing query/scan spans: %+v", root.JSON())
+	}
+	if query.Attr("candidates") != rep.Candidates {
+		t.Fatalf("query span candidates = %d, want %d", query.Attr("candidates"), rep.Candidates)
+	}
+	if query.Duration() != rep.Elapsed {
+		t.Fatalf("query span duration %v != report elapsed %v", query.Duration(), rep.Elapsed)
+	}
+	if scan.Attr("rpcs") == 0 {
+		t.Fatal("scan span charged no RPCs")
+	}
+}
+
+// TestQueryMetricsRecorded checks the per-type counter and latency
+// histogram move when queries run, and that the partial counter stays zero
+// on clean runs.
+func TestQueryMetricsRecorded(t *testing.T) {
+	e := obsTestEngine(t, 0)
+	reg := e.Metrics()
+	window := geo.Rect{MinX: 113, MinY: 38, MaxX: 118, MaxY: 42}
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, _, err := e.SpatialRangeQuery(window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(`tman_queries_total{type="spatial"}`, "").Value(); got != n {
+		t.Fatalf("spatial query counter = %d, want %d", got, n)
+	}
+	h := reg.Histogram(`tman_query_duration_seconds{type="spatial"}`, "", nil).Snapshot()
+	if h.Count != n {
+		t.Fatalf("latency histogram count = %d, want %d", h.Count, n)
+	}
+	if got := reg.Counter("tman_queries_partial_total", "").Value(); got != 0 {
+		t.Fatalf("partial counter = %d, want 0", got)
+	}
+	// The mirrored store counters must be live (same atomics, read at scrape).
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "tman_store_rows_scanned_total") {
+		t.Fatal("exposition missing mirrored store counters")
+	}
+}
+
+// TestTraceSampling checks rate-1 sampling records every query into the
+// trace ring, and rate-0 records nothing.
+func TestTraceSampling(t *testing.T) {
+	e := obsTestEngine(t, 1)
+	// Covers the first week of the generated dataset (timestamps start at
+	// 1.5e12 and span ~30 days).
+	q := model.TimeRange{Start: 1_500_000_000_000, End: 1_500_000_000_000 + 7*24*3600_000}
+	if e.LastTrace() != nil {
+		t.Fatal("trace ring not empty before any query")
+	}
+	if _, _, err := e.TemporalRangeQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	last := e.LastTrace()
+	if last == nil || last.Name() != "query:temporal" {
+		t.Fatalf("sampled trace = %v", last.Name())
+	}
+	if last.Duration() == 0 {
+		t.Fatal("sampled trace has no duration")
+	}
+
+	off := obsTestEngine(t, 0)
+	if _, _, err := off.TemporalRangeQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if off.LastTrace() != nil {
+		t.Fatal("sampling disabled but a trace was recorded")
+	}
+}

@@ -172,12 +172,16 @@ func (e *Engine) TemporalRangeQueryCtx(ctx context.Context, q model.TimeRange) (
 	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{}
+	ctx, qspan, sampled := e.beginQuery(ctx, qTemporal)
+	defer func() { e.endQuery(qTemporal, qspan, sampled, &report) }()
 	if !q.Valid() {
 		report.Plan = "secondary:" + e.cfg.Temporal.String()
 		return nil, report, nil
 	}
 
+	planSpan := qspan.StartChild("plan")
 	ranges := e.temporalRanges(q)
+	planSpan.End()
 	var rows []*Row
 	if e.cfg.primaryIsTemporal() {
 		report.Plan = "primary:" + e.cfg.Temporal.String()
@@ -265,12 +269,16 @@ func (e *Engine) SpatialRangeQueryCtx(ctx context.Context, sr geo.Rect) ([]*mode
 	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{}
+	ctx, qspan, sampled := e.beginQuery(ctx, qSpatial)
+	defer func() { e.endQuery(qSpatial, qspan, sampled, &report) }()
 	if !sr.Valid() {
 		report.Plan = "primary:" + e.cfg.Spatial.String()
 		return nil, report, nil
 	}
 	nsr := e.space.NormalizeRect(sr)
+	planSpan := qspan.StartChild("plan")
 	ranges := e.spatialRanges(nsr)
+	planSpan.End()
 
 	var rows []*Row
 	if e.cfg.primaryIsTemporal() {
@@ -348,10 +356,14 @@ func (e *Engine) IDTemporalQueryCtx(ctx context.Context, oid string, q model.Tim
 	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "secondary:idt"}
+	ctx, qspan, sampled := e.beginQuery(ctx, qObject)
+	defer func() { e.endQuery(qObject, qspan, sampled, &report) }()
 	if !q.Valid() || oid == "" {
 		return nil, report, nil
 	}
+	planSpan := qspan.StartChild("plan")
 	ranges := e.temporalRanges(q)
+	planSpan.End()
 	byteRanges := make([][2][]byte, len(ranges))
 	for i, r := range ranges {
 		lo := idt.Key(oid, r.lo)
@@ -401,12 +413,16 @@ func (e *Engine) SpatioTemporalQueryCtx(ctx context.Context, sr geo.Rect, q mode
 	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{}
+	ctx, qspan, sampled := e.beginQuery(ctx, qSpaceTime)
+	defer func() { e.endQuery(qSpaceTime, qspan, sampled, &report) }()
 	if !sr.Valid() || !q.Valid() {
 		return nil, report, nil
 	}
 	nsr := e.space.NormalizeRect(sr)
 
+	planSpan := qspan.StartChild("plan")
 	plan := e.chooseSTPlan(nsr, q)
+	planSpan.End()
 	report.Plan = plan
 
 	var rows []*Row

@@ -32,6 +32,8 @@ func (e *Engine) SimilarityThresholdQueryCtx(ctx context.Context, query *model.T
 	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "similarity:threshold:" + m.String()}
+	ctx, qspan, sampled := e.beginQuery(ctx, qSimilar)
+	defer func() { e.endQuery(qSimilar, qspan, sampled, &report) }()
 	if err := query.Validate(); err != nil {
 		return nil, report, err
 	}
@@ -90,6 +92,8 @@ func (e *Engine) SimilarityTopKQueryCtx(ctx context.Context, query *model.Trajec
 	ctx = kvstore.WithQueryBudget(ctx)
 	before := e.store.Stats().Snapshot()
 	report := QueryReport{Plan: "similarity:topk:" + m.String()}
+	ctx, qspan, sampled := e.beginQuery(ctx, qSimilar)
+	defer func() { e.endQuery(qSimilar, qspan, sampled, &report) }()
 	if err := query.Validate(); err != nil {
 		return nil, report, err
 	}

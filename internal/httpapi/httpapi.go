@@ -20,11 +20,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
 	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/obs"
 	"github.com/tman-db/tman/internal/similarity"
 )
 
@@ -67,13 +70,36 @@ type similarRequest struct {
 
 // Server wraps a DB with HTTP handlers.
 type Server struct {
-	db  *tman.DB
-	mux *http.ServeMux
+	db      *tman.DB
+	mux     *http.ServeMux
+	log     *slog.Logger
+	slow    time.Duration // requests slower than this log at WARN; 0 disables
+	started time.Time
+	met     *serverMetrics
+}
+
+// ServerOption customizes a Server at New time.
+type ServerOption func(*Server)
+
+// WithLogger sets the structured request logger. Nil disables request
+// logging (the default).
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = l }
+}
+
+// WithSlowQueryThreshold logs requests slower than d at WARN level with
+// their full query report. Zero disables slow-query logging.
+func WithSlowQueryThreshold(d time.Duration) ServerOption {
+	return func(s *Server) { s.slow = d }
 }
 
 // New builds a Server over an open database.
-func New(db *tman.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+func New(db *tman.DB, opts ...ServerOption) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), started: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.met = newServerMetrics(db.Engine().Metrics())
 	s.mux.HandleFunc("/trajectories", s.handleIngest)
 	s.mux.HandleFunc("/trajectories/", s.handleDelete)
 	s.mux.HandleFunc("/query/time", s.handleTime)
@@ -83,11 +109,61 @@ func New(db *tman.DB) *Server {
 	s.mux.HandleFunc("/query/similar", s.handleSimilar)
 	s.mux.HandleFunc("/query/nearest", s.handleNearest)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace", s.handleTrace)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: every request gets an X-Request-Id
+// (propagated from the client or generated), request metrics, and — when a
+// logger is configured — a structured access-log line with slow-request
+// escalation.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	reqID := r.Header.Get("X-Request-Id")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.met.inFlight.Add(1)
+	s.mux.ServeHTTP(rec, r)
+	s.met.inFlight.Add(-1)
+
+	elapsed := time.Since(started)
+	s.met.observe(rec.status, elapsed)
+	if s.log == nil {
+		return
+	}
+	attrs := []any{
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", rec.status,
+		"elapsed_ms", float64(elapsed.Microseconds()) / 1000,
+		"request_id", reqID,
+	}
+	switch {
+	case s.slow > 0 && elapsed >= s.slow:
+		s.log.Warn("slow request", attrs...)
+	case rec.status >= 500:
+		s.log.Error("request failed", attrs...)
+	default:
+		s.log.Debug("request", attrs...)
+	}
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
 
 func toModel(in TrajectoryJSON) *tman.Trajectory {
 	t := &tman.Trajectory{OID: in.OID, TID: in.TID}
@@ -305,10 +381,17 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
 	snap := s.db.Engine().Store().Stats().Snapshot()
 	cs := s.db.Engine().CacheStats()
 	ps := s.db.Engine().PlanCacheStats()
 	writeJSON(w, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"version":        buildVersion(),
+		"go_version":     runtime.Version(),
 		"trajectories":   s.db.Len(),
 		"rows_scanned":   snap.RowsScanned,
 		"rows_returned":  snap.RowsReturned,

@@ -1,0 +1,183 @@
+package httpapi
+
+import (
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/obs"
+)
+
+func floatParam(r *http.Request, key string) (float64, error) {
+	return strconv.ParseFloat(r.URL.Query().Get(key), 64)
+}
+
+func intParam(r *http.Request, key string) (int, error) {
+	return strconv.Atoi(r.URL.Query().Get(key))
+}
+
+// serverMetrics is the HTTP layer's registration into the shared engine
+// registry: request counts by status class, request latency, and in-flight
+// requests.
+type serverMetrics struct {
+	inFlight *obs.Gauge
+	byClass  map[int]*obs.Counter // status/100 (2..5) -> counter
+	duration *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{
+		inFlight: reg.Gauge("tman_http_in_flight", "requests currently being served"),
+		byClass:  make(map[int]*obs.Counter, 4),
+		duration: reg.Histogram("tman_http_request_duration_seconds",
+			"HTTP request latency", obs.DefBuckets),
+	}
+	for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		m.byClass[int(class[0]-'0')] = reg.Counter(
+			`tman_http_requests_total{code="`+class+`"}`, "HTTP requests by status class")
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *serverMetrics) observe(status int, elapsed time.Duration) {
+	if c, ok := m.byClass[status/100]; ok {
+		c.Inc()
+	}
+	m.duration.ObserveDuration(elapsed.Nanoseconds())
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.db.Engine().Metrics().WritePrometheus(w)
+}
+
+// TraceResponse is the /trace payload: the query's report plus its full
+// span tree with cost-model charges.
+type TraceResponse struct {
+	RequestID     string       `json:"request_id"`
+	Plan          string       `json:"plan"`
+	Candidates    int64        `json:"candidates"`
+	Results       int          `json:"count"`
+	ElapsedMs     float64      `json:"elapsed_ms"`
+	Partial       bool         `json:"partial"`
+	RetriedRPCs   int64        `json:"retried_rpcs"`
+	FailedRegions int          `json:"failed_regions"`
+	Trace         obs.SpanJSON `json:"trace"`
+}
+
+// handleTrace serves GET /trace?query=<type>&...: it executes one query of
+// the given type (same parameters as the matching /query/ endpoint) with
+// tracing forced on — regardless of the engine's sample rate — and returns
+// the report together with the span tree. Result trajectories are not
+// returned; this is a diagnosis endpoint, not a data path.
+//
+//	/trace?query=time&start=&end=
+//	/trace?query=space&minx=&miny=&maxx=&maxy=
+//	/trace?query=spacetime&minx=..&start=..
+//	/trace?query=object&oid=&start=&end=
+//	/trace?query=nearest&x=&y=&k=
+//
+// With no query parameter, the most recent sampled trace is returned (404
+// when sampling is off or nothing has been sampled yet).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	kind := r.URL.Query().Get("query")
+	if kind == "" {
+		last := s.db.Engine().LastTrace()
+		if last == nil {
+			httpError(w, http.StatusNotFound, "no sampled trace available; pass ?query= or enable sampling")
+			return
+		}
+		writeJSON(w, map[string]any{"trace": last.JSON()})
+		return
+	}
+
+	root := obs.NewSpan("request")
+	ctx := obs.ContextWithSpan(r.Context(), root)
+
+	var rep tman.Report
+	var err error
+	switch kind {
+	case "time":
+		q, ok := timeRangeParam(w, r)
+		if !ok {
+			return
+		}
+		_, rep, err = s.db.QueryTimeRangeCtx(ctx, q)
+	case "space":
+		sr, ok := rectParam(w, r)
+		if !ok {
+			return
+		}
+		_, rep, err = s.db.QuerySpaceCtx(ctx, sr)
+	case "spacetime":
+		sr, ok := rectParam(w, r)
+		if !ok {
+			return
+		}
+		q, ok := timeRangeParam(w, r)
+		if !ok {
+			return
+		}
+		_, rep, err = s.db.QuerySpaceTimeCtx(ctx, sr, q)
+	case "object":
+		oid := r.URL.Query().Get("oid")
+		q, ok := timeRangeParam(w, r)
+		if !ok {
+			return
+		}
+		if oid == "" {
+			httpError(w, http.StatusBadRequest, "missing oid")
+			return
+		}
+		_, rep, err = s.db.QueryObjectCtx(ctx, oid, q)
+	case "nearest":
+		x, e1 := floatParam(r, "x")
+		y, e2 := floatParam(r, "y")
+		k, e3 := intParam(r, "k")
+		if e1 != nil || e2 != nil || e3 != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, "need x, y and k > 0")
+			return
+		}
+		_, rep, err = s.db.QueryNearestCtx(ctx, x, y, k)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown query type %q (time|space|spacetime|object|nearest)", kind)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "query failed: %v", err)
+		return
+	}
+	root.EndWith(rep.Elapsed)
+	writeJSON(w, TraceResponse{
+		RequestID:     obs.RequestIDFrom(r.Context()),
+		Plan:          rep.Plan,
+		Candidates:    rep.Candidates,
+		Results:       rep.Results,
+		ElapsedMs:     float64(rep.Elapsed.Microseconds()) / 1000,
+		Partial:       rep.Partial,
+		RetriedRPCs:   rep.RetriedRPCs,
+		FailedRegions: rep.FailedRegions,
+		Trace:         root.JSON(),
+	})
+}
+
+// buildVersion reports the module version baked into the binary ("devel"
+// for local builds).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}

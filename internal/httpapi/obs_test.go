@@ -1,0 +1,212 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/tman-db/tman/internal/obs"
+)
+
+// TestMetricsEndpoint checks the exposition contract: GET-only, the
+// Prometheus text content type, and a healthy number of series (the
+// registry mirrors store/engine/cache/http metrics — well past the
+// 25-series floor obscheck enforces).
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, sampleJSON("a", "t1", 1_700_000_000_000, 116.40, 39.90))
+	getQuery(t, ts, "/query/space?minx=116.3&miny=39.8&maxx=116.5&maxy=40.0")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	samples := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			samples++
+		}
+	}
+	if samples < 25 {
+		t.Errorf("exposition has %d samples, want >= 25:\n%s", samples, body)
+	}
+	for _, want := range []string{
+		`tman_queries_total{type="spatial"} 1`,
+		"tman_store_rows_scanned_total",
+		`tman_http_requests_total{code="2xx"}`,
+		"tman_query_duration_seconds_bucket",
+		"tman_engine_trajectories 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Method guard.
+	post, err := http.Post(ts.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: status %d, want 405", post.StatusCode)
+	}
+}
+
+// TestTraceEndpoint executes a forced-trace query and checks the span tree
+// and cost accounting round-trip through JSON.
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	base := int64(1_700_000_000_000)
+	ingest(t, ts,
+		sampleJSON("a", "t1", base, 116.40, 39.90),
+		sampleJSON("a", "t2", base, 116.42, 39.92),
+	)
+	// Warm so the traced run is a pure primary scan (plan and directory
+	// caches settled).
+	getQuery(t, ts, "/query/space?minx=116.3&miny=39.8&maxx=116.5&maxy=40.0")
+
+	resp, err := http.Get(ts.URL + "/trace?query=space&minx=116.3&miny=39.8&maxx=116.5&maxy=40.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: status %d", resp.StatusCode)
+	}
+	var tr TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.RequestID == "" {
+		t.Error("trace response missing request_id")
+	}
+	if tr.Plan == "" || tr.Candidates == 0 || tr.Results != 2 {
+		t.Errorf("report not populated: %+v", tr)
+	}
+	if tr.Trace.Name != "request" || len(tr.Trace.Children) == 0 {
+		t.Fatalf("span tree missing: %+v", tr.Trace)
+	}
+	query := tr.Trace.Children[0]
+	if !strings.HasPrefix(query.Name, "query:") {
+		t.Fatalf("first child = %q, want query:* span", query.Name)
+	}
+	// The cost model's row charges must survive serialization: summing
+	// rows_visited over the tree reproduces the report's candidate count.
+	if got := sumAttrJSON(tr.Trace, "rows_visited"); got != tr.Candidates {
+		t.Errorf("JSON rows_visited sum = %d, candidates = %d", got, tr.Candidates)
+	}
+}
+
+func sumAttrJSON(s obs.SpanJSON, key string) int64 {
+	total := s.Attrs[key]
+	for _, c := range s.Children {
+		total += sumAttrJSON(c, key)
+	}
+	return total
+}
+
+// TestTraceEndpointErrors pins the failure modes: no sampled trace yet,
+// unknown query kind, bad parameters, wrong method.
+func TestTraceEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path string
+		wantCode     int
+	}{
+		{"GET", "/trace", http.StatusNotFound}, // sampling off, nothing recorded
+		{"GET", "/trace?query=bogus", http.StatusBadRequest},
+		{"GET", "/trace?query=space&minx=bad", http.StatusBadRequest},
+		{"GET", "/trace?query=nearest&x=1&y=2", http.StatusBadRequest},
+		{"GET", "/trace?query=object&start=0&end=1", http.StatusBadRequest},
+		{"POST", "/trace", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantCode {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantCode)
+		}
+	}
+}
+
+// TestRequestIDPropagation checks the middleware echoes a caller-supplied
+// X-Request-Id and generates one when absent.
+func TestRequestIDPropagation(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/stats", nil)
+	req.Header.Set("X-Request-Id", "caller-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-supplied-42" {
+		t.Errorf("supplied id not echoed: %q", got)
+	}
+
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); len(got) != 16 {
+		t.Errorf("generated id = %q, want 16 hex chars", got)
+	}
+}
+
+// TestStatsObservability covers the satellite fixes on /stats: method
+// guard, JSON content type, and the uptime/build fields.
+func TestStatsObservability(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	post, err := http.Post(ts.URL+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats: status %d, want 405", post.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/stats Content-Type = %q", ct)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	up, ok := stats["uptime_seconds"].(float64)
+	if !ok || up < 0 {
+		t.Errorf("uptime_seconds = %v", stats["uptime_seconds"])
+	}
+	for _, key := range []string{"version", "go_version"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("/stats missing %q", key)
+		}
+	}
+}

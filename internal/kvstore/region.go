@@ -298,7 +298,7 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 // once, cursors advance in lockstep, and a limit stops the merge without
 // visiting (or copying) the rest of the window. No per-source sub-slices are
 // materialized.
-func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats) (result []KV, hitLimit bool, scannedBytes int64) {
+func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats) (result []KV, hitLimit bool, scannedBytes, rowsScanned int64) {
 	lo := maxKey(start, r.startKey)
 	hi := minKey(end, r.endKey)
 
@@ -380,6 +380,7 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 			continue
 		}
 		scannedBytes += int64(len(e.key) + len(e.value))
+		rowsScanned++
 		if stats != nil {
 			stats.RowsScanned.Add(1)
 		}
@@ -396,7 +397,7 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 			break
 		}
 	}
-	return out, hitLimit, scannedBytes
+	return out, hitLimit, scannedBytes, rowsScanned
 }
 
 // size returns the approximate byte size of the region.

@@ -31,6 +31,8 @@ type Stats struct {
 	RetriedRPCs   atomic.Int64
 	FailedRegions atomic.Int64
 	PartialScans  atomic.Int64
+	WALAppends    atomic.Int64
+	WALSyncs      atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -50,6 +52,8 @@ type Snapshot struct {
 	RetriedRPCs   int64
 	FailedRegions int64
 	PartialScans  int64
+	WALAppends    int64
+	WALSyncs      int64
 }
 
 // Snapshot returns the current counter values.
@@ -70,6 +74,8 @@ func (s *Stats) Snapshot() Snapshot {
 		RetriedRPCs:   s.RetriedRPCs.Load(),
 		FailedRegions: s.FailedRegions.Load(),
 		PartialScans:  s.PartialScans.Load(),
+		WALAppends:    s.WALAppends.Load(),
+		WALSyncs:      s.WALSyncs.Load(),
 	}
 }
 
@@ -90,6 +96,8 @@ func (s *Stats) Reset() {
 	s.RetriedRPCs.Store(0)
 	s.FailedRegions.Store(0)
 	s.PartialScans.Store(0)
+	s.WALAppends.Store(0)
+	s.WALSyncs.Store(0)
 }
 
 // Diff returns b - a field-wise, for measuring a single operation.
@@ -110,5 +118,7 @@ func Diff(a, b Snapshot) Snapshot {
 		RetriedRPCs:   b.RetriedRPCs - a.RetriedRPCs,
 		FailedRegions: b.FailedRegions - a.FailedRegions,
 		PartialScans:  b.PartialScans - a.PartialScans,
+		WALAppends:    b.WALAppends - a.WALAppends,
+		WALSyncs:      b.WALSyncs - a.WALSyncs,
 	}
 }

@@ -190,6 +190,22 @@ func (s *Store) TableNames() []string {
 // Stats exposes the store's scan/write counters.
 func (s *Store) Stats() *Stats { return &s.stats }
 
+// TotalRegions returns the store-wide region count across all tables — the
+// cluster-size gauge exported through the metrics registry.
+func (s *Store) TotalRegions() int {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	n := 0
+	for _, t := range tables {
+		n += t.RegionCount()
+	}
+	return n
+}
+
 // Nodes returns the configured simulated node count.
 func (s *Store) Nodes() int { return s.opts.Nodes }
 

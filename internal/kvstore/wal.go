@@ -491,6 +491,7 @@ func (s *Store) Checkpoint() error {
 	if s.dir == "" {
 		return errors.New("kvstore: store is not durable (no dir)")
 	}
+	s.stats.WALSyncs.Add(1)
 	if err := s.wal.sync(); err != nil {
 		return err
 	}
@@ -517,6 +518,7 @@ func (s *Store) Sync() error {
 	if s.wal == nil {
 		return nil
 	}
+	s.stats.WALSyncs.Add(1)
 	return s.wal.sync()
 }
 
@@ -546,6 +548,7 @@ func (s *Store) logMutation(op byte, table string, key, value []byte) {
 		// already updated, matching the fire-and-forget semantics of an
 		// async WAL.
 		_ = s.wal.append(op, table, key, value)
+		s.stats.WALAppends.Add(1)
 	}
 }
 
@@ -553,5 +556,6 @@ func (s *Store) logMutation(op byte, table string, key, value []byte) {
 func (s *Store) logBatch(table string, rows []KV) {
 	if s.wal != nil && len(rows) > 0 {
 		_ = s.wal.appendBatch(table, rows)
+		s.stats.WALAppends.Add(1)
 	}
 }

@@ -1,0 +1,408 @@
+// Package obs is TMan's observability layer: a lock-cheap metrics registry
+// (atomic counters, gauges, fixed-boundary histograms with quantile
+// snapshots), per-query trace spans threaded through context.Context, and
+// Prometheus-text exposition. It depends only on the standard library and is
+// imported by every other layer (kvstore, engine, httpapi), so it must not
+// import any tman package.
+//
+// Design notes:
+//
+//   - Hot-path operations are single atomic adds. Counter.Add and
+//     Histogram.Observe take no locks; Registry locking happens only at
+//     registration and exposition time.
+//   - Existing subsystems keep their own atomic counters (kvstore.Stats,
+//     cache.CacheStats, plan-cache counters); the registry mirrors them as
+//     *Func metrics that read the source of truth at scrape time, so no
+//     counter is ever maintained twice.
+//   - Series names carry Prometheus labels inline ("name{k=\"v\"}"); the
+//     exposition writer groups series into families and emits HELP/TYPE
+//     once per family, with histogram series expanded into _bucket/_sum/
+//     _count samples.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the Prometheus metric type of a registered series.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d < 0 is ignored — counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (either direction).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-boundary histogram: observations land in the first
+// bucket whose upper bound is >= the value, mirroring Prometheus cumulative
+// `le` semantics at exposition time. Observe is lock-free: one atomic add
+// into the bucket, one into the count, and a CAS loop on the float sum.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// newHistogram validates and copies the boundaries.
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds given nanoseconds.
+func (h *Histogram) ObserveDuration(nanos int64) { h.Observe(float64(nanos) / 1e9) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds  []float64 // upper bounds, ascending (no +Inf entry)
+	Counts  []int64   // len(Bounds)+1; last is the +Inf bucket
+	Count   int64
+	Sum     float64
+	P50     float64
+	P95     float64
+	P99     float64
+	MaxSeen float64 // upper bound of the highest non-empty bucket (+Inf → last bound)
+}
+
+// Snapshot copies the histogram state and computes the standard quantiles.
+// Concurrent observers may land between the bucket reads; the snapshot is a
+// consistent-enough view for monitoring (never torn per bucket).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] > 0 {
+			if i < len(s.Bounds) {
+				s.MaxSeen = s.Bounds[i]
+			} else if len(s.Bounds) > 0 {
+				s.MaxSeen = s.Bounds[len(s.Bounds)-1]
+			}
+			break
+		}
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket holding the target rank — the same estimator Prometheus'
+// histogram_quantile uses. The lower edge of the first bucket is zero; ranks
+// landing in the +Inf bucket return the highest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*((rank-prev)/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// DefBuckets is the default latency boundary set, in seconds: 100µs to 10s,
+// roughly 1-2.5-5 per decade. Matches the range of TMan query latencies
+// (hot cached queries land in the first buckets, faulted/slow queries at the
+// top).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is a power-of-4 boundary set for counts and byte sizes.
+var SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144}
+
+// metricEntry is one registered series.
+type metricEntry struct {
+	name string // full series name, labels inline
+	kind Kind
+	help string
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	fn func() float64 // counter/gauge func; read at scrape time
+}
+
+// Registry holds named series and renders them in Prometheus text format.
+// Registration is idempotent by full series name: re-registering returns the
+// existing collector, so independent subsystems can share one registry
+// without coordination.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*metricEntry
+	order   []string // registration order, for stable exposition
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metricEntry)}
+}
+
+// lookupOrAdd returns the entry for name, adding it via build() when absent.
+func (r *Registry) lookupOrAdd(name string, build func() *metricEntry) *metricEntry {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if ok {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return e
+	}
+	e = build()
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.lookupOrAdd(name, func() *metricEntry {
+		return &metricEntry{name: name, kind: KindCounter, help: help, c: &Counter{}}
+	})
+	return e.c
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.lookupOrAdd(name, func() *metricEntry {
+		return &metricEntry{name: name, kind: KindGauge, help: help, g: &Gauge{}}
+	})
+	return e.g
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for subsystems that already maintain their own
+// atomic counters (kvstore.Stats, cache stats).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.lookupOrAdd(name, func() *metricEntry {
+		return &metricEntry{name: name, kind: KindCounter, help: help, fn: fn}
+	})
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.lookupOrAdd(name, func() *metricEntry {
+		return &metricEntry{name: name, kind: KindGauge, help: help, fn: fn}
+	})
+}
+
+// Histogram registers (or fetches) a histogram series with the given upper
+// bounds (nil → DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	e := r.lookupOrAdd(name, func() *metricEntry {
+		return &metricEntry{name: name, kind: KindHistogram, help: help, h: newHistogram(bounds)}
+	})
+	return e.h
+}
+
+// SeriesCount returns the number of exposition samples the registry would
+// emit (histograms count their _bucket/_sum/_count samples).
+func (r *Registry) SeriesCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, e := range r.entries {
+		if e.kind == KindHistogram {
+			n += len(e.h.bounds) + 1 + 2 // buckets + +Inf + sum + count
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// splitSeries separates "base{labels}" into base and the label body (without
+// braces; empty when unlabeled).
+func splitSeries(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels merges an existing label body with one extra label pair.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	if extra == "" {
+		return labels
+	}
+	return labels + "," + extra
+}
+
+// writeSample emits one exposition line.
+func writeSample(w io.Writer, base, labels string, v float64) {
+	name := base
+	if labels != "" {
+		name = base + "{" + labels + "}"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		fmt.Fprintf(w, "%s %d\n", name, int64(v))
+		return
+	}
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}
+
+// formatBound renders a histogram upper bound the way Prometheus clients do.
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4). Families are emitted in registration
+// order of their first series; HELP/TYPE appear once per family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	order := make([]string, len(r.order))
+	copy(order, r.order)
+	entries := make(map[string]*metricEntry, len(r.entries))
+	for k, v := range r.entries {
+		entries[k] = v
+	}
+	r.mu.RUnlock()
+
+	seenFamily := make(map[string]bool)
+	for _, name := range order {
+		e := entries[name]
+		base, labels := splitSeries(e.name)
+		if !seenFamily[base] {
+			seenFamily[base] = true
+			if e.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", base, e.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, e.kind)
+		}
+		switch e.kind {
+		case KindHistogram:
+			s := e.h.Snapshot()
+			cum := int64(0)
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				writeSample(w, base+"_bucket", joinLabels(labels, `le="`+formatBound(b)+`"`), float64(cum))
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			writeSample(w, base+"_bucket", joinLabels(labels, `le="+Inf"`), float64(cum))
+			writeSample(w, base+"_sum", labels, s.Sum)
+			writeSample(w, base+"_count", labels, float64(s.Count))
+		default:
+			var v float64
+			switch {
+			case e.c != nil:
+				v = float64(e.c.Value())
+			case e.g != nil:
+				v = float64(e.g.Value())
+			case e.fn != nil:
+				v = e.fn()
+			}
+			writeSample(w, base, labels, v)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileGolden pins the quantile estimator against hand-
+// computed values: 100 observations land one per unit in (0,100] over
+// bounds {10,20,...,100}, so every bucket holds exactly 10 and the
+// interpolated quantiles are exact.
+func TestHistogramQuantileGolden(t *testing.T) {
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := newHistogram(bounds)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if want := 5050.0; math.Abs(s.Sum-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+	golden := []struct {
+		q, want float64
+	}{
+		{0.50, 50},
+		{0.95, 95},
+		{0.99, 99},
+		{0.10, 10},
+		{1.00, 100},
+	}
+	for _, g := range golden {
+		if got := s.Quantile(g.q); math.Abs(got-g.want) > 1e-9 {
+			t.Errorf("quantile(%g) = %g, want %g", g.q, got, g.want)
+		}
+	}
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("snapshot quantiles = %g/%g/%g, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestHistogramQuantileEdges covers the boundary semantics: empty histogram,
+// everything in the first bucket, and observations beyond the last bound
+// (+Inf bucket clamps to the highest finite bound).
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	h.Observe(0.5)
+	h.Observe(0.5)
+	s := h.Snapshot()
+	// Two observations in bucket (0,1]: p50 rank=1 interpolates to 0.5.
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("first-bucket p50 = %g, want 0.5", got)
+	}
+	h.Observe(1000) // +Inf bucket
+	s = h.Snapshot()
+	if got := s.Quantile(1.0); got != 4 {
+		t.Fatalf("+Inf quantile = %g, want highest bound 4", got)
+	}
+	if s.MaxSeen != 4 {
+		t.Fatalf("MaxSeen = %g, want 4", s.MaxSeen)
+	}
+}
+
+// TestHistogramBucketEdges pins the le semantics: a value equal to a bound
+// lands in that bound's bucket (cumulative le counting).
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	s := h.Snapshot()
+	want := []int64{1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines — mixed
+// registration (idempotent re-register), observation, and exposition — and
+// then checks totals. Run under -race this is the registry's thread-safety
+// proof.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("test_ops_total", "ops").Inc()
+				reg.Gauge("test_level", "level").Set(int64(i))
+				reg.Histogram("test_latency_seconds", "lat", DefBuckets).Observe(0.001)
+				if i%100 == 0 {
+					var sb strings.Builder
+					reg.WritePrometheus(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("test_ops_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	s := reg.Histogram("test_latency_seconds", "", nil).Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if math.Abs(s.Sum-float64(workers*perWorker)*0.001) > 1e-6 {
+		t.Fatalf("histogram sum = %g", s.Sum)
+	}
+}
+
+// TestWritePrometheusFormat checks the exposition shape: HELP/TYPE per
+// family, labeled series merged under one family, histograms expanded into
+// cumulative buckets with +Inf, _sum and _count.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`q_total{type="a"}`, "queries").Add(3)
+	reg.Counter(`q_total{type="b"}`, "queries").Add(4)
+	reg.GaugeFunc("g_now", "gauge", func() float64 { return 2.5 })
+	h := reg.Histogram("lat_seconds", "latency", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE q_total counter\n",
+		`q_total{type="a"} 3` + "\n",
+		`q_total{type="b"} 4` + "\n",
+		"# TYPE g_now gauge\n",
+		"g_now 2.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="1"} 1` + "\n",
+		`lat_seconds_bucket{le="2"} 2` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"lat_seconds_sum 11\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE q_total"); got != 1 {
+		t.Errorf("TYPE q_total emitted %d times, want once", got)
+	}
+}
+
+// TestSeriesCount checks histogram expansion in the series accounting.
+func TestSeriesCount(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "")
+	reg.Gauge("b", "")
+	reg.Histogram("h_seconds", "", []float64{1, 2, 3})
+	// counter + gauge + (3 buckets + Inf + sum + count)
+	if got := reg.SeriesCount(); got != 2+6 {
+		t.Fatalf("SeriesCount = %d, want 8", got)
+	}
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed node of a query trace. Spans carry wall time plus
+// analytic cost-model charges (RPC counts, rows visited/passed, simulated
+// I/O nanoseconds) as integer attributes, so a single trace reproduces the
+// paper's candidates/retrievals decomposition for one live query.
+//
+// All methods are safe on a nil receiver and do nothing — code under trace
+// instrumentation never branches on "is tracing on": an untraced context
+// yields nil spans and every call through them is a no-op. Child creation
+// and attribute updates take the span's own mutex; the hot path of an
+// untraced query touches no locks at all.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	attrs    map[string]int64
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartChild creates and returns a running child span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Child attaches an already-completed child span with an explicit duration —
+// used to record per-region task timings after a parallel fan-out finishes,
+// without sharing a running span across workers.
+func (s *Span) Child(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), dur: d}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span with its wall-clock duration (idempotent: the first
+// close wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// EndWith closes the span with an explicit duration — query roots use the
+// report's elapsed time (wall + analytic I/O) so the trace agrees with the
+// cost model rather than the host's scheduler.
+func (s *Span) EndWith(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dur = d
+	s.mu.Unlock()
+}
+
+// Add accumulates an integer attribute on the span.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]int64, 8)
+	}
+	s.attrs[key] += delta
+	s.mu.Unlock()
+}
+
+// Attr reads one attribute (0 when absent or nil span).
+func (s *Span) Attr(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Duration returns the span duration (0 while running or on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// Walk visits the span and every descendant depth-first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	s.mu.Lock()
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.Walk(fn)
+	}
+}
+
+// SumAttr totals an attribute over the span tree.
+func (s *Span) SumAttr(key string) int64 {
+	var total int64
+	s.Walk(func(sp *Span) { total += sp.Attr(key) })
+	return total
+}
+
+// SpanJSON is the wire form of a span tree (the /trace endpoint payload).
+type SpanJSON struct {
+	Name       string           `json:"name"`
+	DurationUS float64          `json:"duration_us"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []SpanJSON       `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its wire form.
+func (s *Span) JSON() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	s.mu.Lock()
+	out := SpanJSON{
+		Name:       s.name,
+		DurationUS: float64(s.dur.Nanoseconds()) / 1e3,
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]int64, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// ----------------------------------------------------- context plumbing ---
+
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying span as the active span.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, span)
+}
+
+// SpanFrom returns the active span, or nil when the context is untraced.
+// This is the only per-operation cost tracing adds to an untraced query: one
+// context value lookup.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's active span and returns a context
+// carrying it. On an untraced context it returns (ctx, nil) without
+// allocating.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+type ridKey struct{}
+
+// WithRequestID returns ctx carrying a request ID (httpapi's X-Request-Id).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestIDFrom returns the request ID, or "" when absent.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// NewRequestID generates a short unique request ID: a process-scoped counter
+// mixed through splitmix64 so IDs are unique, non-sequential-looking and
+// need no entropy syscalls on the request path.
+func NewRequestID() string {
+	x := uint64(ridSeq.Add(1)) + ridSeed
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(x >> (8 * i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var (
+	ridSeq  atomic.Int64
+	ridSeed = uint64(time.Now().UnixNano())
+)
+
+// ---------------------------------------------------------------- sampler ---
+
+// Sampler decides which operations get a trace. Sampling is deterministic —
+// every Nth operation where N ≈ 1/rate — so load tests produce a stable
+// trace volume. A nil sampler never samples; rate <= 0 builds a nil sampler,
+// keeping the disabled path branch-free at the call site.
+type Sampler struct {
+	every int64
+	seq   atomic.Int64
+}
+
+// NewSampler builds a sampler for the given rate in [0,1]. rate <= 0 returns
+// nil (never sample); rate >= 1 samples everything.
+func NewSampler(rate float64) *Sampler {
+	if rate <= 0 || math.IsNaN(rate) {
+		return nil
+	}
+	if rate >= 1 {
+		return &Sampler{every: 1}
+	}
+	return &Sampler{every: int64(math.Round(1 / rate))}
+}
+
+// Sample reports whether this operation should be traced.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return s.seq.Add(1)%s.every == 0
+}
+
+// -------------------------------------------------------------- trace ring ---
+
+// TraceRing keeps the most recent completed traces for the debug endpoints.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Span
+	next int
+}
+
+// NewTraceRing builds a ring holding up to n traces (n <= 0 → 16).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 16
+	}
+	return &TraceRing{buf: make([]*Span, 0, n)}
+}
+
+// Add records a completed trace root.
+func (r *TraceRing) Add(s *Span) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.mu.Unlock()
+}
+
+// Last returns the most recently added trace (nil when empty).
+func (r *TraceRing) Last() *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return nil
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.buf) - 1
+	}
+	return r.buf[i]
+}
+
+// Snapshot returns the stored traces, oldest first.
+func (r *TraceRing) Snapshot() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Span, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		out = append(out, r.buf[(r.next+i)%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSpanNilSafety exercises every Span method on a nil receiver — the
+// untraced hot path must never panic or allocate observable state.
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	s.End()
+	s.EndWith(time.Second)
+	s.Add("k", 1)
+	if s.Attr("k") != 0 || s.Name() != "" || s.Duration() != 0 {
+		t.Fatal("nil span leaked state")
+	}
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if c := s.Child("x", time.Second); c != nil {
+		t.Fatal("nil span produced a completed child")
+	}
+	s.Walk(func(*Span) { t.Fatal("nil span walked") })
+	if s.SumAttr("k") != 0 {
+		t.Fatal("nil span summed")
+	}
+	if j := s.JSON(); j.Name != "" {
+		t.Fatal("nil span serialized")
+	}
+}
+
+// TestSpanTree builds a small trace and checks attribute summing and the
+// JSON wire form.
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("query")
+	scan := root.StartChild("scan")
+	scan.Add("rows_visited", 70)
+	scan.Child("region:1", 2*time.Millisecond).Add("rows", 30)
+	scan.Child("region:2", 3*time.Millisecond).Add("rows", 40)
+	scan.End()
+	root.Add("rows_visited", 30)
+	root.EndWith(10 * time.Millisecond)
+
+	if got := root.SumAttr("rows_visited"); got != 100 {
+		t.Fatalf("SumAttr(rows_visited) = %d, want 100", got)
+	}
+	if got := root.SumAttr("rows"); got != 70 {
+		t.Fatalf("SumAttr(rows) = %d, want 70", got)
+	}
+	j := root.JSON()
+	if j.Name != "query" || j.DurationUS != 10000 {
+		t.Fatalf("root JSON = %+v", j)
+	}
+	if len(j.Children) != 1 || len(j.Children[0].Children) != 2 {
+		t.Fatalf("tree shape wrong: %+v", j)
+	}
+	if j.Children[0].Children[1].Attrs["rows"] != 40 {
+		t.Fatalf("region attrs wrong: %+v", j.Children[0].Children[1])
+	}
+}
+
+// TestContextPlumbing checks span and request-ID propagation through
+// context, including the untraced fast path.
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("empty context carried a span")
+	}
+	if c2, sp := StartSpan(ctx, "x"); sp != nil || c2 != ctx {
+		t.Fatal("StartSpan on untraced context should be a no-op")
+	}
+	root := NewSpan("root")
+	ctx = ContextWithSpan(ctx, root)
+	c2, child := StartSpan(ctx, "child")
+	if child == nil || SpanFrom(c2) != child {
+		t.Fatal("StartSpan did not attach the child")
+	}
+
+	if RequestIDFrom(ctx) != "" {
+		t.Fatal("unexpected request id")
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if RequestIDFrom(ctx) != "abc123" {
+		t.Fatal("request id lost")
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || len(a) != 16 {
+		t.Fatalf("request ids not unique/sized: %q %q", a, b)
+	}
+}
+
+// TestSampler pins the deterministic sampling contract.
+func TestSampler(t *testing.T) {
+	if s := NewSampler(0); s.Sample() {
+		t.Fatal("rate 0 sampled")
+	}
+	if s := NewSampler(-1); s != nil {
+		t.Fatal("negative rate should build a nil sampler")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !always.Sample() {
+			t.Fatal("rate 1 skipped an operation")
+		}
+	}
+	tenth := NewSampler(0.1)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if tenth.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("rate 0.1 sampled %d of 1000, want exactly 100 (deterministic)", hits)
+	}
+}
+
+// TestTraceRing checks capacity, ordering and Last.
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	if r.Last() != nil {
+		t.Fatal("empty ring returned a trace")
+	}
+	spans := []*Span{NewSpan("a"), NewSpan("b"), NewSpan("c"), NewSpan("d")}
+	for _, s := range spans {
+		r.Add(s)
+	}
+	if got := r.Last(); got != spans[3] {
+		t.Fatalf("Last = %v, want d", got.Name())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Name() != "b" || snap[2].Name() != "d" {
+		names := make([]string, len(snap))
+		for i, s := range snap {
+			names[i] = s.Name()
+		}
+		t.Fatalf("snapshot = %v, want [b c d]", names)
+	}
+}

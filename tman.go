@@ -163,6 +163,14 @@ func WithRetryPolicy(rp RetryPolicy) Option {
 	return func(c *engine.Config) { c.KV.Retry = rp }
 }
 
+// WithTraceSampling records a full trace-span tree for the given fraction
+// of queries (0..1) into the engine's trace ring, inspectable through the
+// HTTP /trace endpoint. 0 (the default) disables sampling; traced queries
+// requested explicitly through /trace are always recorded.
+func WithTraceSampling(rate float64) Option {
+	return func(c *engine.Config) { c.TraceSampleRate = rate }
+}
+
 // DB is a TMan database instance.
 type DB struct {
 	eng *engine.Engine
