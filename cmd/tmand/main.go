@@ -42,6 +42,7 @@ func main() {
 		g           = flag.Int("g", 16, "TShape max resolution")
 		encoding    = flag.String("encoding", "greedy", "shape encoding: bitmap|greedy|genetic")
 		dataDir     = flag.String("data", "", "durable data directory (empty = in-memory)")
+		replicas    = flag.Int("replicas", 1, "copies of each region, leader included (1 = no replication)")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
 		pprofAddr   = flag.String("pprof-addr", "", "pprof listen address (e.g. localhost:6060; empty = disabled)")
 		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
@@ -86,6 +87,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		opts = append(opts, tman.WithDataDir(*dataDir))
+	}
+	if *replicas > 1 {
+		opts = append(opts, tman.WithReplication(*replicas))
 	}
 	db, err := tman.Open(rect, opts...)
 	if err != nil {

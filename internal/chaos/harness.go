@@ -12,8 +12,38 @@ import (
 
 	tman "github.com/tman-db/tman"
 	"github.com/tman-db/tman/internal/engine"
+	"github.com/tman-db/tman/internal/similarity"
 	"github.com/tman-db/tman/internal/workload"
 )
+
+// Failer is the slice of testing.TB the harness needs to report a failure —
+// kept as an interface so harness.go does not import the testing package.
+type Failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Run names one chaos scenario and the RNG seed that drives it. Every
+// assertion routed through it prints both on failure, so a red run in CI is
+// reproducible verbatim: re-run the test with the printed seed.
+type Run struct {
+	Seed     int64
+	Scenario string
+}
+
+// Fatalf fails the test with the scenario name and seed prepended.
+func (r Run) Fatalf(t Failer, format string, args ...any) {
+	t.Helper()
+	t.Fatalf("chaos scenario %q (seed %d): %s", r.Scenario, r.Seed, fmt.Sprintf(format, args...))
+}
+
+// Assert fails via Fatalf when ok is false.
+func (r Run) Assert(t Failer, ok bool, format string, args ...any) {
+	t.Helper()
+	if !ok {
+		r.Fatalf(t, format, args...)
+	}
+}
 
 // Cluster pairs a database with the dataset loaded into it.
 type Cluster struct {
@@ -92,6 +122,79 @@ func (c *Cluster) StandardQueries(ctx context.Context, seed int64, rounds int) (
 		out = append(out, QueryResult{Name: fmt.Sprintf("spacetime-%d", i), Rows: rows, Report: rep})
 	}
 	return out, nil
+}
+
+// SixQueries replays all six of the paper's query types — the four windows
+// of StandardQueries plus similarity-threshold and k-nearest — from one
+// seeded sampler. Identical (seed, rounds) against clusters holding the same
+// dataset issue identical queries; the failover suite uses this as its
+// bit-identical convergence probe.
+func (c *Cluster) SixQueries(ctx context.Context, seed int64, rounds int) ([]QueryResult, error) {
+	const hour = int64(3600_000)
+	s := workload.NewQuerySampler(c.DS, seed)
+	out := make([]QueryResult, 0, rounds*6)
+	for i := 0; i < rounds; i++ {
+		tw := s.TimeWindow(2 * hour)
+		rows, rep, err := c.DB.QueryTimeRangeCtx(ctx, tw)
+		if err != nil {
+			return out, fmt.Errorf("time query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("time-%d", i), Rows: rows, Report: rep})
+
+		sw := s.SpaceWindow(20)
+		rows, rep, err = c.DB.QuerySpaceCtx(ctx, sw)
+		if err != nil {
+			return out, fmt.Errorf("space query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("space-%d", i), Rows: rows, Report: rep})
+
+		oid, ow := s.ObjectWindow(6 * hour)
+		rows, rep, err = c.DB.QueryObjectCtx(ctx, oid, ow)
+		if err != nil {
+			return out, fmt.Errorf("object query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("object-%d", i), Rows: rows, Report: rep})
+
+		sw2 := s.SpaceWindow(40)
+		tw2 := s.TimeWindow(6 * hour)
+		rows, rep, err = c.DB.QuerySpaceTimeCtx(ctx, sw2, tw2)
+		if err != nil {
+			return out, fmt.Errorf("spacetime query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("spacetime-%d", i), Rows: rows, Report: rep})
+
+		qt := s.QueryTrajectory()
+		rows, rep, err = c.DB.QuerySimilarThresholdCtx(ctx, qt, similarity.Frechet, 0.05)
+		if err != nil {
+			return out, fmt.Errorf("similar query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("similar-%d", i), Rows: rows, Report: rep})
+
+		nt := s.QueryTrajectory()
+		p := nt.Points[len(nt.Points)/2]
+		rows, rep, err = c.DB.QueryNearestCtx(ctx, p.X, p.Y, 5)
+		if err != nil {
+			return out, fmt.Errorf("nearest query %d: %w", i, err)
+		}
+		out = append(out, QueryResult{Name: fmt.Sprintf("nearest-%d", i), Rows: rows, Report: rep})
+	}
+	return out, nil
+}
+
+// Fingerprint reduces a result set to a deterministic string — sorted TIDs,
+// each with its point count and first/last point — so two clusters' answers
+// can be compared bit-for-bit, not just by id set.
+func Fingerprint(ts []*tman.Trajectory) string {
+	lines := make([]string, len(ts))
+	for i, t := range ts {
+		var first, last tman.Point
+		if len(t.Points) > 0 {
+			first, last = t.Points[0], t.Points[len(t.Points)-1]
+		}
+		lines[i] = fmt.Sprintf("%s/%s:%d:%v:%v", t.OID, t.TID, len(t.Points), first, last)
+	}
+	sort.Strings(lines)
+	return fmt.Sprint(lines)
 }
 
 // TIDs returns the sorted trajectory ids of a result set.

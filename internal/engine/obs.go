@@ -73,8 +73,24 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	counter("tman_store_wal_syncs_total", "WAL fsyncs", st.WALSyncs.Load)
 	reg.CounterFunc("tman_store_sim_io_seconds_total", "analytic cluster I/O time charged by the cost model",
 		func() float64 { return float64(st.SimIONanos.Load()) / 1e9 })
+	reg.CounterFunc("tman_store_backoff_seconds_total", "analytic retry backoff charged across client RPC paths",
+		func() float64 { return float64(st.BackoffNanos.Load()) / 1e9 })
 	reg.GaugeFunc("tman_store_regions", "regions across all tables",
 		func() float64 { return float64(e.store.TotalRegions()) })
+
+	// --- replication: ship/catch-up/failover counters + health gauges ----
+	counter("tman_failovers_total", "leader promotions after node death", st.Failovers.Load)
+	counter("tman_follower_reads_total", "region scans served by follower replicas", st.FollowerReads.Load)
+	counter("tman_replica_ship_frames_total", "leader->follower replication frames shipped", st.ShipFrames.Load)
+	counter("tman_replica_ship_rejects_total", "replication frames rejected by followers (corrupt or fenced)", st.ShipRejects.Load)
+	counter("tman_replica_catchup_tail_total", "follower catch-ups served from the retained log tail", st.CatchupTail.Load)
+	counter("tman_replica_catchup_snapshot_total", "follower catch-ups rebuilt from a leader snapshot", st.CatchupSnapshots.Load)
+	reg.GaugeFunc("tman_replica_lag", "worst live-follower staleness in milliseconds",
+		func() float64 { return float64(e.store.ReplicaStats().MaxLagMS) })
+	reg.GaugeFunc("tman_replica_followers", "follower replicas across all regions",
+		func() float64 { return float64(e.store.ReplicaStats().Followers) })
+	reg.GaugeFunc("tman_replicas_down", "follower replicas currently down",
+		func() float64 { return float64(e.store.ReplicaStats().Down) })
 
 	// --- engine: dataset + shape-maintenance state -----------------------
 	reg.GaugeFunc("tman_engine_trajectories", "stored trajectories",
@@ -153,6 +169,9 @@ func (e *Engine) endQuery(qtype string, sp *obs.Span, sampled bool, rep *QueryRe
 	sp.Add("windows", int64(rep.Windows))
 	sp.Add("retried_rpcs", rep.RetriedRPCs)
 	sp.Add("failed_regions", int64(rep.FailedRegions))
+	if rep.FollowerReads > 0 {
+		sp.Add("follower_reads", rep.FollowerReads)
+	}
 	sp.Add("sim_io_ns", rep.Store.SimIONanos)
 	if rep.Partial {
 		sp.Add("partial", 1)

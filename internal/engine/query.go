@@ -38,6 +38,9 @@ type QueryReport struct {
 	Partial       bool
 	RetriedRPCs   int64
 	FailedRegions int
+	// FollowerReads counts region scans this query served from follower
+	// replicas under its staleness bound (see kvstore.WithReadPref).
+	FollowerReads int64
 }
 
 // absorb folds one scan's fault/retry outcome into the report.
@@ -45,6 +48,7 @@ func (r *QueryReport) absorb(st kvstore.ScanStatus) {
 	r.Partial = r.Partial || st.Partial
 	r.RetriedRPCs += st.RetriedRPCs
 	r.FailedRegions += st.FailedRegions
+	r.FollowerReads += st.FollowerReads
 }
 
 // primaryWindows converts spatial value ranges into primary-table key

@@ -57,6 +57,7 @@ type QueryResponse struct {
 	Partial       bool             `json:"partial"`
 	RetriedRPCs   int64            `json:"retried_rpcs"`
 	FailedRegions int              `json:"failed_regions"`
+	FollowerReads int64            `json:"follower_reads,omitempty"`
 	Trajectories  []TrajectoryJSON `json:"trajectories"`
 }
 
@@ -388,6 +389,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.db.Engine().Store().Stats().Snapshot()
 	cs := s.db.Engine().CacheStats()
 	ps := s.db.Engine().PlanCacheStats()
+	rs := s.db.Engine().Store().ReplicaStats()
 	writeJSON(w, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"version":        buildVersion(),
@@ -403,6 +405,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"retried_rpcs":   snap.RetriedRPCs,
 		"failed_regions": snap.FailedRegions,
 		"partial_scans":  snap.PartialScans,
+
+		"replicas":          s.db.Engine().Store().Replicas(),
+		"replica_followers": rs.Followers,
+		"replicas_down":     rs.Down,
+		"replica_lag_ms":    rs.MaxLagMS,
+		"failovers":         snap.Failovers,
+		"follower_reads":    snap.FollowerReads,
+		"ship_frames":       snap.ShipFrames,
+		"ship_rejects":      snap.ShipRejects,
+		"catchup_tail":      snap.CatchupTail,
+		"catchup_snapshot":  snap.CatchupSnapshots,
+
 		"reencodes":      s.db.Engine().Reencodes(),
 		"cache_hits":     cs.Hits,
 		"cache_misses":   cs.Misses,
@@ -417,20 +431,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // ------------------------------------------------------------- helpers ---
 
-// queryCtx derives the query context from an optional ?deadline_ms=
-// parameter. With a deadline set, queries that run out of time respond 200
-// with partial=true instead of failing. The returned cancel must be called.
+// queryCtx derives the query context from the optional ?deadline_ms= and
+// ?max_staleness_ms= parameters. With a deadline set, queries that run out
+// of time respond 200 with partial=true instead of failing; with a staleness
+// bound set, region scans may be served by follower replicas no further than
+// that many milliseconds behind the leader (requires replication). The
+// returned cancel must be called.
 func queryCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
-	raw := r.URL.Query().Get("deadline_ms")
-	if raw == "" {
-		return r.Context(), func() {}, true
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if raw := r.URL.Query().Get("max_staleness_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, "max_staleness_ms must be a non-negative integer, got %q", raw)
+			return nil, nil, false
+		}
+		ctx = tman.WithMaxStaleness(ctx, time.Duration(ms)*time.Millisecond)
 	}
-	ms, err := strconv.ParseInt(raw, 10, 64)
-	if err != nil || ms <= 0 {
-		httpError(w, http.StatusBadRequest, "deadline_ms must be a positive integer, got %q", raw)
-		return nil, nil, false
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms <= 0 {
+			httpError(w, http.StatusBadRequest, "deadline_ms must be a positive integer, got %q", raw)
+			return nil, nil, false
+		}
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
 	return ctx, cancel, true
 }
 
@@ -447,6 +472,7 @@ func respond(w http.ResponseWriter, trips []*tman.Trajectory, rep tman.Report, e
 		Partial:       rep.Partial,
 		RetriedRPCs:   rep.RetriedRPCs,
 		FailedRegions: rep.FailedRegions,
+		FollowerReads: rep.FollowerReads,
 	}
 	for _, t := range trips {
 		out.Trajectories = append(out.Trajectories, fromModel(t))

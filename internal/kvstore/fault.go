@@ -34,8 +34,9 @@ var (
 )
 
 // IsRetryable reports whether err is a transient fault worth retrying.
+// ErrNodeDead counts: a retry may land after failover re-homes the region.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrTransientRPC) || errors.Is(err, ErrRegionUnavailable)
+	return errors.Is(err, ErrTransientRPC) || errors.Is(err, ErrRegionUnavailable) || errors.Is(err, ErrNodeDead)
 }
 
 // FaultConfig configures deterministic fault injection for a Store. The zero
@@ -266,10 +267,14 @@ type ScanStatus struct {
 	RetriedRPCs int64
 	// FailedRegions counts region tasks that contributed no rows.
 	FailedRegions int
+	// FollowerReads counts region tasks served by a follower replica under
+	// the query's staleness bound instead of the leader.
+	FollowerReads int64
 }
 
 func (s *ScanStatus) merge(o ScanStatus) {
 	s.Partial = s.Partial || o.Partial
 	s.RetriedRPCs += o.RetriedRPCs
 	s.FailedRegions += o.FailedRegions
+	s.FollowerReads += o.FollowerReads
 }

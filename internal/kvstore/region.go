@@ -26,8 +26,17 @@ type region struct {
 	mem      *skiplist
 	imm      []*skiplist  // sealed memtables awaiting flush, oldest first
 	runs     []*sortedRun // oldest first: flushes append, so the newest run is last
-	node     int          // owning node id
 	id       int64        // store-unique id, stable for a deterministic load order
+
+	// node is the owning node id. Atomic because failover re-homes the
+	// region to the promoted follower's node while scans read it unlocked
+	// for latency-scale accounting.
+	node atomic.Int64
+
+	// rep is the region's replication group (leader side); nil when the
+	// store is unreplicated and always nil on follower regions, so applying
+	// a shipped frame can never re-enter the ship path.
+	rep *replGroup
 
 	flushBytes int
 	maxRuns    int
@@ -54,17 +63,21 @@ type region struct {
 }
 
 func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, fl *flusher) *region {
-	return &region{
+	r := &region{
 		id:         id,
 		startKey:   start,
 		endKey:     end,
 		mem:        newSkiplist(nextSkiplistSeed()),
-		node:       node,
 		flushBytes: flushBytes,
 		maxRuns:    maxRuns,
 		fl:         fl,
 	}
+	r.node.Store(int64(node))
+	return r
 }
+
+// nodeID returns the region's current serving node.
+func (r *region) nodeID() int { return int(r.node.Load()) }
 
 // takeUnavailable consumes one RPC from the unavailability window, returning
 // true while the window is open.
@@ -110,8 +123,22 @@ func ingestCharge(key, value []byte) int64 {
 
 // put inserts or replaces a row, sealing the memtable for background flush
 // if it grew past the threshold. Returns the region's monotonic ingest
-// volume so the table can decide whether to split.
+// volume so the table can decide whether to split. On a replicated region
+// the local apply and the follower ship happen under one group critical
+// section, so the write is acknowledged only once every live follower has
+// it and all writers agree on the commit order.
 func (r *region) put(key, value []byte) (writeBytes int64) {
+	if g := r.rep; g != nil {
+		g.lock()
+		wb := r.putLocal(key, value)
+		g.shipLocked(opPut, key, value, nil)
+		g.unlock()
+		return wb
+	}
+	return r.putLocal(key, value)
+}
+
+func (r *region) putLocal(key, value []byte) (writeBytes int64) {
 	r.mu.Lock()
 	r.mem.set(key, value, false)
 	wb := r.writeBytes.Add(ingestCharge(key, value))
@@ -129,8 +156,20 @@ func (r *region) put(key, value []byte) (writeBytes int64) {
 // putBatch applies a key-ascending run of put rows under a single lock
 // acquisition, sealing (possibly repeatedly) as the memtable fills. Rows
 // must all fall inside the region's range. Returns the post-apply ingest
-// volume for the split check.
+// volume for the split check. Replicated regions ship the whole batch as a
+// single op=3 group-commit frame, mirroring the WAL.
 func (r *region) putBatch(rows []KV) (writeBytes int64) {
+	if g := r.rep; g != nil {
+		g.lock()
+		wb := r.putBatchLocal(rows)
+		g.shipLocked(opBatch, nil, nil, rows)
+		g.unlock()
+		return wb
+	}
+	return r.putBatchLocal(rows)
+}
+
+func (r *region) putBatchLocal(rows []KV) (writeBytes int64) {
 	var ingest int64
 	for i := range rows {
 		ingest += ingestCharge(rows[i].Key, rows[i].Value)
@@ -158,6 +197,17 @@ func (r *region) putBatch(rows []KV) (writeBytes int64) {
 
 // delete writes a tombstone.
 func (r *region) delete(key []byte) {
+	if g := r.rep; g != nil {
+		g.lock()
+		r.deleteLocal(key)
+		g.shipLocked(opDelete, key, nil, nil)
+		g.unlock()
+		return
+	}
+	r.deleteLocal(key)
+}
+
+func (r *region) deleteLocal(key []byte) {
 	r.mu.Lock()
 	r.mem.set(key, nil, true)
 	r.writeBytes.Add(ingestCharge(key, nil))

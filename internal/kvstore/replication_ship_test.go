@@ -1,0 +1,213 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The ship-stream torn tests mirror wal_torn_test.go for the replication
+// path: every way a frame can arrive damaged — truncated mid-batch, a single
+// flipped bit, delivered twice, from a fenced epoch, or past a sequence gap —
+// must leave the follower's state untouched except for exact, idempotent
+// duplicate delivery. A batch frame is all-or-nothing: there is no offset at
+// which a prefix of its rows applies.
+
+// shipFollower builds a standalone follower over an empty region, outside any
+// group, so tests can drive applyFrame directly.
+func shipFollower() *follower {
+	return &follower{reg: newRegion(1, nil, nil, 0, 1<<20, 6, nil)}
+}
+
+func followerRows(f *follower) []KV {
+	rows, _, _, _ := f.reg.scan(nil, nil, nil, 0, nil, nil)
+	return rows
+}
+
+func shipBatchFrame(epoch, seq int64, n int) []byte {
+	rows := make([]KV, n)
+	for i := range rows {
+		rows[i] = KV{
+			Key:   fmt.Appendf(nil, "key-%04d", i),
+			Value: fmt.Appendf(nil, "value-%04d", i),
+		}
+	}
+	return encodeShipFrame(epoch, seq, appendBatchPayload(nil, "t", rows))
+}
+
+func TestShipFrameRoundTrip(t *testing.T) {
+	f := shipFollower()
+	frames := [][]byte{
+		encodeShipFrame(0, 1, encodeWALPayload(opPut, "t", []byte("a"), []byte("1"))),
+		shipBatchFrame(0, 2, 8),
+		encodeShipFrame(0, 3, encodeWALPayload(opDelete, "t", []byte("key-0003"), nil)),
+	}
+	for i, fr := range frames {
+		if err := f.applyFrame(fr, int64(i)); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	rows := followerRows(f)
+	if len(rows) != 8 { // "a" + 8 batch rows - 1 delete
+		t.Fatalf("rows after replay = %d, want 8", len(rows))
+	}
+	if f.seq != 3 || f.epoch != 0 {
+		t.Fatalf("follower at epoch %d seq %d, want 0/3", f.epoch, f.seq)
+	}
+}
+
+// TestShipFrameTruncation cuts a batch frame at every possible length. Every
+// truncation must be rejected with ErrShipCorrupt and apply nothing: batch
+// frames are all-or-nothing, unlike the durable WAL where a torn tail may
+// legitimately hold a prefix of history.
+func TestShipFrameTruncation(t *testing.T) {
+	frame := shipBatchFrame(0, 1, 16)
+	for cut := 0; cut < len(frame); cut++ {
+		f := shipFollower()
+		err := f.applyFrame(frame[:cut], 1)
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if !errors.Is(err, ErrShipCorrupt) {
+			t.Fatalf("truncation at %d: got %v, want ErrShipCorrupt", cut, err)
+		}
+		if got := followerRows(f); len(got) != 0 {
+			t.Fatalf("truncation at %d applied %d rows", cut, len(got))
+		}
+		if f.seq != 0 {
+			t.Fatalf("truncation at %d advanced seq to %d", cut, f.seq)
+		}
+	}
+}
+
+// TestShipFrameBitFlips flips every bit of a frame in turn. The CRC covers
+// epoch, sequence and payload, so every flip — including flips inside the
+// CRC field itself — must be rejected without applying anything.
+func TestShipFrameBitFlips(t *testing.T) {
+	frame := shipBatchFrame(0, 1, 4)
+	for pos := 0; pos < len(frame); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), frame...)
+			mut[pos] ^= 1 << bit
+			f := shipFollower()
+			err := f.applyFrame(mut, 1)
+			if !errors.Is(err, ErrShipCorrupt) {
+				t.Fatalf("flip byte %d bit %d: got %v, want ErrShipCorrupt", pos, bit, err)
+			}
+			if got := followerRows(f); len(got) != 0 {
+				t.Fatalf("flip byte %d bit %d applied %d rows", pos, bit, len(got))
+			}
+		}
+	}
+}
+
+// TestShipFrameDuplicateDelivery delivers the same frames twice (and an
+// interior frame a third time). Redelivery must be an idempotent no-op: same
+// rows, same follower position, nil error.
+func TestShipFrameDuplicateDelivery(t *testing.T) {
+	f := shipFollower()
+	frames := [][]byte{
+		encodeShipFrame(0, 1, encodeWALPayload(opPut, "t", []byte("a"), []byte("1"))),
+		shipBatchFrame(0, 2, 4),
+		encodeShipFrame(0, 3, encodeWALPayload(opPut, "t", []byte("a"), []byte("2"))),
+	}
+	for _, fr := range frames {
+		if err := f.applyFrame(fr, 1); err != nil {
+			t.Fatalf("first delivery: %v", err)
+		}
+	}
+	want := len(followerRows(f))
+	for _, fr := range frames {
+		if err := f.applyFrame(fr, 2); err != nil {
+			t.Fatalf("duplicate delivery: %v", err)
+		}
+	}
+	if err := f.applyFrame(frames[1], 3); err != nil {
+		t.Fatalf("triplicate delivery: %v", err)
+	}
+	rows := followerRows(f)
+	if len(rows) != want {
+		t.Fatalf("rows after redelivery = %d, want %d", len(rows), want)
+	}
+	if f.seq != 3 {
+		t.Fatalf("seq after redelivery = %d, want 3", f.seq)
+	}
+	// The overwrite of "a" must not have been undone by redelivering seq 1.
+	v, ok := f.reg.get([]byte("a"))
+	if !ok || string(v) != "2" {
+		t.Fatalf(`get("a") = %q %v, want "2"`, v, ok)
+	}
+}
+
+// TestShipFrameStaleEpoch fences a frame from a deposed leader: once the
+// follower has seen epoch 2, epoch-1 frames are rejected no matter their
+// sequence — the core promise that a stale leader cannot ack writes.
+func TestShipFrameStaleEpoch(t *testing.T) {
+	f := shipFollower()
+	if err := f.applyFrame(encodeShipFrame(2, 1, encodeWALPayload(opPut, "t", []byte("a"), []byte("1"))), 1); err != nil {
+		t.Fatalf("epoch-2 frame: %v", err)
+	}
+	for _, seq := range []int64{1, 2, 99} {
+		err := f.applyFrame(encodeShipFrame(1, seq, encodeWALPayload(opPut, "t", []byte("b"), []byte("x"))), 2)
+		if !errors.Is(err, ErrShipStaleEpoch) {
+			t.Fatalf("stale epoch seq %d: got %v, want ErrShipStaleEpoch", seq, err)
+		}
+	}
+	if rows := followerRows(f); len(rows) != 1 {
+		t.Fatalf("stale frames changed state: %d rows", len(rows))
+	}
+}
+
+// TestShipFrameSequenceGap rejects frames that skip ahead: a follower at seq
+// 1 must refuse seq 3 (it would silently lose seq 2) and wait for catch-up.
+func TestShipFrameSequenceGap(t *testing.T) {
+	f := shipFollower()
+	if err := f.applyFrame(encodeShipFrame(0, 1, encodeWALPayload(opPut, "t", []byte("a"), []byte("1"))), 1); err != nil {
+		t.Fatalf("seq-1 frame: %v", err)
+	}
+	err := f.applyFrame(encodeShipFrame(0, 3, encodeWALPayload(opPut, "t", []byte("c"), []byte("3"))), 2)
+	if !errors.Is(err, ErrShipGap) {
+		t.Fatalf("gap: got %v, want ErrShipGap", err)
+	}
+	if f.seq != 1 {
+		t.Fatalf("gap advanced seq to %d", f.seq)
+	}
+	// A newer epoch resets the sequence contract: promotion rebuilds
+	// followers via catch-up, which adopts the new position wholesale.
+	if err := f.applyFrame(encodeShipFrame(1, 7, encodeWALPayload(opPut, "t", []byte("d"), []byte("4"))), 3); err != nil {
+		t.Fatalf("new-epoch frame: %v", err)
+	}
+	if f.epoch != 1 || f.seq != 7 {
+		t.Fatalf("follower at epoch %d seq %d, want 1/7", f.epoch, f.seq)
+	}
+}
+
+// TestDecodeWALRecordTrailingGarbage: extra bytes after a structurally valid
+// record are corruption, not padding.
+func TestDecodeWALRecordTrailingGarbage(t *testing.T) {
+	payload := encodeWALPayload(opPut, "t", []byte("a"), []byte("1"))
+	if _, err := decodeWALRecord(payload); err != nil {
+		t.Fatalf("clean payload: %v", err)
+	}
+	if _, err := decodeWALRecord(append(append([]byte(nil), payload...), 0x00)); !errors.Is(err, ErrShipCorrupt) {
+		t.Fatalf("trailing garbage accepted: %v", err)
+	}
+	if _, err := decodeWALRecord([]byte{77}); !errors.Is(err, ErrShipCorrupt) {
+		t.Fatalf("unknown op accepted: %v", err)
+	}
+}
+
+// TestDecodeWALRecordHostileLengths: declared lengths far beyond the bytes
+// present must fail fast without huge allocations.
+func TestDecodeWALRecordHostileLengths(t *testing.T) {
+	// op=batch, empty table, rowCount=2^31-ish with a 10-byte body.
+	b := []byte{opBatch, 0, 0, 0xff, 0xff, 0xff, 0x7f, 1, 2, 3}
+	if _, err := decodeWALRecord(b); !errors.Is(err, ErrShipCorrupt) {
+		t.Fatalf("hostile row count accepted: %v", err)
+	}
+	// op=put, empty table, keyLen huge.
+	b = []byte{opPut, 0, 0, 0xff, 0xff, 0xff, 0x7f}
+	if _, err := decodeWALRecord(b); !errors.Is(err, ErrShipCorrupt) {
+		t.Fatalf("hostile key length accepted: %v", err)
+	}
+}

@@ -1,0 +1,500 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func replicatedStore(t *testing.T, replicas int, mutate func(*Options)) (*Store, *Table) {
+	t.Helper()
+	opts := NoNetworkOptions()
+	opts.Replicas = replicas
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s := Open(opts)
+	t.Cleanup(func() { s.Close() })
+	tbl, err := s.CreateTable("traj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+// firstGroup returns the replication group of the table's first region.
+func firstGroup(t testing.TB, tbl *Table) *replGroup {
+	t.Helper()
+	regs := tbl.regionSnapshot()
+	if len(regs) == 0 || regs[0].rep == nil {
+		t.Fatal("no replicated region")
+	}
+	return regs[0].rep
+}
+
+func kvKey(i int) []byte   { return fmt.Appendf(nil, "key-%05d", i) }
+func kvValue(i int) []byte { return fmt.Appendf(nil, "value-%05d", i) }
+
+// assertReplicaConvergence checks that every follower of every group holds
+// exactly the leader's live rows and sits at the group's sequence.
+func assertReplicaConvergence(t *testing.T, s *Store) {
+	t.Helper()
+	for _, tbl := range s.tablesSnapshot() {
+		for _, r := range tbl.regionSnapshot() {
+			g := r.rep
+			if g == nil {
+				continue
+			}
+			g.lock()
+			want, _, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil)
+			for _, f := range g.followers {
+				if f.down {
+					t.Errorf("region %d: follower on node %d still down", r.id, f.node)
+					continue
+				}
+				if f.seq != g.seq || f.epoch != g.epoch {
+					t.Errorf("region %d: follower on node %d at epoch %d seq %d, group at %d/%d",
+						r.id, f.node, f.epoch, f.seq, g.epoch, g.seq)
+				}
+				got, _, _, _ := f.reg.scan(nil, nil, nil, 0, nil, nil)
+				if len(got) != len(want) {
+					t.Errorf("region %d: follower on node %d has %d rows, leader %d",
+						r.id, f.node, len(got), len(want))
+					continue
+				}
+				for i := range want {
+					if string(got[i].Key) != string(want[i].Key) || string(got[i].Value) != string(want[i].Value) {
+						t.Errorf("region %d: follower on node %d diverges at row %d: %q=%q vs %q=%q",
+							r.id, f.node, i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
+						break
+					}
+				}
+			}
+			g.unlock()
+		}
+	}
+}
+
+// TestReplicationShipsAllOps drives every mutation shape through a
+// replicated region — single puts, a group-commit batch, deletes and an
+// overwrite — and checks the followers converge to the leader bit for bit.
+func TestReplicationShipsAllOps(t *testing.T) {
+	s, tbl := replicatedStore(t, 3, nil)
+	for i := 0; i < 50; i++ {
+		tbl.Put(kvKey(i), kvValue(i))
+	}
+	batch := make([]KV, 40)
+	for i := range batch {
+		batch[i] = KV{Key: kvKey(100 + i), Value: kvValue(100 + i)}
+	}
+	tbl.MultiPut(batch)
+	for i := 0; i < 10; i++ {
+		tbl.Delete(kvKey(i * 3))
+	}
+	tbl.Put(kvKey(1), []byte("overwritten"))
+
+	assertReplicaConvergence(t, s)
+	st := s.Stats().Snapshot()
+	// 50 puts + 1 batch + 10 deletes + 1 overwrite = 62 commits, each one frame.
+	if st.ShipFrames != 62 {
+		t.Fatalf("ShipFrames = %d, want 62", st.ShipFrames)
+	}
+	if st.ShipRejects != 0 || st.Failovers != 0 {
+		t.Fatalf("unexpected rejects/failovers: %+v", st)
+	}
+	g := firstGroup(t, tbl)
+	if len(g.followers) != 2 {
+		t.Fatalf("followers = %d, want 2", len(g.followers))
+	}
+	seen := map[int]bool{g.leader.nodeID(): true}
+	for _, f := range g.followers {
+		if seen[f.node] {
+			t.Fatalf("replica placement reuses node %d", f.node)
+		}
+		seen[f.node] = true
+	}
+}
+
+// TestFailoverPromotesDeterministically kills the leader's node and checks
+// the promotion contract: the best live follower (max sequence, lowest node
+// id on ties) takes over in place, the epoch advances, reads and writes keep
+// working, and a second leader kill still leaves the data intact with RF=3.
+func TestFailoverPromotesDeterministically(t *testing.T) {
+	s, tbl := replicatedStore(t, 3, nil)
+	for i := 0; i < 200; i++ {
+		tbl.Put(kvKey(i), kvValue(i))
+	}
+	g := firstGroup(t, tbl)
+	oldLeaderNode := g.leader.nodeID()
+	// Both followers are caught up, so the tie-break must pick the lowest
+	// follower node id.
+	wantNode := g.followers[0].node
+	for _, f := range g.followers {
+		if f.node < wantNode {
+			wantNode = f.node
+		}
+	}
+
+	s.KillNode(oldLeaderNode)
+	if got := g.leader.nodeID(); got != wantNode {
+		t.Fatalf("promoted node %d, want %d", got, wantNode)
+	}
+	if g.epoch != 1 {
+		t.Fatalf("epoch after failover = %d, want 1", g.epoch)
+	}
+	if st := s.Stats().Snapshot(); st.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1", st.Failovers)
+	}
+	for i := 0; i < 200; i++ {
+		v, ok := tbl.Get(kvKey(i))
+		if !ok || string(v) != string(kvValue(i)) {
+			t.Fatalf("after failover: key %d = %q %v", i, v, ok)
+		}
+	}
+	// Writes keep flowing on the promoted leader and ship to the remaining
+	// live follower.
+	for i := 200; i < 260; i++ {
+		tbl.Put(kvKey(i), kvValue(i))
+	}
+	// Second leader kill: the last live follower must take over.
+	s.KillNode(g.leader.nodeID())
+	if g.epoch != 2 {
+		t.Fatalf("epoch after second failover = %d, want 2", g.epoch)
+	}
+	rows := tbl.Scan(nil, nil, nil, 0)
+	if len(rows) != 260 {
+		t.Fatalf("rows after two failovers = %d, want 260", len(rows))
+	}
+}
+
+// TestKillReviveNoAckedWriteLoss cycles leader kills, post-failover writes
+// and node revivals, then checks that every acknowledged write survives and
+// all replicas converge — the invariant synchronous shipping buys.
+func TestKillReviveNoAckedWriteLoss(t *testing.T) {
+	s, tbl := replicatedStore(t, 3, nil)
+	g := firstGroup(t, tbl)
+	next := 0
+	write := func(n int) {
+		for i := 0; i < n; i++ {
+			tbl.Put(kvKey(next), kvValue(next))
+			next++
+		}
+	}
+	write(50)
+	for cycle := 0; cycle < 6; cycle++ {
+		dead := g.leader.nodeID()
+		s.KillNode(dead)
+		write(30) // acked while one node is down
+		s.ReviveNode(dead)
+		write(20) // acked after the demoted copy rejoined
+	}
+	if st := s.Stats().Snapshot(); st.Failovers != 6 {
+		t.Fatalf("Failovers = %d, want 6", st.Failovers)
+	}
+	rows := tbl.Scan(nil, nil, nil, 0)
+	if len(rows) != next {
+		t.Fatalf("acked-write loss: %d rows, want %d", len(rows), next)
+	}
+	for i := 0; i < next; i++ {
+		if string(rows[i].Key) != string(kvKey(i)) || string(rows[i].Value) != string(kvValue(i)) {
+			t.Fatalf("row %d = %q=%q, want %q=%q", i, rows[i].Key, rows[i].Value, kvKey(i), kvValue(i))
+		}
+	}
+	assertReplicaConvergence(t, s)
+}
+
+// TestStaleLeaderFencedOnRevive makes sure a deposed leader's unshipped
+// state is discarded: after its node revives it rejoins as a follower,
+// rebuilt by snapshot under the new epoch, identical to the new leader.
+func TestStaleLeaderFencedOnRevive(t *testing.T) {
+	s, tbl := replicatedStore(t, 3, nil)
+	g := firstGroup(t, tbl)
+	tbl.Put([]byte("k"), []byte("old"))
+	dead := g.leader.nodeID()
+	s.KillNode(dead)
+	tbl.Put([]byte("k"), []byte("new")) // committed under the new epoch
+	base := s.Stats().Snapshot()
+	s.ReviveNode(dead)
+	if d := s.Stats().Snapshot().CatchupSnapshots - base.CatchupSnapshots; d != 1 {
+		t.Fatalf("CatchupSnapshots delta = %d, want 1 (stale copy must rebuild)", d)
+	}
+	g.lock()
+	for _, f := range g.followers {
+		if f.stale || f.down {
+			t.Fatalf("follower on node %d still stale/down after revive", f.node)
+		}
+		v, ok := f.reg.get([]byte("k"))
+		if !ok || string(v) != "new" {
+			t.Fatalf("follower on node %d sees k=%q %v, want \"new\"", f.node, v, ok)
+		}
+	}
+	g.unlock()
+	assertReplicaConvergence(t, s)
+}
+
+// TestFollowerReadStalenessBound pins the staleness contract: a caught-up
+// follower serves bounded reads; a follower lagging beyond the bound is
+// routed around (the leader serves, so results are fresh); a lagging
+// follower inside a loose bound may serve, returning data no staler than
+// its last applied commit; catch-up restores eligibility at bound zero.
+func TestFollowerReadStalenessBound(t *testing.T) {
+	s, tbl := replicatedStore(t, 2, nil)
+	g := firstGroup(t, tbl)
+	f := g.followers[0]
+	for i := 0; i < 20; i++ {
+		tbl.Put(kvKey(i), kvValue(i))
+	}
+
+	scan := func(boundMS int64) ([]KV, ScanStatus) {
+		ctx := WithReadPref(context.Background(), ReadPref{MaxStalenessMS: boundMS})
+		rows, status, err := tbl.ScanCtx(ctx, nil, nil, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, status
+	}
+
+	// Caught-up follower serves under any non-negative bound, including 0.
+	rows, status := scan(0)
+	if status.FollowerReads != 1 {
+		t.Fatalf("caught-up bound 0: FollowerReads = %d, want 1", status.FollowerReads)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("caught-up bound 0: %d rows, want 20", len(rows))
+	}
+	// Negative bound pins the read to the leader.
+	if _, status = scan(-1); status.FollowerReads != 0 {
+		t.Fatalf("negative bound: FollowerReads = %d, want 0", status.FollowerReads)
+	}
+	// No preference at all never touches a follower.
+	if _, st2, err := tbl.ScanCtx(context.Background(), nil, nil, nil, 0); err != nil || st2.FollowerReads != 0 {
+		t.Fatalf("no pref: FollowerReads = %d err %v, want 0", st2.FollowerReads, err)
+	}
+
+	// Hold the follower back: mark it down, commit a write it won't see,
+	// then bring it back with a 10-second-old applied timestamp.
+	g.lock()
+	f.down = true
+	g.unlock()
+	tbl.Put(kvKey(20), kvValue(20))
+	g.lock()
+	f.down = false
+	f.appliedCommitNanos = time.Now().Add(-10 * time.Second).UnixNano()
+	g.unlock()
+
+	// Lag (~10s) exceeds a 100ms bound: the leader must serve, and the
+	// result includes the write the follower is missing.
+	rows, status = scan(100)
+	if status.FollowerReads != 0 {
+		t.Fatalf("tight bound on lagging follower: FollowerReads = %d, want 0", status.FollowerReads)
+	}
+	if len(rows) != 21 {
+		t.Fatalf("tight bound: %d rows, want 21 (leader-fresh)", len(rows))
+	}
+	// A loose bound admits the lagging follower; the rows it returns are
+	// its consistent-but-stale state — never fresher claims than it holds.
+	rows, status = scan(60_000)
+	if status.FollowerReads != 1 {
+		t.Fatalf("loose bound: FollowerReads = %d, want 1", status.FollowerReads)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("loose bound: %d rows, want the follower's 20", len(rows))
+	}
+
+	// Catch-up restores bound-0 eligibility with the fresh row visible.
+	g.lock()
+	g.catchUpLocked(f)
+	g.unlock()
+	rows, status = scan(0)
+	if status.FollowerReads != 1 || len(rows) != 21 {
+		t.Fatalf("after catch-up: FollowerReads=%d rows=%d, want 1/21", status.FollowerReads, len(rows))
+	}
+	if fr := s.Stats().Snapshot().FollowerReads; fr != 3 {
+		t.Fatalf("store FollowerReads counter = %d, want 3", fr)
+	}
+}
+
+// TestCatchupTailThenSnapshot exercises both catch-up gears through the
+// public kill/revive API: a short outage replays the retained tail, an
+// outage longer than the tail forces a snapshot rebuild.
+func TestCatchupTailThenSnapshot(t *testing.T) {
+	s, tbl := replicatedStore(t, 2, func(o *Options) { o.ReplicaTailFrames = 4 })
+	g := firstGroup(t, tbl)
+	fnode := g.followers[0].node
+	tbl.Put(kvKey(0), kvValue(0))
+
+	// Outage shorter than the tail: 3 missed commits, tail holds 4.
+	s.KillNode(fnode)
+	for i := 1; i <= 3; i++ {
+		tbl.Put(kvKey(i), kvValue(i))
+	}
+	base := s.Stats().Snapshot()
+	s.ReviveNode(fnode)
+	st := s.Stats().Snapshot()
+	if st.CatchupTail-base.CatchupTail != 1 || st.CatchupSnapshots != base.CatchupSnapshots {
+		t.Fatalf("short outage: tail %d→%d snapshots %d→%d, want one tail replay",
+			base.CatchupTail, st.CatchupTail, base.CatchupSnapshots, st.CatchupSnapshots)
+	}
+	assertReplicaConvergence(t, s)
+
+	// Outage longer than the tail: 10 missed commits fall off a 4-frame
+	// tail, so catch-up must rebuild from a snapshot.
+	s.KillNode(fnode)
+	for i := 4; i < 14; i++ {
+		tbl.Put(kvKey(i), kvValue(i))
+	}
+	base = s.Stats().Snapshot()
+	s.ReviveNode(fnode)
+	st = s.Stats().Snapshot()
+	if st.CatchupSnapshots-base.CatchupSnapshots != 1 || st.CatchupTail != base.CatchupTail {
+		t.Fatalf("long outage: tail %d→%d snapshots %d→%d, want one snapshot rebuild",
+			base.CatchupTail, st.CatchupTail, base.CatchupSnapshots, st.CatchupSnapshots)
+	}
+	assertReplicaConvergence(t, s)
+}
+
+// TestSplitCreatesReplicatedChildren: a region split under replication gives
+// each child its own follower set seeded with the child's half of the data.
+func TestSplitCreatesReplicatedChildren(t *testing.T) {
+	s, tbl := replicatedStore(t, 3, func(o *Options) {
+		o.RegionMaxBytes = 32 << 10
+		o.MemtableFlushBytes = 8 << 10
+	})
+	val := make([]byte, 128)
+	for i := 0; i < 1000; i++ {
+		tbl.Put(kvKey(i), val)
+	}
+	s.Quiesce()
+	if tbl.RegionCount() < 2 {
+		t.Fatalf("expected a split, still %d region(s)", tbl.RegionCount())
+	}
+	for _, r := range tbl.regionSnapshot() {
+		if r.rep == nil {
+			t.Fatalf("post-split region %d has no replication group", r.id)
+		}
+		if n := len(r.rep.followers); n != 2 {
+			t.Fatalf("post-split region %d has %d followers, want 2", r.id, n)
+		}
+	}
+	assertReplicaConvergence(t, s)
+}
+
+// TestReplicationRaceStress runs writers, bounded follower readers and a
+// kill/revive chaos loop concurrently — the test the CI replication job pins
+// under the race detector — then checks full convergence and zero acked-
+// write loss once the dust settles.
+func TestReplicationRaceStress(t *testing.T) {
+	s, tbl := replicatedStore(t, 3, nil)
+	const writers, perWriter = 4, 150
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Appendf(nil, "w%d-%05d", w, i)
+				if i%10 == 9 {
+					batch := []KV{{Key: key, Value: kvValue(i)}}
+					tbl.MultiPut(batch)
+				} else {
+					tbl.Put(key, kvValue(i))
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // chaos: rolling single-node outages
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			node := i % s.Nodes()
+			s.KillNode(node)
+			s.ReviveNode(node)
+		}
+	}()
+	for rdr := 0; rdr < 2; rdr++ {
+		wg.Add(1)
+		go func(bound int64) {
+			defer wg.Done()
+			ctx := WithReadPref(context.Background(), ReadPref{MaxStalenessMS: bound})
+			for i := 0; i < 60; i++ {
+				if _, _, err := tbl.ScanCtx(ctx, nil, nil, nil, 0); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}(int64(rdr * 50))
+	}
+	wg.Wait()
+	for n := 0; n < s.Nodes(); n++ {
+		s.ReviveNode(n)
+	}
+	rows := tbl.Scan(nil, nil, nil, 0)
+	if want := writers * perWriter; len(rows) != want {
+		t.Fatalf("acked-write loss under chaos: %d rows, want %d", len(rows), want)
+	}
+	assertReplicaConvergence(t, s)
+}
+
+// BenchmarkFollowerReadScaling measures bounded-staleness reads as replicas
+// are added, on a cluster where two of five nodes are 8x slow. The cost
+// model charges analytic I/O per scan (nothing sleeps), so the replica win
+// shows up in the reported sim-io-ns/op: with RF=1 a region homed on a slow
+// node pays the multiplier on every read, with RF>=2 reads route to a fast
+// replica. CPU ns/op stays roughly flat — follower routing itself is cheap.
+func BenchmarkFollowerReadScaling(b *testing.B) {
+	for _, rf := range []int{1, 2, 3, 5} {
+		b.Run(fmt.Sprintf("rf=%d", rf), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Replicas = rf
+			opts.Fault = FaultConfig{Seed: 1, SlowNodes: map[int]float64{0: 8, 1: 8}}
+			s := Open(opts)
+			defer s.Close()
+			tbl, err := s.CreateTable("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 2000; i++ {
+				tbl.Put(kvKey(i), kvValue(i))
+			}
+			ctx := WithReadPref(context.Background(), ReadPref{MaxStalenessMS: 100})
+			base := s.Stats().Snapshot().SimIONanos
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := tbl.ScanCtx(ctx, kvKey(500), kvKey(600), nil, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			simIO := s.Stats().Snapshot().SimIONanos - base
+			b.ReportMetric(float64(simIO)/float64(b.N), "sim-io-ns/op")
+		})
+	}
+}
+
+// BenchmarkFailover measures recovery: each iteration kills the current
+// leader's node (promoting a follower for every group led there) and then
+// revives it (snapshot catch-up of the demoted copy), on a 5000-row region
+// at RF=3. The kill half alone is the paper-facing "recovery time after
+// leader kill"; the cycle bounds it from above.
+func BenchmarkFailover(b *testing.B) {
+	opts := NoNetworkOptions()
+	opts.Replicas = 3
+	s := Open(opts)
+	defer s.Close()
+	tbl, err := s.CreateTable("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		tbl.Put(kvKey(i), kvValue(i))
+	}
+	g := firstGroup(b, tbl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dead := g.leader.nodeID()
+		s.KillNode(dead)
+		s.ReviveNode(dead)
+	}
+}

@@ -33,6 +33,20 @@ type Stats struct {
 	PartialScans  atomic.Int64
 	WALAppends    atomic.Int64
 	WALSyncs      atomic.Int64
+
+	// Replication counters: BackoffNanos is the analytic retry backoff
+	// charged across all client RPC paths; ShipFrames/ShipRejects count
+	// leader→follower frame deliveries and fenced/corrupt rejections;
+	// CatchupTail/CatchupSnapshots count the two catch-up gears; Failovers
+	// counts leader promotions; FollowerReads counts region scans served by
+	// a follower under a staleness bound.
+	BackoffNanos     atomic.Int64
+	ShipFrames       atomic.Int64
+	ShipRejects      atomic.Int64
+	CatchupTail      atomic.Int64
+	CatchupSnapshots atomic.Int64
+	Failovers        atomic.Int64
+	FollowerReads    atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -54,6 +68,14 @@ type Snapshot struct {
 	PartialScans  int64
 	WALAppends    int64
 	WALSyncs      int64
+
+	BackoffNanos     int64
+	ShipFrames       int64
+	ShipRejects      int64
+	CatchupTail      int64
+	CatchupSnapshots int64
+	Failovers        int64
+	FollowerReads    int64
 }
 
 // Snapshot returns the current counter values.
@@ -76,6 +98,14 @@ func (s *Stats) Snapshot() Snapshot {
 		PartialScans:  s.PartialScans.Load(),
 		WALAppends:    s.WALAppends.Load(),
 		WALSyncs:      s.WALSyncs.Load(),
+
+		BackoffNanos:     s.BackoffNanos.Load(),
+		ShipFrames:       s.ShipFrames.Load(),
+		ShipRejects:      s.ShipRejects.Load(),
+		CatchupTail:      s.CatchupTail.Load(),
+		CatchupSnapshots: s.CatchupSnapshots.Load(),
+		Failovers:        s.Failovers.Load(),
+		FollowerReads:    s.FollowerReads.Load(),
 	}
 }
 
@@ -98,6 +128,14 @@ func (s *Stats) Reset() {
 	s.PartialScans.Store(0)
 	s.WALAppends.Store(0)
 	s.WALSyncs.Store(0)
+
+	s.BackoffNanos.Store(0)
+	s.ShipFrames.Store(0)
+	s.ShipRejects.Store(0)
+	s.CatchupTail.Store(0)
+	s.CatchupSnapshots.Store(0)
+	s.Failovers.Store(0)
+	s.FollowerReads.Store(0)
 }
 
 // Diff returns b - a field-wise, for measuring a single operation.
@@ -120,5 +158,13 @@ func Diff(a, b Snapshot) Snapshot {
 		PartialScans:  b.PartialScans - a.PartialScans,
 		WALAppends:    b.WALAppends - a.WALAppends,
 		WALSyncs:      b.WALSyncs - a.WALSyncs,
+
+		BackoffNanos:     b.BackoffNanos - a.BackoffNanos,
+		ShipFrames:       b.ShipFrames - a.ShipFrames,
+		ShipRejects:      b.ShipRejects - a.ShipRejects,
+		CatchupTail:      b.CatchupTail - a.CatchupTail,
+		CatchupSnapshots: b.CatchupSnapshots - a.CatchupSnapshots,
+		Failovers:        b.Failovers - a.Failovers,
+		FollowerReads:    b.FollowerReads - a.FollowerReads,
 	}
 }

@@ -42,6 +42,15 @@ type Options struct {
 	// the physical cost behind the paper's "candidates" metric. Zero
 	// disables the charge.
 	DiskMBps int
+	// Replicas is the number of copies of each region, leader included.
+	// <= 1 disables replication. Followers are placed on distinct nodes
+	// (clamped to the node count) and kept in sync by synchronous WAL-frame
+	// shipping; see replication.go.
+	Replicas int
+	// ReplicaTailFrames bounds the per-region log tail retained for
+	// follower catch-up: a follower that fell further behind than this many
+	// commits is rebuilt from a leader snapshot instead of a tail replay.
+	ReplicaTailFrames int
 	// Fault configures deterministic fault injection on the client RPC
 	// paths (ScanCtx/ScanRangesCtx/GetCtx/PutCtx). The zero value disables
 	// injection.
@@ -101,6 +110,12 @@ func (o *Options) sanitize() {
 	if o.FlushWorkers <= 0 {
 		o.FlushWorkers = def.FlushWorkers
 	}
+	if o.Replicas > o.Nodes {
+		o.Replicas = o.Nodes
+	}
+	if o.ReplicaTailFrames <= 0 {
+		o.ReplicaTailFrames = 1024
+	}
 	o.Retry.sanitize()
 }
 
@@ -116,6 +131,12 @@ type Store struct {
 	injector  *faultInjector // nil when fault injection is disabled
 	pool      *workPool      // shared bounded executor for region scan/write tasks
 	fl        *flusher       // background memtable flusher/compactor
+
+	// Node liveness (KillNode/ReviveNode). anyDead keeps the per-RPC check
+	// to one atomic load until the first kill.
+	nodeMu    sync.RWMutex
+	deadNodes map[int]bool
+	anyDead   atomic.Bool
 
 	// Durability (set by OpenDir; nil for in-memory stores).
 	dir string
@@ -209,9 +230,21 @@ func (s *Store) TotalRegions() int {
 // Nodes returns the configured simulated node count.
 func (s *Store) Nodes() int { return s.opts.Nodes }
 
-// nextNode assigns the next region to a node round-robin.
+// nextNode assigns the next region to a node round-robin, skipping nodes
+// that are currently dead (a split during an outage must not home the new
+// region on a node that cannot serve). With every node dead it falls back to
+// the raw rotation — nothing can serve anyway.
 func (s *Store) nextNode() int {
-	return int(s.nodeSeq.Add(1)-1) % s.opts.Nodes
+	n := int(s.nodeSeq.Add(1)-1) % s.opts.Nodes
+	if s.nodeAlive(n) {
+		return n
+	}
+	for i := 1; i < s.opts.Nodes; i++ {
+		if cand := (n + i) % s.opts.Nodes; s.nodeAlive(cand) {
+			return cand
+		}
+	}
+	return n
 }
 
 // nextRegionID issues store-unique region ids; with a deterministic load

@@ -39,6 +39,7 @@ type Table struct {
 func newTable(name string, store *Store) *Table {
 	t := &Table{name: name, store: store}
 	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.fl)}
+	store.initReplication(t.regions[0])
 	return t
 }
 
@@ -90,6 +91,9 @@ func (t *Table) PreSplit(keys [][]byte) error {
 	}
 	regions = append(regions, newRegion(t.store.nextRegionID(), start, nil,
 		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl))
+	for _, r := range regions {
+		t.store.initReplication(r)
+	}
 	t.regions = regions
 	return nil
 }
@@ -188,7 +192,13 @@ func (t *Table) rpcWithRetry(ctx context.Context, r *region) error {
 			charge()
 			return context.DeadlineExceeded
 		}
-		err := in.attempt(r, &t.store.stats)
+		var err error
+		if !t.store.nodeAlive(r.nodeID()) {
+			t.store.stats.FailedRPCs.Add(1)
+			err = ErrNodeDead
+		} else {
+			err = in.attempt(r, &t.store.stats)
+		}
 		if err == nil {
 			charge()
 			return nil
@@ -197,9 +207,20 @@ func (t *Table) rpcWithRetry(ctx context.Context, r *region) error {
 			charge()
 			return fmt.Errorf("kvstore: %d attempts on table %q: %w", attempt, t.name, errors.Join(ErrRetriesExhausted, err))
 		}
-		local += pol.backoff(attempt, in.unit(r.id, r.faultSeq.Add(1)))
+		b := pol.backoff(attempt, unitOrHalf(in, r))
+		local += b
+		t.store.stats.BackoffNanos.Add(int64(b))
 		t.store.stats.RetriedRPCs.Add(1)
 	}
+}
+
+// unitOrHalf samples the deterministic jitter unit, or the midpoint when no
+// injector is configured (node kills can force retries without one).
+func unitOrHalf(in *faultInjector, r *region) float64 {
+	if in == nil {
+		return 0.5
+	}
+	return in.unit(r.id, r.faultSeq.Add(1))
 }
 
 // maybeSplit splits region r in two if it is still oversized. The table
@@ -237,12 +258,16 @@ func (t *Table) maybeSplit(r *region) {
 		r.writeBytes.Store(entriesCharge(entries))
 		return
 	}
-	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.node, r.flushBytes, r.maxRuns, t.store.fl)
+	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, t.store.fl)
 	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, t.store.fl)
 	left.runs = []*sortedRun{newSortedRun(entries[:cut])}
 	right.runs = []*sortedRun{newSortedRun(entries[cut:])}
 	left.writeBytes.Store(entriesCharge(entries[:cut]))
 	right.writeBytes.Store(entriesCharge(entries[cut:]))
+	// Children get fresh replication groups seeded from their runs; the
+	// parent's group (and its followers) is dropped with the parent.
+	t.store.initReplication(left)
+	t.store.initReplication(right)
 	// Freshly moved regions are briefly unavailable to clients, as in HBase.
 	t.store.injector.markUnavailable(left)
 	t.store.injector.markUnavailable(right)
@@ -283,7 +308,7 @@ func (t *Table) runWriteTask(tk *writeTask) {
 			io += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
 		}
 	}
-	if scale := t.store.injector.latencyScale(tk.reg.node); scale != 1 {
+	if scale := t.store.injector.latencyScale(tk.reg.nodeID()); scale != 1 {
 		io = time.Duration(float64(io) * scale)
 	}
 	tk.cost += io
@@ -460,7 +485,13 @@ func (t *Table) MultiPutCtx(ctx context.Context, rows []KV) (MultiPutReport, err
 				tk.failed = true
 				return
 			}
-			err := injector.attempt(tk.reg, &t.store.stats)
+			var err error
+			if !t.store.nodeAlive(tk.reg.nodeID()) {
+				t.store.stats.FailedRPCs.Add(1)
+				err = ErrNodeDead
+			} else {
+				err = injector.attempt(tk.reg, &t.store.stats)
+			}
 			if err == nil {
 				break
 			}
@@ -468,7 +499,9 @@ func (t *Table) MultiPutCtx(ctx context.Context, rows []KV) (MultiPutReport, err
 				tk.failed = true
 				return
 			}
-			tk.cost += pol.backoff(attempt, injector.unit(tk.reg.id, tk.reg.faultSeq.Add(1)))
+			b := pol.backoff(attempt, unitOrHalf(injector, tk.reg))
+			tk.cost += b
+			t.store.stats.BackoffNanos.Add(int64(b))
 			retried.Add(1)
 			t.store.stats.RetriedRPCs.Add(1)
 		}
@@ -586,24 +619,50 @@ var singleRangeIdx = []int{0}
 
 // runScanTask executes one region task: the client retry loop under fault
 // injection, then the region scans, then the analytic I/O cost accounting.
-// Results land in tk; only the retry counter is shared across tasks.
-func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limit int, injector *faultInjector, expired func(time.Duration) bool, retried *atomic.Int64) {
+// Results land in tk; only the retry and follower-read counters are shared
+// across tasks.
+//
+// With a follower-read preference the serving copy is re-resolved on every
+// attempt: a follower within the staleness bound (on the fastest live node)
+// serves the scan, otherwise the leader does — and a dead leader node fails
+// the attempt so a retry can land on a promoted or revived replica.
+func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limit int, fallible bool, injector *faultInjector, pref *ReadPref, expired func(time.Duration) bool, retried, followerReads *atomic.Int64) {
 	pol := t.store.opts.Retry
 	rpcLatency := time.Duration(t.store.opts.RPCLatencyMicros) * time.Microsecond
 	mbps := t.store.opts.TransferMBps
 	diskMBps := t.store.opts.DiskMBps
 
+	serveReg, serveNode := tk.reg, tk.reg.nodeID()
+	resolve := func() {
+		serveReg, serveNode = tk.reg, tk.reg.nodeID()
+		if pref == nil {
+			return
+		}
+		if g := tk.reg.rep; g != nil {
+			if f := g.pickFollower(pref.MaxStalenessMS); f != nil {
+				serveReg, serveNode = f.reg, f.node
+			}
+		}
+	}
+
 	var cost time.Duration
 	// Client retry loop: every injected fault costs one analytic backoff;
 	// the task gives up on deadline expiry or exhausted attempts, failing
 	// only its own region.
-	for attempt := 1; ; attempt++ {
+	for attempt := 1; fallible; attempt++ {
 		if expired(cost) {
 			tk.failed = true
 			tk.cost = cost
 			return
 		}
-		err := injector.attempt(tk.reg, &t.store.stats)
+		resolve()
+		var err error
+		if !t.store.nodeAlive(serveNode) {
+			t.store.stats.FailedRPCs.Add(1)
+			err = ErrNodeDead
+		} else {
+			err = injector.attempt(tk.reg, &t.store.stats)
+		}
 		if err == nil {
 			break
 		}
@@ -612,9 +671,14 @@ func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limi
 			tk.cost = cost
 			return
 		}
-		cost += pol.backoff(attempt, injector.unit(tk.reg.id, tk.reg.faultSeq.Add(1)))
+		b := pol.backoff(attempt, unitOrHalf(injector, tk.reg))
+		cost += b
+		t.store.stats.BackoffNanos.Add(int64(b))
 		retried.Add(1)
 		t.store.stats.RetriedRPCs.Add(1)
+	}
+	if serveReg != tk.reg {
+		followerReads.Add(1)
 	}
 	var out []KV
 	var scanned int64
@@ -622,7 +686,7 @@ func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limi
 		kr := ranges[ri]
 		var hit bool
 		var sb, rows int64
-		out, hit, sb, rows = tk.reg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats)
+		out, hit, sb, rows = serveReg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats)
 		scanned += sb
 		tk.rows += rows
 		if hit {
@@ -642,7 +706,7 @@ func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limi
 		}
 		io += time.Duration(float64(bytes) / float64(mbps) * float64(time.Second) / (1 << 20))
 	}
-	if scale := injector.latencyScale(tk.reg.node); scale != 1 {
+	if scale := injector.latencyScale(serveNode); scale != 1 {
 		io = time.Duration(float64(io) * scale)
 	}
 	tk.cost = cost + io
@@ -716,6 +780,14 @@ func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter
 	if !fallible {
 		injector = nil
 	}
+	// Follower reads are a client-path feature: the trusted in-process scans
+	// (snapshots, index rebuilds) always read the leader.
+	var pref *ReadPref
+	if fallible && t.store.opts.Replicas > 1 {
+		if p, ok := ReadPrefFrom(ctx); ok {
+			pref = &p
+		}
+	}
 	budget := budgetFrom(ctx)
 	deadline, hasDeadline := time.Time{}, false
 	if fallible {
@@ -742,9 +814,10 @@ func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter
 	// the per-query semaphore used to enforce. One `run` closure is shared
 	// by all of this query's tasks, and each task writes only into its own
 	// scanTask slot, so queries never share result state.
+	var followerReads atomic.Int64
 	var wg sync.WaitGroup
 	run := func(tk *scanTask) {
-		t.runScanTask(tk, ranges, filter, limit, injector, expired, &retried)
+		t.runScanTask(tk, ranges, filter, limit, fallible, injector, pref, expired, &retried, &followerReads)
 	}
 	wg.Add(len(tasks))
 	for i := range tasks {
@@ -773,7 +846,10 @@ func (t *Table) scanRanges(ctx context.Context, ranges []KeyRange, filter Filter
 	t.store.stats.SimIONanos.Add(int64(makespan))
 	budget.Charge(makespan)
 
-	status := ScanStatus{RetriedRPCs: retried.Load()}
+	status := ScanStatus{RetriedRPCs: retried.Load(), FollowerReads: followerReads.Load()}
+	if status.FollowerReads > 0 {
+		t.store.stats.FollowerReads.Add(status.FollowerReads)
+	}
 	totalOut := 0
 	for i := range tasks {
 		if tasks[i].failed {
@@ -839,6 +915,7 @@ func (t *Table) recordScanSpan(span *obs.Span, tasks []scanTask, totalOut int, m
 	span.Add("rpcs", int64(len(tasks)-status.FailedRegions))
 	span.Add("retried_rpcs", status.RetriedRPCs)
 	span.Add("failed_regions", int64(status.FailedRegions))
+	span.Add("follower_reads", status.FollowerReads)
 	span.Add("sim_io_ns", int64(makespan))
 	for i := range tasks {
 		if i == maxRegionSpans {

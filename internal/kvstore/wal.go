@@ -99,17 +99,7 @@ func (w *wal) appendBatch(table string, rows []KV) error {
 	if cap(w.scratch) < n {
 		w.scratch = make([]byte, 0, n)
 	}
-	out := w.scratch[:0]
-	out = append(out, opBatch)
-	out = binary.LittleEndian.AppendUint16(out, uint16(len(table)))
-	out = append(out, table...)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(rows)))
-	for i := range rows {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(rows[i].Key)))
-		out = append(out, rows[i].Key...)
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(rows[i].Value)))
-		out = append(out, rows[i].Value...)
-	}
+	out := appendBatchPayload(w.scratch[:0], table, rows)
 	w.scratch = out
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(out, crcTable))

@@ -34,6 +34,7 @@ package tman
 
 import (
 	"context"
+	"time"
 
 	"github.com/tman-db/tman/internal/engine"
 	"github.com/tman-db/tman/internal/geo"
@@ -161,6 +162,25 @@ func WithFaultInjection(fc FaultConfig) Option {
 // bounds, jitter). Zero fields fall back to DefaultRetryPolicy values.
 func WithRetryPolicy(rp RetryPolicy) Option {
 	return func(c *engine.Config) { c.KV.Retry = rp }
+}
+
+// WithReplication gives every region n copies (leader included) on distinct
+// simulated nodes, kept in sync by synchronous WAL-frame shipping. A node
+// death (Engine.Store().KillNode) promotes a follower deterministically with
+// epoch fencing, so acked writes survive any single node loss while one
+// follower is live; reads can opt into bounded-staleness follower serving
+// with WithMaxStaleness. n <= 1 disables replication.
+func WithReplication(n int) Option {
+	return func(c *engine.Config) { c.KV.Replicas = n }
+}
+
+// WithMaxStaleness lets queries under ctx be served by follower replicas at
+// most maxStaleness behind the leader — the follower-read knob exposed over
+// HTTP as ?max_staleness_ms=. Zero accepts only fully caught-up followers; a
+// negative duration pins reads to the leader (the default without this
+// option). Replication must be enabled for it to have any effect.
+func WithMaxStaleness(ctx context.Context, maxStaleness time.Duration) context.Context {
+	return kvstore.WithReadPref(ctx, kvstore.ReadPref{MaxStalenessMS: int64(maxStaleness / time.Millisecond)})
 }
 
 // WithTraceSampling records a full trace-span tree for the given fraction
