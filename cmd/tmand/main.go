@@ -48,6 +48,9 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "log level: debug|info|warn|error")
 		slowQueryMS = flag.Int("slow-query-ms", 0, "WARN-log requests slower than this many ms (0 = disabled)")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of queries to trace into the trace ring (0..1)")
+		blockSize   = flag.Int("block-size", 0, "encoded run block size in bytes (0 = 4096, min 512)")
+		blockCache  = flag.Int("block-cache-mb", 0, "decoded block cache capacity in MiB (0 = 32, negative disables)")
+		bloomBits   = flag.Int("bloom-bits", 0, "bloom filter bits per key (0 = 10, negative disables)")
 	)
 	flag.Parse()
 
@@ -84,6 +87,13 @@ func main() {
 		tman.WithShapeGrid(*alpha, *beta, *g),
 		tman.WithShapeEncoding(enc),
 		tman.WithTraceSampling(*traceSample),
+	}
+	if *blockSize != 0 || *blockCache != 0 || *bloomBits != 0 {
+		cacheBytes := *blockCache
+		if cacheBytes > 0 {
+			cacheBytes <<= 20
+		}
+		opts = append(opts, tman.WithBlockTuning(*blockSize, *bloomBits, cacheBytes))
 	}
 	if *dataDir != "" {
 		opts = append(opts, tman.WithDataDir(*dataDir))

@@ -1,0 +1,342 @@
+package cache
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// BlockCache is the store-wide cache of decompressed run blocks: a sharded,
+// byte-charged LFU with singleflight loads. It reuses the index cache's
+// design — splitmix64 shard routing and frequency-bucket LFU — but charges
+// entries by decoded size instead of by count, because blocks are three
+// orders of magnitude heavier than shape directories and a count cap would
+// make the resident ceiling depend on the workload's value sizes. Unlike
+// the index LFU, buckets group entries by the power-of-two tier of their
+// hit count rather than the exact count: a warm scan hits every resident
+// block on every pass, and exact-count bucket surgery (detach, allocate the
+// next bucket, attach) on each of those hits dominated the read path. With
+// tiers, the common hit is a bare counter increment; list surgery happens
+// only when the count crosses a power of two, while eviction order is still
+// coldest-tier-first.
+//
+// Values are opaque (any): the kvstore caches *decodedBlock without this
+// package importing it. Keys pack (run id, block number); run ids are never
+// reused, so entries for dropped runs simply age out under LFU pressure —
+// no invalidation protocol is needed, and runs shared across replicas keep
+// their cached blocks through compactions of other copies.
+type BlockCache struct {
+	shards []*bcShard
+	mask   uint64
+}
+
+// LoadKind describes how GetOrLoad satisfied a request.
+type LoadKind int
+
+const (
+	// CacheHit: the block was resident.
+	CacheHit LoadKind = iota
+	// CacheLoad: this caller ran the loader (a charged miss).
+	CacheLoad
+	// CacheShared: another caller's in-flight load was joined; no new
+	// physical read happened.
+	CacheShared
+)
+
+// NewBlockCache builds a cache bounded by capacityBytes of decoded blocks,
+// split over shards (rounded up to a power of two; 0 means
+// DefaultCacheShards). Each shard holds capacity/shards bytes.
+func NewBlockCache(capacityBytes int64, shards int) *BlockCache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if capacityBytes < 1 {
+		capacityBytes = 1
+	}
+	per := capacityBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	c := &BlockCache{shards: make([]*bcShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &bcShard{
+			capBytes: per,
+			entries:  make(map[uint64]*bcEntry),
+			flight:   make(map[uint64]*bcFlight),
+		}
+	}
+	return c
+}
+
+func (c *BlockCache) shard(key uint64) *bcShard {
+	h := key
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return c.shards[h&c.mask]
+}
+
+// GetOrLoad returns the cached value for key, running load (deduplicated
+// against concurrent callers of the same key) on a miss and installing its
+// result with the charge it reports. The returned kind tells the caller
+// whether a physical read was performed, so the cost model can charge
+// exactly one disk read per leader load.
+func (c *BlockCache) GetOrLoad(key uint64, load func() (any, int64, error)) (any, LoadKind, error) {
+	return c.shard(key).getOrLoad(key, load)
+}
+
+// Get returns the cached value without loading.
+func (c *BlockCache) Get(key uint64) (any, bool) { return c.shard(key).get(key) }
+
+// Invalidate drops a cached block.
+func (c *BlockCache) Invalidate(key uint64) { c.shard(key).invalidate(key) }
+
+// UsedBytes returns the resident decoded bytes across shards.
+func (c *BlockCache) UsedBytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.usedBytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the number of resident blocks.
+func (c *BlockCache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard counters. SharedLoads counts misses that
+// joined another caller's in-flight load instead of reading themselves.
+func (c *BlockCache) Stats() CacheStats {
+	var out CacheStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Hits += s.hits
+		out.Misses += s.misses
+		out.Evictions += s.evicts
+		out.SharedLoads += s.shared
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// bcEntry is one resident block with its charge and frequency-bucket links.
+// freq is the exact hit count; the entry lives in the bucket for
+// tierOf(freq), so most bumps touch nothing but the counter.
+type bcEntry struct {
+	key        uint64
+	value      any
+	charge     int64
+	freq       int
+	prev, next *bcEntry
+	bucketOf   *bcBucket
+}
+
+// tierOf maps a hit count to its power-of-two tier: 1→1, 2..3→2, 4..7→3.
+func tierOf(freq int) int { return bits.Len(uint(freq)) }
+
+// bcBucket is a doubly-linked list of entries sharing a frequency tier,
+// newest at head; buckets are kept sorted by tier, coldest first.
+type bcBucket struct {
+	tier       int
+	head, tail *bcEntry
+	prev, next *bcBucket
+}
+
+// bcFlight is one load in progress; joiners wait on wg and read the result
+// fields afterwards (written exactly once, before Done).
+type bcFlight struct {
+	wg     sync.WaitGroup
+	value  any
+	charge int64
+	err    error
+}
+
+type bcShard struct {
+	mu        sync.Mutex
+	capBytes  int64
+	usedBytes int64
+	entries   map[uint64]*bcEntry
+	buckets   *bcBucket
+	flight    map[uint64]*bcFlight
+
+	hits, misses, shared, evicts int64
+}
+
+func (s *bcShard) get(key uint64) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.bump(e)
+	return e.value, true
+}
+
+func (s *bcShard) getOrLoad(key uint64, load func() (any, int64, error)) (any, LoadKind, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.hits++
+		s.bump(e)
+		v := e.value
+		s.mu.Unlock()
+		return v, CacheHit, nil
+	}
+	if f, ok := s.flight[key]; ok {
+		s.shared++
+		s.mu.Unlock()
+		f.wg.Wait()
+		return f.value, CacheShared, f.err
+	}
+	f := &bcFlight{}
+	f.wg.Add(1)
+	s.flight[key] = f
+	s.mu.Unlock()
+
+	f.value, f.charge, f.err = load()
+
+	s.mu.Lock()
+	if s.flight[key] == f {
+		delete(s.flight, key)
+	}
+	s.misses++
+	if f.err == nil {
+		s.install(key, f.value, f.charge)
+	}
+	s.mu.Unlock()
+	f.wg.Done()
+	return f.value, CacheLoad, f.err
+}
+
+func (s *bcShard) invalidate(key uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.detach(e)
+		delete(s.entries, key)
+		s.usedBytes -= e.charge
+	}
+}
+
+// install inserts a freshly loaded block and evicts until the shard fits.
+// Oversized blocks (charge beyond the whole shard) are served uncached.
+func (s *bcShard) install(key uint64, v any, charge int64) {
+	if charge > s.capBytes {
+		return
+	}
+	if e, ok := s.entries[key]; ok { // racing loads of the same key
+		s.usedBytes += charge - e.charge
+		e.value, e.charge = v, charge
+		s.bump(e)
+	} else {
+		e = &bcEntry{key: key, value: v, charge: charge, freq: 1}
+		s.entries[key] = e
+		s.attach(e)
+		s.usedBytes += charge
+	}
+	for s.usedBytes > s.capBytes && s.buckets != nil {
+		victim := s.buckets.tail
+		s.detach(victim)
+		delete(s.entries, victim.key)
+		s.usedBytes -= victim.charge
+		s.evicts++
+	}
+}
+
+// --- O(1) LFU bucket plumbing (byte-charged variant of lfu.go) -----------
+
+func (s *bcShard) attach(e *bcEntry) {
+	b := s.findOrInsertBucket(tierOf(e.freq))
+	e.prev = nil
+	e.next = b.head
+	if b.head != nil {
+		b.head.prev = e
+	}
+	b.head = e
+	if b.tail == nil {
+		b.tail = e
+	}
+	e.bucketOf = b
+}
+
+func (s *bcShard) detach(e *bcEntry) {
+	b := e.bucketOf
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	if b.head == nil {
+		s.removeBucket(b)
+	}
+	e.bucketOf = nil
+}
+
+// bump records a hit. The hot path — the new count stays inside the
+// entry's current tier — is a plain increment; only a tier crossing (count
+// reaching a power of two) pays for list surgery.
+func (s *bcShard) bump(e *bcEntry) {
+	e.freq++
+	if tierOf(e.freq) == e.bucketOf.tier {
+		return
+	}
+	s.detach(e)
+	s.attach(e)
+}
+
+func (s *bcShard) findOrInsertBucket(tier int) *bcBucket {
+	if s.buckets == nil || s.buckets.tier > tier {
+		b := &bcBucket{tier: tier, next: s.buckets}
+		if s.buckets != nil {
+			s.buckets.prev = b
+		}
+		s.buckets = b
+		return b
+	}
+	cur := s.buckets
+	for cur.next != nil && cur.next.tier <= tier {
+		cur = cur.next
+	}
+	if cur.tier == tier {
+		return cur
+	}
+	b := &bcBucket{tier: tier, prev: cur, next: cur.next}
+	if cur.next != nil {
+		cur.next.prev = b
+	}
+	cur.next = b
+	return b
+}
+
+func (s *bcShard) removeBucket(b *bcBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.buckets = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}

@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// load returns a loader producing a distinct value with the given charge,
+// counting how many times it actually ran.
+func countingLoader(calls *atomic.Int64, v any, charge int64) func() (any, int64, error) {
+	return func() (any, int64, error) {
+		calls.Add(1)
+		return v, charge, nil
+	}
+}
+
+func TestBlockCacheHitMissStats(t *testing.T) {
+	c := NewBlockCache(1<<20, 1)
+	var calls atomic.Int64
+
+	v, kind, err := c.GetOrLoad(1, countingLoader(&calls, "a", 100))
+	if err != nil || v != "a" || kind != CacheLoad {
+		t.Fatalf("first access = (%v, %v, %v), want load of a", v, kind, err)
+	}
+	v, kind, _ = c.GetOrLoad(1, countingLoader(&calls, "wrong", 100))
+	if v != "a" || kind != CacheHit {
+		t.Fatalf("second access = (%v, %v), want cached a", v, kind)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if c.UsedBytes() != 100 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d, want 100/1", c.UsedBytes(), c.Len())
+	}
+}
+
+func TestBlockCacheByteCapEviction(t *testing.T) {
+	// Single shard, 1000-byte cap, 300-byte blocks: at most 3 resident.
+	c := NewBlockCache(1000, 1)
+	var calls atomic.Int64
+	for k := uint64(0); k < 10; k++ {
+		c.GetOrLoad(k, countingLoader(&calls, k, 300))
+	}
+	if used := c.UsedBytes(); used > 1000 {
+		t.Fatalf("used %d bytes, cap 1000", used)
+	}
+	if n := c.Len(); n > 3 {
+		t.Fatalf("%d blocks resident, at most 3 fit", n)
+	}
+	if st := c.Stats(); st.Evictions < 7 {
+		t.Fatalf("evictions = %d, want >= 7", st.Evictions)
+	}
+
+	// An entry larger than the whole shard is served but never installed.
+	before := c.Len()
+	if _, kind, _ := c.GetOrLoad(99, countingLoader(&calls, "big", 4000)); kind != CacheLoad {
+		t.Fatalf("oversized load kind = %v", kind)
+	}
+	if _, ok := c.Get(99); ok {
+		t.Fatal("oversized block was installed")
+	}
+	if c.Len() != before {
+		t.Fatal("oversized load changed residency")
+	}
+}
+
+func TestBlockCacheLFUKeepsHotBlocks(t *testing.T) {
+	c := NewBlockCache(1000, 1)
+	var calls atomic.Int64
+	c.GetOrLoad(1, countingLoader(&calls, "hot", 300))
+	for i := 0; i < 10; i++ {
+		c.GetOrLoad(1, countingLoader(&calls, "hot", 300))
+	}
+	// Stream cold blocks through; the hot block must survive.
+	for k := uint64(100); k < 110; k++ {
+		c.GetOrLoad(k, countingLoader(&calls, k, 300))
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("hot block evicted by cold streaming blocks")
+	}
+}
+
+func TestBlockCacheInvalidate(t *testing.T) {
+	c := NewBlockCache(1<<20, 0)
+	var calls atomic.Int64
+	c.GetOrLoad(7, countingLoader(&calls, "v", 50))
+	c.Invalidate(7)
+	if _, ok := c.Get(7); ok {
+		t.Fatal("invalidated block still resident")
+	}
+	if c.UsedBytes() != 0 {
+		t.Fatalf("used = %d after invalidate, want 0", c.UsedBytes())
+	}
+	c.Invalidate(7) // absent key: must be a no-op
+}
+
+func TestBlockCacheLoadErrorNotCached(t *testing.T) {
+	c := NewBlockCache(1<<20, 1)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrLoad(5, func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get(5); ok {
+		t.Fatal("failed load was installed")
+	}
+	var calls atomic.Int64
+	if v, kind, err := c.GetOrLoad(5, countingLoader(&calls, "ok", 10)); err != nil || v != "ok" || kind != CacheLoad {
+		t.Fatalf("retry after failed load = (%v, %v, %v)", v, kind, err)
+	}
+}
+
+// TestBlockCacheSingleflight hammers one key from many goroutines with a
+// loader that blocks until every goroutine has arrived: exactly one loader
+// run, everyone gets the same value, joiners report CacheShared.
+func TestBlockCacheSingleflight(t *testing.T) {
+	c := NewBlockCache(1<<20, 1)
+	const workers = 16
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	var kinds [workers]LoadKind
+	var vals [workers]any
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, kind, err := c.GetOrLoad(42, func() (any, int64, error) {
+				calls.Add(1)
+				<-gate // hold the flight open so others must join
+				return "shared", 64, nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			vals[i], kinds[i] = v, kind
+		}(i)
+	}
+	// Let every worker reach GetOrLoad, then release the leader.
+	for c.Stats().SharedLoads < workers-1 {
+		if calls.Load() > 1 {
+			t.Fatal("multiple loaders ran concurrently")
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls.Load())
+	}
+	loads, shares := 0, 0
+	for i := range kinds {
+		if vals[i] != "shared" {
+			t.Fatalf("worker %d got %v", i, vals[i])
+		}
+		switch kinds[i] {
+		case CacheLoad:
+			loads++
+		case CacheShared:
+			shares++
+		}
+	}
+	if loads != 1 || shares != workers-1 {
+		t.Fatalf("loads=%d shares=%d, want 1/%d", loads, shares, workers-1)
+	}
+}

@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/engine"
+)
+
+// legacyRuns reverts the kvstore to the pre-block decoded-slice run format,
+// giving the chaos suite a live A/B of the two storage formats.
+func legacyRuns() tman.Option {
+	return func(c *engine.Config) { c.KV.DisableBlockFormat = true }
+}
+
+// tinyBlocks shrinks blocks and the cache so even the small chaos datasets
+// span many blocks per run and actually evict — the interesting regime.
+func tinyBlocks() tman.Option {
+	return func(c *engine.Config) {
+		c.KV.BlockSizeBytes = 512
+		c.KV.BlockCacheBytes = 64 << 10
+	}
+}
+
+// TestBlockFormatEquivalenceUnderFaults is the storage-format acceptance
+// probe: two clusters holding identical data — one on block-based runs
+// (tiny blocks, an undersized evicting cache), one on the legacy format —
+// each with the same transient fault injection, must answer all six of the
+// paper's query types bit-identically.
+func TestBlockFormatEquivalenceUnderFaults(t *testing.T) {
+	run := Run{Seed: dataSeed, Scenario: "block-vs-legacy-faulted"}
+
+	faults := tman.WithFaultInjection(tman.FaultConfig{
+		Seed:                      99,
+		PFailRPC:                  0.05,
+		UnavailableRPCsAfterSplit: 1,
+	})
+	retries := tman.WithRetryPolicy(tman.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 500 * time.Millisecond,
+		MaxBackoff:  10 * time.Second,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	})
+	blocks, err := NewCluster(800, dataSeed, tinyBlocks(), faults, retries)
+	run.Assert(t, err == nil, "block cluster: %v", err)
+	legacy, err := NewCluster(800, dataSeed, legacyRuns(), faults, retries)
+	run.Assert(t, err == nil, "legacy cluster: %v", err)
+
+	ctx := context.Background()
+	got, err := blocks.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "block queries: %v", err)
+	want, err := legacy.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "legacy queries: %v", err)
+	run.Assert(t, len(got) == len(want), "query counts differ: %d vs %d", len(got), len(want))
+	for i := range got {
+		gfp, wfp := Fingerprint(got[i].Rows), Fingerprint(want[i].Rows)
+		run.Assert(t, gfp == wfp, "query %s diverges between formats:\n block: %s\nlegacy: %s",
+			got[i].Name, gfp, wfp)
+	}
+
+	// The block cluster must actually have exercised the block machinery.
+	st := blocks.DB.Engine().Store().BlockCacheStats()
+	run.Assert(t, st.Misses > 0, "block cluster recorded no cache loads")
+	run.Assert(t, st.Evictions > 0, "undersized cache never evicted — blocks too coarse for the dataset")
+}
+
+// TestBlockFormatEquivalenceUnderFailover runs the RF=3 leader-kill
+// rotation on a block-format cluster and on a legacy-format cluster, with
+// identical mid-outage writes, and demands bit-identical six-query answers
+// afterwards — follower catch-up (snapshot rebuild into block runs) and
+// epoch-fenced failover must be format-invariant.
+func TestBlockFormatEquivalenceUnderFailover(t *testing.T) {
+	run := Run{Seed: dataSeed, Scenario: "block-vs-legacy-rf3-failover"}
+
+	blocks, err := NewCluster(800, dataSeed, tinyBlocks(), tman.WithReplication(3))
+	run.Assert(t, err == nil, "block cluster: %v", err)
+	legacy, err := NewCluster(800, dataSeed, legacyRuns(), tman.WithReplication(3))
+	run.Assert(t, err == nil, "legacy cluster: %v", err)
+
+	ctx := context.Background()
+	extra := extraTrajectories(120, dataSeed+2000)
+	const cycles = 3
+	chunk := len(extra) / cycles
+	for cycle := 0; cycle < cycles; cycle++ {
+		for _, c := range []*Cluster{blocks, legacy} {
+			store := c.DB.Engine().Store()
+			node := cycle % store.Nodes()
+			store.KillNode(node)
+			err := c.DB.PutBatch(extra[cycle*chunk : (cycle+1)*chunk])
+			run.Assert(t, err == nil, "cycle %d: write during outage: %v", cycle, err)
+			store.ReviveNode(node)
+		}
+	}
+	for _, c := range []*Cluster{blocks, legacy} {
+		st := c.DB.Engine().Store().Stats().Snapshot()
+		run.Assert(t, st.Failovers > 0, "no failovers happened")
+	}
+
+	got, err := blocks.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "block queries: %v", err)
+	want, err := legacy.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "legacy queries: %v", err)
+	for i := range got {
+		run.Assert(t, Fingerprint(got[i].Rows) == Fingerprint(want[i].Rows),
+			"query %s diverges between formats after failover", got[i].Name)
+	}
+}

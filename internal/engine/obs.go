@@ -92,6 +92,19 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	reg.GaugeFunc("tman_replicas_down", "follower replicas currently down",
 		func() float64 { return float64(e.store.ReplicaStats().Down) })
 
+	// --- block runs: cache, physical reads, bloom filters ----------------
+	counter("tman_block_cache_hits_total", "block-cache hits on the read path (no physical read charged)", st.BlockCacheHits.Load)
+	counter("tman_block_cache_misses_total", "block fetches that decoded an encoded block (charged reads)", st.BlockCacheMisses.Load)
+	counter("tman_block_read_bytes_total", "encoded block bytes physically read on cache misses", st.BlockReadBytes.Load)
+	counter("tman_block_cache_evictions_total", "decoded blocks evicted under the byte cap",
+		func() int64 { return e.store.BlockCacheStats().Evictions })
+	reg.GaugeFunc("tman_block_cache_used_bytes", "decoded block bytes resident in the shared cache",
+		func() float64 { return float64(e.store.BlockCacheUsedBytes()) })
+	counter("tman_bloom_checks_total", "point gets screened against a run bloom filter", st.BloomChecks.Load)
+	counter("tman_bloom_negatives_total", "point gets a bloom filter proved absent (no block touched)", st.BloomNegatives.Load)
+	counter("tman_bloom_false_positives_total", "bloom passes where the run did not hold the key", st.BloomFalsePositives.Load)
+	counter("tman_replica_catchup_ship_bytes_total", "encoded run bytes shipped by snapshot catch-ups", st.CatchupShipBytes.Load)
+
 	// --- engine: dataset + shape-maintenance state -----------------------
 	reg.GaugeFunc("tman_engine_trajectories", "stored trajectories",
 		func() float64 { return float64(e.rows.Load()) })

@@ -390,6 +390,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.db.Engine().CacheStats()
 	ps := s.db.Engine().PlanCacheStats()
 	rs := s.db.Engine().Store().ReplicaStats()
+	bcs := s.db.Engine().Store().BlockCacheStats()
 	writeJSON(w, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"version":        buildVersion(),
@@ -416,6 +417,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"ship_rejects":      snap.ShipRejects,
 		"catchup_tail":      snap.CatchupTail,
 		"catchup_snapshot":  snap.CatchupSnapshots,
+
+		"block_cache_hits":       snap.BlockCacheHits,
+		"block_cache_misses":     snap.BlockCacheMisses,
+		"block_cache_evictions":  bcs.Evictions,
+		"block_cache_used_bytes": s.db.Engine().Store().BlockCacheUsedBytes(),
+		"block_read_bytes":       snap.BlockReadBytes,
+		"bloom_checks":           snap.BloomChecks,
+		"bloom_negatives":        snap.BloomNegatives,
+		"bloom_false_positives":  snap.BloomFalsePositives,
+		"catchup_ship_bytes":     snap.CatchupShipBytes,
 
 		"reencodes":      s.db.Engine().Reencodes(),
 		"cache_hits":     cs.Hits,

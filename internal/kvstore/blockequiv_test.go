@@ -1,0 +1,170 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// equivWorkload drives an identical deterministic write mix — puts across a
+// shared-prefix keyspace, overwrites, deletes — into a store, forcing
+// flushes, compactions and splits along the way.
+func equivWorkload(tbl *Table, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 6000; i++ {
+		k := []byte(fmt.Sprintf("traj/%03d/%08d", rng.Intn(40), rng.Intn(5000)))
+		v := make([]byte, 20+rng.Intn(180))
+		rng.Read(v)
+		tbl.Put(k, v)
+		if i%17 == 0 {
+			tbl.Delete([]byte(fmt.Sprintf("traj/%03d/%08d", rng.Intn(40), rng.Intn(5000))))
+		}
+	}
+}
+
+func equivStores(t *testing.T) (blockTbl, legacyTbl *Table, blockStore, legacyStore *Store) {
+	t.Helper()
+	mk := func(disable bool) (*Store, *Table) {
+		o := DefaultOptions()
+		o.MemtableFlushBytes = 16 << 10
+		o.RegionMaxBytes = 256 << 10
+		o.DisableBlockFormat = disable
+		s := Open(o)
+		tbl, err := s.CreateTable("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		equivWorkload(tbl, 1234)
+		s.Quiesce()
+		return s, tbl
+	}
+	blockStore, blockTbl = mk(false)
+	legacyStore, legacyTbl = mk(true)
+	return blockTbl, legacyTbl, blockStore, legacyStore
+}
+
+// TestBlockLegacyEquivalence pins the tentpole invariant: the block format
+// is a pure storage-layer change, so every scan and get — full scans,
+// bounded windows, filtered scans, limits, point hits and misses — returns
+// byte-identical results, and the row-visit counters the paper's cost model
+// reports (RowsScanned, RowsReturned, Seeks) agree exactly.
+func TestBlockLegacyEquivalence(t *testing.T) {
+	blockTbl, legacyTbl, bs, ls := equivStores(t)
+
+	sameKVs := func(name string, a, b []KV) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d rows (block) vs %d (legacy)", name, len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+				t.Fatalf("%s: row %d differs: %q vs %q", name, i, a[i].Key, b[i].Key)
+			}
+		}
+	}
+
+	bBefore, lBefore := bs.Stats().Snapshot(), ls.Stats().Snapshot()
+	sameKVs("full scan", blockTbl.Scan(nil, nil, nil, 0), legacyTbl.Scan(nil, nil, nil, 0))
+	for i := 0; i < 50; i++ {
+		lo := []byte(fmt.Sprintf("traj/%03d/", i*7%40))
+		hi := []byte(fmt.Sprintf("traj/%03d/%08d", i*7%40, 2500))
+		sameKVs("window", blockTbl.Scan(lo, hi, nil, 0), legacyTbl.Scan(lo, hi, nil, 0))
+		sameKVs("limited", blockTbl.Scan(lo, nil, nil, 25), legacyTbl.Scan(lo, nil, nil, 25))
+	}
+	f := FilterFunc(func(k, v []byte) bool { return len(v) > 100 })
+	sameKVs("filtered", blockTbl.Scan(nil, nil, f, 0), legacyTbl.Scan(nil, nil, f, 0))
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("traj/%03d/%08d", rng.Intn(50), rng.Intn(6000)))
+		bv, bok := blockTbl.Get(k)
+		lv, lok := legacyTbl.Get(k)
+		if bok != lok || !bytes.Equal(bv, lv) {
+			t.Fatalf("get %q: block (%q, %v) vs legacy (%q, %v)", k, bv, bok, lv, lok)
+		}
+	}
+
+	bd, ld := Diff(bBefore, bs.Stats().Snapshot()), Diff(lBefore, ls.Stats().Snapshot())
+	if bd.RowsScanned != ld.RowsScanned || bd.RowsReturned != ld.RowsReturned ||
+		bd.Seeks != ld.Seeks || bd.BytesReturned != ld.BytesReturned {
+		t.Fatalf("cost counters diverge: block {scanned %d returned %d seeks %d bytes %d} vs legacy {%d %d %d %d}",
+			bd.RowsScanned, bd.RowsReturned, bd.Seeks, bd.BytesReturned,
+			ld.RowsScanned, ld.RowsReturned, ld.Seeks, ld.BytesReturned)
+	}
+}
+
+// TestBlockCacheWarmScanCheaper is the headline perf property: repeating a
+// scan with a warm block cache charges strictly less simulated disk I/O
+// than the cold pass, because resident decoded blocks cost nothing.
+func TestBlockCacheWarmScanCheaper(t *testing.T) {
+	blockTbl, _, bs, _ := equivStores(t)
+
+	cold := bs.Stats().Snapshot()
+	blockTbl.Scan(nil, nil, nil, 0)
+	coldDiff := Diff(cold, bs.Stats().Snapshot())
+
+	warm := bs.Stats().Snapshot()
+	blockTbl.Scan(nil, nil, nil, 0)
+	warmDiff := Diff(warm, bs.Stats().Snapshot())
+
+	if coldDiff.BlockCacheMisses == 0 {
+		t.Fatal("cold scan fetched no blocks — workload never flushed?")
+	}
+	if warmDiff.BlockCacheHits == 0 {
+		t.Fatal("warm scan hit no cached blocks")
+	}
+	if warmDiff.BlockReadBytes >= coldDiff.BlockReadBytes {
+		t.Fatalf("warm scan read %d encoded bytes, cold read %d — cache bought nothing",
+			warmDiff.BlockReadBytes, coldDiff.BlockReadBytes)
+	}
+	if warmDiff.SimIONanos >= coldDiff.SimIONanos {
+		t.Fatalf("warm scan charged %dns, cold charged %dns — warm must be cheaper",
+			warmDiff.SimIONanos, coldDiff.SimIONanos)
+	}
+}
+
+// TestBloomSkipsPointLookups: gets for keys that miss every run must be
+// answered mostly by bloom negatives, without touching blocks.
+func TestBloomSkipsPointLookups(t *testing.T) {
+	blockTbl, _, bs, _ := equivStores(t)
+
+	before := bs.Stats().Snapshot()
+	const probes = 3000
+	for i := 0; i < probes; i++ {
+		if _, ok := blockTbl.Get([]byte(fmt.Sprintf("absent/%08d", i))); ok {
+			t.Fatalf("absent key %d found", i)
+		}
+	}
+	d := Diff(before, bs.Stats().Snapshot())
+	if d.BloomChecks == 0 {
+		t.Fatal("no bloom checks recorded")
+	}
+	// Absent keys should be rejected by the filter almost always; block
+	// fetches happen only on the ~1% false positives.
+	if d.BloomNegatives < d.BloomChecks*9/10 {
+		t.Fatalf("bloom rejected %d of %d checks — filter ineffective", d.BloomNegatives, d.BloomChecks)
+	}
+	if d.BloomFalsePositives > d.BloomChecks/10 {
+		t.Fatalf("%d false positives in %d checks", d.BloomFalsePositives, d.BloomChecks)
+	}
+	if d.BlockCacheMisses+d.BlockCacheHits > d.BloomFalsePositives {
+		t.Fatalf("%d block fetches for %d false positives — gets bypassing the filter",
+			d.BlockCacheMisses+d.BlockCacheHits, d.BloomFalsePositives)
+	}
+}
+
+// TestBlockResidentBytesSmaller: the block format's resident footprint
+// (encoded blocks + index + filter) must undercut the legacy decoded rows
+// for the same data — the RSS half of the acceptance criteria.
+func TestBlockResidentBytesSmaller(t *testing.T) {
+	_, _, bs, ls := equivStores(t)
+	br, lr := bs.ResidentRunBytes(), ls.ResidentRunBytes()
+	if br == 0 || lr == 0 {
+		t.Fatalf("resident bytes: block %d, legacy %d — no runs?", br, lr)
+	}
+	if br >= lr {
+		t.Fatalf("block runs resident %d bytes >= legacy %d — compression bought nothing", br, lr)
+	}
+	t.Logf("resident run bytes: block=%d legacy=%d (%.1f%%)", br, lr, 100*float64(br)/float64(lr))
+}

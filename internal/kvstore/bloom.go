@@ -1,0 +1,95 @@
+package kvstore
+
+// bloom is a per-run bloom filter consulted by point gets before any block
+// is touched: a negative answer proves the key is absent from the run, so
+// the read path skips the block index, the cache, and the decode entirely.
+// Scans never consult it — a range probe cannot be answered by a membership
+// filter.
+//
+// Classic double hashing (Kirsch–Mitzenmatcher): k probe positions derived
+// from one 64-bit key hash as h1 + i·h2, which measures within a fraction
+// of a percent of k independent hashes at these sizes. Deterministic — no
+// per-process seed — so replicas sharing a run agree on every probe.
+type bloom struct {
+	words []uint64
+	nbits uint64
+	k     uint32
+}
+
+// bloomHash is the single 64-bit key hash every probe derives from:
+// FNV-1a, finished with a splitmix64 mix so short common-prefix keys (the
+// dominant shape under TMan's composite row keys) still spread over the
+// whole bit array.
+func bloomHash(key []byte) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// newBloom builds a filter for the given key hashes at bitsPerKey bits per
+// key. Returns nil when the filter is disabled or there is nothing to index.
+func newBloom(hashes []uint64, bitsPerKey int) *bloom {
+	if bitsPerKey <= 0 || len(hashes) == 0 {
+		return nil
+	}
+	nbits := uint64(len(hashes) * bitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	// k = bits/key · ln2 rounded, clamped to [1, 30].
+	k := uint32(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	f := &bloom{words: make([]uint64, (nbits+63)/64), k: k}
+	f.nbits = uint64(len(f.words)) * 64
+	for _, h := range hashes {
+		f.add(h)
+	}
+	return f
+}
+
+func (f *bloom) add(h uint64) {
+	h1, h2 := h, h>>33|h<<31
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		f.words[bit>>6] |= 1 << (bit & 63)
+	}
+}
+
+// mayContain reports whether the key hashing to h might be in the run. A
+// false return is definitive; true may be a false positive at roughly
+// 0.6185^bitsPerKey probability.
+func (f *bloom) mayContain(h uint64) bool {
+	h1, h2 := h, h>>33|h<<31
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		if f.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sizeBytes is the filter's resident footprint.
+func (f *bloom) sizeBytes() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.words) * 8
+}

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"sort"
 	"sync"
 )
 
@@ -12,16 +13,30 @@ import (
 // makes each emitted entry O(log K) instead of the O(K) per-entry linear
 // minimum search the old merge performed.
 
-// mergeCursor is one source of a k-way merge. Two backing modes share the
-// struct: a key-sorted entry slice (a sorted run, or a pre-sliced window of
-// one) when entries is non-nil, otherwise a live skiplist walk bounded by
-// hi. cur always points at the current entry — into the slice, or at the
-// cursor-owned memEnt staging slot in skiplist mode — so comparisons and
-// advances never copy entries around.
+// mergeCursor is one source of a k-way merge. Three backing modes share
+// the struct: a key-sorted entry slice (a legacy run, or a pre-sliced
+// window of one), a block run streamed one decoded block at a time (br is
+// set; entries holds the current block and loadBlock refills it), or a
+// live skiplist walk bounded by hi when entries is nil. cur always points
+// at the current entry — into the slice/block, or at the cursor-owned
+// memEnt staging slot in skiplist mode — so comparisons and advances never
+// copy entries around.
 type mergeCursor struct {
-	// Slice mode.
+	// Slice mode; also the current decoded block in block mode.
 	entries []entry
 	pos     int
+	// Block mode: the source run, the next and last block to stream, and
+	// the exclusive upper bound applied to the final block. missBytes
+	// accumulates this cursor's charged scan bytes: encoded bytes fetched
+	// on cache misses for block runs, raw bytes of visited rows for
+	// skiplist walks (memory-tier rows keep the legacy per-row charge).
+	// nocache bypasses the block cache (compaction).
+	br        *blockRun
+	nextBlk   int
+	lastBlk   int
+	blkHi     []byte
+	nocache   bool
+	missBytes int64
 	// Skiplist mode.
 	node   *skipNode
 	hi     []byte
@@ -59,6 +74,72 @@ func (c *mergeCursor) loadNode() {
 	c.memEnt = entry{key: n.key, value: n.value, tomb: n.tomb}
 	c.cur = &c.memEnt
 	c.ok = true
+	c.missBytes += int64(len(n.key) + len(n.value))
+}
+
+// initBlock points the cursor at the [lo, hi) window of a block run. Only
+// the window's blocks are ever fetched, one at a time, so a merge holds at
+// most one decoded block per source. Charged misses accumulate in
+// missBytes even when the window turns out empty.
+func (c *mergeCursor) initBlock(br *blockRun, lo, hi []byte, pri int, nocache bool) {
+	*c = mergeCursor{br: br, blkHi: hi, pri: pri, nocache: nocache}
+	if br.count == 0 {
+		return
+	}
+	first := 0
+	if lo != nil {
+		if first = br.seekBlock(lo); first < 0 {
+			first = 0
+		}
+	}
+	last := len(br.blocks) - 1
+	if hi != nil {
+		// Blocks after the one that could contain hi start at keys >= hi.
+		if last = br.seekBlock(hi); last < 0 {
+			return // hi precedes the whole run: empty window
+		}
+	}
+	if first > last {
+		return
+	}
+	c.nextBlk, c.lastBlk = first, last
+	c.loadBlock()
+	if c.ok && lo != nil && c.nextBlk-1 == first {
+		// Position within the first block; later blocks start past lo.
+		es := c.entries
+		i := sort.Search(len(es), func(k int) bool { return bytes.Compare(es[k].key, lo) >= 0 })
+		if i >= len(es) {
+			c.loadBlock()
+		} else {
+			c.pos = i
+			c.cur = &es[i]
+		}
+	}
+}
+
+// loadBlock decodes the next block of the window into entries, trimming
+// the final block at the hi bound, and skips empty tails.
+func (c *mergeCursor) loadBlock() {
+	for c.nextBlk <= c.lastBlk {
+		i := c.nextBlk
+		c.nextBlk++
+		db, miss := c.br.fetch(i, c.nocache)
+		c.missBytes += miss
+		es := db.entries
+		if c.blkHi != nil && i == c.lastBlk {
+			j := sort.Search(len(es), func(k int) bool { return bytes.Compare(es[k].key, c.blkHi) >= 0 })
+			es = es[:j]
+		}
+		if len(es) == 0 {
+			continue
+		}
+		c.entries = es
+		c.pos = 0
+		c.cur = &es[0]
+		c.ok = true
+		return
+	}
+	c.ok = false
 }
 
 // advance moves to the next entry; the cursor must be ok.
@@ -67,9 +148,13 @@ func (c *mergeCursor) advance() {
 		c.pos++
 		if c.pos < len(c.entries) {
 			c.cur = &c.entries[c.pos]
-		} else {
-			c.ok = false
+			return
 		}
+		if c.br != nil {
+			c.loadBlock()
+			return
+		}
+		c.ok = false
 		return
 	}
 	c.node = c.node.next[0]
@@ -187,8 +272,10 @@ func (m *mergeIter) nextLinear() (entry, bool) {
 // appendTo drains the iterator into out, optionally dropping tombstones —
 // the batch form compaction uses. The flat per-mode loops avoid the
 // per-entry call and copy overhead of next, which matters when merging
-// whole runs.
-func (m *mergeIter) appendTo(out []entry, dropTombs bool) []entry {
+// whole runs. The second result is the raw key+value byte total of the
+// appended entries, counted inline so no caller re-walks the output.
+func (m *mergeIter) appendTo(out []entry, dropTombs bool) ([]entry, int) {
+	rawBytes := 0
 	if c := m.single; c != nil {
 		for c.ok {
 			e := *c.cur
@@ -200,13 +287,14 @@ func (m *mergeIter) appendTo(out []entry, dropTombs bool) []entry {
 				continue
 			}
 			out = append(out, e)
+			rawBytes += len(e.key) + len(e.value)
 		}
-		return out
+		return out, rawBytes
 	}
 	if m.linear {
 		allSlices := true
 		for _, c := range m.heap {
-			if c.entries == nil {
+			if c.entries == nil || c.br != nil {
 				allSlices = false
 				break
 			}
@@ -238,8 +326,9 @@ func (m *mergeIter) appendTo(out []entry, dropTombs bool) []entry {
 				continue
 			}
 			out = append(out, e)
+			rawBytes += len(e.key) + len(e.value)
 		}
-		return out
+		return out, rawBytes
 	}
 	for len(m.heap) > 0 {
 		e := *m.heap[0].cur
@@ -251,8 +340,9 @@ func (m *mergeIter) appendTo(out []entry, dropTombs bool) []entry {
 			continue
 		}
 		out = append(out, e)
+		rawBytes += len(e.key) + len(e.value)
 	}
-	return out
+	return out, rawBytes
 }
 
 // appendLinearSlices is the linear-mode drain when every live source is an
@@ -260,8 +350,9 @@ func (m *mergeIter) appendTo(out []entry, dropTombs bool) []entry {
 // the per-entry cost to bare index arithmetic: no cur pointer maintenance
 // and no advance calls. It consumes the cursors without updating cur/ok, so
 // it must fully drain (it does; m.heap ends empty).
-func (m *mergeIter) appendLinearSlices(out []entry, dropTombs bool) []entry {
+func (m *mergeIter) appendLinearSlices(out []entry, dropTombs bool) ([]entry, int) {
 	live := m.heap
+	rawBytes := 0
 	for len(live) > 0 {
 		best := live[0]
 		bk := best.entries[best.pos].key
@@ -290,9 +381,10 @@ func (m *mergeIter) appendLinearSlices(out []entry, dropTombs bool) []entry {
 			continue
 		}
 		out = append(out, e)
+		rawBytes += len(e.key) + len(e.value)
 	}
 	m.heap = live
-	return out
+	return out, rawBytes
 }
 
 // advanceRoot advances the root cursor and restores the heap invariant,

@@ -75,7 +75,7 @@ func TestSkiplistOrderAndSeek(t *testing.T) {
 func TestMergeRunsShadowing(t *testing.T) {
 	newer := []entry{{key: []byte("a"), value: []byte("new")}, {key: []byte("c"), tomb: true}}
 	older := []entry{{key: []byte("a"), value: []byte("old")}, {key: []byte("b"), value: []byte("1")}, {key: []byte("c"), value: []byte("dead")}}
-	got := mergeRuns([][]entry{newer, older}, true)
+	got, _ := mergeRuns([][]entry{newer, older}, true)
 	if len(got) != 2 {
 		t.Fatalf("got %d entries, want 2: %+v", len(got), got)
 	}
@@ -86,7 +86,7 @@ func TestMergeRunsShadowing(t *testing.T) {
 		t.Errorf("entry b missing: %+v", got[1])
 	}
 	// Tombstones preserved when not dropping.
-	got = mergeRuns([][]entry{newer, older}, false)
+	got, _ = mergeRuns([][]entry{newer, older}, false)
 	if len(got) != 3 || !got[2].tomb {
 		t.Errorf("tombstone should be preserved: %+v", got)
 	}

@@ -118,7 +118,7 @@ func TestHeapMergeMatchesReference(t *testing.T) {
 		},
 	}
 	f := func(sources [][]entry, dropTombs bool) bool {
-		got := mergeRuns(sources, dropTombs)
+		got, _ := mergeRuns(sources, dropTombs)
 		want := referenceMerge(sources, dropTombs)
 		return entriesEqual(got, want)
 	}
@@ -130,10 +130,10 @@ func TestHeapMergeMatchesReference(t *testing.T) {
 // TestHeapMergeEdgeCases pins the shapes quick.Check may not hit: no
 // sources, all-empty sources, and a single source with internal duplicates.
 func TestHeapMergeEdgeCases(t *testing.T) {
-	if got := mergeRuns(nil, true); len(got) != 0 {
+	if got, _ := mergeRuns(nil, true); len(got) != 0 {
 		t.Fatalf("merge of no sources = %v, want empty", got)
 	}
-	if got := mergeRuns([][]entry{{}, {}, nil}, false); len(got) != 0 {
+	if got, _ := mergeRuns([][]entry{{}, {}, nil}, false); len(got) != 0 {
 		t.Fatalf("merge of empty sources = %v, want empty", got)
 	}
 	single := [][]entry{{
@@ -142,7 +142,7 @@ func TestHeapMergeEdgeCases(t *testing.T) {
 		{key: []byte("b"), value: []byte("3")},
 		{key: []byte("c"), tomb: true},
 	}}
-	got := mergeRuns(single, false)
+	got, _ := mergeRuns(single, false)
 	want := referenceMerge(single, false)
 	if !entriesEqual(got, want) {
 		t.Fatalf("single-source merge = %v, want %v", got, want)

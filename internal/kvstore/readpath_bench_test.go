@@ -38,7 +38,7 @@ func benchmarkMergeRuns(b *testing.B, k int) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for n := 0; n < b.N; n++ {
-		out := mergeRuns(sources, true)
+		out, _ := mergeRuns(sources, true)
 		if len(out) == 0 {
 			b.Fatal("empty merge")
 		}
@@ -52,7 +52,7 @@ func BenchmarkMergeRuns64Sources(b *testing.B) { benchmarkMergeRuns(b, 64) }
 // BenchmarkRegionScan scans a hot region holding many uncompacted runs plus
 // a live memtable — the worst case for the merge layer.
 func BenchmarkRegionScan(b *testing.B) {
-	r := newRegion(1, nil, nil, 0, 1<<30, 1<<30, nil) // thresholds disable auto flush/compact
+	r := newRegion(1, nil, nil, 0, 1<<30, 1<<30, nil, nil) // thresholds disable auto flush/compact; nil bcfg = legacy runs
 	var sink Stats
 	const runs, perRun = 16, 2000
 	for runIdx := 0; runIdx < runs; runIdx++ {
@@ -114,6 +114,119 @@ func BenchmarkScanRangesManyRegions(b *testing.B) {
 		out := tbl.ScanRanges(ranges, nil, 0)
 		if len(out) != 64*50 {
 			b.Fatalf("scan returned %d", len(out))
+		}
+	}
+}
+
+// --- block-format benchmarks ---------------------------------------------
+
+// blockBenchStore builds a block-format store with flushed multi-run
+// regions: ~30k rows under small thresholds, trajectory-shaped keys.
+func blockBenchStore(b *testing.B, cacheBytes int) (*Store, *Table) {
+	b.Helper()
+	opts := NoNetworkOptions()
+	opts.RegionMaxBytes = 256 << 10
+	opts.MemtableFlushBytes = 16 << 10
+	opts.BlockCacheBytes = cacheBytes
+	s := Open(opts)
+	tbl, _ := s.CreateTable("t")
+	for i := 0; i < 30000; i++ {
+		tbl.Put([]byte(fmt.Sprintf("traj/%03d/%08d", i%40, i)), []byte("value-payload-payload-payload"))
+	}
+	s.Quiesce()
+	return s, tbl
+}
+
+// BenchmarkBlockScanWarm scans the whole table with the shared block cache
+// enabled: after the first pass every block is resident, so steady-state
+// iterations charge no physical reads. Reports the cache hit rate.
+func BenchmarkBlockScanWarm(b *testing.B) {
+	s, tbl := blockBenchStore(b, 64<<20)
+	tbl.Scan(nil, nil, nil, 0) // warm the cache
+	before := s.BlockCacheStats()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if out := tbl.Scan(nil, nil, nil, 0); len(out) != 30000 {
+			b.Fatalf("scan returned %d rows", len(out))
+		}
+	}
+	d := s.BlockCacheStats()
+	hits, misses := float64(d.Hits-before.Hits), float64(d.Misses-before.Misses)
+	if hits+misses > 0 {
+		b.ReportMetric(hits/(hits+misses), "block_hit_rate")
+	}
+}
+
+// BenchmarkBlockScanCold is the same scan with the cache disabled: every
+// block decodes (and is charged) on every pass — the floor the cache is
+// measured against.
+func BenchmarkBlockScanCold(b *testing.B) {
+	s, tbl := blockBenchStore(b, -1)
+	before := s.Stats().Snapshot()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if out := tbl.Scan(nil, nil, nil, 0); len(out) != 30000 {
+			b.Fatalf("scan returned %d rows", len(out))
+		}
+	}
+	d := Diff(before, s.Stats().Snapshot())
+	if d.BlockCacheMisses > 0 {
+		b.ReportMetric(0, "block_hit_rate")
+		b.ReportMetric(float64(d.BlockReadBytes)/float64(d.BlockCacheMisses), "read_bytes_per_fetch")
+	}
+}
+
+// BenchmarkBlockPointGetAbsent hammers point lookups for keys no run holds:
+// the bloom filters should answer nearly all of them without touching a
+// block. Reports the realized negative rate.
+func BenchmarkBlockPointGetAbsent(b *testing.B) {
+	s, tbl := blockBenchStore(b, 64<<20)
+	before := s.Stats().Snapshot()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if _, ok := tbl.Get([]byte(fmt.Sprintf("absent/%08d", n))); ok {
+			b.Fatal("absent key found")
+		}
+	}
+	d := Diff(before, s.Stats().Snapshot())
+	if d.BloomChecks > 0 {
+		b.ReportMetric(float64(d.BloomNegatives)/float64(d.BloomChecks), "bloom_negative_rate")
+	}
+}
+
+// BenchmarkBlockPointGetPresent measures warm-cache point reads of keys
+// that exist, the bloom-pass + single-block-fetch path.
+func BenchmarkBlockPointGetPresent(b *testing.B) {
+	_, tbl := blockBenchStore(b, 64<<20)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		i := n % 30000
+		if _, ok := tbl.Get([]byte(fmt.Sprintf("traj/%03d/%08d", i%40, i))); !ok {
+			b.Fatalf("key %d missing", i)
+		}
+	}
+}
+
+// BenchmarkBlockBuild measures the flush-side encoder: streaming a sorted
+// entry batch through the block builder, bloom included.
+func BenchmarkBlockBuild(b *testing.B) {
+	es := make([]entry, 20000)
+	for i := range es {
+		es[i] = entry{
+			key:   []byte(fmt.Sprintf("traj/%03d/%08d", i%40, i)),
+			value: []byte("value-payload-payload-payload"),
+		}
+	}
+	cfg := &blockConfig{blockBytes: 4 << 10, bloomBits: 10}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if r := newRunFromEntries(cfg, es, -1); r.numEntries() != len(es) {
+			b.Fatal("bad run")
 		}
 	}
 }

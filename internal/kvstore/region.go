@@ -42,6 +42,12 @@ type region struct {
 	maxRuns    int
 	fl         *flusher // store's background flusher; nil only in unit fixtures
 
+	// bcfg selects the run format: the store-wide block configuration
+	// (block runs, shared cache, bloom filters), or nil for the legacy
+	// decoded-slice format. All regions of a store share one value, so
+	// every run a region ever holds is in one format.
+	bcfg *blockConfig
+
 	// flushMu serializes run-set mutators; see the lock-order note above.
 	flushMu sync.Mutex
 
@@ -62,7 +68,7 @@ type region struct {
 	faultSeq atomic.Int64
 }
 
-func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, fl *flusher) *region {
+func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, fl *flusher, bcfg *blockConfig) *region {
 	r := &region{
 		id:         id,
 		startKey:   start,
@@ -71,6 +77,7 @@ func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, fl *f
 		flushBytes: flushBytes,
 		maxRuns:    maxRuns,
 		fl:         fl,
+		bcfg:       bcfg,
 	}
 	r.node.Store(int64(node))
 	return r
@@ -249,7 +256,8 @@ func (r *region) flushOldestImm(stats *Stats) bool {
 	m := r.imm[0]
 	r.mu.RUnlock()
 
-	run := newSortedRun(m.drain())
+	entries, rawBytes := m.drain()
+	run := newRunFromEntries(r.bcfg, entries, rawBytes)
 	r.mu.Lock()
 	r.imm = r.imm[1:]
 	r.runs = append(r.runs, run)
@@ -270,21 +278,11 @@ func (r *region) compactOutOfLine(stats *Stats) {
 	snap := make([]*sortedRun, len(r.runs))
 	copy(snap, r.runs)
 	r.mu.RUnlock()
-	merged := mergeRunSlice(snap)
+	merged := mergeRunSlice(r.bcfg, snap)
 	r.mu.Lock()
 	r.runs = []*sortedRun{merged}
 	r.mu.Unlock()
 	stats.Compactions.Add(1)
-}
-
-// mergeRunSlice merges oldest-first runs into one tombstone-free run (a
-// region owns its whole key range, so nothing older can resurface).
-func mergeRunSlice(runs []*sortedRun) *sortedRun {
-	sources := make([][]entry, len(runs))
-	for i, run := range runs {
-		sources[len(runs)-1-i] = run.entries
-	}
-	return newSortedRun(mergeRuns(sources, true))
 }
 
 // drainImmsLocked converts every pending immutable memtable into a run with
@@ -298,10 +296,11 @@ func (r *region) drainImmsLocked(stats *Stats) {
 		if m.size == 0 {
 			continue
 		}
-		r.runs = append(r.runs, newSortedRun(m.drain()))
+		entries, rawBytes := m.drain()
+		r.runs = append(r.runs, newRunFromEntries(r.bcfg, entries, rawBytes))
 		stats.Flushes.Add(1)
 		if len(r.runs) > r.maxRuns {
-			r.runs = []*sortedRun{mergeRunSlice(r.runs)}
+			r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
 			stats.Compactions.Add(1)
 		}
 	}
@@ -327,7 +326,7 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 		}
 	}
 	for i := len(r.runs) - 1; i >= 0; i-- {
-		if v, tomb, found := r.runs[i].get(key); found {
+		if v, tomb, found, _ := r.runs[i].get(key); found {
 			if tomb {
 				return nil, false
 			}
@@ -388,6 +387,19 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 	windowTotal := 0
 	for k := len(r.runs) - 1; k >= 0; k-- {
 		run := r.runs[k]
+		if run.br != nil {
+			// Block mode: stream the window block-by-block through the
+			// cache. Cursors whose window proves empty are kept so their
+			// charged probe misses still reach the scan's disk total.
+			sc.cursors = append(sc.cursors, mergeCursor{})
+			c := &sc.cursors[len(sc.cursors)-1]
+			c.initBlock(run.br, lo, hi, pri, false)
+			if c.ok {
+				pri++
+				windowTotal += run.br.windowCount(c.nextBlk-1, c.lastBlk)
+			}
+			continue
+		}
 		i := 0
 		if lo != nil {
 			i = run.seek(lo)
@@ -420,6 +432,7 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		}
 	}
 
+	blockMode := r.bcfg != nil
 	it := sc.start()
 	for {
 		e, ok := it.next()
@@ -429,7 +442,9 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		if e.tomb {
 			continue
 		}
-		scannedBytes += int64(len(e.key) + len(e.value))
+		if !blockMode {
+			scannedBytes += int64(len(e.key) + len(e.value))
+		}
 		rowsScanned++
 		if stats != nil {
 			stats.RowsScanned.Add(1)
@@ -445,6 +460,15 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		if limit > 0 && len(out) >= limit {
 			hitLimit = true
 			break
+		}
+	}
+	if blockMode {
+		// Per-block charging: a run's scan cost is the encoded bytes of
+		// blocks actually fetched (cache misses charge, cache hits do not —
+		// that is the point of the tier), while memtable and immutable rows
+		// keep the per-row raw-byte charge accrued by their cursors.
+		for i := range sc.cursors {
+			scannedBytes += sc.cursors[i].missBytes
 		}
 	}
 	return out, hitLimit, scannedBytes, rowsScanned
@@ -481,7 +505,8 @@ func (r *region) splitEntries(stats *Stats) (entries []entry, median []byte) {
 	defer r.mu.Unlock()
 	r.drainImmsLocked(stats)
 	if r.mem.size > 0 {
-		r.runs = append(r.runs, newSortedRun(r.mem.drain()))
+		memEntries, memRaw := r.mem.drain()
+		r.runs = append(r.runs, newRunFromEntries(r.bcfg, memEntries, memRaw))
 		r.mem = newSkiplist(nextSkiplistSeed())
 	}
 	if len(r.runs) == 0 {
@@ -489,8 +514,8 @@ func (r *region) splitEntries(stats *Stats) (entries []entry, median []byte) {
 	}
 	// Always re-merge: even a single run may carry tombstones from a plain
 	// flush, and split children must start from live rows only.
-	r.runs = []*sortedRun{mergeRunSlice(r.runs)}
-	es := r.runs[0].entries
+	r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
+	es := r.runs[0].materialize()
 	if len(es) < 2 {
 		return nil, nil
 	}

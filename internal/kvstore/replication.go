@@ -436,8 +436,10 @@ func (g *replGroup) catchUpLocked(f *follower) {
 func (g *replGroup) snapshotCatchUpLocked(f *follower) {
 	rows, _, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil)
 	entries := make([]entry, len(rows))
+	rawBytes := 0
 	for i, kv := range rows {
 		entries[i] = entry{key: kv.Key, value: kv.Value}
+		rawBytes += len(kv.Key) + len(kv.Value)
 	}
 	fr := f.reg
 	fr.flushMu.Lock()
@@ -445,7 +447,12 @@ func (g *replGroup) snapshotCatchUpLocked(f *follower) {
 	fr.mem = newSkiplist(nextSkiplistSeed())
 	fr.imm = nil
 	if len(entries) > 0 {
-		fr.runs = []*sortedRun{newSortedRun(entries)}
+		// In block mode the snapshot crosses the wire as the encoded run —
+		// compressed blocks plus index and filter — not as decoded rows;
+		// CatchupShipBytes records the transferred volume in either format.
+		run := newRunFromEntries(fr.bcfg, entries, rawBytes)
+		fr.runs = []*sortedRun{run}
+		g.store.stats.CatchupShipBytes.Add(int64(run.residentBytes()))
 	} else {
 		fr.runs = nil
 	}
@@ -558,7 +565,7 @@ func (s *Store) initReplication(r *region) {
 	now := time.Now().UnixNano()
 	for i := 1; i < rf; i++ {
 		node := (leaderNode + i) % s.opts.Nodes
-		fr := newRegion(s.nextRegionID(), r.startKey, r.endKey, node, r.flushBytes, r.maxRuns, s.fl)
+		fr := newRegion(s.nextRegionID(), r.startKey, r.endKey, node, r.flushBytes, r.maxRuns, s.fl, s.bcfg)
 		fr.runs = append([]*sortedRun(nil), seedRuns...)
 		fr.writeBytes.Store(seedBytes)
 		g.followers = append(g.followers, &follower{

@@ -5,43 +5,102 @@ import (
 	"sort"
 )
 
-// sortedRun is an immutable, key-ordered array of entries produced by a
-// memtable flush or a compaction. Newer runs shadow older ones.
+// sortedRun is an immutable, key-ordered run produced by a memtable flush
+// or a compaction. Newer runs shadow older ones. Two storage modes share
+// the type: the block format (br != nil — encoded blocks, sparse index,
+// bloom filter; the default) and the legacy decoded slice (entries — kept
+// for equivalence testing and unit fixtures). bytes is the raw key+value
+// total in both modes, so region sizing and split geometry are identical
+// across formats.
 type sortedRun struct {
-	entries []entry
+	entries []entry   // legacy mode; nil in block mode
+	br      *blockRun // block mode; nil in legacy mode
 	bytes   int
 }
 
-func newSortedRun(entries []entry) *sortedRun {
-	b := 0
-	for _, e := range entries {
-		b += len(e.key) + len(e.value)
+// newRunFromEntries builds a run in the mode bcfg selects (nil = legacy).
+// rawBytes is the known key+value total; pass a negative value to have it
+// counted here — every steady-state producer (flush, merge, split) already
+// knows it and threads it through instead.
+func newRunFromEntries(bcfg *blockConfig, entries []entry, rawBytes int) *sortedRun {
+	if bcfg != nil {
+		// The builder counts raw bytes in its one encoding pass.
+		b := newBlockBuilder(bcfg)
+		for i := range entries {
+			b.add(entries[i].key, entries[i].value, entries[i].tomb)
+		}
+		br := b.finish()
+		return &sortedRun{br: br, bytes: br.rawBytes}
 	}
-	return &sortedRun{entries: entries, bytes: b}
+	if rawBytes < 0 {
+		rawBytes = 0
+		for i := range entries {
+			rawBytes += len(entries[i].key) + len(entries[i].value)
+		}
+	}
+	return &sortedRun{entries: entries, bytes: rawBytes}
 }
 
-// seek returns the index of the first entry with key >= target.
+// numEntries returns the run's entry count.
+func (r *sortedRun) numEntries() int {
+	if r.br != nil {
+		return r.br.count
+	}
+	return len(r.entries)
+}
+
+// residentBytes is the run's actual memory footprint: encoded blocks plus
+// index and filter in block mode, decoded rows in legacy mode.
+func (r *sortedRun) residentBytes() int {
+	if r.br == nil {
+		return r.bytes
+	}
+	n := r.br.encBytes + r.br.filter.sizeBytes()
+	for i := range r.br.index {
+		n += len(r.br.index[i].firstKey) + 16
+	}
+	return n
+}
+
+// materialize returns the run's full decoded entry slice. Legacy runs
+// return their backing slice (callers treat runs as immutable); block runs
+// decode every block once, bypassing the cache.
+func (r *sortedRun) materialize() []entry {
+	if r.br != nil {
+		return r.br.materialize()
+	}
+	return r.entries
+}
+
+// seek returns the index of the first entry with key >= target (legacy
+// slice mode only; block-mode reads go through blockRun).
 func (r *sortedRun) seek(target []byte) int {
 	return sort.Search(len(r.entries), func(i int) bool {
 		return bytes.Compare(r.entries[i].key, target) >= 0
 	})
 }
 
-// get performs a point lookup.
-func (r *sortedRun) get(key []byte) (value []byte, tomb, found bool) {
+// get performs a point lookup. missBytes is the encoded bytes physically
+// read to answer it (block mode; always zero for legacy slices).
+func (r *sortedRun) get(key []byte) (value []byte, tomb, found bool, missBytes int64) {
+	if r.br != nil {
+		return r.br.get(key)
+	}
 	i := r.seek(key)
 	if i < len(r.entries) && bytes.Equal(r.entries[i].key, key) {
-		return r.entries[i].value, r.entries[i].tomb, true
+		return r.entries[i].value, r.entries[i].tomb, true, 0
 	}
-	return nil, false, false
+	return nil, false, false, 0
 }
 
-// mergeRuns merges newest-to-oldest ordered sources into a single run,
-// dropping shadowed versions via a k-way heap merge (O(N log K) instead of
-// the O(N·K) per-entry linear minimum search). If dropTombs is true,
-// tombstones are removed (full compaction); otherwise they are preserved so
-// they keep shadowing older data that may live elsewhere.
-func mergeRuns(sources [][]entry, dropTombs bool) []entry {
+// mergeRuns merges newest-to-oldest ordered sources into a single entry
+// slice, dropping shadowed versions via a k-way heap merge (O(N log K)
+// instead of the O(N·K) per-entry linear minimum search). If dropTombs is
+// true, tombstones are removed (full compaction); otherwise they are
+// preserved so they keep shadowing older data that may live elsewhere.
+// The second result is the merged raw key+value byte total, counted while
+// the output is appended so no caller recounts it.
+func mergeRuns(sources [][]entry, dropTombs bool) ([]entry, int) {
 	sc := getScanScratch(len(sources))
 	defer sc.release()
 	total := 0
@@ -55,4 +114,47 @@ func mergeRuns(sources [][]entry, dropTombs bool) []entry {
 	}
 	it := sc.start()
 	return it.appendTo(make([]entry, 0, total), dropTombs)
+}
+
+// mergeRunSlice merges oldest-first runs into one tombstone-free run (a
+// region owns its whole key range, so nothing older can resurface). In
+// block mode the sources stream block-by-block through cursors into a new
+// block builder — the decoded working set is one block per source, never
+// the whole region — and the merge bypasses the block cache so compactions
+// don't evict the read path's working set.
+func mergeRunSlice(bcfg *blockConfig, runs []*sortedRun) *sortedRun {
+	if bcfg == nil {
+		sources := make([][]entry, len(runs))
+		for i, run := range runs {
+			sources[len(runs)-1-i] = run.entries
+		}
+		entries, rawBytes := mergeRuns(sources, true)
+		return &sortedRun{entries: entries, bytes: rawBytes}
+	}
+	sc := getScanScratch(len(runs))
+	defer sc.release()
+	for i := len(runs) - 1; i >= 0; i-- { // newest first = lowest priority
+		run := runs[i]
+		sc.cursors = append(sc.cursors, mergeCursor{})
+		c := &sc.cursors[len(sc.cursors)-1]
+		if run.br != nil {
+			c.initBlock(run.br, nil, nil, len(runs)-1-i, true)
+		} else {
+			c.initSlice(run.entries, len(runs)-1-i)
+		}
+	}
+	it := sc.start()
+	b := newBlockBuilder(bcfg)
+	for {
+		e, ok := it.next()
+		if !ok {
+			break
+		}
+		if e.tomb {
+			continue
+		}
+		b.add(e.key, e.value, false)
+	}
+	br := b.finish()
+	return &sortedRun{br: br, bytes: br.rawBytes}
 }

@@ -232,13 +232,17 @@ type entry struct {
 	tomb  bool
 }
 
-// drain returns all entries in key order (used by flush).
-func (s *skiplist) drain() []entry {
+// drain returns all entries in key order plus their raw key+value byte
+// total, counted during the walk so flush never re-walks the output to
+// size the run it builds.
+func (s *skiplist) drain() ([]entry, int) {
 	out := make([]entry, 0, s.size)
+	rawBytes := 0
 	for n := s.first(); n != nil; n = n.next[0] {
 		out = append(out, entry{key: n.key, value: n.value, tomb: n.tomb})
+		rawBytes += len(n.key) + len(n.value)
 	}
-	return out
+	return out, rawBytes
 }
 
 var skiplistSeed int64 = 1

@@ -47,6 +47,23 @@ type Stats struct {
 	CatchupSnapshots atomic.Int64
 	Failovers        atomic.Int64
 	FollowerReads    atomic.Int64
+
+	// Block-format counters: BlockCacheHits/Misses count block fetches by
+	// whether the decoded block was resident (a shared in-flight load
+	// counts as a hit — one physical read served several callers);
+	// BlockReadBytes is the encoded bytes actually read on misses — the
+	// volume the cost model charges at DiskMBps. BloomChecks counts point
+	// gets probing a run filter, BloomNegatives definitive skips, and
+	// BloomFalsePositives probes that passed the filter but missed the
+	// run. CatchupShipBytes is the encoded volume shipped by snapshot
+	// catch-up rebuilds.
+	BlockCacheHits      atomic.Int64
+	BlockCacheMisses    atomic.Int64
+	BlockReadBytes      atomic.Int64
+	BloomChecks         atomic.Int64
+	BloomNegatives      atomic.Int64
+	BloomFalsePositives atomic.Int64
+	CatchupShipBytes    atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -76,6 +93,14 @@ type Snapshot struct {
 	CatchupSnapshots int64
 	Failovers        int64
 	FollowerReads    int64
+
+	BlockCacheHits      int64
+	BlockCacheMisses    int64
+	BlockReadBytes      int64
+	BloomChecks         int64
+	BloomNegatives      int64
+	BloomFalsePositives int64
+	CatchupShipBytes    int64
 }
 
 // Snapshot returns the current counter values.
@@ -106,6 +131,14 @@ func (s *Stats) Snapshot() Snapshot {
 		CatchupSnapshots: s.CatchupSnapshots.Load(),
 		Failovers:        s.Failovers.Load(),
 		FollowerReads:    s.FollowerReads.Load(),
+
+		BlockCacheHits:      s.BlockCacheHits.Load(),
+		BlockCacheMisses:    s.BlockCacheMisses.Load(),
+		BlockReadBytes:      s.BlockReadBytes.Load(),
+		BloomChecks:         s.BloomChecks.Load(),
+		BloomNegatives:      s.BloomNegatives.Load(),
+		BloomFalsePositives: s.BloomFalsePositives.Load(),
+		CatchupShipBytes:    s.CatchupShipBytes.Load(),
 	}
 }
 
@@ -136,6 +169,14 @@ func (s *Stats) Reset() {
 	s.CatchupSnapshots.Store(0)
 	s.Failovers.Store(0)
 	s.FollowerReads.Store(0)
+
+	s.BlockCacheHits.Store(0)
+	s.BlockCacheMisses.Store(0)
+	s.BlockReadBytes.Store(0)
+	s.BloomChecks.Store(0)
+	s.BloomNegatives.Store(0)
+	s.BloomFalsePositives.Store(0)
+	s.CatchupShipBytes.Store(0)
 }
 
 // Diff returns b - a field-wise, for measuring a single operation.
@@ -166,5 +207,13 @@ func Diff(a, b Snapshot) Snapshot {
 		CatchupSnapshots: b.CatchupSnapshots - a.CatchupSnapshots,
 		Failovers:        b.Failovers - a.Failovers,
 		FollowerReads:    b.FollowerReads - a.FollowerReads,
+
+		BlockCacheHits:      b.BlockCacheHits - a.BlockCacheHits,
+		BlockCacheMisses:    b.BlockCacheMisses - a.BlockCacheMisses,
+		BlockReadBytes:      b.BlockReadBytes - a.BlockReadBytes,
+		BloomChecks:         b.BloomChecks - a.BloomChecks,
+		BloomNegatives:      b.BloomNegatives - a.BloomNegatives,
+		BloomFalsePositives: b.BloomFalsePositives - a.BloomFalsePositives,
+		CatchupShipBytes:    b.CatchupShipBytes - a.CatchupShipBytes,
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/tman-db/tman/internal/cache"
 )
 
 // Options configures a Store.
@@ -59,6 +61,22 @@ type Options struct {
 	// operations when a fault is injected. Zero-valued fields take
 	// DefaultRetryPolicy values.
 	Retry RetryPolicy
+
+	// BlockSizeBytes is the target encoded size of one run block in the
+	// block format (0 = 4KiB). Entries never split across blocks, so a
+	// block may exceed the target by one oversized row.
+	BlockSizeBytes int
+	// BloomBitsPerKey sizes each run's bloom filter (0 = 10 bits/key,
+	// roughly a 1% false-positive rate; negative disables the filters).
+	BloomBitsPerKey int
+	// BlockCacheBytes bounds the store-wide cache of decompressed blocks
+	// by their decoded size (0 = 32MiB; negative disables the cache, so
+	// every block read decodes — and is charged — from the encoded run).
+	BlockCacheBytes int
+	// DisableBlockFormat reverts runs to the legacy decoded-slice format:
+	// no blocks, no filters, no cache, and the cost model charges per row
+	// visited. Kept for the block/legacy equivalence tests.
+	DisableBlockFormat bool
 }
 
 // DefaultOptions mirrors the paper's five-node deployment at laptop scale.
@@ -73,6 +91,9 @@ func DefaultOptions() Options {
 		RPCLatencyMicros:   150,
 		TransferMBps:       32,
 		DiskMBps:           256,
+		BlockSizeBytes:     4 << 10,
+		BloomBitsPerKey:    10,
+		BlockCacheBytes:    32 << 20,
 	}
 }
 
@@ -116,6 +137,18 @@ func (o *Options) sanitize() {
 	if o.ReplicaTailFrames <= 0 {
 		o.ReplicaTailFrames = 1024
 	}
+	if o.BlockSizeBytes <= 0 {
+		o.BlockSizeBytes = def.BlockSizeBytes
+	}
+	if o.BlockSizeBytes < 512 {
+		o.BlockSizeBytes = 512
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = def.BloomBitsPerKey
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = def.BlockCacheBytes
+	}
 	o.Retry.sanitize()
 }
 
@@ -131,6 +164,7 @@ type Store struct {
 	injector  *faultInjector // nil when fault injection is disabled
 	pool      *workPool      // shared bounded executor for region scan/write tasks
 	fl        *flusher       // background memtable flusher/compactor
+	bcfg      *blockConfig   // block run format config; nil = legacy slice runs
 
 	// Node liveness (KillNode/ReviveNode). anyDead keeps the per-RPC check
 	// to one atomic load until the first kill.
@@ -153,6 +187,16 @@ func Open(opts Options) *Store {
 		pool:     newWorkPool(opts.Parallelism),
 	}
 	s.fl = newFlusher(&s.stats, opts.FlushWorkers)
+	if !opts.DisableBlockFormat {
+		s.bcfg = &blockConfig{
+			blockBytes: opts.BlockSizeBytes,
+			bloomBits:  opts.BloomBitsPerKey,
+			stats:      &s.stats,
+		}
+		if opts.BlockCacheBytes > 0 {
+			s.bcfg.cache = cache.NewBlockCache(int64(opts.BlockCacheBytes), 0)
+		}
+	}
 	return s
 }
 
@@ -210,6 +254,49 @@ func (s *Store) TableNames() []string {
 
 // Stats exposes the store's scan/write counters.
 func (s *Store) Stats() *Stats { return &s.stats }
+
+// BlockCacheStats reports the block cache tier's hit/miss/eviction
+// counters; the zero value when the cache (or the block format) is off.
+func (s *Store) BlockCacheStats() cache.CacheStats {
+	if s.bcfg == nil || s.bcfg.cache == nil {
+		return cache.CacheStats{}
+	}
+	return s.bcfg.cache.Stats()
+}
+
+// BlockCacheUsedBytes reports the decoded bytes resident in the block
+// cache.
+func (s *Store) BlockCacheUsedBytes() int64 {
+	if s.bcfg == nil || s.bcfg.cache == nil {
+		return 0
+	}
+	return s.bcfg.cache.UsedBytes()
+}
+
+// ResidentRunBytes sums the actual memory footprint of every run in the
+// store: encoded blocks + index + filter in block mode, decoded rows in
+// legacy mode. The before/after RSS metric of the block format.
+func (s *Store) ResidentRunBytes() int64 {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	var n int64
+	for _, t := range tables {
+		t.mu.RLock()
+		for _, r := range t.regions {
+			r.mu.RLock()
+			for _, run := range r.runs {
+				n += int64(run.residentBytes())
+			}
+			r.mu.RUnlock()
+		}
+		t.mu.RUnlock()
+	}
+	return n
+}
 
 // TotalRegions returns the store-wide region count across all tables — the
 // cluster-size gauge exported through the metrics registry.

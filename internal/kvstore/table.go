@@ -38,7 +38,7 @@ type Table struct {
 
 func newTable(name string, store *Store) *Table {
 	t := &Table{name: name, store: store}
-	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.fl)}
+	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.fl, store.bcfg)}
 	store.initReplication(t.regions[0])
 	return t
 }
@@ -86,11 +86,11 @@ func (t *Table) PreSplit(keys [][]byte) error {
 	var start []byte
 	for _, k := range keys {
 		regions = append(regions, newRegion(t.store.nextRegionID(), start, k,
-			t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl))
+			t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl, t.store.bcfg))
 		start = k
 	}
 	regions = append(regions, newRegion(t.store.nextRegionID(), start, nil,
-		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl))
+		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl, t.store.bcfg))
 	for _, r := range regions {
 		t.store.initReplication(r)
 	}
@@ -258,12 +258,15 @@ func (t *Table) maybeSplit(r *region) {
 		r.writeBytes.Store(entriesCharge(entries))
 		return
 	}
-	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, t.store.fl)
-	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, t.store.fl)
-	left.runs = []*sortedRun{newSortedRun(entries[:cut])}
-	right.runs = []*sortedRun{newSortedRun(entries[cut:])}
-	left.writeBytes.Store(entriesCharge(entries[:cut]))
-	right.writeBytes.Store(entriesCharge(entries[cut:]))
+	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, t.store.fl, t.store.bcfg)
+	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, t.store.fl, t.store.bcfg)
+	// entriesCharge walks each side once anyway; derive the raw byte
+	// totals from it instead of recounting inside the run constructor.
+	leftCharge, rightCharge := entriesCharge(entries[:cut]), entriesCharge(entries[cut:])
+	left.runs = []*sortedRun{newRunFromEntries(t.store.bcfg, entries[:cut], int(leftCharge)-cut*memEntryOverhead)}
+	right.runs = []*sortedRun{newRunFromEntries(t.store.bcfg, entries[cut:], int(rightCharge)-(len(entries)-cut)*memEntryOverhead)}
+	left.writeBytes.Store(leftCharge)
+	right.writeBytes.Store(rightCharge)
 	// Children get fresh replication groups seeded from their runs; the
 	// parent's group (and its followers) is dropped with the parent.
 	t.store.initReplication(left)
@@ -972,16 +975,17 @@ func (t *Table) CompactAll() {
 		r.mu.Lock()
 		r.drainImmsLocked(&t.store.stats)
 		if r.mem.size > 0 {
-			r.runs = append(r.runs, newSortedRun(r.mem.drain()))
+			memEntries, memRaw := r.mem.drain()
+			r.runs = append(r.runs, newRunFromEntries(r.bcfg, memEntries, memRaw))
 			r.mem = newSkiplist(nextSkiplistSeed())
 			t.store.stats.Flushes.Add(1)
 			if len(r.runs) > r.maxRuns {
-				r.runs = []*sortedRun{mergeRunSlice(r.runs)}
+				r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
 				t.store.stats.Compactions.Add(1)
 			}
 		}
 		if len(r.runs) > 1 {
-			r.runs = []*sortedRun{mergeRunSlice(r.runs)}
+			r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
 			t.store.stats.Compactions.Add(1)
 			// A major compaction briefly blocks client RPCs, as a region
 			// move would.

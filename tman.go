@@ -183,6 +183,20 @@ func WithMaxStaleness(ctx context.Context, maxStaleness time.Duration) context.C
 	return kvstore.WithReadPref(ctx, kvstore.ReadPref{MaxStalenessMS: int64(maxStaleness / time.Millisecond)})
 }
 
+// WithBlockTuning adjusts the block-based run format of the underlying
+// store: blockBytes is the target encoded block size (0 keeps the 4 KiB
+// default, minimum 512), bloomBits the per-key filter density (0 keeps 10,
+// negative disables bloom filters), and cacheBytes the store-wide decoded
+// block cache capacity (0 keeps 32 MiB, negative disables caching so every
+// block read decodes — and is charged — afresh).
+func WithBlockTuning(blockBytes, bloomBits, cacheBytes int) Option {
+	return func(c *engine.Config) {
+		c.KV.BlockSizeBytes = blockBytes
+		c.KV.BloomBitsPerKey = bloomBits
+		c.KV.BlockCacheBytes = cacheBytes
+	}
+}
+
 // WithTraceSampling records a full trace-span tree for the given fraction
 // of queries (0..1) into the engine's trace ring, inspectable through the
 // HTTP /trace endpoint. 0 (the default) disables sampling; traced queries
