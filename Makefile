@@ -39,7 +39,7 @@ obs-check:
 	$(GO) build -o /tmp/tmand-obscheck ./cmd/tmand
 	$(GO) build -o /tmp/obscheck ./cmd/obscheck
 	@/tmp/tmand-obscheck -addr $(OBS_ADDR) -log-level warn -trace-sample 1 & pid=$$!; \
-	/tmp/obscheck -url http://$(OBS_ADDR)/metrics -min-series 34; rc=$$?; \
+	/tmp/obscheck -url http://$(OBS_ADDR)/metrics -min-series 40; rc=$$?; \
 	kill $$pid 2>/dev/null; exit $$rc
 
 # Read-path benchmarks (region scan, k-way merge, scan executor, hot SRQ).
@@ -53,14 +53,20 @@ bench:
 		/tmp/bench_kvstore.txt /tmp/bench_engine.txt
 
 # Write-path benchmarks (per-region MultiPut vs sequential Put, WAL group
-# commit, engine BatchPut vs Put loop). Results land in BENCH_writepath.json.
+# commit, engine BatchPut vs Put loop, sustained-ingest write amplification
+# for the tiered vs monolithic compaction policies). Each benchmark runs
+# WRITE_BENCHCOUNT times and benchjson archives the fastest (min-of-N, same
+# noise rationale as bench-query). Results land in BENCH_writepath.json.
+WRITE_BENCHCOUNT ?= 3
 bench-write:
-	$(GO) test -run= -bench 'BenchmarkWrite(Sequential|Batched)' \
+	$(GO) test -run= -bench 'BenchmarkWrite(Sequential|Batched)' -count=$(WRITE_BENCHCOUNT) \
 		-benchmem -benchtime=2s ./internal/kvstore/ > /tmp/bench_write_kvstore.txt
-	$(GO) test -run= -bench 'BenchmarkEngineIngest' \
+	$(GO) test -run= -bench 'BenchmarkSustainedIngest' -count=$(WRITE_BENCHCOUNT) \
+		-benchmem -benchtime=1x ./internal/kvstore/ > /tmp/bench_write_sustained.txt
+	$(GO) test -run= -bench 'BenchmarkEngineIngest' -count=$(WRITE_BENCHCOUNT) \
 		-benchmem -benchtime=20x ./internal/engine/ > /tmp/bench_write_engine.txt
 	$(GO) run ./cmd/benchjson -suite writepath -o BENCH_writepath.json \
-		/tmp/bench_write_kvstore.txt /tmp/bench_write_engine.txt
+		/tmp/bench_write_kvstore.txt /tmp/bench_write_sustained.txt /tmp/bench_write_engine.txt
 
 # Query-path throughput benchmarks: the mixed workload driven by 1/4/8
 # concurrent clients against the tuned path (sharded LFU + singleflight +

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/engine"
+)
+
+// monolithicCompaction reverts the kvstore to the pre-tiered policy that
+// rewrites every run in a region on each maxRuns crossing, giving the chaos
+// suite a live A/B of the two compaction schedulers.
+func monolithicCompaction() tman.Option {
+	return func(c *engine.Config) { c.KV.MonolithicCompaction = true }
+}
+
+// churnCompaction tunes the tiered scheduler into its busiest regime for the
+// small chaos datasets: minimum fan-in and maximum sub-range partitioning,
+// so merges fire often and fan out across the flusher pool.
+func churnCompaction() tman.Option {
+	return func(c *engine.Config) {
+		c.KV.CompactFanIn = 2
+		c.KV.CompactSubRanges = 8
+	}
+}
+
+// TestTieredEquivalenceUnderFaults is the compaction-policy acceptance
+// probe: two clusters holding identical data — one on the tiered parallel
+// scheduler at its churniest settings, one on the legacy monolithic
+// rewrite — each with the same transient fault injection, must answer all
+// six of the paper's query types bit-identically. Compaction reorganizes
+// bytes, never answers.
+func TestTieredEquivalenceUnderFaults(t *testing.T) {
+	run := Run{Seed: dataSeed, Scenario: "tiered-vs-monolithic-faulted"}
+
+	faults := tman.WithFaultInjection(tman.FaultConfig{
+		Seed:                      99,
+		PFailRPC:                  0.05,
+		UnavailableRPCsAfterSplit: 1,
+	})
+	retries := tman.WithRetryPolicy(tman.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 500 * time.Millisecond,
+		MaxBackoff:  10 * time.Second,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	})
+	tiered, err := NewCluster(800, dataSeed, churnCompaction(), faults, retries)
+	run.Assert(t, err == nil, "tiered cluster: %v", err)
+	mono, err := NewCluster(800, dataSeed, monolithicCompaction(), faults, retries)
+	run.Assert(t, err == nil, "monolithic cluster: %v", err)
+
+	ctx := context.Background()
+	got, err := tiered.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "tiered queries: %v", err)
+	want, err := mono.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "monolithic queries: %v", err)
+	run.Assert(t, len(got) == len(want), "query counts differ: %d vs %d", len(got), len(want))
+	for i := range got {
+		gfp, wfp := Fingerprint(got[i].Rows), Fingerprint(want[i].Rows)
+		run.Assert(t, gfp == wfp, "query %s diverges between policies:\n     tiered: %s\n monolithic: %s",
+			got[i].Name, gfp, wfp)
+	}
+
+	// The tiered cluster must actually have exercised the tiered machinery.
+	st := tiered.DB.Engine().Store().Stats().Snapshot()
+	run.Assert(t, st.Compactions > 0, "tiered cluster never compacted")
+	mst := mono.DB.Engine().Store().Stats().Snapshot()
+	run.Assert(t, st.BytesCompacted < mst.BytesCompacted,
+		"tiered rewrote %d bytes >= monolithic %d — no write-amp win on the chaos dataset",
+		st.BytesCompacted, mst.BytesCompacted)
+}
+
+// TestTieredEquivalenceUnderFailover runs the RF=3 leader-kill rotation on a
+// tiered cluster and on a monolithic cluster, with identical mid-outage
+// writes, and demands bit-identical six-query answers afterwards — follower
+// catch-up and epoch-fenced failover must be policy-invariant even while
+// sub-compactions are churning the leader's run sets.
+func TestTieredEquivalenceUnderFailover(t *testing.T) {
+	run := Run{Seed: dataSeed, Scenario: "tiered-vs-monolithic-rf3-failover"}
+
+	tiered, err := NewCluster(800, dataSeed, churnCompaction(), tman.WithReplication(3))
+	run.Assert(t, err == nil, "tiered cluster: %v", err)
+	mono, err := NewCluster(800, dataSeed, monolithicCompaction(), tman.WithReplication(3))
+	run.Assert(t, err == nil, "monolithic cluster: %v", err)
+
+	ctx := context.Background()
+	extra := extraTrajectories(120, dataSeed+2000)
+	const cycles = 3
+	chunk := len(extra) / cycles
+	for cycle := 0; cycle < cycles; cycle++ {
+		for _, c := range []*Cluster{tiered, mono} {
+			store := c.DB.Engine().Store()
+			node := cycle % store.Nodes()
+			store.KillNode(node)
+			err := c.DB.PutBatch(extra[cycle*chunk : (cycle+1)*chunk])
+			run.Assert(t, err == nil, "cycle %d: write during outage: %v", cycle, err)
+			store.ReviveNode(node)
+		}
+	}
+	for _, c := range []*Cluster{tiered, mono} {
+		st := c.DB.Engine().Store().Stats().Snapshot()
+		run.Assert(t, st.Failovers > 0, "no failovers happened")
+	}
+
+	got, err := tiered.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "tiered queries: %v", err)
+	want, err := mono.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "monolithic queries: %v", err)
+	for i := range got {
+		run.Assert(t, Fingerprint(got[i].Rows) == Fingerprint(want[i].Rows),
+			"query %s diverges between policies after failover", got[i].Name)
+	}
+}

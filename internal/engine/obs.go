@@ -64,6 +64,21 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	counter("tman_store_deletes_total", "tombstones written", st.Deletes.Load)
 	counter("tman_store_flushes_total", "memtable flushes into sorted runs", st.Flushes.Load)
 	counter("tman_store_compactions_total", "run compactions", st.Compactions.Load)
+	counter("tman_store_subcompactions_total", "key-range sub-merges fanned out by partitioned compactions", st.SubCompactions.Load)
+	counter("tman_store_bytes_flushed_total", "raw key+value bytes memtable flushes wrote into first-level runs", st.BytesFlushed.Load)
+	counter("tman_store_bytes_compacted_total", "raw bytes compactions re-read and rewrote (write-amplification numerator)", st.BytesCompacted.Load)
+	reg.CounterFunc("tman_store_compact_stall_seconds_total", "wall time region flush paths spent inside compaction",
+		func() float64 { return float64(st.CompactStallNanos.Load()) / 1e9 })
+	reg.GaugeFunc("tman_store_compact_queue_depth", "regions awaiting flush plus unclaimed sub-compaction tasks",
+		func() float64 { return float64(e.store.CompactQueueDepth()) })
+	reg.GaugeFunc("tman_store_tier_runs", "logical sorted runs across all regions (tiered policy units)",
+		func() float64 {
+			n := 0
+			for _, c := range e.store.TierRunHistogram() {
+				n += c
+			}
+			return float64(n)
+		})
 	counter("tman_store_region_splits_total", "threshold-driven region splits", st.RegionSplits.Load)
 	counter("tman_store_failed_rpcs_total", "injected per-attempt RPC faults", st.FailedRPCs.Load)
 	counter("tman_store_retried_rpcs_total", "client RPC retries performed", st.RetriedRPCs.Load)

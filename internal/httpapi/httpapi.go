@@ -407,6 +407,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"failed_regions": snap.FailedRegions,
 		"partial_scans":  snap.PartialScans,
 
+		"flushes":             snap.Flushes,
+		"compactions":         snap.Compactions,
+		"subcompactions":      snap.SubCompactions,
+		"bytes_flushed":       snap.BytesFlushed,
+		"bytes_compacted":     snap.BytesCompacted,
+		"compact_stall_ns":    snap.CompactStallNanos,
+		"compact_queue_depth": s.db.Engine().Store().CompactQueueDepth(),
+
 		"replicas":          s.db.Engine().Store().Replicas(),
 		"replica_followers": rs.Followers,
 		"replicas_down":     rs.Down,

@@ -195,12 +195,34 @@ func (in *faultInjector) latencyScale(node int) float64 {
 	return 1
 }
 
-// markUnavailable opens an unavailability window on a region.
+// markUnavailable opens a full unavailability window on a region (splits:
+// the whole region moved).
 func (in *faultInjector) markUnavailable(r *region) {
 	if in == nil || in.cfg.UnavailableRPCsAfterSplit <= 0 {
 		return
 	}
 	r.unavail.Store(int64(in.cfg.UnavailableRPCsAfterSplit))
+}
+
+// markUnavailableBytes opens an unavailability window scaled to the
+// fraction of the region's bytes the operation actually rewrote (ceiling,
+// minimum one RPC when anything moved): the post-compaction blip is bounded
+// to the swapped tier instead of the whole region, so the tiered policy's
+// more frequent — but much smaller — merges don't inflate injected
+// unavailability over the legacy monolithic policy. Deterministic: both
+// arguments are pure functions of the write sequence.
+func (in *faultInjector) markUnavailableBytes(r *region, swapped, total int) {
+	if in == nil || in.cfg.UnavailableRPCsAfterSplit <= 0 || swapped <= 0 {
+		return
+	}
+	n := in.cfg.UnavailableRPCsAfterSplit
+	if total > swapped {
+		n = (n*swapped + total - 1) / total
+		if n < 1 {
+			n = 1
+		}
+	}
+	r.unavail.Store(int64(n))
 }
 
 // ------------------------------------------------------- query budget ---

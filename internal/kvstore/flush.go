@@ -3,14 +3,19 @@ package kvstore
 import "sync"
 
 // flusher is the store's background flush/compaction service: a bounded set
-// of workers that turn sealed memtables into sorted runs and trigger
-// compactions when a region's run count crosses its threshold, so writers
-// never block on flush or compaction.
+// of workers that turn sealed memtables into sorted runs and drive the
+// compaction policy when a region's run set needs merging, so writers never
+// block on flush or compaction. The same workers double as a helper pool
+// for key-range-partitioned sub-compactions (runSubTasks): a large merge is
+// split into independent sub-range tasks that idle workers pick up, while
+// the initiating owner always participates — so parallelism is opportunistic
+// and progress never depends on a free worker.
 //
-// Counter totals (Flushes, Compactions) stay deterministic regardless of
-// scheduling because every conversion site — here, splits, CompactAll —
-// charges identically per immutable processed (see region.drainImmsLocked),
-// and regions are processed FIFO under their flushMu.
+// Counter totals (Flushes, Compactions, SubCompactions) stay deterministic
+// regardless of scheduling because every conversion site — here, splits,
+// CompactAll — charges identically per immutable processed (see
+// region.drainImmsLocked), and regions are processed FIFO under their
+// flushMu.
 type flusher struct {
 	stats *Stats
 
@@ -18,10 +23,20 @@ type flusher struct {
 	cond    *sync.Cond
 	queue   []*region
 	queued  map[*region]bool
+	help    []*compactSet // sub-compaction sets with unclaimed tasks
 	workers int
 	max     int
 	active  int
 	closed  bool
+}
+
+// compactSet is one partitioned merge's fan-out: tasks are claimed by index
+// under flusher.mu (by helpers and by the owner alike), and the owner waits
+// on wg so the set is fully executed before the run-set swap.
+type compactSet struct {
+	tasks []func()
+	next  int
+	wg    sync.WaitGroup
 }
 
 func newFlusher(stats *Stats, workers int) *flusher {
@@ -60,38 +75,133 @@ func (f *flusher) enqueue(r *region) {
 	f.mu.Unlock()
 }
 
+// claimHelp pops one sub-compaction task. Caller holds f.mu. Fully claimed
+// sets are dropped from the front; a set with tasks remaining is rotated to
+// the back, so concurrent compactions of different regions share the idle
+// workers round-robin instead of the first set monopolizing them.
+func (f *flusher) claimHelp() (*compactSet, func()) {
+	for len(f.help) > 0 {
+		set := f.help[0]
+		if set.next >= len(set.tasks) {
+			f.help = f.help[1:]
+			continue
+		}
+		task := set.tasks[set.next]
+		set.next++
+		if set.next >= len(set.tasks) {
+			f.help = f.help[1:]
+		} else if len(f.help) > 1 {
+			f.help = append(f.help[1:], set)
+		}
+		return set, task
+	}
+	return nil, nil
+}
+
+// runSubTasks executes a partitioned merge's sub-range tasks: they are
+// published to the helper queue for idle workers, and the calling owner
+// claims tasks too — the owner alone completes the set if every worker is
+// busy, so a single-worker store (or a foreground caller holding region
+// locks) never deadlocks. Returns only when every task has finished. A nil
+// flusher runs the tasks inline.
+func (f *flusher) runSubTasks(tasks []func()) {
+	if f == nil || len(tasks) <= 1 {
+		for _, task := range tasks {
+			task()
+		}
+		return
+	}
+	set := &compactSet{tasks: tasks}
+	set.wg.Add(len(tasks))
+	f.mu.Lock()
+	f.help = append(f.help, set)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	for {
+		f.mu.Lock()
+		var task func()
+		if set.next < len(set.tasks) {
+			task = set.tasks[set.next]
+			set.next++
+		}
+		f.mu.Unlock()
+		if task == nil {
+			break
+		}
+		task()
+		set.wg.Done()
+	}
+	set.wg.Wait()
+}
+
 func (f *flusher) worker() {
 	f.mu.Lock()
 	for {
-		for len(f.queue) == 0 && !f.closed {
+		for len(f.queue) == 0 && len(f.help) == 0 && !f.closed {
 			f.cond.Wait()
 		}
-		if len(f.queue) == 0 { // closed and drained
+		if len(f.queue) == 0 && len(f.help) == 0 { // closed and drained
 			f.workers--
 			f.cond.Broadcast() // wake drain waiters
 			f.mu.Unlock()
 			return
 		}
-		r := f.queue[0]
-		f.queue[0] = nil
-		f.queue = f.queue[1:]
-		// Deregister before processing: a seal that lands mid-flush
-		// re-enqueues and the extra pass is a cheap no-op.
-		delete(f.queued, r)
+		// Flush queue first: keeping the put path unblocked beats merge
+		// parallelism, and sub-compaction progress is guaranteed by the
+		// owner regardless.
+		if len(f.queue) > 0 {
+			r := f.queue[0]
+			f.queue[0] = nil
+			f.queue = f.queue[1:]
+			// Deregister before processing: a seal that lands mid-flush
+			// re-enqueues and the extra pass is a cheap no-op.
+			delete(f.queued, r)
+			f.active++
+			f.mu.Unlock()
+
+			r.flushMu.Lock()
+			for r.flushOldestImm(f.stats) {
+			}
+			r.flushMu.Unlock()
+
+			f.mu.Lock()
+			f.active--
+			if len(f.queue) == 0 && f.active == 0 {
+				f.cond.Broadcast() // wake drain waiters
+			}
+			continue
+		}
+		set, task := f.claimHelp()
+		if task == nil {
+			continue
+		}
 		f.active++
 		f.mu.Unlock()
-
-		r.flushMu.Lock()
-		for r.flushOldestImm(f.stats) {
-		}
-		r.flushMu.Unlock()
-
+		task()
+		set.wg.Done()
 		f.mu.Lock()
 		f.active--
 		if len(f.queue) == 0 && f.active == 0 {
 			f.cond.Broadcast() // wake drain waiters
 		}
 	}
+}
+
+// depth reports the queued work backlog: regions awaiting flush plus
+// unclaimed sub-compaction tasks — the compaction queue depth gauge.
+func (f *flusher) depth() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := int64(len(f.queue))
+	for _, set := range f.help {
+		if rem := len(set.tasks) - set.next; rem > 0 {
+			n += int64(rem)
+		}
+	}
+	return n
 }
 
 // drain blocks until every flush scheduled so far has completed (queue empty

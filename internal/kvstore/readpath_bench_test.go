@@ -52,7 +52,7 @@ func BenchmarkMergeRuns64Sources(b *testing.B) { benchmarkMergeRuns(b, 64) }
 // BenchmarkRegionScan scans a hot region holding many uncompacted runs plus
 // a live memtable — the worst case for the merge layer.
 func BenchmarkRegionScan(b *testing.B) {
-	r := newRegion(1, nil, nil, 0, 1<<30, 1<<30, nil, nil) // thresholds disable auto flush/compact; nil bcfg = legacy runs
+	r := newRegion(1, nil, nil, 0, 1<<30, 1<<30, compactPolicy{fanIn: 4, subRanges: 1}, nil, nil) // thresholds disable auto flush/compact; nil bcfg = legacy runs
 	var sink Stats
 	const runs, perRun = 16, 2000
 	for runIdx := 0; runIdx < runs; runIdx++ {

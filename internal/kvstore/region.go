@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // region is one contiguous key range of a table: [startKey, endKey), where a
@@ -40,7 +41,8 @@ type region struct {
 
 	flushBytes int
 	maxRuns    int
-	fl         *flusher // store's background flusher; nil only in unit fixtures
+	cpol       compactPolicy // tiered/monolithic compaction tuning; see compaction.go
+	fl         *flusher      // store's background flusher; nil only in unit fixtures
 
 	// bcfg selects the run format: the store-wide block configuration
 	// (block runs, shared cache, bloom filters), or nil for the legacy
@@ -68,7 +70,7 @@ type region struct {
 	faultSeq atomic.Int64
 }
 
-func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, fl *flusher, bcfg *blockConfig) *region {
+func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, cpol compactPolicy, fl *flusher, bcfg *blockConfig) *region {
 	r := &region{
 		id:         id,
 		startKey:   start,
@@ -76,6 +78,7 @@ func newRegion(id int64, start, end []byte, node, flushBytes, maxRuns int, fl *f
 		mem:        newSkiplist(nextSkiplistSeed()),
 		flushBytes: flushBytes,
 		maxRuns:    maxRuns,
+		cpol:       cpol,
 		fl:         fl,
 		bcfg:       bcfg,
 	}
@@ -241,8 +244,8 @@ func (r *region) sealLocked() bool {
 }
 
 // flushOldestImm converts the oldest immutable memtable into a sorted run,
-// compacting out of line if the run count crossed maxRuns. Caller holds
-// flushMu (not mu). Returns false when no immutable was pending.
+// then drives the compaction policy to its fixpoint out of line. Caller
+// holds flushMu (not mu). Returns false when no immutable was pending.
 //
 // The drain happens outside region.mu: the sealed memtable is never written
 // again and concurrent readers only read it, while flushMu excludes every
@@ -261,48 +264,53 @@ func (r *region) flushOldestImm(stats *Stats) bool {
 	r.mu.Lock()
 	r.imm = r.imm[1:]
 	r.runs = append(r.runs, run)
-	over := len(r.runs) > r.maxRuns
 	r.mu.Unlock()
 	stats.Flushes.Add(1)
-	if over {
-		r.compactOutOfLine(stats)
-	}
+	stats.BytesFlushed.Add(int64(run.bytes))
+	r.maintainRuns(stats)
 	return true
 }
 
-// compactOutOfLine merges all runs into one without holding region.mu for
-// the merge. Caller holds flushMu, so the run set cannot change underneath
-// the merge and the swap is exact.
+// compactOutOfLine is the legacy monolithic compaction: merge all runs into
+// one without holding region.mu for the merge. Caller holds flushMu, so the
+// run set cannot change underneath the merge and the swap is exact.
 func (r *region) compactOutOfLine(stats *Stats) {
 	r.mu.RLock()
 	snap := make([]*sortedRun, len(r.runs))
 	copy(snap, r.runs)
 	r.mu.RUnlock()
+	var input int64
+	for _, run := range snap {
+		input += int64(run.bytes)
+	}
+	start := time.Now()
 	merged := mergeRunSlice(r.bcfg, snap)
 	r.mu.Lock()
 	r.runs = []*sortedRun{merged}
 	r.mu.Unlock()
 	stats.Compactions.Add(1)
+	stats.BytesCompacted.Add(input)
+	stats.CompactStallNanos.Add(time.Since(start).Nanoseconds())
 }
 
 // drainImmsLocked converts every pending immutable memtable into a run with
 // exactly the counting the background flusher would have performed (one
-// Flush per conversion, one Compaction per maxRuns crossing) — so counter
-// totals stay a pure function of the write sequence whether the flusher or
-// a foreground path (split, CompactAll) got there first. Caller holds
-// flushMu and mu.
+// Flush per conversion, then the compaction policy driven to its fixpoint,
+// one Compactions per merge window and one SubCompactions per sub-range) —
+// so counter totals stay a pure function of the write sequence whether the
+// flusher or a foreground path (split, CompactAll) got there first. Caller
+// holds flushMu and mu.
 func (r *region) drainImmsLocked(stats *Stats) {
 	for _, m := range r.imm {
 		if m.size == 0 {
 			continue
 		}
 		entries, rawBytes := m.drain()
-		r.runs = append(r.runs, newRunFromEntries(r.bcfg, entries, rawBytes))
+		run := newRunFromEntries(r.bcfg, entries, rawBytes)
+		r.runs = append(r.runs, run)
 		stats.Flushes.Add(1)
-		if len(r.runs) > r.maxRuns {
-			r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
-			stats.Compactions.Add(1)
-		}
+		stats.BytesFlushed.Add(int64(run.bytes))
+		r.maintainRunsLocked(stats)
 	}
 	r.imm = nil
 }

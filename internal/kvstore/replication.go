@@ -565,7 +565,7 @@ func (s *Store) initReplication(r *region) {
 	now := time.Now().UnixNano()
 	for i := 1; i < rf; i++ {
 		node := (leaderNode + i) % s.opts.Nodes
-		fr := newRegion(s.nextRegionID(), r.startKey, r.endKey, node, r.flushBytes, r.maxRuns, s.fl, s.bcfg)
+		fr := newRegion(s.nextRegionID(), r.startKey, r.endKey, node, r.flushBytes, r.maxRuns, r.cpol, s.fl, s.bcfg)
 		fr.runs = append([]*sortedRun(nil), seedRuns...)
 		fr.writeBytes.Store(seedBytes)
 		g.followers = append(g.followers, &follower{

@@ -16,7 +16,7 @@ import (
 // shipFollower builds a standalone follower over an empty region, outside any
 // group, so tests can drive applyFrame directly.
 func shipFollower() *follower {
-	return &follower{reg: newRegion(1, nil, nil, 0, 1<<20, 6, nil, nil)}
+	return &follower{reg: newRegion(1, nil, nil, 0, 1<<20, 6, compactPolicy{fanIn: 4, subRanges: 1}, nil, nil)}
 }
 
 func followerRows(f *follower) []KV {

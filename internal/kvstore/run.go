@@ -16,6 +16,11 @@ type sortedRun struct {
 	entries []entry   // legacy mode; nil in block mode
 	br      *blockRun // block mode; nil in legacy mode
 	bytes   int
+
+	// group links the key-disjoint fragments of one partitioned compaction:
+	// consecutive runs sharing a nonzero group id are one logical run to the
+	// tier policy (see compaction.go). 0 = ungrouped.
+	group uint64
 }
 
 // newRunFromEntries builds a run in the mode bcfg selects (nil = legacy).
@@ -117,18 +122,37 @@ func mergeRuns(sources [][]entry, dropTombs bool) ([]entry, int) {
 }
 
 // mergeRunSlice merges oldest-first runs into one tombstone-free run (a
-// region owns its whole key range, so nothing older can resurface). In
-// block mode the sources stream block-by-block through cursors into a new
-// block builder — the decoded working set is one block per source, never
-// the whole region — and the merge bypasses the block cache so compactions
-// don't evict the read path's working set.
+// region owns its whole key range, so nothing older can resurface).
 func mergeRunSlice(bcfg *blockConfig, runs []*sortedRun) *sortedRun {
+	return mergeRunWindow(bcfg, runs, nil, nil, true)
+}
+
+// mergeRunWindow merges the [lo, hi) key window of oldest-first runs into
+// one run — the unit of a key-range-partitioned sub-compaction (nil bounds
+// merge everything: a full compaction). If dropTombs is false, tombstones
+// are preserved in the output so they keep shadowing older runs below the
+// merge window. In block mode the sources stream block-by-block through
+// cursors into a new block builder — the decoded working set is one block
+// per source, never the whole window — and the merge bypasses the block
+// cache so compactions don't evict the read path's working set.
+func mergeRunWindow(bcfg *blockConfig, runs []*sortedRun, lo, hi []byte, dropTombs bool) *sortedRun {
 	if bcfg == nil {
 		sources := make([][]entry, len(runs))
 		for i, run := range runs {
-			sources[len(runs)-1-i] = run.entries
+			es := run.entries
+			i0, j0 := 0, len(es)
+			if lo != nil {
+				i0 = run.seek(lo)
+			}
+			if hi != nil {
+				j0 = run.seek(hi)
+			}
+			if j0 < i0 {
+				j0 = i0
+			}
+			sources[len(runs)-1-i] = es[i0:j0]
 		}
-		entries, rawBytes := mergeRuns(sources, true)
+		entries, rawBytes := mergeRuns(sources, dropTombs)
 		return &sortedRun{entries: entries, bytes: rawBytes}
 	}
 	sc := getScanScratch(len(runs))
@@ -138,9 +162,20 @@ func mergeRunSlice(bcfg *blockConfig, runs []*sortedRun) *sortedRun {
 		sc.cursors = append(sc.cursors, mergeCursor{})
 		c := &sc.cursors[len(sc.cursors)-1]
 		if run.br != nil {
-			c.initBlock(run.br, nil, nil, len(runs)-1-i, true)
+			c.initBlock(run.br, lo, hi, len(runs)-1-i, true)
 		} else {
-			c.initSlice(run.entries, len(runs)-1-i)
+			es := run.entries
+			i0, j0 := 0, len(es)
+			if lo != nil {
+				i0 = run.seek(lo)
+			}
+			if hi != nil {
+				j0 = run.seek(hi)
+			}
+			if j0 < i0 {
+				j0 = i0
+			}
+			c.initSlice(es[i0:j0], len(runs)-1-i)
 		}
 	}
 	it := sc.start()
@@ -150,10 +185,10 @@ func mergeRunSlice(bcfg *blockConfig, runs []*sortedRun) *sortedRun {
 		if !ok {
 			break
 		}
-		if e.tomb {
+		if e.tomb && dropTombs {
 			continue
 		}
-		b.add(e.key, e.value, false)
+		b.add(e.key, e.value, e.tomb)
 	}
 	br := b.finish()
 	return &sortedRun{br: br, bytes: br.rawBytes}

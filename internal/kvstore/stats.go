@@ -64,6 +64,21 @@ type Stats struct {
 	BloomNegatives      atomic.Int64
 	BloomFalsePositives atomic.Int64
 	CatchupShipBytes    atomic.Int64
+
+	// Compaction write-amplification counters: BytesFlushed is the raw
+	// key+value volume memtable flushes wrote into first-level runs;
+	// BytesCompacted is the raw volume compactions re-read and rewrote
+	// (their input runs). bytes_compacted / bytes_flushed is therefore the
+	// rewrite amplification of the compaction policy — the number the tiered
+	// scheduler exists to shrink. SubCompactions counts the key-range
+	// sub-merges partitioned compactions fanned out (0 for unpartitioned
+	// merges); CompactStallNanos is wall time a region's flush path spent
+	// inside compaction, i.e. how long further flushes of that region
+	// stalled behind merging.
+	BytesFlushed      atomic.Int64
+	BytesCompacted    atomic.Int64
+	SubCompactions    atomic.Int64
+	CompactStallNanos atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -101,6 +116,11 @@ type Snapshot struct {
 	BloomNegatives      int64
 	BloomFalsePositives int64
 	CatchupShipBytes    int64
+
+	BytesFlushed      int64
+	BytesCompacted    int64
+	SubCompactions    int64
+	CompactStallNanos int64
 }
 
 // Snapshot returns the current counter values.
@@ -139,6 +159,11 @@ func (s *Stats) Snapshot() Snapshot {
 		BloomNegatives:      s.BloomNegatives.Load(),
 		BloomFalsePositives: s.BloomFalsePositives.Load(),
 		CatchupShipBytes:    s.CatchupShipBytes.Load(),
+
+		BytesFlushed:      s.BytesFlushed.Load(),
+		BytesCompacted:    s.BytesCompacted.Load(),
+		SubCompactions:    s.SubCompactions.Load(),
+		CompactStallNanos: s.CompactStallNanos.Load(),
 	}
 }
 
@@ -177,6 +202,11 @@ func (s *Stats) Reset() {
 	s.BloomNegatives.Store(0)
 	s.BloomFalsePositives.Store(0)
 	s.CatchupShipBytes.Store(0)
+
+	s.BytesFlushed.Store(0)
+	s.BytesCompacted.Store(0)
+	s.SubCompactions.Store(0)
+	s.CompactStallNanos.Store(0)
 }
 
 // Diff returns b - a field-wise, for measuring a single operation.
@@ -215,5 +245,10 @@ func Diff(a, b Snapshot) Snapshot {
 		BloomNegatives:      b.BloomNegatives - a.BloomNegatives,
 		BloomFalsePositives: b.BloomFalsePositives - a.BloomFalsePositives,
 		CatchupShipBytes:    b.CatchupShipBytes - a.CatchupShipBytes,
+
+		BytesFlushed:      b.BytesFlushed - a.BytesFlushed,
+		BytesCompacted:    b.BytesCompacted - a.BytesCompacted,
+		SubCompactions:    b.SubCompactions - a.SubCompactions,
+		CompactStallNanos: b.CompactStallNanos - a.CompactStallNanos,
 	}
 }

@@ -99,7 +99,7 @@ func TestReadPathStatsGolden(t *testing.T) {
 	check("Puts", got.Puts, 4308)
 	check("Deletes", got.Deletes, 236)
 	check("Flushes", got.Flushes, 52)
-	check("Compactions", got.Compactions, 10)
+	check("Compactions", got.Compactions, 12)
 	check("RegionSplits", got.RegionSplits, 7)
 	if t.Failed() {
 		t.Logf("full snapshot: %+v", got)

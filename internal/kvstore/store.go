@@ -19,9 +19,24 @@ type Options struct {
 	RegionMaxBytes int
 	// MemtableFlushBytes triggers a memtable flush into a sorted run.
 	MemtableFlushBytes int
-	// MaxRunsPerRegion triggers a compaction when a region accumulates more
-	// sorted runs than this.
+	// MaxRunsPerRegion bounds a region's logical run count: the tiered
+	// policy falls back to cheapest-pair merges above it (and the legacy
+	// monolithic policy compacts everything on crossing it).
 	MaxRunsPerRegion int
+	// CompactFanIn is how many consecutive same-size-tier runs one tiered
+	// compaction merges (0 = 4, min 2). Larger fan-in lowers write
+	// amplification but leaves more runs visible between merges.
+	CompactFanIn int
+	// CompactSubRanges is the maximum number of key-range partitions a
+	// single large merge is split into for parallel sub-compactions on the
+	// flusher pool (0 = 4; 1 disables partitioning). Merges under 4 MiB of
+	// input never partition.
+	CompactSubRanges int
+	// MonolithicCompaction reverts to the legacy policy: merge every run
+	// into one whenever the run count crosses MaxRunsPerRegion. Kept for
+	// the tiered/monolithic equivalence tests and A/B write-amplification
+	// measurement.
+	MonolithicCompaction bool
 	// Parallelism sizes the store's shared worker pool: the number of
 	// region scan/write tasks that may run concurrently store-wide, and
 	// therefore the parallelism ceiling of any single query or MultiPut.
@@ -86,8 +101,10 @@ func DefaultOptions() Options {
 		RegionMaxBytes:     8 << 20,
 		MemtableFlushBytes: 1 << 20,
 		MaxRunsPerRegion:   6,
+		CompactFanIn:       4,
+		CompactSubRanges:   4,
 		Parallelism:        8,
-		FlushWorkers:       1,
+		FlushWorkers:       4,
 		RPCLatencyMicros:   150,
 		TransferMBps:       32,
 		DiskMBps:           256,
@@ -124,6 +141,15 @@ func (o *Options) sanitize() {
 	}
 	if o.MaxRunsPerRegion <= 0 {
 		o.MaxRunsPerRegion = def.MaxRunsPerRegion
+	}
+	if o.CompactFanIn <= 0 {
+		o.CompactFanIn = def.CompactFanIn
+	}
+	if o.CompactFanIn < 2 {
+		o.CompactFanIn = 2
+	}
+	if o.CompactSubRanges <= 0 {
+		o.CompactSubRanges = def.CompactSubRanges
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = def.Parallelism
@@ -338,15 +364,60 @@ func (s *Store) nextNode() int {
 // order they are stable across runs, which keeps injected faults replayable.
 func (s *Store) nextRegionID() int64 { return s.regionSeq.Add(1) }
 
+// compactPol is the store-wide compaction policy every region is built with.
+func (s *Store) compactPol() compactPolicy {
+	return compactPolicy{
+		fanIn:      s.opts.CompactFanIn,
+		subRanges:  s.opts.CompactSubRanges,
+		monolithic: s.opts.MonolithicCompaction,
+	}
+}
+
 // RetryPolicy returns the sanitized client retry schedule.
 func (s *Store) RetryPolicy() RetryPolicy { return s.opts.Retry }
 
 // FaultsEnabled reports whether the store injects faults.
 func (s *Store) FaultsEnabled() bool { return s.injector != nil }
 
+// CompactQueueDepth reports the background backlog: regions queued for
+// flush plus unclaimed sub-compaction tasks.
+func (s *Store) CompactQueueDepth() int64 { return s.fl.depth() }
+
+// TierRunHistogram counts the store's logical runs by size tier (index =
+// runTier of the logical run's bytes; fragments of one partitioned merge
+// count as a single logical run, matching the policy's view). The slice is
+// dense from tier 0 to the largest occupied tier.
+func (s *Store) TierRunHistogram() []int {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	var hist []int
+	for _, t := range tables {
+		t.mu.RLock()
+		for _, r := range t.regions {
+			r.mu.RLock()
+			for _, lr := range logicalRuns(r.runs) {
+				tier := runTier(lr.bytes)
+				for len(hist) <= tier {
+					hist = append(hist, 0)
+				}
+				hist[tier]++
+			}
+			r.mu.RUnlock()
+		}
+		t.mu.RUnlock()
+	}
+	return hist
+}
+
 // CompactAll flushes and compacts every region of every table — the
 // analogue of a major compaction after bulk loading. Benchmarks call this
-// so scans measure the steady state.
+// so scans measure the steady state. Regions settle in parallel on the
+// flusher's helper pool (the caller participates, so it completes even with
+// every worker busy).
 func (s *Store) CompactAll() {
 	s.mu.RLock()
 	tables := make([]*Table, 0, len(s.tables))

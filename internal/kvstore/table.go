@@ -38,7 +38,7 @@ type Table struct {
 
 func newTable(name string, store *Store) *Table {
 	t := &Table{name: name, store: store}
-	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.fl, store.bcfg)}
+	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.compactPol(), store.fl, store.bcfg)}
 	store.initReplication(t.regions[0])
 	return t
 }
@@ -86,11 +86,11 @@ func (t *Table) PreSplit(keys [][]byte) error {
 	var start []byte
 	for _, k := range keys {
 		regions = append(regions, newRegion(t.store.nextRegionID(), start, k,
-			t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl, t.store.bcfg))
+			t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.compactPol(), t.store.fl, t.store.bcfg))
 		start = k
 	}
 	regions = append(regions, newRegion(t.store.nextRegionID(), start, nil,
-		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.fl, t.store.bcfg))
+		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.compactPol(), t.store.fl, t.store.bcfg))
 	for _, r := range regions {
 		t.store.initReplication(r)
 	}
@@ -258,8 +258,8 @@ func (t *Table) maybeSplit(r *region) {
 		r.writeBytes.Store(entriesCharge(entries))
 		return
 	}
-	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, t.store.fl, t.store.bcfg)
-	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, t.store.fl, t.store.bcfg)
+	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.store.bcfg)
+	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.store.bcfg)
 	// entriesCharge walks each side once anyway; derive the raw byte
 	// totals from it instead of recounting inside the run constructor.
 	leftCharge, rightCharge := entriesCharge(entries[:cut]), entriesCharge(entries[cut:])
@@ -966,32 +966,57 @@ func (t *Table) ApproxSize() int {
 // CompactAll flushes memtables (sealed and live) and merges all runs of
 // every region. Pending background flushes are absorbed with
 // flusher-equivalent counting, so counter totals don't depend on how far
-// the flusher got.
+// the flusher got. Regions settle in parallel on the flusher's helper pool;
+// per-region counting is unchanged by the fan-out, so totals stay
+// deterministic.
 func (t *Table) CompactAll() {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, r := range t.regions {
-		r.flushMu.Lock()
-		r.mu.Lock()
-		r.drainImmsLocked(&t.store.stats)
-		if r.mem.size > 0 {
-			memEntries, memRaw := r.mem.drain()
-			r.runs = append(r.runs, newRunFromEntries(r.bcfg, memEntries, memRaw))
-			r.mem = newSkiplist(nextSkiplistSeed())
-			t.store.stats.Flushes.Add(1)
-			if len(r.runs) > r.maxRuns {
-				r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
-				t.store.stats.Compactions.Add(1)
+	tasks := make([]func(), len(t.regions))
+	for i, r := range t.regions {
+		r := r
+		tasks[i] = func() { t.compactRegion(r) }
+	}
+	t.store.fl.runSubTasks(tasks)
+}
+
+// compactRegion is one region's share of a CompactAll: drain sealed and
+// live memtables with flusher-equivalent counting, then major-compact the
+// remaining runs into one.
+func (t *Table) compactRegion(r *region) {
+	st := &t.store.stats
+	r.flushMu.Lock()
+	r.mu.Lock()
+	r.drainImmsLocked(st)
+	if r.mem.size > 0 {
+		memEntries, memRaw := r.mem.drain()
+		run := newRunFromEntries(r.bcfg, memEntries, memRaw)
+		r.runs = append(r.runs, run)
+		r.mem = newSkiplist(nextSkiplistSeed())
+		st.Flushes.Add(1)
+		st.BytesFlushed.Add(int64(run.bytes))
+		r.maintainRunsLocked(st)
+	}
+	if len(r.runs) > 1 {
+		total, biggest := 0, 0
+		for _, run := range r.runs {
+			total += run.bytes
+			if run.bytes > biggest {
+				biggest = run.bytes
 			}
 		}
-		if len(r.runs) > 1 {
-			r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
-			t.store.stats.Compactions.Add(1)
-			// A major compaction briefly blocks client RPCs, as a region
-			// move would.
-			t.store.injector.markUnavailable(r)
-		}
-		r.mu.Unlock()
-		r.flushMu.Unlock()
+		start := time.Now()
+		r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
+		st.Compactions.Add(1)
+		st.BytesCompacted.Add(int64(total))
+		st.CompactStallNanos.Add(time.Since(start).Nanoseconds())
+		// A major compaction briefly blocks client RPCs, as a region move
+		// would — but only in proportion to the data actually migrated onto
+		// the new run: the largest input is the stable base a tiered region
+		// already had resident, so the window scales with the smaller tiers
+		// folded into it rather than the whole region.
+		t.store.injector.markUnavailableBytes(r, total-biggest, total)
 	}
+	r.mu.Unlock()
+	r.flushMu.Unlock()
 }

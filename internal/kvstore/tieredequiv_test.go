@@ -1,0 +1,278 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// tieredEquivStores builds two stores fed the identical deterministic
+// workload, differing only in compaction policy: A runs the tiered
+// partitioned scheduler, B the legacy monolithic rewrite.
+func tieredEquivStores(t *testing.T) (tieredTbl, monoTbl *Table, tiered, mono *Store) {
+	t.Helper()
+	mk := func(monolithic bool) (*Store, *Table) {
+		o := DefaultOptions()
+		o.MemtableFlushBytes = 16 << 10
+		o.RegionMaxBytes = 256 << 10
+		o.MonolithicCompaction = monolithic
+		s := Open(o)
+		tbl, err := s.CreateTable("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		equivWorkload(tbl, 4321)
+		s.Quiesce()
+		return s, tbl
+	}
+	tiered, tieredTbl = mk(false)
+	mono, monoTbl = mk(true)
+	return tieredTbl, monoTbl, tiered, mono
+}
+
+// TestTieredMonolithicEquivalence pins the tentpole invariant: compaction
+// policy is pure physical reorganization, so every externally observable
+// result — full scans, bounded windows, filtered and limited scans, range
+// batches, point gets — is byte-identical between the tiered and monolithic
+// stores, and the cost-model counters the paper reports agree exactly.
+func TestTieredMonolithicEquivalence(t *testing.T) {
+	tieredTbl, monoTbl, ts, ms := tieredEquivStores(t)
+	defer ts.Close()
+	defer ms.Close()
+
+	sameKVs := func(name string, a, b []KV) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d rows (tiered) vs %d (monolithic)", name, len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+				t.Fatalf("%s: row %d differs: %q vs %q", name, i, a[i].Key, b[i].Key)
+			}
+		}
+	}
+
+	tBefore, mBefore := ts.Stats().Snapshot(), ms.Stats().Snapshot()
+
+	// The six query fingerprints: full scan, bounded windows, limited scans,
+	// filtered scan, multi-range batch, and point gets.
+	sameKVs("full scan", tieredTbl.Scan(nil, nil, nil, 0), monoTbl.Scan(nil, nil, nil, 0))
+	for i := 0; i < 50; i++ {
+		lo := []byte(fmt.Sprintf("traj/%03d/", i*7%40))
+		hi := []byte(fmt.Sprintf("traj/%03d/%08d", i*7%40, 2500))
+		sameKVs("window", tieredTbl.Scan(lo, hi, nil, 0), monoTbl.Scan(lo, hi, nil, 0))
+		sameKVs("limited", tieredTbl.Scan(lo, nil, nil, 25), monoTbl.Scan(lo, nil, nil, 25))
+	}
+	f := FilterFunc(func(k, v []byte) bool { return len(v) > 100 })
+	sameKVs("filtered", tieredTbl.Scan(nil, nil, f, 0), monoTbl.Scan(nil, nil, f, 0))
+	var ranges []KeyRange
+	for i := 0; i < 40; i += 3 {
+		ranges = append(ranges, KeyRange{
+			Start: []byte(fmt.Sprintf("traj/%03d/", i)),
+			End:   []byte(fmt.Sprintf("traj/%03d/%08d", i, 4000)),
+		})
+	}
+	sameKVs("ranges", tieredTbl.ScanRanges(ranges, nil, 0), monoTbl.ScanRanges(ranges, nil, 0))
+	sameKVs("ranges-filtered", tieredTbl.ScanRanges(ranges, f, 200), monoTbl.ScanRanges(ranges, f, 200))
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("traj/%03d/%08d", rng.Intn(50), rng.Intn(6000)))
+		tv, tok := tieredTbl.Get(k)
+		mv, mok := monoTbl.Get(k)
+		if tok != mok || !bytes.Equal(tv, mv) {
+			t.Fatalf("get %q: tiered (%q, %v) vs monolithic (%q, %v)", k, tv, tok, mv, mok)
+		}
+	}
+
+	td, md := Diff(tBefore, ts.Stats().Snapshot()), Diff(mBefore, ms.Stats().Snapshot())
+	if td.RowsReturned != md.RowsReturned || td.BytesReturned != md.BytesReturned ||
+		td.Seeks != md.Seeks {
+		t.Fatalf("cost counters diverge: tiered {returned %d bytes %d seeks %d} vs monolithic {%d %d %d}",
+			td.RowsReturned, td.BytesReturned, td.Seeks,
+			md.RowsReturned, md.BytesReturned, md.Seeks)
+	}
+}
+
+// TestTieredRewritesLess pins the headline perf property at test scale: for
+// the same ingest, the tiered policy compacts strictly fewer bytes than the
+// monolithic one (the full-size ratio is measured by
+// BenchmarkSustainedIngest).
+func TestTieredRewritesLess(t *testing.T) {
+	_, _, ts, ms := tieredEquivStores(t)
+	defer ts.Close()
+	defer ms.Close()
+	tb := ts.Stats().BytesCompacted.Load()
+	mb := ms.Stats().BytesCompacted.Load()
+	if mb == 0 {
+		t.Fatal("monolithic store never compacted — workload too small")
+	}
+	if tb >= mb {
+		t.Fatalf("tiered compacted %d bytes, monolithic %d — no write-amp win", tb, mb)
+	}
+	t.Logf("bytes compacted: tiered=%d monolithic=%d (%.2fx less rewrite)",
+		tb, mb, float64(mb)/float64(tb))
+}
+
+// TestPickCompaction exercises the policy function directly on synthetic
+// run lists (pickCompaction reads only bytes and group).
+func TestPickCompaction(t *testing.T) {
+	mk := func(sizes ...int) []*sortedRun {
+		rs := make([]*sortedRun, len(sizes))
+		for i, b := range sizes {
+			rs[i] = &sortedRun{bytes: b}
+		}
+		return rs
+	}
+	pol := compactPolicy{fanIn: 4, subRanges: 4}
+
+	// Four same-tier runs (1100..1500 all sit in tier [1024,2048)): merge all four.
+	if lo, hi, ok := pickCompaction(mk(1<<20, 1100, 1200, 1300, 1500), pol, 8); !ok || lo != 1 || hi != 5 {
+		t.Fatalf("streak pick = [%d,%d) ok=%v, want [1,5) true", lo, hi, ok)
+	}
+	// Two streaks in different tiers: the smaller tier wins.
+	if lo, hi, ok := pickCompaction(mk(1<<20, 1<<20, 1<<20, 1<<20, 100, 100, 100, 100), pol, 99); !ok || lo != 4 || hi != 8 {
+		t.Fatalf("tier preference pick = [%d,%d) ok=%v, want [4,8) true", lo, hi, ok)
+	}
+	// Streak longer than fanIn: only the oldest fanIn runs merge.
+	if lo, hi, ok := pickCompaction(mk(100, 100, 100, 100, 100, 100), pol, 99); !ok || lo != 0 || hi != 4 {
+		t.Fatalf("fan-in bound pick = [%d,%d) ok=%v, want [0,4) true", lo, hi, ok)
+	}
+	// No streak, under maxRuns: fixpoint.
+	if _, _, ok := pickCompaction(mk(1<<20, 1<<10, 1<<5), pol, 8); ok {
+		t.Fatal("expected fixpoint for mixed tiers under maxRuns")
+	}
+	// No streak, over maxRuns: cheapest adjacent pair merges.
+	if lo, hi, ok := pickCompaction(mk(1<<20, 1<<14, 1<<10, 1<<6), pol, 3); !ok || lo != 2 || hi != 4 {
+		t.Fatalf("overflow pick = [%d,%d) ok=%v, want [2,4) true", lo, hi, ok)
+	}
+	// Fragments of one partitioned merge count as ONE logical run: a group of
+	// four same-size fragments must not be re-merged with itself.
+	frag := mk(100, 100, 100, 100)
+	for _, r := range frag {
+		r.group = 7
+	}
+	if _, _, ok := pickCompaction(frag, pol, 8); ok {
+		t.Fatal("policy re-merged the fragments of one partitioned compaction")
+	}
+}
+
+// TestTombstoneSurvivesMidTierMerge pins the tombstone rule: a delete whose
+// run is merged ABOVE older data must keep shadowing it; only a bottom merge
+// may drop tombstones.
+func TestTombstoneSurvivesMidTierMerge(t *testing.T) {
+	o := DefaultOptions()
+	o.MemtableFlushBytes = 1 << 30 // keep the memtable out of the way; runs are installed by hand
+	s := Open(o)
+	defer s.Close()
+	tbl, err := s.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build runs by hand through the region internals: old value, then a
+	// tombstone, then newer unrelated runs that merge above the bottom.
+	r := tbl.regions[0]
+	mkRun := func(k string, tomb bool, pad int) *sortedRun {
+		e := entry{key: []byte(k), tomb: tomb}
+		if !tomb {
+			e.value = bytes.Repeat([]byte("v"), pad)
+		}
+		return newRunFromEntries(r.bcfg, []entry{e}, -1)
+	}
+	r.mu.Lock()
+	r.runs = []*sortedRun{
+		mkRun("key", false, 10), // oldest: the live value
+		mkRun("key", true, 0),   // tombstone in a young run
+		mkRun("other-a", false, 8),
+		mkRun("other-b", false, 8),
+	}
+	// Merge the top three runs — a mid-tier window NOT touching runs[0].
+	frags := r.compactGroup(r.runs, 1, 4, s.Stats(), false)
+	r.runs = spliceRuns(r.runs, 1, 4, frags)
+	r.mu.Unlock()
+
+	if _, ok := tbl.Get([]byte("key")); ok {
+		t.Fatal("tombstone dropped by a mid-tier merge: deleted key resurfaced")
+	}
+	// A bottom merge may (and does) drop it for good.
+	r.mu.Lock()
+	frags = r.compactGroup(r.runs, 0, len(r.runs), s.Stats(), false)
+	r.runs = spliceRuns(r.runs, 0, len(r.runs), frags)
+	total := 0
+	for _, run := range r.runs {
+		total += run.numEntries()
+	}
+	r.mu.Unlock()
+	if _, ok := tbl.Get([]byte("key")); ok {
+		t.Fatal("deleted key resurfaced after bottom merge")
+	}
+	if total != 2 {
+		t.Fatalf("bottom merge kept %d entries, want 2 (tombstone and shadowed value gone)", total)
+	}
+}
+
+// TestConcurrentSubCompactions hammers the flusher helper pool: many
+// goroutines ingesting into many regions with tiny flush thresholds and
+// aggressive sub-range partitioning, interleaved with table-wide compactions
+// and scans. Run under -race this is the scheduler's data-race canary; the
+// final full scan checks nothing was lost or duplicated.
+func TestConcurrentSubCompactions(t *testing.T) {
+	o := DefaultOptions()
+	o.MemtableFlushBytes = 4 << 10
+	o.RegionMaxBytes = 64 << 10
+	o.CompactSubRanges = 8
+	o.CompactFanIn = 2 // merge eagerly: maximum churn
+	o.FlushWorkers = 4
+	s := Open(o)
+	defer s.Close()
+	tbl, err := s.CreateTable("stress")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, rows = 8, 1500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var kvs []KV
+			for i := 0; i < rows; i++ {
+				k := []byte(fmt.Sprintf("w%02d/%08d", w, i))
+				v := make([]byte, 30+rng.Intn(200))
+				rng.Read(v)
+				kvs = append(kvs, KV{Key: k, Value: v})
+				if len(kvs) == 100 {
+					tbl.MultiPut(kvs)
+					kvs = kvs[:0]
+				}
+			}
+			tbl.MultiPut(kvs)
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			s.CompactAll()
+			_ = tbl.Scan(nil, nil, nil, 50)
+		}
+	}()
+	wg.Wait()
+	<-done
+	s.Quiesce()
+
+	got := tbl.Scan(nil, nil, nil, 0)
+	if len(got) != writers*rows {
+		t.Fatalf("scan returned %d rows, want %d", len(got), writers*rows)
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1].Key, got[i].Key) >= 0 {
+			t.Fatalf("scan order violated at %d: %q >= %q", i, got[i-1].Key, got[i].Key)
+		}
+	}
+}

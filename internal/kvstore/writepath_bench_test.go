@@ -3,7 +3,9 @@ package kvstore
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
+	"time"
 )
 
 // Benchmarks for the batched write path: per-region MultiPut with sorted
@@ -75,6 +77,70 @@ func benchmarkIngest(b *testing.B, regions int, batched bool) {
 		b.Fatalf("region count drifted: %d, want %d", rc, regions)
 	}
 }
+
+// benchmarkSustainedIngest pushes a fixed multi-run volume (~64 MiB of
+// ~1 KiB rows) through one table and reports the two numbers the tiered
+// scheduler exists to move: write amplification (bytes compaction rewrote
+// per byte flushed) and p99 batch-put latency (compaction stalls surface as
+// tail latency on the write path). In-memory store: WAL fsync noise would
+// drown the rewrite signal this benchmark isolates.
+func benchmarkSustainedIngest(b *testing.B, monolithic bool) {
+	const (
+		rows      = 64 << 10 // x ~1 KiB values = ~64 MiB raw ingest
+		batchSize = 256
+	)
+	var lats []time.Duration
+	var writeAmp float64
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		opts := DefaultOptions()
+		opts.RegionMaxBytes = 32 << 20
+		opts.MemtableFlushBytes = 512 << 10
+		opts.MonolithicCompaction = monolithic
+		s := Open(opts)
+		tbl, err := s.CreateTable("sustained")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		val := make([]byte, 1024)
+		rng.Read(val)
+		batch := make([]KV, 0, batchSize)
+		b.StartTimer()
+		for i := 0; i < rows; i++ {
+			batch = append(batch, KV{
+				Key:   []byte(fmt.Sprintf("traj/%04d/%08d", rng.Intn(512), i)),
+				Value: val,
+			})
+			if len(batch) == batchSize {
+				t0 := time.Now()
+				tbl.MultiPut(batch)
+				lats = append(lats, time.Since(t0))
+				batch = batch[:0]
+			}
+		}
+		s.Quiesce()
+		b.StopTimer()
+		snap := s.Stats().Snapshot()
+		if snap.BytesFlushed == 0 {
+			b.Fatal("nothing flushed — thresholds too high for the workload")
+		}
+		// The workload is deterministic, so the ratio is identical every
+		// iteration; latencies aggregate across iterations for a stable p99.
+		writeAmp = float64(snap.BytesCompacted) / float64(snap.BytesFlushed)
+		s.Close()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	b.ReportMetric(writeAmp, "write-amp")
+	b.ReportMetric(float64(lats[len(lats)*99/100].Microseconds()), "p99-batch-us")
+	// The max batch is the one that paid a region split (t.mu held for the
+	// materialize); it bounds the worst write stall either policy causes.
+	b.ReportMetric(float64(lats[len(lats)-1].Microseconds())/1000, "max-batch-ms")
+	b.ReportMetric(float64(rows)*1024*float64(b.N)/b.Elapsed().Seconds()/(1<<20), "MiB/s")
+}
+
+func BenchmarkSustainedIngestTiered(b *testing.B)     { benchmarkSustainedIngest(b, false) }
+func BenchmarkSustainedIngestMonolithic(b *testing.B) { benchmarkSustainedIngest(b, true) }
 
 func BenchmarkWriteSequential1Region(b *testing.B)   { benchmarkIngest(b, 1, false) }
 func BenchmarkWriteSequential4Regions(b *testing.B)  { benchmarkIngest(b, 4, false) }

@@ -99,7 +99,7 @@ const (
 	pinWritePuts          = 9318
 	pinWriteDeletes       = 316
 	pinWriteFlushes       = 90
-	pinWriteCompactions   = 8
+	pinWriteCompactions   = 10
 	pinWriteSplits        = 15
 	pinWriteRPCs          = 137
 	pinWriteRetried       = 21

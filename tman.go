@@ -197,6 +197,23 @@ func WithBlockTuning(blockBytes, bloomBits, cacheBytes int) Option {
 	}
 }
 
+// WithCompactionTuning adjusts the tiered compaction scheduler of the
+// underlying store: fanIn is how many consecutive same-size-tier runs a
+// region accumulates before they merge (0 keeps the default 4, minimum 2 —
+// higher defers merging and lowers write amplification at the cost of more
+// runs per read), and subRanges is the number of key-range partitions a
+// large merge is split into for parallel execution on the flusher pool
+// (0 keeps 4, 1 disables partitioning). monolithic restores the legacy
+// policy that rewrites every run in the region whenever the run count
+// crosses the per-region maximum — kept for A/B comparison.
+func WithCompactionTuning(fanIn, subRanges int, monolithic bool) Option {
+	return func(c *engine.Config) {
+		c.KV.CompactFanIn = fanIn
+		c.KV.CompactSubRanges = subRanges
+		c.KV.MonolithicCompaction = monolithic
+	}
+}
+
 // WithTraceSampling records a full trace-span tree for the given fraction
 // of queries (0..1) into the engine's trace ring, inspectable through the
 // HTTP /trace endpoint. 0 (the default) disables sampling; traced queries
