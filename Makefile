@@ -39,7 +39,7 @@ obs-check:
 	$(GO) build -o /tmp/tmand-obscheck ./cmd/tmand
 	$(GO) build -o /tmp/obscheck ./cmd/obscheck
 	@/tmp/tmand-obscheck -addr $(OBS_ADDR) -log-level warn -trace-sample 1 & pid=$$!; \
-	/tmp/obscheck -url http://$(OBS_ADDR)/metrics -min-series 40; rc=$$?; \
+	/tmp/obscheck -url http://$(OBS_ADDR)/metrics -min-series 43; rc=$$?; \
 	kill $$pid 2>/dev/null; exit $$rc
 
 # Read-path benchmarks (region scan, k-way merge, scan executor, hot SRQ).

@@ -51,6 +51,7 @@ func main() {
 		blockSize   = flag.Int("block-size", 0, "encoded run block size in bytes (0 = 4096, min 512)")
 		blockCache  = flag.Int("block-cache-mb", 0, "decoded block cache capacity in MiB (0 = 32, negative disables)")
 		bloomBits   = flag.Int("bloom-bits", 0, "bloom filter bits per key (0 = 10, negative disables)")
+		blockFences = flag.Bool("block-fences", true, "prune run blocks via per-block time/bbox fences")
 		compactFan  = flag.Int("compact-fanin", 0, "same-tier runs merged per tiered compaction (0 = 4, min 2)")
 		compactSub  = flag.Int("compact-subranges", 0, "key-range partitions per large merge (0 = 4, 1 disables)")
 		monolithic  = flag.Bool("compact-monolithic", false, "use the legacy whole-region compaction policy")
@@ -97,6 +98,9 @@ func main() {
 			cacheBytes <<= 20
 		}
 		opts = append(opts, tman.WithBlockTuning(*blockSize, *bloomBits, cacheBytes))
+	}
+	if !*blockFences {
+		opts = append(opts, tman.WithFenceTuning(false))
 	}
 	if *compactFan != 0 || *compactSub != 0 || *monolithic {
 		opts = append(opts, tman.WithCompactionTuning(*compactFan, *compactSub, *monolithic))

@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/engine"
+)
+
+// noFences disables block fences: runs carry no zone maps and every scan
+// inspects every overlapping block, giving the chaos suite a live A/B of
+// the pruned and unpruned scan paths over the same block format.
+func noFences() tman.Option {
+	return func(c *engine.Config) { c.KV.DisableBlockFences = true }
+}
+
+// TestFencePruneEquivalenceUnderFaults is the fence-pruning acceptance
+// probe: two clusters holding identical data — one pruning blocks through
+// per-block fences (tiny blocks, so fences actually gate many blocks), one
+// with fences disabled — each with the same transient fault injection,
+// must answer all six of the paper's query types bit-identically. A fence
+// verdict that wrongly skips a block under retried, partially-failing RPCs
+// would surface here as a fingerprint divergence.
+func TestFencePruneEquivalenceUnderFaults(t *testing.T) {
+	run := Run{Seed: dataSeed, Scenario: "fence-vs-inspect-faulted"}
+
+	faults := tman.WithFaultInjection(tman.FaultConfig{
+		Seed:                      99,
+		PFailRPC:                  0.05,
+		UnavailableRPCsAfterSplit: 1,
+	})
+	retries := tman.WithRetryPolicy(tman.RetryPolicy{
+		MaxAttempts: 8,
+		BaseBackoff: 500 * time.Millisecond,
+		MaxBackoff:  10 * time.Second,
+		Multiplier:  2,
+		JitterFrac:  0.2,
+	})
+	fenced, err := NewCluster(800, dataSeed, tinyBlocks(), faults, retries)
+	run.Assert(t, err == nil, "fenced cluster: %v", err)
+	plain, err := NewCluster(800, dataSeed, tinyBlocks(), noFences(), faults, retries)
+	run.Assert(t, err == nil, "fence-disabled cluster: %v", err)
+
+	ctx := context.Background()
+	got, err := fenced.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "fenced queries: %v", err)
+	want, err := plain.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "fence-disabled queries: %v", err)
+	run.Assert(t, len(got) == len(want), "query counts differ: %d vs %d", len(got), len(want))
+	for i := range got {
+		gfp, wfp := Fingerprint(got[i].Rows), Fingerprint(want[i].Rows)
+		run.Assert(t, gfp == wfp, "query %s diverges between fenced and inspect-all scans:\n fenced: %s\nunfenced: %s",
+			got[i].Name, gfp, wfp)
+	}
+
+	// The fenced cluster must actually have pruned; the disabled one must
+	// not have touched the fence machinery at all.
+	fs := fenced.DB.Engine().Store().Stats().Snapshot()
+	run.Assert(t, fs.BlocksSkipped > 0, "fenced cluster skipped no blocks")
+	run.Assert(t, fs.FenceBytesRead > 0, "fenced cluster consulted no fence bytes")
+	ps := plain.DB.Engine().Store().Stats().Snapshot()
+	run.Assert(t, ps.BlocksSkipped == 0 && ps.FenceBytesRead == 0,
+		"fence-disabled cluster pruned: skipped=%d fenceBytes=%d", ps.BlocksSkipped, ps.FenceBytesRead)
+}
+
+// TestFencePruneEquivalenceUnderFailover runs the RF=3 leader-kill
+// rotation on a fenced cluster and a fence-disabled cluster, with
+// identical mid-outage writes, and demands bit-identical six-query answers
+// afterwards — fences rebuilt by follower catch-up and post-failover
+// compactions must prune exactly what row-by-row inspection would have
+// discarded.
+func TestFencePruneEquivalenceUnderFailover(t *testing.T) {
+	run := Run{Seed: dataSeed, Scenario: "fence-vs-inspect-rf3-failover"}
+
+	fenced, err := NewCluster(800, dataSeed, tinyBlocks(), tman.WithReplication(3))
+	run.Assert(t, err == nil, "fenced cluster: %v", err)
+	plain, err := NewCluster(800, dataSeed, tinyBlocks(), noFences(), tman.WithReplication(3))
+	run.Assert(t, err == nil, "fence-disabled cluster: %v", err)
+
+	ctx := context.Background()
+	extra := extraTrajectories(120, dataSeed+2000)
+	const cycles = 3
+	chunk := len(extra) / cycles
+	for cycle := 0; cycle < cycles; cycle++ {
+		for _, c := range []*Cluster{fenced, plain} {
+			store := c.DB.Engine().Store()
+			node := cycle % store.Nodes()
+			store.KillNode(node)
+			err := c.DB.PutBatch(extra[cycle*chunk : (cycle+1)*chunk])
+			run.Assert(t, err == nil, "cycle %d: write during outage: %v", cycle, err)
+			store.ReviveNode(node)
+		}
+	}
+	for _, c := range []*Cluster{fenced, plain} {
+		st := c.DB.Engine().Store().Stats().Snapshot()
+		run.Assert(t, st.Failovers > 0, "no failovers happened")
+	}
+
+	got, err := fenced.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "fenced queries: %v", err)
+	want, err := plain.SixQueries(ctx, querySeed, rounds)
+	run.Assert(t, err == nil, "fence-disabled queries: %v", err)
+	for i := range got {
+		run.Assert(t, Fingerprint(got[i].Rows) == Fingerprint(want[i].Rows),
+			"query %s diverges between fenced and inspect-all scans after failover", got[i].Name)
+	}
+	run.Assert(t, fenced.DB.Engine().Store().Stats().Snapshot().BlocksSkipped > 0,
+		"fenced cluster skipped no blocks across the failover workload")
+}

@@ -121,6 +121,16 @@ func New(cfg Config) (*Engine, error) {
 	e.dirTable = e.store.OpenTable(tableShapeDir)
 	e.bufTable = e.store.OpenTable(tableBufShapes)
 	e.meta = e.store.OpenTable(tableMeta)
+	// Primary rows carry a decodable time range and sketch bbox, so their
+	// run blocks get fences and fence-aware push-down filters can prune
+	// whole blocks. The ST secondary gets key-derived fences (bin interval
+	// × element rectangle): its query windows coarsen under the window
+	// budget, and fences recover the pruning the collapsed spatial
+	// dimension gave up. The other secondaries keep plain runs — their
+	// windows are already exact at index granularity. No-op under
+	// DisableBlockFormat/DisableBlockFences.
+	e.primary.SetFenceExtractor(rowFence)
+	e.stTable.SetFenceExtractor(e.stIndexFence)
 
 	if cfg.UseIndexCache && cfg.Spatial == KindTShape {
 		e.icache = cache.NewIndexCacheSharded(cfg.CacheCapacity, cfg.CacheShards, newKVDirectory(e.dirTable))

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"math"
+
+	"github.com/tman-db/tman/internal/codec"
+	"github.com/tman-db/tman/internal/index/quad"
+	"github.com/tman-db/tman/internal/kvstore"
+)
+
+// rowFence summarizes one encoded primary row for the block fences of the
+// store: the row's exact closed time range and the bounding box of its
+// DP-Features sketch in normalized space — precisely the two quantities
+// the engine's push-down filters test, so fence verdicts agree with
+// row-by-row filtering by construction. A row that fails to decode or
+// carries an empty sketch yields no fence, which poisons its block (the
+// block is always inspected row-by-row) rather than risking a wrong skip.
+func rowFence(_, value []byte) (kvstore.Fence, bool) {
+	row := getScratchRow()
+	defer putScratchRow(row)
+	// Identities are irrelevant to fences; skip the OID/TID string allocs.
+	if err := decodeRowInto(row, value, false); err != nil {
+		return kvstore.Fence{}, false
+	}
+	if len(row.Features.Boxes) == 0 && len(row.Features.Rep) == 0 {
+		// An empty sketch has no meaningful bbox (MBR() returns the zero
+		// rect, which is *not* a superset of the trajectory).
+		return kvstore.Fence{}, false
+	}
+	mbr := row.Features.MBR()
+	return kvstore.Fence{
+		MinT: row.TimeRange.Start, MaxT: row.TimeRange.End,
+		MinX: mbr.MinX, MinY: mbr.MinY, MaxX: mbr.MaxX, MaxY: mbr.MaxY,
+	}, true
+}
+
+// stIndexFence summarizes an ST index entry from its key alone: the TR
+// bin's timestamp interval and the enlarged element's rectangle (both
+// decoded from the 16-byte index component) each cover the indexed
+// trajectory's true extent, so fences unioned from them are sound against
+// the exact query predicate even though the entry stores only a primary
+// key. Two conservative widenings keep that guarantee airtight: a bin
+// spanning the maximum N periods may have been clamped at encode time
+// (the trajectory can outlive the bin), so its MaxT becomes +inf; and a
+// malformed key yields no fence, poisoning the block to always-Inspect.
+func (e *Engine) stIndexFence(key, _ []byte) (kvstore.Fence, bool) {
+	if len(key) < 1+16 {
+		return kvstore.Fence{}, false
+	}
+	trVal, err := codec.Uint64(key[1:])
+	if err != nil {
+		return kvstore.Fence{}, false
+	}
+	tsVal, err := codec.Uint64(key[9:])
+	if err != nil {
+		return kvstore.Fence{}, false
+	}
+	bin := e.trIdx.BinRange(trVal)
+	maxT := bin.End
+	if trVal%uint64(e.trIdx.N()) == uint64(e.trIdx.N()-1) {
+		maxT = math.MaxInt64
+	}
+	if bin.Start > maxT {
+		return kvstore.Fence{}, false
+	}
+	elem, _ := e.tsIdx.Unpack(tsVal)
+	if elem >= quad.TotalExtCodes(e.tsIdx.Params().G) {
+		return kvstore.Fence{}, false
+	}
+	rect := e.tsIdx.ElementRect(e.tsIdx.AnchorFromExtCode(elem))
+	return kvstore.Fence{
+		MinT: bin.Start, MaxT: maxT,
+		MinX: rect.MinX, MinY: rect.MinY, MaxX: rect.MaxX, MaxY: rect.MaxY,
+	}, true
+}

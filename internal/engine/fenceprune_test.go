@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/tman-db/tman/internal/geo"
+	"github.com/tman-db/tman/internal/kvstore"
+	"github.com/tman-db/tman/internal/model"
+	"github.com/tman-db/tman/internal/similarity"
+)
+
+// fenceTestConfig shrinks flush/block geometry so the fence-pruning tests
+// produce many runs of many blocks each from modest datasets.
+func fenceTestConfig(disableFences bool) Config {
+	cfg := testConfig()
+	cfg.KV.MemtableFlushBytes = 16 << 10
+	cfg.KV.RegionMaxBytes = 128 << 10
+	cfg.KV.BlockSizeBytes = 1 << 10
+	cfg.KV.DisableBlockFences = disableFences
+	return cfg
+}
+
+// loadSkewedEngine ingests a clustered workload: trajectories live in one
+// of four spatial hotspots, and each hotspot moves in its own disjoint time
+// epoch. Spatial key order therefore clusters blocks by hotspot while their
+// time fences separate by epoch — the regime where zone maps prune hardest
+// (querying hotspot A during hotspot B's epoch should touch almost
+// nothing).
+func loadSkewedEngine(t *testing.T, cfg Config, n int, seed int64) (*Engine, []*model.Trajectory) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trajs := make([]*model.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		tr := genSkewedTrajectory(rng, i%4, fmt.Sprintf("obj-%d", i%25), fmt.Sprintf("traj-%05d", i))
+		trajs = append(trajs, tr)
+		if err := e.Put(tr); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	return e, trajs
+}
+
+// fenceHotspot returns the center of spatial cluster c and the start of its
+// time epoch (epochs are a year apart — far beyond any query window).
+func fenceHotspot(c int) (x, y float64, epoch int64) {
+	centers := [4][2]float64{{112, 36.5}, {122.5, 43.5}, {113, 43}, {123, 36}}
+	return centers[c][0], centers[c][1], 1_500_000_000_000 + int64(c)*365*24*3600_000
+}
+
+func genSkewedTrajectory(rng *rand.Rand, cluster int, oid, tid string) *model.Trajectory {
+	cx, cy, epoch := fenceHotspot(cluster)
+	n := 5 + rng.Intn(40)
+	pts := make([]model.Point, n)
+	x := cx + (rng.Float64()-0.5)*0.5
+	y := cy + (rng.Float64()-0.5)*0.5
+	ts := epoch + rng.Int63n(20*24*3600_000)
+	for i := range pts {
+		x += (rng.Float64() - 0.5) * 0.02
+		y += (rng.Float64() - 0.5) * 0.02
+		ts += 30_000 + rng.Int63n(120_000)
+		pts[i] = model.Point{X: x, Y: y, T: ts}
+	}
+	return &model.Trajectory{OID: oid, TID: tid, Points: pts}
+}
+
+// TestFencePruneSixQueryEquivalence runs all six paper query types against
+// a fenced engine and a fence-disabled twin over the identical skewed
+// dataset, and demands identical answers — while the fenced engine must
+// actually have skipped blocks. Windows deliberately mix matching and
+// mismatching hotspot/epoch pairs so Skip, AcceptAll and Inspect verdicts
+// all fire.
+func TestFencePruneSixQueryEquivalence(t *testing.T) {
+	fe, trajs := loadSkewedEngine(t, fenceTestConfig(false), 900, 7)
+	pe, _ := loadSkewedEngine(t, fenceTestConfig(true), 900, 7)
+
+	check := func(label string, a, b []*model.Trajectory, err1, err2 error) {
+		t.Helper()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: errors %v / %v", label, err1, err2)
+		}
+		sameTIDs(t, label, tids(a), tids(b))
+	}
+
+	day := int64(24 * 3600_000)
+	for c := 0; c < 4; c++ {
+		cx, cy, epoch := fenceHotspot(c)
+		_, _, otherEpoch := fenceHotspot((c + 1) % 4)
+		box := geo.Rect{MinX: cx - 0.4, MinY: cy - 0.4, MaxX: cx + 0.4, MaxY: cy + 0.4}
+		win := model.TimeRange{Start: epoch, End: epoch + 25*day}
+		missWin := model.TimeRange{Start: otherEpoch, End: otherEpoch + 25*day}
+
+		ga, _, e1 := fe.SpatialRangeQuery(box)
+		gb, _, e2 := pe.SpatialRangeQuery(box)
+		check(fmt.Sprintf("spatial c%d", c), ga, gb, e1, e2)
+
+		ga, _, e1 = fe.TemporalRangeQuery(win)
+		gb, _, e2 = pe.TemporalRangeQuery(win)
+		check(fmt.Sprintf("temporal c%d", c), ga, gb, e1, e2)
+
+		oid := fmt.Sprintf("obj-%d", c*5)
+		ga, _, e1 = fe.IDTemporalQuery(oid, win)
+		gb, _, e2 = pe.IDTemporalQuery(oid, win)
+		check(fmt.Sprintf("idt c%d", c), ga, gb, e1, e2)
+
+		for _, w := range []model.TimeRange{win, missWin} {
+			ga, _, e1 = fe.SpatioTemporalQuery(box, w)
+			gb, _, e2 = pe.SpatioTemporalQuery(box, w)
+			check(fmt.Sprintf("st c%d [%d..]", c, w.Start), ga, gb, e1, e2)
+		}
+
+		ga, _, e1 = fe.NearestQuery(cx, cy, 7)
+		gb, _, e2 = pe.NearestQuery(cx, cy, 7)
+		check(fmt.Sprintf("knn c%d", c), ga, gb, e1, e2)
+
+		q := trajs[c*17]
+		ga, _, e1 = fe.SimilarityTopKQuery(q, similarity.Hausdorff, 5)
+		gb, _, e2 = pe.SimilarityTopKQuery(q, similarity.Hausdorff, 5)
+		check(fmt.Sprintf("simtopk c%d", c), ga, gb, e1, e2)
+	}
+
+	fs := fe.Store().Stats().Snapshot()
+	if fs.BlocksSkipped == 0 {
+		t.Fatal("fenced engine skipped no blocks across the whole workload")
+	}
+	if fs.FenceBytesRead == 0 {
+		t.Fatal("fenced engine consulted no fence bytes")
+	}
+	ps := pe.Store().Stats().Snapshot()
+	if ps.BlocksSkipped != 0 || ps.FenceBytesRead != 0 {
+		t.Fatalf("fence-disabled engine pruned: skipped=%d fenceBytes=%d", ps.BlocksSkipped, ps.FenceBytesRead)
+	}
+	if fs.RowsScanned >= ps.RowsScanned {
+		t.Fatalf("fenced engine visited %d rows, unfenced %d — pruning bought nothing", fs.RowsScanned, ps.RowsScanned)
+	}
+}
+
+// TestFenceChargedByteReduction pins the acceptance criterion: on
+// cold-cache spatio-temporal scans over the skewed dataset, fences must cut
+// the charged disk bytes (encoded block reads plus the fence metadata
+// consulted) by at least 30% against the fence-disabled twin, after full
+// compaction (single-run regions, every block skippable).
+func TestFenceChargedByteReduction(t *testing.T) {
+	mk := func(disable bool) *Engine {
+		cfg := fenceTestConfig(disable)
+		cfg.KV.BlockCacheBytes = -1 // cold cache: every block read is charged
+		e, _ := loadSkewedEngine(t, cfg, 900, 7)
+		e.Store().CompactAll()
+		return e
+	}
+	fe, pe := mk(false), mk(true)
+
+	day := int64(24 * 3600_000)
+	charged := func(e *Engine) int64 {
+		before := e.Store().Stats().Snapshot()
+		for c := 0; c < 4; c++ {
+			cx, cy, epoch := fenceHotspot(c)
+			_, _, otherEpoch := fenceHotspot((c + 1) % 4)
+			box := geo.Rect{MinX: cx - 0.4, MinY: cy - 0.4, MaxX: cx + 0.4, MaxY: cy + 0.4}
+			for _, w := range []model.TimeRange{
+				{Start: epoch, End: epoch + 25*day},           // matching epoch
+				{Start: otherEpoch, End: otherEpoch + 25*day}, // disjoint epoch
+			} {
+				if _, _, err := e.SpatioTemporalQuery(box, w); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		d := kvstore.Diff(before, e.Store().Stats().Snapshot())
+		return d.BlockReadBytes + d.FenceBytesRead
+	}
+
+	fb, pb := charged(fe), charged(pe)
+	if fb == 0 || pb == 0 {
+		t.Fatalf("charged bytes fenced=%d unfenced=%d — scans read nothing", fb, pb)
+	}
+	reduction := 100 * (1 - float64(fb)/float64(pb))
+	t.Logf("cold ST charged bytes: fenced=%d unfenced=%d (%.1f%% reduction)", fb, pb, reduction)
+	if reduction < 30 {
+		t.Fatalf("charged-byte reduction %.1f%% < 30%%: fenced=%d unfenced=%d", reduction, fb, pb)
+	}
+}

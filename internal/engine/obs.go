@@ -119,6 +119,9 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	counter("tman_bloom_negatives_total", "point gets a bloom filter proved absent (no block touched)", st.BloomNegatives.Load)
 	counter("tman_bloom_false_positives_total", "bloom passes where the run did not hold the key", st.BloomFalsePositives.Load)
 	counter("tman_replica_catchup_ship_bytes_total", "encoded run bytes shipped by snapshot catch-ups", st.CatchupShipBytes.Load)
+	counter("tman_fence_blocks_skipped_total", "run blocks skipped unread by fence verdicts", st.BlocksSkipped.Load)
+	counter("tman_fence_blocks_accepted_total", "run blocks decoded without per-row filtering (fence inside the query)", st.BlocksAcceptedWhole.Load)
+	counter("tman_fence_bytes_read_total", "fence metadata bytes consulted by pruning scans", st.FenceBytesRead.Load)
 
 	// --- engine: dataset + shape-maintenance state -----------------------
 	reg.GaugeFunc("tman_engine_trajectories", "stored trajectories",

@@ -121,28 +121,82 @@ func (e *Engine) spatialRangesUncached(nsr geo.Rect) []valueRange {
 }
 
 // temporalFilter builds a push-down filter that keeps rows whose exact time
-// range intersects q (reading only the time range, allocation-free).
+// range intersects q (reading only the time range, allocation-free). The
+// returned filter carries a fence verdict: block fences store the exact
+// min/max of the rows' closed time ranges, so a fence disjoint from q
+// proves no row in the block intersects (skip the block unread) and a
+// fence contained in q proves every row does (decode without per-row
+// checks).
 func temporalFilter(q model.TimeRange) kvstore.Filter {
-	return kvstore.FilterFunc(func(_, value []byte) bool {
-		tr, ok := rowTimeRange(value)
-		return ok && tr.Intersects(q)
-	})
+	return temporalFenceFilter{q: q}
+}
+
+type temporalFenceFilter struct{ q model.TimeRange }
+
+func (f temporalFenceFilter) Accept(_, value []byte) bool {
+	tr, ok := rowTimeRange(value)
+	return ok && tr.Intersects(f.q)
+}
+
+func (f temporalFenceFilter) FenceVerdict(fc kvstore.Fence) kvstore.BlockVerdict {
+	if fc.MaxT < f.q.Start || fc.MinT > f.q.End {
+		return kvstore.VerdictSkip
+	}
+	if fc.MinT >= f.q.Start && fc.MaxT <= f.q.End {
+		// Every row's [Start, End] lies inside the fence, hence inside q,
+		// so Intersects holds row-by-row. A fence-valid block also
+		// guarantees every row decoded during fence extraction, so Accept
+		// could not reject on a decode failure either.
+		return kvstore.VerdictAcceptAll
+	}
+	return kvstore.VerdictInspect
 }
 
 // spatialFilter builds a push-down filter that keeps rows intersecting the
 // normalized window: the DP-Features sketch rejects cheaply, then the exact
 // geometry decides. Candidates are decoded into a pooled scratch row that
-// never escapes the callback.
+// never escapes the callback. The filter's fence verdict compares the
+// block's bounding box (the union of its rows' sketch MBRs) against the
+// window: disjoint skips the block before any fetch, containment accepts
+// every row via the same MBR fast path Accept itself would take.
 func (e *Engine) spatialFilter(nsr geo.Rect) kvstore.Filter {
-	return kvstore.FilterFunc(func(_, value []byte) bool {
-		row := getScratchRow()
-		defer putScratchRow(row)
-		// Geometry never reads identities; skip the OID/TID string allocs.
-		if err := decodeRowInto(row, value, false); err != nil {
-			return false
-		}
-		return e.rowIntersects(row, nsr)
-	})
+	return spatialFenceFilter{e: e, nsr: nsr}
+}
+
+type spatialFenceFilter struct {
+	e   *Engine
+	nsr geo.Rect
+}
+
+func (f spatialFenceFilter) Accept(_, value []byte) bool {
+	row := getScratchRow()
+	defer putScratchRow(row)
+	// Geometry never reads identities; skip the OID/TID string allocs.
+	if err := decodeRowInto(row, value, false); err != nil {
+		return false
+	}
+	return f.e.rowIntersects(row, f.nsr)
+}
+
+func (f spatialFenceFilter) FenceVerdict(fc kvstore.Fence) kvstore.BlockVerdict {
+	return spatialVerdict(fc, f.nsr)
+}
+
+// spatialVerdict maps a block fence against a normalized window. The fence
+// bbox is the union of the rows' sketch MBRs, and the sketch
+// over-approximates each trajectory: a disjoint fence means no sketch (and
+// hence no trajectory) can touch the window, a contained fence means every
+// sketch lies inside it, which is exactly the containment fast path of
+// rowIntersects.
+func spatialVerdict(fc kvstore.Fence, nsr geo.Rect) kvstore.BlockVerdict {
+	fb := geo.Rect{MinX: fc.MinX, MinY: fc.MinY, MaxX: fc.MaxX, MaxY: fc.MaxY}
+	if !fb.Intersects(nsr) {
+		return kvstore.VerdictSkip
+	}
+	if nsr.Contains(fb) {
+		return kvstore.VerdictAcceptAll
+	}
+	return kvstore.VerdictInspect
 }
 
 // rowIntersects checks a decoded row against a normalized window: sketch
@@ -150,6 +204,12 @@ func (e *Engine) spatialFilter(nsr geo.Rect) kvstore.Filter {
 func (e *Engine) rowIntersects(row *Row, nsr geo.Rect) bool {
 	if !row.Features.MayIntersect(nsr) {
 		return false
+	}
+	if nsr.Contains(row.Features.MBR()) {
+		// The sketch covers the whole trajectory, so a window containing
+		// the entire sketch contains the trajectory — no need to decode
+		// the points for the exact check.
+		return true
 	}
 	pts, err := row.Points()
 	if err != nil {
@@ -233,7 +293,7 @@ func (e *Engine) TemporalRangeQueryCtx(ctx context.Context, q model.TimeRange) (
 		report.Candidates = int64(len(keys))
 		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return row.TimeRange.Intersects(q)
-		})
+		}, temporalFenceFilter{q: q}.FenceVerdict)
 		if err != nil {
 			return nil, report, err
 		}
@@ -301,6 +361,8 @@ func (e *Engine) SpatialRangeQueryCtx(ctx context.Context, sr geo.Rect) ([]*mode
 		report.Candidates = int64(len(keys))
 		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return e.rowIntersects(row, nsr)
+		}, func(fc kvstore.Fence) kvstore.BlockVerdict {
+			return spatialVerdict(fc, nsr)
 		})
 		if err != nil {
 			return nil, report, err
@@ -391,6 +453,13 @@ func (e *Engine) IDTemporalQueryCtx(ctx context.Context, oid string, q model.Tim
 
 	rows, err := e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 		return row.OID == oid && row.TimeRange.Intersects(q)
+	}, func(fc kvstore.Fence) kvstore.BlockVerdict {
+		// A time-disjoint fence proves no row matches; containment proves
+		// nothing here because the OID equality still has to run per row.
+		if fc.MaxT < q.Start || fc.MinT > q.End {
+			return kvstore.VerdictSkip
+		}
+		return kvstore.VerdictInspect
 	})
 	if err != nil {
 		return nil, report, err
@@ -443,7 +512,7 @@ func (e *Engine) SpatioTemporalQueryCtx(ctx context.Context, sr geo.Rect, q mode
 		}
 		windows := e.secondaryWindows(byteRanges)
 		report.Windows = len(windows)
-		keys, status, err := e.stTable.ScanRangesCtx(ctx, windows, nil, 0)
+		keys, status, err := e.stTable.ScanRangesCtx(ctx, windows, stIndexFenceFilter{q: q, nsr: nsr}, 0)
 		report.absorb(status)
 		if err != nil {
 			return nil, report, err
@@ -451,6 +520,8 @@ func (e *Engine) SpatioTemporalQueryCtx(ctx context.Context, sr geo.Rect, q mode
 		report.Candidates = int64(len(keys))
 		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return row.TimeRange.Intersects(q) && e.rowIntersectsLoaded(row, nsr)
+		}, func(fc kvstore.Fence) kvstore.BlockVerdict {
+			return stVerdict(fc, q, nsr)
 		})
 		if err != nil {
 			return nil, report, err
@@ -513,6 +584,8 @@ func (e *Engine) SpatioTemporalQueryCtx(ctx context.Context, sr geo.Rect, q mode
 		report.Candidates = int64(len(keys))
 		rows, err = e.fetchRows(ctx, keys, &report, func(row *Row) bool {
 			return row.TimeRange.Intersects(q) && e.rowIntersectsLoaded(row, nsr)
+		}, func(fc kvstore.Fence) kvstore.BlockVerdict {
+			return stVerdict(fc, q, nsr)
 		})
 		if err != nil {
 			return nil, report, err
@@ -545,13 +618,78 @@ func (e *Engine) stSpatialRanges(nsr geo.Rect) []tshape.ValueRange {
 	return out
 }
 
+// fencedKeepFilter is the push-down form of a fetchRows refinement
+// predicate that also carries a block-fence verdict, letting the batched
+// candidate fetch skip (or wholesale-accept) primary blocks before
+// fetching and decoding them.
+type fencedKeepFilter struct {
+	keep    func(*Row) bool
+	verdict func(kvstore.Fence) kvstore.BlockVerdict
+}
+
+func (f fencedKeepFilter) Accept(_, value []byte) bool {
+	row := getScratchRow()
+	defer putScratchRow(row)
+	if err := decodeRowInto(row, value, true); err != nil {
+		return false
+	}
+	return f.keep(row)
+}
+
+func (f fencedKeepFilter) FenceVerdict(fc kvstore.Fence) kvstore.BlockVerdict {
+	return f.verdict(fc)
+}
+
+// stIndexFenceFilter prunes ST index blocks during the secondary:st scan.
+// The scan windows over-approximate whenever the window budget collapses
+// the spatial dimension (the coarse fallback in st.QueryRanges), so block
+// fences — unions of TR-bin intervals and element rectangles, each a
+// superset of its trajectory's extent — can rule out whole index blocks
+// the windows admit. A skipped block cannot hide a matching trajectory:
+// every entry of such a trajectory carries a fence that intersects the
+// query, so its block never verdicts Skip. Accept keeps every surviving
+// entry; exact refinement happens later against the fetched rows.
+type stIndexFenceFilter struct {
+	q   model.TimeRange
+	nsr geo.Rect
+}
+
+func (f stIndexFenceFilter) Accept(_, _ []byte) bool { return true }
+
+func (f stIndexFenceFilter) FenceVerdict(fc kvstore.Fence) kvstore.BlockVerdict {
+	if stVerdict(fc, f.q, f.nsr) == kvstore.VerdictSkip {
+		return kvstore.VerdictSkip
+	}
+	return kvstore.VerdictInspect
+}
+
+// stVerdict is the fence verdict of a combined space+time refinement:
+// either dimension alone can prove a block empty of matches (Skip), and
+// only both together can prove every row matches (AcceptAll).
+func stVerdict(fc kvstore.Fence, q model.TimeRange, nsr geo.Rect) kvstore.BlockVerdict {
+	tv := temporalFenceFilter{q: q}.FenceVerdict(fc)
+	if tv == kvstore.VerdictSkip {
+		return kvstore.VerdictSkip
+	}
+	sv := spatialVerdict(fc, nsr)
+	if sv == kvstore.VerdictSkip {
+		return kvstore.VerdictSkip
+	}
+	if tv == kvstore.VerdictAcceptAll && sv == kvstore.VerdictAcceptAll {
+		return kvstore.VerdictAcceptAll
+	}
+	return kvstore.VerdictInspect
+}
+
 // fetchRows resolves secondary-index hits (values = primary keys) into
 // decoded rows, applying the refinement predicate. Per the paper's
 // Section V-G(1), candidate keys become query windows executed as one
 // batched multi-range scan on the primary table; with push-down enabled the
-// refinement runs store-side so rejected rows are never transferred. Fault
+// refinement runs store-side so rejected rows are never transferred. A
+// non-nil verdict gives the push-down filter fence support so primary
+// blocks whose fences contradict the predicate are skipped unread. Fault
 // and deadline outcomes of the batched fetch are folded into report.
-func (e *Engine) fetchRows(ctx context.Context, hits []kvstore.KV, report *QueryReport, keep func(*Row) bool) ([]*Row, error) {
+func (e *Engine) fetchRows(ctx context.Context, hits []kvstore.KV, report *QueryReport, keep func(*Row) bool, verdict func(kvstore.Fence) kvstore.BlockVerdict) ([]*Row, error) {
 	if len(hits) == 0 {
 		return nil, nil
 	}
@@ -572,14 +710,18 @@ func (e *Engine) fetchRows(ctx context.Context, hits []kvstore.KV, report *Query
 
 	var filter kvstore.Filter
 	if e.cfg.PushDown && keep != nil {
-		filter = kvstore.FilterFunc(func(_, value []byte) bool {
-			row := getScratchRow()
-			defer putScratchRow(row)
-			if err := decodeRowInto(row, value, true); err != nil {
-				return false
-			}
-			return keep(row)
-		})
+		if verdict != nil {
+			filter = fencedKeepFilter{keep: keep, verdict: verdict}
+		} else {
+			filter = kvstore.FilterFunc(func(_, value []byte) bool {
+				row := getScratchRow()
+				defer putScratchRow(row)
+				if err := decodeRowInto(row, value, true); err != nil {
+					return false
+				}
+				return keep(row)
+			})
+		}
 	}
 	kvs, status, err := e.primary.ScanRangesCtx(ctx, windows, filter, 0)
 	report.absorb(status)

@@ -201,6 +201,20 @@ func (e *Engine) candidateRows(ctx context.Context, nsr geo.Rect, report *QueryR
 		}
 		return extra == nil || extra(row)
 	}
+	// Fence verdict for the candidate sweep: a block whose bbox misses the
+	// window cannot hold a candidate (the sketch over-approximates every
+	// trajectory), so it is skipped unread. Wholesale acceptance is only
+	// sound without an extra predicate — the similarity filter still has to
+	// see each row.
+	verdict := func(fc kvstore.Fence) kvstore.BlockVerdict {
+		switch v := spatialVerdict(fc, clamped); {
+		case v == kvstore.VerdictSkip:
+			return kvstore.VerdictSkip
+		case v == kvstore.VerdictAcceptAll && extra == nil:
+			return kvstore.VerdictAcceptAll
+		}
+		return kvstore.VerdictInspect
+	}
 	ranges := e.spatialRanges(clamped)
 
 	if e.cfg.primaryIsTemporal() {
@@ -216,18 +230,12 @@ func (e *Engine) candidateRows(ctx context.Context, nsr geo.Rect, report *QueryR
 			return nil, err
 		}
 		report.Candidates += int64(len(keys))
-		return e.fetchRows(ctx, keys, report, keep)
+		return e.fetchRows(ctx, keys, report, keep, verdict)
 	}
 
 	windows := e.primaryWindows(ranges)
 	report.Windows += len(windows)
-	filter := kvstore.FilterFunc(func(_, value []byte) bool {
-		row, err := decodeRow(value)
-		if err != nil {
-			return false
-		}
-		return keep(row)
-	})
+	filter := fencedKeepFilter{keep: keep, verdict: verdict}
 	if e.cfg.PushDown {
 		scanned, status, err := e.primary.ScanRangesCtx(ctx, windows, filter, 0)
 		report.absorb(status)

@@ -435,16 +435,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bloom_negatives":        snap.BloomNegatives,
 		"bloom_false_positives":  snap.BloomFalsePositives,
 		"catchup_ship_bytes":     snap.CatchupShipBytes,
+		"fence_blocks_skipped":   snap.BlocksSkipped,
+		"fence_blocks_accepted":  snap.BlocksAcceptedWhole,
+		"fence_bytes_read":       snap.FenceBytesRead,
 
-		"reencodes":      s.db.Engine().Reencodes(),
-		"cache_hits":     cs.Hits,
-		"cache_misses":   cs.Misses,
-		"cache_evicts":   cs.Evictions,
-		"dir_loads":      cs.DirLoads,
-		"shared_loads":   cs.SharedLoads,
-		"plan_hits":      ps.Hits,
-		"plan_misses":    ps.Misses,
-		"plan_entries":   ps.Entries,
+		"reencodes":    s.db.Engine().Reencodes(),
+		"cache_hits":   cs.Hits,
+		"cache_misses": cs.Misses,
+		"cache_evicts": cs.Evictions,
+		"dir_loads":    cs.DirLoads,
+		"shared_loads": cs.SharedLoads,
+		"plan_hits":    ps.Hits,
+		"plan_misses":  ps.Misses,
+		"plan_entries": ps.Entries,
 	})
 }
 

@@ -57,17 +57,23 @@ const (
 var ErrBlockCorrupt = errors.New("kvstore: corrupt block")
 
 // blockConfig is the store-wide block-format configuration shared by every
-// region: geometry, filter density, the shared cache tier, the run-id
-// sequence cache keys derive from, and the stats sink for block/bloom
-// counters. A nil *blockConfig on a region selects the legacy decoded-slice
-// run format.
+// region: geometry, filter density, the shared cache tier, and the stats
+// sink for block/bloom counters. A nil *blockConfig on a region selects the
+// legacy decoded-slice run format. Tables that want block fences derive a
+// copy with the fence extractor set (Table.SetFenceExtractor), so the type
+// must stay copyable — run ids come from the process-wide blockRunSeq.
 type blockConfig struct {
 	blockBytes int
 	bloomBits  int
 	cache      *cache.BlockCache // nil: decode on every read, charge every read
 	stats      *Stats
-	runSeq     atomic.Uint64
+	fence      FenceExtractor // nil: runs are built without fences
 }
+
+// blockRunSeq issues process-unique run ids — the high bits of block cache
+// keys. Ids are never reused, so cached blocks of dropped runs simply age
+// out without an invalidation protocol.
+var blockRunSeq atomic.Uint64
 
 // blockIndexEntry is one sparse-index row: the first key of a block and how
 // many entries it holds (the count makes scan capacity hints cheap).
@@ -87,6 +93,16 @@ type blockRun struct {
 	count    int // total entries
 	rawBytes int // decoded key+value bytes
 	encBytes int // encoded block bytes — the run's "disk" footprint
+
+	// Block fences (nil when the run was built without a fence extractor or
+	// the blob failed validation — both degrade every block to Inspect).
+	// fenceBlob is the checksummed serialized form; its length is what a
+	// fence-consulting cursor is charged. runFence aggregates the per-block
+	// fences (valid only when every block is fenced), enabling run-level
+	// short-circuits.
+	fenceBlob []byte
+	fences    []blockFence
+	runFence  blockFence
 }
 
 // decodedBlock is a decompressed block as it lives in the cache: entries
@@ -112,6 +128,14 @@ type blockBuilder struct {
 	firstKey []byte
 	lastKey  []byte
 	blkCount int
+
+	// Per-block fence accumulation (cfg.fence != nil). A tombstone or an
+	// extractor failure poisons the open block: it gets an invalid fence and
+	// will always be inspected.
+	fences    []blockFence
+	blkFence  Fence
+	blkFenced bool // open block has at least one summarized row
+	blkPoison bool
 
 	count     int
 	rawBytes  int
@@ -143,6 +167,17 @@ func (b *blockBuilder) add(key, value []byte, tomb bool) {
 	b.buf = compress.AppendUvarint(b.buf, vtag)
 	b.buf = append(b.buf, key[shared:]...)
 	b.buf = append(b.buf, value...)
+	if b.cfg.fence != nil && !b.blkPoison {
+		if tomb {
+			b.blkPoison = true
+		} else if f, ok := b.cfg.fence(key, value); !ok {
+			b.blkPoison = true
+		} else if !b.blkFenced {
+			b.blkFence, b.blkFenced = f, true
+		} else {
+			b.blkFence.union(f)
+		}
+	}
 	if b.blkCount == 0 {
 		b.firstKey = append(b.firstKey[:0], key...)
 	}
@@ -189,12 +224,17 @@ func (b *blockBuilder) seal() {
 		count:    b.blkCount,
 	})
 	b.encBytes += len(enc)
+	if b.cfg.fence != nil {
+		b.fences = append(b.fences, blockFence{f: b.blkFence, valid: b.blkFenced && !b.blkPoison})
+	}
 
 	b.buf = b.buf[:0]
 	b.restarts = b.restarts[:0]
 	b.firstKey = b.firstKey[:0]
 	b.lastKey = b.lastKey[:0]
 	b.blkCount = 0
+	b.blkFence = Fence{}
+	b.blkFenced, b.blkPoison = false, false
 	b.sealedRaw = b.rawBytes
 }
 
@@ -204,9 +244,9 @@ func (b *blockBuilder) blockRawBytes() int { return b.rawBytes - b.sealedRaw }
 // finish seals the open block and assembles the run.
 func (b *blockBuilder) finish() *blockRun {
 	b.seal()
-	return &blockRun{
+	br := &blockRun{
 		cfg:      b.cfg,
-		id:       b.cfg.runSeq.Add(1),
+		id:       blockRunSeq.Add(1),
 		blocks:   b.blocks,
 		index:    b.index,
 		filter:   newBloom(b.hashes, b.cfg.bloomBits),
@@ -214,6 +254,52 @@ func (b *blockBuilder) finish() *blockRun {
 		rawBytes: b.rawBytes,
 		encBytes: b.encBytes,
 	}
+	if b.cfg.fence != nil && len(b.blocks) > 0 {
+		// Install through the validating decode path — the same route a
+		// tampered blob takes — so an encoder bug can never produce fences
+		// the decoder would reject.
+		br.setFences(encodeFences(b.fences))
+	}
+	return br
+}
+
+// setFences installs a fence blob after full validation. A blob that fails
+// to parse, or disagrees with the block count, is discarded: the run keeps
+// nil fences and every block verdicts Inspect (fail-safe, never Skip).
+func (br *blockRun) setFences(blob []byte) {
+	fences, err := decodeFences(blob)
+	if err != nil || len(fences) != len(br.blocks) {
+		return
+	}
+	br.fenceBlob = blob
+	br.fences = fences
+	rf := blockFence{valid: len(fences) > 0}
+	for i := range fences {
+		if !fences[i].valid {
+			rf.valid = false
+			break
+		}
+		if i == 0 {
+			rf.f = fences[i].f
+		} else {
+			rf.f.union(fences[i].f)
+		}
+	}
+	br.runFence = rf
+}
+
+// verdict classifies block i for ff. skipOK gates Skip: when the caller
+// cannot prove shadowing safety (the run is not in the region's oldest
+// group-prefix) Skip downgrades to Inspect. Unfenced blocks always Inspect.
+func (br *blockRun) verdict(ff FenceFilter, i int, skipOK bool) BlockVerdict {
+	if i >= len(br.fences) || !br.fences[i].valid {
+		return VerdictInspect
+	}
+	v := ff.FenceVerdict(br.fences[i].f)
+	if v == VerdictSkip && !skipOK {
+		return VerdictInspect
+	}
+	return v
 }
 
 func commonPrefixLen(a, b []byte) int {

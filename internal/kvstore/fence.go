@@ -1,0 +1,219 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/tman-db/tman/internal/compress"
+)
+
+// Block fences: zone-map style per-block summaries (min/max timestamp plus
+// a lat/lon bounding box in normalized space) computed at encode time and
+// kept resident next to the sparse index. A FenceFilter consults them to
+// classify whole blocks before any cache lookup or decode:
+//
+//	Skip       no row in the block can pass Accept — the block is never
+//	           fetched and the cost model charges only the fence bytes
+//	AcceptAll  every row in the block passes Accept — the block is decoded
+//	           (merge/dedup still needs the rows) but per-row Accept calls
+//	           are skipped
+//	Inspect    no conclusion — today's behavior, row-by-row Accept
+//
+// Fences are advisory metadata, never a correctness dependency: a missing,
+// truncated, tampered or otherwise unparseable fence blob degrades the run
+// to Inspect for every block. Soundness of Skip additionally depends on
+// shadowing (a skipped block must not un-hide older versions of its keys),
+// which the region scan enforces by honoring Skip only on the oldest runs;
+// see region.scan.
+
+// Fence is the zone-map summary of one block: the closed time interval
+// covering every row's time range and the bounding box (normalized
+// coordinates) covering every row's DP-Features MBR.
+type Fence struct {
+	MinT, MaxT int64
+	MinX, MinY float64
+	MaxX, MaxY float64
+}
+
+// BlockVerdict is a FenceFilter's tri-state classification of a block.
+type BlockVerdict uint8
+
+const (
+	// VerdictInspect draws no conclusion: the block is decoded and every
+	// row goes through Accept. The zero value, and the fail-safe default.
+	VerdictInspect BlockVerdict = iota
+	// VerdictSkip asserts no row in the block can pass Accept.
+	VerdictSkip
+	// VerdictAcceptAll asserts every row in the block passes Accept.
+	VerdictAcceptAll
+)
+
+// FenceFilter is a Filter that can additionally classify whole blocks from
+// their fence. FenceVerdict must be consistent with Accept: Skip only when
+// Accept would return false for every possible row summarized by the fence,
+// AcceptAll only when Accept would return true for every such row. Like
+// Accept, it must be safe for concurrent use.
+type FenceFilter interface {
+	Filter
+	FenceVerdict(Fence) BlockVerdict
+}
+
+// FenceExtractor derives the fence summary of one row at encode time.
+// Returning ok=false marks the enclosing block unfenced (always Inspect):
+// the fail-safe for rows the extractor cannot parse.
+type FenceExtractor func(key, value []byte) (Fence, bool)
+
+// blockFence is a decoded per-block fence. invalid fences (tombstone-bearing
+// blocks, extractor failures, undecodable blobs) always verdict Inspect.
+type blockFence struct {
+	f     Fence
+	valid bool
+}
+
+// union widens the fence to cover o.
+func (f *Fence) union(o Fence) {
+	if o.MinT < f.MinT {
+		f.MinT = o.MinT
+	}
+	if o.MaxT > f.MaxT {
+		f.MaxT = o.MaxT
+	}
+	f.MinX = math.Min(f.MinX, o.MinX)
+	f.MinY = math.Min(f.MinY, o.MinY)
+	f.MaxX = math.Max(f.MaxX, o.MaxX)
+	f.MaxY = math.Max(f.MaxY, o.MaxY)
+}
+
+// ErrFenceCorrupt is returned by decodeFences for any structurally invalid
+// or checksum-failing fence blob. Callers treat it as "no fences", never as
+// a read failure.
+var ErrFenceCorrupt = errors.New("kvstore: corrupt fence blob")
+
+const fenceFormatV1 = 1
+
+func corruptFence(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFenceCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Fence blob layout (checksummed like a block, resident like the index):
+//
+//	u32     crc32c over everything after it
+//	u8      format version (fenceFormatV1)
+//	uvarint block count
+//	per block:
+//	  u8    validity flag (0 = unfenced block)
+//	  varint  MinT (signed)
+//	  uvarint MaxT - MinT
+//	  4 × u64 little-endian Float64bits: MinX, MinY, MaxX, MaxY
+//
+// Invalid blocks carry only the flag byte.
+
+// encodeFences serializes per-block fences into a checksummed blob.
+func encodeFences(fences []blockFence) []byte {
+	out := make([]byte, 4, 4+1+binary.MaxVarintLen64+len(fences)*(1+2*binary.MaxVarintLen64+32))
+	out = append(out, fenceFormatV1)
+	out = compress.AppendUvarint(out, uint64(len(fences)))
+	for i := range fences {
+		if !fences[i].valid {
+			out = append(out, 0)
+			continue
+		}
+		f := fences[i].f
+		out = append(out, 1)
+		out = binary.AppendVarint(out, f.MinT)
+		out = compress.AppendUvarint(out, uint64(f.MaxT-f.MinT))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.MinX))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.MinY))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.MaxX))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.MaxY))
+	}
+	binary.LittleEndian.PutUint32(out[:4], crc32.Checksum(out[4:], crcTable))
+	return out
+}
+
+// decodeFences validates and parses a fence blob. Every structural
+// violation — bad checksum, truncation at any offset, implausible counts,
+// non-finite or inverted bounds — returns ErrFenceCorrupt: a fence that
+// fails here is dropped, and its run degrades to Inspect.
+func decodeFences(blob []byte) ([]blockFence, error) {
+	if len(blob) < 6 {
+		return nil, corruptFence("short blob: %d bytes", len(blob))
+	}
+	if got, want := crc32.Checksum(blob[4:], crcTable), binary.LittleEndian.Uint32(blob[:4]); got != want {
+		return nil, corruptFence("checksum mismatch: got %08x want %08x", got, want)
+	}
+	if blob[4] != fenceFormatV1 {
+		return nil, corruptFence("unknown format %d", blob[4])
+	}
+	p := blob[5:]
+	count64, n := compress.Uvarint(p)
+	if n <= 0 {
+		return nil, corruptFence("truncated block count")
+	}
+	p = p[n:]
+	count := int(count64)
+	// Every fence costs at least its flag byte, so the payload bounds count.
+	if count < 0 || count > len(p) {
+		return nil, corruptFence("implausible block count %d", count)
+	}
+	fences := make([]blockFence, count)
+	for i := 0; i < count; i++ {
+		if len(p) == 0 {
+			return nil, corruptFence("truncated flag at fence %d", i)
+		}
+		flag := p[0]
+		p = p[1:]
+		if flag == 0 {
+			continue
+		}
+		if flag != 1 {
+			return nil, corruptFence("bad flag %d at fence %d", flag, i)
+		}
+		minT, n := binary.Varint(p)
+		if n <= 0 {
+			return nil, corruptFence("truncated MinT at fence %d", i)
+		}
+		p = p[n:]
+		span, n := compress.Uvarint(p)
+		if n <= 0 {
+			return nil, corruptFence("truncated time span at fence %d", i)
+		}
+		p = p[n:]
+		maxT := minT + int64(span)
+		if maxT < minT {
+			return nil, corruptFence("time span overflow at fence %d", i)
+		}
+		if len(p) < 32 {
+			return nil, corruptFence("truncated bbox at fence %d", i)
+		}
+		f := Fence{
+			MinT: minT,
+			MaxT: maxT,
+			MinX: math.Float64frombits(binary.LittleEndian.Uint64(p[0:])),
+			MinY: math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+			MaxX: math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+			MaxY: math.Float64frombits(binary.LittleEndian.Uint64(p[24:])),
+		}
+		p = p[32:]
+		// Non-finite or inverted bounds would make disjointness tests lie
+		// (NaN compares false), turning a corrupt fence into a wrong Skip.
+		if !finite(f.MinX) || !finite(f.MinY) || !finite(f.MaxX) || !finite(f.MaxY) {
+			return nil, corruptFence("non-finite bbox at fence %d", i)
+		}
+		if f.MinX > f.MaxX || f.MinY > f.MaxY {
+			return nil, corruptFence("inverted bbox at fence %d", i)
+		}
+		fences[i] = blockFence{f: f, valid: true}
+	}
+	if len(p) != 0 {
+		return nil, corruptFence("%d trailing bytes", len(p))
+	}
+	return fences, nil
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

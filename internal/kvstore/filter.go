@@ -46,3 +46,26 @@ func (c chainFilter) Accept(key, value []byte) bool {
 	}
 	return true
 }
+
+// FenceVerdict composes member verdicts under AND semantics: any member
+// that can prove no row passes proves it for the chain (Skip wins
+// immediately), AcceptAll survives only if every member asserts it, and a
+// member without fence support caps the chain at Inspect — it still has to
+// see every row.
+func (c chainFilter) FenceVerdict(f Fence) BlockVerdict {
+	out := VerdictAcceptAll
+	for _, m := range c {
+		ff, ok := m.(FenceFilter)
+		if !ok {
+			out = VerdictInspect
+			continue
+		}
+		switch ff.FenceVerdict(f) {
+		case VerdictSkip:
+			return VerdictSkip
+		case VerdictInspect:
+			out = VerdictInspect
+		}
+	}
+	return out
+}

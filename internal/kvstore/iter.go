@@ -37,6 +37,16 @@ type mergeCursor struct {
 	blkHi     []byte
 	nocache   bool
 	missBytes int64
+	// Fence pruning (block mode, scans only): ff consults per-block fences
+	// before each fetch; skipOK gates Skip verdicts (region scans grant it
+	// only to the oldest group-prefix of runs — see region.scan); runAccept
+	// blanket-accepts every block (run-level AcceptAll); accepted marks the
+	// currently loaded block as pre-accepted, so the merge can tell callers
+	// to skip per-row Accept.
+	ff        FenceFilter
+	skipOK    bool
+	runAccept bool
+	accepted  bool
 	// Skiplist mode.
 	node   *skipNode
 	hi     []byte
@@ -81,7 +91,17 @@ func (c *mergeCursor) loadNode() {
 // the window's blocks are ever fetched, one at a time, so a merge holds at
 // most one decoded block per source. Charged misses accumulate in
 // missBytes even when the window turns out empty.
-func (c *mergeCursor) initBlock(br *blockRun, lo, hi []byte, pri int, nocache bool) {
+//
+// A non-nil ff engages fence pruning: the window's share of the run's
+// fence blob is charged (it is resident metadata the scan consulted), the
+// run-level fence may skip or blanket-accept the whole window, and
+// loadBlock classifies each remaining block before fetching it. skipOK
+// gates Skip verdicts; see region.scan for the shadowing rule that sets
+// it. A non-nil fenceBudget caps the cumulative fence charge per run
+// across the windows of one scan task at the blob size — a multi-window
+// scan consults the same resident blob repeatedly but never pays for more
+// than one read of it.
+func (c *mergeCursor) initBlock(br *blockRun, lo, hi []byte, pri int, nocache bool, ff FenceFilter, skipOK bool, fenceBudget map[*blockRun]int64) {
 	*c = mergeCursor{br: br, blkHi: hi, pri: pri, nocache: nocache}
 	if br.count == 0 {
 		return
@@ -102,6 +122,40 @@ func (c *mergeCursor) initBlock(br *blockRun, lo, hi []byte, pri int, nocache bo
 	if first > last {
 		return
 	}
+	if ff != nil && br.fences != nil {
+		c.ff, c.skipOK = ff, skipOK
+		// Consulting fences reads resident metadata. Charge the window's
+		// share of the blob — the fence entries this cursor actually
+		// examines — not the whole blob: a scan that probes one run through
+		// many key windows consults each fence once per window, not the
+		// entire run's metadata per window.
+		fenceBytes := int64(len(br.fenceBlob)) * int64(last-first+1) / int64(len(br.fences))
+		if fenceBudget != nil {
+			rem, seen := fenceBudget[br]
+			if !seen {
+				rem = int64(len(br.fenceBlob))
+			}
+			if fenceBytes > rem {
+				fenceBytes = rem
+			}
+			fenceBudget[br] = rem - fenceBytes
+		}
+		c.missBytes += fenceBytes
+		if st := br.cfg.stats; st != nil {
+			st.FenceBytesRead.Add(fenceBytes)
+		}
+		if br.runFence.valid {
+			switch v := ff.FenceVerdict(br.runFence.f); {
+			case v == VerdictSkip && skipOK:
+				if st := br.cfg.stats; st != nil {
+					st.BlocksSkipped.Add(int64(last - first + 1))
+				}
+				return // whole window skipped: cursor stays exhausted
+			case v == VerdictAcceptAll:
+				c.runAccept = true
+			}
+		}
+	}
 	c.nextBlk, c.lastBlk = first, last
 	c.loadBlock()
 	if c.ok && lo != nil && c.nextBlk-1 == first {
@@ -118,11 +172,26 @@ func (c *mergeCursor) initBlock(br *blockRun, lo, hi []byte, pri int, nocache bo
 }
 
 // loadBlock decodes the next block of the window into entries, trimming
-// the final block at the hi bound, and skips empty tails.
+// the final block at the hi bound, and skips empty tails. With a fence
+// filter attached, each block is classified before its fetch: Skip means no
+// cache lookup, no decode, no charge — the 32-byte fence already proved the
+// block irrelevant.
 func (c *mergeCursor) loadBlock() {
 	for c.nextBlk <= c.lastBlk {
 		i := c.nextBlk
 		c.nextBlk++
+		c.accepted = c.runAccept
+		if c.ff != nil && !c.runAccept {
+			switch c.br.verdict(c.ff, i, c.skipOK) {
+			case VerdictSkip:
+				if st := c.br.cfg.stats; st != nil {
+					st.BlocksSkipped.Add(1)
+				}
+				continue
+			case VerdictAcceptAll:
+				c.accepted = true
+			}
+		}
 		db, miss := c.br.fetch(i, c.nocache)
 		c.missBytes += miss
 		es := db.entries
@@ -132,6 +201,11 @@ func (c *mergeCursor) loadBlock() {
 		}
 		if len(es) == 0 {
 			continue
+		}
+		if c.accepted {
+			if st := c.br.cfg.stats; st != nil {
+				st.BlocksAcceptedWhole.Add(1)
+			}
 		}
 		c.entries = es
 		c.pos = 0
@@ -214,39 +288,46 @@ func (m *mergeIter) init(cursors []*mergeCursor) {
 }
 
 // next returns the next live-or-tombstone entry in key order, newest
-// version winning among duplicates, or ok=false when exhausted.
-func (m *mergeIter) next() (e entry, ok bool) {
+// version winning among duplicates, or ok=false when exhausted. accepted
+// reports that the winning entry came from a fence-pre-accepted block: the
+// caller's push-down filter is guaranteed to accept it, so the per-row
+// Accept call can be skipped. The flag is read from the winning cursor
+// before it advances (advancing may cross into a differently-classified
+// block).
+func (m *mergeIter) next() (e entry, accepted, ok bool) {
 	if c := m.single; c != nil {
 		if !c.ok {
-			return entry{}, false
+			return entry{}, false, false
 		}
 		e = *c.cur
+		accepted = c.accepted
 		c.advance()
 		// Runs normally hold unique keys, but dedup anyway so the merge
 		// contract is the same in both modes.
 		for c.ok && bytes.Equal(c.cur.key, e.key) {
 			c.advance()
 		}
-		return e, true
+		return e, accepted, true
 	}
 	if len(m.heap) == 0 {
-		return entry{}, false
+		return entry{}, false, false
 	}
 	if m.linear {
 		return m.nextLinear()
 	}
 	e = *m.heap[0].cur
+	accepted = m.heap[0].accepted
 	m.advanceRoot()
 	// Skip shadowed versions of the emitted key in older sources.
 	for len(m.heap) > 0 && bytes.Equal(m.heap[0].cur.key, e.key) {
 		m.advanceRoot()
 	}
-	return e, true
+	return e, accepted, true
 }
 
 // nextLinear is next for the small-K mode: find the (key, priority) minimum
 // by scanning the live cursors, then advance every cursor past that key.
-func (m *mergeIter) nextLinear() (entry, bool) {
+func (m *mergeIter) nextLinear() (entry, bool, bool) {
 	best := m.heap[0]
 	for _, c := range m.heap[1:] {
 		if mergeLess(c, best) {
@@ -254,6 +335,7 @@ func (m *mergeIter) nextLinear() (entry, bool) {
 		}
 	}
 	e := *best.cur
+	accepted := best.accepted
 	for i := len(m.heap) - 1; i >= 0; i-- {
 		c := m.heap[i]
 		for c.ok && bytes.Equal(c.cur.key, e.key) {
@@ -266,7 +348,7 @@ func (m *mergeIter) nextLinear() (entry, bool) {
 			m.heap = m.heap[:last]
 		}
 	}
-	return e, true
+	return e, accepted, true
 }
 
 // appendTo drains the iterator into out, optionally dropping tombstones —

@@ -355,7 +355,7 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 // once, cursors advance in lockstep, and a limit stops the merge without
 // visiting (or copying) the rest of the window. No per-source sub-slices are
 // materialized.
-func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats) (result []KV, hitLimit bool, scannedBytes, rowsScanned int64) {
+func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats, fenceBudget map[*blockRun]int64) (result []KV, hitLimit bool, scannedBytes, rowsScanned int64) {
 	lo := maxKey(start, r.startKey)
 	hi := minKey(end, r.endKey)
 
@@ -392,6 +392,24 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		addMem(r.imm[k], pri)
 		pri++
 	}
+	// Fence pruning: a FenceFilter can classify whole blocks. AcceptAll is
+	// always sound (rows still stream through the merge, only per-row
+	// Accept calls are elided), but Skip removes a block's versions from
+	// the merge — sound only when nothing older could resurface underneath.
+	// That holds exactly for the oldest group-prefix of the run stack:
+	// runs[0], plus the consecutive runs sharing its nonzero group id
+	// (fragments of one partitioned compaction are key-disjoint, so they
+	// cannot shadow each other). Every newer run caps at AcceptAll/Inspect.
+	ff, _ := filter.(FenceFilter)
+	skipPrefix := 0
+	if ff != nil && len(r.runs) > 0 {
+		skipPrefix = 1
+		if g := r.runs[0].group; g != 0 {
+			for skipPrefix < len(r.runs) && r.runs[skipPrefix].group == g {
+				skipPrefix++
+			}
+		}
+	}
 	windowTotal := 0
 	for k := len(r.runs) - 1; k >= 0; k-- {
 		run := r.runs[k]
@@ -401,7 +419,7 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 			// charged probe misses still reach the scan's disk total.
 			sc.cursors = append(sc.cursors, mergeCursor{})
 			c := &sc.cursors[len(sc.cursors)-1]
-			c.initBlock(run.br, lo, hi, pri, false)
+			c.initBlock(run.br, lo, hi, pri, false, ff, k < skipPrefix, fenceBudget)
 			if c.ok {
 				pri++
 				windowTotal += run.br.windowCount(c.nextBlk-1, c.lastBlk)
@@ -443,7 +461,7 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 	blockMode := r.bcfg != nil
 	it := sc.start()
 	for {
-		e, ok := it.next()
+		e, pre, ok := it.next()
 		if !ok {
 			break
 		}
@@ -457,7 +475,9 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		if stats != nil {
 			stats.RowsScanned.Add(1)
 		}
-		if filter != nil && !filter.Accept(e.key, e.value) {
+		// pre marks rows from fence-pre-accepted blocks: the filter already
+		// proved it accepts every row the block can hold.
+		if filter != nil && !pre && !filter.Accept(e.key, e.value) {
 			continue
 		}
 		out = append(out, KV{Key: e.key, Value: e.value})

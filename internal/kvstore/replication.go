@@ -434,7 +434,7 @@ func (g *replGroup) catchUpLocked(f *follower) {
 // longer reaches back far enough (or after a demotion, when the follower's
 // own state cannot be trusted). Caller holds g.mu.
 func (g *replGroup) snapshotCatchUpLocked(f *follower) {
-	rows, _, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil)
+	rows, _, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil, nil)
 	entries := make([]entry, len(rows))
 	rawBytes := 0
 	for i, kv := range rows {
@@ -561,11 +561,12 @@ func (s *Store) initReplication(r *region) {
 	r.mu.RLock()
 	seedRuns := append([]*sortedRun(nil), r.runs...)
 	seedBytes := r.writeBytes.Load()
+	bcfg := r.bcfg // followers build runs exactly like their leader
 	r.mu.RUnlock()
 	now := time.Now().UnixNano()
 	for i := 1; i < rf; i++ {
 		node := (leaderNode + i) % s.opts.Nodes
-		fr := newRegion(s.nextRegionID(), r.startKey, r.endKey, node, r.flushBytes, r.maxRuns, r.cpol, s.fl, s.bcfg)
+		fr := newRegion(s.nextRegionID(), r.startKey, r.endKey, node, r.flushBytes, r.maxRuns, r.cpol, s.fl, bcfg)
 		fr.runs = append([]*sortedRun(nil), seedRuns...)
 		fr.writeBytes.Store(seedBytes)
 		g.followers = append(g.followers, &follower{
@@ -583,6 +584,24 @@ func (s *Store) initReplication(r *region) {
 		g.lock()
 		g.failoverLocked()
 		g.unlock()
+	}
+}
+
+// setFollowerBlockConfig propagates a table-level block-config change (a
+// fence extractor installed after open) to r's replication followers, so
+// follower flushes and snapshot-catch-up rebuilds produce the same fenced
+// runs as the leader. No-op for unreplicated regions.
+func (s *Store) setFollowerBlockConfig(r *region, bcfg *blockConfig) {
+	g := r.rep
+	if g == nil {
+		return
+	}
+	g.lock()
+	defer g.unlock()
+	for _, f := range g.followers {
+		f.reg.mu.Lock()
+		f.reg.bcfg = bcfg
+		f.reg.mu.Unlock()
 	}
 }
 

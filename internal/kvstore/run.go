@@ -162,7 +162,10 @@ func mergeRunWindow(bcfg *blockConfig, runs []*sortedRun, lo, hi []byte, dropTom
 		sc.cursors = append(sc.cursors, mergeCursor{})
 		c := &sc.cursors[len(sc.cursors)-1]
 		if run.br != nil {
-			c.initBlock(run.br, lo, hi, len(runs)-1-i, true)
+			// Compaction merges carry no filter: every surviving row must be
+			// rewritten, so no fence pruning applies (fences for the output
+			// run are recomputed by the builder below).
+			c.initBlock(run.br, lo, hi, len(runs)-1-i, true, nil, false, nil)
 		} else {
 			es := run.entries
 			i0, j0 := 0, len(es)
@@ -181,7 +184,7 @@ func mergeRunWindow(bcfg *blockConfig, runs []*sortedRun, lo, hi []byte, dropTom
 	it := sc.start()
 	b := newBlockBuilder(bcfg)
 	for {
-		e, ok := it.next()
+		e, _, ok := it.next()
 		if !ok {
 			break
 		}

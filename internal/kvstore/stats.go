@@ -79,6 +79,17 @@ type Stats struct {
 	BytesCompacted    atomic.Int64
 	SubCompactions    atomic.Int64
 	CompactStallNanos atomic.Int64
+
+	// Fence-pruning counters: BlocksSkipped counts blocks a fence verdict
+	// excluded before any cache lookup or decode (the candidates the scan
+	// never paid for); BlocksAcceptedWhole counts blocks decoded with the
+	// per-row filter elided because their fence sat fully inside the query
+	// window; FenceBytesRead is the resident fence-blob bytes consulted —
+	// the metadata cost of pruning, charged into scan bytes like an index
+	// probe.
+	BlocksSkipped       atomic.Int64
+	BlocksAcceptedWhole atomic.Int64
+	FenceBytesRead      atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -121,6 +132,10 @@ type Snapshot struct {
 	BytesCompacted    int64
 	SubCompactions    int64
 	CompactStallNanos int64
+
+	BlocksSkipped       int64
+	BlocksAcceptedWhole int64
+	FenceBytesRead      int64
 }
 
 // Snapshot returns the current counter values.
@@ -164,6 +179,10 @@ func (s *Stats) Snapshot() Snapshot {
 		BytesCompacted:    s.BytesCompacted.Load(),
 		SubCompactions:    s.SubCompactions.Load(),
 		CompactStallNanos: s.CompactStallNanos.Load(),
+
+		BlocksSkipped:       s.BlocksSkipped.Load(),
+		BlocksAcceptedWhole: s.BlocksAcceptedWhole.Load(),
+		FenceBytesRead:      s.FenceBytesRead.Load(),
 	}
 }
 
@@ -207,6 +226,10 @@ func (s *Stats) Reset() {
 	s.BytesCompacted.Store(0)
 	s.SubCompactions.Store(0)
 	s.CompactStallNanos.Store(0)
+
+	s.BlocksSkipped.Store(0)
+	s.BlocksAcceptedWhole.Store(0)
+	s.FenceBytesRead.Store(0)
 }
 
 // Diff returns b - a field-wise, for measuring a single operation.
@@ -250,5 +273,9 @@ func Diff(a, b Snapshot) Snapshot {
 		BytesCompacted:    b.BytesCompacted - a.BytesCompacted,
 		SubCompactions:    b.SubCompactions - a.SubCompactions,
 		CompactStallNanos: b.CompactStallNanos - a.CompactStallNanos,
+
+		BlocksSkipped:       b.BlocksSkipped - a.BlocksSkipped,
+		BlocksAcceptedWhole: b.BlocksAcceptedWhole - a.BlocksAcceptedWhole,
+		FenceBytesRead:      b.FenceBytesRead - a.FenceBytesRead,
 	}
 }

@@ -92,6 +92,11 @@ type Options struct {
 	// no blocks, no filters, no cache, and the cost model charges per row
 	// visited. Kept for the block/legacy equivalence tests.
 	DisableBlockFormat bool
+	// DisableBlockFences drops per-block fences (zone maps): runs carry no
+	// fence metadata and every scan inspects every overlapping block, as
+	// before fences existed. Kept as an escape hatch and for the
+	// fence/no-fence equivalence tests.
+	DisableBlockFences bool
 }
 
 // DefaultOptions mirrors the paper's five-node deployment at laptop scale.

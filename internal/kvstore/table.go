@@ -34,17 +34,52 @@ type Table struct {
 
 	mu      sync.RWMutex
 	regions []*region // ordered by startKey; regions[0].startKey == nil
+
+	// bcfg is the block config every region of this table builds runs
+	// with. It starts as the store-wide config and diverges only when
+	// SetFenceExtractor installs a table-specific fence extractor; splits
+	// and replication followers inherit it so fences survive topology
+	// changes.
+	bcfg *blockConfig
 }
 
 func newTable(name string, store *Store) *Table {
-	t := &Table{name: name, store: store}
-	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.compactPol(), store.fl, store.bcfg)}
+	t := &Table{name: name, store: store, bcfg: store.bcfg}
+	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.compactPol(), store.fl, t.bcfg)}
 	store.initReplication(t.regions[0])
 	return t
 }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// SetFenceExtractor installs the per-block fence extractor for this table:
+// from the next flush or compaction on, every run block carries a fence
+// (time range + bounding box) summarizing its rows, and scans whose filter
+// implements FenceFilter prune blocks against those fences before fetching
+// or decoding them. Existing runs are untouched — they simply carry no
+// fences and keep being inspected row-by-row until rewritten.
+//
+// The call is a no-op when the store runs the legacy run format or was
+// opened with DisableBlockFences. It is intended for table setup, before
+// concurrent load, and applies to all current and future regions
+// (including replication followers and split children).
+func (t *Table) SetFenceExtractor(f FenceExtractor) {
+	if t.store.bcfg == nil || t.store.opts.DisableBlockFences || f == nil {
+		return
+	}
+	cfg := *t.store.bcfg // shares cache and stats; diverges only in fence
+	cfg.fence = f
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bcfg = &cfg
+	for _, r := range t.regions {
+		r.mu.Lock()
+		r.bcfg = t.bcfg
+		r.mu.Unlock()
+		t.store.setFollowerBlockConfig(r, t.bcfg)
+	}
+}
 
 // regionForKey returns the region owning key. Caller must hold t.mu (R or W).
 func (t *Table) regionForKey(key []byte) *region {
@@ -86,11 +121,11 @@ func (t *Table) PreSplit(keys [][]byte) error {
 	var start []byte
 	for _, k := range keys {
 		regions = append(regions, newRegion(t.store.nextRegionID(), start, k,
-			t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.compactPol(), t.store.fl, t.store.bcfg))
+			t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.compactPol(), t.store.fl, t.bcfg))
 		start = k
 	}
 	regions = append(regions, newRegion(t.store.nextRegionID(), start, nil,
-		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.compactPol(), t.store.fl, t.store.bcfg))
+		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.compactPol(), t.store.fl, t.bcfg))
 	for _, r := range regions {
 		t.store.initReplication(r)
 	}
@@ -258,13 +293,13 @@ func (t *Table) maybeSplit(r *region) {
 		r.writeBytes.Store(entriesCharge(entries))
 		return
 	}
-	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.store.bcfg)
-	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.store.bcfg)
+	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.bcfg)
+	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.bcfg)
 	// entriesCharge walks each side once anyway; derive the raw byte
 	// totals from it instead of recounting inside the run constructor.
 	leftCharge, rightCharge := entriesCharge(entries[:cut]), entriesCharge(entries[cut:])
-	left.runs = []*sortedRun{newRunFromEntries(t.store.bcfg, entries[:cut], int(leftCharge)-cut*memEntryOverhead)}
-	right.runs = []*sortedRun{newRunFromEntries(t.store.bcfg, entries[cut:], int(rightCharge)-(len(entries)-cut)*memEntryOverhead)}
+	left.runs = []*sortedRun{newRunFromEntries(t.bcfg, entries[:cut], int(leftCharge)-cut*memEntryOverhead)}
+	right.runs = []*sortedRun{newRunFromEntries(t.bcfg, entries[cut:], int(rightCharge)-(len(entries)-cut)*memEntryOverhead)}
 	left.writeBytes.Store(leftCharge)
 	right.writeBytes.Store(rightCharge)
 	// Children get fresh replication groups seeded from their runs; the
@@ -685,11 +720,18 @@ func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limi
 	}
 	var out []KV
 	var scanned int64
+	// One fence-charge budget per task: the windows of a multi-range scan
+	// consult the same resident fence blobs, so the cumulative charge per
+	// run is capped at one read of its blob.
+	var fenceBudget map[*blockRun]int64
+	if _, ok := filter.(FenceFilter); ok && len(tk.rangeIdxs) > 1 {
+		fenceBudget = make(map[*blockRun]int64)
+	}
 	for _, ri := range tk.rangeIdxs {
 		kr := ranges[ri]
 		var hit bool
 		var sb, rows int64
-		out, hit, sb, rows = serveReg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats)
+		out, hit, sb, rows = serveReg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats, fenceBudget)
 		scanned += sb
 		tk.rows += rows
 		if hit {

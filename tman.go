@@ -197,6 +197,17 @@ func WithBlockTuning(blockBytes, bloomBits, cacheBytes int) Option {
 	}
 }
 
+// WithFenceTuning controls block fence pruning (zone maps): when enabled
+// (the default), every primary-table run block carries a fence — the
+// min/max time range and bounding box of its rows — and queries skip
+// blocks whose fence contradicts their predicate before fetching or
+// decoding them. Passing false disables fences entirely; results are
+// identical either way, only the per-query I/O differs. Kept as an escape
+// hatch and for A/B measurement against the unfenced read path.
+func WithFenceTuning(enabled bool) Option {
+	return func(c *engine.Config) { c.KV.DisableBlockFences = !enabled }
+}
+
 // WithCompactionTuning adjusts the tiered compaction scheduler of the
 // underlying store: fanIn is how many consecutive same-size-tier runs a
 // region accumulates before they merge (0 keeps the default 4, minimum 2 —
