@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all vet build test race check bench bench-write bench-query \
-	bench-overhead lint-logs obs-check
+	bench-overhead bench-serving lint-logs obs-check
 
 all: check
 
@@ -35,11 +35,13 @@ check: vet build lint-logs test race
 # (parseability, TYPE declarations, histogram consistency, minimum series
 # count). obscheck retries while the server comes up, so no sleeps.
 OBS_ADDR ?= 127.0.0.1:18080
+OBS_REQUIRED = tman_bg_jobs_total,tman_bg_bytes_read_total,tman_bg_bytes_written_total,tman_bg_seconds_total,tman_bg_stall_seconds_total,tman_bg_jobs_running,tman_slo_good_total,tman_slo_late_total,tman_slo_shed_total,tman_slo_objective_seconds,tman_slo_burn_rate_1m,tman_slo_burn_rate_5m,tman_scan_queue_depth,tman_region_hottest_rows,tman_region_hotness_share
 obs-check:
 	$(GO) build -o /tmp/tmand-obscheck ./cmd/tmand
 	$(GO) build -o /tmp/obscheck ./cmd/obscheck
 	@/tmp/tmand-obscheck -addr $(OBS_ADDR) -log-level warn -trace-sample 1 & pid=$$!; \
-	/tmp/obscheck -url http://$(OBS_ADDR)/metrics -min-series 43; rc=$$?; \
+	/tmp/obscheck -url http://$(OBS_ADDR)/metrics -min-series 250 \
+		-require $(OBS_REQUIRED); rc=$$?; \
 	kill $$pid 2>/dev/null; exit $$rc
 
 # Read-path benchmarks (region scan, k-way merge, scan executor, hot SRQ).
@@ -95,3 +97,22 @@ bench-overhead:
 		-benchmem -benchtime=$(QUERY_BENCHTIME) ./internal/engine/ > /tmp/bench_overhead.txt
 	$(GO) run ./cmd/benchjson -baseline BENCH_querypath.json -suite querypath \
 		-max-regress $(OVERHEAD_BUDGET) /tmp/bench_overhead.txt
+
+# Serving benchmark: boot tmand with admission control and SLO tracking on,
+# drive it with the open-loop Poisson harness (coordinated-omission-safe
+# percentiles + goodput), archive BENCH_serving.json. SERVING_GATE=enforce
+# makes the SLO verdict the exit status; the default reports only.
+SERVING_ADDR ?= 127.0.0.1:18090
+SERVING_RATE ?= 150
+SERVING_DURATION ?= 30s
+SERVING_GATE ?= report
+bench-serving:
+	$(GO) build -o /tmp/tmand-serving ./cmd/tmand
+	$(GO) build -o /tmp/tman-loadgen ./cmd/tman-loadgen
+	@/tmp/tmand-serving -addr $(SERVING_ADDR) -boundary 70,0,140,55 -log-level warn \
+		-slo-p99-ms 250 -max-inflight 256 & pid=$$!; \
+	sleep 1; \
+	/tmp/tman-loadgen -addr http://$(SERVING_ADDR) -rate $(SERVING_RATE) \
+		-duration $(SERVING_DURATION) -deadline-ms 250 -gate $(SERVING_GATE) \
+		-o BENCH_serving.json; rc=$$?; \
+	kill $$pid 2>/dev/null; exit $$rc

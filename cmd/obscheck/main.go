@@ -5,7 +5,12 @@
 // consistent with their _count, and that at least -min-series samples are
 // exported. `make obs-check` runs it against a freshly booted tmand.
 //
-//	obscheck -url http://127.0.0.1:8080/metrics -min-series 25
+//	obscheck -url http://127.0.0.1:8080/metrics -min-series 25 \
+//	    -require tman_bg_jobs_total,tman_slo_good_total
+//
+// -require takes comma-separated family names that must be present; the
+// failure message lists exactly which ones are missing, so a renamed or
+// dropped series is identified by name instead of by a count delta.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080/metrics", "metrics endpoint")
 	minSeries := flag.Int("min-series", 25, "minimum number of exported samples")
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
 	retries := flag.Int("retries", 50, "fetch attempts while the server boots")
 	interval := flag.Duration("interval", 100*time.Millisecond, "delay between attempts")
 	flag.Parse()
@@ -30,14 +36,29 @@ func main() {
 	if err != nil {
 		fail("fetch %s: %v", *url, err)
 	}
-	samples, families, err := validate(body)
+	samples, types, err := validate(body)
 	if err != nil {
 		fail("invalid exposition: %v", err)
 	}
 	if samples < *minSeries {
 		fail("only %d samples exported, need at least %d", samples, *minSeries)
 	}
-	fmt.Printf("obscheck: OK — %d samples across %d families from %s\n", samples, families, *url)
+	if *require != "" {
+		var missing []string
+		for _, fam := range strings.Split(*require, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam == "" {
+				continue
+			}
+			if _, ok := types[fam]; !ok {
+				missing = append(missing, fam)
+			}
+		}
+		if len(missing) > 0 {
+			fail("missing required metric families: %s", strings.Join(missing, ", "))
+		}
+	}
+	fmt.Printf("obscheck: OK — %d samples across %d families from %s\n", samples, len(types), *url)
 }
 
 func fail(format string, args ...any) {
@@ -81,8 +102,9 @@ type histState struct {
 	hasCount bool
 }
 
-// validate parses the exposition and returns (samples, families).
-func validate(body string) (int, int, error) {
+// validate parses the exposition and returns the sample count plus the
+// family -> type map (for -require membership checks).
+func validate(body string) (int, map[string]string, error) {
 	types := map[string]string{} // family -> counter|gauge|histogram
 	hists := map[string]*histState{}
 	samples := 0
@@ -94,16 +116,16 @@ func validate(body string) (int, int, error) {
 		if strings.HasPrefix(line, "#") {
 			fields := strings.Fields(line)
 			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
-				return 0, 0, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+				return 0, nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
 			}
 			if fields[1] == "TYPE" {
 				if len(fields) != 4 {
-					return 0, 0, fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
+					return 0, nil, fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
 				}
 				switch fields[3] {
 				case "counter", "gauge", "histogram", "summary", "untyped":
 				default:
-					return 0, 0, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+					return 0, nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
 				}
 				types[fields[2]] = fields[3]
 			}
@@ -111,7 +133,7 @@ func validate(body string) (int, int, error) {
 		}
 		name, labels, value, err := parseSample(line)
 		if err != nil {
-			return 0, 0, fmt.Errorf("line %d: %w", lineNo, err)
+			return 0, nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		samples++
 		family := name
@@ -122,7 +144,7 @@ func validate(body string) (int, int, error) {
 			}
 		}
 		if _, ok := types[family]; !ok {
-			return 0, 0, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+			return 0, nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
 		}
 		if types[family] == "histogram" {
 			h := hists[family+"{"+stripLE(labels)+"}"]
@@ -133,7 +155,7 @@ func validate(body string) (int, int, error) {
 			switch {
 			case strings.HasSuffix(name, "_bucket"):
 				if value < h.lastCum {
-					return 0, 0, fmt.Errorf("line %d: non-cumulative bucket in %s", lineNo, family)
+					return 0, nil, fmt.Errorf("line %d: non-cumulative bucket in %s", lineNo, family)
 				}
 				h.lastCum = value
 				if strings.Contains(labels, `le="+Inf"`) {
@@ -148,13 +170,13 @@ func validate(body string) (int, int, error) {
 	}
 	for series, h := range hists {
 		if !h.infSeen {
-			return 0, 0, fmt.Errorf("histogram %s is missing its +Inf bucket", series)
+			return 0, nil, fmt.Errorf("histogram %s is missing its +Inf bucket", series)
 		}
 		if h.hasCount && h.count != h.infValue {
-			return 0, 0, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", series, h.count, h.infValue)
+			return 0, nil, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", series, h.count, h.infValue)
 		}
 	}
-	return samples, len(types), nil
+	return samples, types, nil
 }
 
 // parseSample splits one sample line into name, label body and value.

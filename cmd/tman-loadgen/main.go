@@ -1,0 +1,409 @@
+// Command tman-loadgen drives a running tmand server with an open-loop
+// workload: request arrivals follow a Poisson process at a fixed target rate,
+// every arrival is dispatched at its scheduled instant regardless of how many
+// responses are outstanding, and latency is measured from the scheduled
+// arrival — not from when a free connection got around to sending. A server
+// that stalls therefore shows the stall in its percentiles (no coordinated
+// omission), which is the difference between this tool and the closed-loop
+// tman-load.
+//
+// The mix covers batched ingest plus all six query types. Each response is
+// classified for goodput accounting:
+//
+//	good  2xx within the deadline
+//	late  2xx but over the deadline
+//	shed  503 from admission control
+//	error anything else (including transport failures)
+//
+// Results print as a human summary and archive as JSON (schema
+// tman-bench-serving/v1) for regression diffing:
+//
+//	tmand -boundary 70,0,140,55 -max-inflight 64 &
+//	tman-loadgen -addr http://localhost:8080 -rate 200 -duration 30s \
+//	    -deadline-ms 250 -o BENCH_serving.json
+//
+// With -gate enforce the exit status enforces the SLO (goodput fraction and
+// p99); -gate report (the default) prints the verdict but always exits 0, so
+// CI can watch the trend before it bets the build on it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tman-db/tman/internal/httpapi"
+	"github.com/tman-db/tman/internal/workload"
+)
+
+// opKind tags one scheduled request. The mix weights below are a serving
+// blend: ingest-heavy enough to keep flushes and compactions running behind
+// the queries it is interfering with.
+type opKind int
+
+const (
+	opIngest opKind = iota
+	opTime
+	opSpace
+	opSpaceTime
+	opObject
+	opSimilar
+	opNearest
+	opKinds
+)
+
+var opNames = [opKinds]string{"ingest", "time", "space", "spacetime", "object", "similar", "nearest"}
+
+// mixWeights must sum to 100.
+var mixWeights = [opKinds]int{15, 20, 15, 15, 15, 5, 15}
+
+// sample is one completed request.
+type sample struct {
+	kind    opKind
+	latency time.Duration
+	status  int // 0 = transport error
+}
+
+// percentiles of a sorted duration slice, in milliseconds.
+type pcts struct {
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+}
+
+func computePcts(lat []time.Duration) pcts {
+	if len(lat) == 0 {
+		return pcts{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return float64(lat[i].Microseconds()) / 1000
+	}
+	return pcts{P50: at(0.50), P99: at(0.99), P999: at(0.999)}
+}
+
+// typeReport is one request type's slice of the run.
+type typeReport struct {
+	Sent  int  `json:"sent"`
+	Good  int  `json:"good"`
+	Late  int  `json:"late"`
+	Shed  int  `json:"shed"`
+	Error int  `json:"errors"`
+	Pcts  pcts `json:"latency"`
+}
+
+// servingReport is the archived BENCH_serving.json payload.
+type servingReport struct {
+	Schema     string  `json:"schema"`
+	Addr       string  `json:"addr"`
+	RateQPS    float64 `json:"rate_qps"`
+	DurationS  float64 `json:"duration_s"`
+	DeadlineMS int64   `json:"deadline_ms"`
+	Seed       int64   `json:"seed"`
+	Preloaded  int     `json:"preloaded_trajectories"`
+
+	Sent       int     `json:"sent"`
+	Good       int     `json:"good"`
+	Late       int     `json:"late"`
+	Shed       int     `json:"shed"`
+	Error      int     `json:"errors"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	GoodputFrc float64 `json:"goodput_fraction"`
+
+	Overall pcts                  `json:"latency"`
+	ByType  map[string]typeReport `json:"by_type"`
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8080", "tmand base URL")
+		rate       = flag.Float64("rate", 100, "target arrival rate, requests/second (Poisson)")
+		duration   = flag.Duration("duration", 30*time.Second, "measured run length")
+		deadlineMS = flag.Int64("deadline-ms", 250, "per-request latency deadline for goodput classification")
+		preload    = flag.Int("preload", 2000, "trajectories to bulk-ingest before the measured run")
+		batch      = flag.Int("batch", 500, "preload ingest batch size")
+		seed       = flag.Int64("seed", 1, "workload + arrival-process seed")
+		out        = flag.String("o", "", "archive results as JSON to this file")
+		gate       = flag.String("gate", "report", "SLO gate mode: report|enforce")
+		gateP99MS  = flag.Float64("gate-p99-ms", 0, "enforce: fail when overall p99 exceeds this (0 = deadline-ms)")
+		gateGood   = flag.Float64("gate-goodput", 0.90, "enforce: fail when goodput fraction falls below this")
+	)
+	flag.Parse()
+	if *gate != "report" && *gate != "enforce" {
+		log.Fatalf("-gate must be report or enforce, got %q", *gate)
+	}
+	if *rate <= 0 {
+		log.Fatalf("-rate must be positive, got %g", *rate)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	ds := workload.TLorrySim(*preload, *seed)
+	preloadTrajectories(client, *addr, ds, *batch)
+	fmt.Fprintf(os.Stderr, "preloaded %d trajectories; running %.0f req/s open-loop for %v\n",
+		len(ds.Trajs), *rate, *duration)
+
+	// Fresh trajectories for the in-run ingest stream, distinct from the
+	// preload so every ingest batch is new data, not an overwrite.
+	ingestDS := workload.TLorrySim(2000, *seed+1)
+	sampler := workload.NewQuerySampler(ds, *seed+2)
+	rng := rand.New(rand.NewSource(*seed + 3))
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+		ingestN int
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	// Open loop: walk the Poisson schedule, firing each request in its own
+	// goroutine at its scheduled instant. Latency is measured from the
+	// schedule, so local dispatch delay under overload counts against the
+	// server the same way client-side queueing would in production.
+	start := time.Now()
+	next := start
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+		if next.Sub(start) >= *duration {
+			break
+		}
+		kind := pickKind(rng)
+		var req *http.Request
+		switch kind {
+		case opIngest:
+			ingestN++
+			req = ingestRequest(*addr, ingestDS, ingestN)
+		case opSimilar:
+			req = similarRequest(*addr, sampler)
+		default:
+			req, _ = http.NewRequest(http.MethodGet, queryURL(*addr, kind, sampler), nil)
+		}
+		time.Sleep(time.Until(next))
+		wg.Add(1)
+		go func(kind opKind, scheduled time.Time, req *http.Request) {
+			defer wg.Done()
+			status := 0
+			if resp, err := client.Do(req); err == nil {
+				status = resp.StatusCode
+				resp.Body.Close()
+			}
+			record(sample{kind: kind, latency: time.Since(scheduled), status: status})
+		}(kind, next, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(samples, *addr, *rate, elapsed, *deadlineMS, *seed, len(ds.Trajs))
+	printReport(rep)
+	if *out != "" {
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "archived %s\n", *out)
+	}
+
+	p99Gate := *gateP99MS
+	if p99Gate <= 0 {
+		p99Gate = float64(*deadlineMS)
+	}
+	ok := rep.GoodputFrc >= *gateGood && rep.Overall.P99 <= p99Gate
+	verdict := "PASS"
+	if !ok {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(os.Stderr, "SLO gate [%s]: %s (goodput %.3f >= %.3f, p99 %.1fms <= %.1fms)\n",
+		*gate, verdict, rep.GoodputFrc, *gateGood, rep.Overall.P99, p99Gate)
+	if !ok && *gate == "enforce" {
+		os.Exit(1)
+	}
+}
+
+// pickKind samples the mix.
+func pickKind(rng *rand.Rand) opKind {
+	n := rng.Intn(100)
+	for k, w := range mixWeights {
+		if n < w {
+			return opKind(k)
+		}
+		n -= w
+	}
+	return opTime
+}
+
+func queryURL(addr string, kind opKind, s *workload.QuerySampler) string {
+	switch kind {
+	case opTime:
+		q := s.TimeWindow(3600_000)
+		return fmt.Sprintf("%s/query/time?start=%d&end=%d&deadline_ms=5000", addr, q.Start, q.End)
+	case opSpace:
+		r := s.SpaceWindow(1.5)
+		return fmt.Sprintf("%s/query/space?minx=%f&miny=%f&maxx=%f&maxy=%f&deadline_ms=5000",
+			addr, r.MinX, r.MinY, r.MaxX, r.MaxY)
+	case opSpaceTime:
+		r := s.SpaceWindow(2.5)
+		q := s.TimeWindow(6 * 3600_000)
+		return fmt.Sprintf("%s/query/spacetime?minx=%f&miny=%f&maxx=%f&maxy=%f&start=%d&end=%d&deadline_ms=5000",
+			addr, r.MinX, r.MinY, r.MaxX, r.MaxY, q.Start, q.End)
+	case opObject:
+		oid, q := s.ObjectWindow(12 * 3600_000)
+		return fmt.Sprintf("%s/query/object?oid=%s&start=%d&end=%d&deadline_ms=5000", addr, oid, q.Start, q.End)
+	case opNearest:
+		r := s.SpaceWindow(1)
+		return fmt.Sprintf("%s/query/nearest?x=%f&y=%f&k=8&deadline_ms=5000",
+			addr, (r.MinX+r.MaxX)/2, (r.MinY+r.MaxY)/2)
+	}
+	panic("unreachable")
+}
+
+// ingestRequest builds a small batched write of fresh trajectories. The TID
+// carries the request ordinal so repeated cycles through the source dataset
+// insert new rows instead of overwriting old ones.
+func ingestRequest(addr string, ds *workload.Dataset, n int) *http.Request {
+	const perBatch = 5
+	payload := make([]httpapi.TrajectoryJSON, 0, perBatch)
+	for i := 0; i < perBatch; i++ {
+		t := ds.Trajs[(n*perBatch+i)%len(ds.Trajs)]
+		tj := httpapi.TrajectoryJSON{OID: t.OID, TID: fmt.Sprintf("%s-lg%d", t.TID, n)}
+		for _, p := range t.Points {
+			tj.Points = append(tj.Points, httpapi.PointJSON{X: p.X, Y: p.Y, T: p.T})
+		}
+		payload = append(payload, tj)
+	}
+	body, _ := json.Marshal(payload)
+	req, _ := http.NewRequest(http.MethodPut, addr+"/trajectories", bytes.NewReader(body))
+	return req
+}
+
+func similarRequest(addr string, s *workload.QuerySampler) *http.Request {
+	t := s.QueryTrajectory()
+	tj := httpapi.TrajectoryJSON{OID: t.OID, TID: t.TID}
+	for _, p := range t.Points {
+		tj.Points = append(tj.Points, httpapi.PointJSON{X: p.X, Y: p.Y, T: p.T})
+	}
+	body, _ := json.Marshal(map[string]any{"query": tj, "measure": "frechet", "k": 5})
+	req, _ := http.NewRequest(http.MethodPost, addr+"/query/similar?deadline_ms=5000", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	return req
+}
+
+func preloadTrajectories(client *http.Client, addr string, ds *workload.Dataset, batch int) {
+	for lo := 0; lo < len(ds.Trajs); lo += batch {
+		hi := lo + batch
+		if hi > len(ds.Trajs) {
+			hi = len(ds.Trajs)
+		}
+		payload := make([]httpapi.TrajectoryJSON, 0, hi-lo)
+		for _, t := range ds.Trajs[lo:hi] {
+			tj := httpapi.TrajectoryJSON{OID: t.OID, TID: t.TID}
+			for _, p := range t.Points {
+				tj.Points = append(tj.Points, httpapi.PointJSON{X: p.X, Y: p.Y, T: p.T})
+			}
+			payload = append(payload, tj)
+		}
+		body, _ := json.Marshal(payload)
+		req, _ := http.NewRequest(http.MethodPut, addr+"/trajectories", bytes.NewReader(body))
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("preload: status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func summarize(samples []sample, addr string, rate float64, elapsed time.Duration,
+	deadlineMS, seed int64, preloaded int) servingReport {
+	deadline := time.Duration(deadlineMS) * time.Millisecond
+	rep := servingReport{
+		Schema:     "tman-bench-serving/v1",
+		Addr:       addr,
+		RateQPS:    rate,
+		DurationS:  elapsed.Seconds(),
+		DeadlineMS: deadlineMS,
+		Seed:       seed,
+		Preloaded:  preloaded,
+		ByType:     make(map[string]typeReport, int(opKinds)),
+	}
+	byType := make(map[opKind][]time.Duration, int(opKinds))
+	var all []time.Duration
+	tr := make([]typeReport, opKinds)
+	for _, s := range samples {
+		rep.Sent++
+		t := &tr[s.kind]
+		t.Sent++
+		switch {
+		case s.status >= 200 && s.status < 300 && s.latency <= deadline:
+			rep.Good++
+			t.Good++
+		case s.status >= 200 && s.status < 300:
+			rep.Late++
+			t.Late++
+		case s.status == http.StatusServiceUnavailable:
+			rep.Shed++
+			t.Shed++
+		default:
+			rep.Error++
+			t.Error++
+		}
+		// Shed requests are excluded from latency percentiles (they fail in
+		// microseconds, which would flatter the distribution) but count
+		// against goodput.
+		if s.status != http.StatusServiceUnavailable {
+			byType[s.kind] = append(byType[s.kind], s.latency)
+			all = append(all, s.latency)
+		}
+	}
+	rep.Overall = computePcts(all)
+	for k := opKind(0); k < opKinds; k++ {
+		if tr[k].Sent == 0 {
+			continue
+		}
+		tr[k].Pcts = computePcts(byType[k])
+		rep.ByType[opNames[k]] = tr[k]
+	}
+	if rep.Sent > 0 {
+		rep.GoodputFrc = float64(rep.Good) / float64(rep.Sent)
+	}
+	if elapsed > 0 {
+		rep.GoodputQPS = float64(rep.Good) / elapsed.Seconds()
+	}
+	return rep
+}
+
+func printReport(rep servingReport) {
+	fmt.Printf("open-loop %.0f req/s for %.1fs: sent=%d good=%d late=%d shed=%d errors=%d\n",
+		rep.RateQPS, rep.DurationS, rep.Sent, rep.Good, rep.Late, rep.Shed, rep.Error)
+	fmt.Printf("goodput %.1f req/s (%.1f%% of sent), deadline %dms\n",
+		rep.GoodputQPS, rep.GoodputFrc*100, rep.DeadlineMS)
+	fmt.Printf("overall  p50=%.2fms p99=%.2fms p999=%.2fms\n",
+		rep.Overall.P50, rep.Overall.P99, rep.Overall.P999)
+	names := make([]string, 0, len(rep.ByType))
+	for n := range rep.ByType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := rep.ByType[n]
+		fmt.Printf("%-10s sent=%-6d good=%-6d late=%-5d shed=%-5d p50=%.2fms p99=%.2fms p999=%.2fms\n",
+			n, t.Sent, t.Good, t.Late, t.Shed, t.Pcts.P50, t.Pcts.P99, t.Pcts.P999)
+	}
+}

@@ -8,9 +8,12 @@
 //
 //	GET /metrics               Prometheus text exposition
 //	GET /trace?query=space&... run one traced query, return its span tree
+//	GET /debug/jobs            running/recent background jobs + hottest regions
 //	-log-level debug           structured request logging (log/slog)
 //	-slow-query-ms 250         WARN-log requests slower than 250ms
 //	-trace-sample 0.01         trace 1% of queries into the trace ring
+//	-slo-p99-ms 250            latency objective behind the tman_slo_* series
+//	-max-inflight 256          shed query/ingest load above this bound
 package main
 
 import (
@@ -55,6 +58,9 @@ func main() {
 		compactFan  = flag.Int("compact-fanin", 0, "same-tier runs merged per tiered compaction (0 = 4, min 2)")
 		compactSub  = flag.Int("compact-subranges", 0, "key-range partitions per large merge (0 = 4, 1 disables)")
 		monolithic  = flag.Bool("compact-monolithic", false, "use the legacy whole-region compaction policy")
+		sloP99MS    = flag.Int("slo-p99-ms", 0, "per-query latency objective in ms (0 = 250, negative disables SLO tracking)")
+		sloBudget   = flag.Float64("slo-budget", 0, "allowed late fraction of the objective (0 = 0.01)")
+		maxInflight = flag.Int("max-inflight", 0, "shed query/ingest load above this many in-flight requests (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -91,6 +97,9 @@ func main() {
 		tman.WithShapeGrid(*alpha, *beta, *g),
 		tman.WithShapeEncoding(enc),
 		tman.WithTraceSampling(*traceSample),
+	}
+	if *sloP99MS != 0 || *sloBudget != 0 {
+		opts = append(opts, tman.WithSLO(*sloP99MS, *sloBudget))
 	}
 	if *blockSize != 0 || *blockCache != 0 || *bloomBits != 0 {
 		cacheBytes := *blockCache
@@ -136,6 +145,7 @@ func main() {
 	api := httpapi.New(db,
 		httpapi.WithLogger(logger),
 		httpapi.WithSlowQueryThreshold(time.Duration(*slowQueryMS)*time.Millisecond),
+		httpapi.WithMaxInflight(*maxInflight),
 	)
 	srv := &http.Server{
 		Addr:              *addr,

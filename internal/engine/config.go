@@ -125,6 +125,16 @@ type Config struct {
 	// endpoint) are always traced regardless of the rate.
 	TraceSampleRate float64
 
+	// SLOTargetMillis is the per-query latency objective every query type is
+	// tracked against: a query finishing within it counts "good", over it
+	// counts "late", and the windowed burn-rate gauges report late-fraction
+	// over the error budget. 0 takes the 250ms default; negative disables
+	// SLO tracking (the series still exist and stay at zero).
+	SLOTargetMillis int
+	// SLOBudget is the allowed late fraction of the objective (0 → 0.01,
+	// i.e. a p99 objective).
+	SLOBudget float64
+
 	// KV configures the underlying key-value store (including scan
 	// parallelism and the cluster cost model).
 	KV kvstore.Options
@@ -224,6 +234,15 @@ func (c *Config) Validate() error {
 	}
 	if c.TraceSampleRate < 0 || c.TraceSampleRate > 1 {
 		return fmt.Errorf("engine: trace sample rate must be in [0,1], got %g", c.TraceSampleRate)
+	}
+	if c.SLOTargetMillis == 0 {
+		c.SLOTargetMillis = 250
+	}
+	if c.SLOBudget <= 0 {
+		c.SLOBudget = 0.01
+	}
+	if c.SLOBudget > 1 {
+		return fmt.Errorf("engine: SLO budget must be in (0,1], got %g", c.SLOBudget)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"context"
+	"time"
 
+	"github.com/tman-db/tman/internal/kvstore"
 	"github.com/tman-db/tman/internal/obs"
 )
 
@@ -17,6 +19,10 @@ const (
 )
 
 var queryTypes = []string{qTemporal, qSpatial, qSpaceTime, qObject, qSimilar, qNearest}
+
+// jobKinds is the fixed set of background-job kinds the tman_bg_* series
+// are registered for (matching the kinds kvstore records).
+var jobKinds = []string{"flush", "compact", "catchup", "split", "failover"}
 
 // engineMetrics is the engine's registration into the obs layer: the shared
 // registry every subsystem exports through, per-query-type latency
@@ -36,6 +42,11 @@ type engineMetrics struct {
 
 	sampler *obs.Sampler   // nil when TraceSampleRate is 0 (tracing off)
 	traces  *obs.TraceRing // most recent sampled traces
+
+	// slo holds one latency-objective tracker per query type (nil trackers
+	// when SLO tracking is disabled; every method is nil-safe).
+	slo       map[string]*obs.SLOTracker
+	sloBudget float64
 }
 
 // newEngineMetrics builds the registry and registers every engine-side and
@@ -151,7 +162,112 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		"queries that degraded to a partial result")
 	m.queryCandidates = reg.Histogram("tman_query_candidates",
 		"candidates visited per query (the paper's retrievals metric)", obs.SizeBuckets)
+
+	// --- background jobs: always-on tracing + per-kind resource ledgers ---
+	jobs := e.store.Jobs()
+	for _, kind := range jobKinds {
+		kind := kind
+		counter(`tman_bg_jobs_total{kind="`+kind+`"}`,
+			"background jobs completed by kind", func() int64 { return jobs.KindStats(kind).Jobs })
+		counter(`tman_bg_bytes_read_total{kind="`+kind+`"}`,
+			"bytes background jobs read by kind", func() int64 { return jobs.KindStats(kind).BytesRead })
+		counter(`tman_bg_bytes_written_total{kind="`+kind+`"}`,
+			"bytes background jobs wrote by kind", func() int64 { return jobs.KindStats(kind).BytesWritten })
+		reg.CounterFunc(`tman_bg_seconds_total{kind="`+kind+`"}`,
+			"wall time background jobs ran by kind",
+			func() float64 { return float64(jobs.KindStats(kind).TotalNanos) / 1e9 })
+		reg.CounterFunc(`tman_bg_stall_seconds_total{kind="`+kind+`"}`,
+			"time background jobs held locks foreground work waited on, by kind",
+			func() float64 { return float64(jobs.KindStats(kind).StallNanos) / 1e9 })
+	}
+	reg.GaugeFunc("tman_bg_jobs_running", "background jobs currently in flight",
+		func() float64 { return float64(jobs.RunningCount()) })
+	reg.GaugeFunc("tman_scan_queue_depth", "scan/write executor tasks queued but not started",
+		func() float64 { return float64(e.store.ScanQueueDepth()) })
+
+	// --- per-region hotness (top-1 gauges; full list on /debug/jobs) ------
+	reg.GaugeFunc("tman_region_hottest_rows", "rows visited on the hottest region (lifetime)",
+		func() float64 {
+			if hot := e.store.RegionHotness(1); len(hot) > 0 {
+				return float64(hot[0].Rows)
+			}
+			return 0
+		})
+	reg.GaugeFunc("tman_region_hotness_share", "hottest region's share of all rows visited",
+		func() float64 {
+			hot := e.store.RegionHotness(0)
+			var total int64
+			for _, h := range hot {
+				total += h.Rows
+			}
+			if len(hot) == 0 || total == 0 {
+				return 0
+			}
+			return float64(hot[0].Rows) / float64(total)
+		})
+
+	// --- SLO layer: per-type good/late counters + windowed burn rates -----
+	m.sloBudget = e.cfg.SLOBudget
+	m.slo = make(map[string]*obs.SLOTracker, len(queryTypes))
+	objective := time.Duration(e.cfg.SLOTargetMillis) * time.Millisecond
+	for _, qt := range queryTypes {
+		var tr *obs.SLOTracker
+		if e.cfg.SLOTargetMillis > 0 {
+			tr = obs.NewSLOTracker(objective, e.cfg.SLOBudget, 10*time.Second, 30)
+		}
+		m.slo[qt] = tr
+		counter(`tman_slo_good_total{type="`+qt+`"}`,
+			"queries that met the latency objective, by type",
+			func() int64 { good, _ := tr.Totals(); return good })
+		counter(`tman_slo_late_total{type="`+qt+`"}`,
+			"queries that missed the latency objective, by type",
+			func() int64 { _, late := tr.Totals(); return late })
+	}
+	reg.GaugeFunc("tman_slo_objective_seconds", "latency objective queries are classified against",
+		func() float64 { return objective.Seconds() })
+	burn := func(w time.Duration) float64 {
+		var good, late int64
+		for _, tr := range m.slo {
+			g, l := tr.Window(w)
+			good += g
+			late += l
+		}
+		if good+late == 0 {
+			return 0
+		}
+		return (float64(late) / float64(good+late)) / m.sloBudget
+	}
+	reg.GaugeFunc("tman_slo_burn_rate_1m", "trailing-1m error-budget burn rate across all query types",
+		func() float64 { return burn(time.Minute) })
+	reg.GaugeFunc("tman_slo_burn_rate_5m", "trailing-5m error-budget burn rate across all query types",
+		func() float64 { return burn(5 * time.Minute) })
 	return m
+}
+
+// Jobs exposes the store's background-job recorder (for /debug/jobs and for
+// attaching overlapping background spans to forced traces).
+func (e *Engine) Jobs() *obs.JobRecorder { return e.store.Jobs() }
+
+// RegionHotness returns the top-k regions by rows visited, hottest first.
+func (e *Engine) RegionHotness(k int) []kvstore.RegionHot { return e.store.RegionHotness(k) }
+
+// SLOStatus is one query type's SLO standing for /stats.
+type SLOStatus struct {
+	Good       int64   `json:"good"`
+	Late       int64   `json:"late"`
+	BurnRate1M float64 `json:"burn_rate_1m"`
+}
+
+// SLOSnapshot reports per-type SLO standing plus the objective in millis.
+func (e *Engine) SLOSnapshot() (objectiveMS int64, byType map[string]SLOStatus) {
+	byType = make(map[string]SLOStatus, len(queryTypes))
+	for _, qt := range queryTypes {
+		tr := e.met.slo[qt]
+		good, late := tr.Totals()
+		byType[qt] = SLOStatus{Good: good, Late: late, BurnRate1M: tr.BurnRate(time.Minute)}
+		objectiveMS = tr.Objective().Milliseconds()
+	}
+	return objectiveMS, byType
 }
 
 // Metrics returns the engine's metrics registry — the single exposition
@@ -189,6 +305,7 @@ func (e *Engine) endQuery(qtype string, sp *obs.Span, sampled bool, rep *QueryRe
 	m.queriesTotal[qtype].Inc()
 	m.queryLatency[qtype].ObserveDuration(int64(rep.Elapsed))
 	m.queryCandidates.Observe(float64(rep.Candidates))
+	m.slo[qtype].Observe(rep.Elapsed)
 	if rep.Partial {
 		m.queriesPartial.Inc()
 	}

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	tman "github.com/tman-db/tman"
@@ -71,12 +72,13 @@ type similarRequest struct {
 
 // Server wraps a DB with HTTP handlers.
 type Server struct {
-	db      *tman.DB
-	mux     *http.ServeMux
-	log     *slog.Logger
-	slow    time.Duration // requests slower than this log at WARN; 0 disables
-	started time.Time
-	met     *serverMetrics
+	db          *tman.DB
+	mux         *http.ServeMux
+	log         *slog.Logger
+	slow        time.Duration // requests slower than this log at WARN; 0 disables
+	maxInflight int64         // sheds query/ingest load above this; 0 disables
+	started     time.Time
+	met         *serverMetrics
 }
 
 // ServerOption customizes a Server at New time.
@@ -92,6 +94,15 @@ func WithLogger(l *slog.Logger) ServerOption {
 // their full query report. Zero disables slow-query logging.
 func WithSlowQueryThreshold(d time.Duration) ServerOption {
 	return func(s *Server) { s.slow = d }
+}
+
+// WithMaxInflight bounds concurrently served query/ingest requests: load
+// above the bound is shed with 503 + Retry-After instead of queueing without
+// limit, and counted per request type in tman_slo_shed_total. Diagnostic
+// endpoints (/stats, /metrics, /trace, /debug/...) are never shed. Zero (the
+// default) disables admission control.
+func WithMaxInflight(n int) ServerOption {
+	return func(s *Server) { s.maxInflight = int64(n) }
 }
 
 // New builds a Server over an open database.
@@ -112,7 +123,21 @@ func New(db *tman.DB, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/debug/jobs", s.handleDebugJobs)
 	return s
+}
+
+// shedClass maps a request to its shed-accounting type, or "" when the
+// request is not subject to admission control (diagnostic endpoints).
+func shedClass(method, path string) string {
+	switch {
+	case strings.HasPrefix(path, "/query/"):
+		return strings.TrimPrefix(path, "/query/")
+	case path == "/trajectories" && (method == http.MethodPut || method == http.MethodPost):
+		return "ingest"
+	default:
+		return ""
+	}
 }
 
 // ServeHTTP implements http.Handler: every request gets an X-Request-Id
@@ -130,7 +155,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.met.inFlight.Add(1)
-	s.mux.ServeHTTP(rec, r)
+	if cls := shedClass(r.Method, r.URL.Path); cls != "" && s.maxInflight > 0 &&
+		s.met.inFlight.Value() > s.maxInflight {
+		// Shed rather than queue: the client gets an immediate, honest 503
+		// it can back off on, instead of a latency cliff for everyone.
+		if c, ok := s.met.shed[cls]; ok {
+			c.Inc()
+		}
+		rec.Header().Set("Retry-After", "1")
+		httpError(rec, http.StatusServiceUnavailable,
+			"overloaded: %d requests in flight (limit %d)", s.met.inFlight.Value()-1, s.maxInflight)
+	} else {
+		s.mux.ServeHTTP(rec, r)
+	}
 	s.met.inFlight.Add(-1)
 
 	elapsed := time.Since(started)
@@ -391,6 +428,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ps := s.db.Engine().PlanCacheStats()
 	rs := s.db.Engine().Store().ReplicaStats()
 	bcs := s.db.Engine().Store().BlockCacheStats()
+	sloMS, slo := s.db.Engine().SLOSnapshot()
 	writeJSON(w, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"version":        buildVersion(),
@@ -448,6 +486,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"plan_hits":    ps.Hits,
 		"plan_misses":  ps.Misses,
 		"plan_entries": ps.Entries,
+
+		"slo_objective_ms": sloMS,
+		"slo":              slo,
+		"bg_jobs_running":  s.db.Engine().Jobs().RunningCount(),
+		"scan_queue_depth": s.db.Engine().Store().ScanQueueDepth(),
 	})
 }
 

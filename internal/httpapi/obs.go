@@ -7,6 +7,7 @@ import (
 	"time"
 
 	tman "github.com/tman-db/tman"
+	"github.com/tman-db/tman/internal/kvstore"
 	"github.com/tman-db/tman/internal/obs"
 )
 
@@ -18,12 +19,19 @@ func intParam(r *http.Request, key string) (int, error) {
 	return strconv.Atoi(r.URL.Query().Get(key))
 }
 
+// shedTypes are the request types subject to admission control, keyed the
+// way clients see them (the /query/ path segment, plus "ingest" for
+// trajectory writes). Registered up front so the shed series exist at zero
+// before any overload.
+var shedTypes = []string{"time", "space", "spacetime", "object", "similar", "nearest", "ingest"}
+
 // serverMetrics is the HTTP layer's registration into the shared engine
-// registry: request counts by status class, request latency, and in-flight
-// requests.
+// registry: request counts by status class, request latency, in-flight
+// requests, and per-type shed-load counters.
 type serverMetrics struct {
 	inFlight *obs.Gauge
-	byClass  map[int]*obs.Counter // status/100 (2..5) -> counter
+	byClass  map[int]*obs.Counter    // status/100 (2..5) -> counter
+	shed     map[string]*obs.Counter // request type -> 503s from admission control
 	duration *obs.Histogram
 }
 
@@ -31,12 +39,17 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	m := &serverMetrics{
 		inFlight: reg.Gauge("tman_http_in_flight", "requests currently being served"),
 		byClass:  make(map[int]*obs.Counter, 4),
+		shed:     make(map[string]*obs.Counter, len(shedTypes)),
 		duration: reg.Histogram("tman_http_request_duration_seconds",
 			"HTTP request latency", obs.DefBuckets),
 	}
 	for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
 		m.byClass[int(class[0]-'0')] = reg.Counter(
 			`tman_http_requests_total{code="`+class+`"}`, "HTTP requests by status class")
+	}
+	for _, t := range shedTypes {
+		m.shed[t] = reg.Counter(`tman_slo_shed_total{type="`+t+`"}`,
+			"requests shed by admission control")
 	}
 	return m
 }
@@ -103,6 +116,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	qStart := time.Now()
 	root := obs.NewSpan("request")
 	ctx := obs.ContextWithSpan(r.Context(), root)
 
@@ -160,6 +174,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	root.EndWith(rep.Elapsed)
+	// Attach the background jobs (flushes, compactions, catch-ups...) whose
+	// lifetime overlapped this query: the trace then shows not just where the
+	// query spent its time, but what maintenance work it was contending with.
+	if jobs := s.db.Engine().Jobs().Overlapping(qStart, time.Now()); len(jobs) > 0 {
+		bg := root.Child("background", 0)
+		for _, js := range jobs {
+			bg.Attach(js.Span())
+		}
+	}
 	writeJSON(w, TraceResponse{
 		RequestID:     obs.RequestIDFrom(r.Context()),
 		Plan:          rep.Plan,
@@ -170,6 +193,40 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		RetriedRPCs:   rep.RetriedRPCs,
 		FailedRegions: rep.FailedRegions,
 		Trace:         root.JSON(),
+	})
+}
+
+// DebugJobsResponse is the /debug/jobs payload: in-flight background jobs,
+// a bounded ring of recently completed ones (newest first), and the hottest
+// regions by rows scanned.
+type DebugJobsResponse struct {
+	Running        []obs.JobSnapshot   `json:"running"`
+	Recent         []obs.JobSnapshot   `json:"recent"`
+	HottestRegions []kvstore.RegionHot `json:"hottest_regions"`
+}
+
+// handleDebugJobs serves GET /debug/jobs?n=: the background maintenance the
+// store is doing right now and did recently, with per-job resource ledgers.
+// n bounds the completed-job list (default 32).
+func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	limit := 32
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "n must be a positive integer, got %q", raw)
+			return
+		}
+		limit = n
+	}
+	running, recent := s.db.Engine().Jobs().Snapshot(limit)
+	writeJSON(w, DebugJobsResponse{
+		Running:        running,
+		Recent:         recent,
+		HottestRegions: s.db.Engine().RegionHotness(10),
 	})
 }
 

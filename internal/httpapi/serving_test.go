@@ -1,0 +1,296 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tman "github.com/tman-db/tman"
+)
+
+// TestDebugJobsEndpoint checks /debug/jobs surfaces the background work a
+// bulk load plus major compaction produces, with non-empty resource ledgers,
+// and that region hotness reflects queries actually run.
+func TestDebugJobsEndpoint(t *testing.T) {
+	ts, db := newTestServer(t)
+	base := int64(1_700_000_000_000)
+	var trajs []TrajectoryJSON
+	for i := 0; i < 50; i++ {
+		trajs = append(trajs, sampleJSON("o", fmt.Sprintf("t%d", i), base+int64(i)*60_000, 116.40, 39.90))
+	}
+	ingest(t, ts, trajs...)
+	db.Engine().Store().CompactAll()
+	getQuery(t, ts, "/query/space?minx=116.3&miny=39.8&maxx=116.5&maxy=40.0")
+
+	resp, err := http.Get(ts.URL + "/debug/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/jobs: status %d", resp.StatusCode)
+	}
+	var out DebugJobsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Recent) == 0 {
+		t.Fatal("no completed jobs after bulk load + CompactAll")
+	}
+	kinds := make(map[string]bool)
+	var ledgered bool
+	for _, j := range out.Recent {
+		kinds[j.Kind] = true
+		if j.BytesWritten > 0 || j.BytesRead > 0 {
+			ledgered = true
+		}
+		if j.Running {
+			t.Errorf("completed list contains a running job: %+v", j)
+		}
+	}
+	if !kinds["flush"] {
+		t.Errorf("no flush job recorded; kinds = %v", kinds)
+	}
+	if !ledgered {
+		t.Errorf("every job ledger is empty: %+v", out.Recent)
+	}
+	if len(out.HottestRegions) == 0 {
+		t.Fatal("no region hotness reported")
+	}
+	var rows int64
+	for _, h := range out.HottestRegions {
+		rows += h.Rows
+	}
+	if rows == 0 {
+		t.Errorf("hotness all zero after a query: %+v", out.HottestRegions)
+	}
+
+	// Parameter and method guards.
+	bad, _ := http.Get(ts.URL + "/debug/jobs?n=zero")
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", bad.StatusCode)
+	}
+	post, _ := http.Post(ts.URL+"/debug/jobs", "application/json", nil)
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", post.StatusCode)
+	}
+}
+
+// TestTraceAttachesOverlappingBackgroundJobs pins the acceptance criterion:
+// a forced /trace?query= concurrent with compaction shows the background
+// job's span with non-zero byte attribution. A churn goroutine keeps
+// ingest + major compactions running while the test polls /trace until a
+// background child with a charged ledger appears.
+func TestTraceAttachesOverlappingBackgroundJobs(t *testing.T) {
+	ts, db := newTestServer(t)
+	base := int64(1_700_000_000_000)
+	ingest(t, ts, sampleJSON("o", "seed", base, 116.40, 39.90))
+
+	var stop atomic.Bool
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for i := 0; !stop.Load(); i++ {
+			tr := sampleJSON("churn", fmt.Sprintf("c%d", i), base+int64(i)*60_000, 116.41, 39.91)
+			mt := toModel(tr)
+			mt.SortByTime()
+			if err := db.PutBatch([]*tman.Trajectory{mt}); err != nil {
+				t.Error(err)
+				return
+			}
+			db.Engine().Store().CompactAll()
+		}
+	}()
+	defer func() { stop.Store(true); <-churnDone }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/trace?query=space&minx=116.3&miny=39.8&maxx=116.5&maxy=40.0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr TraceResponse
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, child := range tr.Trace.Children {
+			if child.Name != "background" {
+				continue
+			}
+			for _, job := range child.Children {
+				bytes := job.Attrs["bytes_read"] + job.Attrs["bytes_written"]
+				if bytes > 0 {
+					// The span must identify the job and carry the ledger.
+					if !strings.Contains(job.Name, ":") || job.Attrs["job_id"] == 0 {
+						t.Fatalf("background span malformed: %+v", job)
+					}
+					return // acceptance met
+				}
+			}
+		}
+	}
+	t.Fatal("no background job span with non-zero byte attribution appeared in /trace within 30s")
+}
+
+// TestAdmissionControlSheds pins the overload contract: with a bound set,
+// query and ingest requests over the in-flight limit get 503 + Retry-After
+// and a per-type shed counter; diagnostic endpoints are never shed.
+func TestAdmissionControlSheds(t *testing.T) {
+	db, err := tman.Open(tman.Beijing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, WithMaxInflight(2))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Simulate saturation: park phantom in-flight requests on the gauge so
+	// the next real request is over the limit, deterministically.
+	srv.met.inFlight.Add(5)
+	defer srv.met.inFlight.Add(-5)
+
+	resp, err := http.Get(ts.URL + "/query/time?start=0&end=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded query: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	if got := srv.met.shed["time"].Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/trajectories", strings.NewReader("[]"))
+	ir, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.Body.Close()
+	if ir.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded ingest: status %d, want 503", ir.StatusCode)
+	}
+	if got := srv.met.shed["ingest"].Value(); got != 1 {
+		t.Errorf("ingest shed counter = %d, want 1", got)
+	}
+
+	// Diagnostics stay reachable under overload — that's the point of
+	// shedding in the first place.
+	for _, path := range []string{"/stats", "/metrics", "/debug/jobs"} {
+		dr, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr.Body.Close()
+		if dr.StatusCode != http.StatusOK {
+			t.Errorf("GET %s under overload: status %d, want 200", path, dr.StatusCode)
+		}
+	}
+
+	// The shed series are visible in the exposition.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, mr)
+	if !strings.Contains(body, `tman_slo_shed_total{type="time"} 1`) {
+		t.Errorf("exposition missing shed series:\n%s", grepLines(body, "shed"))
+	}
+}
+
+// TestAdmissionControlDisabledByDefault: without WithMaxInflight, nothing is
+// shed no matter the gauge.
+func TestAdmissionControlDisabledByDefault(t *testing.T) {
+	db, err := tman.Open(tman.Beijing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	srv.met.inFlight.Add(100)
+	defer srv.met.inFlight.Add(-100)
+	resp, err := http.Get(ts.URL + "/query/time?start=0&end=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unbounded server shed: status %d", resp.StatusCode)
+	}
+}
+
+// TestStatsSLOSection checks /stats reports the SLO standing and background
+// job summary, and that queries move the good counters.
+func TestStatsSLOSection(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingest(t, ts, sampleJSON("a", "t1", 1_700_000_000_000, 116.40, 39.90))
+	getQuery(t, ts, "/query/time?start=0&end=2000000000000")
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		SLOObjectiveMS int64 `json:"slo_objective_ms"`
+		SLO            map[string]struct {
+			Good int64 `json:"good"`
+			Late int64 `json:"late"`
+		} `json:"slo"`
+		BGJobsRunning  *int64 `json:"bg_jobs_running"`
+		ScanQueueDepth *int64 `json:"scan_queue_depth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SLOObjectiveMS != 250 {
+		t.Errorf("slo_objective_ms = %d, want the 250 default", stats.SLOObjectiveMS)
+	}
+	tempo, ok := stats.SLO["temporal"]
+	if !ok {
+		t.Fatalf("slo section missing temporal type: %v", stats.SLO)
+	}
+	if tempo.Good+tempo.Late == 0 {
+		t.Error("temporal query not observed against the SLO")
+	}
+	if stats.BGJobsRunning == nil || stats.ScanQueueDepth == nil {
+		t.Error("/stats missing bg_jobs_running or scan_queue_depth")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+func grepLines(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

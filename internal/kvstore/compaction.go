@@ -200,6 +200,10 @@ func (r *region) compactGroup(runs []*sortedRun, lo, hi int, stats *Stats, paral
 	for _, run := range group {
 		input += int64(run.bytes)
 	}
+	// Side-band job record: wall-clock only, never feeds the deterministic
+	// counters below, so charging stays a pure function of the write
+	// sequence regardless of which path (background or foreground) merged.
+	job := r.jobs.Begin("compact", r.tname, r.id)
 	start := time.Now()
 	bounds := subRangeBounds(group, r.cpol, input)
 
@@ -247,6 +251,15 @@ func (r *region) compactGroup(runs []*sortedRun, lo, hi int, stats *Stats, paral
 	stats.Compactions.Add(1)
 	stats.BytesCompacted.Add(input)
 	stats.CompactStallNanos.Add(time.Since(start).Nanoseconds())
+	var output int64
+	for _, f := range frags {
+		output += int64(f.bytes)
+	}
+	job.AddBytesRead(input)
+	job.AddBytesWritten(output)
+	job.AddItems(int64(hi - lo))
+	job.AddStall(time.Since(start))
+	r.jobs.End(job)
 	return frags
 }
 
@@ -298,11 +311,18 @@ func (r *region) maintainRunsLocked(stats *Stats) {
 			for _, run := range r.runs {
 				input += int64(run.bytes)
 			}
+			job := r.jobs.Begin("compact", r.tname, r.id)
+			nRuns := int64(len(r.runs))
 			start := time.Now()
 			r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
 			stats.Compactions.Add(1)
 			stats.BytesCompacted.Add(input)
 			stats.CompactStallNanos.Add(time.Since(start).Nanoseconds())
+			job.AddBytesRead(input)
+			job.AddBytesWritten(int64(r.runs[0].bytes))
+			job.AddItems(nRuns)
+			job.AddStall(time.Since(start))
+			r.jobs.End(job)
 		}
 		return
 	}

@@ -37,6 +37,12 @@ type mergeCursor struct {
 	blkHi     []byte
 	nocache   bool
 	missBytes int64
+	// Per-cursor attribution mirrors of the global fence/cache counters, so
+	// a scan can report its own skip and cache traffic (they sum into the
+	// scan's scanAcct; the global Stats keep their own charges).
+	blocksSkipped int64
+	cacheHits     int64
+	cacheMisses   int64
 	// Fence pruning (block mode, scans only): ff consults per-block fences
 	// before each fetch; skipOK gates Skip verdicts (region scans grant it
 	// only to the oldest group-prefix of runs — see region.scan); runAccept
@@ -147,6 +153,7 @@ func (c *mergeCursor) initBlock(br *blockRun, lo, hi []byte, pri int, nocache bo
 		if br.runFence.valid {
 			switch v := ff.FenceVerdict(br.runFence.f); {
 			case v == VerdictSkip && skipOK:
+				c.blocksSkipped += int64(last - first + 1)
 				if st := br.cfg.stats; st != nil {
 					st.BlocksSkipped.Add(int64(last - first + 1))
 				}
@@ -184,6 +191,7 @@ func (c *mergeCursor) loadBlock() {
 		if c.ff != nil && !c.runAccept {
 			switch c.br.verdict(c.ff, i, c.skipOK) {
 			case VerdictSkip:
+				c.blocksSkipped++
 				if st := c.br.cfg.stats; st != nil {
 					st.BlocksSkipped.Add(1)
 				}
@@ -194,6 +202,11 @@ func (c *mergeCursor) loadBlock() {
 		}
 		db, miss := c.br.fetch(i, c.nocache)
 		c.missBytes += miss
+		if miss > 0 {
+			c.cacheMisses++
+		} else {
+			c.cacheHits++
+		}
 		es := db.entries
 		if c.blkHi != nil && i == c.lastBlk {
 			j := sort.Search(len(es), func(k int) bool { return bytes.Compare(es[k].key, c.blkHi) >= 0 })

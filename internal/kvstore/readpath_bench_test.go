@@ -75,7 +75,7 @@ func BenchmarkRegionScan(b *testing.B) {
 	for n := 0; n < b.N; n++ {
 		out = out[:0]
 		var hit bool
-		out, hit, _, _ = r.scan(nil, nil, nil, 0, out, nil, nil)
+		out, hit, _ = r.scan(nil, nil, nil, 0, out, nil, nil)
 		if hit || len(out) != runs*perRun {
 			b.Fatalf("scan returned %d rows (hit=%v)", len(out), hit)
 		}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/tman-db/tman/internal/obs"
 )
 
 // region is one contiguous key range of a table: [startKey, endKey), where a
@@ -52,6 +54,18 @@ type region struct {
 
 	// flushMu serializes run-set mutators; see the lock-order note above.
 	flushMu sync.Mutex
+
+	// Background-job observability (side-band only: never feeds the
+	// deterministic Stats counters). jobs is the store's recorder — nil in
+	// unit fixtures — and tname names the owning table in job records.
+	jobs  *obs.JobRecorder
+	tname string
+
+	// Hotness accounting for the per-region hotness gauges: lifetime scan
+	// task count and rows visited, charged unconditionally (two atomic adds
+	// per region scan).
+	hotScans atomic.Int64
+	hotRows  atomic.Int64
 
 	// writeBytes is the split-decision metric: the monotonic ingest volume
 	// charged per mutation at put time (key+value+overhead), independent of
@@ -259,6 +273,7 @@ func (r *region) flushOldestImm(stats *Stats) bool {
 	m := r.imm[0]
 	r.mu.RUnlock()
 
+	job := r.jobs.Begin("flush", r.tname, r.id)
 	entries, rawBytes := m.drain()
 	run := newRunFromEntries(r.bcfg, entries, rawBytes)
 	r.mu.Lock()
@@ -267,6 +282,10 @@ func (r *region) flushOldestImm(stats *Stats) bool {
 	r.mu.Unlock()
 	stats.Flushes.Add(1)
 	stats.BytesFlushed.Add(int64(run.bytes))
+	job.AddBytesRead(int64(rawBytes))
+	job.AddBytesWritten(int64(run.bytes))
+	job.AddItems(int64(len(entries)))
+	r.jobs.End(job)
 	r.maintainRuns(stats)
 	return true
 }
@@ -283,6 +302,7 @@ func (r *region) compactOutOfLine(stats *Stats) {
 	for _, run := range snap {
 		input += int64(run.bytes)
 	}
+	job := r.jobs.Begin("compact", r.tname, r.id)
 	start := time.Now()
 	merged := mergeRunSlice(r.bcfg, snap)
 	r.mu.Lock()
@@ -291,6 +311,11 @@ func (r *region) compactOutOfLine(stats *Stats) {
 	stats.Compactions.Add(1)
 	stats.BytesCompacted.Add(input)
 	stats.CompactStallNanos.Add(time.Since(start).Nanoseconds())
+	job.AddBytesRead(input)
+	job.AddBytesWritten(int64(merged.bytes))
+	job.AddItems(int64(len(snap)))
+	job.AddStall(time.Since(start))
+	r.jobs.End(job)
 }
 
 // drainImmsLocked converts every pending immutable memtable into a run with
@@ -344,21 +369,42 @@ func (r *region) get(key []byte) (value []byte, ok bool) {
 	return nil, false
 }
 
+// scanAcct is one region scan's resource account: the bytes of rows visited
+// (the simulated disk-read volume), the rows visited, and — in block mode —
+// the fence/cache traffic behind them. It flows back per scan task so a
+// traced query can attribute cost per region instead of only to the global
+// counters.
+type scanAcct struct {
+	ScannedBytes  int64
+	RowsScanned   int64
+	BlocksSkipped int64 // fence-pruned blocks (run- and block-level)
+	CacheHits     int64 // block fetches served by the block cache
+	CacheMisses   int64 // block fetches that decoded (and charged) the run
+}
+
+func (a *scanAcct) add(b scanAcct) {
+	a.ScannedBytes += b.ScannedBytes
+	a.RowsScanned += b.RowsScanned
+	a.BlocksSkipped += b.BlocksSkipped
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+}
+
 // scan visits live rows with key in [start, end) ∩ region range in key
 // order, applying the push-down filter and appending accepted rows to out.
 // limit <= 0 means unlimited. Returns the extended slice, whether the limit
-// was reached, and the bytes of rows visited (the simulated disk-read
-// volume).
+// was reached, and the scan's resource account.
 //
 // The scan streams a heap merge over the live memtable, the sealed
 // immutables, and every run: each run is binary-search-seeked to the window
 // once, cursors advance in lockstep, and a limit stops the merge without
 // visiting (or copying) the rest of the window. No per-source sub-slices are
 // materialized.
-func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats, fenceBudget map[*blockRun]int64) (result []KV, hitLimit bool, scannedBytes, rowsScanned int64) {
+func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, stats *Stats, fenceBudget map[*blockRun]int64) (result []KV, hitLimit bool, acct scanAcct) {
 	lo := maxKey(start, r.startKey)
 	hi := minKey(end, r.endKey)
 
+	r.hotScans.Add(1)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if stats != nil {
@@ -469,9 +515,9 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 			continue
 		}
 		if !blockMode {
-			scannedBytes += int64(len(e.key) + len(e.value))
+			acct.ScannedBytes += int64(len(e.key) + len(e.value))
 		}
-		rowsScanned++
+		acct.RowsScanned++
 		if stats != nil {
 			stats.RowsScanned.Add(1)
 		}
@@ -496,10 +542,15 @@ func (r *region) scan(start, end []byte, filter Filter, limit int, out []KV, sta
 		// that is the point of the tier), while memtable and immutable rows
 		// keep the per-row raw-byte charge accrued by their cursors.
 		for i := range sc.cursors {
-			scannedBytes += sc.cursors[i].missBytes
+			c := &sc.cursors[i]
+			acct.ScannedBytes += c.missBytes
+			acct.BlocksSkipped += c.blocksSkipped
+			acct.CacheHits += c.cacheHits
+			acct.CacheMisses += c.cacheMisses
 		}
 	}
-	return out, hitLimit, scannedBytes, rowsScanned
+	r.hotRows.Add(acct.RowsScanned)
+	return out, hitLimit, acct
 }
 
 // size returns the approximate byte size of the region.

@@ -414,16 +414,21 @@ func (g *replGroup) catchUpLocked(f *follower) {
 		return
 	}
 	if f.epoch == g.epoch && len(g.tail) > 0 && f.seq+1 >= g.tail[0].seq {
+		job := g.store.jobs.Begin("catchup", g.leader.tname, g.leader.id)
 		for _, e := range g.tail {
 			if e.seq <= f.seq {
 				continue
 			}
 			if err := f.applyFrame(e.frame, e.commitNanos); err != nil {
+				g.store.jobs.End(job)
 				g.snapshotCatchUpLocked(f)
 				return
 			}
+			job.AddBytesRead(int64(len(e.frame)))
+			job.AddItems(1)
 		}
 		g.store.stats.CatchupTail.Add(1)
+		g.store.jobs.End(job)
 		return
 	}
 	g.snapshotCatchUpLocked(f)
@@ -434,13 +439,17 @@ func (g *replGroup) catchUpLocked(f *follower) {
 // longer reaches back far enough (or after a demotion, when the follower's
 // own state cannot be trusted). Caller holds g.mu.
 func (g *replGroup) snapshotCatchUpLocked(f *follower) {
-	rows, _, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil, nil)
+	job := g.store.jobs.Begin("catchup", g.leader.tname, g.leader.id)
+	defer g.store.jobs.End(job)
+	rows, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil, nil)
 	entries := make([]entry, len(rows))
 	rawBytes := 0
 	for i, kv := range rows {
 		entries[i] = entry{key: kv.Key, value: kv.Value}
 		rawBytes += len(kv.Key) + len(kv.Value)
 	}
+	job.AddBytesRead(int64(rawBytes))
+	job.AddItems(int64(len(entries)))
 	fr := f.reg
 	fr.flushMu.Lock()
 	fr.mu.Lock()
@@ -453,6 +462,7 @@ func (g *replGroup) snapshotCatchUpLocked(f *follower) {
 		run := newRunFromEntries(fr.bcfg, entries, rawBytes)
 		fr.runs = []*sortedRun{run}
 		g.store.stats.CatchupShipBytes.Add(int64(run.residentBytes()))
+		job.AddBytesWritten(int64(run.residentBytes()))
 	} else {
 		fr.runs = nil
 	}
@@ -488,6 +498,8 @@ func (g *replGroup) failoverLocked() bool {
 		return false
 	}
 	r, fr := g.leader, best.reg
+	job := g.store.jobs.Begin("failover", r.tname, r.id)
+	defer g.store.jobs.End(job)
 	r.flushMu.Lock()
 	r.mu.Lock()
 	fr.flushMu.Lock()
@@ -567,6 +579,7 @@ func (s *Store) initReplication(r *region) {
 	for i := 1; i < rf; i++ {
 		node := (leaderNode + i) % s.opts.Nodes
 		fr := newRegion(s.nextRegionID(), r.startKey, r.endKey, node, r.flushBytes, r.maxRuns, r.cpol, s.fl, bcfg)
+		fr.tname, fr.jobs = r.tname, r.jobs
 		fr.runs = append([]*sortedRun(nil), seedRuns...)
 		fr.writeBytes.Store(seedBytes)
 		g.followers = append(g.followers, &follower{

@@ -20,7 +20,7 @@ func shipFollower() *follower {
 }
 
 func followerRows(f *follower) []KV {
-	rows, _, _, _ := f.reg.scan(nil, nil, nil, 0, nil, nil, nil)
+	rows, _, _ := f.reg.scan(nil, nil, nil, 0, nil, nil, nil)
 	return rows
 }
 

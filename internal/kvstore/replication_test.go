@@ -48,7 +48,7 @@ func assertReplicaConvergence(t *testing.T, s *Store) {
 				continue
 			}
 			g.lock()
-			want, _, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil, nil)
+			want, _, _ := g.leader.scan(nil, nil, nil, 0, nil, nil, nil)
 			for _, f := range g.followers {
 				if f.down {
 					t.Errorf("region %d: follower on node %d still down", r.id, f.node)
@@ -58,7 +58,7 @@ func assertReplicaConvergence(t *testing.T, s *Store) {
 					t.Errorf("region %d: follower on node %d at epoch %d seq %d, group at %d/%d",
 						r.id, f.node, f.epoch, f.seq, g.epoch, g.seq)
 				}
-				got, _, _, _ := f.reg.scan(nil, nil, nil, 0, nil, nil, nil)
+				got, _, _ := f.reg.scan(nil, nil, nil, 0, nil, nil, nil)
 				if len(got) != len(want) {
 					t.Errorf("region %d: follower on node %d has %d rows, leader %d",
 						r.id, f.node, len(got), len(want))

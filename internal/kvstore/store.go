@@ -2,10 +2,12 @@ package kvstore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"github.com/tman-db/tman/internal/cache"
+	"github.com/tman-db/tman/internal/obs"
 )
 
 // Options configures a Store.
@@ -196,6 +198,7 @@ type Store struct {
 	pool      *workPool      // shared bounded executor for region scan/write tasks
 	fl        *flusher       // background memtable flusher/compactor
 	bcfg      *blockConfig   // block run format config; nil = legacy slice runs
+	jobs      *obs.JobRecorder
 
 	// Node liveness (KillNode/ReviveNode). anyDead keeps the per-RPC check
 	// to one atomic load until the first kill.
@@ -216,6 +219,7 @@ func Open(opts Options) *Store {
 		tables:   make(map[string]*Table),
 		injector: newFaultInjector(opts.Fault),
 		pool:     newWorkPool(opts.Parallelism),
+		jobs:     obs.NewJobRecorder(256),
 	}
 	s.fl = newFlusher(&s.stats, opts.FlushWorkers)
 	if !opts.DisableBlockFormat {
@@ -387,6 +391,60 @@ func (s *Store) FaultsEnabled() bool { return s.injector != nil }
 // CompactQueueDepth reports the background backlog: regions queued for
 // flush plus unclaimed sub-compaction tasks.
 func (s *Store) CompactQueueDepth() int64 { return s.fl.depth() }
+
+// ScanQueueDepth reports the shared scan/write executor's queued-but-
+// unstarted task backlog.
+func (s *Store) ScanQueueDepth() int64 { return s.pool.depth() }
+
+// Jobs exposes the store's background-job recorder: every flush, compaction,
+// catch-up, split and failover is recorded with a wall-clock resource ledger
+// (side-band — never part of the deterministic Stats counters).
+func (s *Store) Jobs() *obs.JobRecorder { return s.jobs }
+
+// RegionHot is one region's lifetime scan-traffic summary for the hotness
+// gauges and /debug/jobs.
+type RegionHot struct {
+	Table  string `json:"table"`
+	Region int64  `json:"region"`
+	Node   int    `json:"node"`
+	Scans  int64  `json:"scans"`
+	Rows   int64  `json:"rows_visited"`
+}
+
+// RegionHotness returns the top-k regions by rows visited, hottest first
+// (k <= 0 → all). Two atomic loads per region; safe to poll from scrapes.
+func (s *Store) RegionHotness(k int) []RegionHot {
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	var out []RegionHot
+	for _, t := range tables {
+		t.mu.RLock()
+		for _, r := range t.regions {
+			out = append(out, RegionHot{
+				Table:  t.name,
+				Region: r.id,
+				Node:   r.nodeID(),
+				Scans:  r.hotScans.Load(),
+				Rows:   r.hotRows.Load(),
+			})
+		}
+		t.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Rows != out[b].Rows {
+			return out[a].Rows > out[b].Rows
+		}
+		return out[a].Region < out[b].Region
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
 
 // TierRunHistogram counts the store's logical runs by size tier (index =
 // runTier of the logical run's bytes; fragments of one partitioned merge

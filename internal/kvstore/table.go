@@ -46,8 +46,16 @@ type Table struct {
 func newTable(name string, store *Store) *Table {
 	t := &Table{name: name, store: store, bcfg: store.bcfg}
 	t.regions = []*region{newRegion(store.nextRegionID(), nil, nil, store.nextNode(), store.opts.MemtableFlushBytes, store.opts.MaxRunsPerRegion, store.compactPol(), store.fl, t.bcfg)}
+	t.adoptRegion(t.regions[0])
 	store.initReplication(t.regions[0])
 	return t
+}
+
+// adoptRegion stamps a freshly built region with this table's identity and
+// the store's background-job recorder.
+func (t *Table) adoptRegion(r *region) {
+	r.tname = t.name
+	r.jobs = t.store.jobs
 }
 
 // Name returns the table name.
@@ -127,6 +135,7 @@ func (t *Table) PreSplit(keys [][]byte) error {
 	regions = append(regions, newRegion(t.store.nextRegionID(), start, nil,
 		t.store.nextNode(), t.store.opts.MemtableFlushBytes, t.store.opts.MaxRunsPerRegion, t.store.compactPol(), t.store.fl, t.bcfg))
 	for _, r := range regions {
+		t.adoptRegion(r)
 		t.store.initReplication(r)
 	}
 	t.regions = regions
@@ -277,6 +286,8 @@ func (t *Table) maybeSplit(r *region) {
 	if idx < 0 || r.writeBytes.Load() < int64(t.store.opts.RegionMaxBytes) {
 		return
 	}
+	job := t.store.jobs.Begin("split", t.name, r.id)
+	defer t.store.jobs.End(job)
 	entries, median := r.splitEntries(&t.store.stats)
 	if median == nil {
 		// Nothing (or a single row) survives compaction; re-seed the ingest
@@ -295,6 +306,8 @@ func (t *Table) maybeSplit(r *region) {
 	}
 	left := newRegion(t.store.nextRegionID(), r.startKey, median, r.nodeID(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.bcfg)
 	right := newRegion(t.store.nextRegionID(), median, r.endKey, t.store.nextNode(), r.flushBytes, r.maxRuns, r.cpol, t.store.fl, t.bcfg)
+	t.adoptRegion(left)
+	t.adoptRegion(right)
 	// entriesCharge walks each side once anyway; derive the raw byte
 	// totals from it instead of recounting inside the run constructor.
 	leftCharge, rightCharge := entriesCharge(entries[:cut]), entriesCharge(entries[cut:])
@@ -302,6 +315,9 @@ func (t *Table) maybeSplit(r *region) {
 	right.runs = []*sortedRun{newRunFromEntries(t.bcfg, entries[cut:], int(rightCharge)-(len(entries)-cut)*memEntryOverhead)}
 	left.writeBytes.Store(leftCharge)
 	right.writeBytes.Store(rightCharge)
+	job.AddBytesRead(leftCharge + rightCharge)
+	job.AddBytesWritten(int64(left.runs[0].bytes + right.runs[0].bytes))
+	job.AddItems(int64(len(entries)))
 	// Children get fresh replication groups seeded from their runs; the
 	// parent's group (and its followers) is dropped with the parent.
 	t.store.initReplication(left)
@@ -647,7 +663,10 @@ type scanTask struct {
 	rangeIdxs []int
 	out       []KV
 	cost      time.Duration
-	rows      int64 // live rows the region scanners visited (trace attribution)
+	rows      int64    // live rows the region scanners visited (trace attribution)
+	acct      scanAcct // disk bytes, fence skips, cache traffic (trace attribution)
+	node      int      // node that served the scan (leader or routed follower)
+	follower  bool     // served by a bounded-staleness follower
 	failed    bool
 }
 
@@ -717,9 +736,10 @@ func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limi
 	}
 	if serveReg != tk.reg {
 		followerReads.Add(1)
+		tk.follower = true
 	}
+	tk.node = serveNode
 	var out []KV
-	var scanned int64
 	// One fence-charge budget per task: the windows of a multi-range scan
 	// consult the same resident fence blobs, so the cumulative charge per
 	// run is capped at one read of its blob.
@@ -730,14 +750,15 @@ func (t *Table) runScanTask(tk *scanTask, ranges []KeyRange, filter Filter, limi
 	for _, ri := range tk.rangeIdxs {
 		kr := ranges[ri]
 		var hit bool
-		var sb, rows int64
-		out, hit, sb, rows = serveReg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats, fenceBudget)
-		scanned += sb
-		tk.rows += rows
+		var acct scanAcct
+		out, hit, acct = serveReg.scan(kr.Start, kr.End, filter, limit, out, &t.store.stats, fenceBudget)
+		tk.acct.add(acct)
+		tk.rows += acct.RowsScanned
 		if hit {
 			break
 		}
 	}
+	scanned := tk.acct.ScannedBytes
 	tk.out = out
 	t.store.stats.RPCs.Add(1)
 	io := rpcLatency
@@ -966,20 +987,34 @@ func (t *Table) recordScanSpan(span *obs.Span, tasks []scanTask, totalOut int, m
 		if i == maxRegionSpans {
 			var restRows, restOut int64
 			var restCost time.Duration
+			var restAcct scanAcct
 			for j := i; j < len(tasks); j++ {
 				restRows += tasks[j].rows
 				restOut += int64(len(tasks[j].out))
 				restCost += tasks[j].cost
+				restAcct.add(tasks[j].acct)
 			}
 			rest := span.Child(fmt.Sprintf("region:rest(%d)", len(tasks)-i), restCost)
 			rest.Add("rows", restRows)
 			rest.Add("rows_out", restOut)
+			rest.Add("disk_bytes", restAcct.ScannedBytes)
+			rest.Add("blocks_skipped", restAcct.BlocksSkipped)
+			rest.Add("cache_hits", restAcct.CacheHits)
+			rest.Add("cache_misses", restAcct.CacheMisses)
 			break
 		}
 		tk := &tasks[i]
 		c := span.Child(fmt.Sprintf("region:%d", tk.reg.id), tk.cost)
 		c.Add("rows", tk.rows)
 		c.Add("rows_out", int64(len(tk.out)))
+		c.Add("node", int64(tk.node))
+		c.Add("disk_bytes", tk.acct.ScannedBytes)
+		c.Add("blocks_skipped", tk.acct.BlocksSkipped)
+		c.Add("cache_hits", tk.acct.CacheHits)
+		c.Add("cache_misses", tk.acct.CacheMisses)
+		if tk.follower {
+			c.Add("follower_read", 1)
+		}
 		if tk.failed {
 			c.Add("failed", 1)
 		}
@@ -1031,12 +1066,17 @@ func (t *Table) compactRegion(r *region) {
 	r.mu.Lock()
 	r.drainImmsLocked(st)
 	if r.mem.size > 0 {
+		job := r.jobs.Begin("flush", r.tname, r.id)
 		memEntries, memRaw := r.mem.drain()
 		run := newRunFromEntries(r.bcfg, memEntries, memRaw)
 		r.runs = append(r.runs, run)
 		r.mem = newSkiplist(nextSkiplistSeed())
 		st.Flushes.Add(1)
 		st.BytesFlushed.Add(int64(run.bytes))
+		job.AddBytesRead(int64(memRaw))
+		job.AddBytesWritten(int64(run.bytes))
+		job.AddItems(int64(len(memEntries)))
+		r.jobs.End(job)
 		r.maintainRunsLocked(st)
 	}
 	if len(r.runs) > 1 {
@@ -1047,11 +1087,18 @@ func (t *Table) compactRegion(r *region) {
 				biggest = run.bytes
 			}
 		}
+		job := r.jobs.Begin("compact", r.tname, r.id)
+		nRuns := int64(len(r.runs))
 		start := time.Now()
 		r.runs = []*sortedRun{mergeRunSlice(r.bcfg, r.runs)}
 		st.Compactions.Add(1)
 		st.BytesCompacted.Add(int64(total))
 		st.CompactStallNanos.Add(time.Since(start).Nanoseconds())
+		job.AddBytesRead(int64(total))
+		job.AddBytesWritten(int64(r.runs[0].bytes))
+		job.AddItems(nRuns)
+		job.AddStall(time.Since(start))
+		r.jobs.End(job)
 		// A major compaction briefly blocks client RPCs, as a region move
 		// would — but only in proportion to the data actually migrated onto
 		// the new run: the largest input is the stable base a tiered region

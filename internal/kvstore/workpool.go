@@ -132,3 +132,11 @@ func (p *workPool) close() {
 // maxObservedRunning reports the high-water mark of concurrently running
 // tasks (test instrumentation for the Parallelism bound).
 func (p *workPool) maxObservedRunning() int64 { return p.maxRunning.Load() }
+
+// depth reports the queued-but-unstarted task backlog — the scan-executor
+// queue depth gauge the admission-control layer watches.
+func (p *workPool) depth() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.queue) - p.head)
+}

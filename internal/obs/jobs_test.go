@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJobNilSafety exercises every job/recorder method through nil receivers
+// — instrumented store paths run with a nil recorder in unit fixtures and
+// must never branch or panic.
+func TestJobNilSafety(t *testing.T) {
+	var r *JobRecorder
+	j := r.Begin("flush", "primary", 1)
+	if j != nil {
+		t.Fatal("nil recorder produced a job")
+	}
+	j.AddBytesRead(10)
+	j.AddBytesWritten(10)
+	j.AddItems(1)
+	j.AddStall(time.Second)
+	if j.Running() || j.Duration() != 0 {
+		t.Fatal("nil job leaked state")
+	}
+	r.End(j)
+	if r.RunningCount() != 0 {
+		t.Fatal("nil recorder counted jobs")
+	}
+	if s := r.KindStats("flush"); s != (JobKindStats{}) {
+		t.Fatal("nil recorder returned stats")
+	}
+	if run, rec := r.Snapshot(0); run != nil || rec != nil {
+		t.Fatal("nil recorder snapshotted")
+	}
+	if r.Overlapping(time.Time{}, time.Now()) != nil {
+		t.Fatal("nil recorder overlapped")
+	}
+}
+
+// TestJobRecorderLifecycle pins Begin/End accounting: running counts, ledger
+// sums, per-kind aggregates, and End idempotence.
+func TestJobRecorderLifecycle(t *testing.T) {
+	r := NewJobRecorder(8)
+	j := r.Begin("compact", "primary", 7)
+	if !j.Running() || r.RunningCount() != 1 {
+		t.Fatal("job not running after Begin")
+	}
+	j.AddBytesRead(100)
+	j.AddBytesWritten(60)
+	j.AddItems(3)
+	j.AddStall(2 * time.Millisecond)
+	r.End(j)
+	r.End(j) // idempotent
+	if j.Running() || r.RunningCount() != 0 {
+		t.Fatal("job still running after End")
+	}
+	s := r.KindStats("compact")
+	if s.Jobs != 1 || s.BytesRead != 100 || s.BytesWritten != 60 || s.Items != 3 ||
+		s.StallNanos != (2*time.Millisecond).Nanoseconds() {
+		t.Fatalf("kind stats = %+v", s)
+	}
+	if s.TotalNanos <= 0 {
+		t.Fatal("completed job has no duration")
+	}
+	if got := r.KindStats("flush"); got != (JobKindStats{}) {
+		t.Fatalf("unused kind has stats %+v", got)
+	}
+}
+
+// TestJobRecorderRing checks the completed ring stays bounded and Snapshot
+// returns newest-first.
+func TestJobRecorderRing(t *testing.T) {
+	r := NewJobRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.End(r.Begin("flush", "primary", int64(i)))
+	}
+	_, recent := r.Snapshot(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	for i, js := range recent {
+		if want := int64(10 - i); js.ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d (newest first)", i, js.ID, want)
+		}
+	}
+	_, limited := r.Snapshot(2)
+	if len(limited) != 2 || limited[0].ID != 10 {
+		t.Fatalf("limited snapshot = %+v", limited)
+	}
+	running := r.Begin("compact", "primary", 1)
+	run, _ := r.Snapshot(0)
+	if len(run) != 1 || !run[0].Running {
+		t.Fatalf("running snapshot = %+v", run)
+	}
+	r.End(running)
+}
+
+// TestJobOverlapping pins the window-intersection semantics /trace relies on
+// to attach background interference to a query.
+func TestJobOverlapping(t *testing.T) {
+	r := NewJobRecorder(8)
+	before := r.Begin("flush", "primary", 1)
+	r.End(before)
+	time.Sleep(2 * time.Millisecond)
+
+	qStart := time.Now()
+	during := r.Begin("compact", "primary", 2)
+	during.AddBytesRead(42)
+	r.End(during)
+	still := r.Begin("catchup", "primary", 3)
+	qEnd := time.Now()
+
+	got := r.Overlapping(qStart, qEnd)
+	kinds := make(map[string]bool, len(got))
+	for _, js := range got {
+		kinds[js.Kind] = true
+	}
+	if kinds["flush"] {
+		t.Fatalf("job that ended before the window was attached: %+v", got)
+	}
+	if !kinds["compact"] || !kinds["catchup"] {
+		t.Fatalf("overlapping jobs missing: %+v", got)
+	}
+	r.End(still)
+
+	// A completed job spanning the whole window still overlaps.
+	got = r.Overlapping(qStart, qEnd)
+	if len(got) < 2 {
+		t.Fatalf("completed overlapping jobs lost: %+v", got)
+	}
+}
+
+// TestJobSnapshotSpan checks the trace-attachment conversion carries the
+// ledger as span attributes.
+func TestJobSnapshotSpan(t *testing.T) {
+	r := NewJobRecorder(2)
+	j := r.Begin("compact", "primary", 5)
+	j.AddBytesRead(1000)
+	j.AddStall(time.Millisecond)
+	r.End(j)
+	_, recent := r.Snapshot(1)
+	sp := recent[0].Span()
+	if sp.Name() != "compact:primary" {
+		t.Fatalf("span name = %q", sp.Name())
+	}
+	if sp.Attr("bytes_read") != 1000 || sp.Attr("region") != 5 || sp.Attr("stall_ns") != time.Millisecond.Nanoseconds() {
+		t.Fatalf("span attrs wrong: %+v", sp.JSON())
+	}
+}
+
+// TestJobRecorderConcurrent hammers the recorder from many goroutines —
+// run under -race, this is the ring's data-race test.
+func TestJobRecorderConcurrent(t *testing.T) {
+	r := NewJobRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j := r.Begin("flush", fmt.Sprintf("t%d", g), int64(i))
+				j.AddBytesRead(1)
+				j.AddItems(1)
+				r.End(j)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Snapshot(8)
+			r.Overlapping(time.Now().Add(-time.Second), time.Now())
+			r.KindStats("flush")
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.RunningCount() != 0 {
+		t.Fatalf("running count = %d after all jobs ended", r.RunningCount())
+	}
+	if s := r.KindStats("flush"); s.Jobs != 1600 || s.BytesRead != 1600 {
+		t.Fatalf("aggregates lost updates: %+v", s)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLOTracker classifies completed operations against a latency objective and
+// maintains windowed burn-rate state. An operation finishing within the
+// objective is "good"; over it is "late". The error budget is the fraction of
+// operations allowed to be late (e.g. 0.01 for a 99th-percentile objective);
+// burn rate is the observed late fraction divided by that budget, so a burn
+// rate of 1.0 consumes the budget exactly as fast as it refills and anything
+// sustained above 1.0 means the SLO will be violated.
+//
+// The window is a ring of fixed-width time buckets with lazy reset: Observe
+// is two atomic adds on the hot path, plus a mutex only on the first
+// observation of a new bucket period. All methods are nil-safe so the
+// disabled path stays branch-free at call sites.
+type SLOTracker struct {
+	objective time.Duration
+	budget    float64
+
+	good atomic.Int64 // cumulative
+	late atomic.Int64 // cumulative
+
+	bucketNanos int64
+	buckets     []sloBucket
+	resetMu     sync.Mutex
+}
+
+type sloBucket struct {
+	period atomic.Int64 // which absolute bucket period this slot holds
+	good   atomic.Int64
+	late   atomic.Int64
+}
+
+// NewSLOTracker builds a tracker for one latency objective. budget is the
+// allowed late fraction (clamped to a minimum of 0.0001); the window ring
+// holds `buckets` slots of `bucketWidth` each (defaults: 30 × 10s).
+func NewSLOTracker(objective time.Duration, budget float64, bucketWidth time.Duration, buckets int) *SLOTracker {
+	if objective <= 0 {
+		return nil
+	}
+	if budget < 0.0001 {
+		budget = 0.0001
+	}
+	if bucketWidth <= 0 {
+		bucketWidth = 10 * time.Second
+	}
+	if buckets <= 0 {
+		buckets = 30
+	}
+	return &SLOTracker{
+		objective:   objective,
+		budget:      budget,
+		bucketNanos: bucketWidth.Nanoseconds(),
+		buckets:     make([]sloBucket, buckets),
+	}
+}
+
+// Objective returns the latency objective (0 on nil).
+func (t *SLOTracker) Objective() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.objective
+}
+
+// Budget returns the allowed late fraction (0 on nil).
+func (t *SLOTracker) Budget() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.budget
+}
+
+// Observe classifies one completed operation. Returns true when it met the
+// objective ("good"), false when late. Nil trackers report true.
+func (t *SLOTracker) Observe(latency time.Duration) bool {
+	return t.observeAt(latency, time.Now().UnixNano())
+}
+
+func (t *SLOTracker) observeAt(latency time.Duration, nowNanos int64) bool {
+	if t == nil {
+		return true
+	}
+	good := latency <= t.objective
+	period := nowNanos / t.bucketNanos
+	b := &t.buckets[int(period%int64(len(t.buckets)))]
+	if b.period.Load() != period {
+		// First observation of a new period for this slot: zero it under the
+		// reset mutex. Counts racing in under the stale period are dropped
+		// with it — the window is an estimator, not an invoice.
+		t.resetMu.Lock()
+		if b.period.Load() != period {
+			b.good.Store(0)
+			b.late.Store(0)
+			b.period.Store(period)
+		}
+		t.resetMu.Unlock()
+	}
+	if good {
+		t.good.Add(1)
+		b.good.Add(1)
+	} else {
+		t.late.Add(1)
+		b.late.Add(1)
+	}
+	return good
+}
+
+// Totals returns the cumulative good/late counts.
+func (t *SLOTracker) Totals() (good, late int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.good.Load(), t.late.Load()
+}
+
+// Window sums the good/late counts over the trailing window duration
+// (clamped to the ring's span).
+func (t *SLOTracker) Window(window time.Duration) (good, late int64) {
+	return t.windowAt(window, time.Now().UnixNano())
+}
+
+func (t *SLOTracker) windowAt(window time.Duration, nowNanos int64) (good, late int64) {
+	if t == nil {
+		return 0, 0
+	}
+	periods := int(window.Nanoseconds() / t.bucketNanos)
+	if periods < 1 {
+		periods = 1
+	}
+	if periods > len(t.buckets) {
+		periods = len(t.buckets)
+	}
+	cur := nowNanos / t.bucketNanos
+	for i := 0; i < periods; i++ {
+		p := cur - int64(i)
+		b := &t.buckets[int(((p%int64(len(t.buckets)))+int64(len(t.buckets)))%int64(len(t.buckets)))]
+		if b.period.Load() != p {
+			continue // slot holds another (older) period: nothing in-window
+		}
+		good += b.good.Load()
+		late += b.late.Load()
+	}
+	return good, late
+}
+
+// BurnRate returns the trailing-window burn rate: late fraction divided by
+// the error budget. 0 when the window is empty or the tracker is nil.
+func (t *SLOTracker) BurnRate(window time.Duration) float64 {
+	return t.burnRateAt(window, time.Now().UnixNano())
+}
+
+func (t *SLOTracker) burnRateAt(window time.Duration, nowNanos int64) float64 {
+	if t == nil {
+		return 0
+	}
+	good, late := t.windowAt(window, nowNanos)
+	total := good + late
+	if total == 0 {
+		return 0
+	}
+	return (float64(late) / float64(total)) / t.budget
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSLONilSafety: a disabled SLO (nil tracker) must be a total no-op that
+// classifies everything as good.
+func TestSLONilSafety(t *testing.T) {
+	var tr *SLOTracker
+	if !tr.Observe(time.Hour) {
+		t.Fatal("nil tracker classified late")
+	}
+	if g, l := tr.Totals(); g != 0 || l != 0 {
+		t.Fatal("nil tracker counted")
+	}
+	if g, l := tr.Window(time.Minute); g != 0 || l != 0 {
+		t.Fatal("nil tracker windowed")
+	}
+	if tr.BurnRate(time.Minute) != 0 || tr.Objective() != 0 || tr.Budget() != 0 {
+		t.Fatal("nil tracker leaked state")
+	}
+	if NewSLOTracker(0, 0.01, 0, 0) != nil {
+		t.Fatal("zero objective should build a nil tracker")
+	}
+}
+
+// TestSLOClassification pins good/late against the objective and the
+// cumulative totals.
+func TestSLOClassification(t *testing.T) {
+	tr := NewSLOTracker(100*time.Millisecond, 0.01, time.Second, 10)
+	if !tr.Observe(50 * time.Millisecond) {
+		t.Fatal("under-objective classified late")
+	}
+	if !tr.Observe(100 * time.Millisecond) {
+		t.Fatal("exactly-at-objective classified late")
+	}
+	if tr.Observe(101 * time.Millisecond) {
+		t.Fatal("over-objective classified good")
+	}
+	if g, l := tr.Totals(); g != 2 || l != 1 {
+		t.Fatalf("totals = (%d, %d), want (2, 1)", g, l)
+	}
+}
+
+// TestSLOWindowAndBurnRate drives the bucket ring with explicit clocks: the
+// trailing window must include only in-range buckets and the burn rate must
+// be late-fraction over budget.
+func TestSLOWindowAndBurnRate(t *testing.T) {
+	bucket := time.Second
+	tr := NewSLOTracker(100*time.Millisecond, 0.01, bucket, 10)
+	t0 := int64(1000 * time.Second) // arbitrary absolute origin
+
+	// Three buckets: 4 good at t0, 1 good + 1 late at t0+1s, 2 late at t0+2s.
+	for i := 0; i < 4; i++ {
+		tr.observeAt(time.Millisecond, t0)
+	}
+	tr.observeAt(time.Millisecond, t0+int64(bucket))
+	tr.observeAt(time.Second, t0+int64(bucket))
+	tr.observeAt(time.Second, t0+2*int64(bucket))
+	tr.observeAt(time.Second, t0+2*int64(bucket))
+
+	now := t0 + 2*int64(bucket)
+	if g, l := tr.windowAt(2*bucket, now); g != 1 || l != 3 {
+		t.Fatalf("2-bucket window = (%d, %d), want (1, 3)", g, l)
+	}
+	if g, l := tr.windowAt(10*bucket, now); g != 5 || l != 3 {
+		t.Fatalf("full window = (%d, %d), want (5, 3)", g, l)
+	}
+	// Burn rate over the last 2 buckets: 3 late of 4 total over budget 0.01.
+	want := (3.0 / 4.0) / 0.01
+	if got := tr.burnRateAt(2*bucket, now); got != want {
+		t.Fatalf("burn rate = %g, want %g", got, want)
+	}
+	// Empty window: nothing observed that far ahead.
+	if got := tr.burnRateAt(bucket, now+100*int64(bucket)); got != 0 {
+		t.Fatalf("burn rate of empty window = %g, want 0", got)
+	}
+}
+
+// TestSLOBucketLazyReset checks a slot is zeroed when its period comes
+// around again (ring reuse), not accumulated across laps.
+func TestSLOBucketLazyReset(t *testing.T) {
+	bucket := time.Second
+	tr := NewSLOTracker(100*time.Millisecond, 0.01, bucket, 4)
+	t0 := int64(5000 * time.Second)
+	tr.observeAt(time.Second, t0) // late, slot 0
+	// One full lap later the same slot holds a new period.
+	lap := t0 + 4*int64(bucket)
+	tr.observeAt(time.Millisecond, lap) // good, same slot
+	if g, l := tr.windowAt(bucket, lap); g != 1 || l != 0 {
+		t.Fatalf("relapped bucket = (%d, %d), want (1, 0)", g, l)
+	}
+	// Cumulative totals keep both.
+	if g, l := tr.Totals(); g != 1 || l != 1 {
+		t.Fatalf("totals = (%d, %d), want (1, 1)", g, l)
+	}
+}
+
+// TestSLOConcurrent hammers Observe from many goroutines (run under -race)
+// and checks no observation is lost from the cumulative totals.
+func TestSLOConcurrent(t *testing.T) {
+	tr := NewSLOTracker(time.Millisecond, 0.01, 10*time.Millisecond, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe(time.Duration(i%2) * time.Second)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Window(time.Minute)
+			tr.BurnRate(time.Minute)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if g, l := tr.Totals(); g+l != 4000 {
+		t.Fatalf("totals lost observations: %d + %d != 4000", g, l)
+	}
+}

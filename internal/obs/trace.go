@@ -68,6 +68,18 @@ func (s *Span) Child(name string, d time.Duration) *Span {
 	return c
 }
 
+// Attach grafts an already-built span (and its subtree) onto this span as a
+// child — used to attach side-band trees like background-job snapshots to a
+// query trace after the fact.
+func (s *Span) Attach(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
 // End closes the span with its wall-clock duration (idempotent: the first
 // close wins).
 func (s *Span) End() {

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -114,6 +116,82 @@ func TestSampler(t *testing.T) {
 	}
 	if hits != 100 {
 		t.Fatalf("rate 0.1 sampled %d of 1000, want exactly 100 (deterministic)", hits)
+	}
+}
+
+// TestSpanAttach checks grafting a pre-built span tree (the background-job
+// attachment path) onto a parent, including nil safety on both sides.
+func TestSpanAttach(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.Attach(NewSpan("x")) // must not panic
+	root := NewSpan("request")
+	root.Attach(nil)
+	job := &Span{name: "compact:primary", start: time.Now(), dur: 3 * time.Millisecond}
+	job.Add("bytes_read", 77)
+	bg := root.Child("background", 0)
+	bg.Attach(job)
+	if got := root.SumAttr("bytes_read"); got != 77 {
+		t.Fatalf("SumAttr over attached tree = %d, want 77", got)
+	}
+	j := root.JSON()
+	if len(j.Children) != 1 || len(j.Children[0].Children) != 1 ||
+		j.Children[0].Children[0].Name != "compact:primary" {
+		t.Fatalf("attached tree shape wrong: %+v", j)
+	}
+}
+
+// TestTraceRingConcurrent races many writers against readers; under -race
+// this pins the ring's synchronization, and afterwards every retained trace
+// must be one of the spans actually added (no torn slots).
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(8)
+	valid := sync.Map{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := NewSpan(fmt.Sprintf("w%d-%d", g, i))
+				valid.Store(s, true)
+				r.Add(s)
+				if i%10 == 0 {
+					r.Last()
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("ring holds %d traces, want 8", len(snap))
+	}
+	for _, s := range snap {
+		if _, ok := valid.Load(s); !ok {
+			t.Fatalf("ring retained a span that was never added: %v", s.Name())
+		}
+	}
+}
+
+// TestSamplerDeterministicAcrossRestarts pins that two samplers built with
+// the same rate make identical decisions for the same operation sequence —
+// a process restart must not change which queries get traced.
+func TestSamplerDeterministicAcrossRestarts(t *testing.T) {
+	a, b := NewSampler(0.25), NewSampler(0.25)
+	for i := 0; i < 100; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatalf("samplers diverged at operation %d", i)
+		}
+	}
+	// The decision sequence is a pure function of the rate: every 4th
+	// operation for rate 0.25, starting at the 4th.
+	c := NewSampler(0.25)
+	for i := 1; i <= 12; i++ {
+		want := i%4 == 0
+		if got := c.Sample(); got != want {
+			t.Fatalf("operation %d sampled=%v, want %v", i, got, want)
+		}
 	}
 }
 

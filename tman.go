@@ -233,6 +233,19 @@ func WithTraceSampling(rate float64) Option {
 	return func(c *engine.Config) { c.TraceSampleRate = rate }
 }
 
+// WithSLO sets the per-query latency objective every query type is tracked
+// against, and the allowed late fraction (the error budget — 0 keeps the
+// 0.01 default, i.e. a p99 objective). Queries finishing within the
+// objective count as "good", over it as "late"; burn-rate gauges report
+// late-fraction over budget on trailing windows. targetMillis 0 keeps the
+// 250ms default; negative disables SLO tracking (the series stay at zero).
+func WithSLO(targetMillis int, budget float64) Option {
+	return func(c *engine.Config) {
+		c.SLOTargetMillis = targetMillis
+		c.SLOBudget = budget
+	}
+}
+
 // DB is a TMan database instance.
 type DB struct {
 	eng *engine.Engine
